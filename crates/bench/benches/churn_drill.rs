@@ -1,0 +1,91 @@
+//! Churn drill: Hier-GD under client-machine failures.
+//!
+//! §4.1 claims the P2P client cache is "fault-resilient, and
+//! self-organizing". This harness runs Hier-GD while periodically crashing
+//! client machines (losing their cached objects) and reports the latency
+//! cost of churn plus post-churn invariant checks. There is no paper
+//! figure for this; it backs the claim with a measurement.
+
+use std::io::Write as _;
+use webcache_bench::{figures_dir, synthetic_traces, Scale};
+use webcache_sim::engine::SchemeEngine;
+use webcache_sim::hiergd::{HierGdEngine, HierGdOptions};
+use webcache_sim::{ExperimentConfig, RunMetrics, SchemeKind, Sizing};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if !scale.full {
+        scale.requests = 100_000;
+    }
+    eprintln!("churn_drill: {} requests/proxy", scale.requests);
+    let traces = synthetic_traces(2, scale, |_| {});
+    let cfg = ExperimentConfig::new(SchemeKind::HierGd, 0.2);
+    let sizing = Sizing::derive(&cfg, &traces);
+
+    println!("\n=== Hier-GD under client churn (cache = 20% of U) ===");
+    println!(
+        "{:>18}{:>12}{:>12}{:>14}{:>12}",
+        "failures", "avg lat", "hit ratio", "stale lookups", "invariants"
+    );
+    let mut csv = std::fs::File::create(figures_dir().join("churn_drill.csv")).expect("csv");
+    writeln!(csv, "failures_per_cluster,avg_latency,hit_ratio,stale_lookups,invariants_ok")
+        .expect("csv");
+
+    for failures in [0usize, 5, 20] {
+        let mut engine = HierGdEngine::new(
+            2,
+            sizing.proxy_capacity,
+            cfg.clients_per_cluster,
+            sizing.client_cache_capacity,
+            traces.iter().map(|t| t.num_objects).max().unwrap(),
+            cfg.net,
+            HierGdOptions::default(),
+        );
+        // Drive both traces round-robin, injecting failures at evenly
+        // spaced points.
+        let len = traces[0].len().min(traces[1].len());
+        let mut metrics = RunMetrics::default();
+        let fail_every = len.checked_div(failures).unwrap_or(usize::MAX);
+        let mut failed = 0usize;
+        for i in 0..len {
+            for (p, t) in traces.iter().enumerate() {
+                let class = engine.serve(p, &t.requests[i]);
+                metrics.record(class, cfg.net.latency(class));
+            }
+            if failures > 0 && i % fail_every == fail_every - 1 && failed < failures {
+                for p in 0..2 {
+                    // Deterministically pick a victim: the (rotating) nth
+                    // node id in the cluster.
+                    let victim = engine
+                        .p2p(p)
+                        .node_ids()
+                        .nth(failed % cfg.clients_per_cluster)
+                        .expect("cluster non-empty");
+                    engine.fail_client(p, victim);
+                }
+                failed += 1;
+            }
+        }
+        engine.finish(&mut metrics);
+        let invariants_ok =
+            (0..2).all(|p| engine.p2p(p).check_invariants().is_empty());
+        println!(
+            "{:>18}{:>12.3}{:>12.3}{:>14}{:>12}",
+            failures,
+            metrics.avg_latency(),
+            metrics.hit_ratio(),
+            metrics.messages.stale_lookups,
+            if invariants_ok { "OK" } else { "VIOLATED" }
+        );
+        writeln!(
+            csv,
+            "{failures},{:.4},{:.4},{},{invariants_ok}",
+            metrics.avg_latency(),
+            metrics.hit_ratio(),
+            metrics.messages.stale_lookups
+        )
+        .expect("csv");
+        assert!(invariants_ok, "invariants must survive churn");
+    }
+    eprintln!("wrote {}", figures_dir().join("churn_drill.csv").display());
+}

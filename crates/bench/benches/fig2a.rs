@@ -1,0 +1,36 @@
+//! Figure 2(a): latency gain vs proxy cache size, synthetic workload.
+//!
+//! Paper series: SC, FC, NC-EC, SC-EC, FC-EC, Hier-GD over cache sizes
+//! 10%–100% of the infinite cache size; ProWGen defaults (1M requests,
+//! 10k objects, 50% one-timers, α = 0.7), 2 proxies, 100-client clusters.
+//!
+//! Expected shape (paper §5.2): FC/FC-EC > SC/SC-EC > NC/NC-EC; every
+//! X-EC above X with the margin largest at small cache sizes; Hier-GD
+//! above SC-EC/SC/NC-EC and above FC at small sizes.
+
+use webcache_bench::{print_panel, synthetic_traces, write_csv, Scale};
+use webcache_sim::sweep::{sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "fig2a: synthetic workload, {} requests x 2 proxies ({})",
+        scale.requests,
+        if scale.full { "paper scale" } else { "reduced; pass --full for paper scale" }
+    );
+    let traces = synthetic_traces(2, scale, |_| {});
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+    let schemes = [
+        SchemeKind::Sc,
+        SchemeKind::Fc,
+        SchemeKind::NcEc,
+        SchemeKind::ScEc,
+        SchemeKind::FcEc,
+        SchemeKind::HierGd,
+    ];
+    let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base);
+    print_panel("Figure 2(a): latency gain (%) vs proxy cache size — synthetic", &results, &schemes);
+    let path = write_csv("fig2a", &results);
+    eprintln!("wrote {}", path.display());
+}

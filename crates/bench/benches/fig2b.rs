@@ -1,0 +1,61 @@
+//! Figure 2(b): latency gain vs proxy cache size, UCB Home-IP trace.
+//!
+//! The original trace is unavailable; this uses the calibrated synthetic
+//! substitute (see DESIGN.md "Substitutions"): heavier one-time
+//! referencing, larger universe relative to the request count, day-scale
+//! working-set churn. Expected shape: the same ordering as Figure 2(a)
+//! but with visibly lower absolute gains (the paper's stated contrast).
+
+use webcache_bench::{print_panel, write_csv, Scale};
+use webcache_sim::sweep::{sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+use webcache_workload::{Trace, UcbLike, UcbLikeConfig};
+
+fn ucb_traces(num_proxies: usize, scale: Scale) -> Vec<Trace> {
+    (0..num_proxies)
+        .map(|p| {
+            let mut cfg = if scale.full {
+                UcbLikeConfig::full_scale()
+            } else {
+                UcbLikeConfig {
+                    requests: 500_000,
+                    core_objects: 8_000,
+                    fresh_objects_per_day: 6_000,
+                    ..UcbLikeConfig::default()
+                }
+            };
+            cfg.seed = webcache_primitives::seed::derive_indexed(cfg.seed, "ucb-proxy", p as u64);
+            UcbLike::new(cfg).generate()
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "fig2b: UCB-like trace substitute x 2 proxies ({})",
+        if scale.full { "paper scale: 9.24M requests" } else { "reduced; pass --full" }
+    );
+    let traces = ucb_traces(2, scale);
+    let stats = traces[0].stats();
+    eprintln!(
+        "  trace: {} requests, {} distinct objects, {:.0}% one-timers, U = {}",
+        stats.requests,
+        stats.distinct_objects,
+        stats.one_timer_fraction() * 100.0,
+        stats.infinite_cache_size
+    );
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+    let schemes = [
+        SchemeKind::Sc,
+        SchemeKind::Fc,
+        SchemeKind::NcEc,
+        SchemeKind::ScEc,
+        SchemeKind::FcEc,
+        SchemeKind::HierGd,
+    ];
+    let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base);
+    print_panel("Figure 2(b): latency gain (%) vs proxy cache size — UCB-like", &results, &schemes);
+    let path = write_csv("fig2b", &results);
+    eprintln!("wrote {}", path.display());
+}

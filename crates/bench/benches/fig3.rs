@@ -1,0 +1,47 @@
+//! Figure 3: sensitivity to the object popularity distribution (Zipf α).
+//!
+//! Four panels — FC-EC/NC, FC/NC, Hier-GD/NC, SC-EC/NC — each plotting
+//! latency gain vs cache size for α ∈ {0.5, 0.7, 1.0}. Expected shape
+//! (paper §5.2): smaller α (less skew, larger working set) ⇒ larger
+//! gains, because cooperation only helps on the *first* access to hot
+//! objects.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig3: alpha sweep {{0.5, 0.7, 1.0}} ({} requests/proxy)", scale.requests);
+    let alphas = [0.5f64, 0.7, 1.0];
+    let panels =
+        [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+
+    // One sweep per α: its own traces and NC baselines.
+    let per_alpha: Vec<_> = alphas
+        .iter()
+        .map(|&alpha| {
+            let traces = synthetic_traces(2, scale, |c| c.zipf_alpha = alpha);
+            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base)
+        })
+        .collect();
+
+    for panel in panels {
+        let curves: Vec<(String, Vec<(f64, f64)>)> = alphas
+            .iter()
+            .zip(&per_alpha)
+            .map(|(&alpha, results)| {
+                (format!("alpha={alpha}"), gain_curve(results, panel))
+            })
+            .collect();
+        print_labeled_curves(
+            &format!("Figure 3: {}/NC latency gain (%)", panel.label()),
+            "cache(%)",
+            &curves,
+        );
+        let path =
+            write_labeled_csv(&format!("fig3_{}", panel.label().to_lowercase()), &curves);
+        eprintln!("wrote {}", path.display());
+    }
+}

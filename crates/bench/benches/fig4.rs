@@ -1,0 +1,47 @@
+//! Figure 4: sensitivity to temporal locality (LRU stack size).
+//!
+//! Four panels — FC-EC/NC, FC/NC, Hier-GD/NC, SC-EC/NC — each plotting
+//! latency gain vs cache size for LRU stack sizes of 5%, 20% and 60% of
+//! the multi-reference objects. Expected shape (paper §5.2): smaller
+//! stacks ⇒ larger gains for FC/FC-EC/Hier-GD (a big stack makes the
+//! single NC cache strong); SC-EC shows the small-cache inversion the
+//! paper notes.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig4: stack-size sweep {{5%, 20%, 60%}} ({} requests/proxy)", scale.requests);
+    let stacks = [0.05f64, 0.20, 0.60];
+    let panels =
+        [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+
+    let per_stack: Vec<_> = stacks
+        .iter()
+        .map(|&frac| {
+            let traces = synthetic_traces(2, scale, |c| c.stack_fraction = frac);
+            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base)
+        })
+        .collect();
+
+    for panel in panels {
+        let curves: Vec<(String, Vec<(f64, f64)>)> = stacks
+            .iter()
+            .zip(&per_stack)
+            .map(|(&frac, results)| {
+                (format!("stack={:.0}%", frac * 100.0), gain_curve(results, panel))
+            })
+            .collect();
+        print_labeled_curves(
+            &format!("Figure 4: {}/NC latency gain (%)", panel.label()),
+            "cache(%)",
+            &curves,
+        );
+        let path =
+            write_labeled_csv(&format!("fig4_{}", panel.label().to_lowercase()), &curves);
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 5(a): Hier-GD latency gain vs the proxy-to-proxy latency ratio.
+//!
+//! Sweeps `Ts/Tc ∈ {2, 5, 10}` at fixed `Ts/Tl = 20`. Expected shape
+//! (paper §5.2): gain increases with `Ts/Tc` — the cheaper it is to reach
+//! a cooperating cache relative to the server, the more cooperation pays.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, NetworkModel, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig5a: Ts/Tc sweep {{2, 5, 10}} ({} requests/proxy)", scale.requests);
+    let traces = synthetic_traces(2, scale, |_| {});
+    let curves: Vec<(String, Vec<(f64, f64)>)> = [2.0f64, 5.0, 10.0]
+        .iter()
+        .map(|&ratio| {
+            let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+            base.net = NetworkModel::from_ratios(ratio, 20.0, 1.4);
+            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+            (format!("Ts/Tc={ratio}"), gain_curve(&results, SchemeKind::HierGd))
+        })
+        .collect();
+    print_labeled_curves("Figure 5(a): Hier-GD/NC latency gain (%) vs Ts/Tc", "cache(%)", &curves);
+    let path = write_labeled_csv("fig5a", &curves);
+    eprintln!("wrote {}", path.display());
+}

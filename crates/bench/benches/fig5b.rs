@@ -1,0 +1,28 @@
+//! Figure 5(b): Hier-GD latency gain vs the client-to-proxy latency ratio.
+//!
+//! Sweeps `Ts/Tl ∈ {5, 10, 20}` at fixed `Ts/Tc = 10`. Expected shape
+//! (paper §5.2): gain increases with `Ts/Tl` — when the client↔proxy leg
+//! is cheap relative to the server, every avoided server fetch matters
+//! more in relative terms.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, NetworkModel, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig5b: Ts/Tl sweep {{5, 10, 20}} ({} requests/proxy)", scale.requests);
+    let traces = synthetic_traces(2, scale, |_| {});
+    let curves: Vec<(String, Vec<(f64, f64)>)> = [5.0f64, 10.0, 20.0]
+        .iter()
+        .map(|&ratio| {
+            let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+            base.net = NetworkModel::from_ratios(10.0, ratio, 1.4);
+            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+            (format!("Ts/Tl={ratio}"), gain_curve(&results, SchemeKind::HierGd))
+        })
+        .collect();
+    print_labeled_curves("Figure 5(b): Hier-GD/NC latency gain (%) vs Ts/Tl", "cache(%)", &curves);
+    let path = write_labeled_csv("fig5b", &curves);
+    eprintln!("wrote {}", path.display());
+}

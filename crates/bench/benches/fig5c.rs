@@ -1,0 +1,41 @@
+//! Figure 5(c): Hier-GD latency gain vs client-cluster size.
+//!
+//! Sweeps the client cluster (and hence the real Pastry overlay) over
+//! {100, 400, 800, 1000} nodes at a fixed per-client cache of 0.1% of
+//! `U`, with SC and FC plotted for reference. Expected shape (paper
+//! §5.2): gain grows with cluster size, most visibly at small proxy
+//! sizes, approaching/passing FC.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    // Reduced scale also shrinks the overlay sweep to keep the 1-core
+    // runtime sane; --full runs the paper's clusters.
+    let clusters: &[usize] =
+        if scale.full { &[100, 400, 800, 1000] } else { &[100, 400] };
+    eprintln!("fig5c: client-cluster sweep {clusters:?} ({} requests/proxy)", scale.requests);
+    let traces = synthetic_traces(2, scale, |_| {});
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+
+    let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    // Reference curves: SC and FC do not use client caches.
+    let refs = sweep(&[SchemeKind::Sc, SchemeKind::Fc], &PAPER_CACHE_FRACS, &traces, &base);
+    curves.push(("SC".into(), gain_curve(&refs, SchemeKind::Sc)));
+    curves.push(("FC".into(), gain_curve(&refs, SchemeKind::Fc)));
+    for &n in clusters {
+        let mut cfg = base.clone();
+        cfg.clients_per_cluster = n;
+        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &cfg);
+        curves.push((format!("Hier-GD({n})"), gain_curve(&results, SchemeKind::HierGd)));
+    }
+    print_labeled_curves(
+        "Figure 5(c): Hier-GD/NC latency gain (%) vs client-cluster size",
+        "cache(%)",
+        &curves,
+    );
+    let path = write_labeled_csv("fig5c", &curves);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,31 @@
+//! Figure 5(d): Hier-GD latency gain vs proxy-cluster size.
+//!
+//! Sweeps the proxy cluster over {2, 5, 10} proxies (pairwise-equal Tc,
+//! as the paper assumes). Expected shape (paper §5.2): gain grows with
+//! the proxy count, most at small proxy cache sizes.
+
+use webcache_bench::{print_labeled_curves, synthetic_traces, write_labeled_csv, Scale};
+use webcache_sim::sweep::{gain_curve, sweep, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let proxy_counts: &[usize] = if scale.full { &[2, 5, 10] } else { &[2, 5] };
+    eprintln!("fig5d: proxy-cluster sweep {proxy_counts:?} ({} requests/proxy)", scale.requests);
+
+    let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for &p in proxy_counts {
+        let traces = synthetic_traces(p, scale, |_| {});
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.num_proxies = p;
+        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+        curves.push((format!("{p} proxies"), gain_curve(&results, SchemeKind::HierGd)));
+    }
+    print_labeled_curves(
+        "Figure 5(d): Hier-GD/NC latency gain (%) vs proxy-cluster size",
+        "cache(%)",
+        &curves,
+    );
+    let path = write_labeled_csv("fig5d", &curves);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the hot structures: replacement-policy
+//! operations, Pastry routing, trace generation, and SHA-1 hashing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use webcache_pastry::{NodeId, Overlay, PastryConfig};
+use webcache_policy::{BoundedCache, GreedyDualCache, LfuCache, LruCache};
+use webcache_primitives::Sha1;
+use webcache_workload::{ProWGen, ProWGenConfig};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_insert_touch");
+    let stream: Vec<u64> = {
+        let mut rng = SmallRng::seed_from_u64(1);
+        (0..10_000).map(|_| rng.random_range(0..2_000)).collect()
+    };
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(512);
+            for &k in &stream {
+                if !cache.touch(k) {
+                    cache.insert(k);
+                }
+            }
+            black_box(cache.len())
+        })
+    });
+    group.bench_function("lfu", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(512);
+            for &k in &stream {
+                if !cache.touch(k) {
+                    cache.insert(k);
+                }
+            }
+            black_box(cache.len())
+        })
+    });
+    group.bench_function("greedy_dual", |b| {
+        b.iter(|| {
+            let mut cache = GreedyDualCache::new(512);
+            for &k in &stream {
+                if !cache.touch_with_cost(k, 20.0, 1.0) {
+                    cache.insert_with_cost(k, 20.0, 1.0);
+                }
+            }
+            black_box(cache.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pastry_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pastry_route");
+    for n in [100usize, 1000] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ids: Vec<NodeId> = {
+            let mut seen = std::collections::HashSet::new();
+            let mut v = Vec::new();
+            while v.len() < n {
+                let id: u128 = rng.random();
+                if seen.insert(id) {
+                    v.push(NodeId(id));
+                }
+            }
+            v
+        };
+        let overlay = Overlay::with_nodes(PastryConfig::default(), ids.iter().copied());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37);
+                let from = ids[i % n];
+                let key = NodeId((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                black_box(overlay.route(from, key).expect("live").hops())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("prowgen_100k", |b| {
+        b.iter(|| {
+            let t = ProWGen::new(ProWGenConfig {
+                requests: 100_000,
+                distinct_objects: 5_000,
+                ..ProWGenConfig::default()
+            })
+            .generate();
+            black_box(t.len())
+        })
+    });
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let url = "http://origin.example/obj/1234567";
+    c.bench_function("sha1_url", |b| b.iter(|| black_box(Sha1::digest_id128(url.as_bytes()))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_pastry_route, bench_trace_generation, bench_sha1
+}
+criterion_main!(benches);

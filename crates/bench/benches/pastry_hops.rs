@@ -1,0 +1,57 @@
+//! §4.1 claim: P2P-cache lookups route in ⌈log_2^b N⌉ hops.
+//!
+//! "Routing and lookup efficiency in the P2P client cache is achieved with
+//! ⌈log_2b N⌉ hops … e.g., 3 < log16(N = 1024) + 1 < 4". This harness
+//! measures the hop distribution of random lookups on overlays of the
+//! sizes the paper discusses and prints mean/p99/max against the bound.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use webcache_bench::figures_dir;
+use webcache_pastry::{NodeId, Overlay, PastryConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: &[usize] = if full { &[64, 128, 256, 512, 1024] } else { &[64, 256, 1024] };
+    let lookups = if full { 20_000 } else { 5_000 };
+    println!("\n=== §4.1: Pastry lookup hops vs overlay size (b=4, l=16) ===");
+    println!("{:>8}{:>12}{:>10}{:>8}{:>8}{:>10}", "N", "bound", "mean", "p99", "max", "lookups");
+    let mut csv = std::fs::File::create(figures_dir().join("pastry_hops.csv")).expect("csv");
+    writeln!(csv, "n,bound,mean,p99,max").expect("csv");
+    for &n in sizes {
+        let mut rng = SmallRng::seed_from_u64(0xA571);
+        let ids: Vec<NodeId> = {
+            let mut seen = std::collections::HashSet::new();
+            let mut v = Vec::with_capacity(n);
+            while v.len() < n {
+                let id: u128 = rng.random();
+                if seen.insert(id) {
+                    v.push(NodeId(id));
+                }
+            }
+            v
+        };
+        let overlay = Overlay::with_nodes(PastryConfig::default(), ids.iter().copied());
+        let bound = (n as f64).log(16.0).ceil() as usize + 1;
+        let mut hops: Vec<usize> = Vec::with_capacity(lookups);
+        for _ in 0..lookups {
+            let from = ids[rng.random_range(0..n)];
+            let key = NodeId(rng.random());
+            hops.push(overlay.route(from, key).expect("live node").hops());
+        }
+        hops.sort_unstable();
+        let mean = hops.iter().sum::<usize>() as f64 / hops.len() as f64;
+        let p99 = hops[hops.len() * 99 / 100];
+        let max = *hops.last().expect("non-empty");
+        println!("{n:>8}{bound:>12}{mean:>10.2}{p99:>8}{max:>8}{lookups:>10}");
+        writeln!(csv, "{n},{bound},{mean:.3},{p99},{max}").expect("csv");
+        // The paper's bound is the prefix-routing hop count; the final
+        // leaf-set/greedy hop occasionally adds one on top at sizes where
+        // log16(N) is exact. Pin the distribution: the 99th percentile
+        // meets the bound, the worst case exceeds it by at most one hop.
+        assert!(p99 <= bound, "N={n}: p99 hops {p99} exceeded the paper's bound {bound}");
+        assert!(max <= bound + 1, "N={n}: max hops {max} > bound+1 {}", bound + 1);
+    }
+    eprintln!("wrote {}", figures_dir().join("pastry_hops.csv").display());
+}

@@ -1,0 +1,416 @@
+//! Library half of the `webcache` command-line tool: argument parsing and
+//! command execution, kept separate from `main.rs` so everything is unit
+//! testable.
+//!
+//! Subcommands:
+//!
+//! * `gen`   — generate a ProWGen or UCB-like trace into a binary file;
+//! * `stats` — summarize a trace file (the §5.1 quantities: U, one-timer
+//!   fraction, estimated Zipf α, …);
+//! * `run`   — run one caching scheme over per-proxy trace files;
+//! * `sweep` — run schemes × cache sizes and print a figure panel.
+//!
+//! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
+//! deliberately keeps its dependency set small — see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::str::FromStr;
+use webcache_sim::sweep::{gain_curve, sweep};
+use webcache_sim::{
+    latency_gain_percent, run_experiment, ExperimentConfig, HitClass, NetworkModel, SchemeKind,
+};
+use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Command {
+    /// Subcommand name.
+    pub name: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Positional arguments (paths).
+    pub positional: Vec<String>,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl Command {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Command, UsageError> {
+        let Some(name) = argv.first() else {
+            return Err(UsageError(USAGE.into()));
+        };
+        if name == "--help" || name == "-h" || name == "help" {
+            return Err(UsageError(USAGE.into()));
+        }
+        let mut options = HashMap::new();
+        let mut positional = Vec::new();
+        let mut i = 1;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(UsageError(format!("--{key} needs a value")));
+                };
+                if options.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(UsageError(format!("--{key} given twice")));
+                }
+                i += 2;
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Command { name: name.clone(), options, positional })
+    }
+
+    /// Typed option lookup with default.
+    pub fn opt<T: FromStr>(&self, key: &str, default: T) -> Result<T, UsageError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| UsageError(format!("--{key}: cannot parse '{v}'")))
+            }
+        }
+    }
+
+    /// Required option lookup.
+    pub fn required(&self, key: &str) -> Result<&str, UsageError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| UsageError(format!("--{key} is required")))
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+webcache — reproduction of 'Exploiting Client Caches' (ICPP'03)
+
+USAGE:
+  webcache gen   --out FILE [--model prowgen|ucb] [--requests N]
+                 [--objects N] [--alpha F] [--one-timers F] [--stack F]
+                 [--clients N] [--seed N]
+  webcache stats FILE...
+  webcache run   --scheme nc|nc-ec|sc|sc-ec|fc|fc-ec|hier-gd
+                 [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
+                 FILE...            (one trace file per proxy)
+  webcache sweep [--schemes a,b,c] [--fracs f1,f2,...] FILE...
+
+Traces are the binary format written by `webcache gen` (WCTRACE1).";
+
+/// Parses a scheme name as printed in the paper.
+pub fn parse_scheme(s: &str) -> Result<SchemeKind, UsageError> {
+    match s.to_ascii_lowercase().as_str() {
+        "nc" => Ok(SchemeKind::Nc),
+        "nc-ec" | "ncec" => Ok(SchemeKind::NcEc),
+        "sc" => Ok(SchemeKind::Sc),
+        "sc-ec" | "scec" => Ok(SchemeKind::ScEc),
+        "fc" => Ok(SchemeKind::Fc),
+        "fc-ec" | "fcec" => Ok(SchemeKind::FcEc),
+        "hier-gd" | "hiergd" => Ok(SchemeKind::HierGd),
+        other => Err(UsageError(format!("unknown scheme '{other}'"))),
+    }
+}
+
+fn load_traces(paths: &[String]) -> Result<Vec<Trace>, String> {
+    if paths.is_empty() {
+        return Err("no trace files given".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let f = File::open(p).map_err(|e| format!("{p}: {e}"))?;
+            Trace::read_binary(&mut BufReader::new(f)).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd.name.as_str() {
+        "gen" => cmd_gen(cmd),
+        "stats" => cmd_stats(cmd),
+        "run" => cmd_run(cmd),
+        "sweep" => cmd_sweep(cmd),
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn cmd_gen(cmd: &Command) -> Result<String, String> {
+    let out = cmd.required("out").map_err(|e| e.to_string())?.to_string();
+    let model = cmd.opt("model", "prowgen".to_string()).map_err(|e| e.to_string())?;
+    let trace = match model.as_str() {
+        "prowgen" => {
+            let cfg = ProWGenConfig {
+                requests: cmd.opt("requests", 250_000).map_err(|e| e.to_string())?,
+                distinct_objects: cmd.opt("objects", 10_000).map_err(|e| e.to_string())?,
+                zipf_alpha: cmd.opt("alpha", 0.7).map_err(|e| e.to_string())?,
+                one_time_fraction: cmd.opt("one-timers", 0.5).map_err(|e| e.to_string())?,
+                stack_fraction: cmd.opt("stack", 0.2).map_err(|e| e.to_string())?,
+                num_clients: cmd.opt("clients", 100).map_err(|e| e.to_string())?,
+                seed: cmd.opt("seed", 0x5EED_2003).map_err(|e| e.to_string())?,
+                ..ProWGenConfig::default()
+            };
+            cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
+            ProWGen::new(cfg).generate()
+        }
+        "ucb" => {
+            let cfg = UcbLikeConfig {
+                requests: cmd.opt("requests", 500_000).map_err(|e| e.to_string())?,
+                core_objects: cmd.opt("objects", 8_000).map_err(|e| e.to_string())?,
+                fresh_objects_per_day: cmd.opt("fresh", 6_000).map_err(|e| e.to_string())?,
+                num_clients: cmd.opt("clients", 100).map_err(|e| e.to_string())?,
+                seed: cmd.opt("seed", 0x0CB_1997).map_err(|e| e.to_string())?,
+                ..UcbLikeConfig::default()
+            };
+            cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
+            UcbLike::new(cfg).generate()
+        }
+        other => return Err(format!("unknown model '{other}' (prowgen|ucb)")),
+    };
+    let f = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    trace.write_binary(&mut w).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!(
+        "wrote {out}: {} requests, {} distinct objects",
+        trace.len(),
+        trace.stats().distinct_objects
+    ))
+}
+
+fn cmd_stats(cmd: &Command) -> Result<String, String> {
+    let traces = load_traces(&cmd.positional)?;
+    let mut out = String::new();
+    for (path, t) in cmd.positional.iter().zip(&traces) {
+        let s = t.stats();
+        let _ = writeln!(out, "{path}:");
+        let _ = writeln!(out, "  requests:            {}", s.requests);
+        let _ = writeln!(out, "  distinct objects:    {}", s.distinct_objects);
+        let _ = writeln!(out, "  infinite cache (U):  {}", s.infinite_cache_size);
+        let _ = writeln!(
+            out,
+            "  one-timer fraction:  {:.1}%",
+            s.one_timer_fraction() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  est. Zipf alpha:     {}",
+            s.zipf_alpha_estimate().map(|a| format!("{a:.2}")).unwrap_or_else(|| "n/a".into())
+        );
+        let _ = writeln!(
+            out,
+            "  mean reuse distance: {:.0}",
+            TraceStats::mean_reuse_distance(t)
+        );
+        let _ = writeln!(out, "  clients:             {}", t.num_clients);
+    }
+    Ok(out)
+}
+
+fn net_from(cmd: &Command) -> Result<NetworkModel, String> {
+    let ts_tc = cmd.opt("ts-tc", 10.0).map_err(|e| e.to_string())?;
+    let ts_tl = cmd.opt("ts-tl", 20.0).map_err(|e| e.to_string())?;
+    let tp2p_tl = cmd.opt("tp2p-tl", 1.4).map_err(|e| e.to_string())?;
+    let net = NetworkModel::from_ratios(ts_tc, ts_tl, tp2p_tl);
+    net.validate().map_err(|e| format!("invalid network model: {e}"))?;
+    Ok(net)
+}
+
+fn cmd_run(cmd: &Command) -> Result<String, String> {
+    let scheme = parse_scheme(cmd.required("scheme").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let traces = load_traces(&cmd.positional)?;
+    let mut cfg = ExperimentConfig::new(scheme, cmd.opt("cache-frac", 0.2).map_err(|e| e.to_string())?);
+    cfg.num_proxies = traces.len();
+    cfg.clients_per_cluster = cmd.opt("clients", 100).map_err(|e| e.to_string())?;
+    cfg.net = net_from(cmd)?;
+    cfg.validate().map_err(|e| format!("invalid experiment: {e}"))?;
+    let metrics = run_experiment(&cfg, &traces);
+    let nc = if scheme == SchemeKind::Nc {
+        metrics.clone()
+    } else {
+        run_experiment(&ExperimentConfig { scheme: SchemeKind::Nc, ..cfg.clone() }, &traces)
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {} proxies, cache {:.0}% of U:",
+        scheme.label(),
+        traces.len(),
+        cfg.cache_frac * 100.0
+    );
+    let _ = writeln!(out, "  avg latency:  {:.3}", metrics.avg_latency());
+    let _ = writeln!(out, "  hit ratio:    {:.1}%", metrics.hit_ratio() * 100.0);
+    let _ = writeln!(out, "  latency gain: {:+.1}% vs NC", latency_gain_percent(&nc, &metrics));
+    for class in HitClass::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7.2}%",
+            class.label(),
+            metrics.fraction(class) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(cmd: &Command) -> Result<String, String> {
+    let traces = load_traces(&cmd.positional)?;
+    let schemes: Vec<SchemeKind> = cmd
+        .opt("schemes", "sc,fc,sc-ec,fc-ec,hier-gd".to_string())
+        .map_err(|e| e.to_string())?
+        .split(',')
+        .map(parse_scheme)
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let fracs: Vec<f64> = cmd
+        .opt("fracs", "0.1,0.3,0.5,0.7,0.9".to_string())
+        .map_err(|e| e.to_string())?
+        .split(',')
+        .map(|f| f.trim().parse::<f64>().map_err(|_| format!("bad fraction '{f}'")))
+        .collect::<Result<_, _>>()?;
+    let mut base = ExperimentConfig::new(SchemeKind::Nc, fracs[0]);
+    base.num_proxies = traces.len();
+    base.clients_per_cluster = cmd.opt("clients", 100).map_err(|e| e.to_string())?;
+    base.net = net_from(cmd)?;
+    let results = sweep(&schemes, &fracs, &traces, &base);
+    let mut out = String::new();
+    let _ = write!(out, "{:>10}", "cache(%)");
+    for s in &schemes {
+        let _ = write!(out, "{:>10}", s.label());
+    }
+    let _ = writeln!(out);
+    for &frac in &fracs {
+        let _ = write!(out, "{:>10.0}", frac * 100.0);
+        for &s in &schemes {
+            let gain = gain_curve(&results, s)
+                .iter()
+                .find(|(f, _)| (f - frac).abs() < 1e-9)
+                .map(|&(_, g)| g);
+            match gain {
+                Some(g) => {
+                    let _ = write!(out, "{g:>10.1}");
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let c = Command::parse(&argv(&["run", "--scheme", "sc", "a.bin", "b.bin"])).unwrap();
+        assert_eq!(c.name, "run");
+        assert_eq!(c.options["scheme"], "sc");
+        assert_eq!(c.positional, vec!["a.bin", "b.bin"]);
+    }
+
+    #[test]
+    fn parse_rejects_missing_value_and_duplicates() {
+        assert!(Command::parse(&argv(&["run", "--scheme"])).is_err());
+        assert!(Command::parse(&argv(&["run", "--x", "1", "--x", "2"])).is_err());
+        assert!(Command::parse(&argv(&[])).is_err());
+        assert!(Command::parse(&argv(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn typed_options() {
+        let c = Command::parse(&argv(&["gen", "--requests", "123", "--alpha", "0.9"])).unwrap();
+        assert_eq!(c.opt("requests", 0usize).unwrap(), 123);
+        assert!((c.opt("alpha", 0.0f64).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(c.opt("missing", 7u32).unwrap(), 7);
+        assert!(c.opt::<usize>("alpha", 0).is_err());
+        assert!(c.required("out").is_err());
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(parse_scheme("hier-gd").unwrap(), SchemeKind::HierGd);
+        assert_eq!(parse_scheme("FC-EC").unwrap(), SchemeKind::FcEc);
+        assert_eq!(parse_scheme("nc").unwrap(), SchemeKind::Nc);
+        assert!(parse_scheme("lru").is_err());
+    }
+
+    #[test]
+    fn gen_stats_run_roundtrip() {
+        let dir = std::env::temp_dir().join("webcache-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let path_s = path.to_str().unwrap().to_string();
+        // gen (tiny workload)
+        let gen = Command::parse(&argv(&[
+            "gen", "--out", &path_s, "--requests", "9000", "--objects", "600", "--clients", "10",
+        ]))
+        .unwrap();
+        let msg = execute(&gen).unwrap();
+        assert!(msg.contains("9000 requests"), "{msg}");
+        // stats
+        let stats = Command::parse(&argv(&["stats", &path_s])).unwrap();
+        let out = execute(&stats).unwrap();
+        assert!(out.contains("requests:            9000"), "{out}");
+        assert!(out.contains("distinct objects:    600"), "{out}");
+        // run SC over two proxies (same file twice is fine for a smoke test)
+        let run = Command::parse(&argv(&[
+            "run", "--scheme", "sc", "--cache-frac", "0.3", "--clients", "10", &path_s, &path_s,
+        ]))
+        .unwrap();
+        let out = execute(&run).unwrap();
+        assert!(out.contains("latency gain"), "{out}");
+        // sweep two schemes, two sizes
+        let sw = Command::parse(&argv(&[
+            "sweep", "--schemes", "sc,fc", "--fracs", "0.2,0.6", "--clients", "10", &path_s,
+            &path_s,
+        ]))
+        .unwrap();
+        let out = execute(&sw).unwrap();
+        assert!(out.contains("SC") && out.contains("FC"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_rejects_missing_files_and_schemes() {
+        let run = Command::parse(&argv(&["run", "--scheme", "sc"])).unwrap();
+        assert!(execute(&run).is_err());
+        let bad = Command::parse(&argv(&["run", "--scheme", "bogus", "x.bin"])).unwrap();
+        assert!(execute(&bad).is_err());
+        let unknown = Command::parse(&argv(&["frobnicate"])).unwrap();
+        assert!(execute(&unknown).unwrap_err().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn gen_rejects_invalid_workload() {
+        let gen = Command::parse(&argv(&[
+            "gen", "--out", "/tmp/x.bin", "--requests", "10", "--objects", "600",
+        ]))
+        .unwrap();
+        assert!(execute(&gen).unwrap_err().contains("invalid workload"));
+    }
+}

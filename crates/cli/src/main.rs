@@ -1,0 +1,28 @@
+//! `webcache` binary: see `webcache --help`.
+
+use std::process::ExitCode;
+use webcache_cli::{execute, Command};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match Command::parse(&argv) {
+        Ok(c) => c,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    match execute(&cmd) {
+        Ok(out) => {
+            print!("{out}");
+            if !out.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

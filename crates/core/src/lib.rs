@@ -1,0 +1,71 @@
+//! **webcache-sim** — the trace-driven cooperative Web-caching simulator
+//! reproducing Zhu & Hu, *Exploiting Client Caches: An Approach to Building
+//! Large Web Caches* (ICPP 2003).
+//!
+//! The paper's claim: federating the browser caches of all clients in an
+//! organization into a Pastry-based P2P cache behind each proxy makes
+//! cooperative proxy caching dramatically more effective, especially when
+//! proxy caches are small relative to the object universe; and a practical
+//! algorithm — hierarchical greedy-dual (**Hier-GD**) — captures most of
+//! that benefit.
+//!
+//! This crate assembles the pieces built in the sibling crates into the
+//! seven caching schemes of §2–3 and the experiment harness of §5:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`net`] | the Ts/Tc/Tl/Tp2p latency model (§5.1) |
+//! | [`engine`] | trace-driven simulation loop |
+//! | [`site`] | proxy + unified P2P tier (the §5.1 upper-bound model) |
+//! | [`lfu_schemes`] | NC, NC-EC, SC, SC-EC (LFU replacement) |
+//! | [`cost_benefit`] | FC, FC-EC (perfect-knowledge cost-benefit) |
+//! | [`hiergd`] | Hier-GD over the real Pastry P2P client cache |
+//! | [`metrics`] | average latency, hit breakdown, latency gain |
+//! | [`config`] | §5.1 sizing rules and the scheme registry |
+//! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
+//!
+//! # Quick start
+//!
+//! ```
+//! use webcache_sim::config::{run_experiment, ExperimentConfig, SchemeKind};
+//! use webcache_workload::{ProWGen, ProWGenConfig};
+//!
+//! // Two statistically identical client clusters (one per proxy).
+//! let traces: Vec<_> = (0..2)
+//!     .map(|p| ProWGen::new(ProWGenConfig {
+//!         requests: 20_000,
+//!         distinct_objects: 1_000,
+//!         seed: p,
+//!         ..ProWGenConfig::default()
+//!     }).generate())
+//!     .collect();
+//!
+//! let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.2), &traces);
+//! let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, 0.2);
+//! cfg.clients_per_cluster = 20; // keep the demo overlay small
+//! let hg = run_experiment(&cfg, &traces);
+//! let gain = webcache_sim::metrics::latency_gain_percent(&nc, &hg);
+//! assert!(gain > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost_benefit;
+pub mod engine;
+pub mod hiergd;
+pub mod lfu_schemes;
+pub mod metrics;
+pub mod net;
+pub mod site;
+pub mod squirrel;
+pub mod sweep;
+
+pub use config::{build_engine, run_experiment, ExperimentConfig, SchemeKind, Sizing};
+pub use engine::{run_engine, SchemeEngine};
+pub use hiergd::{HierGdEngine, HierGdOptions};
+pub use metrics::{latency_gain_percent, RunMetrics};
+pub use net::{HitClass, NetworkModel};
+pub use squirrel::SquirrelEngine;
+pub use sweep::{gain_curve, sweep, SweepResult, PAPER_CACHE_FRACS};

@@ -1,0 +1,135 @@
+//! Parallel (scheme × cache-size) sweeps — the shape of every figure.
+//!
+//! Each figure in the paper plots latency gain against proxy cache size
+//! (10%–100% of the infinite cache size) for a set of schemes. A sweep
+//! runs every (scheme, size) point plus the NC baseline per size, in
+//! parallel with Rayon (points are independent simulations), and reports
+//! gains.
+
+use crate::config::{run_experiment, ExperimentConfig, SchemeKind};
+use crate::metrics::{latency_gain_percent, RunMetrics};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use webcache_workload::Trace;
+
+/// The paper's x-axis: 10%..=100% in steps of 10%.
+pub const PAPER_CACHE_FRACS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One sweep point's result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Scheme simulated.
+    pub scheme: SchemeKind,
+    /// Proxy cache size as a fraction of `U`.
+    pub cache_frac: f64,
+    /// Raw metrics.
+    pub metrics: RunMetrics,
+    /// Latency gain vs the NC baseline at the same size, percent.
+    pub gain_percent: f64,
+}
+
+/// Runs `schemes` at every size in `fracs` over `traces`, computing gains
+/// against an NC baseline at the same size. `base` supplies everything but
+/// the scheme and size.
+pub fn sweep(
+    schemes: &[SchemeKind],
+    fracs: &[f64],
+    traces: &[Trace],
+    base: &ExperimentConfig,
+) -> Vec<SweepResult> {
+    // NC baselines, one per size (shared by every scheme at that size).
+    let baselines: Vec<RunMetrics> = fracs
+        .par_iter()
+        .map(|&f| {
+            let cfg = ExperimentConfig { scheme: SchemeKind::Nc, cache_frac: f, ..base.clone() };
+            run_experiment(&cfg, traces)
+        })
+        .collect();
+
+    let points: Vec<(SchemeKind, usize)> = schemes
+        .iter()
+        .flat_map(|&s| (0..fracs.len()).map(move |i| (s, i)))
+        .collect();
+
+    points
+        .into_par_iter()
+        .map(|(scheme, i)| {
+            let cache_frac = fracs[i];
+            let metrics = if scheme == SchemeKind::Nc {
+                baselines[i].clone()
+            } else {
+                let cfg = ExperimentConfig { scheme, cache_frac, ..base.clone() };
+                run_experiment(&cfg, traces)
+            };
+            let gain_percent = latency_gain_percent(&baselines[i], &metrics);
+            SweepResult { scheme, cache_frac, metrics, gain_percent }
+        })
+        .collect()
+}
+
+/// Extracts one scheme's gain curve (ordered by cache size) from sweep
+/// results.
+pub fn gain_curve(results: &[SweepResult], scheme: SchemeKind) -> Vec<(f64, f64)> {
+    let mut curve: Vec<(f64, f64)> = results
+        .iter()
+        .filter(|r| r.scheme == scheme)
+        .map(|r| (r.cache_frac, r.gain_percent))
+        .collect();
+    curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_workload::{ProWGen, ProWGenConfig};
+
+    fn traces() -> Vec<Trace> {
+        (0..2)
+            .map(|p| {
+                ProWGen::new(ProWGenConfig {
+                    requests: 8_000,
+                    distinct_objects: 600,
+                    num_clients: 8,
+                    seed: 55 + p,
+                    ..ProWGenConfig::default()
+                })
+                .generate()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_nc_gain_is_zero() {
+        let ts = traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 8;
+        let results =
+            sweep(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            if r.scheme == SchemeKind::Nc {
+                assert!(r.gain_percent.abs() < 1e-9, "NC vs itself must be 0");
+            }
+            assert_eq!(r.metrics.requests, 16_000);
+        }
+    }
+
+    #[test]
+    fn gain_curve_sorted() {
+        let ts = traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 8;
+        let results = sweep(&[SchemeKind::Sc], &[0.5, 0.1, 0.3], &ts, &base);
+        let curve = gain_curve(&results, SchemeKind::Sc);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn paper_fracs_are_the_figure_axis() {
+        assert_eq!(PAPER_CACHE_FRACS.len(), 10);
+        assert!((PAPER_CACHE_FRACS[0] - 0.1).abs() < 1e-12);
+        assert!((PAPER_CACHE_FRACS[9] - 1.0).abs() < 1e-12);
+    }
+}

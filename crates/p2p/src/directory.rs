@@ -1,0 +1,194 @@
+//! The proxy's lookup directory over its P2P client cache (§4.2).
+//!
+//! "The local proxy needs to maintain a directory of cached objects in its
+//! P2P client cache for lookup." The paper proposes two representations:
+//!
+//! * **Exact-Directory** — "a hashtable composed of the objectIds of all
+//!   the cached objects in a P2P client cache": no false positives, memory
+//!   proportional to the number of cached objects (16 bytes per objectId
+//!   here, plus table overhead).
+//! * **Bloom Filter** — "a tradeoff between the memory requirement and the
+//!   false positive ratio (which induces false indications that the
+//!   requested objects are in the P2P client cache)". Because client
+//!   caches report evictions back to the proxy (Fig. 1 step 14), the
+//!   filter must support deletion, so the Bloom variant is a *counting*
+//!   Bloom filter.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use webcache_primitives::CountingBloomFilter;
+
+/// Which directory representation the proxy uses.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DirectoryKind {
+    /// Exact hashtable of objectIds.
+    Exact,
+    /// Counting Bloom filter sized at `counters_per_key` 4-bit counters
+    /// per expected entry.
+    Bloom {
+        /// Counters per expected key (memory knob; ~0.5 bytes each).
+        counters_per_key: f64,
+        /// Expected number of simultaneously cached objects (the P2P
+        /// cache's aggregate capacity).
+        expected_entries: usize,
+    },
+}
+
+/// A proxy-side lookup directory.
+#[derive(Clone, Debug)]
+pub enum LookupDirectory {
+    /// Exact hashtable.
+    Exact(HashSet<u128>),
+    /// Counting Bloom filter.
+    Bloom(CountingBloomFilter),
+}
+
+impl LookupDirectory {
+    /// Builds the directory described by `kind`.
+    pub fn new(kind: DirectoryKind) -> Self {
+        match kind {
+            DirectoryKind::Exact => LookupDirectory::Exact(HashSet::new()),
+            DirectoryKind::Bloom { counters_per_key, expected_entries } => LookupDirectory::Bloom(
+                CountingBloomFilter::with_capacity(expected_entries, counters_per_key),
+            ),
+        }
+    }
+
+    /// Records that `object` is now stored in the P2P client cache.
+    pub fn insert(&mut self, object: u128) {
+        match self {
+            LookupDirectory::Exact(s) => {
+                s.insert(object);
+            }
+            LookupDirectory::Bloom(f) => f.insert(object),
+        }
+    }
+
+    /// Records that `object` left the P2P client cache.
+    pub fn remove(&mut self, object: u128) {
+        match self {
+            LookupDirectory::Exact(s) => {
+                s.remove(&object);
+            }
+            LookupDirectory::Bloom(f) => f.remove(object),
+        }
+    }
+
+    /// Membership test ("might be stored in its P2P client cache").
+    /// Exact directories never err; Bloom directories may return false
+    /// positives, never false negatives.
+    pub fn contains(&self, object: u128) -> bool {
+        match self {
+            LookupDirectory::Exact(s) => s.contains(&object),
+            LookupDirectory::Bloom(f) => f.contains(object),
+        }
+    }
+
+    /// Entries currently recorded (net inserts minus removes).
+    pub fn len(&self) -> usize {
+        match self {
+            LookupDirectory::Exact(s) => s.len(),
+            LookupDirectory::Bloom(f) => f.len() as usize,
+        }
+    }
+
+    /// True if no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory footprint in bytes — the quantity the §4.2
+    /// trade-off is about.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            // 16 bytes of objectId per entry; hash-set overhead (control
+            // bytes + load factor) folded into a conservative 1.2 factor.
+            LookupDirectory::Exact(s) => (s.len() * 16 * 6 / 5).max(16),
+            LookupDirectory::Bloom(f) => f.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize, salt: u128) -> Vec<u128> {
+        (0..n as u128).map(|i| i * 0x9E37_79B9_7F4A_7C15 + salt + 1).collect()
+    }
+
+    #[test]
+    fn exact_roundtrip() {
+        let mut d = LookupDirectory::new(DirectoryKind::Exact);
+        for &k in &ids(100, 0) {
+            d.insert(k);
+        }
+        assert_eq!(d.len(), 100);
+        for &k in &ids(100, 0) {
+            assert!(d.contains(k));
+        }
+        for &k in &ids(100, 10_000) {
+            assert!(!d.contains(k), "exact directory must not false-positive");
+        }
+        for &k in &ids(100, 0) {
+            d.remove(k);
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bloom_no_false_negatives_and_deletes() {
+        let kind = DirectoryKind::Bloom { counters_per_key: 12.0, expected_entries: 500 };
+        let mut d = LookupDirectory::new(kind);
+        let present = ids(500, 1);
+        for &k in &present {
+            d.insert(k);
+        }
+        for &k in &present {
+            assert!(d.contains(k));
+        }
+        for &k in &present[..250] {
+            d.remove(k);
+        }
+        for &k in &present[250..] {
+            assert!(d.contains(k), "remaining keys must survive unrelated removes");
+        }
+        assert_eq!(d.len(), 250);
+    }
+
+    #[test]
+    fn bloom_smaller_than_exact_at_low_bits() {
+        let n = 10_000;
+        let mut exact = LookupDirectory::new(DirectoryKind::Exact);
+        let mut bloom = LookupDirectory::new(DirectoryKind::Bloom {
+            counters_per_key: 8.0,
+            expected_entries: n,
+        });
+        for &k in &ids(n, 2) {
+            exact.insert(k);
+            bloom.insert(k);
+        }
+        assert!(
+            bloom.size_bytes() < exact.size_bytes(),
+            "bloom {} vs exact {}",
+            bloom.size_bytes(),
+            exact.size_bytes()
+        );
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_reasonable() {
+        let n = 2_000;
+        let mut d = LookupDirectory::new(DirectoryKind::Bloom {
+            counters_per_key: 12.0,
+            expected_entries: n,
+        });
+        for &k in &ids(n, 3) {
+            d.insert(k);
+        }
+        let absent = ids(20_000, 777_777);
+        let fp = absent.iter().filter(|&&k| d.contains(k)).count();
+        let rate = fp as f64 / absent.len() as f64;
+        assert!(rate < 0.02, "false positive rate {rate}");
+    }
+}

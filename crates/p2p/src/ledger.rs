@@ -1,0 +1,94 @@
+//! Message and connection accounting.
+//!
+//! The paper argues two mechanisms keep the P2P client cache cheap to run:
+//! piggybacking evicted objects onto HTTP responses (§4.4, "no new
+//! connections need to be made") and the push protocol for firewall-safe
+//! sharing with cooperating proxies (§4.5). The ledger counts the traffic
+//! each mechanism generates so the `ablation_piggyback` bench can quantify
+//! the claim.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative message/connection counters for one P2P client cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageLedger {
+    /// Individual Pastry hop messages (routing traffic on the LAN).
+    pub overlay_messages: u64,
+    /// New connections opened between the proxy and client caches
+    /// (piggybacking exists to keep this at zero for destaging).
+    pub new_connections: u64,
+    /// Evicted objects destaged by piggybacking on an HTTP response.
+    pub piggybacked_objects: u64,
+    /// Evicted objects destaged over a dedicated proxy→client connection.
+    pub direct_destages: u64,
+    /// Store receipts sent from client caches to the proxy (Fig. 1 steps
+    /// 5/10/14) — these ride the existing client↔proxy channel.
+    pub store_receipts: u64,
+    /// Objects diverted to a leaf-set neighbor (§4.3).
+    pub diversions: u64,
+    /// Lookup redirects into the P2P cache.
+    pub lookups: u64,
+    /// Lookups the directory approved but the cache could not serve
+    /// (Bloom false positives, or post-churn staleness).
+    pub stale_lookups: u64,
+    /// Push-protocol fetches on behalf of cooperating proxies (§4.5).
+    pub pushes: u64,
+}
+
+impl MessageLedger {
+    /// Total destaged objects by either mechanism.
+    pub fn destages(&self) -> u64 {
+        self.piggybacked_objects + self.direct_destages
+    }
+
+    /// Fraction of approved lookups that could not be served.
+    pub fn stale_lookup_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.stale_lookups as f64 / self.lookups as f64
+        }
+    }
+
+    /// Adds another ledger's counts into this one.
+    pub fn merge(&mut self, other: &MessageLedger) {
+        self.overlay_messages += other.overlay_messages;
+        self.new_connections += other.new_connections;
+        self.piggybacked_objects += other.piggybacked_objects;
+        self.direct_destages += other.direct_destages;
+        self.store_receipts += other.store_receipts;
+        self.diversions += other.diversions;
+        self.lookups += other.lookups;
+        self.stale_lookups += other.stale_lookups;
+        self.pushes += other.pushes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MessageLedger { overlay_messages: 1, pushes: 2, ..Default::default() };
+        let b = MessageLedger { overlay_messages: 10, lookups: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.overlay_messages, 11);
+        assert_eq!(a.pushes, 2);
+        assert_eq!(a.lookups, 5);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let l = MessageLedger {
+            piggybacked_objects: 3,
+            direct_destages: 2,
+            lookups: 10,
+            stale_lookups: 1,
+            ..Default::default()
+        };
+        assert_eq!(l.destages(), 5);
+        assert!((l.stale_lookup_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(MessageLedger::default().stale_lookup_rate(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! The **P2P client cache** of "Exploiting Client Caches" (§4).
+//!
+//! The cooperative halves of all client browser caches in a client cluster
+//! federate — over the Pastry overlay from `webcache-pastry` — into one
+//! large secondary cache behind the local proxy:
+//!
+//! * [`cache::P2PClientCache`] — the federation itself: destage (Fig. 1,
+//!   with object diversion per §4.3), lookup/fetch, the push protocol
+//!   (§4.5), failure handling, and invariant checking;
+//! * [`directory`] — the proxy's lookup directory (§4.2): an exact
+//!   hashtable or a counting Bloom filter;
+//! * [`ledger`] — message/connection accounting for the piggybacking
+//!   (§4.4) and push (§4.5) mechanisms.
+//!
+//! The crate is purely in-process: the overlay stands in for the corporate
+//! LAN, hop counts stand in for LAN messages, and actual latency costs are
+//! applied by the simulator in `webcache-sim` through its `Tp2p` network
+//! parameter, mirroring the paper's own simulation assumptions (§5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod directory;
+pub mod ledger;
+
+pub use cache::{
+    object_id_for_url, ClientCacheNode, DestageOutcome, FetchOutcome, P2PClientCache,
+    P2PClientCacheConfig,
+};
+pub use directory::{DirectoryKind, LookupDirectory};
+pub use ledger::MessageLedger;

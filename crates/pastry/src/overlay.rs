@@ -1,0 +1,592 @@
+//! The simulated overlay: membership, join/failure protocols and routing.
+
+use crate::id::NodeId;
+use crate::state::{NodeState, PastryConfig};
+use std::collections::BTreeMap;
+
+/// Result of routing a key from a starting node.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    /// Nodes visited, starting node first, destination last.
+    pub path: Vec<NodeId>,
+    /// The node the message was delivered to.
+    pub destination: NodeId,
+}
+
+impl RouteOutcome {
+    /// Overlay hops taken (`path` transitions).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// A deterministic, in-process Pastry overlay.
+///
+/// The overlay owns every node's [`NodeState`] and simulates the message
+/// exchanges of the join/failure/routing protocols directly. Nothing ever
+/// consults global knowledge during *routing* — messages only follow
+/// per-node state, so hop counts and delivery correctness are real
+/// measurements; global knowledge is used only where the real protocol
+/// would use the physical network (choosing a join seed, enumerating the
+/// nodes that must be notified of a failure they would detect by timeout).
+#[derive(Clone, Debug)]
+pub struct Overlay {
+    cfg: PastryConfig,
+    nodes: BTreeMap<u128, NodeState>,
+}
+
+impl Overlay {
+    /// An empty overlay.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`PastryConfig`].
+    pub fn new(cfg: PastryConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid PastryConfig: {e}");
+        }
+        Overlay { cfg, nodes: BTreeMap::new() }
+    }
+
+    /// Builds an overlay by joining `ids` one at a time.
+    pub fn with_nodes(cfg: PastryConfig, ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut o = Self::new(cfg);
+        for id in ids {
+            o.join(id);
+        }
+        o
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.cfg
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if `id` is a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id.0)
+    }
+
+    /// Iterates over live node ids in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().map(|&k| NodeId(k))
+    }
+
+    /// Borrows a node's state.
+    pub fn state(&self, id: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&id.0)
+    }
+
+    /// Ground truth: the live node numerically closest to `key` (ties to
+    /// the smaller id). This is where the DHT *should* place `key`.
+    pub fn owner_of(&self, key: NodeId) -> Option<NodeId> {
+        let mut best: Option<(u128, NodeId)> = None;
+        // Only the nearest id below and above (with wraparound) can win.
+        let above = self
+            .nodes
+            .range(key.0..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&k, _)| NodeId(k));
+        let below = self
+            .nodes
+            .range(..=key.0)
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&k, _)| NodeId(k));
+        for cand in [above, below].into_iter().flatten() {
+            let d = cand.distance(key);
+            let better = match best {
+                None => true,
+                Some((bd, bid)) => d < bd || (d == bd && cand.0 < bid.0),
+            };
+            if better {
+                best = Some((d, cand));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Joins a new node, building its state through the join protocol:
+    /// route a join message from a seed to `new_id`, copy the routing-table
+    /// rows of the nodes along the path and the leaf set of the closest
+    /// existing node, then announce the new node to everyone it learned of.
+    ///
+    /// Returns the join route's hop count (0 for the first node).
+    ///
+    /// # Panics
+    /// Panics if `new_id` is already a member.
+    pub fn join(&mut self, new_id: NodeId) -> usize {
+        assert!(!self.contains(new_id), "node {new_id} already joined");
+        if self.nodes.is_empty() {
+            self.nodes.insert(new_id.0, NodeState::new(new_id, self.cfg));
+            return 0;
+        }
+        // Seed: the real protocol uses any nearby live node; we pick the
+        // deterministic first node in id order.
+        let seed = NodeId(*self.nodes.keys().next().expect("non-empty"));
+        let route = self.route(seed, new_id).expect("routing in a live overlay");
+        let mut x = NodeState::new(new_id, self.cfg);
+        // Copy state from the path: node i contributes the row matching
+        // its shared prefix with the new node (prefixes grow along the
+        // path), and every path node is itself a candidate.
+        for &p in &route.path {
+            let ps = &self.nodes[&p.0];
+            let row = new_id.shared_prefix_digits(p, self.cfg.b).min(self.cfg.digits() - 1);
+            for entry in ps.table_row(row).iter().flatten() {
+                if *entry != new_id {
+                    x.consider_for_table(*entry);
+                }
+            }
+            x.consider_for_table(p);
+            x.consider_for_leaf(p);
+        }
+        // The destination is the numerically closest node: copy its leaf
+        // set, and exchange routing state with those leaf members (the
+        // join-time state exchange of the protocol) to densify tables.
+        let z = route.destination;
+        for m in self.nodes[&z.0].leaf_members() {
+            if m != new_id {
+                x.consider_for_leaf(m);
+                x.consider_for_table(m);
+            }
+        }
+        for m in x.leaf_members() {
+            if let Some(ms) = self.nodes.get(&m.0) {
+                for peer in ms.known_nodes() {
+                    if peer != new_id {
+                        x.consider_for_table(peer);
+                    }
+                }
+            }
+        }
+        // Announce: every node the new node learned about gets to consider
+        // it for its own state (this reaches all of X's true ring
+        // neighbors, because they are all in Z's leaf set).
+        let known = x.known_nodes();
+        self.nodes.insert(new_id.0, x);
+        for k in known {
+            if let Some(ks) = self.nodes.get_mut(&k.0) {
+                ks.consider_for_leaf(new_id);
+                ks.consider_for_table(new_id);
+            }
+        }
+        route.hops()
+    }
+
+    /// Removes a node as a crash failure and runs the leaf-set repair
+    /// protocol: every node that held the failed node drops it and then
+    /// gossips with its remaining leaf-set members until leaf sets reach a
+    /// fixpoint.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member.
+    pub fn fail(&mut self, id: NodeId) {
+        assert!(self.contains(id), "node {id} is not a member");
+        self.nodes.remove(&id.0);
+        for s in self.nodes.values_mut() {
+            s.remove_from_leaf(id);
+            s.remove_from_table(id);
+        }
+        self.repair_leaf_sets();
+    }
+
+    /// Gossip leaf-set repair: each node offers its leaf set to its leaf
+    /// members, rounds repeating until nothing changes. This is the steady
+    /// state the real lazy repair protocol converges to.
+    fn repair_leaf_sets(&mut self) {
+        loop {
+            let mut changed = false;
+            let ids: Vec<u128> = self.nodes.keys().copied().collect();
+            for &y in &ids {
+                // Collect the candidates first (a gossip "pull" from the
+                // node's current leaf members), then apply.
+                let members = self.nodes[&y].leaf_members();
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for m in &members {
+                    if let Some(ms) = self.nodes.get(&m.0) {
+                        candidates.extend(ms.leaf_members());
+                    }
+                }
+                let ys = self.nodes.get_mut(&y).expect("live node");
+                for c in candidates {
+                    if c.0 != y {
+                        changed |= ys.consider_for_leaf(c);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Routes `key` from node `from` following per-node state only.
+    ///
+    /// Returns `None` if `from` is not a live node. The returned path
+    /// starts at `from` and ends at the delivering node.
+    pub fn route(&self, from: NodeId, key: NodeId) -> Option<RouteOutcome> {
+        if !self.contains(from) {
+            return None;
+        }
+        let mut current = from;
+        let mut path = vec![current];
+        // Once prefix routing dead-ends (empty slot, no prefix-preserving
+        // closer node) the route switches permanently to greedy
+        // closest-known-node forwarding, which strictly decreases the
+        // circular distance each hop — with correct leaf sets a strictly
+        // closer known node always exists until the owner is reached, so
+        // greedy mode both terminates and delivers correctly.
+        let mut greedy_mode = false;
+        // Termination is structural (prefix growth, then strict distance
+        // decrease); the budget is a tripwire for protocol bugs.
+        let budget = 4 * self.cfg.digits() + self.cfg.leaf_set_size + 4;
+        for _ in 0..budget {
+            let s = &self.nodes[&current.0];
+            if current == key {
+                return Some(RouteOutcome { path, destination: current });
+            }
+            if s.leaf_covers(key) {
+                // Pastry's delivery rule: when the key falls inside the
+                // leaf-set range, the message is forwarded to the leaf
+                // member numerically closest to the key as its FINAL hop.
+                // Continuing to route from there would mix the prefix and
+                // numeric-distance metrics and can bounce between two
+                // nodes with inconsistent partial views (e.g. mid-join).
+                let closest = s.closest_in_leaf(key);
+                if closest != current {
+                    path.push(closest);
+                }
+                return Some(RouteOutcome { path, destination: closest });
+            }
+            let my_d = current.distance(key);
+            let next = if greedy_mode {
+                None
+            } else {
+                let row = current.shared_prefix_digits(key, self.cfg.b);
+                let col = key.digit(row, self.cfg.b) as usize;
+                s.table_entry(row, col).or_else(|| {
+                    // Pastry's rare case: any known node strictly closer
+                    // to the key sharing at least as long a prefix.
+                    s.known_nodes()
+                        .into_iter()
+                        .filter(|n| {
+                            n.shared_prefix_digits(key, self.cfg.b) >= row
+                                && n.distance(key) < my_d
+                        })
+                        .min_by_key(|n| n.distance(key))
+                })
+            };
+            let next = match next {
+                Some(n) => n,
+                None => {
+                    greedy_mode = true;
+                    let best = s
+                        .known_nodes()
+                        .into_iter()
+                        .filter(|n| n.distance(key) < my_d)
+                        .min_by_key(|n| n.distance(key));
+                    match best {
+                        Some(n) => n,
+                        // No known node closer than us: with consistent
+                        // leaf sets this means we are the owner.
+                        None => return Some(RouteOutcome { path, destination: current }),
+                    }
+                }
+            };
+            debug_assert!(
+                self.nodes.contains_key(&next.0),
+                "routing state references dead node {next}"
+            );
+            current = next;
+            path.push(current);
+        }
+        panic!(
+            "routing from {from} to {key} exceeded the hop budget ({budget}); \
+             overlay state is inconsistent"
+        );
+    }
+
+    /// Routes from `from` and asserts (in tests) nothing: convenience that
+    /// returns the delivering node only.
+    pub fn lookup(&self, from: NodeId, key: NodeId) -> Option<NodeId> {
+        self.route(from, key).map(|r| r.destination)
+    }
+
+    /// Checks structural invariants against ground truth; returns a list
+    /// of violations (empty = consistent). Used by tests and after churn.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let ids: Vec<u128> = self.nodes.keys().copied().collect();
+        let n = ids.len();
+        let half = self.cfg.leaf_set_size / 2;
+        for (i, &id) in ids.iter().enumerate() {
+            let s = &self.nodes[&id];
+            // Expected ring neighbors from ground truth.
+            let expect_cw: Vec<NodeId> =
+                (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + k) % n])).collect();
+            let expect_ccw: Vec<NodeId> =
+                (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + n - k) % n])).collect();
+            if s.leaf_cw() != expect_cw.as_slice() {
+                problems.push(format!(
+                    "node {id:032x}: cw leaf set {:?} != expected {:?}",
+                    s.leaf_cw(),
+                    expect_cw
+                ));
+            }
+            if s.leaf_ccw() != expect_ccw.as_slice() {
+                problems.push(format!(
+                    "node {id:032x}: ccw leaf set {:?} != expected {:?}",
+                    s.leaf_ccw(),
+                    expect_ccw
+                ));
+            }
+            // Routing-table entries must be live and in the right slot.
+            for row in 0..self.cfg.digits() {
+                for (col, e) in s.table_row(row).iter().enumerate() {
+                    if let Some(peer) = e {
+                        if !self.contains(*peer) {
+                            problems.push(format!(
+                                "node {id:032x}: table[{row}][{col}] references dead {peer}"
+                            ));
+                        } else if s.slot_for(*peer) != Some((row, col)) {
+                            problems.push(format!(
+                                "node {id:032x}: table[{row}][{col}] holds misplaced {peer}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_ids(n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut v = Vec::with_capacity(n);
+        while v.len() < n {
+            let id: u128 = rng.random();
+            if seen.insert(id) {
+                v.push(NodeId(id));
+            }
+        }
+        v
+    }
+
+    fn build(n: usize, seed: u64) -> Overlay {
+        Overlay::with_nodes(PastryConfig::default(), rand_ids(n, seed))
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut o = Overlay::new(PastryConfig::default());
+        assert!(o.is_empty());
+        assert!(o.owner_of(NodeId(42)).is_none());
+        o.join(NodeId(7));
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.owner_of(NodeId(u128::MAX)), Some(NodeId(7)));
+        let r = o.route(NodeId(7), NodeId(999)).unwrap();
+        assert_eq!(r.destination, NodeId(7));
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn owner_is_numerically_closest() {
+        let o = Overlay::with_nodes(
+            PastryConfig::default(),
+            [NodeId(100), NodeId(200), NodeId(u128::MAX - 50)],
+        );
+        assert_eq!(o.owner_of(NodeId(120)), Some(NodeId(100)));
+        assert_eq!(o.owner_of(NodeId(160)), Some(NodeId(200)));
+        assert_eq!(o.owner_of(NodeId(150)), Some(NodeId(100))); // tie -> smaller
+        assert_eq!(o.owner_of(NodeId(u128::MAX - 10)), Some(NodeId(u128::MAX - 50)));
+        // Wraparound: 10 is closer to MAX-50 (distance 61) than to 100 (90).
+        assert_eq!(o.owner_of(NodeId(10)), Some(NodeId(u128::MAX - 50)));
+    }
+
+    #[test]
+    fn invariants_after_sequential_joins() {
+        let o = build(64, 1);
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn routing_delivers_to_owner_from_every_node() {
+        let o = build(50, 2);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let key = NodeId(rng.random());
+            let owner = o.owner_of(key).unwrap();
+            for from in o.node_ids().step_by(7) {
+                let got = o.lookup(from, key).unwrap();
+                assert_eq!(got, owner, "key {key} from {from}");
+            }
+        }
+    }
+
+    #[test]
+    fn hop_bound_log2b_n() {
+        // §4.1: routing takes ⌈log_2^b N⌉ hops; allow +1 for the final
+        // leaf-set hop as the paper itself does ("3 < log16(1024)+1 < 4").
+        for n in [16usize, 64, 256] {
+            let o = build(n, 3);
+            let bound = (n as f64).log(16.0).ceil() as usize + 1;
+            let mut rng = SmallRng::seed_from_u64(5);
+            let froms: Vec<NodeId> = o.node_ids().collect();
+            let mut max_hops = 0;
+            for _ in 0..300 {
+                let key = NodeId(rng.random());
+                let from = froms[rng.random_range(0..froms.len())];
+                let r = o.route(from, key).unwrap();
+                max_hops = max_hops.max(r.hops());
+            }
+            assert!(max_hops <= bound, "n={n}: max {max_hops} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn failure_repairs_leaf_sets() {
+        let mut o = build(40, 4);
+        let victims: Vec<NodeId> = o.node_ids().step_by(5).collect();
+        for v in victims {
+            o.fail(v);
+        }
+        assert_eq!(o.len(), 32);
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn routing_correct_after_churn() {
+        let mut o = build(48, 6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Interleave failures and joins.
+        for round in 0..6 {
+            let victim = o.node_ids().nth(round * 3 % o.len()).unwrap();
+            o.fail(victim);
+            o.join(NodeId(rng.random()));
+        }
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        for _ in 0..100 {
+            let key = NodeId(rng.random());
+            let owner = o.owner_of(key).unwrap();
+            let from = o.node_ids().next().unwrap();
+            assert_eq!(o.lookup(from, key), Some(owner));
+        }
+    }
+
+    #[test]
+    fn shrink_to_tiny_overlay() {
+        let mut o = build(8, 8);
+        let ids: Vec<NodeId> = o.node_ids().collect();
+        for &id in &ids[..6] {
+            o.fail(id);
+        }
+        assert_eq!(o.len(), 2);
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        let key = NodeId(12345);
+        let owner = o.owner_of(key).unwrap();
+        for from in o.node_ids() {
+            assert_eq!(o.lookup(from, key), Some(owner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already joined")]
+    fn double_join_panics() {
+        let mut o = Overlay::new(PastryConfig::default());
+        o.join(NodeId(1));
+        o.join(NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn failing_unknown_panics() {
+        let mut o = Overlay::new(PastryConfig::default());
+        o.fail(NodeId(1));
+    }
+
+    #[test]
+    fn join_hops_reported() {
+        let mut o = Overlay::new(PastryConfig::default());
+        assert_eq!(o.join(NodeId(1)), 0);
+        // Subsequent joins route through the overlay; hop counts are small
+        // but path length is at least 0.
+        for id in rand_ids(20, 11) {
+            let _ = o.join(id);
+        }
+        assert_eq!(o.len(), 21);
+    }
+
+    #[test]
+    fn route_from_unknown_node_is_none() {
+        let o = build(4, 12);
+        assert!(o.route(NodeId(0xDEAD), NodeId(1)).is_none() || o.contains(NodeId(0xDEAD)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn random_churn_schedules_preserve_invariants(
+            seed in 0u64..500,
+            // Each step: true = join a random node, false = fail one.
+            schedule in proptest::collection::vec(proptest::prelude::any::<bool>(), 4..24),
+        ) {
+            let mut o = build(12, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x417);
+            for join in schedule {
+                if join {
+                    let mut id = NodeId(rng.random());
+                    while o.contains(id) {
+                        id = NodeId(rng.random());
+                    }
+                    o.join(id);
+                } else if o.len() > 2 {
+                    let victim = o.node_ids().nth(rng.random_range(0..o.len())).expect("non-empty");
+                    o.fail(victim);
+                }
+                let problems = o.check_invariants();
+                proptest::prop_assert!(problems.is_empty(), "{:?}", problems.first());
+                // Routing stays correct after every membership change.
+                let key = NodeId(rng.random());
+                let from = o.node_ids().next().expect("non-empty");
+                proptest::prop_assert_eq!(o.lookup(from, key), o.owner_of(key));
+            }
+        }
+
+        #[test]
+        fn random_overlays_route_correctly(seed in 0u64..500, n in 2usize..40) {
+            let o = build(n, seed);
+            let problems = o.check_invariants();
+            proptest::prop_assert!(problems.is_empty(), "{:?}", problems);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+            let froms: Vec<NodeId> = o.node_ids().collect();
+            for _ in 0..20 {
+                let key = NodeId(rng.random());
+                let owner = o.owner_of(key).unwrap();
+                let from = froms[rng.random_range(0..froms.len())];
+                proptest::prop_assert_eq!(o.lookup(from, key), Some(owner));
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Per-node Pastry routing state: leaf set and prefix routing table.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Overlay configuration.
+///
+/// `b` is Pastry's digit width (the paper quotes hop counts for `b = 4`,
+/// i.e. base-16 digits) and `leaf_set_size` is `l`, "a configuration
+/// parameter in Pastry with typical value 16" (§4.3).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PastryConfig {
+    /// Digit width in bits; must divide 128 (1, 2, 4 or 8).
+    pub b: u32,
+    /// Total leaf-set size `l` (split evenly between the clockwise and
+    /// counter-clockwise sides); must be even and positive.
+    pub leaf_set_size: usize,
+}
+
+impl Default for PastryConfig {
+    fn default() -> Self {
+        PastryConfig { b: 4, leaf_set_size: 16 }
+    }
+}
+
+impl PastryConfig {
+    /// Number of digits in an id (`128 / b`).
+    pub fn digits(&self) -> usize {
+        (128 / self.b) as usize
+    }
+
+    /// Number of columns per routing-table row (`2^b`).
+    pub fn cols(&self) -> usize {
+        1usize << self.b
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.b == 0 || 128 % self.b != 0 || self.b > 8 {
+            return Err(format!("b must be one of 1,2,4,8 (got {})", self.b));
+        }
+        if self.leaf_set_size == 0 || !self.leaf_set_size.is_multiple_of(2) {
+            return Err("leaf_set_size must be positive and even".into());
+        }
+        Ok(())
+    }
+}
+
+/// Routing state of a single Pastry node.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    id: NodeId,
+    /// Up to `l/2` nearest nodes clockwise (increasing id, wrapping),
+    /// ordered nearest-first.
+    leaf_cw: Vec<NodeId>,
+    /// Up to `l/2` nearest nodes counter-clockwise, ordered nearest-first.
+    leaf_ccw: Vec<NodeId>,
+    /// `digits() × cols()` table; `table[r][c]` holds a node sharing `r`
+    /// digits of prefix with `id` whose digit `r` is `c`.
+    table: Vec<Option<NodeId>>,
+    cfg: PastryConfig,
+}
+
+impl NodeState {
+    /// Fresh state for node `id`.
+    pub fn new(id: NodeId, cfg: PastryConfig) -> Self {
+        NodeState {
+            id,
+            leaf_cw: Vec::with_capacity(cfg.leaf_set_size / 2),
+            leaf_ccw: Vec::with_capacity(cfg.leaf_set_size / 2),
+            table: vec![None; cfg.digits() * cfg.cols()],
+            cfg,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.cfg
+    }
+
+    fn slot(&self, row: usize, col: usize) -> usize {
+        row * self.cfg.cols() + col
+    }
+
+    /// Routing-table entry at (`row`, `col`).
+    pub fn table_entry(&self, row: usize, col: usize) -> Option<NodeId> {
+        self.table[self.slot(row, col)]
+    }
+
+    /// The routing-table slot a peer belongs in: row = shared prefix
+    /// digits, col = the peer's first differing digit. `None` for self.
+    pub fn slot_for(&self, peer: NodeId) -> Option<(usize, usize)> {
+        if peer == self.id {
+            return None;
+        }
+        let row = self.id.shared_prefix_digits(peer, self.cfg.b);
+        let col = peer.digit(row, self.cfg.b) as usize;
+        Some((row, col))
+    }
+
+    /// Records `peer` in the routing table if its slot is empty.
+    /// Returns true if the table changed.
+    pub fn consider_for_table(&mut self, peer: NodeId) -> bool {
+        if let Some((row, col)) = self.slot_for(peer) {
+            let s = self.slot(row, col);
+            if self.table[s].is_none() {
+                self.table[s] = Some(peer);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `peer` from the routing table wherever it appears.
+    pub fn remove_from_table(&mut self, peer: NodeId) {
+        if let Some((row, col)) = self.slot_for(peer) {
+            let s = self.slot(row, col);
+            if self.table[s] == Some(peer) {
+                self.table[s] = None;
+            }
+        }
+    }
+
+    /// Considers `peer` for the leaf set, keeping each side at `l/2`
+    /// nearest-first. Returns true if the leaf set changed.
+    pub fn consider_for_leaf(&mut self, peer: NodeId) -> bool {
+        if peer == self.id {
+            return false;
+        }
+        let half = self.cfg.leaf_set_size / 2;
+        let me = self.id;
+        let insert = |list: &mut Vec<NodeId>, key: &dyn Fn(NodeId) -> u128| -> bool {
+            if list.contains(&peer) {
+                return false;
+            }
+            let pos = list.partition_point(|&n| key(n) < key(peer));
+            if pos < half {
+                list.insert(pos, peer);
+                list.truncate(half);
+                true
+            } else {
+                false
+            }
+        };
+        // A peer is strictly on one side of the ring relative to `me`
+        // (clockwise if its clockwise distance is the shorter arc… no —
+        // leaf sets take the l/2 *successors* and l/2 *predecessors*, so a
+        // peer is a candidate for both sides; on a sparsely populated ring
+        // the same node can legitimately appear as both a near successor
+        // and a near predecessor).
+        let cw = insert(&mut self.leaf_cw, &|n| me.clockwise_distance(n));
+        let ccw = insert(&mut self.leaf_ccw, &|n| n.clockwise_distance(me));
+        cw || ccw
+    }
+
+    /// Removes `peer` from the leaf set; returns true if present.
+    pub fn remove_from_leaf(&mut self, peer: NodeId) -> bool {
+        let a = self.leaf_cw.iter().position(|&n| n == peer).map(|i| self.leaf_cw.remove(i));
+        let b = self.leaf_ccw.iter().position(|&n| n == peer).map(|i| self.leaf_ccw.remove(i));
+        a.is_some() || b.is_some()
+    }
+
+    /// True if the leaf set (either side) contains `peer`.
+    pub fn leaf_contains(&self, peer: NodeId) -> bool {
+        self.leaf_cw.contains(&peer) || self.leaf_ccw.contains(&peer)
+    }
+
+    /// All distinct leaf-set members.
+    pub fn leaf_members(&self) -> Vec<NodeId> {
+        let mut v = self.leaf_cw.clone();
+        for &n in &self.leaf_ccw {
+            if !v.contains(&n) {
+                v.push(n);
+            }
+        }
+        v
+    }
+
+    /// Clockwise side of the leaf set, nearest first.
+    pub fn leaf_cw(&self) -> &[NodeId] {
+        &self.leaf_cw
+    }
+
+    /// Counter-clockwise side of the leaf set, nearest first.
+    pub fn leaf_ccw(&self) -> &[NodeId] {
+        &self.leaf_ccw
+    }
+
+    /// True if `key` falls inside the arc covered by the leaf set
+    /// (between the farthest counter-clockwise and farthest clockwise
+    /// members, inclusive). With an undersized leaf set (fewer members
+    /// than `l/2` on a side — only possible in tiny overlays) the whole
+    /// ring is covered.
+    pub fn leaf_covers(&self, key: NodeId) -> bool {
+        let half = self.cfg.leaf_set_size / 2;
+        if self.leaf_cw.len() < half || self.leaf_ccw.len() < half {
+            // Fewer nodes than the leaf set wants to hold: the leaf set is
+            // the whole overlay.
+            return true;
+        }
+        let from = *self.leaf_ccw.last().expect("non-empty side");
+        let to = *self.leaf_cw.last().expect("non-empty side");
+        key.in_arc(from, to)
+    }
+
+    /// The leaf-set member (or self) numerically closest to `key`;
+    /// ties break toward the smaller id, matching
+    /// `Overlay::owner_of`.
+    pub fn closest_in_leaf(&self, key: NodeId) -> NodeId {
+        let mut best = self.id;
+        let mut best_d = self.id.distance(key);
+        for &n in self.leaf_cw.iter().chain(&self.leaf_ccw) {
+            let d = n.distance(key);
+            if d < best_d || (d == best_d && n.0 < best.0) {
+                best = n;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// All nodes this state knows about (leaf set + routing table).
+    pub fn known_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.leaf_members();
+        for e in self.table.iter().flatten() {
+            if !v.contains(e) {
+                v.push(*e);
+            }
+        }
+        v
+    }
+
+    /// Routing-table row `row` as a slice of options.
+    pub fn table_row(&self, row: usize) -> &[Option<NodeId>] {
+        let c = self.cfg.cols();
+        &self.table[row * c..(row + 1) * c]
+    }
+
+    /// Number of populated routing-table entries.
+    pub fn table_population(&self) -> usize {
+        self.table.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u128) -> NodeId {
+        NodeId(v)
+    }
+
+    fn cfg() -> PastryConfig {
+        PastryConfig { b: 4, leaf_set_size: 4 }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PastryConfig::default().validate().is_ok());
+        assert!(PastryConfig { b: 3, leaf_set_size: 16 }.validate().is_err());
+        assert!(PastryConfig { b: 0, leaf_set_size: 16 }.validate().is_err());
+        assert!(PastryConfig { b: 4, leaf_set_size: 3 }.validate().is_err());
+        assert!(PastryConfig { b: 4, leaf_set_size: 0 }.validate().is_err());
+        assert_eq!(PastryConfig::default().digits(), 32);
+        assert_eq!(PastryConfig::default().cols(), 16);
+    }
+
+    #[test]
+    fn table_slots_by_prefix() {
+        let me = id(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let mut s = NodeState::new(me, cfg());
+        let peer = id(0xAC00_0000_0000_0000_0000_0000_0000_0000);
+        // Shares 1 digit (0xA), differs at digit 1 with value 0xC.
+        assert_eq!(s.slot_for(peer), Some((1, 0xC)));
+        assert!(s.consider_for_table(peer));
+        assert_eq!(s.table_entry(1, 0xC), Some(peer));
+        // Second candidate for the same slot is not taken.
+        let peer2 = id(0xAC10_0000_0000_0000_0000_0000_0000_0000);
+        assert!(!s.consider_for_table(peer2));
+        assert_eq!(s.table_entry(1, 0xC), Some(peer));
+        // Self never goes in the table.
+        assert!(!s.consider_for_table(me));
+        assert_eq!(s.table_population(), 1);
+        s.remove_from_table(peer);
+        assert_eq!(s.table_entry(1, 0xC), None);
+    }
+
+    #[test]
+    fn leaf_set_keeps_nearest_per_side() {
+        let me = id(1000);
+        let mut s = NodeState::new(me, cfg()); // half = 2
+        for v in [1010u128, 1020, 1030, 990, 980, 970] {
+            s.consider_for_leaf(id(v));
+        }
+        assert_eq!(s.leaf_cw(), &[id(1010), id(1020)]);
+        assert_eq!(s.leaf_ccw(), &[id(990), id(980)]);
+        // A closer clockwise node displaces the farther one.
+        assert!(s.consider_for_leaf(id(1005)));
+        assert_eq!(s.leaf_cw(), &[id(1005), id(1010)]);
+        // Duplicates are ignored.
+        assert!(!s.consider_for_leaf(id(1005)));
+    }
+
+    #[test]
+    fn leaf_set_wraps_around_ring() {
+        let me = id(u128::MAX - 10);
+        let mut s = NodeState::new(me, cfg());
+        s.consider_for_leaf(id(5)); // clockwise across the wrap
+        s.consider_for_leaf(id(u128::MAX - 20)); // counter-clockwise
+        // A 3-node ring: both peers appear on both sides, ordered by the
+        // walking distance on that side. Clockwise from MAX-10: 5 (16
+        // steps) then MAX-20 (all the way around).
+        assert_eq!(s.leaf_cw(), &[id(5), id(u128::MAX - 20)]);
+        assert_eq!(s.leaf_ccw(), &[id(u128::MAX - 20), id(5)]);
+    }
+
+    #[test]
+    fn tiny_ring_node_on_both_sides() {
+        // With two nodes, the other node is both successor and predecessor.
+        let me = id(100);
+        let mut s = NodeState::new(me, cfg());
+        s.consider_for_leaf(id(200));
+        assert!(s.leaf_cw().contains(&id(200)));
+        assert!(s.leaf_ccw().contains(&id(200)));
+        assert_eq!(s.leaf_members(), vec![id(200)]);
+    }
+
+    #[test]
+    fn leaf_covers_and_closest() {
+        let me = id(1000);
+        let mut s = NodeState::new(me, cfg());
+        for v in [1010u128, 1020, 990, 980] {
+            s.consider_for_leaf(id(v));
+        }
+        assert!(s.leaf_covers(id(1000)));
+        assert!(s.leaf_covers(id(985)));
+        assert!(s.leaf_covers(id(1020)));
+        assert!(s.leaf_covers(id(980)));
+        assert!(!s.leaf_covers(id(2000)));
+        assert!(!s.leaf_covers(id(100)));
+        assert_eq!(s.closest_in_leaf(id(1001)), id(1000));
+        assert_eq!(s.closest_in_leaf(id(1012)), id(1010));
+        assert_eq!(s.closest_in_leaf(id(984)), id(980));
+        // Tie at 985 between 980 and 990: smaller id wins.
+        assert_eq!(s.closest_in_leaf(id(985)), id(980));
+    }
+
+    #[test]
+    fn undersized_leaf_covers_everything() {
+        let me = id(1000);
+        let mut s = NodeState::new(me, cfg());
+        s.consider_for_leaf(id(2000));
+        assert!(s.leaf_covers(id(5)));
+        assert!(s.leaf_covers(id(u128::MAX)));
+    }
+
+    #[test]
+    fn remove_from_leaf() {
+        let me = id(1000);
+        let mut s = NodeState::new(me, cfg());
+        s.consider_for_leaf(id(1010));
+        assert!(s.leaf_contains(id(1010)));
+        assert!(s.remove_from_leaf(id(1010)));
+        assert!(!s.leaf_contains(id(1010)));
+        assert!(!s.remove_from_leaf(id(1010)));
+    }
+
+    #[test]
+    fn known_nodes_union() {
+        let me = id(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let mut s = NodeState::new(me, cfg());
+        let a = id(0xAC00_0000_0000_0000_0000_0000_0000_0000);
+        let b = id(me.0 + 10);
+        s.consider_for_table(a);
+        s.consider_for_leaf(b);
+        let known = s.known_nodes();
+        assert!(known.contains(&a));
+        assert!(known.contains(&b));
+        assert!(!known.contains(&me));
+    }
+}

@@ -1,0 +1,300 @@
+//! Young's greedy-dual algorithm, "efficient implementation".
+//!
+//! Greedy-dual (Young, SODA'98 — reference \[21\] of the paper) assigns each
+//! cached object a credit `H`. The textbook algorithm subtracts the victim's
+//! `H` from *every* resident object on eviction; the efficient
+//! implementation the paper alludes to keeps a global **inflation value**
+//! `L` instead: new/hit objects get `H = L + cost/size`, and eviction of
+//! the minimum-`H` object sets `L = H_min`. Both are equivalent, but the
+//! latter is O(log n) per operation.
+//!
+//! Two properties the paper relies on:
+//!
+//! * with non-uniform fetch costs, greedy-dual provides *implicit
+//!   coordination* between caches (Korupolu & Dahlin): an object cheaply
+//!   re-fetchable from a nearby cache gets a small `H` and is evicted
+//!   before an object that must come from the origin server;
+//! * Hier-GD (§3) runs this algorithm at the proxy *and* in every client
+//!   cache, passing the proxy's evictions down into the P2P client cache.
+
+use crate::BoundedCache;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// Total-ordered f64 wrapper (no NaNs are ever produced by the policy).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct H(f64);
+
+impl Eq for H {}
+
+impl PartialOrd for H {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for H {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bounded greedy-dual cache.
+#[derive(Clone, Debug)]
+pub struct GreedyDualCache<K: Ord + Copy = u64> {
+    capacity: usize,
+    /// key -> (H, stamp)
+    entries: HashMap<K, (f64, u64)>,
+    /// (H, stamp, key) ordered: first element is the eviction victim.
+    order: BTreeSet<(H, u64, K)>,
+    inflation: f64,
+    clock: u64,
+}
+
+impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
+    /// Creates a cache holding at most `capacity` unit-size objects.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        GreedyDualCache {
+            capacity,
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            inflation: 0.0,
+            clock: 0,
+        }
+    }
+
+    /// Current inflation value `L`.
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    /// Resident credit of `key` (the raw `H`, including inflation).
+    pub fn h_value(&self, key: K) -> Option<f64> {
+        self.entries.get(&key).map(|&(h, _)| h)
+    }
+
+    fn set_h(&mut self, key: K, h: f64) {
+        debug_assert!(h.is_finite());
+        self.clock += 1;
+        if let Some(&(old, stamp)) = self.entries.get(&key) {
+            self.order.remove(&(H(old), stamp, key));
+        }
+        self.entries.insert(key, (h, self.clock));
+        self.order.insert((H(h), self.clock, key));
+    }
+
+    /// Records a hit: `H = L + cost/size`.
+    /// Returns false if `key` is not resident.
+    pub fn touch_with_cost(&mut self, key: K, cost: f64, size: f64) -> bool {
+        if !self.entries.contains_key(&key) {
+            return false;
+        }
+        let h = self.inflation + cost / size;
+        self.set_h(key, h);
+        true
+    }
+
+    /// Inserts a fetched object with the given fetch `cost` and `size`,
+    /// evicting the minimum-credit object if full. Returns the eviction
+    /// victim. Inserting a resident key behaves like a hit.
+    pub fn insert_with_cost(&mut self, key: K, cost: f64, size: f64) -> Option<K> {
+        assert!(cost >= 0.0 && cost.is_finite(), "cost must be finite and non-negative");
+        assert!(size > 0.0 && size.is_finite(), "size must be finite and positive");
+        if self.touch_with_cost(key, cost, size) {
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity { self.evict() } else { None };
+        let h = self.inflation + cost / size;
+        self.set_h(key, h);
+        evicted
+    }
+
+    /// Evicts the minimum-credit object, advancing `L` to its credit.
+    pub fn evict(&mut self) -> Option<K> {
+        let &(H(h), stamp, key) = self.order.iter().next()?;
+        self.order.remove(&(H(h), stamp, key));
+        self.entries.remove(&key);
+        // Inflation is monotone: every resident H >= L by construction.
+        debug_assert!(h >= self.inflation);
+        self.inflation = h;
+        Some(key)
+    }
+
+    /// The would-be victim without evicting.
+    pub fn peek_victim(&self) -> Option<K> {
+        self.order.iter().next().map(|&(_, _, k)| k)
+    }
+
+    /// Iterates over resident keys in eviction (ascending credit) order.
+    pub fn keys_by_credit(&self) -> impl Iterator<Item = K> + '_ {
+        self.order.iter().map(|&(_, _, k)| k)
+    }
+
+    /// True if the cache has spare capacity.
+    pub fn has_free_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for GreedyDualCache<K> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, key: K) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    fn touch(&mut self, key: K) -> bool {
+        self.touch_with_cost(key, 1.0, 1.0)
+    }
+
+    fn insert(&mut self, key: K) -> Option<K> {
+        self.insert_with_cost(key, 1.0, 1.0)
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        if let Some((h, stamp)) = self.entries.remove(&key) {
+            self.order.remove(&(H(h), stamp, key));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_objects_evicted_before_expensive() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, 1.0, 1.0); // cheap (nearby copy)
+        c.insert_with_cost(2, 10.0, 1.0); // expensive (origin server)
+        assert_eq!(c.insert_with_cost(3, 5.0, 1.0), Some(1));
+        assert!(c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn inflation_advances_on_eviction() {
+        let mut c = GreedyDualCache::new(1);
+        c.insert_with_cost(1u64, 4.0, 1.0);
+        assert_eq!(c.inflation(), 0.0);
+        c.insert_with_cost(2, 4.0, 1.0); // evicts 1 at H=4
+        assert_eq!(c.inflation(), 4.0);
+        assert_eq!(c.h_value(2), Some(8.0)); // L(4) + 4
+    }
+
+    #[test]
+    fn inflation_gives_recency_effect() {
+        // An old expensive object eventually loses to repeatedly-missed
+        // cheap objects — greedy-dual's aging at work.
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(100u64, 5.0, 1.0); // H = 5
+        c.insert_with_cost(0, 1.0, 1.0); // H = 1
+        // Each round evicts the cheap slot at rising H; once L exceeds 4,
+        // a new cheap insert outranks the stale expensive object.
+        for next in 1u64..=8 {
+            c.insert_with_cost(next, 1.0, 1.0);
+        }
+        assert!(
+            !c.contains(100),
+            "expensive-but-stale object should age out (L={})",
+            c.inflation()
+        );
+    }
+
+    #[test]
+    fn hit_refreshes_credit() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, 2.0, 1.0);
+        c.insert_with_cost(2, 2.0, 1.0);
+        assert!(c.touch_with_cost(1, 2.0, 1.0));
+        // 2 is now the victim despite equal cost (older stamp at same H).
+        assert_eq!(c.peek_victim(), Some(2));
+    }
+
+    #[test]
+    fn size_divides_credit() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, 10.0, 10.0); // credit 1
+        c.insert_with_cost(2, 10.0, 2.0); // credit 5
+        assert_eq!(c.insert_with_cost(3, 10.0, 5.0), Some(1));
+    }
+
+    #[test]
+    fn uniform_costs_behave_fifo_without_hits() {
+        let mut c = GreedyDualCache::new(3);
+        for k in 0u64..3 {
+            c.insert(k);
+        }
+        for k in 3u64..8 {
+            assert_eq!(c.insert(k), Some(k - 3));
+        }
+    }
+
+    #[test]
+    fn resident_reinsert_is_hit() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, 1.0, 1.0);
+        assert_eq!(c.insert_with_cost(1, 9.0, 1.0), None);
+        assert_eq!(c.h_value(1), Some(9.0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_order() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, 1.0, 1.0);
+        assert!(c.remove(1));
+        assert_eq!(c.peek_victim(), None);
+        assert!(!c.remove(1));
+        assert!(c.has_free_space());
+    }
+
+    #[test]
+    fn credits_monotone_with_inflation() {
+        let mut c = GreedyDualCache::new(4);
+        for k in 0u64..100 {
+            c.insert_with_cost(k, ((k % 7) + 1) as f64, 1.0);
+            // Every resident credit must be >= L.
+            let l = c.inflation();
+            for key in c.keys_by_credit() {
+                assert!(c.h_value(key).unwrap() >= l);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be finite")]
+    fn rejects_negative_cost() {
+        let mut c = GreedyDualCache::new(2);
+        c.insert_with_cost(1u64, -1.0, 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn never_exceeds_capacity_and_victim_is_min(
+            ops in proptest::collection::vec((0u64..30, 1u32..20), 1..300)
+        ) {
+            let mut c = GreedyDualCache::new(6);
+            for (key, cost) in ops {
+                let victim_pred = if c.len() == 6 && !c.contains(key) { c.peek_victim() } else { None };
+                let evicted = c.insert_with_cost(key, cost as f64, 1.0);
+                if let Some(v) = victim_pred {
+                    proptest::prop_assert_eq!(evicted, Some(v));
+                }
+                proptest::prop_assert!(c.len() <= 6);
+            }
+        }
+    }
+}

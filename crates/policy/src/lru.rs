@@ -1,0 +1,168 @@
+//! Least-recently-used cache.
+
+use crate::BoundedCache;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Bounded LRU cache over arbitrary keys.
+///
+/// O(log n) per operation via a recency index; the greedy-dual literature's
+/// baseline policy and a useful reference point in tests (greedy-dual with
+/// uniform costs must behave LRU-like).
+#[derive(Clone, Debug)]
+pub struct LruCache<K> {
+    capacity: usize,
+    /// key -> recency stamp
+    stamps: HashMap<K, u64>,
+    /// recency stamp -> key (oldest first)
+    order: BTreeMap<u64, K>,
+    clock: u64,
+}
+
+impl<K: Copy + Eq + Hash> LruCache<K> {
+    /// Creates a cache holding at most `capacity` objects.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        LruCache { capacity, stamps: HashMap::new(), order: BTreeMap::new(), clock: 0 }
+    }
+
+    fn bump(&mut self, key: K) {
+        if let Some(old) = self.stamps.get(&key).copied() {
+            self.order.remove(&old);
+        }
+        self.clock += 1;
+        self.stamps.insert(key, self.clock);
+        self.order.insert(self.clock, key);
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn peek_lru(&self) -> Option<K> {
+        self.order.values().next().copied()
+    }
+
+    /// Evicts and returns the LRU key.
+    pub fn evict(&mut self) -> Option<K> {
+        let (&stamp, &key) = self.order.iter().next()?;
+        self.order.remove(&stamp);
+        self.stamps.remove(&key);
+        Some(key)
+    }
+
+    /// Iterates over resident keys in LRU→MRU order.
+    pub fn keys_lru_order(&self) -> impl Iterator<Item = K> + '_ {
+        self.order.values().copied()
+    }
+}
+
+impl<K: Copy + Eq + Hash> BoundedCache<K> for LruCache<K> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    fn contains(&self, key: K) -> bool {
+        self.stamps.contains_key(&key)
+    }
+
+    fn touch(&mut self, key: K) -> bool {
+        if self.stamps.contains_key(&key) {
+            self.bump(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: K) -> Option<K> {
+        if self.touch(key) {
+            return None;
+        }
+        let evicted = if self.stamps.len() >= self.capacity { self.evict() } else { None };
+        self.bump(key);
+        evicted
+    }
+
+    fn remove(&mut self, key: K) -> bool {
+        if let Some(stamp) = self.stamps.remove(&key) {
+            self.order.remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut c = LruCache::new(3);
+        c.insert(1u64);
+        c.insert(2);
+        c.insert(3);
+        assert_eq!(c.peek_lru(), Some(1));
+        c.touch(1); // 2 is now oldest
+        assert_eq!(c.insert(4), Some(2));
+        assert!(c.contains(1) && c.contains(3) && c.contains(4));
+    }
+
+    #[test]
+    fn sequential_scan_evicts_in_order() {
+        let mut c = LruCache::new(4);
+        for k in 0u64..4 {
+            assert_eq!(c.insert(k), None);
+        }
+        for k in 4u64..10 {
+            assert_eq!(c.insert(k), Some(k - 4));
+        }
+    }
+
+    #[test]
+    fn touch_miss_is_false_and_harmless() {
+        let mut c = LruCache::new(2);
+        assert!(!c.touch(9u64));
+        c.insert(1);
+        assert!(c.touch(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_iteration() {
+        let mut c = LruCache::new(3);
+        c.insert(10u64);
+        c.insert(20);
+        c.insert(30);
+        c.touch(10);
+        let order: Vec<u64> = c.keys_lru_order().collect();
+        assert_eq!(order, vec![20, 30, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u64>::new(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn never_exceeds_capacity(ops in proptest::collection::vec((0u8..3, 0u64..20), 1..200)) {
+            let mut c = LruCache::new(5);
+            for (op, key) in ops {
+                match op {
+                    0 => { c.insert(key); }
+                    1 => { c.touch(key); }
+                    _ => { c.remove(key); }
+                }
+                proptest::prop_assert!(c.len() <= 5);
+            }
+        }
+    }
+}

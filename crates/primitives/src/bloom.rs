@@ -1,0 +1,354 @@
+//! Bloom filters for the proxy's P2P-cache lookup directory.
+//!
+//! §4.2 of the paper offers two directory representations: an exact hash
+//! table of objectIds and a Bloom filter, the latter trading memory for a
+//! false-positive ratio (a false positive makes the proxy redirect a request
+//! into the P2P client cache for an object that is not there, wasting
+//! Tp2p before falling back). The directory must also support *deletion* —
+//! the proxy removes entries when a client cache reports an eviction
+//! (Fig. 1, step 14) — so a [`CountingBloomFilter`] is provided as well; a
+//! plain [`BloomFilter`] is kept for membership-only uses and for the
+//! memory-vs-FPR ablation bench.
+//!
+//! Keys are 128-bit objectIds (SHA-1 prefixes, uniformly distributed), so
+//! the k index functions are derived with double hashing from two halves of
+//! the key mixed through SplitMix64.
+
+use crate::seed::splitmix64;
+use serde::{Deserialize, Serialize};
+
+fn index_pair(key: u128) -> (u64, u64) {
+    let mut lo = key as u64;
+    let mut hi = (key >> 64) as u64;
+    let h1 = splitmix64(&mut lo);
+    let h2 = splitmix64(&mut hi) | 1; // odd so strides cover the table
+    (h1, h2)
+}
+
+#[inline]
+fn nth_index(h1: u64, h2: u64, i: u64, m: u64) -> usize {
+    (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize
+}
+
+/// Classic Bloom filter over 128-bit keys.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: u64,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `m_bits` bits and `k` hash functions.
+    pub fn new(m_bits: usize, k: u32) -> Self {
+        assert!(m_bits > 0 && k > 0);
+        BloomFilter { bits: vec![0; m_bits.div_ceil(64)], m: m_bits as u64, k, inserted: 0 }
+    }
+
+    /// Sizes the filter for `expected` keys at `bits_per_key` (k is chosen
+    /// as the optimal `ln 2 * bits_per_key`, clamped to at least 1).
+    pub fn with_capacity(expected: usize, bits_per_key: f64) -> Self {
+        let m = ((expected.max(1) as f64 * bits_per_key).ceil() as usize).max(64);
+        let k = ((bits_per_key * std::f64::consts::LN_2).round() as u32).max(1);
+        Self::new(m, k)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u128) {
+        let (h1, h2) = index_pair(key);
+        for i in 0..self.k {
+            let idx = nth_index(h1, h2, i as u64, self.m);
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test; false positives possible, false negatives not.
+    pub fn contains(&self, key: u128) -> bool {
+        let (h1, h2) = index_pair(key);
+        (0..self.k).all(|i| {
+            let idx = nth_index(h1, h2, i as u64, self.m);
+            self.bits[idx / 64] & (1 << (idx % 64)) != 0
+        })
+    }
+
+    /// Number of `insert` calls (not distinct keys).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Filter size in bits.
+    pub fn bits(&self) -> u64 {
+        self.m
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Theoretical false-positive rate for `n` inserted keys:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn theoretical_fpr(&self, n: u64) -> f64 {
+        let exponent = -(self.k as f64) * n as f64 / self.m as f64;
+        (1.0 - exponent.exp()).powi(self.k as i32)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+/// Counting Bloom filter (4-bit saturating counters) supporting deletion.
+///
+/// This is the variant the Hier-GD lookup directory uses: client caches
+/// report evictions back to the proxy (Fig. 1 step 14), which must remove
+/// the corresponding entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    /// Two 4-bit counters per byte.
+    counters: Vec<u8>,
+    m: u64,
+    k: u32,
+    len: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `m` counters and `k` hash functions.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0 && k > 0);
+        CountingBloomFilter { counters: vec![0; m.div_ceil(2)], m: m as u64, k, len: 0 }
+    }
+
+    /// Sizes the filter for `expected` keys at `counters_per_key` (each
+    /// counter costs 4 bits of memory).
+    pub fn with_capacity(expected: usize, counters_per_key: f64) -> Self {
+        let m = ((expected.max(1) as f64 * counters_per_key).ceil() as usize).max(16);
+        let k = ((counters_per_key * std::f64::consts::LN_2).round() as u32).max(1);
+        Self::new(m, k)
+    }
+
+    fn get(&self, idx: usize) -> u8 {
+        let b = self.counters[idx / 2];
+        if idx.is_multiple_of(2) {
+            b & 0x0F
+        } else {
+            b >> 4
+        }
+    }
+
+    fn set(&mut self, idx: usize, v: u8) {
+        debug_assert!(v <= 0x0F);
+        let b = &mut self.counters[idx / 2];
+        if idx.is_multiple_of(2) {
+            *b = (*b & 0xF0) | v;
+        } else {
+            *b = (*b & 0x0F) | (v << 4);
+        }
+    }
+
+    /// Inserts a key (counters saturate at 15 and then never decrement,
+    /// which preserves the no-false-negative guarantee).
+    pub fn insert(&mut self, key: u128) {
+        let (h1, h2) = index_pair(key);
+        for i in 0..self.k {
+            let idx = nth_index(h1, h2, i as u64, self.m);
+            let c = self.get(idx);
+            if c < 0x0F {
+                self.set(idx, c + 1);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes a key previously inserted. Removing a key that was never
+    /// inserted can introduce false negatives, so callers (the directory)
+    /// must pair inserts and removes exactly.
+    pub fn remove(&mut self, key: u128) {
+        let (h1, h2) = index_pair(key);
+        for i in 0..self.k {
+            let idx = nth_index(h1, h2, i as u64, self.m);
+            let c = self.get(idx);
+            if c > 0 && c < 0x0F {
+                self.set(idx, c - 1);
+            }
+        }
+        self.len = self.len.saturating_sub(1);
+    }
+
+    /// Membership test; false positives possible.
+    pub fn contains(&self, key: u128) -> bool {
+        let (h1, h2) = index_pair(key);
+        (0..self.k).all(|i| self.get(nth_index(h1, h2, i as u64, self.m)) > 0)
+    }
+
+    /// Net inserted-minus-removed count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no keys are currently counted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Memory footprint of the counter array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, salt: u128) -> Vec<u128> {
+        (0..n as u128).map(|i| crate::sha1::Sha1::digest_id128(&(i ^ salt).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let ks = keys(1000, 0);
+        let mut f = BloomFilter::with_capacity(1000, 10.0);
+        for &k in &ks {
+            f.insert(k);
+        }
+        for &k in &ks {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn bloom_fpr_close_to_theory() {
+        let present = keys(5000, 1);
+        let absent = keys(20000, 0xDEAD_BEEF);
+        let mut f = BloomFilter::with_capacity(5000, 10.0);
+        for &k in &present {
+            f.insert(k);
+        }
+        let fp = absent.iter().filter(|&&k| f.contains(k)).count();
+        let measured = fp as f64 / absent.len() as f64;
+        let theory = f.theoretical_fpr(5000);
+        // ~1% at 10 bits/key; allow generous slack for sampling noise.
+        assert!(measured < theory * 3.0 + 0.005, "measured {measured}, theory {theory}");
+    }
+
+    #[test]
+    fn bloom_more_bits_fewer_false_positives() {
+        let present = keys(2000, 2);
+        let absent = keys(20000, 0xFEED);
+        let mut fprs = Vec::new();
+        for bits_per_key in [4.0, 8.0, 16.0] {
+            let mut f = BloomFilter::with_capacity(2000, bits_per_key);
+            for &k in &present {
+                f.insert(k);
+            }
+            let fp = absent.iter().filter(|&&k| f.contains(k)).count();
+            fprs.push(fp as f64 / absent.len() as f64);
+        }
+        assert!(fprs[0] > fprs[1], "4bpk {} vs 8bpk {}", fprs[0], fprs[1]);
+        assert!(fprs[1] >= fprs[2], "8bpk {} vs 16bpk {}", fprs[1], fprs[2]);
+    }
+
+    #[test]
+    fn bloom_clear() {
+        let mut f = BloomFilter::new(1024, 4);
+        f.insert(42);
+        assert!(f.contains(42));
+        f.clear();
+        assert!(!f.contains(42));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn counting_insert_remove_roundtrip() {
+        let ks = keys(500, 3);
+        let mut f = CountingBloomFilter::with_capacity(500, 16.0);
+        for &k in &ks {
+            f.insert(k);
+        }
+        assert_eq!(f.len(), 500);
+        for &k in &ks {
+            assert!(f.contains(k));
+        }
+        for &k in &ks[..250] {
+            f.remove(k);
+        }
+        assert_eq!(f.len(), 250);
+        // Remaining keys must still be found (no false negatives from
+        // removing other keys).
+        for &k in &ks[250..] {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn counting_removed_keys_mostly_gone() {
+        let ks = keys(500, 4);
+        let mut f = CountingBloomFilter::with_capacity(500, 16.0);
+        for &k in &ks {
+            f.insert(k);
+        }
+        for &k in &ks {
+            f.remove(k);
+        }
+        assert!(f.is_empty());
+        let still = ks.iter().filter(|&&k| f.contains(k)).count();
+        // After removing everything only saturated counters could linger;
+        // with 16 counters/key there should be none.
+        assert_eq!(still, 0);
+    }
+
+    #[test]
+    fn counting_duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::new(1024, 4);
+        f.insert(7);
+        f.insert(7);
+        f.remove(7);
+        assert!(f.contains(7), "one copy should remain");
+        f.remove(7);
+        assert!(!f.contains(7));
+    }
+
+    #[test]
+    fn counting_nibble_packing() {
+        let mut f = CountingBloomFilter::new(10, 1);
+        // Exercise even/odd counter slots directly.
+        for idx in 0..10 {
+            f.set(idx, (idx % 16) as u8);
+        }
+        for idx in 0..10 {
+            assert_eq!(f.get(idx), (idx % 16) as u8);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bloom_contains_everything_inserted(keys in proptest::collection::vec(proptest::prelude::any::<u128>(), 1..200)) {
+            let mut f = BloomFilter::with_capacity(keys.len(), 8.0);
+            for &k in &keys {
+                f.insert(k);
+            }
+            for &k in &keys {
+                proptest::prop_assert!(f.contains(k));
+            }
+        }
+
+        #[test]
+        fn counting_matched_pairs_restore_emptiness(
+            keys in proptest::collection::vec(proptest::prelude::any::<u128>(), 1..100)
+        ) {
+            let mut f = CountingBloomFilter::with_capacity(keys.len(), 12.0);
+            for &k in &keys {
+                f.insert(k);
+            }
+            for &k in &keys {
+                f.remove(k);
+            }
+            proptest::prop_assert!(f.is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Fenwick (binary indexed) tree over `u64` weights with O(log n)
+//! point-update and weighted sampling.
+//!
+//! The ProWGen generator keeps every object's *remaining reference count*
+//! in one of these: drawing the next referenced object "proportional to
+//! remaining references" is a prefix-sum descent, and moving an object in
+//! or out of the LRU stack is a point update.
+
+/// Fenwick tree of non-negative integer weights.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+    total: u64,
+}
+
+impl Fenwick {
+    /// A tree of `n` zero weights.
+    pub fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1], total: 0 }
+    }
+
+    /// Builds from initial weights in O(n).
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0u64; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            tree[i + 1] += w;
+            let j = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if j <= n {
+                let add = tree[i + 1];
+                tree[j] += add;
+            }
+        }
+        let total = weights.iter().sum();
+        Fenwick { tree, total }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// True if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds `delta` to slot `i`'s weight.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the weight would go negative.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        debug_assert!(i < self.len());
+        if delta >= 0 {
+            self.total += delta as u64;
+        } else {
+            self.total -= (-delta) as u64;
+        }
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] = (self.tree[idx] as i64 + delta) as u64;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Prefix sum of weights `0..=i`.
+    pub fn prefix(&self, i: usize) -> u64 {
+        let mut idx = (i + 1).min(self.len());
+        let mut s = 0;
+        while idx > 0 {
+            s += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        s
+    }
+
+    /// Weight of slot `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        let mut s = self.prefix(i);
+        if i > 0 {
+            s -= self.prefix(i - 1);
+        }
+        s
+    }
+
+    /// Finds the smallest `i` with `prefix(i) > target`, i.e. samples slot
+    /// `i` when `target` is uniform in `[0, total)`.
+    ///
+    /// # Panics
+    /// Panics if `target >= total()`.
+    pub fn find(&self, mut target: u64) -> usize {
+        assert!(target < self.total, "target {target} out of range (total {})", self.total);
+        let n = self.len();
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos // pos is the count of slots whose cumulative weight <= target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_weights_matches_incremental() {
+        let w = [3u64, 0, 7, 1, 4, 0, 9];
+        let a = Fenwick::from_weights(&w);
+        let mut b = Fenwick::new(w.len());
+        for (i, &x) in w.iter().enumerate() {
+            b.add(i, x as i64);
+        }
+        for (i, &x) in w.iter().enumerate() {
+            assert_eq!(a.prefix(i), b.prefix(i), "prefix {i}");
+            assert_eq!(a.get(i), x, "get {i}");
+        }
+        assert_eq!(a.total(), 24);
+    }
+
+    #[test]
+    fn find_selects_by_weight() {
+        let f = Fenwick::from_weights(&[2, 0, 3, 1]);
+        // cumulative: [2,2,5,6]
+        assert_eq!(f.find(0), 0);
+        assert_eq!(f.find(1), 0);
+        assert_eq!(f.find(2), 2);
+        assert_eq!(f.find(4), 2);
+        assert_eq!(f.find(5), 3);
+    }
+
+    #[test]
+    fn find_skips_zero_weights() {
+        let f = Fenwick::from_weights(&[0, 0, 1, 0, 2]);
+        assert_eq!(f.find(0), 2);
+        assert_eq!(f.find(1), 4);
+        assert_eq!(f.find(2), 4);
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut f = Fenwick::new(5);
+        f.add(3, 10);
+        assert_eq!(f.total(), 10);
+        assert_eq!(f.find(9), 3);
+        f.add(3, -10);
+        assert_eq!(f.total(), 0);
+        f.add(0, 1);
+        assert_eq!(f.find(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_rejects_target_at_total() {
+        let f = Fenwick::from_weights(&[1, 2]);
+        let _ = f.find(3);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 100, 1000, 1023, 1025] {
+            let w: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 1) % 13).collect();
+            let f = Fenwick::from_weights(&w);
+            let mut acc = 0u64;
+            for (i, &x) in w.iter().enumerate() {
+                acc += x;
+                assert_eq!(f.prefix(i), acc, "n={n} i={i}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn find_is_inverse_of_prefix(
+            weights in proptest::collection::vec(0u64..50, 1..128),
+        ) {
+            let f = Fenwick::from_weights(&weights);
+            proptest::prop_assume!(f.total() > 0);
+            // Every target lands in a slot whose weight covers it.
+            for target in (0..f.total()).step_by((f.total() as usize / 17).max(1)) {
+                let i = f.find(target);
+                proptest::prop_assert!(*weights.get(i).expect("slot in range") > 0);
+                let lo = if i == 0 { 0 } else { f.prefix(i - 1) };
+                proptest::prop_assert!(lo <= target && target < f.prefix(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Dependency-light building blocks shared by every crate in the
+//! `webcache` workspace.
+//!
+//! The paper ("Exploiting Client Caches", Zhu & Hu, ICPP'03) depends on a
+//! handful of classic primitives that we implement from scratch rather than
+//! pull in as dependencies, because their exact behaviour is part of the
+//! system being reproduced:
+//!
+//! * [`sha1`] — §4.1 of the paper hashes object URLs with SHA-1 to produce
+//!   the 128-bit `objectId` used for Pastry routing.
+//! * [`bloom`] — §4.2 proposes Bloom filters as one of the two lookup
+//!   directory representations a proxy keeps for its P2P client cache.
+//! * [`zipf`] — the ProWGen workload model draws object popularity from a
+//!   Zipf-like distribution with tunable skew `α` (Figure 3 sweeps it).
+//! * [`stats`] — online statistics used by tests and by the benchmark
+//!   harnesses to validate workload shape (Zipf slope, locality, …).
+//! * [`seed`] — deterministic seed derivation so every experiment is
+//!   reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod fenwick;
+pub mod seed;
+pub mod sha1;
+pub mod stats;
+pub mod zipf;
+
+pub use bloom::{BloomFilter, CountingBloomFilter};
+pub use fenwick::Fenwick;
+pub use sha1::Sha1;
+pub use stats::{Histogram, LinearFit, OnlineStats};
+pub use zipf::{AliasTable, ZipfSampler};

@@ -1,0 +1,215 @@
+//! SHA-1 implemented from the FIPS-180-1 specification.
+//!
+//! The paper's §4.1: *"the proxy first hashes the URL of this object into an
+//! objectId using SHA-1"*. Pastry node and object identifiers are the
+//! leading 128 bits of the SHA-1 digest, so the exact hash function is part
+//! of the reproduced system and we implement it here rather than depend on a
+//! crypto crate. SHA-1 is used purely as a uniform id-space hash (as in the
+//! original Pastry/PAST papers), never for security.
+
+/// Incremental SHA-1 hasher.
+///
+/// ```
+/// use webcache_primitives::Sha1;
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(hex(&digest), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// fn hex(d: &[u8; 20]) -> String {
+///     d.iter().map(|b| format!("{b:02x}")).collect()
+/// }
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Convenience: the leading 128 bits of `digest(data)` as a `u128`,
+    /// which is exactly how the paper derives Pastry `objectId`s and
+    /// `cacheId`s from URLs / client identities.
+    pub fn digest_id128(data: &[u8]) -> u128 {
+        let d = Self::digest(data);
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&d[..16]);
+        u128::from_be_bytes(bytes)
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                // Buffer still partial ⇒ `data` is exhausted; falling
+                // through would reset `buf_len` from the empty remainder.
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Completes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` would re-count the length bytes; splice them in manually.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8; 20]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_448_bits() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(&Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let oneshot = Sha1::digest(&data);
+        // Feed in awkward chunk sizes to exercise buffering paths.
+        for chunk in [1usize, 3, 63, 64, 65, 127, 997] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn id128_is_prefix_of_digest() {
+        let d = Sha1::digest(b"http://example.com/index.html");
+        let id = Sha1::digest_id128(b"http://example.com/index.html");
+        let mut prefix = [0u8; 16];
+        prefix.copy_from_slice(&d[..16]);
+        assert_eq!(id, u128::from_be_bytes(prefix));
+    }
+
+    #[test]
+    fn boundary_lengths_do_not_panic_and_differ() {
+        // Message lengths that straddle the padding boundary (55/56/57, 63/64/65).
+        let mut seen = std::collections::HashSet::new();
+        for n in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121, 128] {
+            let data = vec![0xAB; n];
+            assert!(seen.insert(Sha1::digest(&data)), "collision at len {n}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Zipf-like discrete sampling.
+//!
+//! Web object popularity follows a Zipf-like distribution where the i-th
+//! most popular object is requested with frequency proportional to `1/i^α`
+//! (Breslau et al., INFOCOM'99 — reference \[3\] of the paper). ProWGen and
+//! therefore our workload generator draw popularity ranks from this
+//! distribution; Figure 3 of the paper sweeps `α ∈ {0.5, 0.7, 1.0}`.
+//!
+//! Two samplers are provided:
+//!
+//! * [`ZipfSampler`] — cumulative-table + binary search, O(log n) per draw,
+//!   tiny setup cost. Good for one-off draws and tests.
+//! * [`AliasTable`] — Walker/Vose alias method over an arbitrary weight
+//!   vector, O(1) per draw after O(n) setup. This is what the trace
+//!   generator uses in its hot loop.
+
+use rand::Rng;
+
+/// Cumulative-distribution Zipf sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// cdf[i] = P(rank <= i); strictly increasing, last element == 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skew `alpha >= 0`.
+    ///
+    /// `alpha == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Probability mass of rank `i` (0-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Walker/Vose alias table: O(1) sampling from an arbitrary discrete
+/// distribution given by non-negative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from `weights` (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "AliasTable supports at most 2^32-1 outcomes"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive finite value");
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities: mean 1.0.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                w * n as f64 / total
+            })
+            .collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().expect("non-empty"), large.pop().expect("non-empty"));
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains (numerically ~1.0) keeps itself.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Builds an alias table for Zipf(`alpha`) over `n` ranks.
+    pub fn zipf(n: usize, alpha: f64) -> Self {
+        assert!(n > 0);
+        let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no outcomes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical_counts(sample: impl Fn(&mut ChaCha8Rng) -> usize, n: usize, draws: usize) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn zipf_cdf_properties() {
+        let z = ZipfSampler::new(1000, 0.7);
+        assert_eq!(z.len(), 1000);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // pmf sums to 1.
+        let s: f64 = (0..1000).map(|i| z.pmf(i)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank0_dominates() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // For alpha=1, pmf(0)/pmf(1) == 2.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = ZipfSampler::new(50, 0.7);
+        let freq = empirical_counts(|r| z.sample(r), 50, 200_000);
+        for (i, &f) in freq.iter().enumerate() {
+            assert!(
+                (f - z.pmf(i)).abs() < 0.01,
+                "rank {i}: empirical {f} vs pmf {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn alias_empirical_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let freq = empirical_counts(|r| t.sample(r), 4, 200_000);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            assert!((freq[i] - expect).abs() < 0.01, "outcome {i}");
+        }
+    }
+
+    #[test]
+    fn alias_zipf_matches_cdf_zipf() {
+        let n = 200;
+        let alpha = 0.9;
+        let t = AliasTable::zipf(n, alpha);
+        let z = ZipfSampler::new(n, alpha);
+        let freq = empirical_counts(|r| t.sample(r), n, 300_000);
+        for i in (0..n).step_by(17) {
+            assert!((freq[i] - z.pmf(i)).abs() < 0.01, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let t = AliasTable::new(&[3.5]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_handles_zero_weights() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn zipf_rejects_negative_alpha() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn alias_never_returns_out_of_range(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..64),
+            seed in 0u64..u64::MAX,
+        ) {
+            proptest::prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let t = AliasTable::new(&weights);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..256 {
+                let s = t.sample(&mut rng);
+                proptest::prop_assert!(s < weights.len());
+            }
+        }
+
+        #[test]
+        fn zipf_sample_in_range(n in 1usize..500, alpha in 0.0f64..2.0, seed in 0u64..u64::MAX) {
+            let z = ZipfSampler::new(n, alpha);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..64 {
+                proptest::prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

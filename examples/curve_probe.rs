@@ -1,0 +1,39 @@
+//! Internal probe used while calibrating tests: prints the gain grid for
+//! all schemes at several cache sizes (paper sizing: 100-client clusters).
+
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use webcache::workload::{ProWGen, ProWGenConfig};
+
+fn main() {
+    let traces: Vec<_> = (0..2)
+        .map(|p| {
+            ProWGen::new(ProWGenConfig {
+                requests: 120_000,
+                distinct_objects: 5_000,
+                num_clients: 100,
+                seed: 900 + p,
+                ..ProWGenConfig::default()
+            })
+            .generate()
+        })
+        .collect();
+    println!("U = {}", traces[0].stats().infinite_cache_size);
+    print!("{:>8}", "frac");
+    for s in SchemeKind::ALL {
+        print!("{:>9}", s.label());
+    }
+    println!();
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+        print!("{frac:>8.1}");
+        for s in SchemeKind::ALL {
+            let m = if s == SchemeKind::Nc {
+                nc.clone()
+            } else {
+                run_experiment(&ExperimentConfig::new(s, frac), &traces)
+            };
+            print!("{:>9.1}", latency_gain_percent(&nc, &m));
+        }
+        println!();
+    }
+}

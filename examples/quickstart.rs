@@ -1,0 +1,54 @@
+//! Quickstart: simulate the paper's headline comparison in a few lines.
+//!
+//! Generates a small ProWGen workload for two cooperating proxies, runs
+//! the NC baseline, SC, and Hier-GD, and prints latency gains.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use webcache::workload::{ProWGen, ProWGenConfig};
+
+fn main() {
+    // One statistically identical client cluster per proxy (§5.1).
+    let traces: Vec<_> = (0..2)
+        .map(|p| {
+            ProWGen::new(ProWGenConfig {
+                requests: 100_000,
+                distinct_objects: 5_000,
+                seed: 2003 + p,
+                ..ProWGenConfig::default()
+            })
+            .generate()
+        })
+        .collect();
+    let u = traces[0].stats().infinite_cache_size;
+    println!("workload: 2 proxies x 100k requests, infinite cache size U = {u}");
+
+    // Proxy caches at 20% of U — the regime where client caches shine.
+    let frac = 0.2;
+    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+    println!(
+        "\n{:<8} avg latency {:.2} (hit ratio {:.1}%)  — the baseline",
+        "NC:",
+        nc.avg_latency(),
+        nc.hit_ratio() * 100.0
+    );
+
+    for scheme in [SchemeKind::Sc, SchemeKind::ScEc, SchemeKind::HierGd] {
+        let m = run_experiment(&ExperimentConfig::new(scheme, frac), &traces);
+        println!(
+            "{:<8} avg latency {:.2} (hit ratio {:.1}%)  → latency gain {:+.1}%",
+            format!("{}:", scheme.label()),
+            m.avg_latency(),
+            m.hit_ratio() * 100.0,
+            latency_gain_percent(&nc, &m)
+        );
+    }
+    println!(
+        "\nHier-GD federates the 100 client caches behind each proxy into a \
+         Pastry DHT\nand destages proxy evictions into it — see \
+         examples/corporate_network.rs."
+    );
+}

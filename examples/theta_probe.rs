@@ -1,0 +1,52 @@
+//! Internal calibration probe: how the stack-depth skew θ positions the
+//! workload between the two regimes the paper's results need
+//! (frequency-driven: FC ≥ SC; locality-increasing-with-stack: NC hit
+//! ratio rises with the stack fraction).
+
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use webcache::workload::{ProWGen, ProWGenConfig, Trace};
+
+fn traces(theta: f64, stack: f64) -> Vec<Trace> {
+    (0..2)
+        .map(|p| {
+            ProWGen::new(ProWGenConfig {
+                requests: 80_000,
+                distinct_objects: 4_000,
+                stack_depth_skew: theta,
+                stack_fraction: stack,
+                num_clients: 100,
+                seed: 300 + p,
+                ..ProWGenConfig::default()
+            })
+            .generate()
+        })
+        .collect()
+}
+
+fn main() {
+    println!(
+        "{:>6}{:>8}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "theta", "stack", "NC-hit", "SC", "FC", "SC-EC", "FC-EC"
+    );
+    for &theta in &[1.4f64, 1.5, 1.6] {
+        for &stack in &[0.05f64, 0.6] {
+            let ts = traces(theta, stack);
+            let frac: f64 = std::env::var("FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
+            let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
+            let nc = run_experiment(&cfg, &ts);
+            let g = |s: SchemeKind| {
+                let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+                latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
+            };
+            println!(
+                "{theta:>6.1}{:>8.2}{:>10.3}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
+                stack,
+                nc.hit_ratio(),
+                g(SchemeKind::Sc),
+                g(SchemeKind::Fc),
+                g(SchemeKind::ScEc),
+                g(SchemeKind::FcEc),
+            );
+        }
+    }
+}

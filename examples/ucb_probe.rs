@@ -1,0 +1,73 @@
+//! Internal calibration probe for the UCB-like substitute: sweep the core
+//! request share and check the Figure 2(a)-vs-2(b) contrast (UCB gains
+//! must sit below synthetic gains, while staying positive).
+
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use webcache::workload::{ProWGen, ProWGenConfig, Trace, UcbLike, UcbLikeConfig};
+
+fn synthetic() -> Vec<Trace> {
+    (0..2)
+        .map(|p| {
+            ProWGen::new(ProWGenConfig {
+                requests: 80_000,
+                distinct_objects: 4_000,
+                num_clients: 40,
+                seed: 600 + p,
+                ..ProWGenConfig::default()
+            })
+            .generate()
+        })
+        .collect()
+}
+
+fn ucb(core_frac: f64, fresh_otf: f64) -> Vec<Trace> {
+    (0..2)
+        .map(|p| {
+            UcbLike::new(UcbLikeConfig {
+                requests: 80_000,
+                days: 6,
+                core_objects: 2_000,
+                fresh_objects_per_day: 4_000,
+                core_request_fraction: core_frac,
+                fresh_one_time_fraction: fresh_otf,
+                seed: 700 + p,
+                ..UcbLikeConfig::default()
+            })
+            .generate()
+        })
+        .collect()
+}
+
+fn gains(ts: &[Trace], frac: f64) -> (f64, f64, f64) {
+    let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
+    let nc = run_experiment(&cfg, ts);
+    let fcec = run_experiment(&ExperimentConfig { scheme: SchemeKind::FcEc, ..cfg.clone() }, ts);
+    eprintln!("  [hit ratios] NC {:.3} FC-EC {:.3}; NC lat {:.2} FC-EC lat {:.2}",
+        nc.hit_ratio(), fcec.hit_ratio(), nc.avg_latency(), fcec.avg_latency());
+    let g = |s: SchemeKind| {
+        let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+        latency_gain_percent(&nc, &run_experiment(&cfg, ts))
+    };
+    (g(SchemeKind::ScEc), g(SchemeKind::FcEc), g(SchemeKind::HierGd))
+}
+
+fn main() {
+    let syn = synthetic();
+    let s = syn[0].stats();
+    println!("synthetic: U={} distinct={}", s.infinite_cache_size, s.distinct_objects);
+    let (sc, fc, hg) = gains(&syn, 0.3);
+    println!("synthetic gains @30%: SC-EC {sc:.1} FC-EC {fc:.1} Hier-GD {hg:.1}");
+    for core_frac in [0.25f64, 0.35, 0.45, 0.55] {
+        for fresh_otf in [0.75f64, 0.85] {
+            let ts = ucb(core_frac, fresh_otf);
+            let st = ts[0].stats();
+            let (sc, fc, hg) = gains(&ts, 0.3);
+            println!(
+                "ucb core={core_frac:.2} otf={fresh_otf:.2}: U={:>5} distinct={:>5} 1t={:.2} | SC-EC {sc:>5.1} FC-EC {fc:>5.1} Hier-GD {hg:>5.1}",
+                st.infinite_cache_size,
+                st.distinct_objects,
+                st.one_timer_fraction()
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Client-machine churn during a Hier-GD run: the fault-resilience /
+//! self-organization claim of §4.1, end to end.
+
+use webcache::sim::engine::SchemeEngine;
+use webcache::sim::hiergd::{HierGdEngine, HierGdOptions};
+use webcache::sim::{NetworkModel, RunMetrics};
+use webcache::workload::{ProWGen, ProWGenConfig, Trace};
+
+fn trace() -> Trace {
+    ProWGen::new(ProWGenConfig {
+        requests: 40_000,
+        distinct_objects: 2_000,
+        num_clients: 30,
+        seed: 0xC4A5,
+        ..ProWGenConfig::default()
+    })
+    .generate()
+}
+
+#[test]
+fn hiergd_survives_rolling_client_failures() {
+    let t = trace();
+    let net = NetworkModel::default();
+    let mut engine = HierGdEngine::new(1, 100, 30, 5, 2_000, net, HierGdOptions::default());
+    let mut metrics = RunMetrics::default();
+    for (i, req) in t.requests.iter().enumerate() {
+        let class = engine.serve(0, req);
+        metrics.record(class, net.latency(class));
+        // Crash a machine every 4000 requests (10 failures total).
+        if i % 4_000 == 3_999 {
+            let victim = engine.p2p(0).node_ids().nth(i / 4_000).expect("cluster non-empty");
+            engine.fail_client(0, victim);
+            let problems = engine.p2p(0).check_invariants();
+            assert!(problems.is_empty(), "after failure at {i}: {problems:?}");
+        }
+    }
+    engine.finish(&mut metrics);
+    assert_eq!(metrics.requests, 40_000, "every request must still be served");
+    assert!(metrics.hit_ratio() > 0.0);
+    // The cluster shrank but kept working.
+    assert_eq!(engine.p2p(0).node_ids().count(), 30 - 10);
+}
+
+#[test]
+fn churn_costs_latency_but_not_correctness() {
+    let t = trace();
+    let net = NetworkModel::default();
+    let run = |failures: usize| {
+        let mut engine =
+            HierGdEngine::new(1, 100, 30, 5, 2_000, net, HierGdOptions::default());
+        let mut metrics = RunMetrics::default();
+        let every = t.len().checked_div(failures).unwrap_or(usize::MAX);
+        for (i, req) in t.requests.iter().enumerate() {
+            let class = engine.serve(0, req);
+            metrics.record(class, net.latency(class));
+            if failures > 0 && i % every == every - 1 && i / every < failures {
+                let victim =
+                    engine.p2p(0).node_ids().next().expect("cluster non-empty");
+                engine.fail_client(0, victim);
+            }
+        }
+        engine.finish(&mut metrics);
+        metrics
+    };
+    let calm = run(0);
+    let stormy = run(6);
+    assert_eq!(calm.requests, stormy.requests);
+    // Losing cached objects can only push latency up (allow a whisker of
+    // slack: evictions redirect, changing downstream decisions).
+    assert!(
+        stormy.avg_latency() >= calm.avg_latency() * 0.995,
+        "churn should not make the cache better: calm {:.3} vs stormy {:.3}",
+        calm.avg_latency(),
+        stormy.avg_latency()
+    );
+}

@@ -1,0 +1,150 @@
+//! The paper's qualitative results (§5.2, Figure 2), asserted end to end.
+//!
+//! Absolute numbers depend on the authors' traces; these tests pin the
+//! *orderings* the paper reports, which are the reproducible claims:
+//!
+//! 1. coordination helps: FC ≥ SC ≥ NC (and the -EC column likewise);
+//! 2. client caches help: X-EC ≥ X for X ∈ {NC, SC, FC}, most at small
+//!    proxy sizes;
+//! 3. Hier-GD beats SC-EC, SC and NC-EC, and beats FC at small sizes.
+
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use webcache::workload::{ProWGen, ProWGenConfig, Trace};
+
+fn traces() -> Vec<Trace> {
+    (0..2)
+        .map(|p| {
+            ProWGen::new(ProWGenConfig {
+                requests: 120_000,
+                distinct_objects: 5_000,
+                num_clients: 50,
+                seed: 900 + p,
+                ..ProWGenConfig::default()
+            })
+            .generate()
+        })
+        .collect()
+}
+
+fn gains_at(traces: &[Trace], frac: f64) -> std::collections::HashMap<SchemeKind, f64> {
+    // Paper sizing: 100-client clusters ⇒ P2P cache = 10% of U.
+    let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
+    let nc = run_experiment(&cfg, traces);
+    SchemeKind::ALL
+        .iter()
+        .map(|&s| {
+            let m = if s == SchemeKind::Nc {
+                nc.clone()
+            } else {
+                let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+                run_experiment(&cfg, traces)
+            };
+            (s, latency_gain_percent(&nc, &m))
+        })
+        .collect()
+}
+
+#[test]
+fn paper_orderings_at_small_proxy_size() {
+    let ts = traces();
+    let g = gains_at(&ts, 0.10);
+    let get = |s: SchemeKind| g[&s];
+    // Tolerance: simulation noise on a reduced-scale workload.
+    let eps = 1.5f64;
+
+    // (1) Coordination helps.
+    assert!(get(SchemeKind::Fc) >= get(SchemeKind::Sc) - eps, "{g:?}");
+    assert!(get(SchemeKind::Sc) > 0.0, "{g:?}");
+    assert!(get(SchemeKind::FcEc) >= get(SchemeKind::ScEc) - eps, "{g:?}");
+    assert!(get(SchemeKind::ScEc) >= get(SchemeKind::NcEc) - eps, "{g:?}");
+
+    // (2) Client caches help.
+    assert!(get(SchemeKind::NcEc) > get(SchemeKind::Nc), "{g:?}");
+    assert!(get(SchemeKind::ScEc) > get(SchemeKind::Sc), "{g:?}");
+    assert!(get(SchemeKind::FcEc) >= get(SchemeKind::Fc) - eps, "{g:?}");
+
+    // (3) Hier-GD's position: above SC-EC, SC, NC-EC, and above FC at
+    // small proxy sizes (§5.2's third observation).
+    assert!(get(SchemeKind::HierGd) >= get(SchemeKind::ScEc) - eps, "{g:?}");
+    assert!(get(SchemeKind::HierGd) >= get(SchemeKind::Sc) - eps, "{g:?}");
+    assert!(get(SchemeKind::HierGd) >= get(SchemeKind::NcEc) - eps, "{g:?}");
+    assert!(get(SchemeKind::HierGd) > get(SchemeKind::Fc), "{g:?}");
+
+    // (bound) FC-EC upper-bounds the six NC/SC/FC-family schemes ("the
+    // upper bound on performance benefit of cooperating proxy caching …
+    // with exploiting client caches", §5.1). Hier-GD is excluded: its
+    // greedy-dual adapts to temporal locality, which the static
+    // perfect-frequency placement cannot, so it may legitimately exceed
+    // FC-EC on locality-rich workloads (documented in EXPERIMENTS.md).
+    for s in [SchemeKind::Nc, SchemeKind::Sc, SchemeKind::Fc, SchemeKind::NcEc, SchemeKind::ScEc]
+    {
+        assert!(get(SchemeKind::FcEc) >= get(s) - eps, "FC-EC must bound {s:?}: {g:?}");
+    }
+}
+
+#[test]
+fn client_cache_margin_shrinks_with_proxy_size() {
+    // "particularly when the size of individual proxy caches is limited
+    // compared to the universe of Web objects" — the EC margin at 10%
+    // must exceed the margin at 80%.
+    let ts = traces();
+    let small = gains_at(&ts, 0.10);
+    let large = gains_at(&ts, 0.80);
+    let margin = |g: &std::collections::HashMap<SchemeKind, f64>| {
+        g[&SchemeKind::ScEc] - g[&SchemeKind::Sc]
+    };
+    assert!(
+        margin(&small) > margin(&large),
+        "EC margin small-cache {:.1} vs large-cache {:.1}",
+        margin(&small),
+        margin(&large)
+    );
+}
+
+#[test]
+fn everything_converges_at_full_cache() {
+    // At 100% of U every scheme holds the whole re-referenced set; gains
+    // come only from compulsory misses, so the spread collapses.
+    let ts = traces();
+    let g = gains_at(&ts, 1.0);
+    let spread = SchemeKind::ALL
+        .iter()
+        .map(|s| g[s])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)));
+    let small = gains_at(&ts, 0.10);
+    let small_spread = SchemeKind::ALL
+        .iter()
+        .map(|s| small[s])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)));
+    assert!(
+        spread.1 - spread.0 < small_spread.1 - small_spread.0,
+        "full-cache spread {spread:?} vs small-cache spread {small_spread:?}"
+    );
+}
+
+#[test]
+fn gains_fall_off_as_the_cache_approaches_the_universe() {
+    // Figure 2(a)'s right side: as the proxy cache approaches U, every
+    // scheme's advantage over NC collapses toward the compulsory-miss
+    // floor. (The left side differs from the paper in shape: with
+    // in-cache LFU our curves peak mid-range rather than at 10% — see
+    // EXPERIMENTS.md — so the pinned claim is small-cache gains exceed
+    // full-cache gains.)
+    let ts = traces();
+    let at = |f: f64| gains_at(&ts, f);
+    let (g10, g50, g100) = (at(0.10), at(0.50), at(1.0));
+    for s in [SchemeKind::NcEc, SchemeKind::ScEc, SchemeKind::FcEc, SchemeKind::HierGd] {
+        assert!(
+            g10[&s] > g100[&s],
+            "{s:?}: gain at 10% ({:.1}) should exceed gain at 100% ({:.1})",
+            g10[&s],
+            g100[&s]
+        );
+        assert!(
+            g50[&s] > g100[&s],
+            "{s:?}: gain at 50% ({:.1}) should exceed gain at 100% ({:.1})",
+            g50[&s],
+            g100[&s]
+        );
+    }
+}

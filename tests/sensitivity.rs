@@ -1,0 +1,129 @@
+//! Workload- and network-sensitivity trends (Figures 3–5(a,b)), reduced
+//! scale.
+
+use webcache::sim::{
+    latency_gain_percent, run_experiment, ExperimentConfig, NetworkModel, SchemeKind,
+};
+use webcache::workload::{ProWGen, ProWGenConfig, Trace};
+
+fn traces_with(mutate: impl Fn(&mut ProWGenConfig)) -> Vec<Trace> {
+    (0..2)
+        .map(|p| {
+            let mut cfg = ProWGenConfig {
+                requests: 80_000,
+                distinct_objects: 4_000,
+                num_clients: 50,
+                seed: 300 + p,
+                ..ProWGenConfig::default()
+            };
+            mutate(&mut cfg);
+            ProWGen::new(cfg).generate()
+        })
+        .collect()
+}
+
+fn gain(scheme: SchemeKind, traces: &[Trace], frac: f64, net: NetworkModel) -> f64 {
+    let mut cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
+    cfg.clients_per_cluster = 50;
+    cfg.net = net;
+    let nc = run_experiment(&cfg, traces);
+    let cfg = ExperimentConfig { scheme, ..cfg };
+    latency_gain_percent(&nc, &run_experiment(&cfg, traces))
+}
+
+#[test]
+fn figure3_smaller_alpha_larger_gain() {
+    // "smaller values of α generally have larger latency gains … a larger
+    // working set [makes] cooperation most effective."
+    let net = NetworkModel::default();
+    for scheme in [SchemeKind::Fc, SchemeKind::ScEc] {
+        let g05 = gain(scheme, &traces_with(|c| c.zipf_alpha = 0.5), 0.2, net);
+        let g10 = gain(scheme, &traces_with(|c| c.zipf_alpha = 1.0), 0.2, net);
+        assert!(
+            g05 > g10,
+            "{scheme:?}: alpha=0.5 gain {g05:.1} should exceed alpha=1.0 gain {g10:.1}"
+        );
+    }
+}
+
+#[test]
+fn figure4_larger_stack_smaller_gain_for_coordinated_schemes() {
+    // "smaller stack sizes have larger latency gains for FC, FC-EC and
+    // Hier-GD" — a big stack makes the single NC cache strong.
+    let net = NetworkModel::default();
+    for scheme in [SchemeKind::Fc, SchemeKind::FcEc] {
+        let g05 = gain(scheme, &traces_with(|c| c.stack_fraction = 0.05), 0.3, net);
+        let g60 = gain(scheme, &traces_with(|c| c.stack_fraction = 0.60), 0.3, net);
+        assert!(
+            g05 > g60,
+            "{scheme:?}: stack=5% gain {g05:.1} should exceed stack=60% gain {g60:.1}"
+        );
+    }
+}
+
+#[test]
+fn figure4_premise_nc_improves_with_stack_size() {
+    // The mechanism behind Figure 4: more temporal locality ⇒ the single
+    // LFU cache catches more.
+    let small = traces_with(|c| c.stack_fraction = 0.05);
+    let large = traces_with(|c| c.stack_fraction = 0.60);
+    let cfg = {
+        let mut c = ExperimentConfig::new(SchemeKind::Nc, 0.3);
+        c.clients_per_cluster = 50;
+        c
+    };
+    let m_small = run_experiment(&cfg, &small);
+    let m_large = run_experiment(&cfg, &large);
+    assert!(
+        m_large.hit_ratio() > m_small.hit_ratio(),
+        "NC hit ratio: stack=60% {:.3} vs stack=5% {:.3}",
+        m_large.hit_ratio(),
+        m_small.hit_ratio()
+    );
+}
+
+#[test]
+fn figure5a_gain_increases_with_ts_over_tc() {
+    let ts = traces_with(|_| {});
+    let g2 = gain(SchemeKind::HierGd, &ts, 0.2, NetworkModel::from_ratios(2.0, 20.0, 1.4));
+    let g10 = gain(SchemeKind::HierGd, &ts, 0.2, NetworkModel::from_ratios(10.0, 20.0, 1.4));
+    assert!(g10 > g2, "Ts/Tc=10 gain {g10:.1} should exceed Ts/Tc=2 gain {g2:.1}");
+}
+
+#[test]
+fn figure5b_gain_increases_with_ts_over_tl() {
+    let ts = traces_with(|_| {});
+    let g5 = gain(SchemeKind::HierGd, &ts, 0.2, NetworkModel::from_ratios(10.0, 5.0, 1.4));
+    let g20 = gain(SchemeKind::HierGd, &ts, 0.2, NetworkModel::from_ratios(10.0, 20.0, 1.4));
+    assert!(g20 > g5, "Ts/Tl=20 gain {g20:.1} should exceed Ts/Tl=5 gain {g5:.1}");
+}
+
+#[test]
+fn figure5d_more_proxies_more_gain() {
+    let make = |n: usize| -> Vec<Trace> {
+        (0..n)
+            .map(|p| {
+                ProWGen::new(ProWGenConfig {
+                    requests: 60_000,
+                    distinct_objects: 4_000,
+                    num_clients: 50,
+                    seed: 300 + p as u64,
+                    ..ProWGenConfig::default()
+                })
+                .generate()
+            })
+            .collect()
+    };
+    let gain_p = |n: usize| {
+        let ts = make(n);
+        let mut cfg = ExperimentConfig::new(SchemeKind::Nc, 0.15);
+        cfg.num_proxies = n;
+        cfg.clients_per_cluster = 50;
+        let nc = run_experiment(&cfg, &ts);
+        let cfg = ExperimentConfig { scheme: SchemeKind::ScEc, ..cfg };
+        latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
+    };
+    let g2 = gain_p(2);
+    let g5 = gain_p(5);
+    assert!(g5 > g2, "5 proxies gain {g5:.1} should exceed 2 proxies gain {g2:.1}");
+}
