@@ -35,11 +35,10 @@ fn main() {
         "{:>14}{:>12}{:>12}{:>14}{:>12}",
         "directory", "mem (B)", "lookups", "stale (FP)", "avg lat"
     );
-    let mut csv =
-        std::fs::File::create(figures_dir().join("ablation_directory.csv")).expect("csv");
+    let mut csv = std::fs::File::create(figures_dir().join("ablation_directory.csv")).expect("csv");
     writeln!(csv, "directory,memory_bytes,lookups,stale_lookups,avg_latency").expect("csv");
     for (name, kind) in kinds {
-        let mut cfg = base.clone();
+        let mut cfg = base;
         cfg.hiergd.directory = kind;
         let m = run_experiment(&cfg, &traces);
         // Memory: rebuild a representative directory at capacity.

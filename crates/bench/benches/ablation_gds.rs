@@ -61,23 +61,14 @@ fn main() {
     if !scale.full {
         scale.requests = 150_000;
     }
-    let trace = synthetic_traces(1, scale, |c| c.size_model = SizeModel::prowgen_default())
-        .remove(0);
+    let trace =
+        synthetic_traces(1, scale, |c| c.size_model = SizeModel::prowgen_default()).remove(0);
     let total_bytes: u64 = {
         // Sum of distinct objects' sizes: the "infinite byte cache".
         let mut seen = std::collections::HashSet::new();
-        trace
-            .requests
-            .iter()
-            .filter(|r| seen.insert(r.object))
-            .map(|r| u64::from(r.size))
-            .sum()
+        trace.requests.iter().filter(|r| seen.insert(r.object)).map(|r| u64::from(r.size)).sum()
     };
-    eprintln!(
-        "ablation_gds: {} requests, universe {} MiB",
-        trace.len(),
-        total_bytes >> 20
-    );
+    eprintln!("ablation_gds: {} requests, universe {} MiB", trace.len(), total_bytes >> 20);
 
     println!("\n=== size-aware single cache: GDS vs byte-LRU ===");
     println!(

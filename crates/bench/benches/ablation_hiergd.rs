@@ -11,9 +11,7 @@
 
 use std::io::Write as _;
 use webcache_bench::{figures_dir, synthetic_traces, Scale};
-use webcache_sim::{
-    latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind,
-};
+use webcache_sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
 
 fn main() {
     let mut scale = Scale::from_env();

@@ -48,12 +48,8 @@ fn main() {
         let lfu = hit_ratio(LfuCache::new(cap), &trace);
         let perfect = hit_ratio(PerfectLfuCache::new(cap), &trace);
         let gd = hit_ratio(GreedyDualCache::new(cap), &trace);
-        println!(
-            "{:>10.0}{lru:>12.3}{lfu:>14.3}{perfect:>14.3}{gd:>12.3}",
-            frac * 100.0
-        );
-        writeln!(csv, "{:.0},{lru:.4},{lfu:.4},{perfect:.4},{gd:.4}", frac * 100.0)
-            .expect("csv");
+        println!("{:>10.0}{lru:>12.3}{lfu:>14.3}{perfect:>14.3}{gd:>12.3}", frac * 100.0);
+        writeln!(csv, "{:.0},{lru:.4},{lfu:.4},{perfect:.4},{gd:.4}", frac * 100.0).expect("csv");
     }
     eprintln!("wrote {}", figures_dir().join("ablation_lfu.csv").display());
 }

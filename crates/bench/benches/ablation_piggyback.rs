@@ -30,8 +30,7 @@ fn main() {
         "{:>12}{:>12}{:>14}{:>14}{:>16}{:>12}",
         "mechanism", "destages", "connections", "piggybacked", "overlay msgs", "avg lat"
     );
-    let mut csv =
-        std::fs::File::create(figures_dir().join("ablation_piggyback.csv")).expect("csv");
+    let mut csv = std::fs::File::create(figures_dir().join("ablation_piggyback.csv")).expect("csv");
     writeln!(csv, "mechanism,destages,new_connections,piggybacked,overlay_messages,avg_latency")
         .expect("csv");
     for (piggyback, m) in &results {

@@ -67,8 +67,7 @@ fn main() {
             }
         }
         engine.finish(&mut metrics);
-        let invariants_ok =
-            (0..2).all(|p| engine.p2p(p).check_invariants().is_empty());
+        let invariants_ok = (0..2).all(|p| engine.p2p(p).check_invariants().is_empty());
         println!(
             "{:>18}{:>12.3}{:>12.3}{:>14}{:>12}",
             failures,

@@ -30,7 +30,11 @@ fn main() {
         SchemeKind::HierGd,
     ];
     let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base);
-    print_panel("Figure 2(a): latency gain (%) vs proxy cache size — synthetic", &results, &schemes);
+    print_panel(
+        "Figure 2(a): latency gain (%) vs proxy cache size — synthetic",
+        &results,
+        &schemes,
+    );
     let path = write_csv("fig2a", &results);
     eprintln!("wrote {}", path.display());
 }

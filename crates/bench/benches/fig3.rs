@@ -14,8 +14,7 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("fig3: alpha sweep {{0.5, 0.7, 1.0}} ({} requests/proxy)", scale.requests);
     let alphas = [0.5f64, 0.7, 1.0];
-    let panels =
-        [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
+    let panels = [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
     let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
 
     // One sweep per α: its own traces and NC baselines.
@@ -31,17 +30,14 @@ fn main() {
         let curves: Vec<(String, Vec<(f64, f64)>)> = alphas
             .iter()
             .zip(&per_alpha)
-            .map(|(&alpha, results)| {
-                (format!("alpha={alpha}"), gain_curve(results, panel))
-            })
+            .map(|(&alpha, results)| (format!("alpha={alpha}"), gain_curve(results, panel)))
             .collect();
         print_labeled_curves(
             &format!("Figure 3: {}/NC latency gain (%)", panel.label()),
             "cache(%)",
             &curves,
         );
-        let path =
-            write_labeled_csv(&format!("fig3_{}", panel.label().to_lowercase()), &curves);
+        let path = write_labeled_csv(&format!("fig3_{}", panel.label().to_lowercase()), &curves);
         eprintln!("wrote {}", path.display());
     }
 }

@@ -15,8 +15,7 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("fig4: stack-size sweep {{5%, 20%, 60%}} ({} requests/proxy)", scale.requests);
     let stacks = [0.05f64, 0.20, 0.60];
-    let panels =
-        [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
+    let panels = [SchemeKind::FcEc, SchemeKind::Fc, SchemeKind::HierGd, SchemeKind::ScEc];
     let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
 
     let per_stack: Vec<_> = stacks
@@ -40,8 +39,7 @@ fn main() {
             "cache(%)",
             &curves,
         );
-        let path =
-            write_labeled_csv(&format!("fig4_{}", panel.label().to_lowercase()), &curves);
+        let path = write_labeled_csv(&format!("fig4_{}", panel.label().to_lowercase()), &curves);
         eprintln!("wrote {}", path.display());
     }
 }

@@ -14,8 +14,7 @@ fn main() {
     let scale = Scale::from_env();
     // Reduced scale also shrinks the overlay sweep to keep the 1-core
     // runtime sane; --full runs the paper's clusters.
-    let clusters: &[usize] =
-        if scale.full { &[100, 400, 800, 1000] } else { &[100, 400] };
+    let clusters: &[usize] = if scale.full { &[100, 400, 800, 1000] } else { &[100, 400] };
     eprintln!("fig5c: client-cluster sweep {clusters:?} ({} requests/proxy)", scale.requests);
     let traces = synthetic_traces(2, scale, |_| {});
     let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
@@ -26,7 +25,7 @@ fn main() {
     curves.push(("SC".into(), gain_curve(&refs, SchemeKind::Sc)));
     curves.push(("FC".into(), gain_curve(&refs, SchemeKind::Fc)));
     for &n in clusters {
-        let mut cfg = base.clone();
+        let mut cfg = base;
         cfg.clients_per_cluster = n;
         let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &cfg);
         curves.push((format!("Hier-GD({n})"), gain_curve(&results, SchemeKind::HierGd)));

@@ -28,8 +28,7 @@ fn main() {
         "{:>6}{:>12}{:>10}{:>10}{:>12}{:>12}{:>12}",
         "orgs", "scheme", "avg lat", "hit%", "own-p2p%", "cross-org%", "server%"
     );
-    let mut csv =
-        std::fs::File::create(figures_dir().join("squirrel_compare.csv")).expect("csv");
+    let mut csv = std::fs::File::create(figures_dir().join("squirrel_compare.csv")).expect("csv");
     writeln!(csv, "orgs,scheme,avg_latency,hit_ratio,own_p2p,cross_org,server").expect("csv");
 
     for orgs in [1usize, 2] {
@@ -58,8 +57,7 @@ fn main() {
         let mh = run_engine(&mut hg, &traces, &cfg.net);
 
         for (name, m) in [("Squirrel", &ms), ("Hier-GD", &mh)] {
-            let cross =
-                m.fraction(HitClass::CoopProxy) + m.fraction(HitClass::CoopP2p);
+            let cross = m.fraction(HitClass::CoopProxy) + m.fraction(HitClass::CoopP2p);
             println!(
                 "{orgs:>6}{name:>12}{:>10.3}{:>10.1}{:>12.1}{:>12.1}{:>12.1}",
                 m.avg_latency(),

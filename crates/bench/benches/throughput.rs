@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark for end-to-end simulator throughput.
+//!
+//! Complements the `webcache throughput` CLI harness: the harness reports
+//! requests/sec at the full figure-2 workload for `BENCH_throughput.json`;
+//! this target gives Criterion-style per-iteration timings of
+//! `run_experiment` at a reduced workload, suitable for quick A/B checks
+//! while editing the hot path (`cargo bench -p webcache-bench --bench
+//! throughput`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webcache_bench::{synthetic_traces, Scale};
+use webcache_sim::{run_experiment, ExperimentConfig, SchemeKind};
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    // Reduced figure-2 shape: same proxy count, client fan-out, and object
+    // population as the default harness run, fewer requests per sample.
+    let scale = Scale { requests: 50_000, distinct_objects: 10_000, full: false };
+    let traces = synthetic_traces(2, scale, |_| {});
+    let base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Nc, SchemeKind::Fc, SchemeKind::HierGd] {
+        group.bench_function(scheme.label(), |b| {
+            let cfg = ExperimentConfig { scheme, ..base };
+            b.iter(|| black_box(run_experiment(&cfg, &traces)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

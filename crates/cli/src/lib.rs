@@ -8,7 +8,9 @@
 //! * `stats` — summarize a trace file (the §5.1 quantities: U, one-timer
 //!   fraction, estimated Zipf α, …);
 //! * `run`   — run one caching scheme over per-proxy trace files;
-//! * `sweep` — run schemes × cache sizes and print a figure panel.
+//! * `sweep` — run schemes × cache sizes and print a figure panel;
+//! * `throughput` — time the simulator itself (requests/sec per scheme)
+//!   and write `BENCH_throughput.json`, the repo's perf trajectory.
 //!
 //! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
 //! deliberately keeps its dependency set small — see DESIGN.md).
@@ -22,6 +24,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::str::FromStr;
 use webcache_sim::sweep::{gain_curve, sweep};
+use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
     latency_gain_percent, run_experiment, ExperimentConfig, HitClass, NetworkModel, SchemeKind,
 };
@@ -84,9 +87,7 @@ impl Command {
     pub fn opt<T: FromStr>(&self, key: &str, default: T) -> Result<T, UsageError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| UsageError(format!("--{key}: cannot parse '{v}'")))
-            }
+            Some(v) => v.parse().map_err(|_| UsageError(format!("--{key}: cannot parse '{v}'"))),
         }
     }
 
@@ -112,6 +113,10 @@ USAGE:
                  [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
                  FILE...            (one trace file per proxy)
   webcache sweep [--schemes a,b,c] [--fracs f1,f2,...] FILE...
+  webcache throughput [--schemes a,b,c] [--cache-frac F] [--requests N]
+                 [--objects N] [--clients N] [--proxies N] [--repeats N]
+                 [--out FILE] [FILE...]
+                 (no FILEs: times the default figure-2 synthetic workload)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).";
 
@@ -149,6 +154,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         "stats" => cmd_stats(cmd),
         "run" => cmd_run(cmd),
         "sweep" => cmd_sweep(cmd),
+        "throughput" => cmd_throughput(cmd),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
 }
@@ -204,21 +210,13 @@ fn cmd_stats(cmd: &Command) -> Result<String, String> {
         let _ = writeln!(out, "  requests:            {}", s.requests);
         let _ = writeln!(out, "  distinct objects:    {}", s.distinct_objects);
         let _ = writeln!(out, "  infinite cache (U):  {}", s.infinite_cache_size);
-        let _ = writeln!(
-            out,
-            "  one-timer fraction:  {:.1}%",
-            s.one_timer_fraction() * 100.0
-        );
+        let _ = writeln!(out, "  one-timer fraction:  {:.1}%", s.one_timer_fraction() * 100.0);
         let _ = writeln!(
             out,
             "  est. Zipf alpha:     {}",
             s.zipf_alpha_estimate().map(|a| format!("{a:.2}")).unwrap_or_else(|| "n/a".into())
         );
-        let _ = writeln!(
-            out,
-            "  mean reuse distance: {:.0}",
-            TraceStats::mean_reuse_distance(t)
-        );
+        let _ = writeln!(out, "  mean reuse distance: {:.0}", TraceStats::mean_reuse_distance(t));
         let _ = writeln!(out, "  clients:             {}", t.num_clients);
     }
     Ok(out)
@@ -237,7 +235,8 @@ fn cmd_run(cmd: &Command) -> Result<String, String> {
     let scheme = parse_scheme(cmd.required("scheme").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let traces = load_traces(&cmd.positional)?;
-    let mut cfg = ExperimentConfig::new(scheme, cmd.opt("cache-frac", 0.2).map_err(|e| e.to_string())?);
+    let mut cfg =
+        ExperimentConfig::new(scheme, cmd.opt("cache-frac", 0.2).map_err(|e| e.to_string())?);
     cfg.num_proxies = traces.len();
     cfg.clients_per_cluster = cmd.opt("clients", 100).map_err(|e| e.to_string())?;
     cfg.net = net_from(cmd)?;
@@ -246,7 +245,7 @@ fn cmd_run(cmd: &Command) -> Result<String, String> {
     let nc = if scheme == SchemeKind::Nc {
         metrics.clone()
     } else {
-        run_experiment(&ExperimentConfig { scheme: SchemeKind::Nc, ..cfg.clone() }, &traces)
+        run_experiment(&ExperimentConfig { scheme: SchemeKind::Nc, ..cfg }, &traces)
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -260,12 +259,7 @@ fn cmd_run(cmd: &Command) -> Result<String, String> {
     let _ = writeln!(out, "  hit ratio:    {:.1}%", metrics.hit_ratio() * 100.0);
     let _ = writeln!(out, "  latency gain: {:+.1}% vs NC", latency_gain_percent(&nc, &metrics));
     for class in HitClass::ALL {
-        let _ = writeln!(
-            out,
-            "  {:<12} {:>7.2}%",
-            class.label(),
-            metrics.fraction(class) * 100.0
-        );
+        let _ = writeln!(out, "  {:<12} {:>7.2}%", class.label(), metrics.fraction(class) * 100.0);
     }
     Ok(out)
 }
@@ -314,6 +308,60 @@ fn cmd_sweep(cmd: &Command) -> Result<String, String> {
         }
         let _ = writeln!(out);
     }
+    Ok(out)
+}
+
+/// Times `run_experiment` per scheme and writes `BENCH_throughput.json`.
+///
+/// With no positional trace files, the default figure-2 synthetic workload
+/// is generated in-process (ProWGen §5.1 defaults, one statistically
+/// identical trace per proxy, same seed derivation as the bench harness).
+fn cmd_throughput(cmd: &Command) -> Result<String, String> {
+    let schemes: Vec<SchemeKind> = cmd
+        .opt("schemes", "nc,sc,fc,nc-ec,sc-ec,fc-ec,hier-gd".to_string())
+        .map_err(|e| e.to_string())?
+        .split(',')
+        .map(parse_scheme)
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let cache_frac = cmd.opt("cache-frac", 0.1).map_err(|e| e.to_string())?;
+    let repeats = cmd.opt("repeats", 3usize).map_err(|e| e.to_string())?;
+    let out_path =
+        cmd.opt("out", "BENCH_throughput.json".to_string()).map_err(|e| e.to_string())?;
+    let clients = cmd.opt("clients", 100usize).map_err(|e| e.to_string())?;
+
+    let traces = if cmd.positional.is_empty() {
+        let num_proxies = cmd.opt("proxies", 2usize).map_err(|e| e.to_string())?;
+        let requests = cmd.opt("requests", 250_000usize).map_err(|e| e.to_string())?;
+        let objects = cmd.opt("objects", 10_000usize).map_err(|e| e.to_string())?;
+        (0..num_proxies)
+            .map(|p| {
+                let mut cfg = ProWGenConfig {
+                    requests,
+                    distinct_objects: objects,
+                    num_clients: clients as u32,
+                    ..ProWGenConfig::default()
+                };
+                cfg.seed =
+                    webcache_primitives::seed::derive_indexed(cfg.seed, "proxy-trace", p as u64);
+                cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
+                Ok(ProWGen::new(cfg).generate())
+            })
+            .collect::<Result<Vec<_>, String>>()?
+    } else {
+        load_traces(&cmd.positional)?
+    };
+
+    let mut base = ExperimentConfig::new(SchemeKind::Nc, cache_frac);
+    base.num_proxies = traces.len();
+    base.clients_per_cluster = clients;
+    base.net = net_from(cmd)?;
+    base.validate().map_err(|e| format!("invalid experiment: {e}"))?;
+
+    let report = measure_throughput(&schemes, &base, &traces, repeats);
+    std::fs::write(&out_path, report.to_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut out = report.to_table();
+    let _ = writeln!(out, "wrote {out_path}");
     Ok(out)
 }
 
@@ -367,7 +415,15 @@ mod tests {
         let path_s = path.to_str().unwrap().to_string();
         // gen (tiny workload)
         let gen = Command::parse(&argv(&[
-            "gen", "--out", &path_s, "--requests", "9000", "--objects", "600", "--clients", "10",
+            "gen",
+            "--out",
+            &path_s,
+            "--requests",
+            "9000",
+            "--objects",
+            "600",
+            "--clients",
+            "10",
         ]))
         .unwrap();
         let msg = execute(&gen).unwrap();
@@ -379,14 +435,29 @@ mod tests {
         assert!(out.contains("distinct objects:    600"), "{out}");
         // run SC over two proxies (same file twice is fine for a smoke test)
         let run = Command::parse(&argv(&[
-            "run", "--scheme", "sc", "--cache-frac", "0.3", "--clients", "10", &path_s, &path_s,
+            "run",
+            "--scheme",
+            "sc",
+            "--cache-frac",
+            "0.3",
+            "--clients",
+            "10",
+            &path_s,
+            &path_s,
         ]))
         .unwrap();
         let out = execute(&run).unwrap();
         assert!(out.contains("latency gain"), "{out}");
         // sweep two schemes, two sizes
         let sw = Command::parse(&argv(&[
-            "sweep", "--schemes", "sc,fc", "--fracs", "0.2,0.6", "--clients", "10", &path_s,
+            "sweep",
+            "--schemes",
+            "sc,fc",
+            "--fracs",
+            "0.2,0.6",
+            "--clients",
+            "10",
+            &path_s,
             &path_s,
         ]))
         .unwrap();
@@ -408,7 +479,13 @@ mod tests {
     #[test]
     fn gen_rejects_invalid_workload() {
         let gen = Command::parse(&argv(&[
-            "gen", "--out", "/tmp/x.bin", "--requests", "10", "--objects", "600",
+            "gen",
+            "--out",
+            "/tmp/x.bin",
+            "--requests",
+            "10",
+            "--objects",
+            "600",
         ]))
         .unwrap();
         assert!(execute(&gen).unwrap_err().contains("invalid workload"));

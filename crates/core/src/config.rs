@@ -55,15 +55,15 @@ impl SchemeKind {
 
     /// True if the scheme exploits client caches.
     pub fn uses_client_caches(&self) -> bool {
-        matches!(
-            self,
-            SchemeKind::NcEc | SchemeKind::ScEc | SchemeKind::FcEc | SchemeKind::HierGd
-        )
+        matches!(self, SchemeKind::NcEc | SchemeKind::ScEc | SchemeKind::FcEc | SchemeKind::HierGd)
     }
 }
 
 /// One experiment: a scheme at a sizing point (§5.1 defaults).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// All fields are plain values, so the config is `Copy` — sweeps and
+/// harnesses pass it by value instead of cloning per grid point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Scheme to run.
     pub scheme: SchemeKind,

@@ -34,8 +34,8 @@
 use crate::engine::SchemeEngine;
 use crate::net::{HitClass, NetworkModel};
 use crate::site::SiteTier;
-use std::collections::HashMap;
 use webcache_policy::{BoundedCache, NotBeneficial, ValueCache};
+use webcache_primitives::FxHashMap;
 use webcache_workload::{ObjectId, Request, Trace};
 
 /// One proxy's storage in the FC cluster.
@@ -126,7 +126,7 @@ impl CbSite {
 pub struct CostBenefitEngine {
     sites: Vec<CbSite>,
     /// object -> proxies currently holding a copy (either tier).
-    holders: HashMap<ObjectId, Vec<u8>>,
+    holders: FxHashMap<ObjectId, Vec<u8>>,
     /// Perfect per-object frequency knowledge (request counts).
     freq: Vec<f64>,
     first_copy_factor: f64,
@@ -148,8 +148,7 @@ impl CostBenefitEngine {
     ) -> Self {
         assert!(num_proxies > 0, "need at least one proxy");
         assert!(num_proxies <= u8::MAX as usize, "copy tracking uses u8 site ids");
-        let num_objects =
-            traces.iter().map(|t| t.num_objects).max().unwrap_or(0) as usize;
+        let num_objects = traces.iter().map(|t| t.num_objects).max().unwrap_or(0) as usize;
         let mut freq = vec![0.0f64; num_objects];
         for t in traces {
             for r in &t.requests {
@@ -159,7 +158,7 @@ impl CostBenefitEngine {
         let p = num_proxies as f64;
         CostBenefitEngine {
             sites: (0..num_proxies).map(|_| CbSite::new(proxy_capacity, p2p_capacity)).collect(),
-            holders: HashMap::new(),
+            holders: FxHashMap::default(),
             freq,
             first_copy_factor: net.ts + (p - 1.0) * (net.ts - net.tc),
             extra_copy_factor: net.tc,
@@ -324,14 +323,10 @@ mod tests {
         let net = NetworkModel::default();
         let mut fce = CostBenefitEngine::new(2, 25, 0, &net, &ts);
         let _ = run_engine(&mut fce, &ts, &net);
-        let dup: usize =
-            fce.holders.values().filter(|h| h.len() > 1).count();
+        let dup: usize = fce.holders.values().filter(|h| h.len() > 1).count();
         let total: usize = fce.holders.len();
         assert!(total > 0);
-        assert!(
-            (dup as f64) < 0.5 * total as f64,
-            "{dup}/{total} objects duplicated"
-        );
+        assert!((dup as f64) < 0.5 * total as f64, "{dup}/{total} objects duplicated");
     }
 
     #[test]
@@ -340,7 +335,7 @@ mod tests {
         let net = NetworkModel::default();
         let mut e = CostBenefitEngine::new(2, 10, 0, &net, &ts);
         let obj = 0u32; // most popular object
-        // Serve at proxy 0: first copy placed.
+                        // Serve at proxy 0: first copy placed.
         e.serve(0, &Request { client: 0, object: obj, size: 1 });
         assert_eq!(e.copies_of(obj), 1);
         // Serve at proxy 1: remote hit, extra copy beneficial for the

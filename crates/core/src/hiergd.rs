@@ -98,9 +98,8 @@ impl HierGdEngine {
         opts: HierGdOptions,
     ) -> Self {
         assert!(num_proxies > 0, "need at least one proxy");
-        let object_ids = (0..num_objects)
-            .map(|o| webcache_p2p::object_id_for_url(&Trace::url_of(o)))
-            .collect();
+        let object_ids =
+            (0..num_objects).map(|o| webcache_p2p::object_id_for_url(&Trace::url_of(o))).collect();
         let proxies = (0..num_proxies)
             .map(|p| GdProxy {
                 cache: GreedyDualCache::new(proxy_capacity.max(1)),
@@ -268,7 +267,13 @@ mod tests {
             .collect()
     }
 
-    fn engine(proxies: usize, cap: usize, clients: usize, node_cap: usize, objects: u32) -> HierGdEngine {
+    fn engine(
+        proxies: usize,
+        cap: usize,
+        clients: usize,
+        node_cap: usize,
+        objects: u32,
+    ) -> HierGdEngine {
         HierGdEngine::new(
             proxies,
             cap,

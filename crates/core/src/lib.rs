@@ -61,11 +61,13 @@ pub mod net;
 pub mod site;
 pub mod squirrel;
 pub mod sweep;
+pub mod throughput;
 
 pub use config::{build_engine, run_experiment, ExperimentConfig, SchemeKind, Sizing};
 pub use engine::{run_engine, SchemeEngine};
 pub use hiergd::{HierGdEngine, HierGdOptions};
-pub use metrics::{latency_gain_percent, RunMetrics};
+pub use metrics::{latency_gain_percent, ClassCounts, RunMetrics};
 pub use net::{HitClass, NetworkModel};
 pub use squirrel::SquirrelEngine;
 pub use sweep::{gain_curve, sweep, SweepResult, PAPER_CACHE_FRACS};
+pub use throughput::{measure_throughput, ThroughputPoint, ThroughputReport};

@@ -2,8 +2,32 @@
 
 use crate::net::HitClass;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use webcache_p2p::MessageLedger;
+
+/// Requests served per [`HitClass`], as a dense array.
+///
+/// `record()` runs once per simulated request; a `HashMap<String, u64>`
+/// here cost a label-`String` allocation plus a SipHash per request. The
+/// array indexes by [`HitClass::index`] instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts([u64; HitClass::ALL.len()]);
+
+impl ClassCounts {
+    /// Requests served from `class`.
+    pub fn get(&self, class: HitClass) -> u64 {
+        self.0[class.index()]
+    }
+
+    /// Counts one request served from `class`.
+    pub fn bump(&mut self, class: HitClass) {
+        self.0[class.index()] += 1;
+    }
+
+    /// Iterates `(class, count)` pairs in [`HitClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (HitClass, u64)> + '_ {
+        HitClass::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+}
 
 /// Aggregated results of one simulation run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -13,7 +37,7 @@ pub struct RunMetrics {
     /// Sum of end-to-end latencies.
     pub total_latency: f64,
     /// Requests by serving class.
-    pub by_class: HashMap<String, u64>,
+    pub by_class: ClassCounts,
     /// Merged P2P message counters (Hier-GD only; zero otherwise).
     pub messages: MessageLedger,
 }
@@ -23,7 +47,7 @@ impl RunMetrics {
     pub fn record(&mut self, class: HitClass, latency: f64) {
         self.requests += 1;
         self.total_latency += latency;
-        *self.by_class.entry(class.label().to_string()).or_insert(0) += 1;
+        self.by_class.bump(class);
     }
 
     /// Mean end-to-end latency (0 when empty).
@@ -37,7 +61,7 @@ impl RunMetrics {
 
     /// Requests served from `class`.
     pub fn count(&self, class: HitClass) -> u64 {
-        self.by_class.get(class.label()).copied().unwrap_or(0)
+        self.by_class.get(class)
     }
 
     /// Fraction of requests served from `class`.

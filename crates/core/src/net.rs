@@ -30,8 +30,19 @@ pub enum HitClass {
 
 impl HitClass {
     /// All classes, for iteration in reports.
-    pub const ALL: [HitClass; 5] =
-        [HitClass::LocalProxy, HitClass::OwnP2p, HitClass::CoopProxy, HitClass::CoopP2p, HitClass::Server];
+    pub const ALL: [HitClass; 5] = [
+        HitClass::LocalProxy,
+        HitClass::OwnP2p,
+        HitClass::CoopProxy,
+        HitClass::CoopP2p,
+        HitClass::Server,
+    ];
+
+    /// Dense index of this class (0..[`HitClass::ALL`]`.len()`), for
+    /// array-backed per-class counters.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
@@ -118,9 +129,7 @@ impl NetworkModel {
     /// sweeps (e.g. Ts/Tl = 5 with Ts/Tc = 10 makes Tc < Tp2p); schemes
     /// keep the paper's fixed lookup cascade regardless.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in
-            [("ts", self.ts), ("tc", self.tc), ("tl", self.tl), ("tp2p", self.tp2p)]
-        {
+        for (name, v) in [("ts", self.ts), ("tc", self.tc), ("tl", self.tl), ("tp2p", self.tp2p)] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(format!("{name} must be positive and finite (got {v})"));
             }

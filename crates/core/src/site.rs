@@ -70,11 +70,8 @@ impl TwoTierLfuSite {
             p2p.remove(object);
             if let Some((victim, vf)) = self.proxy.insert_with_frequency(object, freq) {
                 // Demotion cannot overflow: the P2P tier just lost `object`.
-                let spilled = self
-                    .p2p
-                    .as_mut()
-                    .expect("p2p tier exists")
-                    .insert_with_frequency(victim, vf);
+                let spilled =
+                    self.p2p.as_mut().expect("p2p tier exists").insert_with_frequency(victim, vf);
                 debug_assert!(spilled.is_none());
             }
         } else {
@@ -167,7 +164,7 @@ mod tests {
         let mut s = TwoTierLfuSite::new(1, 2);
         s.admit(1); // proxy{1:f1}
         s.lookup(1); // f2
-        // A fresh object cannot outrank the f2 resident: straight to P2P.
+                     // A fresh object cannot outrank the f2 resident: straight to P2P.
         s.admit(2);
         assert_eq!(s.tier_of(1), Some(SiteTier::Proxy));
         assert_eq!(s.tier_of(2), Some(SiteTier::P2p));

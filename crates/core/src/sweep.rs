@@ -41,15 +41,13 @@ pub fn sweep(
     let baselines: Vec<RunMetrics> = fracs
         .par_iter()
         .map(|&f| {
-            let cfg = ExperimentConfig { scheme: SchemeKind::Nc, cache_frac: f, ..base.clone() };
+            let cfg = ExperimentConfig { scheme: SchemeKind::Nc, cache_frac: f, ..*base };
             run_experiment(&cfg, traces)
         })
         .collect();
 
-    let points: Vec<(SchemeKind, usize)> = schemes
-        .iter()
-        .flat_map(|&s| (0..fracs.len()).map(move |i| (s, i)))
-        .collect();
+    let points: Vec<(SchemeKind, usize)> =
+        schemes.iter().flat_map(|&s| (0..fracs.len()).map(move |i| (s, i))).collect();
 
     points
         .into_par_iter()
@@ -58,7 +56,7 @@ pub fn sweep(
             let metrics = if scheme == SchemeKind::Nc {
                 baselines[i].clone()
             } else {
-                let cfg = ExperimentConfig { scheme, cache_frac, ..base.clone() };
+                let cfg = ExperimentConfig { scheme, cache_frac, ..*base };
                 run_experiment(&cfg, traces)
             };
             let gain_percent = latency_gain_percent(&baselines[i], &metrics);
@@ -104,8 +102,7 @@ mod tests {
         let ts = traces();
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.clients_per_cluster = 8;
-        let results =
-            sweep(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base);
+        let results = sweep(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base);
         assert_eq!(results.len(), 4);
         for r in &results {
             if r.scheme == SchemeKind::Nc {

@@ -1,0 +1,220 @@
+//! Simulator throughput measurement: requests/sec per scheme.
+//!
+//! The ROADMAP's north star is a simulator that runs "as fast as the
+//! hardware allows"; every figure sweep is bound by `serve()` throughput.
+//! This harness times [`run_experiment`] per scheme over a fixed workload
+//! and reports requests per second, so each PR leaves a perf trajectory
+//! (`BENCH_throughput.json`) behind.
+//!
+//! Timing uses the *fastest* of `repeats` runs per scheme — the minimum is
+//! the standard noise-robust estimator for deterministic workloads.
+
+use crate::config::{run_experiment, ExperimentConfig, SchemeKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+use webcache_workload::Trace;
+
+/// One scheme's timing result.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Scheme measured.
+    pub scheme: SchemeKind,
+    /// Requests simulated per run (all traces interleaved).
+    pub requests: u64,
+    /// Wall-clock seconds of the fastest run.
+    pub elapsed_secs: f64,
+    /// `requests / elapsed_secs` of the fastest run.
+    pub requests_per_sec: f64,
+    /// Mean end-to-end latency of the simulated scheme (model time, not
+    /// wall clock) — carried along so a perf regression that accidentally
+    /// changes simulation output is visible right in the report.
+    pub avg_latency: f64,
+    /// Overall hit ratio of the simulated scheme.
+    pub hit_ratio: f64,
+}
+
+/// A full throughput report: configuration + one point per scheme.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Configuration shared by every point (scheme field is ignored).
+    pub base: ExperimentConfig,
+    /// Requests per trace and trace count, for the record.
+    pub trace_requests: usize,
+    /// Number of proxy traces.
+    pub num_traces: usize,
+    /// Timed runs per scheme (fastest wins).
+    pub repeats: usize,
+    /// Per-scheme results, in measurement order.
+    pub points: Vec<ThroughputPoint>,
+}
+
+/// Times `run_experiment` for each scheme in `schemes` over `traces`.
+///
+/// Every scheme runs `repeats` times (minimum 1); the fastest run is
+/// reported. The simulation itself is deterministic, so metrics are taken
+/// from the first run.
+pub fn measure_throughput(
+    schemes: &[SchemeKind],
+    base: &ExperimentConfig,
+    traces: &[Trace],
+    repeats: usize,
+) -> ThroughputReport {
+    let repeats = repeats.max(1);
+    let mut points = Vec::with_capacity(schemes.len());
+    for &scheme in schemes {
+        let cfg = ExperimentConfig { scheme, ..*base };
+        let mut best = f64::INFINITY;
+        let mut metrics = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let m = run_experiment(&cfg, traces);
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed < best {
+                best = elapsed;
+            }
+            metrics.get_or_insert(m);
+        }
+        let m = metrics.expect("at least one run");
+        points.push(ThroughputPoint {
+            scheme,
+            requests: m.requests,
+            elapsed_secs: best,
+            requests_per_sec: if best > 0.0 { m.requests as f64 / best } else { f64::INFINITY },
+            avg_latency: m.avg_latency(),
+            hit_ratio: m.hit_ratio(),
+        });
+    }
+    ThroughputReport {
+        base: *base,
+        trace_requests: traces.first().map_or(0, |t| t.len()),
+        num_traces: traces.len(),
+        repeats,
+        points,
+    }
+}
+
+impl ThroughputReport {
+    /// Renders the report as the `BENCH_throughput.json` document.
+    ///
+    /// Hand-rolled JSON: the offline build environment has no serde_json,
+    /// and the format is small and fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        writeln!(
+            s,
+            "  \"config\": {{\"num_proxies\": {}, \"cache_frac\": {}, \
+             \"clients_per_cluster\": {}, \"per_client_frac\": {}, \
+             \"trace_requests\": {}, \"num_traces\": {}, \"repeats\": {}}},",
+            self.base.num_proxies,
+            self.base.cache_frac,
+            self.base.clients_per_cluster,
+            self.base.per_client_frac,
+            self.trace_requests,
+            self.num_traces,
+            self.repeats
+        )
+        .unwrap();
+        s.push_str("  \"schemes\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            writeln!(
+                s,
+                "    {{\"scheme\": \"{}\", \"requests\": {}, \"elapsed_secs\": {:.6}, \
+                 \"requests_per_sec\": {:.0}, \"avg_latency\": {:.4}, \"hit_ratio\": {:.4}}}{}",
+                p.scheme.label(),
+                p.requests,
+                p.elapsed_secs,
+                p.requests_per_sec,
+                p.avg_latency,
+                p.hit_ratio,
+                if i + 1 == self.points.len() { "" } else { "," }
+            )
+            .unwrap();
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders an aligned text table for terminals.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        writeln!(
+            s,
+            "{:<8} {:>12} {:>12} {:>14} {:>12} {:>10}",
+            "scheme", "requests", "elapsed(s)", "req/s", "avg-latency", "hit-ratio"
+        )
+        .unwrap();
+        for p in &self.points {
+            writeln!(
+                s,
+                "{:<8} {:>12} {:>12.4} {:>14.0} {:>12.4} {:>10.4}",
+                p.scheme.label(),
+                p.requests,
+                p.elapsed_secs,
+                p.requests_per_sec,
+                p.avg_latency,
+                p.hit_ratio
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    /// The point for `scheme`, if measured.
+    pub fn point(&self, scheme: SchemeKind) -> Option<&ThroughputPoint> {
+        self.points.iter().find(|p| p.scheme == scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_workload::{ProWGen, ProWGenConfig};
+
+    fn tiny_traces() -> Vec<Trace> {
+        (0..2)
+            .map(|p| {
+                ProWGen::new(ProWGenConfig {
+                    requests: 2_000,
+                    distinct_objects: 200,
+                    num_clients: 10,
+                    seed: 9 + p,
+                    ..ProWGenConfig::default()
+                })
+                .generate()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn measures_all_requested_schemes() {
+        let ts = tiny_traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 10;
+        let report = measure_throughput(&[SchemeKind::Nc, SchemeKind::HierGd], &base, &ts, 1);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert_eq!(p.requests, 4_000);
+            assert!(p.requests_per_sec > 0.0);
+            assert!(p.elapsed_secs >= 0.0);
+            assert!((0.0..=1.0).contains(&p.hit_ratio));
+        }
+        assert!(report.point(SchemeKind::HierGd).is_some());
+        assert!(report.point(SchemeKind::Fc).is_none());
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let ts = tiny_traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 10;
+        let report = measure_throughput(&[SchemeKind::Nc], &base, &ts, 2);
+        let json = report.to_json();
+        assert!(json.contains("\"schemes\": ["));
+        assert!(json.contains("\"scheme\": \"NC\""));
+        assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.ends_with("}\n"));
+        let table = report.to_table();
+        assert!(table.contains("req/s"));
+        assert!(table.contains("NC"));
+    }
+}

@@ -19,9 +19,10 @@
 use crate::directory::{DirectoryKind, LookupDirectory};
 use crate::ledger::MessageLedger;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::hash::Hasher;
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
 use webcache_policy::{BoundedCache, GreedyDualCache};
+use webcache_primitives::{FxHashMap, FxHasher};
 
 /// Configuration for a [`P2PClientCache`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -67,10 +68,10 @@ pub struct ClientCacheNode {
     /// Objects this node is the root for but which live at a neighbor:
     /// the diversion table of §4.3 ("enters an entry for d1 in its table
     /// with a pointer to B").
-    diverted_to: HashMap<u128, NodeId>,
+    diverted_to: FxHashMap<u128, NodeId>,
     /// Reverse index for objects hosted here on behalf of another root,
     /// so evicting one can invalidate the root's pointer.
-    hosted_for: HashMap<u128, NodeId>,
+    hosted_for: FxHashMap<u128, NodeId>,
 }
 
 impl ClientCacheNode {
@@ -78,8 +79,8 @@ impl ClientCacheNode {
         ClientCacheNode {
             id,
             store: GreedyDualCache::new(capacity),
-            diverted_to: HashMap::new(),
-            hosted_for: HashMap::new(),
+            diverted_to: FxHashMap::default(),
+            hosted_for: FxHashMap::default(),
         }
     }
 
@@ -106,6 +107,11 @@ impl ClientCacheNode {
     /// Number of live outbound diversion pointers.
     pub fn diversions_out(&self) -> usize {
         self.diverted_to.len()
+    }
+
+    /// Objects resident in this node's store (unordered, no allocation).
+    pub fn objects(&self) -> impl Iterator<Item = u128> + '_ {
+        self.store.keys()
     }
 }
 
@@ -136,17 +142,72 @@ pub struct DestageOutcome {
     pub refreshed: bool,
 }
 
+/// Slots in the direct-mapped route memo (power of two).
+const ROUTE_MEMO_SLOTS: usize = 1 << 12;
+
+/// Fixed-size direct-mapped memo of overlay routes: (entry node, object)
+/// → (DHT root, hop count).
+///
+/// Overlay routes are pure functions of the membership, so replaying a
+/// memoized route yields the identical root and the identical message
+/// charge. A direct-mapped table is used instead of a growable map: route
+/// keys are dominated by destages whose (entry, object) pairs rarely
+/// repeat, and a hash map paid a per-miss insert plus periodic rehashes of
+/// an ever-growing table — more than the memoized hits saved. Here a miss
+/// costs one slot overwrite, memory is bounded, and hot fetch routes (same
+/// client re-requesting the same object) still hit. Colliding pairs simply
+/// evict each other, which affects speed, never results.
+#[derive(Clone, Debug)]
+struct RouteMemo {
+    slots: Vec<MemoSlot>,
+}
+
+/// One memo slot: the (entry id, object id) tag plus the (root, hops)
+/// payload.
+type MemoSlot = Option<((u128, u128), (NodeId, u32))>;
+
+impl RouteMemo {
+    fn new() -> Self {
+        RouteMemo { slots: vec![None; ROUTE_MEMO_SLOTS] }
+    }
+
+    fn slot(entry: u128, object: u128) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u128(entry);
+        h.write_u128(object);
+        h.finish() as usize & (ROUTE_MEMO_SLOTS - 1)
+    }
+
+    fn get(&self, entry: NodeId, object: u128) -> Option<(NodeId, u32)> {
+        match self.slots[Self::slot(entry.0, object)] {
+            Some((key, val)) if key == (entry.0, object) => Some(val),
+            _ => None,
+        }
+    }
+
+    fn put(&mut self, entry: NodeId, object: u128, root: NodeId, hops: u32) {
+        self.slots[Self::slot(entry.0, object)] = Some(((entry.0, object), (root, hops)));
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
 /// The federated client cache for one client cluster.
 #[derive(Clone, Debug)]
 pub struct P2PClientCache {
     cfg: P2PClientCacheConfig,
     overlay: Overlay,
-    nodes: HashMap<u128, ClientCacheNode>,
+    nodes: FxHashMap<u128, ClientCacheNode>,
     /// Client index (0-based) → overlay node, for piggyback entry points.
     node_of_client: Vec<NodeId>,
     directory: LookupDirectory,
     ledger: MessageLedger,
     resident: usize,
+    /// Memoized overlay routes, invalidated wholesale on membership change
+    /// ([`fail_node`](Self::fail_node) / [`join_node`](Self::join_node)).
+    route_memo: RouteMemo,
 }
 
 impl P2PClientCache {
@@ -158,7 +219,7 @@ impl P2PClientCache {
         assert!(cfg.num_nodes > 0, "need at least one client cache");
         assert!(cfg.node_capacity > 0, "client caches need capacity");
         let mut overlay = Overlay::new(cfg.pastry);
-        let mut nodes = HashMap::with_capacity(cfg.num_nodes);
+        let mut nodes = FxHashMap::with_capacity_and_hasher(cfg.num_nodes, Default::default());
         let mut node_of_client = Vec::with_capacity(cfg.num_nodes);
         for i in 0..cfg.num_nodes {
             // cacheId assignment per §4.1: hash the client's identity.
@@ -176,7 +237,31 @@ impl P2PClientCache {
             directory,
             ledger: MessageLedger::default(),
             resident: 0,
+            route_memo: RouteMemo::new(),
         }
+    }
+
+    /// Routes from `entry` to the DHT root of `object`, charging the hop
+    /// count to the ledger. Memoized when `memoize` is set: a memo hit
+    /// replays the identical root and identical hop charge the overlay
+    /// walk would produce. Fetches memoize (the same client re-requests
+    /// the same hot object often); destages do not — their (entry, object)
+    /// pairs are near-unique, so writing them to the memo only evicts the
+    /// fetch entries that do repay.
+    fn route_to_root(&mut self, entry: NodeId, object: u128, memoize: bool) -> (NodeId, usize) {
+        if memoize {
+            if let Some((root, hops)) = self.route_memo.get(entry, object) {
+                self.ledger.overlay_messages += u64::from(hops);
+                return (root, hops as usize);
+            }
+        }
+        let (root, hops) =
+            self.overlay.route_hops(entry, object_key(object)).expect("entry node is live");
+        if memoize {
+            self.route_memo.put(entry, object, root, hops as u32);
+        }
+        self.ledger.overlay_messages += hops as u64;
+        (root, hops)
     }
 
     /// The overlay node serving client `client` (clients map round-robin
@@ -247,9 +332,7 @@ impl P2PClientCache {
                 self.node_of_client[0]
             }
         };
-        let route = self.overlay.route(entry, object_key(object)).expect("entry node is live");
-        self.ledger.overlay_messages += route.hops() as u64;
-        let root = route.destination;
+        let (root, hops) = self.route_to_root(entry, object, false);
 
         // Already present at the root (or via its diversion pointer)?
         // Refresh the greedy-dual credit instead of storing a duplicate.
@@ -260,7 +343,7 @@ impl P2PClientCache {
                 root,
                 stored_at: holder,
                 evicted: None,
-                hops: route.hops(),
+                hops,
                 refreshed: true,
             };
         }
@@ -273,26 +356,18 @@ impl P2PClientCache {
             self.resident += 1;
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
-            return DestageOutcome {
-                root,
-                stored_at: root,
-                evicted: None,
-                hops: route.hops(),
-                refreshed: false,
-            };
+            return DestageOutcome { root, stored_at: root, evicted: None, hops, refreshed: false };
         }
 
         // Fig. 1 step 7: divert to a leaf-set neighbor with free space.
         if self.cfg.diversion {
-            let candidates = self
+            let diversion_target = self
                 .overlay
                 .state(root)
                 .expect("root is live")
-                .leaf_members();
-            if let Some(b) = candidates
-                .into_iter()
-                .find(|n| self.nodes.get(&n.0).is_some_and(ClientCacheNode::has_free_space))
-            {
+                .leaf_iter()
+                .find(|n| self.nodes.get(&n.0).is_some_and(ClientCacheNode::has_free_space));
+            if let Some(b) = diversion_target {
                 let bn = self.nodes.get_mut(&b.0).expect("leaf member is live");
                 let evicted = bn.store.insert_with_cost(object, cost, 1.0);
                 debug_assert!(evicted.is_none());
@@ -308,7 +383,7 @@ impl P2PClientCache {
                     root,
                     stored_at: b,
                     evicted: None,
-                    hops: route.hops(),
+                    hops,
                     refreshed: false,
                 };
             }
@@ -323,13 +398,7 @@ impl P2PClientCache {
         self.directory.insert(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
-        DestageOutcome {
-            root,
-            stored_at: root,
-            evicted: Some(evicted),
-            hops: route.hops(),
-            refreshed: false,
-        }
+        DestageOutcome { root, stored_at: root, evicted: Some(evicted), hops, refreshed: false }
     }
 
     /// Book-keeping when `node` evicts `object` from its store: fix up
@@ -358,6 +427,15 @@ impl P2PClientCache {
         rn.diverted_to.get(&object).copied()
     }
 
+    /// The DHT root `object` would route to — the live node numerically
+    /// closest to its objectId. Read-only: no routing messages are
+    /// simulated and no state changes, so tests and diagnostics can group
+    /// objects by root without cloning the whole cache and probing it
+    /// with [`destage`](Self::destage).
+    pub fn root_of(&self, object: u128) -> NodeId {
+        self.overlay.owner_of(object_key(object)).expect("cluster is non-empty")
+    }
+
     /// Fetches `object` for local client `client`: the proxy redirected
     /// the request into the P2P cache, the client routes to the root and
     /// the holder serves it. Returns `None` when the object is not there
@@ -367,16 +445,14 @@ impl P2PClientCache {
     pub fn fetch(&mut self, client: u32, object: u128, hit_cost: f64) -> Option<FetchOutcome> {
         self.ledger.lookups += 1;
         let from = self.node_for_client(client);
-        let route = self.overlay.route(from, object_key(object)).expect("client node is live");
-        self.ledger.overlay_messages += route.hops() as u64;
-        let root = route.destination;
+        let (root, hops) = self.route_to_root(from, object, true);
         match self.holder_of(root, object) {
             Some(holder) => {
                 let extra = usize::from(holder != root);
                 self.ledger.overlay_messages += extra as u64;
                 let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
                 hn.store.touch_with_cost(object, hit_cost, 1.0);
-                Some(FetchOutcome { holder, hops: route.hops() + extra })
+                Some(FetchOutcome { holder, hops: hops + extra })
             }
             None => {
                 self.ledger.stale_lookups += 1;
@@ -410,9 +486,10 @@ impl P2PClientCache {
     pub fn fail_node(&mut self, id: NodeId) {
         assert!(self.nodes.len() > 1, "cannot fail the last client cache");
         let node = self.nodes.remove(&id.0).unwrap_or_else(|| panic!("{id} is not a member"));
-        // Objects stored here are gone.
-        let lost: Vec<u128> = node.store.keys_by_credit().collect();
-        for obj in lost {
+        // Objects stored here are gone. `node` is owned (already removed
+        // from the map), so its store can be walked in heap order without
+        // snapshotting the keys into a Vec first.
+        for obj in node.store.keys() {
             self.resident -= 1;
             self.directory.remove(obj);
             if let Some(owner) = node.hosted_for.get(&obj) {
@@ -434,11 +511,66 @@ impl P2PClientCache {
             }
         }
         self.overlay.fail(id);
+        // Membership changed: every memoized route may now be wrong.
+        self.route_memo.clear();
         // Remap clients that entered through the failed node.
         for slot in &mut self.node_of_client {
             if *slot == id {
                 *slot = NodeId(*self.nodes.keys().next().expect("cluster non-empty"));
             }
+        }
+    }
+
+    /// Joins a new client cache to the cluster mid-run (churn). The new
+    /// node becomes an entry point for newly mapped clients, and objects
+    /// it is now the numerically closest node for migrate to it eagerly
+    /// (PAST-style): without migration, routing-based fetches would miss
+    /// objects still resident under their former roots.
+    ///
+    /// # Panics
+    /// Panics if `id` is already a member.
+    pub fn join_node(&mut self, id: NodeId) {
+        assert!(!self.nodes.contains_key(&id.0), "node {id} already joined");
+        let msgs = self.overlay.join(id);
+        self.ledger.overlay_messages += msgs as u64;
+        self.nodes.insert(id.0, ClientCacheNode::new(id, self.cfg.node_capacity));
+        self.node_of_client.push(id);
+        // Membership changed: every memoized route may now be wrong.
+        self.route_memo.clear();
+
+        // Re-home keys whose closest node is now the newcomer, carrying
+        // their greedy-dual credit along as the insertion cost.
+        let mut moves: Vec<(NodeId, u128, f64)> = Vec::new();
+        for node in self.nodes.values() {
+            if node.id == id {
+                continue;
+            }
+            for obj in node.store.keys() {
+                if self.root_of(obj) == id {
+                    let credit = node.store.h_value(obj).expect("key is resident");
+                    moves.push((node.id, obj, credit));
+                }
+            }
+        }
+        for (holder, obj, credit) in moves {
+            let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
+            hn.store.remove(obj);
+            let owner = hn.hosted_for.remove(&obj);
+            if let Some(owner) = owner {
+                // The object was hosted on a diversion; drop the stale
+                // pointer at its former root.
+                if let Some(on) = self.nodes.get_mut(&owner.0) {
+                    on.diverted_to.remove(&obj);
+                }
+            }
+            self.resident -= 1;
+            self.ledger.overlay_messages += 1; // hand-off to the new root
+            let nn = self.nodes.get_mut(&id.0).expect("newcomer is live");
+            if let Some(evicted) = nn.store.insert_with_cost(obj, credit, 1.0) {
+                self.on_node_eviction(id, evicted);
+                self.directory.remove(evicted);
+            }
+            self.resident += 1;
         }
     }
 
@@ -451,7 +583,7 @@ impl P2PClientCache {
         let mut problems = Vec::new();
         let mut count = 0usize;
         for node in self.nodes.values() {
-            for obj in node.store.keys_by_credit() {
+            for obj in node.store.keys() {
                 count += 1;
                 if !self.directory.contains(obj) {
                     problems.push(format!("object {obj:032x} resident but not in directory"));
@@ -460,9 +592,7 @@ impl P2PClientCache {
             for (obj, host) in &node.diverted_to {
                 match self.nodes.get(&host.0) {
                     Some(hn) if hn.store.contains(*obj) => {}
-                    _ => problems.push(format!(
-                        "diversion pointer {obj:032x} -> {host} dangles"
-                    )),
+                    _ => problems.push(format!("diversion pointer {obj:032x} -> {host} dangles")),
                 }
             }
             for (obj, owner) in &node.hosted_for {
@@ -561,7 +691,10 @@ mod tests {
         // Aggregate capacity is 8; everything fits somewhere.
         assert_eq!(c.len(), 8);
         assert!(diverted_seen, "hash skew on 8 ids must fill some root before others");
-        assert_eq!(c.ledger().diversions, c.node_ids().map(|n| c.node(n).unwrap().diversions_out() as u64).sum::<u64>());
+        assert_eq!(
+            c.ledger().diversions,
+            c.node_ids().map(|n| c.node(n).unwrap().diversions_out() as u64).sum::<u64>()
+        );
     }
 
     #[test]
@@ -671,13 +804,12 @@ mod tests {
         // Cheap objects must be evicted before expensive ones within one
         // node: find two objects rooted at the same node.
         let mut c = small(2, 1);
-        // Find objects sharing a DHT root by probing destages on clones.
-        let mut by_root: HashMap<NodeId, Vec<u128>> = HashMap::new();
+        // Group objects by DHT root via the read-only accessor (the old
+        // version cloned the entire cache per probe destage).
+        let mut by_root: FxHashMap<NodeId, Vec<u128>> = FxHashMap::default();
         for i in 0..64u64 {
             let o = oid(i);
-            let mut probe = c.clone();
-            let out = probe.destage(o, 1.0, Some(0));
-            by_root.entry(out.root).or_default().push(o);
+            by_root.entry(c.root_of(o)).or_default().push(o);
         }
         let (root, objs) = by_root.into_iter().find(|(_, v)| v.len() >= 3).expect("skew");
         let cheap = objs[0];
@@ -685,7 +817,7 @@ mod tests {
         let newer = objs[2];
         c.destage(dear, 10.0, Some(0));
         c.destage(cheap, 1.0, Some(0)); // diverted (root full, neighbor free)
-        // Saturate the cluster so the next destage must replace.
+                                        // Saturate the cluster so the next destage must replace.
         for i in 100..140u64 {
             c.destage(oid(i), 1.0, Some(0));
         }
@@ -693,6 +825,88 @@ mod tests {
         if out.root == root && out.evicted.is_some() {
             assert_ne!(out.evicted, Some(dear), "expensive object evicted before cheap");
         }
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn root_of_matches_destage_root() {
+        let mut c = small(12, 4);
+        for i in 0..32u64 {
+            let o = oid(i);
+            let predicted = c.root_of(o);
+            let out = c.destage(o, 1.0, Some(i as u32));
+            assert_eq!(out.root, predicted, "read-only root disagrees with routing");
+        }
+    }
+
+    #[test]
+    fn route_memo_hits_are_bit_identical_and_invalidated_on_churn() {
+        // Replaying a fetch must hit the memo and charge the identical
+        // hop cost, yielding the identical outcome.
+        let mut warm = small(10, 3);
+        for i in 0..20u64 {
+            warm.destage(oid(i), 1.0, Some(0));
+        }
+        let lookups_before = warm.ledger().overlay_messages;
+        let out_a = warm.fetch(1, oid(5), 1.0);
+        let first_cost = warm.ledger().overlay_messages - lookups_before;
+        let mid = warm.ledger().overlay_messages;
+        let out_b = warm.fetch(1, oid(5), 1.0); // memoized route
+        let second_cost = warm.ledger().overlay_messages - mid;
+        assert_eq!(out_a, out_b, "memoized fetch outcome changed");
+        assert_eq!(first_cost, second_cost, "memo must charge identical hops");
+
+        // Failing a node clears the memo: routes targeting the dead node
+        // must re-resolve to a live root instead of replaying stale memos.
+        let victim = warm.node_ids().next().unwrap();
+        warm.fail_node(victim);
+        for i in 0..20u64 {
+            let o = oid(i);
+            if warm.directory_contains(o) {
+                let f = warm.fetch(2, o, 1.0).expect("directory-resident object fetchable");
+                assert_ne!(f.holder, victim, "route led to a failed node");
+            }
+        }
+        assert!(warm.check_invariants().is_empty());
+
+        // Joining changes ownership; memoized roots must be recomputed
+        // and migration keeps every directory-resident object reachable
+        // through routing.
+        let newcomer = NodeId::from_bytes(b"late-joining-cache-node");
+        warm.join_node(newcomer);
+        for i in 0..20u64 {
+            let o = oid(i);
+            if warm.directory_contains(o) {
+                assert!(warm.fetch(3, o, 1.0).is_some());
+            }
+        }
+        assert!(warm.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn join_node_accepts_traffic() {
+        let mut c = small(4, 2);
+        for i in 0..8u64 {
+            c.destage(oid(i), 1.0, Some(0));
+        }
+        let newcomer = NodeId::from_bytes(b"fresh-node");
+        c.join_node(newcomer);
+        // Eager migration: everything the newcomer holds, it now roots.
+        for obj in c.node(newcomer).unwrap().objects() {
+            assert_eq!(c.root_of(obj), newcomer, "migrated object not rooted here");
+        }
+        // Objects whose closest node is now the newcomer land on it.
+        let mut landed = false;
+        for i in 100..200u64 {
+            let o = oid(i);
+            if c.root_of(o) == newcomer {
+                let out = c.destage(o, 1.0, Some(0));
+                assert_eq!(out.root, newcomer);
+                landed = true;
+                break;
+            }
+        }
+        assert!(landed, "some object out of 100 should root at the newcomer");
         assert!(c.check_invariants().is_empty());
     }
 

@@ -15,8 +15,7 @@
 //!   Bloom filter.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use webcache_primitives::CountingBloomFilter;
+use webcache_primitives::{CountingBloomFilter, FxHashSet};
 
 /// Which directory representation the proxy uses.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -38,7 +37,7 @@ pub enum DirectoryKind {
 #[derive(Clone, Debug)]
 pub enum LookupDirectory {
     /// Exact hashtable.
-    Exact(HashSet<u128>),
+    Exact(FxHashSet<u128>),
     /// Counting Bloom filter.
     Bloom(CountingBloomFilter),
 }
@@ -47,7 +46,7 @@ impl LookupDirectory {
     /// Builds the directory described by `kind`.
     pub fn new(kind: DirectoryKind) -> Self {
         match kind {
-            DirectoryKind::Exact => LookupDirectory::Exact(HashSet::new()),
+            DirectoryKind::Exact => LookupDirectory::Exact(FxHashSet::default()),
             DirectoryKind::Bloom { counters_per_key, expected_entries } => LookupDirectory::Bloom(
                 CountingBloomFilter::with_capacity(expected_entries, counters_per_key),
             ),

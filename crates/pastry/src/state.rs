@@ -172,13 +172,19 @@ impl NodeState {
 
     /// All distinct leaf-set members.
     pub fn leaf_members(&self) -> Vec<NodeId> {
-        let mut v = self.leaf_cw.clone();
-        for &n in &self.leaf_ccw {
-            if !v.contains(&n) {
-                v.push(n);
-            }
-        }
-        v
+        self.leaf_iter().collect()
+    }
+
+    /// All distinct leaf-set members, without allocating: clockwise side
+    /// first (nearest first), then counter-clockwise members not already
+    /// seen — the same order as [`leaf_members`](Self::leaf_members).
+    pub fn leaf_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // Each side holds distinct ids, so deduplication only needs to
+        // check ccw members against the cw side.
+        self.leaf_cw
+            .iter()
+            .copied()
+            .chain(self.leaf_ccw.iter().copied().filter(|n| !self.leaf_cw.contains(n)))
     }
 
     /// Clockwise side of the leaf set, nearest first.
@@ -233,6 +239,19 @@ impl NodeState {
             }
         }
         v
+    }
+
+    /// All nodes this state knows about, without allocating. Unlike
+    /// [`known_nodes`](Self::known_nodes) this may yield a node more than
+    /// once, but each node's *first* occurrence appears in the same
+    /// relative order, so first-wins reductions (`find`, `min_by_key`)
+    /// produce identical results.
+    pub fn known_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.leaf_cw
+            .iter()
+            .chain(self.leaf_ccw.iter())
+            .copied()
+            .chain(self.table.iter().filter_map(|e| *e))
     }
 
     /// Routing-table row `row` as a slice of options.
@@ -312,9 +331,9 @@ mod tests {
         let mut s = NodeState::new(me, cfg());
         s.consider_for_leaf(id(5)); // clockwise across the wrap
         s.consider_for_leaf(id(u128::MAX - 20)); // counter-clockwise
-        // A 3-node ring: both peers appear on both sides, ordered by the
-        // walking distance on that side. Clockwise from MAX-10: 5 (16
-        // steps) then MAX-20 (all the way around).
+                                                 // A 3-node ring: both peers appear on both sides, ordered by the
+                                                 // walking distance on that side. Clockwise from MAX-10: 5 (16
+                                                 // steps) then MAX-20 (all the way around).
         assert_eq!(s.leaf_cw(), &[id(5), id(u128::MAX - 20)]);
         assert_eq!(s.leaf_ccw(), &[id(u128::MAX - 20), id(5)]);
     }

@@ -14,8 +14,9 @@
 //! Both refuse objects larger than the whole cache (served but never
 //! stored — standard proxy behaviour).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::hash::Hash;
+use webcache_primitives::FxHashMap;
 
 /// Total-ordered f64 wrapper (no NaNs are ever produced by the policies).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,7 +42,7 @@ pub struct GreedyDualSizeCache<K: Ord + Copy = u64> {
     capacity_bytes: u64,
     used_bytes: u64,
     /// key -> (H, stamp, size)
-    entries: HashMap<K, (f64, u64, u32)>,
+    entries: FxHashMap<K, (f64, u64, u32)>,
     /// (H, stamp, key): first element is the victim.
     order: BTreeSet<(H, u64, K)>,
     inflation: f64,
@@ -58,7 +59,7 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualSizeCache<K> {
         GreedyDualSizeCache {
             capacity_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: BTreeSet::new(),
             inflation: 0.0,
             clock: 0,
@@ -167,7 +168,7 @@ pub struct ByteLruCache<K: Copy = u64> {
     capacity_bytes: u64,
     used_bytes: u64,
     /// key -> (stamp, size)
-    entries: HashMap<K, (u64, u32)>,
+    entries: FxHashMap<K, (u64, u32)>,
     /// stamp -> key, oldest first.
     order: std::collections::BTreeMap<u64, K>,
     clock: u64,
@@ -183,7 +184,7 @@ impl<K: Copy + Eq + Hash> ByteLruCache<K> {
         ByteLruCache {
             capacity_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: std::collections::BTreeMap::new(),
             clock: 0,
         }
@@ -233,7 +234,8 @@ impl<K: Copy + Eq + Hash> ByteLruCache<K> {
         }
         let mut evicted = Vec::new();
         while self.used_bytes + u64::from(size) > self.capacity_bytes {
-            let (&stamp, &victim) = self.order.iter().next().expect("over budget implies non-empty");
+            let (&stamp, &victim) =
+                self.order.iter().next().expect("over budget implies non-empty");
             self.order.remove(&stamp);
             let (_, vsize) = self.entries.remove(&victim).expect("ordered entry resident");
             self.used_bytes -= u64::from(vsize);
@@ -257,7 +259,7 @@ mod tests {
         // H = cost/size: big cheap object has tiny credit.
         c.insert(1u64, 1.0, 80); // H = 0.0125
         c.insert(2, 10.0, 10); // H = 1.0
-        // Inserting a 50-byte object must evict the big cheap one only.
+                               // Inserting a 50-byte object must evict the big cheap one only.
         let evicted = c.insert(3, 5.0, 50);
         assert_eq!(evicted, vec![1]);
         assert!(c.contains(2) && c.contains(3));
@@ -307,8 +309,7 @@ mod tests {
             assert!(c.inflation() >= last_l, "inflation must never decrease");
             last_l = c.inflation();
             assert!(c.used_bytes() <= 500);
-            let sum: u64 =
-                c.entries.values().map(|&(_, _, s)| u64::from(s)).sum();
+            let sum: u64 = c.entries.values().map(|&(_, _, s)| u64::from(s)).sum();
             assert_eq!(sum, c.used_bytes(), "byte accounting drift");
         }
     }

@@ -16,9 +16,16 @@
 //!   before an object that must come from the origin server;
 //! * Hier-GD (§3) runs this algorithm at the proxy *and* in every client
 //!   cache, passing the proxy's evictions down into the P2P client cache.
+//!
+//! Priorities live in an [`IndexedMinHeap`] keyed by `(H, stamp)`; the
+//! stamp comes from a monotone clock, so `(H, stamp)` is already a total
+//! order and the eviction sequence is bit-identical to the earlier
+//! `BTreeSet<(H, stamp, key)>` implementation (a proptest below checks
+//! this against a retained reference copy) — without the B-tree's
+//! per-operation node allocation.
 
+use crate::heap::IndexedMinHeap;
 use crate::BoundedCache;
-use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
 /// Total-ordered f64 wrapper (no NaNs are ever produced by the policy).
@@ -41,17 +48,16 @@ impl Ord for H {
 
 /// Bounded greedy-dual cache.
 #[derive(Clone, Debug)]
-pub struct GreedyDualCache<K: Ord + Copy = u64> {
+pub struct GreedyDualCache<K: Copy + Eq + Hash = u64> {
     capacity: usize,
-    /// key -> (H, stamp)
-    entries: HashMap<K, (f64, u64)>,
-    /// (H, stamp, key) ordered: first element is the eviction victim.
-    order: BTreeSet<(H, u64, K)>,
+    /// key -> (H, stamp); min (H, stamp) is the eviction victim. Stamps
+    /// are unique, so the order is total without comparing keys.
+    heap: IndexedMinHeap<(H, u64), K>,
     inflation: f64,
     clock: u64,
 }
 
-impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
+impl<K: Copy + Eq + Hash> GreedyDualCache<K> {
     /// Creates a cache holding at most `capacity` unit-size objects.
     ///
     /// # Panics
@@ -60,8 +66,7 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
         assert!(capacity > 0, "capacity must be positive");
         GreedyDualCache {
             capacity,
-            entries: HashMap::new(),
-            order: BTreeSet::new(),
+            heap: IndexedMinHeap::with_capacity(capacity),
             inflation: 0.0,
             clock: 0,
         }
@@ -74,23 +79,19 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
 
     /// Resident credit of `key` (the raw `H`, including inflation).
     pub fn h_value(&self, key: K) -> Option<f64> {
-        self.entries.get(&key).map(|&(h, _)| h)
+        self.heap.priority(key).map(|(H(h), _)| h)
     }
 
     fn set_h(&mut self, key: K, h: f64) {
         debug_assert!(h.is_finite());
         self.clock += 1;
-        if let Some(&(old, stamp)) = self.entries.get(&key) {
-            self.order.remove(&(H(old), stamp, key));
-        }
-        self.entries.insert(key, (h, self.clock));
-        self.order.insert((H(h), self.clock, key));
+        self.heap.push(key, (H(h), self.clock));
     }
 
     /// Records a hit: `H = L + cost/size`.
     /// Returns false if `key` is not resident.
     pub fn touch_with_cost(&mut self, key: K, cost: f64, size: f64) -> bool {
-        if !self.entries.contains_key(&key) {
+        if !self.heap.contains(key) {
             return false;
         }
         let h = self.inflation + cost / size;
@@ -107,7 +108,7 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
         if self.touch_with_cost(key, cost, size) {
             return None;
         }
-        let evicted = if self.entries.len() >= self.capacity { self.evict() } else { None };
+        let evicted = if self.heap.len() >= self.capacity { self.evict() } else { None };
         let h = self.inflation + cost / size;
         self.set_h(key, h);
         evicted
@@ -115,9 +116,7 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
 
     /// Evicts the minimum-credit object, advancing `L` to its credit.
     pub fn evict(&mut self) -> Option<K> {
-        let &(H(h), stamp, key) = self.order.iter().next()?;
-        self.order.remove(&(H(h), stamp, key));
-        self.entries.remove(&key);
+        let ((H(h), _), key) = self.heap.pop_min()?;
         // Inflation is monotone: every resident H >= L by construction.
         debug_assert!(h >= self.inflation);
         self.inflation = h;
@@ -126,31 +125,39 @@ impl<K: Copy + Eq + Hash + Ord> GreedyDualCache<K> {
 
     /// The would-be victim without evicting.
     pub fn peek_victim(&self) -> Option<K> {
-        self.order.iter().next().map(|&(_, _, k)| k)
+        self.heap.peek_min().map(|(_, k)| k)
     }
 
     /// Iterates over resident keys in eviction (ascending credit) order.
-    pub fn keys_by_credit(&self) -> impl Iterator<Item = K> + '_ {
-        self.order.iter().map(|&(_, _, k)| k)
+    ///
+    /// Builds a sorted snapshot (O(n log n)) — inspection use only. Hot
+    /// paths that don't need ordering should use [`keys`](Self::keys).
+    pub fn keys_by_credit(&self) -> impl Iterator<Item = K> {
+        self.heap.sorted_snapshot().into_iter().map(|(_, k)| k)
+    }
+
+    /// Iterates over resident keys in arbitrary order, without allocating.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.heap.iter().map(|(_, k)| k)
     }
 
     /// True if the cache has spare capacity.
     pub fn has_free_space(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.heap.len() < self.capacity
     }
 }
 
-impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for GreedyDualCache<K> {
+impl<K: Copy + Eq + Hash> BoundedCache<K> for GreedyDualCache<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.heap.len()
     }
 
     fn contains(&self, key: K) -> bool {
-        self.entries.contains_key(&key)
+        self.heap.contains(key)
     }
 
     fn touch(&mut self, key: K) -> bool {
@@ -162,12 +169,7 @@ impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for GreedyDualCache<K> {
     }
 
     fn remove(&mut self, key: K) -> bool {
-        if let Some((h, stamp)) = self.entries.remove(&key) {
-            self.order.remove(&(H(h), stamp, key));
-            true
-        } else {
-            false
-        }
+        self.heap.remove(key).is_some()
     }
 }
 
@@ -201,8 +203,8 @@ mod tests {
         let mut c = GreedyDualCache::new(2);
         c.insert_with_cost(100u64, 5.0, 1.0); // H = 5
         c.insert_with_cost(0, 1.0, 1.0); // H = 1
-        // Each round evicts the cheap slot at rising H; once L exceeds 4,
-        // a new cheap insert outranks the stale expensive object.
+                                         // Each round evicts the cheap slot at rising H; once L exceeds 4,
+                                         // a new cheap insert outranks the stale expensive object.
         for next in 1u64..=8 {
             c.insert_with_cost(next, 1.0, 1.0);
         }
@@ -275,6 +277,20 @@ mod tests {
     }
 
     #[test]
+    fn keys_by_credit_ascending() {
+        let mut c = GreedyDualCache::new(4);
+        c.insert_with_cost(1u64, 3.0, 1.0);
+        c.insert_with_cost(2, 1.0, 1.0);
+        c.insert_with_cost(3, 2.0, 1.0);
+        let order: Vec<u64> = c.keys_by_credit().collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        // Unordered iteration sees the same key set.
+        let mut all: Vec<u64> = c.keys().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
     #[should_panic(expected = "cost must be finite")]
     fn rejects_negative_cost() {
         let mut c = GreedyDualCache::new(2);
@@ -294,6 +310,180 @@ mod tests {
                     proptest::prop_assert_eq!(evicted, Some(v));
                 }
                 proptest::prop_assert!(c.len() <= 6);
+            }
+        }
+    }
+
+    /// The pre-heap implementation, retained verbatim as the oracle for
+    /// the eviction-sequence equivalence proptest below.
+    mod reference {
+        use crate::BoundedCache;
+        use std::collections::{BTreeSet, HashMap};
+        use std::hash::Hash;
+
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct H(f64);
+
+        impl Eq for H {}
+
+        impl PartialOrd for H {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for H {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        #[derive(Clone, Debug)]
+        pub struct BTreeGreedyDualCache<K: Ord + Copy = u64> {
+            capacity: usize,
+            entries: HashMap<K, (f64, u64)>,
+            order: BTreeSet<(H, u64, K)>,
+            inflation: f64,
+            clock: u64,
+        }
+
+        impl<K: Copy + Eq + Hash + Ord> BTreeGreedyDualCache<K> {
+            pub fn new(capacity: usize) -> Self {
+                assert!(capacity > 0);
+                BTreeGreedyDualCache {
+                    capacity,
+                    entries: HashMap::new(),
+                    order: BTreeSet::new(),
+                    inflation: 0.0,
+                    clock: 0,
+                }
+            }
+
+            pub fn inflation(&self) -> f64 {
+                self.inflation
+            }
+
+            pub fn h_value(&self, key: K) -> Option<f64> {
+                self.entries.get(&key).map(|&(h, _)| h)
+            }
+
+            fn set_h(&mut self, key: K, h: f64) {
+                self.clock += 1;
+                if let Some(&(old, stamp)) = self.entries.get(&key) {
+                    self.order.remove(&(H(old), stamp, key));
+                }
+                self.entries.insert(key, (h, self.clock));
+                self.order.insert((H(h), self.clock, key));
+            }
+
+            pub fn touch_with_cost(&mut self, key: K, cost: f64, size: f64) -> bool {
+                if !self.entries.contains_key(&key) {
+                    return false;
+                }
+                let h = self.inflation + cost / size;
+                self.set_h(key, h);
+                true
+            }
+
+            pub fn insert_with_cost(&mut self, key: K, cost: f64, size: f64) -> Option<K> {
+                if self.touch_with_cost(key, cost, size) {
+                    return None;
+                }
+                let evicted = if self.entries.len() >= self.capacity { self.evict() } else { None };
+                let h = self.inflation + cost / size;
+                self.set_h(key, h);
+                evicted
+            }
+
+            pub fn evict(&mut self) -> Option<K> {
+                let &(H(h), stamp, key) = self.order.iter().next()?;
+                self.order.remove(&(H(h), stamp, key));
+                self.entries.remove(&key);
+                self.inflation = h;
+                Some(key)
+            }
+
+            pub fn peek_victim(&self) -> Option<K> {
+                self.order.iter().next().map(|&(_, _, k)| k)
+            }
+
+            pub fn keys_by_credit(&self) -> impl Iterator<Item = K> + '_ {
+                self.order.iter().map(|&(_, _, k)| k)
+            }
+        }
+
+        impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for BTreeGreedyDualCache<K> {
+            fn capacity(&self) -> usize {
+                self.capacity
+            }
+            fn len(&self) -> usize {
+                self.entries.len()
+            }
+            fn contains(&self, key: K) -> bool {
+                self.entries.contains_key(&key)
+            }
+            fn touch(&mut self, key: K) -> bool {
+                self.touch_with_cost(key, 1.0, 1.0)
+            }
+            fn insert(&mut self, key: K) -> Option<K> {
+                self.insert_with_cost(key, 1.0, 1.0)
+            }
+            fn remove(&mut self, key: K) -> bool {
+                if let Some((h, stamp)) = self.entries.remove(&key) {
+                    self.order.remove(&(H(h), stamp, key));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The heap-backed cache must replay the reference BTreeSet
+        /// implementation *exactly*: same eviction victims in the same
+        /// order, same inflation trajectory, same credits, same victim
+        /// prediction, same ascending-credit iteration.
+        #[test]
+        fn heap_matches_btreeset_reference(
+            ops in proptest::collection::vec(
+                (0u8..4, 0u64..25, 1u32..16, 1u32..4), 1..400
+            )
+        ) {
+            let mut heap_gd = GreedyDualCache::new(5);
+            let mut ref_gd = reference::BTreeGreedyDualCache::new(5);
+            for (op, key, cost, size) in ops {
+                let (cost, size) = (cost as f64, size as f64);
+                match op {
+                    0 => {
+                        let a = heap_gd.insert_with_cost(key, cost, size);
+                        let b = ref_gd.insert_with_cost(key, cost, size);
+                        proptest::prop_assert_eq!(a, b, "eviction victims diverged");
+                    }
+                    1 => {
+                        proptest::prop_assert_eq!(
+                            heap_gd.touch_with_cost(key, cost, size),
+                            ref_gd.touch_with_cost(key, cost, size)
+                        );
+                    }
+                    2 => {
+                        proptest::prop_assert_eq!(heap_gd.remove(key), ref_gd.remove(key));
+                    }
+                    _ => {
+                        proptest::prop_assert_eq!(heap_gd.evict(), ref_gd.evict());
+                    }
+                }
+                proptest::prop_assert_eq!(heap_gd.len(), ref_gd.len());
+                proptest::prop_assert_eq!(
+                    heap_gd.inflation().to_bits(),
+                    ref_gd.inflation().to_bits(),
+                    "inflation diverged"
+                );
+                proptest::prop_assert_eq!(heap_gd.peek_victim(), ref_gd.peek_victim());
+                proptest::prop_assert_eq!(heap_gd.h_value(key), ref_gd.h_value(key));
+                let a: Vec<u64> = heap_gd.keys_by_credit().collect();
+                let b: Vec<u64> = ref_gd.keys_by_credit().collect();
+                proptest::prop_assert_eq!(a, b, "credit order diverged");
             }
         }
     }

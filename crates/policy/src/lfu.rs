@@ -15,73 +15,67 @@
 //! Ties break toward evicting the least-recently-used among the
 //! least-frequent, the common implementation choice.
 
+use crate::heap::IndexedMinHeap;
 use crate::BoundedCache;
-use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
+use webcache_primitives::FxHashMap;
 
 /// Shared frequency-ordered store: (frequency, recency stamp) ordering.
+///
+/// An [`IndexedMinHeap`] keyed by `(freq, stamp)` replaces the earlier
+/// `BTreeSet<(freq, stamp, key)>`; stamps are unique, so the eviction
+/// order is unchanged while updates stop allocating B-tree nodes.
 #[derive(Clone, Debug)]
-struct FreqIndex<K: Ord + Copy> {
-    /// (freq, stamp, key), ordered so the first element is the victim.
-    order: BTreeSet<(u64, u64, K)>,
-    /// key -> (freq, stamp)
-    entries: HashMap<K, (u64, u64)>,
+struct FreqIndex<K: Copy + Eq + Hash> {
+    /// key -> (freq, stamp); the minimum is the victim.
+    heap: IndexedMinHeap<(u64, u64), K>,
     clock: u64,
 }
 
-impl<K: Copy + Eq + Hash + Ord> FreqIndex<K> {
+impl<K: Copy + Eq + Hash> FreqIndex<K> {
     fn new() -> Self {
-        FreqIndex { order: BTreeSet::new(), entries: HashMap::new(), clock: 0 }
+        FreqIndex { heap: IndexedMinHeap::new(), clock: 0 }
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.heap.len()
     }
 
     fn contains(&self, key: K) -> bool {
-        self.entries.contains_key(&key)
+        self.heap.contains(key)
     }
 
     fn freq(&self, key: K) -> Option<u64> {
-        self.entries.get(&key).map(|&(f, _)| f)
+        self.heap.priority(key).map(|(f, _)| f)
     }
 
     /// Sets `key`'s frequency to `freq` (inserting if absent).
     fn set(&mut self, key: K, freq: u64) {
         self.clock += 1;
-        if let Some(&(f, s)) = self.entries.get(&key) {
-            self.order.remove(&(f, s, key));
-        }
-        self.entries.insert(key, (freq, self.clock));
-        self.order.insert((freq, self.clock, key));
+        self.heap.push(key, (freq, self.clock));
     }
 
     fn remove(&mut self, key: K) -> Option<u64> {
-        let (f, s) = self.entries.remove(&key)?;
-        self.order.remove(&(f, s, key));
-        Some(f)
+        self.heap.remove(key).map(|(f, _)| f)
     }
 
     fn pop_min(&mut self) -> Option<(K, u64)> {
-        let &(f, s, key) = self.order.iter().next()?;
-        self.order.remove(&(f, s, key));
-        self.entries.remove(&key);
-        Some((key, f))
+        self.heap.pop_min().map(|((f, _), k)| (k, f))
     }
 
     fn peek_min(&self) -> Option<(K, u64)> {
-        self.order.iter().next().map(|&(f, _, k)| (k, f))
+        self.heap.peek_min().map(|((f, _), k)| (k, f))
     }
 }
 
 /// Bounded in-cache LFU.
 #[derive(Clone, Debug)]
-pub struct LfuCache<K: Ord + Copy> {
+pub struct LfuCache<K: Copy + Eq + Hash> {
     capacity: usize,
     index: FreqIndex<K>,
 }
 
-impl<K: Copy + Eq + Hash + Ord> LfuCache<K> {
+impl<K: Copy + Eq + Hash> LfuCache<K> {
     /// Creates a cache holding at most `capacity` objects.
     ///
     /// # Panics
@@ -118,8 +112,7 @@ impl<K: Copy + Eq + Hash + Ord> LfuCache<K> {
             self.index.set(key, freq);
             return None;
         }
-        let evicted =
-            if self.index.len() >= self.capacity { self.index.pop_min() } else { None };
+        let evicted = if self.index.len() >= self.capacity { self.index.pop_min() } else { None };
         self.index.set(key, freq.max(1));
         evicted
     }
@@ -130,8 +123,10 @@ impl<K: Copy + Eq + Hash + Ord> LfuCache<K> {
     }
 
     /// Iterates resident keys in eviction order (least valuable first).
-    pub fn keys_by_frequency(&self) -> impl Iterator<Item = K> + '_ {
-        self.index.order.iter().map(|&(_, _, k)| k)
+    ///
+    /// Builds a sorted snapshot (O(n log n)) — inspection use only.
+    pub fn keys_by_frequency(&self) -> impl Iterator<Item = K> {
+        self.index.heap.sorted_snapshot().into_iter().map(|(_, k)| k)
     }
 
     /// Evicts and returns the victim.
@@ -140,7 +135,7 @@ impl<K: Copy + Eq + Hash + Ord> LfuCache<K> {
     }
 }
 
-impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for LfuCache<K> {
+impl<K: Copy + Eq + Hash> BoundedCache<K> for LfuCache<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -167,8 +162,11 @@ impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for LfuCache<K> {
         if self.touch(key) {
             return None;
         }
-        let evicted =
-            if self.index.len() >= self.capacity { self.index.pop_min().map(|(k, _)| k) } else { None };
+        let evicted = if self.index.len() >= self.capacity {
+            self.index.pop_min().map(|(k, _)| k)
+        } else {
+            None
+        };
         self.index.set(key, 1);
         evicted
     }
@@ -180,21 +178,21 @@ impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for LfuCache<K> {
 
 /// Bounded LFU with *perfect* (eviction-surviving) frequency counts.
 #[derive(Clone, Debug)]
-pub struct PerfectLfuCache<K: Ord + Copy> {
+pub struct PerfectLfuCache<K: Copy + Eq + Hash> {
     capacity: usize,
     index: FreqIndex<K>,
     /// Frequencies of every key ever seen, resident or not.
-    global: HashMap<K, u64>,
+    global: FxHashMap<K, u64>,
 }
 
-impl<K: Copy + Eq + Hash + Ord> PerfectLfuCache<K> {
+impl<K: Copy + Eq + Hash> PerfectLfuCache<K> {
     /// Creates a cache holding at most `capacity` objects.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        PerfectLfuCache { capacity, index: FreqIndex::new(), global: HashMap::new() }
+        PerfectLfuCache { capacity, index: FreqIndex::new(), global: FxHashMap::default() }
     }
 
     /// All-time frequency of `key` (resident or not).
@@ -203,7 +201,7 @@ impl<K: Copy + Eq + Hash + Ord> PerfectLfuCache<K> {
     }
 }
 
-impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for PerfectLfuCache<K> {
+impl<K: Copy + Eq + Hash> BoundedCache<K> for PerfectLfuCache<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -234,8 +232,11 @@ impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for PerfectLfuCache<K> {
         }
         // `touch` already counted this access in the global map.
         let f = self.global[&key];
-        let evicted =
-            if self.index.len() >= self.capacity { self.index.pop_min().map(|(k, _)| k) } else { None };
+        let evicted = if self.index.len() >= self.capacity {
+            self.index.pop_min().map(|(k, _)| k)
+        } else {
+            None
+        };
         self.index.set(key, f);
         evicted
     }

@@ -27,12 +27,14 @@
 
 pub mod bytes;
 pub mod gd;
+pub mod heap;
 pub mod lfu;
 pub mod lru;
 pub mod value;
 
 pub use bytes::{ByteLruCache, GreedyDualSizeCache};
 pub use gd::GreedyDualCache;
+pub use heap::IndexedMinHeap;
 pub use lfu::{LfuCache, PerfectLfuCache};
 pub use lru::LruCache;
 pub use value::{NotBeneficial, ValueCache};

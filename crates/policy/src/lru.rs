@@ -1,8 +1,9 @@
 //! Least-recently-used cache.
 
 use crate::BoundedCache;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::hash::Hash;
+use webcache_primitives::FxHashMap;
 
 /// Bounded LRU cache over arbitrary keys.
 ///
@@ -13,7 +14,7 @@ use std::hash::Hash;
 pub struct LruCache<K> {
     capacity: usize,
     /// key -> recency stamp
-    stamps: HashMap<K, u64>,
+    stamps: FxHashMap<K, u64>,
     /// recency stamp -> key (oldest first)
     order: BTreeMap<u64, K>,
     clock: u64,
@@ -26,7 +27,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        LruCache { capacity, stamps: HashMap::new(), order: BTreeMap::new(), clock: 0 }
+        LruCache { capacity, stamps: FxHashMap::default(), order: BTreeMap::new(), clock: 0 }
     }
 
     fn bump(&mut self, key: K) {

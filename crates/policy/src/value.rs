@@ -8,8 +8,8 @@
 //! cluster — and stores the copy in a [`ValueCache`]; replacement evicts
 //! the minimum-value copy when a higher-value copy needs the slot.
 
+use crate::heap::IndexedMinHeap;
 use crate::BoundedCache;
-use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
 /// Returned by [`ValueCache::insert_if_beneficial`] when the incoming
@@ -45,44 +45,42 @@ impl Ord for V {
 }
 
 /// Bounded store that always evicts the minimum-value entry.
+///
+/// Values live in an [`IndexedMinHeap`] keyed by `(value, stamp)`; stamps
+/// are unique, so eviction order matches the earlier
+/// `BTreeSet<(value, stamp, key)>` exactly, allocation-free per update.
 #[derive(Clone, Debug)]
-pub struct ValueCache<K: Ord + Copy = u64> {
+pub struct ValueCache<K: Copy + Eq + Hash = u64> {
     capacity: usize,
-    /// key -> (value, stamp)
-    entries: HashMap<K, (f64, u64)>,
-    /// (value, stamp, key): first element is the victim.
-    order: BTreeSet<(V, u64, K)>,
+    /// key -> (value, stamp); the minimum is the victim.
+    heap: IndexedMinHeap<(V, u64), K>,
     clock: u64,
 }
 
-impl<K: Copy + Eq + Hash + Ord> ValueCache<K> {
+impl<K: Copy + Eq + Hash> ValueCache<K> {
     /// Creates a store holding at most `capacity` entries.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        ValueCache { capacity, entries: HashMap::new(), order: BTreeSet::new(), clock: 0 }
+        ValueCache { capacity, heap: IndexedMinHeap::with_capacity(capacity), clock: 0 }
     }
 
     /// Current value of `key`.
     pub fn value(&self, key: K) -> Option<f64> {
-        self.entries.get(&key).map(|&(v, _)| v)
+        self.heap.priority(key).map(|(V(v), _)| v)
     }
 
     /// Sets (or updates) `key`'s value without evicting; returns false if
     /// the store is full and `key` is not resident.
     pub fn set_value(&mut self, key: K, value: f64) -> bool {
         debug_assert!(value.is_finite());
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+        if !self.heap.contains(key) && self.heap.len() >= self.capacity {
             return false;
         }
         self.clock += 1;
-        if let Some(&(old, stamp)) = self.entries.get(&key) {
-            self.order.remove(&(V(old), stamp, key));
-        }
-        self.entries.insert(key, (value, self.clock));
-        self.order.insert((V(value), self.clock, key));
+        self.heap.push(key, (V(value), self.clock));
         true
     }
 
@@ -90,11 +88,11 @@ impl<K: Copy + Eq + Hash + Ord> ValueCache<K> {
     /// **only when the incoming value exceeds the victim's**; otherwise
     /// the insert is refused. Returns `Ok(evicted)` on success.
     pub fn insert_if_beneficial(&mut self, key: K, value: f64) -> Result<Option<K>, NotBeneficial> {
-        if self.entries.contains_key(&key) {
+        if self.heap.contains(key) {
             self.set_value(key, value);
             return Ok(None);
         }
-        if self.entries.len() < self.capacity {
+        if self.heap.len() < self.capacity {
             self.set_value(key, value);
             return Ok(None);
         }
@@ -109,39 +107,38 @@ impl<K: Copy + Eq + Hash + Ord> ValueCache<K> {
 
     /// The minimum value and its key.
     pub fn peek_min(&self) -> Option<(f64, K)> {
-        self.order.iter().next().map(|&(V(v), _, k)| (v, k))
+        self.heap.peek_min().map(|((V(v), _), k)| (v, k))
     }
 
     /// Evicts and returns the minimum-value key.
     pub fn evict(&mut self) -> Option<K> {
-        let &(v, stamp, key) = self.order.iter().next()?;
-        self.order.remove(&(v, stamp, key));
-        self.entries.remove(&key);
-        Some(key)
+        self.heap.pop_min().map(|(_, k)| k)
     }
 
     /// Iterates over resident keys in ascending value order.
-    pub fn keys_by_value(&self) -> impl Iterator<Item = K> + '_ {
-        self.order.iter().map(|&(_, _, k)| k)
+    ///
+    /// Builds a sorted snapshot (O(n log n)) — inspection use only.
+    pub fn keys_by_value(&self) -> impl Iterator<Item = K> {
+        self.heap.sorted_snapshot().into_iter().map(|(_, k)| k)
     }
 
     /// True if the store has spare capacity.
     pub fn has_free_space(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.heap.len() < self.capacity
     }
 }
 
-impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for ValueCache<K> {
+impl<K: Copy + Eq + Hash> BoundedCache<K> for ValueCache<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.heap.len()
     }
 
     fn contains(&self, key: K) -> bool {
-        self.entries.contains_key(&key)
+        self.heap.contains(key)
     }
 
     fn touch(&mut self, key: K) -> bool {
@@ -157,18 +154,13 @@ impl<K: Copy + Eq + Hash + Ord> BoundedCache<K> for ValueCache<K> {
         if self.touch(key) {
             return None;
         }
-        let evicted = if self.entries.len() >= self.capacity { self.evict() } else { None };
+        let evicted = if self.heap.len() >= self.capacity { self.evict() } else { None };
         self.set_value(key, 1.0);
         evicted
     }
 
     fn remove(&mut self, key: K) -> bool {
-        if let Some((v, stamp)) = self.entries.remove(&key) {
-            self.order.remove(&(V(v), stamp, key));
-            true
-        } else {
-            false
-        }
+        self.heap.remove(key).is_some()
     }
 }
 

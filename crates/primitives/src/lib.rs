@@ -16,12 +16,15 @@
 //!   harnesses to validate workload shape (Zipf slope, locality, …).
 //! * [`seed`] — deterministic seed derivation so every experiment is
 //!   reproducible bit-for-bit.
+//! * [`fxhash`] — the rustc/Firefox multiply-xor hash; hot simulator maps
+//!   keyed by trusted integer ids use it instead of SipHash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bloom;
 pub mod fenwick;
+pub mod fxhash;
 pub mod seed;
 pub mod sha1;
 pub mod stats;
@@ -29,6 +32,7 @@ pub mod zipf;
 
 pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use fenwick::Fenwick;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use sha1::Sha1;
 pub use stats::{Histogram, LinearFit, OnlineStats};
 pub use zipf::{AliasTable, ZipfSampler};

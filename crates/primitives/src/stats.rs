@@ -126,8 +126,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let intercept = (sy - slope * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
     let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     Some(LinearFit { slope, intercept, r2 })
 }
@@ -277,9 +276,8 @@ mod tests {
     #[test]
     fn linear_fit_recovers_zipf_slope() {
         // log-log rank-frequency of an ideal Zipf(0.8).
-        let pts: Vec<(f64, f64)> = (1..=100)
-            .map(|i| ((i as f64).ln(), (i as f64).powf(-0.8).ln()))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (1..=100).map(|i| ((i as f64).ln(), (i as f64).powf(-0.8).ln())).collect();
         let fit = linear_fit(&pts).unwrap();
         assert!((fit.slope + 0.8).abs() < 1e-9);
     }

@@ -90,10 +90,7 @@ impl AliasTable {
     /// or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "AliasTable needs at least one weight");
-        assert!(
-            weights.len() <= u32::MAX as usize,
-            "AliasTable supports at most 2^32-1 outcomes"
-        );
+        assert!(weights.len() <= u32::MAX as usize, "AliasTable supports at most 2^32-1 outcomes");
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive finite value");
         let n = weights.len();
@@ -169,7 +166,11 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn empirical_counts(sample: impl Fn(&mut ChaCha8Rng) -> usize, n: usize, draws: usize) -> Vec<f64> {
+    fn empirical_counts(
+        sample: impl Fn(&mut ChaCha8Rng) -> usize,
+        n: usize,
+        draws: usize,
+    ) -> Vec<f64> {
         let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
         let mut counts = vec![0usize; n];
         for _ in 0..draws {
@@ -213,11 +214,7 @@ mod tests {
         let z = ZipfSampler::new(50, 0.7);
         let freq = empirical_counts(|r| z.sample(r), 50, 200_000);
         for (i, &f) in freq.iter().enumerate() {
-            assert!(
-                (f - z.pmf(i)).abs() < 0.01,
-                "rank {i}: empirical {f} vs pmf {}",
-                z.pmf(i)
-            );
+            assert!((f - z.pmf(i)).abs() < 0.01, "rank {i}: empirical {f} vs pmf {}", z.pmf(i));
         }
     }
 

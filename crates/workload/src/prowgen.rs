@@ -240,9 +240,8 @@ impl ProWGen {
         let sizes = self.object_sizes(&mut rng, n, n_multi);
 
         // Pool: remaining references of all objects *not* on the stack.
-        let mut pool = Fenwick::from_weights(
-            &remaining.iter().map(|&c| u64::from(c)).collect::<Vec<_>>(),
-        );
+        let mut pool =
+            Fenwick::from_weights(&remaining.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
         let stack_capacity = ((n_multi as f64 * cfg.stack_fraction).round() as usize).max(1);
         // Depth-selection prefix sums: prefix[d] = Σ_{j=1..d} j^-θ, so a
         // draw `u * prefix[len]` binary-searches to a depth ≤ current len.
@@ -271,8 +270,7 @@ impl ProWGen {
             // remaining references.
             let from_stack = stack_remaining > 0
                 && (pool.total() == 0
-                    || (rng.random::<f64>() * (total_remaining as f64))
-                        < stack_remaining as f64);
+                    || (rng.random::<f64>() * (total_remaining as f64)) < stack_remaining as f64);
 
             let object = if from_stack {
                 report.stack_picks += 1;
@@ -290,11 +288,7 @@ impl ProWGen {
                 obj
             } else {
                 report.pool_picks += 1;
-                let target = if pool.total() == 1 {
-                    0
-                } else {
-                    rng.random_range(0..pool.total())
-                };
+                let target = if pool.total() == 1 { 0 } else { rng.random_range(0..pool.total()) };
                 let obj = pool.find(target) as u32;
                 let w = remaining[obj as usize];
                 // The object joins the stack: remove all its weight from
@@ -305,8 +299,7 @@ impl ProWGen {
                     stack.push_back(obj);
                     stack_remaining += u64::from(remaining[obj as usize]);
                     if stack.len() > stack_capacity {
-                        let displaced =
-                            stack.pop_front().expect("stack non-empty after push");
+                        let displaced = stack.pop_front().expect("stack non-empty after push");
                         let dw = u64::from(remaining[displaced as usize]);
                         stack_remaining -= dw;
                         pool.add(displaced as usize, dw as i64);
@@ -388,19 +381,17 @@ mod tests {
         let (t, _) = g.generate_with_report();
         let s = t.stats();
         for (obj, &c) in assigned.iter().enumerate() {
-            assert_eq!(
-                s.counts.get(&(obj as u32)).copied().unwrap_or(0),
-                c,
-                "object {obj}"
-            );
+            assert_eq!(s.counts.get(&(obj as u32)).copied().unwrap_or(0), c, "object {obj}");
         }
     }
 
     #[test]
     fn assigned_counts_sum_to_requests() {
-        for (r, n, otf, alpha) in
-            [(60_000usize, 2_000usize, 0.5f64, 0.7f64), (10_000, 500, 0.3, 1.0), (5_000, 100, 0.9, 0.5)]
-        {
+        for (r, n, otf, alpha) in [
+            (60_000usize, 2_000usize, 0.5f64, 0.7f64),
+            (10_000, 500, 0.3, 1.0),
+            (5_000, 100, 0.9, 0.5),
+        ] {
             let cfg = ProWGenConfig {
                 requests: r,
                 distinct_objects: n,
@@ -446,10 +437,7 @@ mod tests {
                 };
                 let t = ProWGen::new(cfg).generate();
                 let est = t.stats().zipf_alpha_estimate().expect("enough ranks");
-                assert!(
-                    (est - alpha).abs() < 0.18,
-                    "alpha {alpha} frac {frac}: estimated {est}"
-                );
+                assert!((est - alpha).abs() < 0.18, "alpha {alpha} frac {frac}: estimated {est}");
             }
         }
     }
@@ -533,11 +521,9 @@ mod tests {
             let decile = by_count.len() / 10;
             let top: f64 =
                 by_count[..decile].iter().map(|&(_, s)| s as f64).sum::<f64>() / decile as f64;
-            let bottom: f64 = by_count[by_count.len() - decile..]
-                .iter()
-                .map(|&(_, s)| s as f64)
-                .sum::<f64>()
-                / decile as f64;
+            let bottom: f64 =
+                by_count[by_count.len() - decile..].iter().map(|&(_, s)| s as f64).sum::<f64>()
+                    / decile as f64;
             (top, bottom)
         };
         let (top_neg, bottom_neg) = mk(-0.9);

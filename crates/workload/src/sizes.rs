@@ -116,10 +116,7 @@ mod tests {
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
         let expect = 7.0f64.exp();
-        assert!(
-            (median / expect - 1.0).abs() < 0.1,
-            "median {median} vs exp(mu) {expect}"
-        );
+        assert!((median / expect - 1.0).abs() < 0.1, "median {median} vs exp(mu) {expect}");
     }
 
     #[test]

@@ -196,9 +196,8 @@ impl TraceStats {
         if head < 10 {
             return None;
         }
-        let pts: Vec<(f64, f64)> = (1..head)
-            .map(|i| ((i as f64 + 1.0).ln(), freqs[i].max(1e-12).ln()))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (1..head).map(|i| ((i as f64 + 1.0).ln(), freqs[i].max(1e-12).ln())).collect();
         webcache_primitives::stats::linear_fit(&pts).map(|f| -f.slope)
     }
 

@@ -9,9 +9,9 @@
 //! cargo run --release --example corporate_network
 //! ```
 
-use webcache::sim::{run_experiment, ExperimentConfig, HitClass, SchemeKind, Sizing};
-use webcache::sim::hiergd::HierGdEngine;
 use webcache::sim::engine::run_engine;
+use webcache::sim::hiergd::HierGdEngine;
+use webcache::sim::{run_experiment, ExperimentConfig, HitClass, SchemeKind, Sizing};
 use webcache::workload::{ProWGen, ProWGenConfig};
 
 fn main() {
@@ -63,20 +63,13 @@ fn main() {
     println!("  average latency: {:.2}", metrics.avg_latency());
 
     let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.15), &traces);
-    println!(
-        "  latency gain vs NC: {:+.1}%\n",
-        webcache::sim::latency_gain_percent(&nc, &metrics)
-    );
+    println!("  latency gain vs NC: {:+.1}%\n", webcache::sim::latency_gain_percent(&nc, &metrics));
 
     for p in 0..2 {
         let p2p = engine.p2p(p);
         let ledger = p2p.ledger();
         println!("--- organization {p}: P2P client cache ---");
-        println!(
-            "  resident objects: {} / {} aggregate capacity",
-            p2p.len(),
-            p2p.capacity()
-        );
+        println!("  resident objects: {} / {} aggregate capacity", p2p.len(), p2p.capacity());
         println!(
             "  destages: {} (piggybacked {}, new connections {})",
             ledger.destages(),

@@ -44,7 +44,10 @@ fn main() {
         join_hops.iter().sum::<usize>() as f64 / join_hops.len() as f64
     );
     let problems = overlay.check_invariants();
-    println!("state invariants after joins: {}", if problems.is_empty() { "OK" } else { "VIOLATED" });
+    println!(
+        "state invariants after joins: {}",
+        if problems.is_empty() { "OK" } else { "VIOLATED" }
+    );
 
     let bound = (n as f64).log(16.0).ceil() as usize + 1;
     let (mean, max, correct) = hop_report(&overlay, &mut rng, 5_000);

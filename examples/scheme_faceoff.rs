@@ -8,9 +8,7 @@
 //! cargo run --release --example scheme_faceoff
 //! ```
 
-use webcache::sim::{
-    latency_gain_percent, run_experiment, ExperimentConfig, HitClass, SchemeKind,
-};
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, HitClass, SchemeKind};
 use webcache::workload::{ProWGen, ProWGenConfig};
 
 fn main() {

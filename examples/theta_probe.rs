@@ -35,7 +35,7 @@ fn main() {
             let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
             let nc = run_experiment(&cfg, &ts);
             let g = |s: SchemeKind| {
-                let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+                let cfg = ExperimentConfig { scheme: s, ..cfg };
                 latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
             };
             println!(

@@ -41,11 +41,16 @@ fn ucb(core_frac: f64, fresh_otf: f64) -> Vec<Trace> {
 fn gains(ts: &[Trace], frac: f64) -> (f64, f64, f64) {
     let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
     let nc = run_experiment(&cfg, ts);
-    let fcec = run_experiment(&ExperimentConfig { scheme: SchemeKind::FcEc, ..cfg.clone() }, ts);
-    eprintln!("  [hit ratios] NC {:.3} FC-EC {:.3}; NC lat {:.2} FC-EC lat {:.2}",
-        nc.hit_ratio(), fcec.hit_ratio(), nc.avg_latency(), fcec.avg_latency());
+    let fcec = run_experiment(&ExperimentConfig { scheme: SchemeKind::FcEc, ..cfg }, ts);
+    eprintln!(
+        "  [hit ratios] NC {:.3} FC-EC {:.3}; NC lat {:.2} FC-EC lat {:.2}",
+        nc.hit_ratio(),
+        fcec.hit_ratio(),
+        nc.avg_latency(),
+        fcec.avg_latency()
+    );
     let g = |s: SchemeKind| {
-        let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+        let cfg = ExperimentConfig { scheme: s, ..cfg };
         latency_gain_percent(&nc, &run_experiment(&cfg, ts))
     };
     (g(SchemeKind::ScEc), g(SchemeKind::FcEc), g(SchemeKind::HierGd))

@@ -16,8 +16,7 @@ fn describe(name: &str, cfg: ProWGenConfig) {
     let (trace, report) = gen.generate_with_report();
     let stats = trace.stats();
     let reuse = TraceStats::mean_reuse_distance(&trace);
-    let stack_share =
-        report.stack_picks as f64 / (report.stack_picks + report.pool_picks) as f64;
+    let stack_share = report.stack_picks as f64 / (report.stack_picks + report.pool_picks) as f64;
     println!(
         "{name:<24} U={:>6}  one-timers={:>5.1}%  alpha-est={:<5}  reuse-dist={:>8.0}  stack-served={:>5.1}%",
         stats.infinite_cache_size,
@@ -39,10 +38,7 @@ fn main() {
 
     println!("\n=== Figure 3's knob: object popularity (alpha) ===");
     for alpha in [0.5, 0.7, 1.0] {
-        describe(
-            &format!("alpha = {alpha}"),
-            ProWGenConfig { zipf_alpha: alpha, ..base.clone() },
-        );
+        describe(&format!("alpha = {alpha}"), ProWGenConfig { zipf_alpha: alpha, ..base.clone() });
     }
 
     println!("\n=== Figure 4's knob: temporal locality (LRU stack) ===");

@@ -46,16 +46,14 @@ fn churn_costs_latency_but_not_correctness() {
     let t = trace();
     let net = NetworkModel::default();
     let run = |failures: usize| {
-        let mut engine =
-            HierGdEngine::new(1, 100, 30, 5, 2_000, net, HierGdOptions::default());
+        let mut engine = HierGdEngine::new(1, 100, 30, 5, 2_000, net, HierGdOptions::default());
         let mut metrics = RunMetrics::default();
         let every = t.len().checked_div(failures).unwrap_or(usize::MAX);
         for (i, req) in t.requests.iter().enumerate() {
             let class = engine.serve(0, req);
             metrics.record(class, net.latency(class));
             if failures > 0 && i % every == every - 1 && i / every < failures {
-                let victim =
-                    engine.p2p(0).node_ids().next().expect("cluster non-empty");
+                let victim = engine.p2p(0).node_ids().next().expect("cluster non-empty");
                 engine.fail_client(0, victim);
             }
         }

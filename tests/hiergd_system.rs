@@ -92,10 +92,7 @@ fn figure5c_larger_client_cluster_larger_gain() {
     };
     let g40 = gain_with(40);
     let g160 = gain_with(160);
-    assert!(
-        g160 > g40,
-        "160-client cluster gain {g160:.1} should exceed 40-client gain {g40:.1}"
-    );
+    assert!(g160 > g40, "160-client cluster gain {g160:.1} should exceed 40-client gain {g40:.1}");
 }
 
 #[test]

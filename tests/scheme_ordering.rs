@@ -36,7 +36,7 @@ fn gains_at(traces: &[Trace], frac: f64) -> std::collections::HashMap<SchemeKind
             let m = if s == SchemeKind::Nc {
                 nc.clone()
             } else {
-                let cfg = ExperimentConfig { scheme: s, ..cfg.clone() };
+                let cfg = ExperimentConfig { scheme: s, ..cfg };
                 run_experiment(&cfg, traces)
             };
             (s, latency_gain_percent(&nc, &m))
@@ -76,8 +76,7 @@ fn paper_orderings_at_small_proxy_size() {
     // greedy-dual adapts to temporal locality, which the static
     // perfect-frequency placement cannot, so it may legitimately exceed
     // FC-EC on locality-rich workloads (documented in EXPERIMENTS.md).
-    for s in [SchemeKind::Nc, SchemeKind::Sc, SchemeKind::Fc, SchemeKind::NcEc, SchemeKind::ScEc]
-    {
+    for s in [SchemeKind::Nc, SchemeKind::Sc, SchemeKind::Fc, SchemeKind::NcEc, SchemeKind::ScEc] {
         assert!(get(SchemeKind::FcEc) >= get(s) - eps, "FC-EC must bound {s:?}: {g:?}");
     }
 }
@@ -90,9 +89,8 @@ fn client_cache_margin_shrinks_with_proxy_size() {
     let ts = traces();
     let small = gains_at(&ts, 0.10);
     let large = gains_at(&ts, 0.80);
-    let margin = |g: &std::collections::HashMap<SchemeKind, f64>| {
-        g[&SchemeKind::ScEc] - g[&SchemeKind::Sc]
-    };
+    let margin =
+        |g: &std::collections::HashMap<SchemeKind, f64>| g[&SchemeKind::ScEc] - g[&SchemeKind::Sc];
     assert!(
         margin(&small) > margin(&large),
         "EC margin small-cache {:.1} vs large-cache {:.1}",

@@ -1,9 +1,7 @@
 //! Cross-crate premises behind the figures: properties connecting the
 //! workload generator to the caching results.
 
-use webcache::sim::{
-    latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind,
-};
+use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
 use webcache::workload::{ProWGen, ProWGenConfig, Trace, UcbLike, UcbLikeConfig};
 
 fn synthetic(n: usize) -> Vec<Trace> {
@@ -55,10 +53,7 @@ fn figure2b_ucb_gains_below_synthetic_gains() {
     for scheme in [SchemeKind::ScEc, SchemeKind::FcEc] {
         let gs = gain(scheme, &syn, 0.3);
         let gu = gain(scheme, &ucb, 0.3);
-        assert!(
-            gs > gu,
-            "{scheme:?}: synthetic gain {gs:.1} should exceed UCB-like gain {gu:.1}"
-        );
+        assert!(gs > gu, "{scheme:?}: synthetic gain {gs:.1} should exceed UCB-like gain {gu:.1}");
         assert!(gu > 0.0, "{scheme:?} must still help on UCB-like: {gu:.1}");
     }
 }
@@ -67,11 +62,7 @@ fn figure2b_ucb_gains_below_synthetic_gains() {
 fn ucb_substitute_statistics_match_calibration() {
     let t = &ucb(1)[0];
     let s = t.stats();
-    assert!(
-        s.one_timer_fraction() > 0.60,
-        "one-timer fraction {:.2}",
-        s.one_timer_fraction()
-    );
+    assert!(s.one_timer_fraction() > 0.60, "one-timer fraction {:.2}", s.one_timer_fraction());
     assert!(
         s.distinct_objects as f64 > 1.8 * s.infinite_cache_size as f64,
         "universe {} vs U {}",

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides `par_iter()` / `into_par_iter()` with `map` + `collect`,
+//! executed on `std::thread::scope` with one worker per available core.
+//! Collected results keep the input order, matching real rayon's indexed
+//! parallel iterators. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The rayon-style glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A to-be-mapped batch of items (the stand-in's "parallel iterator").
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped batch, evaluated in parallel on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item; evaluation happens at `collect` time.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluates the map across all available cores and collects the
+    /// results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        if workers <= 1 {
+            let f = self.f;
+            return self.items.into_iter().map(f).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(self.items.into_iter().enumerate().collect());
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("queue poisoned").pop_front();
+                    match job {
+                        Some((idx, item)) => {
+                            let out = f(item);
+                            results.lock().expect("results poisoned").push((idx, out));
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        let mut results = results.into_inner().expect("results poisoned");
+        results.sort_by_key(|&(idx, _)| idx);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel batch.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the iterator (a reference).
+    type Item: Send;
+
+    /// Borrows `self` as a parallel batch.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let squares: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == (i as u64) * (i as u64)));
+
+        let doubled: Vec<u64> = xs.into_par_iter().map(|x| x * 2).collect();
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == 2 * i as u64));
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.into_par_iter().map(|x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

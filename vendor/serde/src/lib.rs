@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in this workspace serializes through serde at runtime (all JSON
+//! and CSV output is hand-rolled), so the `#[derive(Serialize, Deserialize)]`
+//! annotations only need to *parse*. This crate re-exports no-op derive
+//! macros that expand to nothing. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

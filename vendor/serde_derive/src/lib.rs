@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stand-in: they accept any item (including `#[serde(...)]` attributes)
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
