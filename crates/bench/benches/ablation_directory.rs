@@ -8,9 +8,10 @@
 //! false-positive-driven stale lookups, and latency.
 
 use std::io::Write as _;
+use std::sync::Arc;
 use webcache_bench::{figures_dir, synthetic_traces, Scale};
 use webcache_p2p::DirectoryKind;
-use webcache_sim::{run_experiment, ExperimentConfig, SchemeKind, Sizing};
+use webcache_sim::{run_experiment_recorded, ExperimentConfig, SchemeKind, Sizing, StatsRecorder};
 
 fn main() {
     let mut scale = Scale::from_env();
@@ -32,28 +33,43 @@ fn main() {
 
     println!("\n=== §4.2: lookup directory trade-off (Hier-GD, cache = 20% of U) ===");
     println!(
-        "{:>14}{:>12}{:>12}{:>14}{:>12}",
-        "directory", "mem (B)", "lookups", "stale (FP)", "avg lat"
+        "{:>14}{:>12}{:>12}{:>14}{:>12}{:>12}",
+        "directory", "mem (B)", "lookups", "stale (FP)", "probe hit%", "avg lat"
     );
     let mut csv = std::fs::File::create(figures_dir().join("ablation_directory.csv")).expect("csv");
-    writeln!(csv, "directory,memory_bytes,lookups,stale_lookups,avg_latency").expect("csv");
+    writeln!(
+        csv,
+        "directory,memory_bytes,lookups,stale_lookups,directory_probes,probe_hit_rate,avg_latency"
+    )
+    .expect("csv");
     for (name, kind) in kinds {
         let mut cfg = base;
         cfg.hiergd.directory = kind;
-        let m = run_experiment(&cfg, &traces);
+        let recorder = Arc::new(StatsRecorder::new());
+        let m = run_experiment_recorded(&cfg, &traces, recorder.clone()).unwrap();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.stale_lookups, m.messages.stale_lookups, "recorder vs ledger");
         // Memory: rebuild a representative directory at capacity.
         let mem = directory_memory(kind, expected);
+        let hit_rate = if snap.directory_probes == 0 {
+            0.0
+        } else {
+            snap.directory_probe_hits as f64 / snap.directory_probes as f64
+        };
         println!(
-            "{name:>14}{mem:>12}{:>12}{:>14}{:>12.3}",
-            m.messages.lookups,
-            m.messages.stale_lookups,
+            "{name:>14}{mem:>12}{:>12}{:>14}{:>12.2}{:>12.3}",
+            snap.lookups,
+            snap.stale_lookups,
+            hit_rate * 100.0,
             m.avg_latency()
         );
         writeln!(
             csv,
-            "{name},{mem},{},{},{:.4}",
-            m.messages.lookups,
-            m.messages.stale_lookups,
+            "{name},{mem},{},{},{},{:.4},{:.4}",
+            snap.lookups,
+            snap.stale_lookups,
+            snap.directory_probes,
+            hit_rate,
             m.avg_latency()
         )
         .expect("csv");

@@ -21,12 +21,12 @@ fn main() {
     eprintln!("ablation_hiergd: {} requests/proxy", scale.requests);
     let traces = synthetic_traces(2, scale, |_| {});
     let frac = 0.2;
-    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces).unwrap();
 
     let mut rows: Vec<(String, f64, f64, u64)> = Vec::new();
     {
         let cfg = ExperimentConfig::new(SchemeKind::HierGd, frac);
-        let m = run_experiment(&cfg, &traces);
+        let m = run_experiment(&cfg, &traces).unwrap();
         rows.push((
             "baseline".into(),
             latency_gain_percent(&nc, &m),
@@ -37,7 +37,7 @@ fn main() {
     {
         let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, frac);
         cfg.hiergd.diversion = false;
-        let m = run_experiment(&cfg, &traces);
+        let m = run_experiment(&cfg, &traces).unwrap();
         rows.push((
             "no-diversion".into(),
             latency_gain_percent(&nc, &m),
@@ -48,7 +48,7 @@ fn main() {
     {
         let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, frac);
         cfg.hiergd.promote_on_p2p_hit = true;
-        let m = run_experiment(&cfg, &traces);
+        let m = run_experiment(&cfg, &traces).unwrap();
         rows.push((
             "promote-on-hit".into(),
             latency_gain_percent(&nc, &m),
@@ -60,7 +60,7 @@ fn main() {
         // LFU at the proxy with the same client-cache budget: SC-EC is the
         // closest LFU-based counterpart with cooperation and client caches.
         let cfg = ExperimentConfig::new(SchemeKind::ScEc, frac);
-        let m = run_experiment(&cfg, &traces);
+        let m = run_experiment(&cfg, &traces).unwrap();
         rows.push(("lfu-scec".into(), latency_gain_percent(&nc, &m), m.avg_latency(), 0));
     }
 

@@ -8,8 +8,9 @@
 //! *where* they end up), which the harness asserts.
 
 use std::io::Write as _;
+use std::sync::Arc;
 use webcache_bench::{figures_dir, synthetic_traces, Scale};
-use webcache_sim::{run_experiment, ExperimentConfig, SchemeKind};
+use webcache_sim::{run_experiment_recorded, ExperimentConfig, SchemeKind, StatsRecorder};
 
 fn main() {
     let mut scale = Scale::from_env();
@@ -22,8 +23,17 @@ fn main() {
     for piggyback in [true, false] {
         let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, 0.2);
         cfg.hiergd.piggyback = piggyback;
-        let m = run_experiment(&cfg, &traces);
-        results.push((piggyback, m));
+        let recorder = Arc::new(StatsRecorder::new());
+        let m = run_experiment_recorded(&cfg, &traces, recorder.clone()).unwrap();
+        let snap = recorder.snapshot();
+        // The recorder's per-event counters must agree with the message
+        // ledger the engine itself keeps.
+        assert_eq!(snap.destages, m.messages.destages(), "recorder vs ledger destages");
+        assert_eq!(
+            snap.piggybacked_destages, m.messages.piggybacked_objects,
+            "recorder vs ledger piggybacked"
+        );
+        results.push((piggyback, m, snap));
     }
     println!("\n=== §4.4: destage mechanism (Hier-GD, cache = 20% of U) ===");
     println!(
@@ -33,25 +43,24 @@ fn main() {
     let mut csv = std::fs::File::create(figures_dir().join("ablation_piggyback.csv")).expect("csv");
     writeln!(csv, "mechanism,destages,new_connections,piggybacked,overlay_messages,avg_latency")
         .expect("csv");
-    for (piggyback, m) in &results {
-        let l = &m.messages;
+    for (piggyback, m, snap) in &results {
         let name = if *piggyback { "piggyback" } else { "direct" };
         println!(
             "{:>12}{:>12}{:>14}{:>14}{:>16}{:>12.3}",
             name,
-            l.destages(),
-            l.new_connections,
-            l.piggybacked_objects,
-            l.overlay_messages,
+            snap.destages,
+            snap.direct_destage_connections,
+            snap.piggybacked_destages,
+            m.messages.overlay_messages,
             m.avg_latency()
         );
         writeln!(
             csv,
             "{name},{},{},{},{},{:.4}",
-            l.destages(),
-            l.new_connections,
-            l.piggybacked_objects,
-            l.overlay_messages,
+            snap.destages,
+            snap.direct_destage_connections,
+            snap.piggybacked_destages,
+            m.messages.overlay_messages,
             m.avg_latency()
         )
         .expect("csv");
@@ -61,6 +70,11 @@ fn main() {
         (pig.avg_latency() - dir.avg_latency()).abs() < 1e-9,
         "destage mechanism must not change cache behaviour"
     );
+    // Claim 12, straight from the recorder: piggybacking opens zero
+    // dedicated destage connections; direct mode opens one per destage.
+    let (pig_snap, dir_snap) = (&results[0].2, &results[1].2);
+    assert_eq!(pig_snap.direct_destage_connections, 0, "piggybacking must open no connections");
+    assert_eq!(dir_snap.direct_destage_connections, dir_snap.destages);
     assert!(pig.messages.new_connections < dir.messages.new_connections);
     eprintln!("wrote {}", figures_dir().join("ablation_piggyback.csv").display());
 }

@@ -7,10 +7,14 @@
 //! figure for this; it backs the claim with a measurement.
 
 use std::io::Write as _;
+use std::sync::Arc;
 use webcache_bench::{figures_dir, synthetic_traces, Scale};
 use webcache_sim::engine::SchemeEngine;
 use webcache_sim::hiergd::{HierGdEngine, HierGdOptions};
-use webcache_sim::{ExperimentConfig, RunMetrics, SchemeKind, Sizing};
+use webcache_sim::recorder::Recorder as _;
+use webcache_sim::{
+    EventLogRecorder, ExperimentConfig, RunMetrics, SchemeKind, Sizing, StatsRecorder,
+};
 
 fn main() {
     let mut scale = Scale::from_env();
@@ -24,15 +28,21 @@ fn main() {
 
     println!("\n=== Hier-GD under client churn (cache = 20% of U) ===");
     println!(
-        "{:>18}{:>12}{:>12}{:>14}{:>12}",
-        "failures", "avg lat", "hit ratio", "stale lookups", "invariants"
+        "{:>18}{:>12}{:>12}{:>14}{:>14}{:>12}",
+        "failures", "avg lat", "hit ratio", "stale lookups", "objects lost", "invariants"
     );
     let mut csv = std::fs::File::create(figures_dir().join("churn_drill.csv")).expect("csv");
-    writeln!(csv, "failures_per_cluster,avg_latency,hit_ratio,stale_lookups,invariants_ok")
-        .expect("csv");
+    writeln!(
+        csv,
+        "failures_per_cluster,avg_latency,hit_ratio,stale_lookups,objects_lost,invariants_ok"
+    )
+    .expect("csv");
 
     for failures in [0usize, 5, 20] {
-        let mut engine = HierGdEngine::new(
+        let stats = Arc::new(StatsRecorder::new());
+        let events = Arc::new(EventLogRecorder::new(50_000));
+        let recorder = (stats.clone(), events.clone());
+        let mut engine = HierGdEngine::with_recorder(
             2,
             sizing.proxy_capacity,
             cfg.clients_per_cluster,
@@ -40,6 +50,7 @@ fn main() {
             traces.iter().map(|t| t.num_objects).max().unwrap(),
             cfg.net,
             HierGdOptions::default(),
+            recorder.clone(),
         );
         // Drive both traces round-robin, injecting failures at evenly
         // spaced points.
@@ -50,7 +61,9 @@ fn main() {
         for i in 0..len {
             for (p, t) in traces.iter().enumerate() {
                 let class = engine.serve(p, &t.requests[i]);
-                metrics.record(class, cfg.net.latency(class));
+                let latency = cfg.net.latency(class);
+                metrics.record(class, latency);
+                recorder.request(p, class, latency);
             }
             if failures > 0 && i % fail_every == fail_every - 1 && failed < failures {
                 for p in 0..2 {
@@ -68,23 +81,39 @@ fn main() {
         }
         engine.finish(&mut metrics);
         let invariants_ok = (0..2).all(|p| engine.p2p(p).check_invariants().is_empty());
+        let snap = stats.snapshot();
+        assert_eq!(snap.stale_lookups, metrics.messages.stale_lookups, "recorder vs ledger");
+        assert_eq!(snap.node_failures, (failures * 2) as u64, "one failure per cluster per step");
         println!(
-            "{:>18}{:>12.3}{:>12.3}{:>14}{:>12}",
+            "{:>18}{:>12.3}{:>12.3}{:>14}{:>14}{:>12}",
             failures,
             metrics.avg_latency(),
             metrics.hit_ratio(),
-            metrics.messages.stale_lookups,
+            snap.stale_lookups,
+            snap.objects_lost,
             if invariants_ok { "OK" } else { "VIOLATED" }
         );
         writeln!(
             csv,
-            "{failures},{:.4},{:.4},{},{invariants_ok}",
+            "{failures},{:.4},{:.4},{},{},{invariants_ok}",
             metrics.avg_latency(),
             metrics.hit_ratio(),
-            metrics.messages.stale_lookups
+            snap.stale_lookups,
+            snap.objects_lost
         )
         .expect("csv");
         assert!(invariants_ok, "invariants must survive churn");
+        // Export the tail of the event stream for the heaviest-churn run.
+        if failures == 20 {
+            let path = figures_dir().join("churn_drill_events.csv");
+            events.write_csv(&path).expect("events csv");
+            eprintln!(
+                "wrote {} ({} events kept, {} dropped)",
+                path.display(),
+                events.len(),
+                events.dropped()
+            );
+        }
     }
     eprintln!("wrote {}", figures_dir().join("churn_drill.csv").display());
 }

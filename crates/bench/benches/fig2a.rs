@@ -8,9 +8,10 @@
 //! X-EC above X with the margin largest at small cache sizes; Hier-GD
 //! above SC-EC/SC/NC-EC and above FC at small sizes.
 
-use webcache_bench::{print_panel, synthetic_traces, write_csv, Scale};
-use webcache_sim::sweep::{sweep, PAPER_CACHE_FRACS};
-use webcache_sim::{ExperimentConfig, SchemeKind};
+use std::sync::Arc;
+use webcache_bench::{figures_dir, print_panel, synthetic_traces, write_csv, Scale};
+use webcache_sim::sweep::{sweep_recorded, PAPER_CACHE_FRACS};
+use webcache_sim::{ExperimentConfig, SchemeKind, StatsRecorder};
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,7 +30,9 @@ fn main() {
         SchemeKind::FcEc,
         SchemeKind::HierGd,
     ];
-    let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base);
+    let recorder = Arc::new(StatsRecorder::new());
+    let results =
+        sweep_recorded(&schemes, &PAPER_CACHE_FRACS, &traces, &base, recorder.clone()).unwrap();
     print_panel(
         "Figure 2(a): latency gain (%) vs proxy cache size — synthetic",
         &results,
@@ -37,4 +40,18 @@ fn main() {
     );
     let path = write_csv("fig2a", &results);
     eprintln!("wrote {}", path.display());
+    // Aggregate observability across the whole grid: every simulated
+    // request and every Hier-GD protocol event of the sweep.
+    let snap = recorder.snapshot();
+    let stats_path = figures_dir().join("fig2a_stats.json");
+    std::fs::write(&stats_path, snap.to_json()).expect("stats json");
+    eprintln!(
+        "sweep observability: {} requests, {} destages, {} lookups ({} stale), {} pushes",
+        snap.total_requests(),
+        snap.destages,
+        snap.lookups,
+        snap.stale_lookups,
+        snap.pushes
+    );
+    eprintln!("wrote {}", stats_path.display());
 }

@@ -54,7 +54,7 @@ fn main() {
         SchemeKind::FcEc,
         SchemeKind::HierGd,
     ];
-    let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base);
+    let results = sweep(&schemes, &PAPER_CACHE_FRACS, &traces, &base).unwrap();
     print_panel("Figure 2(b): latency gain (%) vs proxy cache size — UCB-like", &results, &schemes);
     let path = write_csv("fig2b", &results);
     eprintln!("wrote {}", path.display());

@@ -22,7 +22,7 @@ fn main() {
         .iter()
         .map(|&alpha| {
             let traces = synthetic_traces(2, scale, |c| c.zipf_alpha = alpha);
-            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base)
+            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base).unwrap()
         })
         .collect();
 

@@ -22,7 +22,7 @@ fn main() {
         .iter()
         .map(|&frac| {
             let traces = synthetic_traces(2, scale, |c| c.stack_fraction = frac);
-            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base)
+            sweep(&panels, &PAPER_CACHE_FRACS, &traces, &base).unwrap()
         })
         .collect();
 

@@ -17,7 +17,7 @@ fn main() {
         .map(|&ratio| {
             let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
             base.net = NetworkModel::from_ratios(ratio, 20.0, 1.4);
-            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base).unwrap();
             (format!("Ts/Tc={ratio}"), gain_curve(&results, SchemeKind::HierGd))
         })
         .collect();

@@ -18,7 +18,7 @@ fn main() {
         .map(|&ratio| {
             let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
             base.net = NetworkModel::from_ratios(10.0, ratio, 1.4);
-            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+            let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base).unwrap();
             (format!("Ts/Tl={ratio}"), gain_curve(&results, SchemeKind::HierGd))
         })
         .collect();

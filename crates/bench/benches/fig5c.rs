@@ -21,13 +21,14 @@ fn main() {
 
     let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     // Reference curves: SC and FC do not use client caches.
-    let refs = sweep(&[SchemeKind::Sc, SchemeKind::Fc], &PAPER_CACHE_FRACS, &traces, &base);
+    let refs =
+        sweep(&[SchemeKind::Sc, SchemeKind::Fc], &PAPER_CACHE_FRACS, &traces, &base).unwrap();
     curves.push(("SC".into(), gain_curve(&refs, SchemeKind::Sc)));
     curves.push(("FC".into(), gain_curve(&refs, SchemeKind::Fc)));
     for &n in clusters {
         let mut cfg = base;
         cfg.clients_per_cluster = n;
-        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &cfg);
+        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &cfg).unwrap();
         curves.push((format!("Hier-GD({n})"), gain_curve(&results, SchemeKind::HierGd)));
     }
     print_labeled_curves(

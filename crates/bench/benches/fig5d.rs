@@ -18,7 +18,7 @@ fn main() {
         let traces = synthetic_traces(p, scale, |_| {});
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.num_proxies = p;
-        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base);
+        let results = sweep(&[SchemeKind::HierGd], &PAPER_CACHE_FRACS, &traces, &base).unwrap();
         curves.push((format!("{p} proxies"), gain_curve(&results, SchemeKind::HierGd)));
     }
     print_labeled_curves(

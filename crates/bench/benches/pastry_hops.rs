@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use std::io::Write as _;
 use webcache_bench::figures_dir;
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
+use webcache_primitives::Log2Histogram;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -34,16 +35,25 @@ fn main() {
         };
         let overlay = Overlay::with_nodes(PastryConfig::default(), ids.iter().copied());
         let bound = (n as f64).log(16.0).ceil() as usize + 1;
+        let hist = Log2Histogram::new();
         let mut hops: Vec<usize> = Vec::with_capacity(lookups);
         for _ in 0..lookups {
             let from = ids[rng.random_range(0..n)];
             let key = NodeId(rng.random());
-            hops.push(overlay.route(from, key).expect("live node").hops());
+            let h = overlay.route(from, key).expect("live node").hops();
+            hist.record(h as u64);
+            hops.push(h);
         }
         hops.sort_unstable();
-        let mean = hops.iter().sum::<usize>() as f64 / hops.len() as f64;
+        let snap = hist.snapshot();
+        // count/sum/max are exact in the histogram; only the bucket shape
+        // is lossy — cross-check against the raw samples.
+        assert_eq!(snap.count, lookups as u64);
+        assert_eq!(snap.sum, hops.iter().sum::<usize>() as u64);
+        assert_eq!(snap.max, *hops.last().expect("non-empty") as u64);
+        let mean = snap.mean();
         let p99 = hops[hops.len() * 99 / 100];
-        let max = *hops.last().expect("non-empty");
+        let max = snap.max as usize;
         println!("{n:>8}{bound:>12}{mean:>10.2}{p99:>8}{max:>8}{lookups:>10}");
         writeln!(csv, "{n},{bound},{mean:.3},{p99},{max}").expect("csv");
         // The paper's bound is the prefix-routing hop count; the final

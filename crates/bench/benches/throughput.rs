@@ -23,7 +23,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     for scheme in [SchemeKind::Nc, SchemeKind::Fc, SchemeKind::HierGd] {
         group.bench_function(scheme.label(), |b| {
             let cfg = ExperimentConfig { scheme, ..base };
-            b.iter(|| black_box(run_experiment(&cfg, &traces)))
+            b.iter(|| black_box(run_experiment(&cfg, &traces).unwrap()))
         });
     }
     group.finish();

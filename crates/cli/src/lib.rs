@@ -7,7 +7,10 @@
 //! * `gen`   — generate a ProWGen or UCB-like trace into a binary file;
 //! * `stats` — summarize a trace file (the §5.1 quantities: U, one-timer
 //!   fraction, estimated Zipf α, …);
-//! * `run`   — run one caching scheme over per-proxy trace files;
+//! * `run`   — run one caching scheme over per-proxy trace files
+//!   (`--stats-out FILE` exports the observability snapshot as JSON);
+//! * `explain` — run with the stats recorder attached and print the
+//!   per-tier breakdown, P2P protocol counters, and hop histograms;
 //! * `sweep` — run schemes × cache sizes and print a figure panel;
 //! * `throughput` — time the simulator itself (requests/sec per scheme)
 //!   and write `BENCH_throughput.json`, the repo's perf trajectory.
@@ -23,10 +26,12 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::str::FromStr;
+use std::sync::Arc;
 use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
-    latency_gain_percent, run_experiment, ExperimentConfig, HitClass, NetworkModel, SchemeKind,
+    latency_gain_percent, run_experiment, run_experiment_recorded, EventLogRecorder,
+    ExperimentConfig, HitClass, NetworkModel, SchemeKind, SimError, StatsRecorder,
 };
 use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
 
@@ -52,6 +57,60 @@ impl std::fmt::Display for UsageError {
 }
 
 impl std::error::Error for UsageError {}
+
+/// Everything `execute` can fail with, mapped to process exit codes.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (exit code 2).
+    Usage(UsageError),
+    /// The simulator rejected the request (config/scheme errors exit 2,
+    /// I/O errors exit 3).
+    Sim(SimError),
+    /// Anything else — bad input files, workload validation (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Sim(SimError::Io(_)) => 3,
+            CliError::Sim(_) => 2,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::Other(e)
+    }
+}
 
 impl Command {
     /// Parses `argv` (without the program name).
@@ -111,7 +170,12 @@ USAGE:
   webcache stats FILE...
   webcache run   --scheme nc|nc-ec|sc|sc-ec|fc|fc-ec|hier-gd
                  [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
+                 [--stats-out FILE]  (write the stats snapshot as JSON)
                  FILE...            (one trace file per proxy)
+  webcache explain [--scheme S] [--cache-frac F] [--clients N]
+                 [--stats-out FILE] [--events-out FILE] [--events N]
+                 FILE...            (per-tier breakdown + P2P counters;
+                                     scheme defaults to hier-gd)
   webcache sweep [--schemes a,b,c] [--fracs f1,f2,...] FILE...
   webcache throughput [--schemes a,b,c] [--cache-frac F] [--requests N]
                  [--objects N] [--clients N] [--proxies N] [--repeats N]
@@ -120,58 +184,53 @@ USAGE:
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).";
 
-/// Parses a scheme name as printed in the paper.
-pub fn parse_scheme(s: &str) -> Result<SchemeKind, UsageError> {
-    match s.to_ascii_lowercase().as_str() {
-        "nc" => Ok(SchemeKind::Nc),
-        "nc-ec" | "ncec" => Ok(SchemeKind::NcEc),
-        "sc" => Ok(SchemeKind::Sc),
-        "sc-ec" | "scec" => Ok(SchemeKind::ScEc),
-        "fc" => Ok(SchemeKind::Fc),
-        "fc-ec" | "fcec" => Ok(SchemeKind::FcEc),
-        "hier-gd" | "hiergd" => Ok(SchemeKind::HierGd),
-        other => Err(UsageError(format!("unknown scheme '{other}'"))),
-    }
-}
-
-fn load_traces(paths: &[String]) -> Result<Vec<Trace>, String> {
+fn load_traces(paths: &[String]) -> Result<Vec<Trace>, CliError> {
     if paths.is_empty() {
-        return Err("no trace files given".into());
+        return Err(UsageError("no trace files given".into()).into());
     }
     paths
         .iter()
         .map(|p| {
-            let f = File::open(p).map_err(|e| format!("{p}: {e}"))?;
-            Trace::read_binary(&mut BufReader::new(f)).map_err(|e| format!("{p}: {e}"))
+            let f = File::open(p).map_err(|e| named_io(p, e))?;
+            Trace::read_binary(&mut BufReader::new(f)).map_err(|e| named_io(p, e))
         })
         .collect()
 }
 
+/// Keeps the offending path in the message but stays a typed I/O error,
+/// so the exit code distinguishes bad files (3) from bad flags (2).
+fn named_io(path: &str, e: std::io::Error) -> CliError {
+    CliError::Sim(SimError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
+}
+
 /// Executes a parsed command, returning the text to print.
-pub fn execute(cmd: &Command) -> Result<String, String> {
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
     match cmd.name.as_str() {
         "gen" => cmd_gen(cmd),
         "stats" => cmd_stats(cmd),
         "run" => cmd_run(cmd),
+        "explain" => cmd_explain(cmd),
         "sweep" => cmd_sweep(cmd),
         "throughput" => cmd_throughput(cmd),
-        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+        other => {
+            Err(CliError::Usage(UsageError(format!("unknown subcommand '{other}'\n\n{USAGE}"))))
+        }
     }
 }
 
-fn cmd_gen(cmd: &Command) -> Result<String, String> {
-    let out = cmd.required("out").map_err(|e| e.to_string())?.to_string();
-    let model = cmd.opt("model", "prowgen".to_string()).map_err(|e| e.to_string())?;
+fn cmd_gen(cmd: &Command) -> Result<String, CliError> {
+    let out = cmd.required("out")?.to_string();
+    let model = cmd.opt("model", "prowgen".to_string())?;
     let trace = match model.as_str() {
         "prowgen" => {
             let cfg = ProWGenConfig {
-                requests: cmd.opt("requests", 250_000).map_err(|e| e.to_string())?,
-                distinct_objects: cmd.opt("objects", 10_000).map_err(|e| e.to_string())?,
-                zipf_alpha: cmd.opt("alpha", 0.7).map_err(|e| e.to_string())?,
-                one_time_fraction: cmd.opt("one-timers", 0.5).map_err(|e| e.to_string())?,
-                stack_fraction: cmd.opt("stack", 0.2).map_err(|e| e.to_string())?,
-                num_clients: cmd.opt("clients", 100).map_err(|e| e.to_string())?,
-                seed: cmd.opt("seed", 0x5EED_2003).map_err(|e| e.to_string())?,
+                requests: cmd.opt("requests", 250_000)?,
+                distinct_objects: cmd.opt("objects", 10_000)?,
+                zipf_alpha: cmd.opt("alpha", 0.7)?,
+                one_time_fraction: cmd.opt("one-timers", 0.5)?,
+                stack_fraction: cmd.opt("stack", 0.2)?,
+                num_clients: cmd.opt("clients", 100)?,
+                seed: cmd.opt("seed", 0x5EED_2003)?,
                 ..ProWGenConfig::default()
             };
             cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
@@ -179,21 +238,25 @@ fn cmd_gen(cmd: &Command) -> Result<String, String> {
         }
         "ucb" => {
             let cfg = UcbLikeConfig {
-                requests: cmd.opt("requests", 500_000).map_err(|e| e.to_string())?,
-                core_objects: cmd.opt("objects", 8_000).map_err(|e| e.to_string())?,
-                fresh_objects_per_day: cmd.opt("fresh", 6_000).map_err(|e| e.to_string())?,
-                num_clients: cmd.opt("clients", 100).map_err(|e| e.to_string())?,
-                seed: cmd.opt("seed", 0x0CB_1997).map_err(|e| e.to_string())?,
+                requests: cmd.opt("requests", 500_000)?,
+                core_objects: cmd.opt("objects", 8_000)?,
+                fresh_objects_per_day: cmd.opt("fresh", 6_000)?,
+                num_clients: cmd.opt("clients", 100)?,
+                seed: cmd.opt("seed", 0x0CB_1997)?,
                 ..UcbLikeConfig::default()
             };
             cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
             UcbLike::new(cfg).generate()
         }
-        other => return Err(format!("unknown model '{other}' (prowgen|ucb)")),
+        other => {
+            return Err(CliError::Usage(UsageError(format!(
+                "unknown model '{other}' (prowgen|ucb)"
+            ))))
+        }
     };
-    let f = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+    let f = File::create(&out).map_err(|e| named_io(&out, e))?;
     let mut w = BufWriter::new(f);
-    trace.write_binary(&mut w).map_err(|e| format!("{out}: {e}"))?;
+    trace.write_binary(&mut w).map_err(|e| named_io(&out, e))?;
     Ok(format!(
         "wrote {out}: {} requests, {} distinct objects",
         trace.len(),
@@ -201,7 +264,7 @@ fn cmd_gen(cmd: &Command) -> Result<String, String> {
     ))
 }
 
-fn cmd_stats(cmd: &Command) -> Result<String, String> {
+fn cmd_stats(cmd: &Command) -> Result<String, CliError> {
     let traces = load_traces(&cmd.positional)?;
     let mut out = String::new();
     for (path, t) in cmd.positional.iter().zip(&traces) {
@@ -222,30 +285,45 @@ fn cmd_stats(cmd: &Command) -> Result<String, String> {
     Ok(out)
 }
 
-fn net_from(cmd: &Command) -> Result<NetworkModel, String> {
-    let ts_tc = cmd.opt("ts-tc", 10.0).map_err(|e| e.to_string())?;
-    let ts_tl = cmd.opt("ts-tl", 20.0).map_err(|e| e.to_string())?;
-    let tp2p_tl = cmd.opt("tp2p-tl", 1.4).map_err(|e| e.to_string())?;
+fn net_from(cmd: &Command) -> Result<NetworkModel, CliError> {
+    let ts_tc = cmd.opt("ts-tc", 10.0)?;
+    let ts_tl = cmd.opt("ts-tl", 20.0)?;
+    let tp2p_tl = cmd.opt("tp2p-tl", 1.4)?;
     let net = NetworkModel::from_ratios(ts_tc, ts_tl, tp2p_tl);
-    net.validate().map_err(|e| format!("invalid network model: {e}"))?;
+    net.validate()?;
     Ok(net)
 }
 
-fn cmd_run(cmd: &Command) -> Result<String, String> {
-    let scheme = parse_scheme(cmd.required("scheme").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let traces = load_traces(&cmd.positional)?;
-    let mut cfg =
-        ExperimentConfig::new(scheme, cmd.opt("cache-frac", 0.2).map_err(|e| e.to_string())?);
+/// Builds the experiment config shared by `run` and `explain` from the
+/// command line (proxy count = trace count).
+fn config_from(
+    cmd: &Command,
+    scheme: SchemeKind,
+    traces: &[Trace],
+) -> Result<ExperimentConfig, CliError> {
+    let mut cfg = ExperimentConfig::new(scheme, cmd.opt("cache-frac", 0.2)?);
     cfg.num_proxies = traces.len();
-    cfg.clients_per_cluster = cmd.opt("clients", 100).map_err(|e| e.to_string())?;
+    cfg.clients_per_cluster = cmd.opt("clients", 100)?;
     cfg.net = net_from(cmd)?;
-    cfg.validate().map_err(|e| format!("invalid experiment: {e}"))?;
-    let metrics = run_experiment(&cfg, &traces);
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_run(cmd: &Command) -> Result<String, CliError> {
+    let scheme: SchemeKind = cmd.required("scheme")?.parse()?;
+    let traces = load_traces(&cmd.positional)?;
+    let cfg = config_from(cmd, scheme, &traces)?;
+    let stats_out = cmd.options.get("stats-out").cloned();
+    let recorder = Arc::new(StatsRecorder::new());
+    let metrics = if stats_out.is_some() {
+        run_experiment_recorded(&cfg, &traces, recorder.clone())?
+    } else {
+        run_experiment(&cfg, &traces)?
+    };
     let nc = if scheme == SchemeKind::Nc {
         metrics.clone()
     } else {
-        run_experiment(&ExperimentConfig { scheme: SchemeKind::Nc, ..cfg }, &traces)
+        run_experiment(&cfg.at(SchemeKind::Nc, cfg.cache_frac), &traces)?
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -261,29 +339,102 @@ fn cmd_run(cmd: &Command) -> Result<String, String> {
     for class in HitClass::ALL {
         let _ = writeln!(out, "  {:<12} {:>7.2}%", class.label(), metrics.fraction(class) * 100.0);
     }
+    if let Some(path) = stats_out {
+        std::fs::write(&path, recorder.snapshot().to_json())
+            .map_err(|e| CliError::Sim(SimError::Io(e)))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
     Ok(out)
 }
 
-fn cmd_sweep(cmd: &Command) -> Result<String, String> {
+/// Runs one scheme with the full observability stack attached and prints
+/// where every request was served from, the P2P protocol counters, and
+/// the overlay hop histograms — the diagnostics behind the paper's
+/// scalability (claim 11), connection-overhead (claim 12), and staleness
+/// (claim 13) arguments.
+fn cmd_explain(cmd: &Command) -> Result<String, CliError> {
+    let scheme: SchemeKind = cmd.options.get("scheme").map_or("hier-gd", String::as_str).parse()?;
+    let traces = load_traces(&cmd.positional)?;
+    let cfg = config_from(cmd, scheme, &traces)?;
+    let stats = Arc::new(StatsRecorder::new());
+    let events = Arc::new(EventLogRecorder::new(cmd.opt("events", 10_000usize)?));
+    let events_out = cmd.options.get("events-out").cloned();
+    let metrics = if events_out.is_some() {
+        run_experiment_recorded(&cfg, &traces, (stats.clone(), events.clone()))?
+    } else {
+        run_experiment_recorded(&cfg, &traces, stats.clone())?
+    };
+    let snap = stats.snapshot();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {} proxies, cache {:.0}% of U, {} clients/cluster\n",
+        scheme.label(),
+        traces.len(),
+        cfg.cache_frac * 100.0,
+        cfg.clients_per_cluster
+    );
+    out.push_str(&snap.to_table());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "claim 11 (O(log N) routing): {} routed lookups, hop p99 <= {}",
+        snap.lookups,
+        snap.lookup_hops.quantile(0.99)
+    );
+    let _ = writeln!(
+        out,
+        "claim 12 (piggybacking): {} destages opened {} dedicated connections \
+         ({} piggybacked); new connections = {} (pushes) + {} (direct destages)",
+        snap.destages,
+        snap.direct_destage_connections,
+        snap.piggybacked_destages,
+        snap.pushes,
+        snap.direct_destage_connections
+    );
+    let _ = writeln!(
+        out,
+        "claim 13 (directory accuracy): {} of {} lookups stale ({:.2}%)",
+        snap.stale_lookups,
+        snap.lookups,
+        snap.stale_lookup_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "simulated avg latency {:.3} over {} requests",
+        metrics.avg_latency(),
+        metrics.requests
+    );
+    if let Some(path) = cmd.options.get("stats-out") {
+        std::fs::write(path, snap.to_json()).map_err(|e| CliError::Sim(SimError::Io(e)))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(path) = events_out {
+        events.write_csv(std::path::Path::new(&path))?;
+        let _ =
+            writeln!(out, "wrote {path} ({} events, {} dropped)", events.len(), events.dropped());
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(cmd: &Command) -> Result<String, CliError> {
     let traces = load_traces(&cmd.positional)?;
     let schemes: Vec<SchemeKind> = cmd
-        .opt("schemes", "sc,fc,sc-ec,fc-ec,hier-gd".to_string())
-        .map_err(|e| e.to_string())?
+        .opt("schemes", "sc,fc,sc-ec,fc-ec,hier-gd".to_string())?
         .split(',')
-        .map(parse_scheme)
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
+        .map(|t| t.parse())
+        .collect::<Result<_, SimError>>()?;
     let fracs: Vec<f64> = cmd
-        .opt("fracs", "0.1,0.3,0.5,0.7,0.9".to_string())
-        .map_err(|e| e.to_string())?
+        .opt("fracs", "0.1,0.3,0.5,0.7,0.9".to_string())?
         .split(',')
         .map(|f| f.trim().parse::<f64>().map_err(|_| format!("bad fraction '{f}'")))
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, String>>()?;
     let mut base = ExperimentConfig::new(SchemeKind::Nc, fracs[0]);
     base.num_proxies = traces.len();
-    base.clients_per_cluster = cmd.opt("clients", 100).map_err(|e| e.to_string())?;
+    base.clients_per_cluster = cmd.opt("clients", 100)?;
     base.net = net_from(cmd)?;
-    let results = sweep(&schemes, &fracs, &traces, &base);
+    let results = sweep(&schemes, &fracs, &traces, &base)?;
     let mut out = String::new();
     let _ = write!(out, "{:>10}", "cache(%)");
     for s in &schemes {
@@ -316,24 +467,21 @@ fn cmd_sweep(cmd: &Command) -> Result<String, String> {
 /// With no positional trace files, the default figure-2 synthetic workload
 /// is generated in-process (ProWGen §5.1 defaults, one statistically
 /// identical trace per proxy, same seed derivation as the bench harness).
-fn cmd_throughput(cmd: &Command) -> Result<String, String> {
+fn cmd_throughput(cmd: &Command) -> Result<String, CliError> {
     let schemes: Vec<SchemeKind> = cmd
-        .opt("schemes", "nc,sc,fc,nc-ec,sc-ec,fc-ec,hier-gd".to_string())
-        .map_err(|e| e.to_string())?
+        .opt("schemes", "nc,sc,fc,nc-ec,sc-ec,fc-ec,hier-gd".to_string())?
         .split(',')
-        .map(parse_scheme)
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
-    let cache_frac = cmd.opt("cache-frac", 0.1).map_err(|e| e.to_string())?;
-    let repeats = cmd.opt("repeats", 3usize).map_err(|e| e.to_string())?;
-    let out_path =
-        cmd.opt("out", "BENCH_throughput.json".to_string()).map_err(|e| e.to_string())?;
-    let clients = cmd.opt("clients", 100usize).map_err(|e| e.to_string())?;
+        .map(|t| t.parse())
+        .collect::<Result<_, SimError>>()?;
+    let cache_frac = cmd.opt("cache-frac", 0.1)?;
+    let repeats = cmd.opt("repeats", 3usize)?;
+    let out_path = cmd.opt("out", "BENCH_throughput.json".to_string())?;
+    let clients = cmd.opt("clients", 100usize)?;
 
     let traces = if cmd.positional.is_empty() {
-        let num_proxies = cmd.opt("proxies", 2usize).map_err(|e| e.to_string())?;
-        let requests = cmd.opt("requests", 250_000usize).map_err(|e| e.to_string())?;
-        let objects = cmd.opt("objects", 10_000usize).map_err(|e| e.to_string())?;
+        let num_proxies = cmd.opt("proxies", 2usize)?;
+        let requests = cmd.opt("requests", 250_000usize)?;
+        let objects = cmd.opt("objects", 10_000usize)?;
         (0..num_proxies)
             .map(|p| {
                 let mut cfg = ProWGenConfig {
@@ -356,10 +504,10 @@ fn cmd_throughput(cmd: &Command) -> Result<String, String> {
     base.num_proxies = traces.len();
     base.clients_per_cluster = clients;
     base.net = net_from(cmd)?;
-    base.validate().map_err(|e| format!("invalid experiment: {e}"))?;
+    base.validate()?;
 
-    let report = measure_throughput(&schemes, &base, &traces, repeats);
-    std::fs::write(&out_path, report.to_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    let report = measure_throughput(&schemes, &base, &traces, repeats)?;
+    std::fs::write(&out_path, report.to_json()).map_err(|e| named_io(&out_path, e))?;
     let mut out = report.to_table();
     let _ = writeln!(out, "wrote {out_path}");
     Ok(out)
@@ -400,11 +548,20 @@ mod tests {
     }
 
     #[test]
-    fn scheme_names() {
-        assert_eq!(parse_scheme("hier-gd").unwrap(), SchemeKind::HierGd);
-        assert_eq!(parse_scheme("FC-EC").unwrap(), SchemeKind::FcEc);
-        assert_eq!(parse_scheme("nc").unwrap(), SchemeKind::Nc);
-        assert!(parse_scheme("lru").is_err());
+    fn scheme_names_parse_via_core_fromstr() {
+        assert_eq!("hier-gd".parse::<SchemeKind>().unwrap(), SchemeKind::HierGd);
+        assert_eq!("FC-EC".parse::<SchemeKind>().unwrap(), SchemeKind::FcEc);
+        assert_eq!("nc".parse::<SchemeKind>().unwrap(), SchemeKind::Nc);
+        assert!("lru".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn exit_codes_by_error_kind() {
+        assert_eq!(CliError::Usage(UsageError("x".into())).exit_code(), 2);
+        assert_eq!(CliError::Sim(SimError::InvalidConfig("x".into())).exit_code(), 2);
+        assert_eq!(CliError::Sim(SimError::UnknownScheme("x".into())).exit_code(), 2);
+        assert_eq!(CliError::Sim(std::io::Error::other("x").into()).exit_code(), 3);
+        assert_eq!(CliError::Other("x".into()).exit_code(), 1);
     }
 
     #[test]
@@ -471,9 +628,78 @@ mod tests {
         let run = Command::parse(&argv(&["run", "--scheme", "sc"])).unwrap();
         assert!(execute(&run).is_err());
         let bad = Command::parse(&argv(&["run", "--scheme", "bogus", "x.bin"])).unwrap();
-        assert!(execute(&bad).is_err());
+        match execute(&bad) {
+            Err(CliError::Sim(SimError::UnknownScheme(name))) => assert_eq!(name, "bogus"),
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
         let unknown = Command::parse(&argv(&["frobnicate"])).unwrap();
-        assert!(execute(&unknown).unwrap_err().contains("unknown subcommand"));
+        assert!(execute(&unknown).unwrap_err().to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn explain_and_stats_out_roundtrip() {
+        let dir = std::env::temp_dir().join("webcache-cli-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.bin");
+        let trace_s = trace_path.to_str().unwrap().to_string();
+        let gen = Command::parse(&argv(&[
+            "gen",
+            "--out",
+            &trace_s,
+            "--requests",
+            "9000",
+            "--objects",
+            "600",
+            "--clients",
+            "10",
+        ]))
+        .unwrap();
+        execute(&gen).unwrap();
+
+        let stats_path = dir.join("stats.json");
+        let events_path = dir.join("events.csv");
+        let ex = Command::parse(&argv(&[
+            "explain",
+            "--clients",
+            "10",
+            "--cache-frac",
+            "0.2",
+            "--stats-out",
+            stats_path.to_str().unwrap(),
+            "--events-out",
+            events_path.to_str().unwrap(),
+            &trace_s,
+            &trace_s,
+        ]))
+        .unwrap();
+        let out = execute(&ex).unwrap();
+        assert!(out.contains("claim 11"), "{out}");
+        assert!(out.contains("claim 12"), "{out}");
+        assert!(out.contains("claim 13"), "{out}");
+        assert!(out.contains("hit class"), "{out}");
+        let json = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(json.contains("\"destages\""), "{json}");
+        let csv = std::fs::read_to_string(&events_path).unwrap();
+        assert!(csv.starts_with("seq,proxy,kind"), "{csv}");
+
+        // `run --stats-out` writes the same snapshot document.
+        let run_stats = dir.join("run-stats.json");
+        let run = Command::parse(&argv(&[
+            "run",
+            "--scheme",
+            "hier-gd",
+            "--clients",
+            "10",
+            "--stats-out",
+            run_stats.to_str().unwrap(),
+            &trace_s,
+            &trace_s,
+        ]))
+        .unwrap();
+        let out = execute(&run).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(std::fs::read_to_string(&run_stats).unwrap().contains("total_requests"));
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]
@@ -488,6 +714,6 @@ mod tests {
             "600",
         ]))
         .unwrap();
-        assert!(execute(&gen).unwrap_err().contains("invalid workload"));
+        assert!(execute(&gen).unwrap_err().to_string().contains("invalid workload"));
     }
 }

@@ -1,12 +1,16 @@
 //! Experiment configuration: the paper's sizing rules and scheme registry.
 
 use crate::cost_benefit::CostBenefitEngine;
-use crate::engine::{run_engine, SchemeEngine};
+use crate::engine::{run_engine_recorded, SchemeEngine};
+use crate::error::SimError;
 use crate::hiergd::{HierGdEngine, HierGdOptions};
 use crate::lfu_schemes::LfuFamilyEngine;
 use crate::metrics::RunMetrics;
 use crate::net::NetworkModel;
+use crate::recorder::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 use webcache_workload::Trace;
 
 /// The seven caching schemes of the paper (§2–3).
@@ -59,6 +63,32 @@ impl SchemeKind {
     }
 }
 
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for SchemeKind {
+    type Err = SimError;
+
+    /// Parses a scheme name, case-insensitively, with or without the
+    /// hyphen: `"NC-EC"`, `"nc-ec"` and `"ncec"` all name
+    /// [`SchemeKind::NcEc`]. Round-trips with [`SchemeKind::label`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "nc" => Ok(SchemeKind::Nc),
+            "nc-ec" | "ncec" => Ok(SchemeKind::NcEc),
+            "sc" => Ok(SchemeKind::Sc),
+            "sc-ec" | "scec" => Ok(SchemeKind::ScEc),
+            "fc" => Ok(SchemeKind::Fc),
+            "fc-ec" | "fcec" => Ok(SchemeKind::FcEc),
+            "hier-gd" | "hiergd" => Ok(SchemeKind::HierGd),
+            other => Err(SimError::UnknownScheme(other.to_string())),
+        }
+    }
+}
+
 /// One experiment: a scheme at a sizing point (§5.1 defaults).
 ///
 /// All fields are plain values, so the config is `Copy` — sweeps and
@@ -98,21 +128,93 @@ impl ExperimentConfig {
         }
     }
 
+    /// Starts a [builder](ExperimentConfigBuilder) from the paper
+    /// defaults; `build()` validates, so a config obtained this way is
+    /// known-good.
+    pub fn builder(scheme: SchemeKind, cache_frac: f64) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder { cfg: ExperimentConfig::new(scheme, cache_frac) }
+    }
+
+    /// This config re-pointed at another grid point: same topology and
+    /// knobs, different scheme and proxy size. Sweeps and harnesses use
+    /// it instead of struct-update syntax.
+    pub fn at(&self, scheme: SchemeKind, cache_frac: f64) -> Self {
+        ExperimentConfig { scheme, cache_frac, ..*self }
+    }
+
     /// Validates ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
         if self.num_proxies == 0 {
-            return Err("num_proxies must be positive".into());
+            return Err(SimError::InvalidConfig("num_proxies must be positive".into()));
         }
         if !(0.0..=1.5).contains(&self.cache_frac) || self.cache_frac <= 0.0 {
-            return Err("cache_frac must be in (0, 1.5]".into());
+            return Err(SimError::InvalidConfig("cache_frac must be in (0, 1.5]".into()));
         }
         if self.scheme.uses_client_caches() && self.clients_per_cluster == 0 {
-            return Err("client-cache schemes need clients_per_cluster > 0".into());
+            return Err(SimError::InvalidConfig(
+                "client-cache schemes need clients_per_cluster > 0".into(),
+            ));
         }
         if self.per_client_frac <= 0.0 || self.per_client_frac > 0.1 {
-            return Err("per_client_frac must be in (0, 0.1]".into());
+            return Err(SimError::InvalidConfig("per_client_frac must be in (0, 0.1]".into()));
         }
         self.net.validate()
+    }
+}
+
+/// Builds an [`ExperimentConfig`] from the paper defaults, one override
+/// at a time; [`build`](ExperimentConfigBuilder::build) validates the
+/// result.
+///
+/// ```
+/// use webcache_sim::config::{ExperimentConfig, SchemeKind};
+/// let cfg = ExperimentConfig::builder(SchemeKind::HierGd, 0.2)
+///     .num_proxies(4)
+///     .clients_per_cluster(50)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.num_proxies, 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the proxy count (paper default 2).
+    pub fn num_proxies(mut self, n: usize) -> Self {
+        self.cfg.num_proxies = n;
+        self
+    }
+
+    /// Sets the clients per cluster (paper default 100).
+    pub fn clients_per_cluster(mut self, n: usize) -> Self {
+        self.cfg.clients_per_cluster = n;
+        self
+    }
+
+    /// Sets the per-client cache fraction of `U` (paper default 0.001).
+    pub fn per_client_frac(mut self, f: f64) -> Self {
+        self.cfg.per_client_frac = f;
+        self
+    }
+
+    /// Sets the network latency model.
+    pub fn net(mut self, net: NetworkModel) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Sets the Hier-GD design knobs.
+    pub fn hiergd(mut self, opts: HierGdOptions) -> Self {
+        self.cfg.hiergd = opts;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<ExperimentConfig, SimError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -147,13 +249,26 @@ impl Sizing {
 }
 
 /// Builds the engine for `cfg` (trace-dependent sizing included).
-pub fn build_engine(cfg: &ExperimentConfig, traces: &[Trace]) -> Box<dyn SchemeEngine> {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid ExperimentConfig: {e}");
-    }
+pub fn build_engine(
+    cfg: &ExperimentConfig,
+    traces: &[Trace],
+) -> Result<Box<dyn SchemeEngine>, SimError> {
+    build_engine_recorded(cfg, traces, NoopRecorder)
+}
+
+/// [`build_engine`] with a [`Recorder`] wired into the engine. Only
+/// Hier-GD has P2P-layer events to report; the recorder is still
+/// accepted for every scheme so harness code is uniform (per-request
+/// events come from [`run_engine_recorded`]).
+pub fn build_engine_recorded<R: Recorder + 'static>(
+    cfg: &ExperimentConfig,
+    traces: &[Trace],
+    recorder: R,
+) -> Result<Box<dyn SchemeEngine>, SimError> {
+    cfg.validate()?;
     let s = Sizing::derive(cfg, traces);
     let p = cfg.num_proxies;
-    match cfg.scheme {
+    Ok(match cfg.scheme {
         SchemeKind::Nc => Box::new(LfuFamilyEngine::new(p, s.proxy_capacity, 0, false)),
         SchemeKind::NcEc => {
             Box::new(LfuFamilyEngine::new(p, s.proxy_capacity, s.p2p_capacity, false))
@@ -168,7 +283,7 @@ pub fn build_engine(cfg: &ExperimentConfig, traces: &[Trace]) -> Box<dyn SchemeE
         SchemeKind::FcEc => {
             Box::new(CostBenefitEngine::new(p, s.proxy_capacity, s.p2p_capacity, &cfg.net, traces))
         }
-        SchemeKind::HierGd => Box::new(HierGdEngine::new(
+        SchemeKind::HierGd => Box::new(HierGdEngine::with_recorder(
             p,
             s.proxy_capacity,
             cfg.clients_per_cluster,
@@ -176,20 +291,33 @@ pub fn build_engine(cfg: &ExperimentConfig, traces: &[Trace]) -> Box<dyn SchemeE
             traces.iter().map(|t| t.num_objects).max().unwrap_or(0),
             cfg.net,
             cfg.hiergd,
+            recorder,
         )),
-    }
+    })
 }
 
 /// Runs one experiment end to end.
-pub fn run_experiment(cfg: &ExperimentConfig, traces: &[Trace]) -> RunMetrics {
-    assert!(
-        traces.len() == cfg.num_proxies,
-        "need one trace per proxy ({} traces, {} proxies)",
-        traces.len(),
-        cfg.num_proxies
-    );
-    let mut engine = build_engine(cfg, traces);
-    run_engine(engine.as_mut(), traces, &cfg.net)
+pub fn run_experiment(cfg: &ExperimentConfig, traces: &[Trace]) -> Result<RunMetrics, SimError> {
+    run_experiment_recorded(cfg, traces, NoopRecorder)
+}
+
+/// [`run_experiment`] with a [`Recorder`] observing the run: every
+/// served request (hit class + latency), and — for Hier-GD — every P2P
+/// protocol event. Pass a shared handle (e.g. `Arc<StatsRecorder>`) to
+/// read the stats back afterwards.
+pub fn run_experiment_recorded<R: Recorder + Clone + 'static>(
+    cfg: &ExperimentConfig,
+    traces: &[Trace],
+    recorder: R,
+) -> Result<RunMetrics, SimError> {
+    if traces.len() != cfg.num_proxies {
+        return Err(SimError::TraceCountMismatch {
+            traces: traces.len(),
+            proxies: cfg.num_proxies,
+        });
+    }
+    let mut engine = build_engine_recorded(cfg, traces, recorder.clone())?;
+    Ok(run_engine_recorded(engine.as_mut(), traces, &cfg.net, &recorder))
 }
 
 #[cfg(test)]
@@ -234,7 +362,7 @@ mod tests {
             let mut cfg = ExperimentConfig::new(scheme, 0.2);
             // Keep Hier-GD's overlay small for test speed.
             cfg.clients_per_cluster = 10;
-            let m = run_experiment(&cfg, &ts);
+            let m = run_experiment(&cfg, &ts).unwrap();
             assert_eq!(m.requests, 20_000, "{}", scheme.label());
             assert!(m.avg_latency() > 0.0);
         }
@@ -262,10 +390,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one trace per proxy")]
-    fn trace_count_mismatch_panics() {
+    fn trace_count_mismatch_is_typed() {
         let ts = traces(1);
         let cfg = ExperimentConfig::new(SchemeKind::Nc, 0.5);
-        let _ = run_experiment(&cfg, &ts);
+        match run_experiment(&cfg, &ts) {
+            Err(SimError::TraceCountMismatch { traces: 1, proxies: 2 }) => {}
+            other => panic!("expected TraceCountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_names_round_trip_with_labels() {
+        for scheme in SchemeKind::ALL {
+            // Display == label(), and both spellings parse back.
+            assert_eq!(scheme.to_string(), scheme.label());
+            assert_eq!(scheme.label().parse::<SchemeKind>().unwrap(), scheme);
+            let squished = scheme.label().to_ascii_lowercase().replace('-', "");
+            assert_eq!(squished.parse::<SchemeKind>().unwrap(), scheme);
+        }
+        match "zzz".parse::<SchemeKind>() {
+            Err(SimError::UnknownScheme(name)) => assert_eq!(name, "zzz"),
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates_and_applies_overrides() {
+        let cfg = ExperimentConfig::builder(SchemeKind::HierGd, 0.3)
+            .num_proxies(4)
+            .clients_per_cluster(50)
+            .per_client_frac(0.002)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_proxies, 4);
+        assert_eq!(cfg.clients_per_cluster, 50);
+        assert!((cfg.per_client_frac - 0.002).abs() < 1e-12);
+        assert!(matches!(
+            ExperimentConfig::builder(SchemeKind::Nc, 0.3).num_proxies(0).build(),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn at_repoints_the_grid() {
+        let base =
+            ExperimentConfig::builder(SchemeKind::Nc, 0.1).clients_per_cluster(30).build().unwrap();
+        let p = base.at(SchemeKind::HierGd, 0.5);
+        assert_eq!(p.scheme, SchemeKind::HierGd);
+        assert!((p.cache_frac - 0.5).abs() < 1e-12);
+        assert_eq!(p.clients_per_cluster, 30);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::metrics::RunMetrics;
 use crate::net::{HitClass, NetworkModel};
+use crate::recorder::{NoopRecorder, Recorder};
 use webcache_workload::{Request, Trace};
 
 /// A caching scheme under simulation.
@@ -40,6 +41,24 @@ pub fn run_engine<E: SchemeEngine + ?Sized>(
     traces: &[Trace],
     net: &NetworkModel,
 ) -> RunMetrics {
+    run_engine_recorded(engine, traces, net, &NoopRecorder)
+}
+
+/// [`run_engine`] with a [`Recorder`] observing every served request
+/// (hit class + end-to-end latency).
+///
+/// With the default [`NoopRecorder`] the emission is compiled out and
+/// this is exactly `run_engine`. P2P-layer events are *not* emitted here
+/// — engines that have them (Hier-GD) carry their own recorder.
+///
+/// # Panics
+/// Panics if `traces` is empty.
+pub fn run_engine_recorded<E: SchemeEngine + ?Sized, R: Recorder>(
+    engine: &mut E,
+    traces: &[Trace],
+    net: &NetworkModel,
+    recorder: &R,
+) -> RunMetrics {
     assert!(!traces.is_empty(), "need at least one proxy trace");
     let mut metrics = RunMetrics::default();
     let mut cursors = vec![0usize; traces.len()];
@@ -53,7 +72,11 @@ pub fn run_engine<E: SchemeEngine + ?Sized>(
                     live += 1;
                 }
                 let class = engine.serve(p, req);
-                metrics.record(class, engine.latency_of(net, class));
+                let latency = engine.latency_of(net, class);
+                metrics.record(class, latency);
+                if R::ENABLED {
+                    recorder.request(p, class, latency);
+                }
             }
         }
         // `live` counts proxies with requests left *after* this round; the
@@ -90,22 +113,22 @@ mod tests {
     }
 
     /// Records the (proxy, object) order it is driven in.
-    struct Recorder(Vec<(usize, u32)>);
+    struct Probe(Vec<(usize, u32)>);
 
-    impl SchemeEngine for Recorder {
+    impl SchemeEngine for Probe {
         fn serve(&mut self, proxy: usize, request: &Request) -> HitClass {
             self.0.push((proxy, request.object));
             HitClass::Server
         }
         fn name(&self) -> &'static str {
-            "recorder"
+            "probe"
         }
     }
 
     #[test]
     fn all_requests_served_exactly_once() {
         let traces = vec![trace(&[1, 2, 3]), trace(&[4, 5])];
-        let mut e = Recorder(Vec::new());
+        let mut e = Probe(Vec::new());
         let m = run_engine(&mut e, &traces, &NetworkModel::default());
         assert_eq!(m.requests, 5);
         assert_eq!(e.0.len(), 5);
@@ -116,15 +139,28 @@ mod tests {
     #[test]
     fn uneven_traces_drain_fully() {
         let traces = vec![trace(&[1]), trace(&[2, 3, 4, 5])];
-        let m = run_engine(&mut Recorder(Vec::new()), &traces, &NetworkModel::default());
+        let m = run_engine(&mut Probe(Vec::new()), &traces, &NetworkModel::default());
         assert_eq!(m.requests, 5);
     }
 
     #[test]
     fn empty_trace_is_fine() {
         let traces = vec![trace(&[]), trace(&[1])];
-        let m = run_engine(&mut Recorder(Vec::new()), &traces, &NetworkModel::default());
+        let m = run_engine(&mut Probe(Vec::new()), &traces, &NetworkModel::default());
         assert_eq!(m.requests, 1);
+    }
+
+    #[test]
+    fn recorded_run_sees_every_request() {
+        use crate::recorder::StatsRecorder;
+        let traces = vec![trace(&[1, 2, 3]), trace(&[4, 5])];
+        let rec = StatsRecorder::new();
+        let m =
+            run_engine_recorded(&mut Probe(Vec::new()), &traces, &NetworkModel::default(), &rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.total_requests(), m.requests);
+        assert_eq!(snap.count(HitClass::Server), m.count(HitClass::Server));
+        assert!((snap.avg_latency() - m.avg_latency()).abs() < 1e-3);
     }
 
     #[test]

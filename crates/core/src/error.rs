@@ -1,0 +1,83 @@
+//! Typed errors for the simulator's fallible APIs.
+//!
+//! Configuration validation, experiment construction, and the CLI all used
+//! to speak `Result<_, String>`; [`SimError`] replaces that with a typed
+//! enum so callers can branch on the failure kind (the CLI maps variants
+//! to distinct exit codes) and `?` composes with `std::io` errors.
+
+use std::fmt;
+
+/// Why a simulation API call failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// A configuration field is out of its documented range.
+    InvalidConfig(String),
+    /// A scheme name did not parse (see `SchemeKind::from_str`).
+    UnknownScheme(String),
+    /// `run_experiment` was handed a trace count that does not match the
+    /// configured proxy count.
+    TraceCountMismatch {
+        /// Traces supplied.
+        traces: usize,
+        /// Proxies configured.
+        proxies: usize,
+    },
+    /// An underlying I/O operation failed (stats export, trace loading).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownScheme(name) => write!(
+                f,
+                "unknown scheme '{name}' (expected one of: nc, nc-ec, sc, sc-ec, fc, fc-ec, \
+                 hier-gd)"
+            ),
+            SimError::TraceCountMismatch { traces, proxies } => {
+                write!(f, "need one trace per proxy ({traces} traces, {proxies} proxies)")
+            }
+            SimError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains("invalid"));
+        let u = SimError::UnknownScheme("zzz".into()).to_string();
+        assert!(u.contains("zzz") && u.contains("hier-gd"));
+        let m = SimError::TraceCountMismatch { traces: 1, proxies: 2 }.to_string();
+        assert!(m.contains("1 traces") && m.contains("2 proxies"));
+        let io: SimError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_trait_source() {
+        use std::error::Error as _;
+        assert!(SimError::InvalidConfig("x".into()).source().is_none());
+        let io: SimError = std::io::Error::other("boom").into();
+        assert!(io.source().is_some());
+    }
+}

@@ -30,8 +30,9 @@
 use crate::engine::SchemeEngine;
 use crate::metrics::RunMetrics;
 use crate::net::{HitClass, NetworkModel};
+use crate::recorder::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
-use webcache_p2p::{DirectoryKind, P2PClientCache, P2PClientCacheConfig};
+use webcache_p2p::{DirectoryKind, P2PClientCache, P2PClientCacheConfig, P2pEvent, P2pSink};
 use webcache_pastry::PastryConfig;
 use webcache_policy::{BoundedCache, GreedyDualCache};
 use webcache_workload::{ObjectId, Request, Trace};
@@ -69,18 +70,41 @@ struct GdProxy {
     p2p: P2PClientCache,
 }
 
+/// Forwards [`P2pEvent`]s from one proxy's P2P cache to the engine's
+/// [`Recorder`], tagging them with the proxy index. Borrowing only the
+/// recorder keeps the adapter disjoint from the `&mut` borrow of the
+/// cache it observes.
+struct Tap<'a, R> {
+    recorder: &'a R,
+    proxy: usize,
+}
+
+impl<R: Recorder> P2pSink for Tap<'_, R> {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline]
+    fn event(&mut self, event: P2pEvent) {
+        self.recorder.p2p_event(self.proxy, event);
+    }
+}
+
 /// The Hier-GD engine: one greedy-dual proxy + one Pastry P2P client cache
 /// per cluster.
-pub struct HierGdEngine {
+///
+/// Generic over the observability [`Recorder`]; the default
+/// [`NoopRecorder`] statically disables every event tap, so the plain
+/// `HierGdEngine` is exactly the un-instrumented engine.
+pub struct HierGdEngine<R: Recorder = NoopRecorder> {
     proxies: Vec<GdProxy>,
     /// Dense object id → 128-bit Pastry objectId (SHA-1 of the URL, §4.1).
     object_ids: Vec<u128>,
     net: NetworkModel,
     opts: HierGdOptions,
+    recorder: R,
 }
 
 impl HierGdEngine {
-    /// Builds the engine.
+    /// Builds the engine (no observability, zero recorder cost).
     ///
     /// * `proxy_capacity` — objects per proxy cache;
     /// * `clients_per_cluster` — client caches in each proxy's cluster
@@ -88,6 +112,7 @@ impl HierGdEngine {
     /// * `client_cache_capacity` — objects per client cache (paper: 0.1%
     ///   of the infinite cache size);
     /// * `num_objects` — dense-id universe bound (from the traces).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         num_proxies: usize,
         proxy_capacity: usize,
@@ -96,6 +121,35 @@ impl HierGdEngine {
         num_objects: u32,
         net: NetworkModel,
         opts: HierGdOptions,
+    ) -> Self {
+        HierGdEngine::with_recorder(
+            num_proxies,
+            proxy_capacity,
+            clients_per_cluster,
+            client_cache_capacity,
+            num_objects,
+            net,
+            opts,
+            NoopRecorder,
+        )
+    }
+}
+
+impl<R: Recorder> HierGdEngine<R> {
+    /// [`HierGdEngine::new`] with an observability recorder: every
+    /// destage, lookup, push, directory probe, and eviction cascade is
+    /// reported to `recorder` (tagged with its proxy index), alongside
+    /// the per-request events emitted by the run loop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_recorder(
+        num_proxies: usize,
+        proxy_capacity: usize,
+        clients_per_cluster: usize,
+        client_cache_capacity: usize,
+        num_objects: u32,
+        net: NetworkModel,
+        opts: HierGdOptions,
+        recorder: R,
     ) -> Self {
         assert!(num_proxies > 0, "need at least one proxy");
         let object_ids =
@@ -113,7 +167,7 @@ impl HierGdEngine {
                 }),
             })
             .collect();
-        HierGdEngine { proxies, object_ids, net, opts }
+        HierGdEngine { proxies, object_ids, net, opts, recorder }
     }
 
     fn oid(&self, object: ObjectId) -> u128 {
@@ -152,7 +206,12 @@ impl HierGdEngine {
             let cost = self.refetch_cost(p, victim);
             let oid = self.oid(victim);
             let via = self.opts.piggyback.then_some(client);
-            self.proxies[p].p2p.destage(oid, cost, via);
+            self.proxies[p].p2p.destage_tap(
+                oid,
+                cost,
+                via,
+                &mut Tap { recorder: &self.recorder, proxy: p },
+            );
         }
     }
 
@@ -175,11 +234,16 @@ impl HierGdEngine {
     /// # Panics
     /// Panics if the node is unknown or it is the cluster's last node.
     pub fn fail_client(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
-        self.proxies[proxy].p2p.fail_node(node);
+        self.proxies[proxy].p2p.fail_node_tap(node, &mut Tap { recorder: &self.recorder, proxy });
+    }
+
+    /// The recorder observing this engine.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 }
 
-impl SchemeEngine for HierGdEngine {
+impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
     fn serve(&mut self, p: usize, request: &Request) -> HitClass {
         let object = request.object;
         // 1. Local proxy cache.
@@ -190,11 +254,26 @@ impl SchemeEngine for HierGdEngine {
         }
         let oid = self.oid(object);
         // 2. Own P2P client cache, gated by the lookup directory (§4.2).
-        if self.proxies[p].p2p.directory_contains(oid) {
+        // Only this serve-path gate is reported as a directory probe;
+        // `refetch_cost`'s internal directory reads are pricing queries,
+        // not protocol messages.
+        let in_directory = self.proxies[p].p2p.directory_contains(oid);
+        if R::ENABLED {
+            self.recorder.p2p_event(p, P2pEvent::DirectoryProbe { hit: in_directory });
+        }
+        if in_directory {
             // The hit refreshes the client cache's greedy-dual credit at
             // the cost of the next-best source.
             let cost = self.net.fetch_cost(HitClass::CoopProxy);
-            let served = self.proxies[p].p2p.fetch(request.client, oid, cost).is_some();
+            let served = self.proxies[p]
+                .p2p
+                .fetch_tap(
+                    request.client,
+                    oid,
+                    cost,
+                    &mut Tap { recorder: &self.recorder, proxy: p },
+                )
+                .is_some();
             if served {
                 if self.opts.promote_on_p2p_hit {
                     let fetch = self.net.fetch_cost(HitClass::OwnP2p);
@@ -221,7 +300,11 @@ impl SchemeEngine for HierGdEngine {
             .find(|&q| self.proxies[q].p2p.directory_contains(oid));
         if let Some(q) = coop_p2p {
             let cost = self.net.fetch_cost(HitClass::CoopProxy);
-            if self.proxies[q].p2p.push_fetch(oid, cost).is_some() {
+            let pushed = self.proxies[q]
+                .p2p
+                .push_fetch_tap(oid, cost, &mut Tap { recorder: &self.recorder, proxy: q })
+                .is_some();
+            if pushed {
                 let fetch = self.net.fetch_cost(HitClass::CoopP2p);
                 self.admit(p, object, fetch, request.client);
                 return HitClass::CoopP2p;

@@ -22,6 +22,8 @@
 //! | [`hiergd`] | Hier-GD over the real Pastry P2P client cache |
 //! | [`metrics`] | average latency, hit breakdown, latency gain |
 //! | [`config`] | §5.1 sizing rules and the scheme registry |
+//! | [`error`] | the [`SimError`] type every fallible API returns |
+//! | [`recorder`] | pluggable observability taps (stats, event log) |
 //! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
 //!
 //! # Quick start
@@ -40,13 +42,23 @@
 //!     }).generate())
 //!     .collect();
 //!
-//! let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.2), &traces);
-//! let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, 0.2);
-//! cfg.clients_per_cluster = 20; // keep the demo overlay small
-//! let hg = run_experiment(&cfg, &traces);
+//! let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.2), &traces).unwrap();
+//! let cfg = ExperimentConfig::builder(SchemeKind::HierGd, 0.2)
+//!     .clients_per_cluster(20) // keep the demo overlay small
+//!     .build()
+//!     .unwrap();
+//! let hg = run_experiment(&cfg, &traces).unwrap();
 //! let gain = webcache_sim::metrics::latency_gain_percent(&nc, &hg);
 //! assert!(gain > 0.0);
 //! ```
+//!
+//! # Observability
+//!
+//! Every run can carry a [`Recorder`]: [`StatsRecorder`] aggregates
+//! per-class hit counters, log₂ latency/hop histograms, and P2P protocol
+//! counters; [`EventLogRecorder`] keeps a bounded ring of raw events with
+//! CSV/JSON export. The default [`NoopRecorder`] is statically compiled
+//! out, so un-instrumented runs pay nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,20 +66,30 @@
 pub mod config;
 pub mod cost_benefit;
 pub mod engine;
+pub mod error;
 pub mod hiergd;
 pub mod lfu_schemes;
 pub mod metrics;
 pub mod net;
+pub mod recorder;
 pub mod site;
 pub mod squirrel;
 pub mod sweep;
 pub mod throughput;
 
-pub use config::{build_engine, run_experiment, ExperimentConfig, SchemeKind, Sizing};
-pub use engine::{run_engine, SchemeEngine};
+pub use config::{
+    build_engine, run_experiment, run_experiment_recorded, ExperimentConfig,
+    ExperimentConfigBuilder, SchemeKind, Sizing,
+};
+pub use engine::{run_engine, run_engine_recorded, SchemeEngine};
+pub use error::SimError;
 pub use hiergd::{HierGdEngine, HierGdOptions};
 pub use metrics::{latency_gain_percent, ClassCounts, RunMetrics};
 pub use net::{HitClass, NetworkModel};
+pub use recorder::{
+    EventLogRecorder, NoopRecorder, Recorder, SimEvent, SimEventKind, StatsRecorder, StatsSnapshot,
+};
+pub use site::{SiteTier, TierTraffic, TwoTierLfuSite};
 pub use squirrel::SquirrelEngine;
-pub use sweep::{gain_curve, sweep, SweepResult, PAPER_CACHE_FRACS};
+pub use sweep::{gain_curve, sweep, sweep_recorded, SweepResult, PAPER_CACHE_FRACS};
 pub use throughput::{measure_throughput, ThroughputPoint, ThroughputReport};

@@ -11,6 +11,7 @@
 //! local proxy < own P2P cache < cooperating proxy < cooperating proxy's
 //! P2P cache < origin server.
 
+use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Where a request was ultimately served from.
@@ -128,14 +129,18 @@ impl NetworkModel {
     /// between own-P2P and coop-proxy at the extreme ratios Figure 5
     /// sweeps (e.g. Ts/Tl = 5 with Ts/Tc = 10 makes Tc < Tp2p); schemes
     /// keep the paper's fixed lookup cascade regardless.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
         for (name, v) in [("ts", self.ts), ("tc", self.tc), ("tl", self.tl), ("tp2p", self.tp2p)] {
             if !(v > 0.0 && v.is_finite()) {
-                return Err(format!("{name} must be positive and finite (got {v})"));
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} must be positive and finite (got {v})"
+                )));
             }
         }
         if self.ts <= self.tc || self.ts <= self.tp2p {
-            return Err("the origin server must be the most expensive source".into());
+            return Err(SimError::InvalidConfig(
+                "the origin server must be the most expensive source".into(),
+            ));
         }
         Ok(())
     }

@@ -23,11 +23,24 @@ pub enum SiteTier {
     P2p,
 }
 
+/// Movement counters between a site's tiers, for observability: how much
+/// churn the exclusive two-level hierarchy generates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// P2P-tier hits that earned the object a proxy-tier slot.
+    pub promotions: u64,
+    /// Proxy-tier victims demoted into the P2P tier.
+    pub demotions: u64,
+    /// Objects pushed out of the site entirely (both tiers full).
+    pub spills: u64,
+}
+
 /// Proxy cache plus optional unified P2P tier, LFU-managed.
 #[derive(Clone, Debug)]
 pub struct TwoTierLfuSite {
     proxy: LfuCache<ObjectId>,
     p2p: Option<LfuCache<ObjectId>>,
+    traffic: TierTraffic,
 }
 
 impl TwoTierLfuSite {
@@ -37,7 +50,13 @@ impl TwoTierLfuSite {
         TwoTierLfuSite {
             proxy: LfuCache::new(proxy_capacity.max(1)),
             p2p: (p2p_capacity > 0).then(|| LfuCache::new(p2p_capacity)),
+            traffic: TierTraffic::default(),
         }
+    }
+
+    /// Tier-movement counters accumulated so far.
+    pub fn traffic(&self) -> TierTraffic {
+        self.traffic
     }
 
     /// Where `object` is resident, if anywhere (no side effects).
@@ -68,11 +87,13 @@ impl TwoTierLfuSite {
             || freq >= self.proxy.min_frequency().unwrap_or(u64::MAX);
         if deserves_proxy {
             p2p.remove(object);
+            self.traffic.promotions += 1;
             if let Some((victim, vf)) = self.proxy.insert_with_frequency(object, freq) {
                 // Demotion cannot overflow: the P2P tier just lost `object`.
                 let spilled =
                     self.p2p.as_mut().expect("p2p tier exists").insert_with_frequency(victim, vf);
                 debug_assert!(spilled.is_none());
+                self.traffic.demotions += 1;
             }
         } else {
             p2p.touch(object);
@@ -99,17 +120,22 @@ impl TwoTierLfuSite {
     pub fn admit(&mut self, object: ObjectId) -> Option<ObjectId> {
         debug_assert!(self.tier_of(object).is_none(), "admit is for misses");
         let Some(p2p) = self.p2p.as_mut() else {
-            return self.proxy.insert_with_frequency(object, 1).map(|(k, _)| k);
+            let spilled = self.proxy.insert_with_frequency(object, 1).map(|(k, _)| k);
+            self.traffic.spills += spilled.is_some() as u64;
+            return spilled;
         };
         let proxy_has_room = self.proxy.len() < self.proxy.capacity();
-        if proxy_has_room || self.proxy.min_frequency() <= Some(1) {
+        let spilled = if proxy_has_room || self.proxy.min_frequency() <= Some(1) {
             let demoted = self.proxy.insert_with_frequency(object, 1)?;
+            self.traffic.demotions += 1;
             p2p.insert_with_frequency(demoted.0, demoted.1).map(|(k, _)| k)
         } else {
             // Every proxy-tier resident outranks a fresh object; it joins
             // the P2P tier directly.
             p2p.insert_with_frequency(object, 1).map(|(k, _)| k)
-        }
+        };
+        self.traffic.spills += spilled.is_some() as u64;
+        spilled
     }
 
     /// Objects resident in the proxy tier.
@@ -247,5 +273,32 @@ mod tests {
         let mut s = TwoTierLfuSite::new(2, 2);
         assert_eq!(s.lookup(42), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn traffic_counts_tier_movements() {
+        let mut s = TwoTierLfuSite::new(1, 1);
+        assert_eq!(s.traffic(), TierTraffic::default());
+        s.admit(1); // proxy has room: no movement
+        s.admit(2); // 1 demoted into p2p
+        assert_eq!(s.traffic(), TierTraffic { promotions: 0, demotions: 1, spills: 0 });
+        s.admit(3); // demotes 2, spills 1 out of the site
+        assert_eq!(s.traffic(), TierTraffic { promotions: 0, demotions: 2, spills: 1 });
+        s.lookup(1); // miss: nothing
+        let before = s.traffic();
+        // A p2p hit that promotes bumps promotions (and demotes the proxy victim).
+        s.lookup(2);
+        let after = s.traffic();
+        assert_eq!(after.promotions, before.promotions + 1);
+        assert_eq!(after.demotions, before.demotions + 1);
+    }
+
+    #[test]
+    fn proxy_only_spills_are_counted() {
+        let mut s = TwoTierLfuSite::new(2, 0);
+        s.admit(1);
+        s.admit(2);
+        s.admit(3);
+        assert_eq!(s.traffic(), TierTraffic { promotions: 0, demotions: 0, spills: 1 });
     }
 }

@@ -6,8 +6,10 @@
 //! parallel with Rayon (points are independent simulations), and reports
 //! gains.
 
-use crate::config::{run_experiment, ExperimentConfig, SchemeKind};
+use crate::config::{run_experiment_recorded, ExperimentConfig, SchemeKind};
+use crate::error::SimError;
 use crate::metrics::{latency_gain_percent, RunMetrics};
+use crate::recorder::{NoopRecorder, Recorder};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use webcache_workload::Trace;
@@ -36,33 +38,65 @@ pub fn sweep(
     fracs: &[f64],
     traces: &[Trace],
     base: &ExperimentConfig,
-) -> Vec<SweepResult> {
+) -> Result<Vec<SweepResult>, SimError> {
+    sweep_recorded(schemes, fracs, traces, base, NoopRecorder)
+}
+
+/// [`sweep`] with a shared [`Recorder`] observing every grid point.
+///
+/// The recorder handle is cloned per simulation (pass e.g.
+/// `Arc<StatsRecorder>`), so its shards aggregate across all points —
+/// per-point attribution needs one sweep call per point.
+///
+/// Every grid config is validated *before* the parallel region, so the
+/// Rayon closures below are infallible.
+pub fn sweep_recorded<R: Recorder + Clone + Send + 'static>(
+    schemes: &[SchemeKind],
+    fracs: &[f64],
+    traces: &[Trace],
+    base: &ExperimentConfig,
+    recorder: R,
+) -> Result<Vec<SweepResult>, SimError> {
+    for &f in fracs {
+        base.at(SchemeKind::Nc, f).validate()?;
+        for &s in schemes {
+            let cfg = base.at(s, f);
+            cfg.validate()?;
+            if traces.len() != cfg.num_proxies {
+                return Err(SimError::TraceCountMismatch {
+                    traces: traces.len(),
+                    proxies: cfg.num_proxies,
+                });
+            }
+        }
+    }
+
     // NC baselines, one per size (shared by every scheme at that size).
     let baselines: Vec<RunMetrics> = fracs
         .par_iter()
         .map(|&f| {
-            let cfg = ExperimentConfig { scheme: SchemeKind::Nc, cache_frac: f, ..*base };
-            run_experiment(&cfg, traces)
+            run_experiment_recorded(&base.at(SchemeKind::Nc, f), traces, recorder.clone())
+                .expect("validated above")
         })
         .collect();
 
     let points: Vec<(SchemeKind, usize)> =
         schemes.iter().flat_map(|&s| (0..fracs.len()).map(move |i| (s, i))).collect();
 
-    points
+    Ok(points
         .into_par_iter()
         .map(|(scheme, i)| {
             let cache_frac = fracs[i];
             let metrics = if scheme == SchemeKind::Nc {
                 baselines[i].clone()
             } else {
-                let cfg = ExperimentConfig { scheme, cache_frac, ..*base };
-                run_experiment(&cfg, traces)
+                run_experiment_recorded(&base.at(scheme, cache_frac), traces, recorder.clone())
+                    .expect("validated above")
             };
             let gain_percent = latency_gain_percent(&baselines[i], &metrics);
             SweepResult { scheme, cache_frac, metrics, gain_percent }
         })
-        .collect()
+        .collect())
 }
 
 /// Extracts one scheme's gain curve (ordered by cache size) from sweep
@@ -102,7 +136,7 @@ mod tests {
         let ts = traces();
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.clients_per_cluster = 8;
-        let results = sweep(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base);
+        let results = sweep(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base).unwrap();
         assert_eq!(results.len(), 4);
         for r in &results {
             if r.scheme == SchemeKind::Nc {
@@ -117,10 +151,36 @@ mod tests {
         let ts = traces();
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.clients_per_cluster = 8;
-        let results = sweep(&[SchemeKind::Sc], &[0.5, 0.1, 0.3], &ts, &base);
+        let results = sweep(&[SchemeKind::Sc], &[0.5, 0.1, 0.3], &ts, &base).unwrap();
         let curve = gain_curve(&results, SchemeKind::Sc);
         assert_eq!(curve.len(), 3);
         assert!(curve.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn recorded_sweep_aggregates_every_point() {
+        use crate::recorder::StatsRecorder;
+        use std::sync::Arc;
+        let ts = traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 8;
+        let rec = Arc::new(StatsRecorder::new());
+        let results =
+            sweep_recorded(&[SchemeKind::Nc, SchemeKind::Sc], &[0.1, 0.5], &ts, &base, rec.clone())
+                .unwrap();
+        let simulated: u64 = results.iter().map(|r| r.metrics.requests).sum();
+        // The shared recorder saw the two NC baselines plus the non-NC
+        // points (NC points reuse the baseline metrics, not a re-run).
+        let expected = simulated; // 2 baselines + 2 SC runs = 4 × 16k; NC points reuse.
+        assert_eq!(rec.snapshot().total_requests(), expected);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grid_upfront() {
+        let ts = traces();
+        let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
+        base.clients_per_cluster = 0; // invalid for client-cache schemes
+        assert!(sweep(&[SchemeKind::ScEc], &[0.1], &ts, &base).is_err());
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //!
 //! The ROADMAP's north star is a simulator that runs "as fast as the
 //! hardware allows"; every figure sweep is bound by `serve()` throughput.
-//! This harness times [`run_experiment`] per scheme over a fixed workload
+//! This harness times [`run_experiment`](crate::config::run_experiment) per
+//! scheme over a fixed workload
 //! and reports requests per second, so each PR leaves a perf trajectory
 //! (`BENCH_throughput.json`) behind.
 //!
 //! Timing uses the *fastest* of `repeats` runs per scheme — the minimum is
 //! the standard noise-robust estimator for deterministic workloads.
 
-use crate::config::{run_experiment, ExperimentConfig, SchemeKind};
+use crate::config::{run_experiment_recorded, ExperimentConfig, SchemeKind};
+use crate::error::SimError;
+use crate::recorder::{NoopRecorder, Recorder};
 use std::fmt::Write as _;
 use std::time::Instant;
 use webcache_workload::Trace;
@@ -58,16 +61,29 @@ pub fn measure_throughput(
     base: &ExperimentConfig,
     traces: &[Trace],
     repeats: usize,
-) -> ThroughputReport {
+) -> Result<ThroughputReport, SimError> {
+    measure_throughput_recorded(schemes, base, traces, repeats, NoopRecorder)
+}
+
+/// [`measure_throughput`] with a [`Recorder`] attached to every timed
+/// run. Use this to quantify the recorder's own overhead: compare
+/// against a [`NoopRecorder`] baseline from [`measure_throughput`].
+pub fn measure_throughput_recorded<R: Recorder + Clone + 'static>(
+    schemes: &[SchemeKind],
+    base: &ExperimentConfig,
+    traces: &[Trace],
+    repeats: usize,
+    recorder: R,
+) -> Result<ThroughputReport, SimError> {
     let repeats = repeats.max(1);
     let mut points = Vec::with_capacity(schemes.len());
     for &scheme in schemes {
-        let cfg = ExperimentConfig { scheme, ..*base };
+        let cfg = base.at(scheme, base.cache_frac);
         let mut best = f64::INFINITY;
         let mut metrics = None;
         for _ in 0..repeats {
             let start = Instant::now();
-            let m = run_experiment(&cfg, traces);
+            let m = run_experiment_recorded(&cfg, traces, recorder.clone())?;
             let elapsed = start.elapsed().as_secs_f64();
             if elapsed < best {
                 best = elapsed;
@@ -84,13 +100,13 @@ pub fn measure_throughput(
             hit_ratio: m.hit_ratio(),
         });
     }
-    ThroughputReport {
+    Ok(ThroughputReport {
         base: *base,
         trace_requests: traces.first().map_or(0, |t| t.len()),
         num_traces: traces.len(),
         repeats,
         points,
-    }
+    })
 }
 
 impl ThroughputReport {
@@ -190,7 +206,8 @@ mod tests {
         let ts = tiny_traces();
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.clients_per_cluster = 10;
-        let report = measure_throughput(&[SchemeKind::Nc, SchemeKind::HierGd], &base, &ts, 1);
+        let report =
+            measure_throughput(&[SchemeKind::Nc, SchemeKind::HierGd], &base, &ts, 1).unwrap();
         assert_eq!(report.points.len(), 2);
         for p in &report.points {
             assert_eq!(p.requests, 4_000);
@@ -207,7 +224,7 @@ mod tests {
         let ts = tiny_traces();
         let mut base = ExperimentConfig::new(SchemeKind::Nc, 0.1);
         base.clients_per_cluster = 10;
-        let report = measure_throughput(&[SchemeKind::Nc], &base, &ts, 2);
+        let report = measure_throughput(&[SchemeKind::Nc], &base, &ts, 2).unwrap();
         let json = report.to_json();
         assert!(json.contains("\"schemes\": ["));
         assert!(json.contains("\"scheme\": \"NC\""));

@@ -17,6 +17,7 @@
 //!   **push** protocol (§4.5) because firewalls block inbound connections.
 
 use crate::directory::{DirectoryKind, LookupDirectory};
+use crate::events::{NoSink, P2pEvent, P2pSink};
 use crate::ledger::MessageLedger;
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
@@ -318,6 +319,40 @@ impl P2PClientCache {
     /// connection (the ablation baseline). `cost` is the greedy-dual
     /// fetch cost the client cache charges the object on insertion.
     pub fn destage(&mut self, object: u128, cost: f64, via_client: Option<u32>) -> DestageOutcome {
+        self.destage_tap(object, cost, via_client, &mut NoSink)
+    }
+
+    /// [`destage`](Self::destage) with an observability sink: emits one
+    /// [`P2pEvent::Destage`] (plus an [`P2pEvent::Eviction`] when storing
+    /// displaced another object). With a disabled sink ([`NoSink`]) the
+    /// emission code folds away and this is exactly `destage`.
+    pub fn destage_tap<S: P2pSink>(
+        &mut self,
+        object: u128,
+        cost: f64,
+        via_client: Option<u32>,
+        sink: &mut S,
+    ) -> DestageOutcome {
+        let out = self.destage_inner(object, cost, via_client, sink);
+        if S::ENABLED {
+            sink.event(P2pEvent::Destage {
+                hops: out.hops.min(u16::MAX as usize) as u16,
+                piggybacked: via_client.is_some(),
+                diverted: out.stored_at != out.root,
+                refreshed: out.refreshed,
+                evicted: out.evicted.is_some(),
+            });
+        }
+        out
+    }
+
+    fn destage_inner<S: P2pSink>(
+        &mut self,
+        object: u128,
+        cost: f64,
+        via_client: Option<u32>,
+        sink: &mut S,
+    ) -> DestageOutcome {
         let entry = match via_client {
             Some(c) => {
                 self.ledger.piggybacked_objects += 1;
@@ -393,7 +428,7 @@ impl P2PClientCache {
         let rn = self.nodes.get_mut(&root.0).expect("root is live");
         let evicted = rn.store.insert_with_cost(object, cost, 1.0);
         let evicted = evicted.expect("full store must evict");
-        self.on_node_eviction(root, evicted);
+        self.on_node_eviction(root, evicted, sink);
         self.resident += 1;
         self.directory.insert(object);
         self.directory.remove(evicted);
@@ -402,9 +437,10 @@ impl P2PClientCache {
     }
 
     /// Book-keeping when `node` evicts `object` from its store: fix up
-    /// diversion pointers and the resident count. (Directory updates are
-    /// the caller's responsibility since receipts batch them.)
-    fn on_node_eviction(&mut self, node: NodeId, object: u128) {
+    /// diversion pointers and the resident count, reporting the eviction
+    /// to `sink`. (Directory updates are the caller's responsibility
+    /// since receipts batch them.)
+    fn on_node_eviction<S: P2pSink>(&mut self, node: NodeId, object: u128, sink: &mut S) {
         self.resident -= 1;
         let owner = self.nodes.get_mut(&node.0).expect("live node").hosted_for.remove(&object);
         if let Some(owner) = owner {
@@ -414,6 +450,9 @@ impl P2PClientCache {
                 on.diverted_to.remove(&object);
             }
             self.ledger.overlay_messages += 1;
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::Eviction { pointer_invalidated: owner.is_some() });
         }
     }
 
@@ -443,6 +482,19 @@ impl P2PClientCache {
     /// back to cooperating proxies or the server. `hit_cost` is the
     /// greedy-dual credit refresh applied on a hit.
     pub fn fetch(&mut self, client: u32, object: u128, hit_cost: f64) -> Option<FetchOutcome> {
+        self.fetch_tap(client, object, hit_cost, &mut NoSink)
+    }
+
+    /// [`fetch`](Self::fetch) with an observability sink: emits one
+    /// [`P2pEvent::Lookup`] carrying the hop count and staleness (claim
+    /// 13 diagnostics). With [`NoSink`] this is exactly `fetch`.
+    pub fn fetch_tap<S: P2pSink>(
+        &mut self,
+        client: u32,
+        object: u128,
+        hit_cost: f64,
+        sink: &mut S,
+    ) -> Option<FetchOutcome> {
         self.ledger.lookups += 1;
         let from = self.node_for_client(client);
         let (root, hops) = self.route_to_root(from, object, true);
@@ -452,12 +504,25 @@ impl P2PClientCache {
                 self.ledger.overlay_messages += extra as u64;
                 let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
                 hn.store.touch_with_cost(object, hit_cost, 1.0);
-                Some(FetchOutcome { holder, hops: hops + extra })
+                let hops = hops + extra;
+                if S::ENABLED {
+                    sink.event(P2pEvent::Lookup {
+                        hops: hops.min(u16::MAX as usize) as u16,
+                        stale: false,
+                    });
+                }
+                Some(FetchOutcome { holder, hops })
             }
             None => {
                 self.ledger.stale_lookups += 1;
                 // Negative feedback keeps an exact directory exact.
                 self.directory.remove(object);
+                if S::ENABLED {
+                    sink.event(P2pEvent::Lookup {
+                        hops: hops.min(u16::MAX as usize) as u16,
+                        stale: true,
+                    });
+                }
                 None
             }
         }
@@ -468,11 +533,26 @@ impl P2PClientCache {
     /// reuses) a connection to the local proxy and pushes the object; the
     /// local proxy forwards it to the requesting proxy.
     pub fn push_fetch(&mut self, object: u128, hit_cost: f64) -> Option<FetchOutcome> {
+        self.push_fetch_tap(object, hit_cost, &mut NoSink)
+    }
+
+    /// [`push_fetch`](Self::push_fetch) with an observability sink: the
+    /// underlying lookup emits its [`P2pEvent::Lookup`], and a successful
+    /// push additionally emits [`P2pEvent::Push`].
+    pub fn push_fetch_tap<S: P2pSink>(
+        &mut self,
+        object: u128,
+        hit_cost: f64,
+        sink: &mut S,
+    ) -> Option<FetchOutcome> {
         // The push request enters the overlay at the proxy's designated
         // first client cache.
-        let outcome = self.fetch(0, object, hit_cost)?;
+        let outcome = self.fetch_tap(0, object, hit_cost, sink)?;
         self.ledger.pushes += 1;
         self.ledger.new_connections += 1; // holder → proxy push channel
+        if S::ENABLED {
+            sink.event(P2pEvent::Push { hops: outcome.hops.min(u16::MAX as usize) as u16 });
+        }
         Some(outcome)
     }
 
@@ -484,13 +564,21 @@ impl P2PClientCache {
     /// Panics if `id` is not a cluster member or the cluster has a single
     /// node.
     pub fn fail_node(&mut self, id: NodeId) {
+        self.fail_node_tap(id, &mut NoSink)
+    }
+
+    /// [`fail_node`](Self::fail_node) with an observability sink: emits
+    /// one [`P2pEvent::NodeFailed`] carrying the number of objects lost.
+    pub fn fail_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) {
         assert!(self.nodes.len() > 1, "cannot fail the last client cache");
         let node = self.nodes.remove(&id.0).unwrap_or_else(|| panic!("{id} is not a member"));
+        let mut objects_lost = 0u32;
         // Objects stored here are gone. `node` is owned (already removed
         // from the map), so its store can be walked in heap order without
         // snapshotting the keys into a Vec first.
         for obj in node.store.keys() {
             self.resident -= 1;
+            objects_lost += 1;
             self.directory.remove(obj);
             if let Some(owner) = node.hosted_for.get(&obj) {
                 if let Some(on) = self.nodes.get_mut(&owner.0) {
@@ -506,9 +594,13 @@ impl P2PClientCache {
             if let Some(hn) = self.nodes.get_mut(&host.0) {
                 if hn.store.remove(obj) {
                     self.resident -= 1;
+                    objects_lost += 1;
                 }
                 hn.hosted_for.remove(&obj);
             }
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::NodeFailed { objects_lost });
         }
         self.overlay.fail(id);
         // Membership changed: every memoized route may now be wrong.
@@ -530,6 +622,13 @@ impl P2PClientCache {
     /// # Panics
     /// Panics if `id` is already a member.
     pub fn join_node(&mut self, id: NodeId) {
+        self.join_node_tap(id, &mut NoSink)
+    }
+
+    /// [`join_node`](Self::join_node) with an observability sink: emits
+    /// one [`P2pEvent::NodeJoined`] carrying the migration count, plus
+    /// [`P2pEvent::Eviction`]s for objects displaced by the migration.
+    pub fn join_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) {
         assert!(!self.nodes.contains_key(&id.0), "node {id} already joined");
         let msgs = self.overlay.join(id);
         self.ledger.overlay_messages += msgs as u64;
@@ -552,6 +651,7 @@ impl P2PClientCache {
                 }
             }
         }
+        let objects_migrated = moves.len().min(u32::MAX as usize) as u32;
         for (holder, obj, credit) in moves {
             let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
             hn.store.remove(obj);
@@ -567,10 +667,13 @@ impl P2PClientCache {
             self.ledger.overlay_messages += 1; // hand-off to the new root
             let nn = self.nodes.get_mut(&id.0).expect("newcomer is live");
             if let Some(evicted) = nn.store.insert_with_cost(obj, credit, 1.0) {
-                self.on_node_eviction(id, evicted);
+                self.on_node_eviction(id, evicted, sink);
                 self.directory.remove(evicted);
             }
             self.resident += 1;
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::NodeJoined { objects_migrated });
         }
     }
 
@@ -908,6 +1011,77 @@ mod tests {
         }
         assert!(landed, "some object out of 100 should root at the newcomer");
         assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn tap_events_mirror_ledger_counters() {
+        struct VecSink(Vec<P2pEvent>);
+        impl P2pSink for VecSink {
+            fn event(&mut self, e: P2pEvent) {
+                self.0.push(e);
+            }
+        }
+        let mut sink = VecSink(Vec::new());
+        let mut c = small(6, 1);
+        for i in 0..30u64 {
+            c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink);
+        }
+        for i in 0..30u64 {
+            let _ = c.fetch_tap(1, oid(i), 1.0, &mut sink);
+        }
+        let o = c.node_ids().next().and_then(|n| c.node(n).unwrap().objects().next()).unwrap();
+        assert!(c.push_fetch_tap(o, 1.0, &mut sink).is_some());
+        let victim = c.node_ids().next().unwrap();
+        c.fail_node_tap(victim, &mut sink);
+        c.join_node_tap(NodeId::from_bytes(b"tap-newcomer"), &mut sink);
+
+        let count = |f: &dyn Fn(&P2pEvent) -> bool| sink.0.iter().filter(|e| f(e)).count() as u64;
+        let l = c.ledger();
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Destage { .. })), 30);
+        assert_eq!(
+            count(&|e| matches!(e, P2pEvent::Destage { piggybacked: true, .. })),
+            l.piggybacked_objects
+        );
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Destage { diverted: true, .. })), l.diversions);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Lookup { .. })), l.lookups);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Lookup { stale: true, .. })), l.stale_lookups);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Push { .. })), l.pushes);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::NodeFailed { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::NodeJoined { .. })), 1);
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn tap_variants_match_untapped_behaviour() {
+        // Same operation sequence with and without a sink must produce
+        // identical ledgers and identical cache contents.
+        let drive = |tapped: bool| {
+            let mut c = small(5, 2);
+            let mut sink = NoSink;
+            struct CountSink(u64);
+            impl P2pSink for CountSink {
+                fn event(&mut self, _: P2pEvent) {
+                    self.0 += 1;
+                }
+            }
+            let mut counting = CountSink(0);
+            for i in 0..40u64 {
+                if tapped {
+                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut counting);
+                } else {
+                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink);
+                }
+            }
+            for i in 0..40u64 {
+                if tapped {
+                    let _ = c.fetch_tap(0, oid(i), 1.0, &mut counting);
+                } else {
+                    let _ = c.fetch_tap(0, oid(i), 1.0, &mut sink);
+                }
+            }
+            (*c.ledger(), c.len())
+        };
+        assert_eq!(drive(true), drive(false));
     }
 
     #[test]

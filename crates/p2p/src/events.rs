@@ -1,0 +1,169 @@
+//! Structured observability events emitted by the P2P client cache.
+//!
+//! The simulator core threads a recorder through the whole request path;
+//! this crate cannot see that trait (it lives upstream in `webcache-sim`),
+//! so the cache reports through the minimal [`P2pSink`] abstraction
+//! defined here and the core adapts it to its recorder. [`NoSink`] is the
+//! zero-cost default: its `ENABLED` flag is `false`, every emission site
+//! is guarded by that associated constant, and monomorphization deletes
+//! the disabled branches entirely — the instrumented hot path compiles to
+//! the same code it had before the events existed.
+
+/// One observability event from the P2P client cache layer (§4 machinery:
+/// destages, lookups, pushes, diversions, churn).
+///
+/// Hop counts are `u16`: the Pastry routing budget is a few dozen hops
+/// even for degenerate configurations, far below the 65 535 ceiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum P2pEvent {
+    /// The proxy destaged an evicted object into the client cluster
+    /// (Fig. 1).
+    Destage {
+        /// Overlay hops the destage message traveled.
+        hops: u16,
+        /// Object rode an HTTP response (§4.4) instead of a dedicated
+        /// connection.
+        piggybacked: bool,
+        /// Object was diverted to a leaf-set neighbor (§4.3).
+        diverted: bool,
+        /// Object was already resident; its greedy-dual credit was
+        /// refreshed instead of storing a duplicate.
+        refreshed: bool,
+        /// Storing the object evicted another object from the cluster.
+        evicted: bool,
+    },
+    /// A routed lookup into the cluster (local fetch or push-protocol
+    /// fetch).
+    Lookup {
+        /// Overlay hops from the entry node to the holder (or to the
+        /// root that reported a miss).
+        hops: u16,
+        /// The directory said "present" but the object was gone — a
+        /// Bloom false positive or churn staleness (claim 13).
+        stale: bool,
+    },
+    /// A successful push-protocol fetch for a cooperating proxy (§4.5):
+    /// the holder opened a push channel to the proxy.
+    Push {
+        /// Overlay hops of the underlying lookup.
+        hops: u16,
+    },
+    /// The proxy consulted its lookup directory on the serve path (§4.2).
+    DirectoryProbe {
+        /// The directory answered "present".
+        hit: bool,
+    },
+    /// A client cache evicted an object to make room (destage replacement
+    /// or join-migration overflow).
+    Eviction {
+        /// The evicted object was hosted for another root, whose
+        /// diversion pointer had to be invalidated (one overlay message).
+        pointer_invalidated: bool,
+    },
+    /// A client machine failed; its cache contents were lost.
+    NodeFailed {
+        /// Resident objects that became unreachable (stored on the node
+        /// or stranded behind its diversion pointers).
+        objects_lost: u32,
+    },
+    /// A client machine joined mid-run; keys it now roots migrated to it.
+    NodeJoined {
+        /// Objects eagerly migrated to the newcomer (PAST-style).
+        objects_migrated: u32,
+    },
+}
+
+impl P2pEvent {
+    /// A short stable label for the event variant (CSV/report column).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            P2pEvent::Destage { .. } => "destage",
+            P2pEvent::Lookup { .. } => "lookup",
+            P2pEvent::Push { .. } => "push",
+            P2pEvent::DirectoryProbe { .. } => "directory_probe",
+            P2pEvent::Eviction { .. } => "eviction",
+            P2pEvent::NodeFailed { .. } => "node_failed",
+            P2pEvent::NodeJoined { .. } => "node_joined",
+        }
+    }
+}
+
+/// Receiver for [`P2pEvent`]s, threaded through the cache's mutating
+/// operations (`*_tap` variants).
+///
+/// Implementors with `ENABLED = false` promise their `event` body is a
+/// no-op; emission sites check `S::ENABLED` so the disabled path folds
+/// away at compile time.
+pub trait P2pSink {
+    /// Whether this sink observes events. Emission sites are guarded by
+    /// this constant; `false` deletes them during monomorphization.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn event(&mut self, event: P2pEvent);
+}
+
+/// The do-nothing sink: statically disabled, zero cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoSink;
+
+impl P2pSink for NoSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _event: P2pEvent) {}
+}
+
+impl<S: P2pSink + ?Sized> P2pSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn event(&mut self, event: P2pEvent) {
+        (**self).event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let e = P2pEvent::Destage {
+            hops: 3,
+            piggybacked: true,
+            diverted: false,
+            refreshed: false,
+            evicted: false,
+        };
+        assert_eq!(e.kind_label(), "destage");
+        assert_eq!(P2pEvent::DirectoryProbe { hit: true }.kind_label(), "directory_probe");
+        assert_eq!(P2pEvent::NodeFailed { objects_lost: 2 }.kind_label(), "node_failed");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the contract
+    fn no_sink_is_statically_disabled() {
+        assert!(!NoSink::ENABLED);
+        // The forwarding impl preserves the flag.
+        assert!(!<&mut NoSink as P2pSink>::ENABLED);
+        let mut s = NoSink;
+        s.event(P2pEvent::Push { hops: 1 });
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the contract
+    fn vec_sink_collects() {
+        struct VecSink(Vec<P2pEvent>);
+        impl P2pSink for VecSink {
+            fn event(&mut self, e: P2pEvent) {
+                self.0.push(e);
+            }
+        }
+        let mut s = VecSink(Vec::new());
+        s.event(P2pEvent::Lookup { hops: 2, stale: false });
+        (&mut &mut s).event(P2pEvent::Push { hops: 2 });
+        assert_eq!(s.0.len(), 2);
+        assert!(<VecSink as P2pSink>::ENABLED);
+    }
+}

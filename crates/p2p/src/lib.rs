@@ -22,6 +22,7 @@
 
 pub mod cache;
 pub mod directory;
+pub mod events;
 pub mod ledger;
 
 pub use cache::{
@@ -29,4 +30,5 @@ pub use cache::{
     P2PClientCacheConfig,
 };
 pub use directory::{DirectoryKind, LookupDirectory};
+pub use events::{NoSink, P2pEvent, P2pSink};
 pub use ledger::MessageLedger;

@@ -248,6 +248,24 @@ impl Overlay {
         self.route_steps(from, key, |_| {})
     }
 
+    /// The instrumented routing walk: `visit` is called for every node on
+    /// the path (starting node first, destination last) and the return
+    /// value is `(destination, hops)`, exactly as [`route_hops`].
+    ///
+    /// This is the observability tap for per-lookup hop accounting: a
+    /// recorder can watch the walk without materializing a path vector
+    /// the way [`route`](Self::route) does.
+    ///
+    /// [`route_hops`]: Self::route_hops
+    pub fn route_visit(
+        &self,
+        from: NodeId,
+        key: NodeId,
+        visit: impl FnMut(NodeId),
+    ) -> Option<(NodeId, usize)> {
+        self.route_steps(from, key, visit)
+    }
+
     /// The routing walk shared by [`route`](Self::route) and
     /// [`route_hops`](Self::route_hops): `visit` sees every node on the
     /// path (starting node first, destination last); the return value is
@@ -568,6 +586,23 @@ mod tests {
             let _ = o.join(id);
         }
         assert_eq!(o.len(), 21);
+    }
+
+    #[test]
+    fn route_visit_agrees_with_route_and_route_hops() {
+        let o = build(24, 77);
+        let nodes: Vec<NodeId> = o.node_ids().collect();
+        for (i, &from) in nodes.iter().enumerate() {
+            let key = NodeId(0x9E37_79B9u128.wrapping_mul(i as u128 + 1));
+            let full = o.route(from, key).expect("live node");
+            let mut visited = Vec::new();
+            let (dest, hops) = o.route_visit(from, key, |n| visited.push(n)).expect("live node");
+            assert_eq!(visited, full.path, "visit order must match route() path");
+            assert_eq!(dest, full.destination);
+            assert_eq!(Some((dest, hops)), o.route_hops(from, key));
+            assert_eq!(hops, full.path.len() - 1);
+        }
+        assert!(o.route_visit(NodeId(0xDEAD_BEEF), NodeId(1), |_| {}).is_none());
     }
 
     #[test]

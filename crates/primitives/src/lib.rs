@@ -34,5 +34,5 @@ pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use fenwick::Fenwick;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use sha1::Sha1;
-pub use stats::{Histogram, LinearFit, OnlineStats};
+pub use stats::{Histogram, LinearFit, Log2Histogram, Log2Snapshot, OnlineStats, ShardedCounter};
 pub use zipf::{AliasTable, ZipfSampler};

@@ -7,6 +7,7 @@
 //! mean latencies without storing per-request samples.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Welford online mean/variance accumulator.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -193,6 +194,255 @@ impl Histogram {
     }
 }
 
+/// Number of independent shards in a [`ShardedCounter`].
+///
+/// Must be a power of two (shard selection masks the thread index). 16
+/// shards comfortably cover the worker counts the vendored rayon stand-in
+/// spawns (one per core) while keeping the counter at 1 KiB.
+const COUNTER_SHARDS: usize = 16;
+
+/// Returns a small per-thread index used to pick a counter shard.
+///
+/// Each thread that ever touches a sharded counter gets the next index from
+/// a global sequence; masking by `COUNTER_SHARDS - 1` maps it to a shard.
+/// Two threads may share a shard — that only costs contention, never
+/// correctness, because shards are atomics.
+fn thread_shard() -> usize {
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+    SHARD.with(|s| *s) & (COUNTER_SHARDS - 1)
+}
+
+/// One cache-line-sized atomic cell, padded so neighbouring shards never
+/// share a line (false sharing is the whole point of sharding).
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing `u64` counter safe for concurrent writers.
+///
+/// Writers land on a per-thread shard (relaxed `fetch_add`, no cross-core
+/// line bouncing under the parallel `sweep()`); readers sum the shards.
+/// Reads are monotone but not a consistent snapshot while writers are
+/// active — callers read after the parallel region completes.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [PaddedCell; COUNTER_SHARDS],
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the calling thread's shard.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds another counter's shards into this one (parallel reduction).
+    pub fn merge(&self, other: &ShardedCounter) {
+        for (mine, theirs) in self.shards.iter().zip(&other.shards) {
+            mine.0.fetch_add(theirs.0.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShardedCounter").field(&self.get()).finish()
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: one for zero plus one per
+/// possible bit-length of a `u64` value.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A lock-free power-of-two histogram over `u64` samples.
+///
+/// Bucket `0` holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. All cells are relaxed atomics, so many threads can
+/// record concurrently (the parallel `sweep()` shares one recorder across
+/// workers). Alongside the buckets it tracks exact `count`, `sum`, and
+/// `max`, so means are not quantised by the bucketing.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` falls into: 0 for 0, else
+    /// `64 - leading_zeros` (the value's bit length).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi]` covered by bucket `idx`
+    /// (inclusive bounds; bucket 0 is `[0, 0]`).
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        assert!(idx < LOG2_BUCKETS, "bucket index {idx} out of range");
+        if idx == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (idx - 1);
+            let hi = if idx == 64 { u64::MAX } else { (1u64 << idx) - 1 };
+            (lo, hi)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Folds another histogram into this one (parallel reduction).
+    pub fn merge(&self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> Log2Snapshot {
+        Log2Snapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Plain-data snapshot of a [`Log2Histogram`] (no atomics, `Clone`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Snapshot {
+    /// Per-bucket counts; index `i` covers [`Log2Histogram::bucket_bounds`]`(i)`.
+    pub buckets: [u64; LOG2_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 if empty).
+    pub max: u64,
+}
+
+impl Log2Snapshot {
+    /// Exact mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` rows, lowest first.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Log2Histogram::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the inclusive upper bound of
+    /// the bucket containing the q-th sample, clamped to the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Log2Histogram::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +552,128 @@ mod tests {
         h.record(-5.0); // ignored
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn log2_bucket_of_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(7), 3);
+        assert_eq!(Log2Histogram::bucket_of(8), 4);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn log2_bucket_bounds_partition_u64() {
+        // Every bucket's bounds must tile the u64 range with no gaps.
+        assert_eq!(Log2Histogram::bucket_bounds(0), (0, 0));
+        let mut expected_lo = 1u64;
+        for i in 1..LOG2_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lo");
+            assert!(hi >= lo);
+            // Bounds round-trip through bucket_of.
+            assert_eq!(Log2Histogram::bucket_of(lo), i);
+            assert_eq!(Log2Histogram::bucket_of(hi), i);
+            if hi == u64::MAX {
+                assert_eq!(i, LOG2_BUCKETS - 1);
+                break;
+            }
+            expected_lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn log2_histogram_records_and_snapshots() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 3, 5, 9, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1019);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1019.0 / 7.0).abs() < 1e-12);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1); // 0
+        assert_eq!(snap.buckets[1], 2); // 1, 1
+        assert_eq!(snap.buckets[2], 1); // 3
+        assert_eq!(snap.buckets[3], 1); // 5
+        assert_eq!(snap.buckets[4], 1); // 9
+        assert_eq!(snap.buckets[10], 1); // 1000
+        assert_eq!(snap.nonzero_buckets().len(), 6);
+        // quantiles: median lands in the [2,3] bucket, p100 is the max.
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert!(snap.quantile(0.5) <= 3);
+    }
+
+    #[test]
+    fn log2_histogram_merge_matches_sequential() {
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        let whole = Log2Histogram::new();
+        for i in 0..500u64 {
+            let v = (i * 7919) % 4096;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn sharded_counter_concurrent_adds() {
+        let c = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn sharded_counter_merge() {
+        let a = ShardedCounter::new();
+        let b = ShardedCounter::new();
+        a.add(5);
+        b.add(7);
+        // Merge from a second thread so the two counters have hot shards
+        // at different indices; the merged total must still be exact.
+        std::thread::scope(|s| {
+            s.spawn(|| b.add(8));
+        });
+        a.merge(&b);
+        assert_eq!(a.get(), 20);
+        assert_eq!(b.get(), 15, "merge must not mutate the source");
+    }
+
+    #[test]
+    fn concurrent_log2_histogram() {
+        let h = Log2Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4_000);
+        assert_eq!(h.max(), 3_999);
     }
 }

@@ -62,7 +62,7 @@ fn main() {
     }
     println!("  average latency: {:.2}", metrics.avg_latency());
 
-    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.15), &traces);
+    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, 0.15), &traces).unwrap();
     println!("  latency gain vs NC: {:+.1}%\n", webcache::sim::latency_gain_percent(&nc, &metrics));
 
     for p in 0..2 {

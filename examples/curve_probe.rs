@@ -24,13 +24,13 @@ fn main() {
     }
     println!();
     for frac in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
-        let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+        let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces).unwrap();
         print!("{frac:>8.1}");
         for s in SchemeKind::ALL {
             let m = if s == SchemeKind::Nc {
                 nc.clone()
             } else {
-                run_experiment(&ExperimentConfig::new(s, frac), &traces)
+                run_experiment(&ExperimentConfig::new(s, frac), &traces).unwrap()
             };
             print!("{:>9.1}", latency_gain_percent(&nc, &m));
         }

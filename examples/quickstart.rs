@@ -7,7 +7,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use webcache::sim::{latency_gain_percent, run_experiment, ExperimentConfig, SchemeKind};
+use std::sync::Arc;
+use webcache::sim::{
+    latency_gain_percent, run_experiment, run_experiment_recorded, ExperimentConfig, SchemeKind,
+    StatsRecorder,
+};
 use webcache::workload::{ProWGen, ProWGenConfig};
 
 fn main() {
@@ -27,8 +31,14 @@ fn main() {
     println!("workload: 2 proxies x 100k requests, infinite cache size U = {u}");
 
     // Proxy caches at 20% of U — the regime where client caches shine.
+    // The builder validates once; `at` re-points the same topology.
     let frac = 0.2;
-    let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+    let base = ExperimentConfig::builder(SchemeKind::Nc, frac)
+        .num_proxies(2)
+        .clients_per_cluster(100)
+        .build()
+        .expect("paper defaults are valid");
+    let nc = run_experiment(&base, &traces).unwrap();
     println!(
         "\n{:<8} avg latency {:.2} (hit ratio {:.1}%)  — the baseline",
         "NC:",
@@ -37,7 +47,7 @@ fn main() {
     );
 
     for scheme in [SchemeKind::Sc, SchemeKind::ScEc, SchemeKind::HierGd] {
-        let m = run_experiment(&ExperimentConfig::new(scheme, frac), &traces);
+        let m = run_experiment(&base.at(scheme, frac), &traces).unwrap();
         println!(
             "{:<8} avg latency {:.2} (hit ratio {:.1}%)  → latency gain {:+.1}%",
             format!("{}:", scheme.label()),
@@ -46,6 +56,17 @@ fn main() {
             latency_gain_percent(&nc, &m)
         );
     }
+
+    // Attach a recorder to see *why* Hier-GD wins: where requests were
+    // served from and what the P2P protocol did under the hood.
+    let recorder = Arc::new(StatsRecorder::new());
+    run_experiment_recorded(&base.at(SchemeKind::HierGd, frac), &traces, recorder.clone()).unwrap();
+    let snap = recorder.snapshot();
+    println!(
+        "
+Hier-GD internals: {} destages ({} piggybacked), {} P2P lookups          ({} stale), {} pushes",
+        snap.destages, snap.piggybacked_destages, snap.lookups, snap.stale_lookups, snap.pushes
+    );
     println!(
         "\nHier-GD federates the 100 client caches behind each proxy into a \
          Pastry DHT\nand destages proxy evictions into it — see \

@@ -36,12 +36,12 @@ fn main() {
             "{:<9}{:>10}{:>9}{:>9}{:>9}{:>10}{:>9}{:>10}",
             "scheme", "avg lat", "gain%", "proxy%", "p2p%", "coop%", "coopP2p%", "server%"
         );
-        let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces);
+        let nc = run_experiment(&ExperimentConfig::new(SchemeKind::Nc, frac), &traces).unwrap();
         for scheme in SchemeKind::ALL {
             let m = if scheme == SchemeKind::Nc {
                 nc.clone()
             } else {
-                run_experiment(&ExperimentConfig::new(scheme, frac), &traces)
+                run_experiment(&ExperimentConfig::new(scheme, frac), &traces).unwrap()
             };
             println!(
                 "{:<9}{:>10.2}{:>9.1}{:>9.1}{:>9.1}{:>10.1}{:>9.1}{:>10.1}",

@@ -33,10 +33,10 @@ fn main() {
             let ts = traces(theta, stack);
             let frac: f64 = std::env::var("FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
             let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
-            let nc = run_experiment(&cfg, &ts);
+            let nc = run_experiment(&cfg, &ts).unwrap();
             let g = |s: SchemeKind| {
                 let cfg = ExperimentConfig { scheme: s, ..cfg };
-                latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
+                latency_gain_percent(&nc, &run_experiment(&cfg, &ts).unwrap())
             };
             println!(
                 "{theta:>6.1}{:>8.2}{:>10.3}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",

@@ -40,8 +40,8 @@ fn ucb(core_frac: f64, fresh_otf: f64) -> Vec<Trace> {
 
 fn gains(ts: &[Trace], frac: f64) -> (f64, f64, f64) {
     let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
-    let nc = run_experiment(&cfg, ts);
-    let fcec = run_experiment(&ExperimentConfig { scheme: SchemeKind::FcEc, ..cfg }, ts);
+    let nc = run_experiment(&cfg, ts).unwrap();
+    let fcec = run_experiment(&ExperimentConfig { scheme: SchemeKind::FcEc, ..cfg }, ts).unwrap();
     eprintln!(
         "  [hit ratios] NC {:.3} FC-EC {:.3}; NC lat {:.2} FC-EC lat {:.2}",
         nc.hit_ratio(),
@@ -51,7 +51,7 @@ fn gains(ts: &[Trace], frac: f64) -> (f64, f64, f64) {
     );
     let g = |s: SchemeKind| {
         let cfg = ExperimentConfig { scheme: s, ..cfg };
-        latency_gain_percent(&nc, &run_experiment(&cfg, ts))
+        latency_gain_percent(&nc, &run_experiment(&cfg, ts).unwrap())
     };
     (g(SchemeKind::ScEc), g(SchemeKind::FcEc), g(SchemeKind::HierGd))
 }

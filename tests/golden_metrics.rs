@@ -36,7 +36,7 @@ fn traces() -> Vec<Trace> {
 fn canonical_entry(scheme: SchemeKind, cache_frac: f64, traces: &[Trace]) -> String {
     let mut cfg = ExperimentConfig::new(scheme, cache_frac);
     cfg.clients_per_cluster = 50;
-    let m = run_experiment(&cfg, traces);
+    let m = run_experiment(&cfg, traces).unwrap();
     let classes = [
         HitClass::LocalProxy,
         HitClass::OwnP2p,

@@ -72,10 +72,10 @@ fn hiergd_latency_insensitive_to_directory_false_positive_overheads() {
     // A false positive costs a wasted P2P lookup but the request is still
     // served; total latency differs only through second-order effects.
     let ts = traces(2);
-    let exact = run_experiment(&ExperimentConfig::new(SchemeKind::HierGd, 0.2), &ts);
+    let exact = run_experiment(&ExperimentConfig::new(SchemeKind::HierGd, 0.2), &ts).unwrap();
     let mut cfg = ExperimentConfig::new(SchemeKind::HierGd, 0.2);
     cfg.hiergd.directory = DirectoryKind::Bloom { counters_per_key: 8.0, expected_entries: 500 };
-    let bloom = run_experiment(&cfg, &ts);
+    let bloom = run_experiment(&cfg, &ts).unwrap();
     let rel = (exact.avg_latency() - bloom.avg_latency()).abs() / exact.avg_latency();
     assert!(rel < 0.05, "directory kind changed latency by {:.1}%", rel * 100.0);
 }
@@ -85,10 +85,10 @@ fn figure5c_larger_client_cluster_larger_gain() {
     let ts = traces(2);
     let gain_with = |clients: usize| {
         let mut cfg = ExperimentConfig::new(SchemeKind::Nc, 0.1);
-        let nc = run_experiment(&cfg, &ts);
+        let nc = run_experiment(&cfg, &ts).unwrap();
         cfg.scheme = SchemeKind::HierGd;
         cfg.clients_per_cluster = clients;
-        latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
+        latency_gain_percent(&nc, &run_experiment(&cfg, &ts).unwrap())
     };
     let g40 = gain_with(40);
     let g160 = gain_with(160);

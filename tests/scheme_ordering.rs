@@ -29,7 +29,7 @@ fn traces() -> Vec<Trace> {
 fn gains_at(traces: &[Trace], frac: f64) -> std::collections::HashMap<SchemeKind, f64> {
     // Paper sizing: 100-client clusters ⇒ P2P cache = 10% of U.
     let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
-    let nc = run_experiment(&cfg, traces);
+    let nc = run_experiment(&cfg, traces).unwrap();
     SchemeKind::ALL
         .iter()
         .map(|&s| {
@@ -37,7 +37,7 @@ fn gains_at(traces: &[Trace], frac: f64) -> std::collections::HashMap<SchemeKind
                 nc.clone()
             } else {
                 let cfg = ExperimentConfig { scheme: s, ..cfg };
-                run_experiment(&cfg, traces)
+                run_experiment(&cfg, traces).unwrap()
             };
             (s, latency_gain_percent(&nc, &m))
         })

@@ -26,9 +26,9 @@ fn gain(scheme: SchemeKind, traces: &[Trace], frac: f64, net: NetworkModel) -> f
     let mut cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
     cfg.clients_per_cluster = 50;
     cfg.net = net;
-    let nc = run_experiment(&cfg, traces);
+    let nc = run_experiment(&cfg, traces).unwrap();
     let cfg = ExperimentConfig { scheme, ..cfg };
-    latency_gain_percent(&nc, &run_experiment(&cfg, traces))
+    latency_gain_percent(&nc, &run_experiment(&cfg, traces).unwrap())
 }
 
 #[test]
@@ -72,8 +72,8 @@ fn figure4_premise_nc_improves_with_stack_size() {
         c.clients_per_cluster = 50;
         c
     };
-    let m_small = run_experiment(&cfg, &small);
-    let m_large = run_experiment(&cfg, &large);
+    let m_small = run_experiment(&cfg, &small).unwrap();
+    let m_large = run_experiment(&cfg, &large).unwrap();
     assert!(
         m_large.hit_ratio() > m_small.hit_ratio(),
         "NC hit ratio: stack=60% {:.3} vs stack=5% {:.3}",
@@ -119,9 +119,9 @@ fn figure5d_more_proxies_more_gain() {
         let mut cfg = ExperimentConfig::new(SchemeKind::Nc, 0.15);
         cfg.num_proxies = n;
         cfg.clients_per_cluster = 50;
-        let nc = run_experiment(&cfg, &ts);
+        let nc = run_experiment(&cfg, &ts).unwrap();
         let cfg = ExperimentConfig { scheme: SchemeKind::ScEc, ..cfg };
-        latency_gain_percent(&nc, &run_experiment(&cfg, &ts))
+        latency_gain_percent(&nc, &run_experiment(&cfg, &ts).unwrap())
     };
     let g2 = gain_p(2);
     let g5 = gain_p(5);

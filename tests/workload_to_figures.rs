@@ -38,9 +38,9 @@ fn ucb(n: usize) -> Vec<Trace> {
 fn gain(scheme: SchemeKind, traces: &[Trace], frac: f64) -> f64 {
     // Paper sizing: 100-client clusters (the default).
     let cfg = ExperimentConfig::new(SchemeKind::Nc, frac);
-    let nc = run_experiment(&cfg, traces);
+    let nc = run_experiment(&cfg, traces).unwrap();
     let cfg = ExperimentConfig { scheme, ..cfg };
-    latency_gain_percent(&nc, &run_experiment(&cfg, traces))
+    latency_gain_percent(&nc, &run_experiment(&cfg, traces).unwrap())
 }
 
 #[test]
@@ -78,9 +78,9 @@ fn infinite_cache_size_is_the_saturation_point() {
     let ts = synthetic(1);
     let mut cfg = ExperimentConfig::new(SchemeKind::Nc, 1.0);
     cfg.num_proxies = 1;
-    let at_u = run_experiment(&cfg, &ts);
+    let at_u = run_experiment(&cfg, &ts).unwrap();
     cfg.cache_frac = 1.4;
-    let beyond_u = run_experiment(&cfg, &ts);
+    let beyond_u = run_experiment(&cfg, &ts).unwrap();
     let delta = beyond_u.hit_ratio() - at_u.hit_ratio();
     assert!(
         delta.abs() < 0.02,
@@ -99,7 +99,7 @@ fn one_timers_cap_every_schemes_hit_ratio() {
     let stats = ts[0].stats();
     let compulsory = stats.distinct_objects as f64 / stats.requests as f64;
     let cfg = ExperimentConfig::new(SchemeKind::FcEc, 1.0);
-    let m = run_experiment(&cfg, &ts);
+    let m = run_experiment(&cfg, &ts).unwrap();
     // Cooperation lets a second cluster's first access hit remotely, so
     // the bound is per-cluster compulsory misses for the *first* cluster
     // to touch each object — conservatively, half the per-trace rate.
