@@ -13,7 +13,8 @@ use webcache_sim::engine::SchemeEngine;
 use webcache_sim::hiergd::{HierGdEngine, HierGdOptions};
 use webcache_sim::recorder::Recorder as _;
 use webcache_sim::{
-    EventLogRecorder, ExperimentConfig, RunMetrics, SchemeKind, Sizing, StatsRecorder,
+    run_churn, ChurnConfig, EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, RunMetrics,
+    SchemeKind, Sizing, StatsRecorder,
 };
 
 fn main() {
@@ -74,7 +75,7 @@ fn main() {
                         .node_ids()
                         .nth(failed % cfg.clients_per_cluster)
                         .expect("cluster non-empty");
-                    engine.fail_client(p, victim);
+                    engine.fail_client(p, victim).expect("victim is live");
                 }
                 failed += 1;
             }
@@ -116,4 +117,59 @@ fn main() {
         }
     }
     eprintln!("wrote {}", figures_dir().join("churn_drill.csv").display());
+    fault_plan_drill(scale);
+}
+
+/// Second panel: the full fault-injection subsystem (silent crashes,
+/// lazy detection, stale-directory retry, message loss) measured against
+/// a fault-free twin run at increasing crash counts via [`run_churn`].
+fn fault_plan_drill(scale: Scale) {
+    println!("\n=== Hier-GD under seeded fault plans (1% loss) ===");
+    println!(
+        "{:>10}{:>14}{:>12}{:>14}{:>14}{:>14}{:>12}",
+        "crashes", "avail %", "stale hits", "replica-srvd", "rereplicated", "det.lat avg", "lat Δ%"
+    );
+    let mut csv = std::fs::File::create(figures_dir().join("churn_fault_plans.csv")).expect("csv");
+    writeln!(
+        csv,
+        "crashes,availability,stale_hits,stale_hits_replica_served,rereplications,\
+         detection_latency_avg,latency_delta_percent"
+    )
+    .expect("csv");
+    let requests = scale.requests.min(100_000);
+    for crashes in [0u64, 5, 10, 20] {
+        let mut plan = FaultPlan::none();
+        let step = (requests as u64 / (crashes + 1)).max(1);
+        for c in 1..=crashes {
+            plan.push(step * c, FaultAction::Crash);
+        }
+        plan.loss = if crashes == 0 { 0.0 } else { 0.01 };
+        plan.seed = 0x5EED_2003;
+        let cfg = ChurnConfig { requests, plan, ..ChurnConfig::default() };
+        let r = run_churn(&cfg).expect("drill runs");
+        assert!(r.fully_available(), "availability must stay 100%");
+        assert_eq!(r.invariant_violations, 0, "invariants must survive churn");
+        println!(
+            "{:>10}{:>13.2}%{:>12}{:>14}{:>14}{:>14.1}{:>+11.2}%",
+            crashes,
+            r.availability_percent,
+            r.stale_hits,
+            r.stale_hits_replica_served,
+            r.rereplications,
+            r.detection_latency_avg,
+            r.latency_delta_percent
+        );
+        writeln!(
+            csv,
+            "{crashes},{:.2},{},{},{},{:.2},{:.4}",
+            r.availability_percent,
+            r.stale_hits,
+            r.stale_hits_replica_served,
+            r.rereplications,
+            r.detection_latency_avg,
+            r.latency_delta_percent
+        )
+        .expect("csv");
+    }
+    eprintln!("wrote {}", figures_dir().join("churn_fault_plans.csv").display());
 }

@@ -13,7 +13,11 @@
 //!   per-tier breakdown, P2P protocol counters, and hop histograms;
 //! * `sweep` — run schemes × cache sizes and print a figure panel;
 //! * `throughput` — time the simulator itself (requests/sec per scheme)
-//!   and write `BENCH_throughput.json`, the repo's perf trajectory.
+//!   and write `BENCH_throughput.json`, the repo's perf trajectory;
+//! * `churn` — drive Hier-GD through a deterministic fault plan (silent
+//!   crashes, departures, rejoins, slow nodes, message loss) and report
+//!   detection latency, stale directory hits, re-replications and the
+//!   latency delta vs a fault-free twin run.
 //!
 //! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
 //! deliberately keeps its dependency set small — see DESIGN.md).
@@ -30,8 +34,9 @@ use std::sync::Arc;
 use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
-    latency_gain_percent, run_experiment, run_experiment_recorded, EventLogRecorder,
-    ExperimentConfig, HitClass, NetworkModel, SchemeKind, SimError, StatsRecorder,
+    latency_gain_percent, run_churn, run_experiment, run_experiment_recorded, ChurnConfig,
+    EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass, NetworkModel, SchemeKind,
+    SimError, StatsRecorder,
 };
 use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
 
@@ -181,6 +186,14 @@ USAGE:
                  [--objects N] [--clients N] [--proxies N] [--repeats N]
                  [--out FILE] [FILE...]
                  (no FILEs: times the default figure-2 synthetic workload)
+  webcache churn [--plan SPEC] [--crashes N] [--loss F] [--seed N]
+                 [--requests N] [--objects N] [--clients N]
+                 [--proxy-cap N] [--node-cap N] [--replication K]
+                 [--trace-seed N] [--report-out FILE]
+                 (fault drill over a synthetic Hier-GD run; SPEC is
+                  crash@N,depart@N,rejoin@N,slow@N,loss=F,seed=N tokens.
+                  Without --plan, --crashes N spreads N silent crashes
+                  evenly through the run)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).";
 
@@ -212,6 +225,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         "explain" => cmd_explain(cmd),
         "sweep" => cmd_sweep(cmd),
         "throughput" => cmd_throughput(cmd),
+        "churn" => cmd_churn(cmd),
         other => {
             Err(CliError::Usage(UsageError(format!("unknown subcommand '{other}'\n\n{USAGE}"))))
         }
@@ -513,6 +527,59 @@ fn cmd_throughput(cmd: &Command) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs a deterministic fault drill (`webcache churn`): a synthetic
+/// Hier-GD run under a [`FaultPlan`], reported against its fault-free
+/// twin. The plan comes from `--plan SPEC` (the `crash@N,...` grammar) or
+/// from convenience flags: `--crashes N` spreads N silent crashes evenly
+/// through the run, `--loss F` adds message loss, `--seed N` seeds target
+/// selection and the loss stream.
+fn cmd_churn(cmd: &Command) -> Result<String, CliError> {
+    let defaults = ChurnConfig::default();
+    let mut cfg = ChurnConfig {
+        requests: cmd.opt("requests", defaults.requests)?,
+        distinct_objects: cmd.opt("objects", defaults.distinct_objects)?,
+        clients_per_cluster: cmd.opt("clients", defaults.clients_per_cluster)?,
+        proxy_capacity: cmd.opt("proxy-cap", defaults.proxy_capacity)?,
+        client_cache_capacity: cmd.opt("node-cap", defaults.client_cache_capacity)?,
+        replication: cmd.opt("replication", defaults.replication)?,
+        trace_seed: cmd.opt("trace-seed", defaults.trace_seed)?,
+        net: net_from(cmd)?,
+        ..defaults
+    };
+    cfg.plan = match cmd.options.get("plan") {
+        Some(spec) => spec.parse()?,
+        None => {
+            let crashes: usize = cmd.opt("crashes", 10usize)?;
+            let mut plan = FaultPlan::none();
+            if crashes > 0 {
+                let step = (cfg.requests / (crashes + 1)).max(1) as u64;
+                for c in 1..=crashes as u64 {
+                    plan.push(step * c, FaultAction::Crash);
+                }
+            }
+            plan.loss = cmd.opt("loss", 0.0)?;
+            plan.seed = cmd.opt("seed", 0x5EED_2003u64)?;
+            plan
+        }
+    };
+    let report = run_churn(&cfg)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "churn drill: {} requests, {} client machines, replication k={}\nplan: {}\n",
+        cfg.requests,
+        cfg.clients_per_cluster,
+        cfg.replication,
+        if report.plan_spec.is_empty() { "(none)" } else { &report.plan_spec }
+    );
+    out.push_str(&report.to_table());
+    if let Some(path) = cmd.options.get("report-out") {
+        std::fs::write(path, report.to_json()).map_err(|e| named_io(path, e))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,6 +688,69 @@ mod tests {
         let out = execute(&sw).unwrap();
         assert!(out.contains("SC") && out.contains("FC"), "{out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn churn_smoke_with_plan_and_report_out() {
+        let dir = std::env::temp_dir().join("webcache-cli-churn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("churn.json");
+        let report_s = report_path.to_str().unwrap().to_string();
+        let cmd = Command::parse(&argv(&[
+            "churn",
+            "--plan",
+            "crash@500,depart@900,rejoin@1200,loss=0.002,seed=9",
+            "--requests",
+            "4000",
+            "--objects",
+            "600",
+            "--clients",
+            "16",
+            "--replication",
+            "2",
+            "--report-out",
+            &report_s,
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("availability"), "{out}");
+        assert!(out.contains("100.00%"), "{out}");
+        assert!(out.contains("crash@500"), "{out}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"availability_percent\""), "{json}");
+        assert!(json.contains("\"invariant_violations\": 0"), "{json}");
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn churn_flags_build_an_even_crash_plan() {
+        let cmd = Command::parse(&argv(&[
+            "churn",
+            "--crashes",
+            "3",
+            "--requests",
+            "4000",
+            "--objects",
+            "500",
+            "--clients",
+            "12",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        // 3 crashes spread at 1000/2000/3000.
+        assert!(out.contains("crash@1000,crash@2000,crash@3000"), "{out}");
+        assert!(out.contains("100.00%"), "{out}");
+    }
+
+    #[test]
+    fn churn_rejects_bad_plans() {
+        let bad = Command::parse(&argv(&["churn", "--plan", "explode@7"])).unwrap();
+        match execute(&bad) {
+            Err(CliError::Sim(SimError::InvalidConfig(msg))) => {
+                assert!(msg.contains("explode"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

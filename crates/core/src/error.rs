@@ -24,6 +24,9 @@ pub enum SimError {
     },
     /// An underlying I/O operation failed (stats export, trace loading).
     Io(std::io::Error),
+    /// A fault-injection operation failed at the P2P layer (unknown node,
+    /// double crash).
+    Fault(webcache_p2p::P2pError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +42,7 @@ impl fmt::Display for SimError {
                 write!(f, "need one trace per proxy ({traces} traces, {proxies} proxies)")
             }
             SimError::Io(e) => write!(f, "i/o error: {e}"),
+            SimError::Fault(e) => write!(f, "fault injection failed: {e}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Io(e) => Some(e),
+            SimError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +60,12 @@ impl std::error::Error for SimError {
 impl From<std::io::Error> for SimError {
     fn from(e: std::io::Error) -> Self {
         SimError::Io(e)
+    }
+}
+
+impl From<webcache_p2p::P2pError> for SimError {
+    fn from(e: webcache_p2p::P2pError) -> Self {
+        SimError::Fault(e)
     }
 }
 
@@ -71,6 +82,9 @@ mod tests {
         assert!(m.contains("1 traces") && m.contains("2 proxies"));
         let io: SimError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
+        let fault: SimError =
+            webcache_p2p::P2pError::UnknownNode(webcache_pastry::NodeId(7)).into();
+        assert!(fault.to_string().contains("fault injection"));
     }
 
     #[test]

@@ -1,0 +1,753 @@
+//! Deterministic fault injection: plans, the churn harness, its report.
+//!
+//! The paper's simulations (§5) assume a stable client population; §4.1
+//! only gestures at Pastry's self-organization. This module measures what
+//! actually happens when that assumption breaks. A [`FaultPlan`] schedules
+//! **unannounced crashes** (nobody is told — detection is lazy, paid for
+//! in timeouts), graceful departures, rejoins, slow nodes, and a
+//! message-loss probability at fixed request indices; [`run_churn`]
+//! drives a Hier-GD engine through the plan twice — once faulty, once
+//! fault-free on the same trace — and reports detection latency, stale
+//! directory hits, re-replications, availability, and the latency delta
+//! in a [`ChurnReport`].
+//!
+//! Everything is seeded: the same plan, trace seed and topology reproduce
+//! the same report bit for bit (the golden churn test pins this).
+
+use crate::engine::SchemeEngine;
+use crate::error::SimError;
+use crate::hiergd::{HierGdEngine, HierGdOptions};
+use crate::metrics::RunMetrics;
+use crate::net::{HitClass, NetworkModel};
+use crate::recorder::{StatsRecorder, StatsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::str::FromStr;
+use std::sync::Arc;
+use webcache_p2p::NetFaults;
+use webcache_pastry::NodeId;
+use webcache_primitives::seed::splitmix64;
+use webcache_workload::{ProWGen, ProWGenConfig, Trace};
+
+/// One scheduled fault, applied before the request at its index is served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill a machine silently: no announcement, lazy detection.
+    Crash,
+    /// Graceful departure: residents are handed off first.
+    Depart,
+    /// A fresh machine joins the cluster.
+    Rejoin,
+    /// Mark a machine slow: requests it serves stall one timeout.
+    Slow,
+}
+
+impl FaultAction {
+    /// The spec-grammar keyword (`crash@N` etc.).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            FaultAction::Crash => "crash",
+            FaultAction::Depart => "depart",
+            FaultAction::Rejoin => "rejoin",
+            FaultAction::Slow => "slow",
+        }
+    }
+}
+
+/// A fault scheduled at a request index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Request index the fault fires before (0-based).
+    pub at: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault schedule for one churn run.
+///
+/// Parsed from a small spec string — comma- or semicolon-separated
+/// tokens of `crash@N`, `depart@N`, `rejoin@N`, `slow@N`, `loss=F`,
+/// `seed=N`:
+///
+/// ```
+/// use webcache_sim::fault::FaultPlan;
+/// let plan: FaultPlan = "crash@100, crash@200; rejoin@500, loss=0.01".parse().unwrap();
+/// assert_eq!(plan.events.len(), 3);
+/// assert!((plan.loss - 0.01).abs() < 1e-12);
+/// ```
+///
+/// Target nodes are *not* named in the spec: they are drawn from the live
+/// membership by a splitmix64 stream seeded with `seed`, which keeps
+/// plans topology-independent yet fully reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, sorted by request index (stable for ties).
+    pub events: Vec<FaultEvent>,
+    /// Per-message loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Seed for target selection and the loss stream.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no events, no loss. Running under it is
+    /// bit-identical to a fault-free run.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new(), loss: 0.0, seed: 0 }
+    }
+
+    /// True if this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.events.is_empty() && self.loss <= 0.0
+    }
+
+    /// This plan with a different selection/loss seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds one event, keeping the schedule sorted.
+    pub fn push(&mut self, at: u64, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Scheduled events of one kind.
+    pub fn count(&self, action: FaultAction) -> usize {
+        self.events.iter().filter(|e| e.action == action).count()
+    }
+
+    /// Renders the plan back into its spec grammar (round-trips through
+    /// [`FromStr`] up to token order and float formatting).
+    pub fn to_spec(&self) -> String {
+        let mut parts: Vec<String> =
+            self.events.iter().map(|e| format!("{}@{}", e.action.keyword(), e.at)).collect();
+        if self.loss > 0.0 {
+            parts.push(format!("loss={}", self.loss));
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        parts.join(",")
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::none();
+        for raw in s.split([',', ';']) {
+            let token = raw.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some((key, value)) = token.split_once('=') {
+                match key.trim() {
+                    "loss" => {
+                        let loss: f64 = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!("bad loss probability '{value}'"))
+                        })?;
+                        if !(0.0..1.0).contains(&loss) {
+                            return Err(SimError::InvalidConfig(format!(
+                                "loss must be in [0, 1), got {loss}"
+                            )));
+                        }
+                        plan.loss = loss;
+                    }
+                    "seed" => {
+                        plan.seed = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| SimError::InvalidConfig(format!("bad seed '{value}'")))?;
+                    }
+                    other => {
+                        return Err(SimError::InvalidConfig(format!(
+                            "unknown fault key '{other}' (expected loss or seed)"
+                        )));
+                    }
+                }
+                continue;
+            }
+            let Some((verb, at)) = token.split_once('@') else {
+                return Err(SimError::InvalidConfig(format!(
+                    "bad fault token '{token}' (expected verb@index, loss=p or seed=n)"
+                )));
+            };
+            let action = match verb.trim() {
+                "crash" => FaultAction::Crash,
+                "depart" => FaultAction::Depart,
+                "rejoin" => FaultAction::Rejoin,
+                "slow" => FaultAction::Slow,
+                other => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "unknown fault verb '{other}' (expected crash, depart, rejoin or slow)"
+                    )));
+                }
+            };
+            let at: u64 = at
+                .trim()
+                .parse()
+                .map_err(|_| SimError::InvalidConfig(format!("bad request index in '{token}'")))?;
+            plan.events.push(FaultEvent { at, action });
+        }
+        plan.events.sort_by_key(|e| e.at);
+        Ok(plan)
+    }
+}
+
+/// Configuration of one churn drill: topology, workload, and the plan.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Requests to serve.
+    pub requests: usize,
+    /// Distinct objects in the synthetic workload.
+    pub distinct_objects: usize,
+    /// Clients issuing requests in the trace.
+    pub trace_clients: usize,
+    /// Client cache machines in the cluster (overlay size).
+    pub clients_per_cluster: usize,
+    /// Proxy cache capacity in objects.
+    pub proxy_capacity: usize,
+    /// One client cache's capacity in objects.
+    pub client_cache_capacity: usize,
+    /// Leaf-set replication factor `k` (1 = primary only).
+    pub replication: usize,
+    /// Workload generator seed.
+    pub trace_seed: u64,
+    /// Latency model (including the `t_timeout` penalty).
+    pub net: NetworkModel,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+}
+
+impl Default for ChurnConfig {
+    /// A mid-size drill: 40 000 requests over a 64-machine cluster with
+    /// `k = 2` replication — large enough for crashes to land on loaded
+    /// nodes, small enough for CI.
+    fn default() -> Self {
+        ChurnConfig {
+            requests: 40_000,
+            distinct_objects: 2_000,
+            trace_clients: 50,
+            clients_per_cluster: 64,
+            proxy_capacity: 100,
+            client_cache_capacity: 4,
+            replication: 2,
+            trace_seed: 0xC0FFEE,
+            net: NetworkModel::default(),
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.requests == 0 {
+            return Err(SimError::InvalidConfig("requests must be positive".into()));
+        }
+        if self.clients_per_cluster == 0 {
+            return Err(SimError::InvalidConfig("clients_per_cluster must be positive".into()));
+        }
+        if self.replication == 0 {
+            return Err(SimError::InvalidConfig("replication factor must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.plan.loss) {
+            return Err(SimError::InvalidConfig(format!(
+                "loss must be in [0, 1), got {}",
+                self.plan.loss
+            )));
+        }
+        self.net.validate()
+    }
+}
+
+/// What a churn drill measured. All latency fields are integer
+/// milli-units so the JSON rendering is bit-stable across platforms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnReport {
+    /// Requests served (every request is served — the cascade degrades
+    /// to proxy → server, it never fails).
+    pub requests: u64,
+    /// Requests per hit class, in `HitClass::ALL` order.
+    pub served_by_class: [u64; HitClass::ALL.len()],
+    /// Served / issued, in percent (structurally 100).
+    pub availability_percent: f64,
+    /// Silent crashes injected.
+    pub crashes: u64,
+    /// Graceful departures injected.
+    pub departures: u64,
+    /// Rejoins injected.
+    pub rejoins: u64,
+    /// Slow-node marks injected.
+    pub slows: u64,
+    /// Scheduled actions skipped because no live node was left to target.
+    pub skipped_actions: u64,
+    /// Crashes detected by traffic before the trace ended.
+    pub detected_crashes: u64,
+    /// Crashes still undetected at end of run (no message walked in).
+    pub undetected_crashes: u64,
+    /// Mean requests between a crash and its detection.
+    pub detection_latency_avg: f64,
+    /// Worst-case requests between a crash and its detection.
+    pub detection_latency_max: u64,
+    /// Timeout-equivalent stalls paid (dead nodes, loss, slow nodes).
+    pub timeouts: u64,
+    /// Timeouts that exposed a crashed node.
+    pub dead_node_timeouts: u64,
+    /// Directory-approved lookups whose primary died with a crash.
+    pub stale_hits: u64,
+    /// Stale hits rescued by a leaf-set replica.
+    pub stale_hits_replica_served: u64,
+    /// Replica promotions that restored the replication factor.
+    pub rereplications: u64,
+    /// Fresh replica copies created by re-replications.
+    pub replica_copies: u64,
+    /// Objects lost for good (crash reclaimed with no surviving copy).
+    pub objects_lost: u64,
+    /// Mean end-to-end latency of the faulty run, in milli-units.
+    pub avg_latency_milli: u64,
+    /// Mean end-to-end latency of the fault-free twin run, milli-units.
+    pub fault_free_avg_latency_milli: u64,
+    /// Relative latency degradation vs the fault-free twin, in percent
+    /// (the latency-gain delta: how much of the paper's win churn eats).
+    pub latency_delta_percent: f64,
+    /// `check_invariants` findings at detection points (must be 0).
+    pub invariant_violations: u64,
+    /// The plan that ran, in spec grammar.
+    pub plan_spec: String,
+}
+
+impl ChurnReport {
+    /// True when every issued request was served.
+    pub fn fully_available(&self) -> bool {
+        (self.availability_percent - 100.0).abs() < 1e-9
+    }
+
+    /// Renders the report as a JSON document with a fixed field order
+    /// (hand-rolled: the offline build has no serde_json). Bit-stable
+    /// for a fixed seed + plan — the golden churn test diffs it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        s.push_str("  \"served_by_class\": {");
+        for (i, class) in HitClass::ALL.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\"{}\": {}",
+                if i == 0 { "" } else { ", " },
+                class.label(),
+                self.served_by_class[class.index()]
+            );
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "  \"availability_percent\": {:.4},", self.availability_percent);
+        for (name, v) in [
+            ("crashes", self.crashes),
+            ("departures", self.departures),
+            ("rejoins", self.rejoins),
+            ("slows", self.slows),
+            ("skipped_actions", self.skipped_actions),
+            ("detected_crashes", self.detected_crashes),
+            ("undetected_crashes", self.undetected_crashes),
+        ] {
+            let _ = writeln!(s, "  \"{name}\": {v},");
+        }
+        let _ = writeln!(s, "  \"detection_latency_avg\": {:.4},", self.detection_latency_avg);
+        for (name, v) in [
+            ("detection_latency_max", self.detection_latency_max),
+            ("timeouts", self.timeouts),
+            ("dead_node_timeouts", self.dead_node_timeouts),
+            ("stale_hits", self.stale_hits),
+            ("stale_hits_replica_served", self.stale_hits_replica_served),
+            ("rereplications", self.rereplications),
+            ("replica_copies", self.replica_copies),
+            ("objects_lost", self.objects_lost),
+            ("avg_latency_milli", self.avg_latency_milli),
+            ("fault_free_avg_latency_milli", self.fault_free_avg_latency_milli),
+        ] {
+            let _ = writeln!(s, "  \"{name}\": {v},");
+        }
+        let _ = writeln!(s, "  \"latency_delta_percent\": {:.4},", self.latency_delta_percent);
+        let _ = writeln!(s, "  \"invariant_violations\": {},", self.invariant_violations);
+        let _ = writeln!(s, "  \"plan_spec\": \"{}\"", self.plan_spec);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders an aligned text summary for terminals.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{:<28} {:>12}", "requests", self.requests);
+        let _ = writeln!(s, "{:<28} {:>11.2}%", "availability", self.availability_percent);
+        for (name, v) in [
+            ("crashes", self.crashes),
+            ("departures", self.departures),
+            ("rejoins", self.rejoins),
+            ("slows", self.slows),
+            ("detected crashes", self.detected_crashes),
+            ("undetected crashes", self.undetected_crashes),
+            ("detection latency max", self.detection_latency_max),
+            ("timeouts", self.timeouts),
+            ("dead-node timeouts", self.dead_node_timeouts),
+            ("stale directory hits", self.stale_hits),
+            ("  rescued by replica", self.stale_hits_replica_served),
+            ("re-replications", self.rereplications),
+            ("objects lost", self.objects_lost),
+            ("invariant violations", self.invariant_violations),
+        ] {
+            let _ = writeln!(s, "{name:<28} {v:>12}");
+        }
+        let _ = writeln!(s, "{:<28} {:>12.4}", "detection latency avg", self.detection_latency_avg);
+        let _ = writeln!(
+            s,
+            "{:<28} {:>9.3} vs {:.3} fault-free ({:+.2}%)",
+            "avg latency",
+            self.avg_latency_milli as f64 / 1000.0,
+            self.fault_free_avg_latency_milli as f64 / 1000.0,
+            self.latency_delta_percent
+        );
+        s
+    }
+}
+
+/// Everything one driven run produced.
+struct DriveOutcome {
+    metrics: RunMetrics,
+    snapshot: StatsSnapshot,
+    crashes: u64,
+    departures: u64,
+    rejoins: u64,
+    slows: u64,
+    skipped: u64,
+    detections: Vec<u64>,
+    undetected: u64,
+    invariant_violations: u64,
+}
+
+/// Runs the full churn drill: the faulty run, then a fault-free twin on
+/// the same trace for the latency delta.
+pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
+    cfg.validate()?;
+    let trace = ProWGen::new(ProWGenConfig {
+        requests: cfg.requests,
+        distinct_objects: cfg.distinct_objects,
+        num_clients: cfg.trace_clients.max(1) as u32,
+        seed: cfg.trace_seed,
+        ..ProWGenConfig::default()
+    })
+    .generate();
+
+    let faulty = drive(cfg, &trace, &cfg.plan)?;
+    let baseline = drive(cfg, &trace, &FaultPlan::none())?;
+
+    let served: u64 = faulty.metrics.requests;
+    let issued = cfg.requests as u64;
+    let avg_milli = (faulty.metrics.avg_latency() * 1000.0).round() as u64;
+    let base_milli = (baseline.metrics.avg_latency() * 1000.0).round() as u64;
+    let delta =
+        if base_milli == 0 { 0.0 } else { (avg_milli as f64 / base_milli as f64 - 1.0) * 100.0 };
+    let detected = faulty.detections.len() as u64;
+    let detection_latency_avg = if faulty.detections.is_empty() {
+        0.0
+    } else {
+        faulty.detections.iter().sum::<u64>() as f64 / detected as f64
+    };
+    let mut served_by_class = [0u64; HitClass::ALL.len()];
+    for (class, n) in faulty.metrics.by_class.iter() {
+        served_by_class[class.index()] = n;
+    }
+
+    Ok(ChurnReport {
+        requests: served,
+        served_by_class,
+        availability_percent: if issued == 0 {
+            100.0
+        } else {
+            served as f64 / issued as f64 * 100.0
+        },
+        crashes: faulty.crashes,
+        departures: faulty.departures,
+        rejoins: faulty.rejoins,
+        slows: faulty.slows,
+        skipped_actions: faulty.skipped,
+        detected_crashes: detected,
+        undetected_crashes: faulty.undetected,
+        detection_latency_avg,
+        detection_latency_max: faulty.detections.iter().copied().max().unwrap_or(0),
+        timeouts: faulty.snapshot.timeouts,
+        dead_node_timeouts: faulty.snapshot.dead_node_timeouts,
+        stale_hits: faulty.snapshot.stale_directory_hits,
+        stale_hits_replica_served: faulty.snapshot.stale_hits_replica_served,
+        rereplications: faulty.snapshot.rereplications,
+        replica_copies: faulty.snapshot.replica_copies,
+        objects_lost: faulty.snapshot.objects_lost,
+        avg_latency_milli: avg_milli,
+        fault_free_avg_latency_milli: base_milli,
+        latency_delta_percent: delta,
+        invariant_violations: faulty.invariant_violations,
+        plan_spec: cfg.plan.to_spec(),
+    })
+}
+
+/// Drives one engine through the trace under `plan`.
+fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutcome, SimError> {
+    let recorder = Arc::new(StatsRecorder::new());
+    let opts = HierGdOptions { replication: cfg.replication, ..HierGdOptions::default() };
+    let mut engine = HierGdEngine::with_recorder(
+        1,
+        cfg.proxy_capacity.max(1),
+        cfg.clients_per_cluster,
+        cfg.client_cache_capacity.max(1),
+        trace.num_objects,
+        cfg.net,
+        opts,
+        Arc::clone(&recorder),
+    );
+    if !plan.is_none() {
+        engine.set_client_faults(0, NetFaults::new(plan.loss, plan.seed));
+    }
+
+    // Target selection stream, decoupled from the loss stream so adding
+    // loss never reshuffles which machines crash.
+    let mut pick_state = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next_event = 0usize;
+    let mut outstanding: BTreeMap<u128, u64> = BTreeMap::new();
+    let mut out = DriveOutcome {
+        metrics: RunMetrics::default(),
+        snapshot: recorder.snapshot(),
+        crashes: 0,
+        departures: 0,
+        rejoins: 0,
+        slows: 0,
+        skipped: 0,
+        detections: Vec::new(),
+        undetected: 0,
+        invariant_violations: 0,
+    };
+
+    for (i, req) in trace.requests.iter().enumerate() {
+        while next_event < plan.events.len() && plan.events[next_event].at <= i as u64 {
+            let action = plan.events[next_event].action;
+            next_event += 1;
+            apply_action(
+                &mut engine,
+                action,
+                &mut pick_state,
+                i as u64,
+                &mut outstanding,
+                &mut out,
+            )?;
+        }
+        let class = engine.serve(0, req);
+        let latency = engine.latency_of(&cfg.net, class);
+        out.metrics.record(class, latency);
+
+        // Lazy detection bookkeeping: a crash leaves `crashed_ids` only
+        // when traffic walked into the corpse and repair ran.
+        if !outstanding.is_empty() {
+            let still: Vec<u128> = engine.p2p(0).crashed_ids().map(|n| n.0).collect();
+            let detected_now: Vec<u128> =
+                outstanding.keys().filter(|k| !still.contains(k)).copied().collect();
+            for key in detected_now {
+                let crashed_at = outstanding.remove(&key).expect("key came from outstanding");
+                out.detections.push(i as u64 - crashed_at);
+                // Acceptance criterion: the structure must be clean at
+                // every detection point.
+                out.invariant_violations += engine.p2p(0).check_invariants().len() as u64;
+            }
+        }
+    }
+    out.undetected = outstanding.len() as u64;
+    engine.finish(&mut out.metrics);
+    out.snapshot = recorder.snapshot();
+    Ok(out)
+}
+
+/// Applies one scheduled action; targets are drawn from live membership.
+fn apply_action<R: crate::recorder::Recorder>(
+    engine: &mut HierGdEngine<R>,
+    action: FaultAction,
+    pick_state: &mut u64,
+    at: u64,
+    outstanding: &mut BTreeMap<u128, u64>,
+    out: &mut DriveOutcome,
+) -> Result<(), SimError> {
+    if action == FaultAction::Rejoin {
+        let id = fresh_node_id(engine, pick_state);
+        engine.join_client(0, id);
+        out.rejoins += 1;
+        return Ok(());
+    }
+    let live: Vec<NodeId> = engine.p2p(0).node_ids().collect();
+    if live.is_empty() {
+        out.skipped += 1;
+        return Ok(());
+    }
+    let target = live[(splitmix64(pick_state) % live.len() as u64) as usize];
+    match action {
+        FaultAction::Crash => {
+            engine.crash_client(0, target)?;
+            outstanding.insert(target.0, at);
+            out.crashes += 1;
+        }
+        FaultAction::Depart => {
+            engine.depart_client(0, target)?;
+            out.departures += 1;
+        }
+        FaultAction::Slow => {
+            engine.mark_client_slow(0, target);
+            out.slows += 1;
+        }
+        FaultAction::Rejoin => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+/// A node id not currently in the cluster (live or crashed-undetected).
+fn fresh_node_id<R: crate::recorder::Recorder>(
+    engine: &HierGdEngine<R>,
+    pick_state: &mut u64,
+) -> NodeId {
+    loop {
+        let hi = splitmix64(pick_state) as u128;
+        let lo = splitmix64(pick_state) as u128;
+        let id = NodeId((hi << 64) | lo);
+        let taken = engine.p2p(0).node_ids().any(|n| n == id)
+            || engine.p2p(0).crashed_ids().any(|n| n == id);
+        if !taken {
+            return id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan: FaultPlan =
+            "crash@10, depart@20; rejoin@30, slow@5, loss=0.02, seed=9".parse().unwrap();
+        assert_eq!(plan.events.len(), 4);
+        assert_eq!(plan.events[0], FaultEvent { at: 5, action: FaultAction::Slow });
+        assert!((plan.loss - 0.02).abs() < 1e-12);
+        assert_eq!(plan.seed, 9);
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in ["crash", "explode@5", "crash@x", "loss=2.0", "loss=abc", "pigs=fly"] {
+            assert!(
+                matches!(bad.parse::<FaultPlan>(), Err(SimError::InvalidConfig(_))),
+                "'{bad}' should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!("".parse::<FaultPlan>().unwrap().is_none());
+        assert!(!"crash@1".parse::<FaultPlan>().unwrap().is_none());
+        assert!(!"loss=0.5".parse::<FaultPlan>().unwrap().is_none());
+    }
+
+    fn small_cfg(plan: FaultPlan) -> ChurnConfig {
+        ChurnConfig {
+            requests: 4_000,
+            distinct_objects: 400,
+            trace_clients: 10,
+            clients_per_cluster: 16,
+            proxy_capacity: 20,
+            client_cache_capacity: 4,
+            replication: 2,
+            trace_seed: 7,
+            plan,
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn churn_run_serves_everything_and_reconciles() {
+        let plan: FaultPlan =
+            "crash@500, crash@900, depart@1500, rejoin@2000, slow@2500, loss=0.005, seed=3"
+                .parse()
+                .unwrap();
+        let report = run_churn(&small_cfg(plan)).unwrap();
+        assert_eq!(report.requests, 4_000);
+        assert!(report.fully_available(), "availability {}", report.availability_percent);
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.rejoins, 1);
+        assert_eq!(report.slows, 1);
+        assert_eq!(report.detected_crashes + report.undetected_crashes, report.crashes);
+        assert_eq!(report.invariant_violations, 0);
+        assert!(report.timeouts >= report.dead_node_timeouts);
+        assert!(report.stale_hits >= report.stale_hits_replica_served);
+    }
+
+    #[test]
+    fn churn_reports_are_deterministic() {
+        let plan: FaultPlan = "crash@300, crash@700, loss=0.01, seed=11".parse().unwrap();
+        let a = run_churn(&small_cfg(plan.clone())).unwrap();
+        let b = run_churn(&small_cfg(plan)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_twin() {
+        let report = run_churn(&small_cfg(FaultPlan::none())).unwrap();
+        assert_eq!(report.avg_latency_milli, report.fault_free_avg_latency_milli);
+        assert_eq!(report.latency_delta_percent, 0.0);
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.stale_hits, 0);
+    }
+
+    #[test]
+    fn faults_cost_latency_not_requests() {
+        let plan: FaultPlan = "crash@100, crash@200, crash@300, loss=0.01, seed=5".parse().unwrap();
+        let report = run_churn(&small_cfg(plan)).unwrap();
+        assert!(report.fully_available());
+        assert!(
+            report.avg_latency_milli >= report.fault_free_avg_latency_milli,
+            "faults cannot make the run faster: {} vs {}",
+            report.avg_latency_milli,
+            report.fault_free_avg_latency_milli
+        );
+    }
+
+    #[test]
+    fn report_renders_json_and_table() {
+        let plan: FaultPlan = "crash@500, seed=2".parse().unwrap();
+        let report = run_churn(&small_cfg(plan)).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert!(json.contains("\"availability_percent\": 100.0000"));
+        assert!(json.contains("\"plan_spec\": \"crash@500,seed=2\""));
+        let table = report.to_table();
+        assert!(table.contains("availability"));
+        assert!(table.contains("stale directory hits"));
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = ChurnConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.requests = 0;
+        assert!(cfg.validate().is_err());
+        let cfg = ChurnConfig { replication: 0, ..ChurnConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -28,11 +28,15 @@
 //! its implicit inter-cache coordination (Korupolu & Dahlin \[10\]).
 
 use crate::engine::SchemeEngine;
+use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::net::{HitClass, NetworkModel};
 use crate::recorder::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
-use webcache_p2p::{DirectoryKind, P2PClientCache, P2PClientCacheConfig, P2pEvent, P2pSink};
+use std::cell::Cell;
+use webcache_p2p::{
+    DirectoryKind, NetFaults, P2PClientCache, P2PClientCacheConfig, P2pEvent, P2pSink,
+};
 use webcache_pastry::PastryConfig;
 use webcache_policy::{BoundedCache, GreedyDualCache};
 use webcache_workload::{ObjectId, Request, Trace};
@@ -49,6 +53,10 @@ pub struct HierGdOptions {
     pub promote_on_p2p_hit: bool,
     /// Object diversion within leaf sets (§4.3).
     pub diversion: bool,
+    /// Leaf-set replication factor `k`: copies kept per destaged object
+    /// (1 = primary only, the fault-free default; churn runs raise it so
+    /// crashes can be rescued from replicas).
+    pub replication: usize,
     /// Pastry parameters for the client-cache overlay.
     pub pastry: PastryConfig,
 }
@@ -60,6 +68,7 @@ impl Default for HierGdOptions {
             piggyback: true,
             promote_on_p2p_hit: false,
             diversion: true,
+            replication: 1,
             pastry: PastryConfig::default(),
         }
     }
@@ -101,6 +110,12 @@ pub struct HierGdEngine<R: Recorder = NoopRecorder> {
     net: NetworkModel,
     opts: HierGdOptions,
     recorder: R,
+    /// Timeout-equivalent stalls accrued by the request just served
+    /// (crashed-node detection, message loss, slow holders); drained by
+    /// [`SchemeEngine::latency_of`], which charges `t_timeout` each.
+    /// Always zero in fault-free runs, so the plain latency model is
+    /// untouched. `Cell` because `latency_of` takes `&self`.
+    pending_timeouts: Cell<u64>,
 }
 
 impl HierGdEngine {
@@ -163,11 +178,12 @@ impl<R: Recorder> HierGdEngine<R> {
                     node_capacity: client_cache_capacity.max(1),
                     directory: opts.directory,
                     diversion: opts.diversion,
+                    replication: opts.replication,
                     seed: 0x1E_AF00 + p as u64,
                 }),
             })
             .collect();
-        HierGdEngine { proxies, object_ids, net, opts, recorder }
+        HierGdEngine { proxies, object_ids, net, opts, recorder, pending_timeouts: Cell::new(0) }
     }
 
     fn oid(&self, object: ObjectId) -> u128 {
@@ -206,7 +222,9 @@ impl<R: Recorder> HierGdEngine<R> {
             let cost = self.refetch_cost(p, victim);
             let oid = self.oid(victim);
             let via = self.opts.piggyback.then_some(client);
-            self.proxies[p].p2p.destage_tap(
+            // Under churn the destage can fail outright (empty cluster);
+            // the victim is then simply not cached below — lossy but safe.
+            let _ = self.proxies[p].p2p.destage_tap(
                 oid,
                 cost,
                 via,
@@ -225,26 +243,82 @@ impl<R: Recorder> HierGdEngine<R> {
         &self.proxies[proxy].cache
     }
 
-    /// Crashes one client machine in `proxy`'s cluster mid-run: its cache
-    /// contents are lost, the overlay repairs itself (leaf-set gossip) and
-    /// the lookup directory is flushed of the lost objects — the
-    /// "self-organizing … in the presence of … node failure" property
-    /// §4.1 inherits from Pastry, exercised end to end.
-    ///
-    /// # Panics
-    /// Panics if the node is unknown or it is the cluster's last node.
-    pub fn fail_client(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
-        self.proxies[proxy].p2p.fail_node_tap(node, &mut Tap { recorder: &self.recorder, proxy });
+    /// Fails one client machine in `proxy`'s cluster mid-run *with
+    /// announcement*: its cache contents are lost, the overlay repairs
+    /// itself (leaf-set gossip) and the lookup directory is flushed of
+    /// the lost objects — the "self-organizing … in the presence of …
+    /// node failure" property §4.1 inherits from Pastry, exercised end
+    /// to end. Contrast [`crash_client`](Self::crash_client), which
+    /// kills the machine silently.
+    pub fn fail_client(
+        &mut self,
+        proxy: usize,
+        node: webcache_pastry::NodeId,
+    ) -> Result<(), SimError> {
+        self.proxies[proxy]
+            .p2p
+            .fail_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
+        Ok(())
+    }
+
+    /// Crashes one client machine *silently* (tentpole fault model): no
+    /// announcement, no repair — every other node and the proxy's lookup
+    /// directory keep stale references until traffic walks into the
+    /// corpse and times out (lazy failure detection).
+    pub fn crash_client(
+        &mut self,
+        proxy: usize,
+        node: webcache_pastry::NodeId,
+    ) -> Result<(), SimError> {
+        self.proxies[proxy]
+            .p2p
+            .crash_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
+        Ok(())
+    }
+
+    /// Gracefully departs one client machine: it hands its resident
+    /// objects to their new roots before disconnecting, so nothing is
+    /// lost.
+    pub fn depart_client(
+        &mut self,
+        proxy: usize,
+        node: webcache_pastry::NodeId,
+    ) -> Result<(), SimError> {
+        self.proxies[proxy]
+            .p2p
+            .depart_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
+        Ok(())
+    }
+
+    /// Joins a fresh client machine into `proxy`'s cluster mid-run
+    /// (rejoin after churn); keys it now roots migrate to it.
+    pub fn join_client(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
+        self.proxies[proxy].p2p.join_node_tap(node, &mut Tap { recorder: &self.recorder, proxy });
+    }
+
+    /// Installs message-level fault state (loss probability, slow nodes)
+    /// on `proxy`'s cluster. Also switches the cluster's request path
+    /// into fault-aware mode.
+    pub fn set_client_faults(&mut self, proxy: usize, faults: NetFaults) {
+        self.proxies[proxy].p2p.set_faults(faults);
+    }
+
+    /// Marks one client machine as slow (requests it serves stall one
+    /// timeout). No-op unless [`set_client_faults`](Self::set_client_faults)
+    /// ran first.
+    pub fn mark_client_slow(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
+        self.proxies[proxy].p2p.mark_slow(node);
     }
 
     /// The recorder observing this engine.
     pub fn recorder(&self) -> &R {
         &self.recorder
     }
-}
 
-impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
-    fn serve(&mut self, p: usize, request: &Request) -> HitClass {
+    /// The five-level miss cascade (module docs); split from
+    /// [`SchemeEngine::serve`] so the caller can drain fault penalties
+    /// once, after whatever subset of clusters the cascade touched.
+    fn serve_cascade(&mut self, p: usize, request: &Request) -> HitClass {
         let object = request.object;
         // 1. Local proxy cache.
         if self.proxies[p].cache.contains(object) {
@@ -314,6 +388,32 @@ impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
         let fetch = self.net.fetch_cost(HitClass::Server);
         self.admit(p, object, fetch, request.client);
         HitClass::Server
+    }
+}
+
+impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
+    fn serve(&mut self, p: usize, request: &Request) -> HitClass {
+        let class = self.serve_cascade(p, request);
+        // Timeout stalls accrued anywhere the cascade went (own cluster,
+        // cooperating clusters via push). Zero on fault-free runs.
+        let mut stalls = 0u64;
+        for proxy in &mut self.proxies {
+            stalls += proxy.p2p.take_fault_penalties();
+        }
+        if stalls != 0 {
+            self.pending_timeouts.set(self.pending_timeouts.get() + stalls);
+        }
+        class
+    }
+
+    fn latency_of(&self, net: &NetworkModel, class: HitClass) -> f64 {
+        let base = net.latency(class);
+        let stalls = self.pending_timeouts.replace(0);
+        if stalls == 0 {
+            base
+        } else {
+            base + stalls as f64 * net.t_timeout
+        }
     }
 
     fn finish(&mut self, metrics: &mut RunMetrics) {

@@ -22,6 +22,7 @@
 //! | [`hiergd`] | Hier-GD over the real Pastry P2P client cache |
 //! | [`metrics`] | average latency, hit breakdown, latency gain |
 //! | [`config`] | §5.1 sizing rules and the scheme registry |
+//! | [`fault`] | deterministic fault plans + the churn drill harness |
 //! | [`error`] | the [`SimError`] type every fallible API returns |
 //! | [`recorder`] | pluggable observability taps (stats, event log) |
 //! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
@@ -67,6 +68,7 @@ pub mod config;
 pub mod cost_benefit;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod hiergd;
 pub mod lfu_schemes;
 pub mod metrics;
@@ -83,6 +85,7 @@ pub use config::{
 };
 pub use engine::{run_engine, run_engine_recorded, SchemeEngine};
 pub use error::SimError;
+pub use fault::{run_churn, ChurnConfig, ChurnReport, FaultAction, FaultEvent, FaultPlan};
 pub use hiergd::{HierGdEngine, HierGdOptions};
 pub use metrics::{latency_gain_percent, ClassCounts, RunMetrics};
 pub use net::{HitClass, NetworkModel};

@@ -69,6 +69,10 @@ pub struct NetworkModel {
     pub tl: f64,
     /// Client/proxy → P2P client cache average latency.
     pub tp2p: f64,
+    /// Timeout penalty paid when a message walks into a crashed node, is
+    /// lost on the wire, or stalls on a slow machine (churn experiments
+    /// only; the fault-free cascade never charges it).
+    pub t_timeout: f64,
 }
 
 impl Default for NetworkModel {
@@ -93,7 +97,10 @@ impl NetworkModel {
         let ts = ts_over_tl * tl;
         let tc = ts / ts_over_tc;
         let tp2p = tp2p_over_tl * tl;
-        NetworkModel { ts, tc, tl, tp2p }
+        // A timeout must dwarf a normal P2P round trip (otherwise lazy
+        // detection would be free) while staying comparable to a server
+        // fetch; 4 × Tp2p = 5.6 Tl sits between Tc and Ts at the defaults.
+        NetworkModel { ts, tc, tl, tp2p, t_timeout: 4.0 * tp2p }
     }
 
     /// End-to-end client latency for a request served from `class`.
@@ -130,7 +137,13 @@ impl NetworkModel {
     /// sweeps (e.g. Ts/Tl = 5 with Ts/Tc = 10 makes Tc < Tp2p); schemes
     /// keep the paper's fixed lookup cascade regardless.
     pub fn validate(&self) -> Result<(), SimError> {
-        for (name, v) in [("ts", self.ts), ("tc", self.tc), ("tl", self.tl), ("tp2p", self.tp2p)] {
+        for (name, v) in [
+            ("ts", self.ts),
+            ("tc", self.tc),
+            ("tl", self.tl),
+            ("tp2p", self.tp2p),
+            ("t_timeout", self.t_timeout),
+        ] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(SimError::InvalidConfig(format!(
                     "{name} must be positive and finite (got {v})"
@@ -222,7 +235,14 @@ mod tests {
 
     #[test]
     fn validation_catches_inverted_order() {
-        let n = NetworkModel { ts: 1.0, tc: 5.0, tl: 1.0, tp2p: 1.0 };
+        let n = NetworkModel { ts: 1.0, tc: 5.0, tl: 1.0, tp2p: 1.0, t_timeout: 4.0 };
         assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn timeout_penalty_sits_between_coop_and_server() {
+        let n = NetworkModel::default();
+        assert!((n.t_timeout - 4.0 * n.tp2p).abs() < 1e-12);
+        assert!(n.t_timeout > n.tp2p && n.t_timeout < n.ts);
     }
 }

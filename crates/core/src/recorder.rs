@@ -153,6 +153,16 @@ pub struct StatsRecorder {
     objects_lost: ShardedCounter,
     node_joins: ShardedCounter,
     objects_migrated: ShardedCounter,
+    node_crashes: ShardedCounter,
+    objects_at_risk: ShardedCounter,
+    node_departures: ShardedCounter,
+    objects_handed_off: ShardedCounter,
+    timeouts: ShardedCounter,
+    dead_node_timeouts: ShardedCounter,
+    stale_directory_hits: ShardedCounter,
+    stale_hits_replica_served: ShardedCounter,
+    rereplications: ShardedCounter,
+    replica_copies: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -184,6 +194,16 @@ impl StatsRecorder {
             objects_lost: self.objects_lost.get(),
             node_joins: self.node_joins.get(),
             objects_migrated: self.objects_migrated.get(),
+            node_crashes: self.node_crashes.get(),
+            objects_at_risk: self.objects_at_risk.get(),
+            node_departures: self.node_departures.get(),
+            objects_handed_off: self.objects_handed_off.get(),
+            timeouts: self.timeouts.get(),
+            dead_node_timeouts: self.dead_node_timeouts.get(),
+            stale_directory_hits: self.stale_directory_hits.get(),
+            stale_hits_replica_served: self.stale_hits_replica_served.get(),
+            rereplications: self.rereplications.get(),
+            replica_copies: self.replica_copies.get(),
         }
     }
 }
@@ -242,6 +262,30 @@ impl Recorder for StatsRecorder {
                 self.node_joins.incr();
                 self.objects_migrated.add(u64::from(objects_migrated));
             }
+            P2pEvent::NodeCrashed { objects_at_risk } => {
+                self.node_crashes.incr();
+                self.objects_at_risk.add(u64::from(objects_at_risk));
+            }
+            P2pEvent::NodeDeparted { objects_handed_off } => {
+                self.node_departures.incr();
+                self.objects_handed_off.add(u64::from(objects_handed_off));
+            }
+            P2pEvent::TimeoutDetected { dead_node } => {
+                self.timeouts.incr();
+                if dead_node {
+                    self.dead_node_timeouts.incr();
+                }
+            }
+            P2pEvent::StaleDirectoryHit { replica_served } => {
+                self.stale_directory_hits.incr();
+                if replica_served {
+                    self.stale_hits_replica_served.incr();
+                }
+            }
+            P2pEvent::Rereplicated { copies } => {
+                self.rereplications.incr();
+                self.replica_copies.add(u64::from(copies));
+            }
         }
     }
 }
@@ -291,6 +335,27 @@ pub struct StatsSnapshot {
     pub node_joins: u64,
     /// Objects migrated to newcomers.
     pub objects_migrated: u64,
+    /// Client machines crashed silently (unannounced, lazily detected).
+    pub node_crashes: u64,
+    /// Primary copies at risk at crash time (before replica rescue).
+    pub objects_at_risk: u64,
+    /// Client machines departed gracefully.
+    pub node_departures: u64,
+    /// Objects handed off to new roots by graceful departures.
+    pub objects_handed_off: u64,
+    /// Timeout-equivalent stalls (dead-node detection, message loss,
+    /// slow nodes).
+    pub timeouts: u64,
+    /// Timeouts that exposed a crashed node (lazy failure detection).
+    pub dead_node_timeouts: u64,
+    /// Directory-approved lookups whose primary died with a crash.
+    pub stale_directory_hits: u64,
+    /// Stale directory hits rescued by a leaf-set replica.
+    pub stale_hits_replica_served: u64,
+    /// Replica promotions that restored the replication factor.
+    pub rereplications: u64,
+    /// Fresh replica copies created by re-replications.
+    pub replica_copies: u64,
 }
 
 impl StatsSnapshot {
@@ -419,6 +484,16 @@ impl StatsSnapshot {
             ("objects_lost", self.objects_lost),
             ("node_joins", self.node_joins),
             ("objects_migrated", self.objects_migrated),
+            ("node_crashes", self.node_crashes),
+            ("objects_at_risk", self.objects_at_risk),
+            ("node_departures", self.node_departures),
+            ("objects_handed_off", self.objects_handed_off),
+            ("timeouts", self.timeouts),
+            ("dead_node_timeouts", self.dead_node_timeouts),
+            ("stale_directory_hits", self.stale_directory_hits),
+            ("stale_hits_replica_served", self.stale_hits_replica_served),
+            ("rereplications", self.rereplications),
+            ("replica_copies", self.replica_copies),
         ]
     }
 }
@@ -634,6 +709,23 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                 P2pEvent::NodeJoined { objects_migrated } => {
                     flags.push(format!("objects_migrated={objects_migrated}"));
                 }
+                P2pEvent::NodeCrashed { objects_at_risk } => {
+                    flags.push(format!("objects_at_risk={objects_at_risk}"));
+                }
+                P2pEvent::NodeDeparted { objects_handed_off } => {
+                    flags.push(format!("objects_handed_off={objects_handed_off}"));
+                }
+                P2pEvent::TimeoutDetected { dead_node } => {
+                    flags.push(if dead_node { "dead_node" } else { "transient" }.into());
+                }
+                P2pEvent::StaleDirectoryHit { replica_served } => {
+                    flags.push(
+                        if replica_served { "replica_served" } else { "server_fallback" }.into(),
+                    );
+                }
+                P2pEvent::Rereplicated { copies } => {
+                    flags.push(format!("copies={copies}"));
+                }
             }
             (String::new(), String::new(), hops, flags.join("|"))
         }
@@ -709,6 +801,13 @@ mod tests {
         r.p2p_event(0, P2pEvent::DirectoryProbe { hit: false });
         r.p2p_event(0, P2pEvent::NodeFailed { objects_lost: 7 });
         r.p2p_event(0, P2pEvent::NodeJoined { objects_migrated: 3 });
+        r.p2p_event(0, P2pEvent::NodeCrashed { objects_at_risk: 5 });
+        r.p2p_event(0, P2pEvent::NodeDeparted { objects_handed_off: 4 });
+        r.p2p_event(0, P2pEvent::TimeoutDetected { dead_node: true });
+        r.p2p_event(0, P2pEvent::TimeoutDetected { dead_node: false });
+        r.p2p_event(0, P2pEvent::StaleDirectoryHit { replica_served: true });
+        r.p2p_event(0, P2pEvent::StaleDirectoryHit { replica_served: false });
+        r.p2p_event(0, P2pEvent::Rereplicated { copies: 2 });
         let s = r.snapshot();
         assert_eq!(s.destages, 2);
         assert_eq!(s.piggybacked_destages, 1);
@@ -727,6 +826,16 @@ mod tests {
         assert_eq!(s.objects_lost, 7);
         assert_eq!(s.node_joins, 1);
         assert_eq!(s.objects_migrated, 3);
+        assert_eq!(s.node_crashes, 1);
+        assert_eq!(s.objects_at_risk, 5);
+        assert_eq!(s.node_departures, 1);
+        assert_eq!(s.objects_handed_off, 4);
+        assert_eq!(s.timeouts, 2);
+        assert_eq!(s.dead_node_timeouts, 1);
+        assert_eq!(s.stale_directory_hits, 2);
+        assert_eq!(s.stale_hits_replica_served, 1);
+        assert_eq!(s.rereplications, 1);
+        assert_eq!(s.replica_copies, 2);
         assert_eq!(s.lookup_hops.count, 2);
         assert_eq!(s.lookup_hops.max, 4);
         assert_eq!(s.destage_hops.count, 2);

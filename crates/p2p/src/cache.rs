@@ -18,6 +18,7 @@
 
 use crate::directory::{DirectoryKind, LookupDirectory};
 use crate::events::{NoSink, P2pEvent, P2pSink};
+use crate::faults::{NetFaults, P2pError};
 use crate::ledger::MessageLedger;
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
@@ -41,6 +42,12 @@ pub struct P2PClientCacheConfig {
     /// Whether object diversion (§4.3) is enabled — an ablation knob; the
     /// paper's algorithm has it on.
     pub diversion: bool,
+    /// Replication factor `k`: total copies kept per object (one primary
+    /// plus up to `k - 1` leaf-set replicas). `1` reproduces the paper's
+    /// replica-free baseline bit for bit; higher values trade LAN messages
+    /// for availability under unannounced crashes.
+    #[serde(default)]
+    pub replication: usize,
     /// Seed for cacheId assignment.
     pub seed: u64,
 }
@@ -53,6 +60,7 @@ impl Default for P2PClientCacheConfig {
             node_capacity: 8,
             directory: DirectoryKind::Exact,
             diversion: true,
+            replication: 1,
             seed: 0x00C1_1E17,
         }
     }
@@ -73,6 +81,14 @@ pub struct ClientCacheNode {
     /// Reverse index for objects hosted here on behalf of another root,
     /// so evicting one can invalidate the root's pointer.
     hosted_for: FxHashMap<u128, NodeId>,
+    /// Replica copies hosted here (object → greedy-dual credit carried
+    /// from the primary, plus the root tracking the replica set). Kept
+    /// outside the greedy-dual store: replicas are insurance, not cache
+    /// contents, and must not compete for eviction with primaries.
+    replicas: FxHashMap<u128, (f64, NodeId)>,
+    /// For objects this node roots: the leaf-set members holding replica
+    /// copies (populated only when the replication factor k > 1).
+    replicated_to: FxHashMap<u128, Vec<NodeId>>,
 }
 
 impl ClientCacheNode {
@@ -82,6 +98,8 @@ impl ClientCacheNode {
             store: GreedyDualCache::new(capacity),
             diverted_to: FxHashMap::default(),
             hosted_for: FxHashMap::default(),
+            replicas: FxHashMap::default(),
+            replicated_to: FxHashMap::default(),
         }
     }
 
@@ -113,6 +131,11 @@ impl ClientCacheNode {
     /// Objects resident in this node's store (unordered, no allocation).
     pub fn objects(&self) -> impl Iterator<Item = u128> + '_ {
         self.store.keys()
+    }
+
+    /// Replica copies hosted here for other roots (k > 1 only).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 }
 
@@ -209,16 +232,29 @@ pub struct P2PClientCache {
     /// Memoized overlay routes, invalidated wholesale on membership change
     /// ([`fail_node`](Self::fail_node) / [`join_node`](Self::join_node)).
     route_memo: RouteMemo,
+    /// Message-level fault state (loss, slow nodes). `None` keeps every
+    /// path bit-identical to the fault-free simulator.
+    faults: Option<NetFaults>,
+    /// Timeout-equivalent latency penalties accrued since the engine last
+    /// drained them ([`take_fault_penalties`](Self::take_fault_penalties)).
+    fault_penalties: u64,
+    /// Objects whose primary died with a *detected* crash, keyed to their
+    /// surviving replica hosts. Repair is lazy: the stale directory entry
+    /// stays until the next fetch walks into it, pays the timeout, and
+    /// promotes a replica (or flushes the entry and falls back to the
+    /// server). Empty in fault-free runs.
+    limbo: FxHashMap<u128, Vec<NodeId>>,
 }
 
 impl P2PClientCache {
     /// Builds the overlay and joins `num_nodes` client caches.
     ///
     /// # Panics
-    /// Panics on a zero node count or capacity.
+    /// Panics on a zero node count, capacity, or replication factor.
     pub fn new(cfg: P2PClientCacheConfig) -> Self {
         assert!(cfg.num_nodes > 0, "need at least one client cache");
         assert!(cfg.node_capacity > 0, "client caches need capacity");
+        assert!(cfg.replication >= 1, "replication factor counts the primary, so k >= 1");
         let mut overlay = Overlay::new(cfg.pastry);
         let mut nodes = FxHashMap::with_capacity_and_hasher(cfg.num_nodes, Default::default());
         let mut node_of_client = Vec::with_capacity(cfg.num_nodes);
@@ -239,6 +275,69 @@ impl P2PClientCache {
             ledger: MessageLedger::default(),
             resident: 0,
             route_memo: RouteMemo::new(),
+            faults: None,
+            fault_penalties: 0,
+            limbo: FxHashMap::default(),
+        }
+    }
+
+    /// Installs message-level fault state (loss probability, slow nodes).
+    /// Once installed, fetches and destages take the liveness-aware slow
+    /// path even before any crash happens.
+    pub fn set_faults(&mut self, faults: NetFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault state, if any.
+    pub fn faults(&self) -> Option<&NetFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Marks a node slow (requires [`set_faults`](Self::set_faults) first;
+    /// a no-op otherwise).
+    pub fn mark_slow(&mut self, id: NodeId) {
+        if let Some(f) = self.faults.as_mut() {
+            f.mark_slow(id);
+        }
+    }
+
+    /// Drains the timeout-equivalent latency penalties accrued since the
+    /// last call. The simulation engine converts each unit into one
+    /// `t_timeout` charge on the request being served.
+    pub fn take_fault_penalties(&mut self) -> u64 {
+        std::mem::take(&mut self.fault_penalties)
+    }
+
+    /// Nodes that crashed silently and have not been detected yet.
+    pub fn crashed_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.overlay.crashed_ids()
+    }
+
+    /// Number of crashed-but-undetected nodes.
+    pub fn crashed_len(&self) -> usize {
+        self.overlay.crashed_len()
+    }
+
+    /// The configured replication factor `k`.
+    pub fn replication(&self) -> usize {
+        self.cfg.replication
+    }
+
+    /// True when any fault machinery is active: installed fault state,
+    /// undetected crashes, or crash damage still awaiting lazy repair.
+    /// Gates the slow liveness-aware request paths so the fault-free
+    /// simulator stays bit-identical.
+    fn fault_mode(&self) -> bool {
+        self.faults.is_some() || self.overlay.crashed_len() > 0 || !self.limbo.is_empty()
+    }
+
+    /// The overlay entry node for `client`, or `None` once the cluster
+    /// has no members left.
+    fn entry_for_client(&self, client: u32) -> Option<NodeId> {
+        if self.node_of_client.is_empty() {
+            None
+        } else {
+            Some(self.node_of_client[client as usize % self.node_of_client.len()])
         }
     }
 
@@ -267,6 +366,10 @@ impl P2PClientCache {
 
     /// The overlay node serving client `client` (clients map round-robin
     /// onto cluster nodes when there are more clients than caches).
+    ///
+    /// # Panics
+    /// Panics if every node has failed; request paths use the degrading
+    /// internal resolver instead.
     pub fn node_for_client(&self, client: u32) -> NodeId {
         self.node_of_client[client as usize % self.node_of_client.len()]
     }
@@ -318,7 +421,15 @@ impl P2PClientCache {
     /// object (§4.4); `None` means the proxy opened a dedicated
     /// connection (the ablation baseline). `cost` is the greedy-dual
     /// fetch cost the client cache charges the object on insertion.
-    pub fn destage(&mut self, object: u128, cost: f64, via_client: Option<u32>) -> DestageOutcome {
+    ///
+    /// Returns `None` only when the cluster has no members left — the
+    /// destage degrades to a miss instead of panicking.
+    pub fn destage(
+        &mut self,
+        object: u128,
+        cost: f64,
+        via_client: Option<u32>,
+    ) -> Option<DestageOutcome> {
         self.destage_tap(object, cost, via_client, &mut NoSink)
     }
 
@@ -332,8 +443,12 @@ impl P2PClientCache {
         cost: f64,
         via_client: Option<u32>,
         sink: &mut S,
-    ) -> DestageOutcome {
-        let out = self.destage_inner(object, cost, via_client, sink);
+    ) -> Option<DestageOutcome> {
+        let out = if self.fault_mode() {
+            self.destage_churn(object, cost, via_client, sink)?
+        } else {
+            self.destage_inner(object, cost, via_client, sink)?
+        };
         if S::ENABLED {
             sink.event(P2pEvent::Destage {
                 hops: out.hops.min(u16::MAX as usize) as u16,
@@ -343,7 +458,7 @@ impl P2PClientCache {
                 evicted: out.evicted.is_some(),
             });
         }
-        out
+        Some(out)
     }
 
     fn destage_inner<S: P2pSink>(
@@ -352,21 +467,18 @@ impl P2PClientCache {
         cost: f64,
         via_client: Option<u32>,
         sink: &mut S,
-    ) -> DestageOutcome {
-        let entry = match via_client {
-            Some(c) => {
-                self.ledger.piggybacked_objects += 1;
-                self.node_for_client(c)
-            }
+    ) -> Option<DestageOutcome> {
+        // A dedicated destage still enters the overlay somewhere; the
+        // proxy hands the object to an arbitrary (first) client cache
+        // which then routes it.
+        let entry = self.entry_for_client(via_client.unwrap_or(0))?;
+        match via_client {
+            Some(_) => self.ledger.piggybacked_objects += 1,
             None => {
                 self.ledger.direct_destages += 1;
                 self.ledger.new_connections += 1;
-                // A dedicated destage still enters the overlay somewhere;
-                // the proxy hands the object to an arbitrary (first)
-                // client cache which then routes it.
-                self.node_of_client[0]
             }
-        };
+        }
         let (root, hops) = self.route_to_root(entry, object, false);
 
         // Already present at the root (or via its diversion pointer)?
@@ -374,13 +486,13 @@ impl P2PClientCache {
         if let Some(holder) = self.holder_of(root, object) {
             let node = self.nodes.get_mut(&holder.0).expect("holder is live");
             node.store.touch_with_cost(object, cost, 1.0);
-            return DestageOutcome {
+            return Some(DestageOutcome {
                 root,
                 stored_at: holder,
                 evicted: None,
                 hops,
                 refreshed: true,
-            };
+            });
         }
 
         // Fig. 1 step 3: root has free space.
@@ -391,7 +503,14 @@ impl P2PClientCache {
             self.resident += 1;
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
-            return DestageOutcome { root, stored_at: root, evicted: None, hops, refreshed: false };
+            self.make_replicas(object, root, root, cost);
+            return Some(DestageOutcome {
+                root,
+                stored_at: root,
+                evicted: None,
+                hops,
+                refreshed: false,
+            });
         }
 
         // Fig. 1 step 7: divert to a leaf-set neighbor with free space.
@@ -414,13 +533,14 @@ impl P2PClientCache {
                 self.ledger.diversions += 1;
                 self.ledger.store_receipts += 1;
                 self.ledger.overlay_messages += 2; // A→B transfer + ack
-                return DestageOutcome {
+                self.make_replicas(object, root, b, cost);
+                return Some(DestageOutcome {
                     root,
                     stored_at: b,
                     evicted: None,
                     hops,
                     refreshed: false,
-                };
+                });
             }
         }
 
@@ -433,7 +553,14 @@ impl P2PClientCache {
         self.directory.insert(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
-        DestageOutcome { root, stored_at: root, evicted: Some(evicted), hops, refreshed: false }
+        self.make_replicas(object, root, root, cost);
+        Some(DestageOutcome {
+            root,
+            stored_at: root,
+            evicted: Some(evicted),
+            hops,
+            refreshed: false,
+        })
     }
 
     /// Book-keeping when `node` evicts `object` from its store: fix up
@@ -451,9 +578,64 @@ impl P2PClientCache {
             }
             self.ledger.overlay_messages += 1;
         }
+        // An evicted primary takes its replica set with it (k > 1 only;
+        // the maps are empty otherwise).
+        let root = owner.unwrap_or(node);
+        self.drop_replicas(root, object);
         if S::ENABLED {
             sink.event(P2pEvent::Eviction { pointer_invalidated: owner.is_some() });
         }
+    }
+
+    /// Removes every replica copy of `object`, whose replica set is
+    /// tracked at `root`. No-op when none exist.
+    fn drop_replicas(&mut self, root: NodeId, object: u128) {
+        let hosts = self.nodes.get_mut(&root.0).and_then(|rn| rn.replicated_to.remove(&object));
+        if let Some(hosts) = hosts {
+            for h in hosts {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(&object);
+                }
+            }
+        }
+    }
+
+    /// Stores up to `k - 1` replica copies of `object` at live leaf-set
+    /// members of `root` (excluding the `primary` holder), recording the
+    /// replica set at `root`. Returns the number of copies made. A strict
+    /// no-op when the replication factor is 1.
+    fn make_replicas(&mut self, object: u128, root: NodeId, primary: NodeId, credit: f64) -> u32 {
+        if self.cfg.replication <= 1 {
+            return 0;
+        }
+        let want = self.cfg.replication - 1;
+        let targets: Vec<NodeId> = match self.overlay.state(root) {
+            Some(rs) => rs
+                .leaf_iter()
+                .filter(|n| {
+                    *n != primary && !self.overlay.is_crashed(*n) && self.nodes.contains_key(&n.0)
+                })
+                .take(want)
+                .collect(),
+            None => Vec::new(),
+        };
+        if targets.is_empty() {
+            return 0;
+        }
+        for t in &targets {
+            let tn = self.nodes.get_mut(&t.0).expect("target checked live");
+            tn.replicas.insert(object, (credit, root));
+            self.ledger.overlay_messages += 1; // replica transfer
+        }
+        let made = targets.len().min(u32::MAX as usize) as u32;
+        let prev = self
+            .nodes
+            .get_mut(&root.0)
+            .expect("root is live")
+            .replicated_to
+            .insert(object, targets);
+        debug_assert!(prev.is_none(), "replica set created twice for the same object");
+        made
     }
 
     /// Resolves which node actually holds `object`, given its DHT root:
@@ -467,12 +649,12 @@ impl P2PClientCache {
     }
 
     /// The DHT root `object` would route to — the live node numerically
-    /// closest to its objectId. Read-only: no routing messages are
-    /// simulated and no state changes, so tests and diagnostics can group
-    /// objects by root without cloning the whole cache and probing it
-    /// with [`destage`](Self::destage).
-    pub fn root_of(&self, object: u128) -> NodeId {
-        self.overlay.owner_of(object_key(object)).expect("cluster is non-empty")
+    /// closest to its objectId, or `None` once the cluster is empty.
+    /// Read-only: no routing messages are simulated and no state changes,
+    /// so tests and diagnostics can group objects by root without cloning
+    /// the whole cache and probing it with [`destage`](Self::destage).
+    pub fn root_of(&self, object: u128) -> Option<NodeId> {
+        self.overlay.owner_of(object_key(object))
     }
 
     /// Fetches `object` for local client `client`: the proxy redirected
@@ -496,7 +678,10 @@ impl P2PClientCache {
         sink: &mut S,
     ) -> Option<FetchOutcome> {
         self.ledger.lookups += 1;
-        let from = self.node_for_client(client);
+        if self.fault_mode() {
+            return self.fetch_churn(client, object, hit_cost, sink);
+        }
+        let from = self.entry_for_client(client)?;
         let (root, hops) = self.route_to_root(from, object, true);
         match self.holder_of(root, object) {
             Some(holder) => {
@@ -514,17 +699,21 @@ impl P2PClientCache {
                 Some(FetchOutcome { holder, hops })
             }
             None => {
-                self.ledger.stale_lookups += 1;
-                // Negative feedback keeps an exact directory exact.
-                self.directory.remove(object);
-                if S::ENABLED {
-                    sink.event(P2pEvent::Lookup {
-                        hops: hops.min(u16::MAX as usize) as u16,
-                        stale: true,
-                    });
-                }
+                self.stale_miss(object, hops, sink);
                 None
             }
+        }
+    }
+
+    /// The shared stale-lookup tail: the directory approved the fetch but
+    /// nothing could serve it. Charges the ledger, removes the entry
+    /// (negative feedback keeps an exact directory exact), and emits the
+    /// stale [`P2pEvent::Lookup`].
+    fn stale_miss<S: P2pSink>(&mut self, object: u128, hops: usize, sink: &mut S) {
+        self.ledger.stale_lookups += 1;
+        self.directory.remove(object);
+        if S::ENABLED {
+            sink.event(P2pEvent::Lookup { hops: hops.min(u16::MAX as usize) as u16, stale: true });
         }
     }
 
@@ -556,61 +745,837 @@ impl P2PClientCache {
         Some(outcome)
     }
 
-    /// Simulates a client machine failing: its cache contents are lost
-    /// and the overlay repairs itself. Directory entries for lost objects
-    /// are flushed (the proxy learns of the failure by timeout).
-    ///
-    /// # Panics
-    /// Panics if `id` is not a cluster member or the cluster has a single
-    /// node.
-    pub fn fail_node(&mut self, id: NodeId) {
+    // ------------------------------------------------------------------
+    // Fault-injection machinery: silent crashes, lazy detection, replica
+    // promotion, and the liveness-aware request paths.
+    // ------------------------------------------------------------------
+
+    /// Crashes a node *silently*: the machine vanishes but nothing is
+    /// announced. Peers' leaf sets, the proxy's lookup directory, and the
+    /// p2p bookkeeping all keep stale references until some message walks
+    /// into the corpse and times out ([`P2pEvent::TimeoutDetected`]).
+    pub fn crash_node(&mut self, id: NodeId) -> Result<(), P2pError> {
+        self.crash_node_tap(id, &mut NoSink)
+    }
+
+    /// [`crash_node`](Self::crash_node) with an observability sink: emits
+    /// one [`P2pEvent::NodeCrashed`].
+    pub fn crash_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) -> Result<(), P2pError> {
+        self.overlay.crash(id)?;
+        if S::ENABLED {
+            let at_risk =
+                self.nodes.get(&id.0).map_or(0, |n| n.store.len().min(u32::MAX as usize) as u32);
+            sink.event(P2pEvent::NodeCrashed { objects_at_risk: at_risk });
+        }
+        Ok(())
+    }
+
+    /// A node leaves *gracefully*: it announces its departure, hands every
+    /// resident object to its new root (carrying the greedy-dual credit),
+    /// rewires diversion pointers for objects it rooted elsewhere, and
+    /// only then disconnects. Nothing is lost unless the cluster empties.
+    pub fn depart_node(&mut self, id: NodeId) -> Result<(), P2pError> {
+        self.depart_node_tap(id, &mut NoSink)
+    }
+
+    /// [`depart_node`](Self::depart_node) with an observability sink:
+    /// emits one [`P2pEvent::NodeDeparted`] carrying the hand-off count.
+    pub fn depart_node_tap<S: P2pSink>(
+        &mut self,
+        id: NodeId,
+        sink: &mut S,
+    ) -> Result<(), P2pError> {
+        if self.overlay.is_crashed(id) {
+            return Err(P2pError::AlreadyCrashed(id));
+        }
+        let Some(node) = self.nodes.remove(&id.0) else {
+            return Err(P2pError::UnknownNode(id));
+        };
+        self.overlay.fail(id).expect("overlay membership mirrors the node map");
+        self.route_memo.clear();
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_slow(id);
+        }
+        self.remap_clients_away_from(id);
+        // Replica copies hosted on the departing node: unlink from roots.
+        self.unlink_replicas_hosted_by(&node);
+        // Hand every primary to its post-departure root.
+        let mut handed = 0u32;
+        for obj in node.store.keys() {
+            let credit = node.store.h_value(obj).expect("key is resident");
+            let owner = node.hosted_for.get(&obj).copied();
+            if let Some(o) = owner {
+                if let Some(on) = self.nodes.get_mut(&o.0) {
+                    on.diverted_to.remove(&obj);
+                }
+            }
+            // Hand-off re-replicates fresh at the new root, so consume the
+            // old copies.
+            let hosts = self.take_replica_set(&node, owner, obj);
+            for h in hosts {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(&obj);
+                }
+            }
+            match self.root_of(obj) {
+                None => {
+                    // Every remaining node is crashed or gone.
+                    self.resident -= 1;
+                    self.directory.remove(obj);
+                }
+                Some(nr) => {
+                    self.ledger.overlay_messages += 1; // hand-off transfer
+                    let evicted = {
+                        let nn = self.nodes.get_mut(&nr.0).expect("new root is live");
+                        nn.store.insert_with_cost(obj, credit, 1.0)
+                    };
+                    if let Some(ev) = evicted {
+                        self.on_node_eviction(nr, ev, sink);
+                        self.directory.remove(ev);
+                    }
+                    handed += 1;
+                    self.make_replicas(obj, nr, nr, credit);
+                }
+            }
+        }
+        // Objects the departing node rooted but had diverted elsewhere:
+        // the primaries survive at their hosts; rewire the pointers.
+        self.rehome_diverted(&node);
+        if self.nodes.is_empty() {
+            self.directory.clear();
+            self.limbo.clear();
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::NodeDeparted { objects_handed_off: handed });
+        }
+        Ok(())
+    }
+
+    /// A timed-out message: one latency penalty for the request in flight,
+    /// one ledger tick, one event.
+    fn note_timeout<S: P2pSink>(&mut self, dead_node: bool, sink: &mut S) {
+        self.ledger.timeouts += 1;
+        self.fault_penalties += 1;
+        if S::ENABLED {
+            sink.event(P2pEvent::TimeoutDetected { dead_node });
+        }
+    }
+
+    /// A crashed node has been detected: repair the overlay (if the walk
+    /// that found it has not already) and reclaim the p2p bookkeeping.
+    fn detect_crash<S: P2pSink>(&mut self, dead: NodeId, sink: &mut S) {
+        if self.overlay.is_crashed(dead) {
+            let _ = self.overlay.fail(dead);
+        }
+        self.reclaim_node_state(dead, sink);
+    }
+
+    /// Reclaims the *membership* state of a detected crash — and only
+    /// that, eagerly: the corpse leaves the node map, routes are
+    /// invalidated, its clients are remapped, pointers it rooted are
+    /// rewired. Its resident objects park in [`limbo`](Self::limbo) with
+    /// their surviving replica sets; each is repaired lazily by the first
+    /// fetch that walks into its stale directory entry
+    /// ([`resolve_limbo`](Self::resolve_limbo)). Objects with no
+    /// surviving copy are counted lost now (they cannot come back), but
+    /// the proxy only learns when it next asks. Emits
+    /// [`P2pEvent::NodeFailed`] with that lost count.
+    fn reclaim_node_state<S: P2pSink>(&mut self, dead: NodeId, sink: &mut S) {
+        let Some(node) = self.nodes.remove(&dead.0) else {
+            // Already reclaimed (two walks can detect the same crash).
+            return;
+        };
+        self.route_memo.clear();
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_slow(dead);
+        }
+        let mut objects_lost = 0u32;
+        // Primaries stored on the corpse: park in limbo. The root that
+        // detected the crash drops its pointer; the directory entry
+        // deliberately stays stale (nobody told the proxy).
+        for obj in node.store.keys() {
+            let owner = node.hosted_for.get(&obj).copied();
+            if let Some(o) = owner {
+                if let Some(on) = self.nodes.get_mut(&o.0) {
+                    on.diverted_to.remove(&obj);
+                }
+            }
+            let hosts = self.take_replica_set(&node, owner, obj);
+            if hosts.is_empty() {
+                objects_lost += 1;
+            }
+            self.resident -= 1;
+            self.limbo.insert(obj, hosts);
+        }
+        // Replica copies the corpse hosted: unlink from their roots.
+        self.unlink_replicas_hosted_by(&node);
+        // Objects the corpse rooted but had diverted to other hosts.
+        objects_lost += self.rehome_diverted(&node);
+        self.remap_clients_away_from(dead);
+        if self.nodes.is_empty() {
+            self.directory.clear();
+            self.limbo.clear();
+            debug_assert_eq!(self.resident, 0);
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::NodeFailed { objects_lost });
+        }
+    }
+
+    /// Takes the replica set for `obj` whose primary sat on the removed
+    /// `node`: tracked on `node` itself when it was the root, or on the
+    /// (possibly still-live) `owner` root when the object was diverted in.
+    fn take_replica_set(
+        &mut self,
+        node: &ClientCacheNode,
+        owner: Option<NodeId>,
+        obj: u128,
+    ) -> Vec<NodeId> {
+        match owner {
+            None => node.replicated_to.get(&obj).cloned().unwrap_or_default(),
+            Some(o) => self
+                .nodes
+                .get_mut(&o.0)
+                .and_then(|on| on.replicated_to.remove(&obj))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Unlinks every replica copy hosted by the removed `node` from the
+    /// roots that tracked it.
+    fn unlink_replicas_hosted_by(&mut self, node: &ClientCacheNode) {
+        for (obj, (_credit, root)) in &node.replicas {
+            if let Some(rn) = self.nodes.get_mut(&root.0) {
+                if let Some(hs) = rn.replicated_to.get_mut(obj) {
+                    hs.retain(|h| *h != node.id);
+                    if hs.is_empty() {
+                        rn.replicated_to.remove(obj);
+                    }
+                }
+            }
+        }
+    }
+
+    /// For each object the removed `node` rooted but had diverted to a
+    /// host: if the host still lives the primary survives — rewire the
+    /// pointer to the object's new root and keep the replica tracking; if
+    /// the host is gone too, promote a replica or lose the object.
+    /// Returns the number of objects lost.
+    fn rehome_diverted(&mut self, node: &ClientCacheNode) -> u32 {
+        let mut objects_lost = 0u32;
+        for (obj, host) in &node.diverted_to {
+            let hosts = node.replicated_to.get(obj).cloned().unwrap_or_default();
+            let host_live = !self.overlay.is_crashed(*host) && self.nodes.contains_key(&host.0);
+            if host_live {
+                let nr = self.root_of(*obj).expect("host is live, so the overlay is non-empty");
+                if nr == *host {
+                    self.nodes.get_mut(&host.0).expect("live").hosted_for.remove(obj);
+                } else {
+                    self.nodes.get_mut(&host.0).expect("live").hosted_for.insert(*obj, nr);
+                    self.nodes.get_mut(&nr.0).expect("live").diverted_to.insert(*obj, *host);
+                    self.ledger.overlay_messages += 1; // pointer repair
+                }
+                // A stale fetch between the crash and this detection may
+                // have flushed the directory entry.
+                if !self.directory.contains(*obj) {
+                    self.directory.insert(*obj);
+                }
+                if !hosts.is_empty() {
+                    // Move the replica tracking to the new root and retag
+                    // each copy.
+                    for h in &hosts {
+                        if let Some(hn) = self.nodes.get_mut(&h.0) {
+                            if let Some(e) = hn.replicas.get_mut(obj) {
+                                e.1 = nr;
+                            }
+                        }
+                    }
+                    self.nodes.get_mut(&nr.0).expect("live").replicated_to.insert(*obj, hosts);
+                }
+            } else {
+                // The primary died with its (also crashed / gone) host.
+                let had_primary = match self.nodes.get_mut(&host.0) {
+                    Some(hn) => {
+                        let removed = hn.store.remove(*obj);
+                        hn.hosted_for.remove(obj);
+                        removed
+                    }
+                    // Host already reclaimed: the object was fully handled
+                    // (promoted or lost) when the host went.
+                    None => continue,
+                };
+                if had_primary {
+                    // The primary died with its (also crashed) host: park
+                    // in limbo like any other crash casualty — the stale
+                    // directory entry waits for the next fetch.
+                    self.resident -= 1;
+                    if hosts.is_empty() {
+                        objects_lost += 1;
+                    }
+                    self.limbo.insert(*obj, hosts);
+                } else {
+                    // Dangling pointer (should not happen): just consume
+                    // any replica bookkeeping.
+                    for h in hosts {
+                        if let Some(hn) = self.nodes.get_mut(&h.0) {
+                            hn.replicas.remove(obj);
+                        }
+                    }
+                    self.directory.remove(*obj);
+                }
+            }
+        }
+        objects_lost
+    }
+
+    /// Promotes the first live replica of `object` to a primary, rewires
+    /// the diversion pointer from its new root, and restores the
+    /// replication factor ([`P2pEvent::Rereplicated`]). All old replica
+    /// entries are consumed. Returns the promoted holder, or `None` when
+    /// no live replica exists — the caller then accounts the object as
+    /// lost.
+    fn promote_or_lose<S: P2pSink>(
+        &mut self,
+        object: u128,
+        hosts: Vec<NodeId>,
+        sink: &mut S,
+    ) -> Option<NodeId> {
+        let mut chosen: Option<(NodeId, f64)> = None;
+        for h in hosts {
+            let crashed = self.overlay.is_crashed(h);
+            let Some(hn) = self.nodes.get_mut(&h.0) else { continue };
+            let Some((credit, _root)) = hn.replicas.remove(&object) else { continue };
+            if !crashed && chosen.is_none() {
+                chosen = Some((h, credit));
+            }
+        }
+        let (h, credit) = chosen?;
+        let evicted = {
+            let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
+            hn.store.insert_with_cost(object, credit, 1.0)
+        };
+        if let Some(ev) = evicted {
+            self.on_node_eviction(h, ev, sink);
+            self.directory.remove(ev);
+        }
+        let new_root = self.root_of(object).unwrap_or(h);
+        if new_root != h {
+            self.nodes.get_mut(&new_root.0).expect("root is live").diverted_to.insert(object, h);
+            self.nodes.get_mut(&h.0).expect("live").hosted_for.insert(object, new_root);
+            self.ledger.overlay_messages += 1; // pointer update
+        }
+        self.ledger.overlay_messages += 1; // promotion transfer
+                                           // A stale fetch between the crash and this detection may have
+                                           // flushed the directory entry; the object is reachable again.
+        if !self.directory.contains(object) {
+            self.directory.insert(object);
+        }
+        let copies = self.make_replicas(object, new_root, h, credit);
+        self.ledger.rereplications += 1;
+        if S::ENABLED {
+            sink.event(P2pEvent::Rereplicated { copies });
+        }
+        Some(h)
+    }
+
+    /// Remaps clients whose entry node is `dead` to some surviving node
+    /// (preferring live ones; a crashed-but-undetected fallback will be
+    /// detected on first use). Clears the mapping when nobody is left.
+    fn remap_clients_away_from(&mut self, dead: NodeId) {
+        if self.node_of_client.iter().all(|s| *s != dead) {
+            return;
+        }
+        let fallback = self.overlay.node_ids().next().or_else(|| self.overlay.crashed_ids().next());
+        match fallback {
+            Some(f) => {
+                for slot in &mut self.node_of_client {
+                    if *slot == dead {
+                        *slot = f;
+                    }
+                }
+            }
+            None => self.node_of_client.clear(),
+        }
+    }
+
+    /// Resolves a live entry node for `client`, paying a timeout (and
+    /// triggering detection) for every crashed entry found on the way.
+    /// `None` once the cluster is exhausted.
+    fn live_entry<S: P2pSink>(&mut self, client: u32, sink: &mut S) -> Option<NodeId> {
+        loop {
+            let e = self.entry_for_client(client)?;
+            if self.overlay.is_crashed(e) {
+                // The client's own cache machine is dead: the proxy times
+                // out on it, detection kicks in, and the client is remapped.
+                self.note_timeout(true, sink);
+                self.detect_crash(e, sink);
+                continue;
+            }
+            if !self.overlay.contains(e) {
+                // Mapping points at a node that vanished entirely
+                // (defensive); remap without a timeout.
+                self.remap_clients_away_from(e);
+                if self.entry_for_client(client) == Some(e) {
+                    return None;
+                }
+                continue;
+            }
+            return Some(e);
+        }
+    }
+
+    /// Walks the overlay with liveness detection and message loss,
+    /// charging hops, timeouts, and detections, and reclaiming whatever
+    /// the walk discovered. Returns the surviving destination root and
+    /// the hop count.
+    fn route_churn<S: P2pSink>(
+        &mut self,
+        entry: NodeId,
+        object: u128,
+        sink: &mut S,
+    ) -> (NodeId, usize) {
+        let cr = {
+            let mut lose_src = self.faults.as_mut();
+            self.overlay.route_detecting(entry, object_key(object), move || {
+                lose_src.as_deref_mut().is_some_and(NetFaults::lose)
+            })
+        }
+        .expect("entry node is live");
+        self.ledger.overlay_messages += cr.hops as u64;
+        let detections = cr.detected.len();
+        for _ in 0..detections {
+            self.note_timeout(true, sink);
+        }
+        for _ in 0..cr.timeouts.saturating_sub(detections) {
+            self.note_timeout(false, sink);
+        }
+        for d in &cr.detected {
+            self.detect_crash(*d, sink);
+        }
+        (cr.destination, cr.hops)
+    }
+
+    /// The liveness-aware fetch path (fault mode): routes with detection,
+    /// survives stale diversion pointers via replica promotion, and
+    /// degrades to `None` (proxy → server fallback) when the object is
+    /// truly gone.
+    fn fetch_churn<S: P2pSink>(
+        &mut self,
+        client: u32,
+        object: u128,
+        hit_cost: f64,
+        sink: &mut S,
+    ) -> Option<FetchOutcome> {
+        let entry = self.live_entry(client, sink)?;
+        let (root, hops) = self.route_churn(entry, object, sink);
+        match self.holder_of(root, object) {
+            Some(holder) if !self.overlay.is_crashed(holder) => {
+                Some(self.serve_from(holder, root, hops, object, hit_cost, sink))
+            }
+            Some(holder) => {
+                // The root's diversion pointer targets a silently dead
+                // host. Detection parks the corpse's objects in limbo;
+                // the limbo retry pays the stale-hit timeout and promotes
+                // this object's replica (or gives up and degrades).
+                self.detect_crash(holder, sink);
+                match self.resolve_limbo(root, object, hops, hit_cost, sink) {
+                    Some(outcome) => outcome,
+                    None => {
+                        // Defensive: the pointer dangled with no limbo
+                        // entry (corpse reclaimed out from under it).
+                        self.stale_miss(object, hops, sink);
+                        None
+                    }
+                }
+            }
+            None => match self.resolve_limbo(root, object, hops, hit_cost, sink) {
+                Some(outcome) => outcome,
+                None => {
+                    // The root knows nothing — either a plain stale
+                    // lookup, or an orphaned replica survives in the
+                    // leaf set.
+                    if let Some(rescued) = self.replica_rescue(root, object, sink) {
+                        self.ledger.stale_hits += 1;
+                        if S::ENABLED {
+                            sink.event(P2pEvent::StaleDirectoryHit { replica_served: true });
+                        }
+                        Some(self.serve_from(rescued, root, hops, object, hit_cost, sink))
+                    } else {
+                        self.stale_miss(object, hops, sink);
+                        None
+                    }
+                }
+            },
+        }
+    }
+
+    /// The stale-directory retry path: `object`'s primary died with an
+    /// already-detected crash and is parked in limbo. The directory (and
+    /// the root's records) still named the dead holder, so the contact
+    /// times out — the cost of lazy repair — then the leaf-set replicas
+    /// are tried in order. A surviving copy is promoted back to primary,
+    /// restoring the replication factor; with none left the stale entry
+    /// is flushed and the caller degrades to the proxy → server path.
+    /// Outer `None` means `object` was not in limbo at all.
+    fn resolve_limbo<S: P2pSink>(
+        &mut self,
+        root: NodeId,
+        object: u128,
+        hops: usize,
+        hit_cost: f64,
+        sink: &mut S,
+    ) -> Option<Option<FetchOutcome>> {
+        let hosts = self.limbo.remove(&object)?;
+        self.note_timeout(true, sink);
+        self.ledger.stale_hits += 1;
+        match self.promote_or_lose(object, hosts, sink) {
+            Some(holder) => {
+                self.resident += 1; // the object is reachable again
+                if S::ENABLED {
+                    sink.event(P2pEvent::StaleDirectoryHit { replica_served: true });
+                }
+                Some(Some(self.serve_from(holder, root, hops, object, hit_cost, sink)))
+            }
+            None => {
+                if S::ENABLED {
+                    sink.event(P2pEvent::StaleDirectoryHit { replica_served: false });
+                }
+                self.stale_miss(object, hops, sink);
+                Some(None)
+            }
+        }
+    }
+
+    /// A fresh copy of `object` is entering the cluster: any limbo state
+    /// a crash left behind is superseded — drop the parked replica set
+    /// and the copies it names.
+    fn forget_limbo(&mut self, object: u128) {
+        if let Some(hosts) = self.limbo.remove(&object) {
+            for h in hosts {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(&object);
+                }
+            }
+        }
+    }
+
+    /// Serves `object` from `holder`, charging the diversion-pointer hop
+    /// and a slow-node stall when applicable.
+    fn serve_from<S: P2pSink>(
+        &mut self,
+        holder: NodeId,
+        root: NodeId,
+        base_hops: usize,
+        object: u128,
+        hit_cost: f64,
+        sink: &mut S,
+    ) -> FetchOutcome {
+        let extra = usize::from(holder != root);
+        self.ledger.overlay_messages += extra as u64;
+        let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
+        hn.store.touch_with_cost(object, hit_cost, 1.0);
+        if self.faults.as_ref().is_some_and(|f| f.is_slow(holder)) {
+            self.note_timeout(false, sink);
+        }
+        let hops = base_hops + extra;
+        if S::ENABLED {
+            sink.event(P2pEvent::Lookup { hops: hops.min(u16::MAX as usize) as u16, stale: false });
+        }
+        FetchOutcome { holder, hops }
+    }
+
+    /// Last-resort probe of the root's leaf set for a surviving replica
+    /// (or stray primary) of `object` — the belt-and-braces path for
+    /// copies whose tracking is buried on a crashed-but-undetected old
+    /// root. Probing a crashed member times out and triggers detection
+    /// (whose reclaim promotes tracked replicas properly); a true orphan
+    /// is promoted directly under `root`. Only meaningful when k > 1.
+    fn replica_rescue<S: P2pSink>(
+        &mut self,
+        root: NodeId,
+        object: u128,
+        sink: &mut S,
+    ) -> Option<NodeId> {
+        if self.cfg.replication <= 1 {
+            return None;
+        }
+        let members: Vec<NodeId> = self.overlay.state(root)?.leaf_iter().collect();
+        for m in members {
+            if self.overlay.is_crashed(m) {
+                self.note_timeout(true, sink);
+                self.detect_crash(m, sink);
+                // Detection may have promoted the object straight back
+                // under its root.
+                if let Some(h) = self.holder_of(root, object) {
+                    if !self.overlay.is_crashed(h) {
+                        return Some(h);
+                    }
+                }
+                continue;
+            }
+            let Some(mn) = self.nodes.get(&m.0) else { continue };
+            self.ledger.overlay_messages += 1; // probe
+            if mn.store.contains(object) {
+                // A stray primary whose old root died before detection:
+                // rewire the pointer from the current root.
+                self.nodes.get_mut(&m.0).expect("live").hosted_for.insert(object, root);
+                self.nodes.get_mut(&root.0).expect("live").diverted_to.insert(object, m);
+                if !self.directory.contains(object) {
+                    self.directory.insert(object);
+                }
+                self.ledger.overlay_messages += 1;
+                return Some(m);
+            }
+            let Some(&(credit, r)) = mn.replicas.get(&object) else { continue };
+            if self.nodes.contains_key(&r.0) {
+                // The tracking root still has state. It must have crashed
+                // (a live root would have answered the routed lookup);
+                // detect it and let the reclaim promote the replica with
+                // full bookkeeping.
+                if self.overlay.is_crashed(r) {
+                    self.note_timeout(true, sink);
+                    self.detect_crash(r, sink);
+                    if let Some(h) = self.holder_of(root, object) {
+                        if !self.overlay.is_crashed(h) {
+                            return Some(h);
+                        }
+                    }
+                }
+                continue;
+            }
+            // True orphan: the tracking died with its root, and the object
+            // was accounted lost. Promote this copy under `root`.
+            self.nodes.get_mut(&m.0).expect("live").replicas.remove(&object);
+            let evicted = {
+                let mn = self.nodes.get_mut(&m.0).expect("live");
+                mn.store.insert_with_cost(object, credit, 1.0)
+            };
+            if let Some(ev) = evicted {
+                self.on_node_eviction(m, ev, sink);
+                self.directory.remove(ev);
+            }
+            self.resident += 1; // the object is reachable again
+            self.nodes.get_mut(&root.0).expect("live").diverted_to.insert(object, m);
+            self.nodes.get_mut(&m.0).expect("live").hosted_for.insert(object, root);
+            if !self.directory.contains(object) {
+                self.directory.insert(object);
+            }
+            self.ledger.overlay_messages += 1;
+            self.ledger.rereplications += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::Rereplicated { copies: 0 });
+            }
+            return Some(m);
+        }
+        None
+    }
+
+    /// The liveness-aware destage path (fault mode): mirrors
+    /// [`destage_inner`](Self::destage_inner) but routes with detection
+    /// and never hands an object to a dead node.
+    fn destage_churn<S: P2pSink>(
+        &mut self,
+        object: u128,
+        cost: f64,
+        via_client: Option<u32>,
+        sink: &mut S,
+    ) -> Option<DestageOutcome> {
+        let entry = self.live_entry(via_client.unwrap_or(0), sink)?;
+        match via_client {
+            Some(_) => self.ledger.piggybacked_objects += 1,
+            None => {
+                self.ledger.direct_destages += 1;
+                self.ledger.new_connections += 1;
+            }
+        }
+        let (root, hops) = self.route_churn(entry, object, sink);
+
+        // Refresh path, surviving a stale pointer to a dead holder.
+        match self.holder_of(root, object) {
+            Some(h) if !self.overlay.is_crashed(h) => {
+                self.nodes
+                    .get_mut(&h.0)
+                    .expect("holder is live")
+                    .store
+                    .touch_with_cost(object, cost, 1.0);
+                return Some(DestageOutcome {
+                    root,
+                    stored_at: h,
+                    evicted: None,
+                    hops,
+                    refreshed: true,
+                });
+            }
+            Some(h) => {
+                self.note_timeout(true, sink);
+                self.detect_crash(h, sink);
+                // Fall through to a fresh store: the incoming copy
+                // supersedes whatever the corpse held (limbo state is
+                // dropped just below).
+            }
+            None => {}
+        }
+
+        // The fresh copy supersedes any limbo state a crash left behind
+        // (either pre-existing or created by the detection just above).
+        self.forget_limbo(object);
+
+        // Fresh store at the root.
+        if self.nodes.get(&root.0).expect("root is live").has_free_space() {
+            let rn = self.nodes.get_mut(&root.0).expect("root is live");
+            let evicted = rn.store.insert_with_cost(object, cost, 1.0);
+            debug_assert!(evicted.is_none());
+            self.resident += 1;
+            self.directory.insert(object);
+            self.ledger.store_receipts += 1;
+            self.make_replicas(object, root, root, cost);
+            return Some(DestageOutcome {
+                root,
+                stored_at: root,
+                evicted: None,
+                hops,
+                refreshed: false,
+            });
+        }
+
+        // Diversion — the root's (possibly stale) leaf-set knowledge can
+        // pick a crashed neighbor: the transfer times out, detection
+        // repairs, and the root retries with fresher knowledge.
+        if self.cfg.diversion {
+            loop {
+                let cand =
+                    self.overlay.state(root).expect("root is live").leaf_iter().find(|n| {
+                        self.nodes.get(&n.0).is_some_and(ClientCacheNode::has_free_space)
+                    });
+                let Some(b) = cand else { break };
+                if self.overlay.is_crashed(b) {
+                    self.note_timeout(true, sink);
+                    self.detect_crash(b, sink);
+                    continue;
+                }
+                let bn = self.nodes.get_mut(&b.0).expect("leaf member is live");
+                let evicted = bn.store.insert_with_cost(object, cost, 1.0);
+                debug_assert!(evicted.is_none());
+                bn.hosted_for.insert(object, root);
+                let rn = self.nodes.get_mut(&root.0).expect("root is live");
+                rn.diverted_to.insert(object, b);
+                self.resident += 1;
+                self.directory.insert(object);
+                self.ledger.diversions += 1;
+                self.ledger.store_receipts += 1;
+                self.ledger.overlay_messages += 2; // A→B transfer + ack
+                self.make_replicas(object, root, b, cost);
+                return Some(DestageOutcome {
+                    root,
+                    stored_at: b,
+                    evicted: None,
+                    hops,
+                    refreshed: false,
+                });
+            }
+        }
+
+        // Replace at the root.
+        let rn = self.nodes.get_mut(&root.0).expect("root is live");
+        let evicted = rn.store.insert_with_cost(object, cost, 1.0);
+        let evicted = evicted.expect("full store must evict");
+        self.on_node_eviction(root, evicted, sink);
+        self.resident += 1;
+        self.directory.insert(object);
+        self.directory.remove(evicted);
+        self.ledger.store_receipts += 1;
+        self.make_replicas(object, root, root, cost);
+        Some(DestageOutcome {
+            root,
+            stored_at: root,
+            evicted: Some(evicted),
+            hops,
+            refreshed: false,
+        })
+    }
+
+    /// Simulates a client machine failing with an *announced* failure:
+    /// its cache contents are lost and the overlay repairs immediately.
+    /// Directory entries for lost objects are flushed (the proxy learns
+    /// of the failure by timeout). Unknown ids return a typed error
+    /// instead of panicking, and failing the last node empties the
+    /// cluster cleanly.
+    pub fn fail_node(&mut self, id: NodeId) -> Result<(), P2pError> {
         self.fail_node_tap(id, &mut NoSink)
     }
 
     /// [`fail_node`](Self::fail_node) with an observability sink: emits
     /// one [`P2pEvent::NodeFailed`] carrying the number of objects lost.
-    pub fn fail_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) {
-        assert!(self.nodes.len() > 1, "cannot fail the last client cache");
-        let node = self.nodes.remove(&id.0).unwrap_or_else(|| panic!("{id} is not a member"));
+    pub fn fail_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) -> Result<(), P2pError> {
+        let Some(node) = self.nodes.remove(&id.0) else {
+            return Err(P2pError::UnknownNode(id));
+        };
         let mut objects_lost = 0u32;
-        // Objects stored here are gone. `node` is owned (already removed
-        // from the map), so its store can be walked in heap order without
-        // snapshotting the keys into a Vec first.
+        // Objects stored here are gone (announced failure loses state; it
+        // is detection via `crash_node` that rescues replicas). `node` is
+        // owned (already removed from the map), so its store can be walked
+        // in heap order without snapshotting the keys into a Vec first.
         for obj in node.store.keys() {
             self.resident -= 1;
             objects_lost += 1;
             self.directory.remove(obj);
-            if let Some(owner) = node.hosted_for.get(&obj) {
-                if let Some(on) = self.nodes.get_mut(&owner.0) {
+            let owner = node.hosted_for.get(&obj).copied();
+            if let Some(o) = owner {
+                if let Some(on) = self.nodes.get_mut(&o.0) {
                     on.diverted_to.remove(&obj);
                 }
             }
+            // The primary is lost, so its replica copies are dead weight.
+            let hosts = self.take_replica_set(&node, owner, obj);
+            for h in hosts {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(&obj);
+                }
+            }
         }
+        // Replica copies this node hosted: unlink from their roots.
+        self.unlink_replicas_hosted_by(&node);
         // Objects this node had diverted elsewhere lose their pointers
         // with the node, making them unreachable; drop them from their
         // hosts and the directory.
-        for (obj, host) in node.diverted_to {
-            self.directory.remove(obj);
+        for (obj, host) in &node.diverted_to {
+            self.directory.remove(*obj);
             if let Some(hn) = self.nodes.get_mut(&host.0) {
-                if hn.store.remove(obj) {
+                if hn.store.remove(*obj) {
                     self.resident -= 1;
                     objects_lost += 1;
                 }
-                hn.hosted_for.remove(&obj);
+                hn.hosted_for.remove(obj);
+            }
+            for h in node.replicated_to.get(obj).cloned().unwrap_or_default() {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(obj);
+                }
             }
         }
         if S::ENABLED {
             sink.event(P2pEvent::NodeFailed { objects_lost });
         }
-        self.overlay.fail(id);
+        // An announced failure also covers a node that had silently
+        // crashed earlier (operator removes a corpse): `Overlay::fail`
+        // accepts both live and crashed members.
+        self.overlay.fail(id).expect("overlay membership mirrors the node map");
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_slow(id);
+        }
         // Membership changed: every memoized route may now be wrong.
         self.route_memo.clear();
-        // Remap clients that entered through the failed node.
-        for slot in &mut self.node_of_client {
-            if *slot == id {
-                *slot = NodeId(*self.nodes.keys().next().expect("cluster non-empty"));
-            }
+        if self.nodes.is_empty() {
+            // Last node gone: no entry points remain and exact remove
+            // pairing is impossible, so flush wholesale.
+            self.node_of_client.clear();
+            self.directory.clear();
+            self.limbo.clear();
+            debug_assert_eq!(self.resident, 0);
+        } else {
+            self.remap_clients_away_from(id);
         }
+        Ok(())
     }
 
     /// Joins a new client cache to the cluster mid-run (churn). The new
@@ -641,11 +1606,13 @@ impl P2PClientCache {
         // their greedy-dual credit along as the insertion cost.
         let mut moves: Vec<(NodeId, u128, f64)> = Vec::new();
         for node in self.nodes.values() {
-            if node.id == id {
+            // Crashed-but-undetected nodes cannot take part in migration:
+            // their contents surface (or die) at detection time.
+            if node.id == id || self.overlay.is_crashed(node.id) {
                 continue;
             }
             for obj in node.store.keys() {
-                if self.root_of(obj) == id {
+                if self.root_of(obj) == Some(id) {
                     let credit = node.store.h_value(obj).expect("key is resident");
                     moves.push((node.id, obj, credit));
                 }
@@ -663,6 +1630,19 @@ impl P2PClientCache {
                     on.diverted_to.remove(&obj);
                 }
             }
+            // The migrated primary gets a fresh replica set at the new
+            // root; consume the old copies.
+            let root_old = owner.unwrap_or(holder);
+            let hosts = self
+                .nodes
+                .get_mut(&root_old.0)
+                .and_then(|rn| rn.replicated_to.remove(&obj))
+                .unwrap_or_default();
+            for h in hosts {
+                if let Some(hn) = self.nodes.get_mut(&h.0) {
+                    hn.replicas.remove(&obj);
+                }
+            }
             self.resident -= 1;
             self.ledger.overlay_messages += 1; // hand-off to the new root
             let nn = self.nodes.get_mut(&id.0).expect("newcomer is live");
@@ -671,6 +1651,7 @@ impl P2PClientCache {
                 self.directory.remove(evicted);
             }
             self.resident += 1;
+            self.make_replicas(obj, id, id, credit);
         }
         if S::ENABLED {
             sink.event(P2pEvent::NodeJoined { objects_migrated });
@@ -706,15 +1687,58 @@ impl P2PClientCache {
                     )),
                 }
             }
+            for (obj, hosts) in &node.replicated_to {
+                if self.holder_of(node.id, *obj).is_none() {
+                    problems.push(format!(
+                        "replica set for {obj:032x} tracked at {} but object not resident there",
+                        node.id
+                    ));
+                }
+                for h in hosts {
+                    match self.nodes.get(&h.0) {
+                        Some(hn) if hn.replicas.contains_key(obj) => {}
+                        _ => problems.push(format!(
+                            "replica of {obj:032x} claimed at {h} but host has no copy"
+                        )),
+                    }
+                }
+            }
+            for (obj, (_credit, root)) in &node.replicas {
+                if self.limbo.contains_key(obj) {
+                    // Orphaned copy of a crash casualty awaiting lazy
+                    // repair: its tracking root died with the primary.
+                    continue;
+                }
+                match self.nodes.get(&root.0) {
+                    Some(rn)
+                        if rn.replicated_to.get(obj).is_some_and(|hs| hs.contains(&node.id)) => {}
+                    _ => problems.push(format!(
+                        "replica of {obj:032x} at {} not tracked by root {root}",
+                        node.id
+                    )),
+                }
+            }
         }
         if count != self.resident {
             problems.push(format!("resident count {} != actual {count}", self.resident));
         }
+        for obj in self.limbo.keys() {
+            // Lazy repair means the stale directory entry must survive
+            // until a fetch or fresh destage resolves it; and a limbo
+            // object can never be resident at the same time.
+            if !self.directory.contains(*obj) {
+                problems.push(format!("limbo object {obj:032x} missing its stale entry"));
+            }
+            if self.root_of(*obj).and_then(|r| self.holder_of(r, *obj)).is_some() {
+                problems.push(format!("limbo object {obj:032x} is also resident"));
+            }
+        }
         if let LookupDirectory::Exact(set) = &self.directory {
-            if set.len() != count {
+            if set.len() != count + self.limbo.len() {
                 problems.push(format!(
-                    "exact directory has {} entries but {count} objects resident",
-                    set.len()
+                    "exact directory has {} entries but {count} objects resident and {} in limbo",
+                    set.len(),
+                    self.limbo.len()
                 ));
             }
         }
@@ -752,7 +1776,7 @@ mod tests {
     fn destage_then_fetch_roundtrip() {
         let mut c = small(16, 4);
         let o = oid(1);
-        let out = c.destage(o, 5.0, Some(3));
+        let out = c.destage(o, 5.0, Some(3)).unwrap();
         assert!(!out.refreshed);
         assert_eq!(out.stored_at, out.root);
         assert!(c.directory_contains(o));
@@ -766,8 +1790,8 @@ mod tests {
     fn refreshed_duplicate_destage() {
         let mut c = small(8, 4);
         let o = oid(2);
-        c.destage(o, 1.0, Some(0));
-        let again = c.destage(o, 1.0, Some(1));
+        c.destage(o, 1.0, Some(0)).unwrap();
+        let again = c.destage(o, 1.0, Some(1)).unwrap();
         assert!(again.refreshed);
         assert_eq!(c.len(), 1);
         assert!(c.check_invariants().is_empty());
@@ -787,7 +1811,7 @@ mod tests {
         let mut c = small(8, 1);
         let mut diverted_seen = false;
         for i in 0..8 {
-            let out = c.destage(oid(i as u64), 2.0, Some(i as u32));
+            let out = c.destage(oid(i as u64), 2.0, Some(i as u32)).unwrap();
             diverted_seen |= out.stored_at != out.root;
             assert!(c.check_invariants().is_empty(), "after destage {i}");
         }
@@ -804,7 +1828,7 @@ mod tests {
     fn replacement_when_cluster_saturated() {
         let mut c = small(4, 2);
         for i in 0..50u64 {
-            c.destage(oid(i), 1.0, Some(0));
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
         }
         assert!(c.len() <= 8);
         assert!(c.check_invariants().is_empty());
@@ -822,7 +1846,7 @@ mod tests {
             ..P2PClientCacheConfig::default()
         });
         for i in 0..30u64 {
-            let out = c.destage(oid(i), 1.0, Some(0));
+            let out = c.destage(oid(i), 1.0, Some(0)).unwrap();
             assert_eq!(out.stored_at, out.root, "no diversion allowed");
         }
         assert_eq!(c.ledger().diversions, 0);
@@ -841,7 +1865,7 @@ mod tests {
                 ..P2PClientCacheConfig::default()
             });
             for i in 0..16u64 {
-                c.destage(oid(i), 1.0, Some(0));
+                c.destage(oid(i), 1.0, Some(0)).unwrap();
             }
             c.len()
         };
@@ -852,9 +1876,9 @@ mod tests {
     #[test]
     fn piggyback_vs_direct_connection_accounting() {
         let mut c = small(8, 4);
-        c.destage(oid(1), 1.0, Some(0));
+        c.destage(oid(1), 1.0, Some(0)).unwrap();
         assert_eq!(c.ledger().new_connections, 0, "piggyback opens no connections");
-        c.destage(oid(2), 1.0, None);
+        c.destage(oid(2), 1.0, None).unwrap();
         assert_eq!(c.ledger().new_connections, 1);
         assert_eq!(c.ledger().piggybacked_objects, 1);
         assert_eq!(c.ledger().direct_destages, 1);
@@ -864,7 +1888,7 @@ mod tests {
     fn push_fetch_counts_connection() {
         let mut c = small(8, 4);
         let o = oid(3);
-        c.destage(o, 1.0, Some(0));
+        c.destage(o, 1.0, Some(0)).unwrap();
         let before = c.ledger().new_connections;
         assert!(c.push_fetch(o, 1.0).is_some());
         assert_eq!(c.ledger().pushes, 1);
@@ -877,7 +1901,7 @@ mod tests {
         // evicted; the owner's pointer must disappear.
         let mut c = small(6, 1);
         for i in 0..40u64 {
-            c.destage(oid(i), 1.0, Some(0));
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
             let problems = c.check_invariants();
             assert!(problems.is_empty(), "after destage {i}: {problems:?}");
         }
@@ -887,11 +1911,11 @@ mod tests {
     fn node_failure_loses_objects_but_stays_consistent() {
         let mut c = small(10, 3);
         for i in 0..25u64 {
-            c.destage(oid(i), 1.0, Some(0));
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
         }
         let victim = c.node_ids().next().unwrap();
         let before = c.len();
-        c.fail_node(victim);
+        c.fail_node(victim).unwrap();
         assert!(c.len() <= before);
         let problems = c.check_invariants();
         assert!(problems.is_empty(), "{problems:?}");
@@ -912,19 +1936,19 @@ mod tests {
         let mut by_root: FxHashMap<NodeId, Vec<u128>> = FxHashMap::default();
         for i in 0..64u64 {
             let o = oid(i);
-            by_root.entry(c.root_of(o)).or_default().push(o);
+            by_root.entry(c.root_of(o).unwrap()).or_default().push(o);
         }
         let (root, objs) = by_root.into_iter().find(|(_, v)| v.len() >= 3).expect("skew");
         let cheap = objs[0];
         let dear = objs[1];
         let newer = objs[2];
-        c.destage(dear, 10.0, Some(0));
-        c.destage(cheap, 1.0, Some(0)); // diverted (root full, neighbor free)
-                                        // Saturate the cluster so the next destage must replace.
+        c.destage(dear, 10.0, Some(0)).unwrap();
+        c.destage(cheap, 1.0, Some(0)).unwrap(); // diverted (root full, neighbor free)
+                                                 // Saturate the cluster so the next destage must replace.
         for i in 100..140u64 {
-            c.destage(oid(i), 1.0, Some(0));
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
         }
-        let out = c.destage(newer, 5.0, Some(0));
+        let out = c.destage(newer, 5.0, Some(0)).unwrap();
         if out.root == root && out.evicted.is_some() {
             assert_ne!(out.evicted, Some(dear), "expensive object evicted before cheap");
         }
@@ -937,8 +1961,8 @@ mod tests {
         for i in 0..32u64 {
             let o = oid(i);
             let predicted = c.root_of(o);
-            let out = c.destage(o, 1.0, Some(i as u32));
-            assert_eq!(out.root, predicted, "read-only root disagrees with routing");
+            let out = c.destage(o, 1.0, Some(i as u32)).unwrap();
+            assert_eq!(Some(out.root), predicted, "read-only root disagrees with routing");
         }
     }
 
@@ -948,7 +1972,7 @@ mod tests {
         // hop cost, yielding the identical outcome.
         let mut warm = small(10, 3);
         for i in 0..20u64 {
-            warm.destage(oid(i), 1.0, Some(0));
+            warm.destage(oid(i), 1.0, Some(0)).unwrap();
         }
         let lookups_before = warm.ledger().overlay_messages;
         let out_a = warm.fetch(1, oid(5), 1.0);
@@ -962,7 +1986,7 @@ mod tests {
         // Failing a node clears the memo: routes targeting the dead node
         // must re-resolve to a live root instead of replaying stale memos.
         let victim = warm.node_ids().next().unwrap();
-        warm.fail_node(victim);
+        warm.fail_node(victim).unwrap();
         for i in 0..20u64 {
             let o = oid(i);
             if warm.directory_contains(o) {
@@ -990,20 +2014,20 @@ mod tests {
     fn join_node_accepts_traffic() {
         let mut c = small(4, 2);
         for i in 0..8u64 {
-            c.destage(oid(i), 1.0, Some(0));
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
         }
         let newcomer = NodeId::from_bytes(b"fresh-node");
         c.join_node(newcomer);
         // Eager migration: everything the newcomer holds, it now roots.
         for obj in c.node(newcomer).unwrap().objects() {
-            assert_eq!(c.root_of(obj), newcomer, "migrated object not rooted here");
+            assert_eq!(c.root_of(obj), Some(newcomer), "migrated object not rooted here");
         }
         // Objects whose closest node is now the newcomer land on it.
         let mut landed = false;
         for i in 100..200u64 {
             let o = oid(i);
-            if c.root_of(o) == newcomer {
-                let out = c.destage(o, 1.0, Some(0));
+            if c.root_of(o) == Some(newcomer) {
+                let out = c.destage(o, 1.0, Some(0)).unwrap();
                 assert_eq!(out.root, newcomer);
                 landed = true;
                 break;
@@ -1024,7 +2048,7 @@ mod tests {
         let mut sink = VecSink(Vec::new());
         let mut c = small(6, 1);
         for i in 0..30u64 {
-            c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink);
+            c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink).unwrap();
         }
         for i in 0..30u64 {
             let _ = c.fetch_tap(1, oid(i), 1.0, &mut sink);
@@ -1032,7 +2056,7 @@ mod tests {
         let o = c.node_ids().next().and_then(|n| c.node(n).unwrap().objects().next()).unwrap();
         assert!(c.push_fetch_tap(o, 1.0, &mut sink).is_some());
         let victim = c.node_ids().next().unwrap();
-        c.fail_node_tap(victim, &mut sink);
+        c.fail_node_tap(victim, &mut sink).unwrap();
         c.join_node_tap(NodeId::from_bytes(b"tap-newcomer"), &mut sink);
 
         let count = |f: &dyn Fn(&P2pEvent) -> bool| sink.0.iter().filter(|e| f(e)).count() as u64;
@@ -1067,9 +2091,9 @@ mod tests {
             let mut counting = CountSink(0);
             for i in 0..40u64 {
                 if tapped {
-                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut counting);
+                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut counting).unwrap();
                 } else {
-                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink);
+                    c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink).unwrap();
                 }
             }
             for i in 0..40u64 {
@@ -1102,7 +2126,7 @@ mod tests {
         ) {
             let mut c = small(nodes, cap);
             for (i, o) in objects.iter().enumerate() {
-                c.destage(oid(*o), 1.0 + (i % 7) as f64, Some(i as u32));
+                c.destage(oid(*o), 1.0 + (i % 7) as f64, Some(i as u32)).unwrap();
                 let problems = c.check_invariants();
                 proptest::prop_assert!(problems.is_empty(), "{:?}", problems);
             }
@@ -1116,5 +2140,208 @@ mod tests {
             }
             proptest::prop_assert_eq!(c.ledger().stale_lookups, 0);
         }
+    }
+
+    fn small_k(nodes: usize, cap: usize, k: usize) -> P2PClientCache {
+        P2PClientCache::new(P2PClientCacheConfig {
+            num_nodes: nodes,
+            node_capacity: cap,
+            replication: k,
+            ..P2PClientCacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn unknown_and_double_failures_are_typed_errors() {
+        let mut c = small(4, 2);
+        let ghost = NodeId::from_bytes(b"never-joined");
+        assert_eq!(c.fail_node(ghost), Err(P2pError::UnknownNode(ghost)));
+        assert_eq!(c.depart_node(ghost), Err(P2pError::UnknownNode(ghost)));
+        assert_eq!(c.crash_node(ghost), Err(P2pError::UnknownNode(ghost)));
+        let victim = c.node_ids().next().unwrap();
+        c.crash_node(victim).unwrap();
+        assert_eq!(c.crash_node(victim), Err(P2pError::AlreadyCrashed(victim)));
+        assert_eq!(c.depart_node(victim), Err(P2pError::AlreadyCrashed(victim)));
+        // An announced failure can still clean up a silent corpse.
+        c.fail_node(victim).unwrap();
+        assert_eq!(c.fail_node(victim), Err(P2pError::UnknownNode(victim)));
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn silent_crash_is_detected_by_traffic() {
+        let mut c = small(10, 4);
+        for i in 0..20u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let victim = c.root_of(oid(0)).unwrap();
+        c.crash_node(victim).unwrap();
+        assert_eq!(c.crashed_len(), 1, "a silent crash announces nothing");
+        for i in 0..20u64 {
+            let _ = c.fetch(i as u32, oid(i), 1.0);
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after fetch {i}: {problems:?}");
+        }
+        assert_eq!(c.crashed_len(), 0, "request traffic must detect the crash");
+        assert!(c.ledger().timeouts >= 1, "detection costs at least one timeout");
+        let timeouts = c.ledger().timeouts;
+        assert_eq!(c.take_fault_penalties(), timeouts);
+        assert_eq!(c.take_fault_penalties(), 0, "penalties drain");
+    }
+
+    #[test]
+    fn replica_survives_primary_crash_with_k2() {
+        let mut c = small_k(10, 8, 2);
+        for i in 0..20u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        assert!(c.check_invariants().is_empty());
+        let o = oid(3);
+        let root = c.root_of(o).unwrap();
+        let holder = c.holder_of(root, o).unwrap();
+        c.crash_node(holder).unwrap();
+        let rereps = c.ledger().rereplications;
+        let f = c.fetch(2, o, 1.0);
+        assert!(f.is_some(), "a replica must keep the object reachable");
+        assert_ne!(f.unwrap().holder, holder, "the corpse cannot serve");
+        assert!(c.ledger().rereplications > rereps, "promotion re-replicates");
+        assert_eq!(c.crashed_len(), 0, "the stale hit detects the crash");
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn empty_cluster_degrades_instead_of_panicking() {
+        let mut c = small(3, 4);
+        for i in 0..6u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let ids: Vec<NodeId> = c.node_ids().collect();
+        for id in ids {
+            c.fail_node(id).unwrap();
+        }
+        assert_eq!(c.len(), 0);
+        assert!(c.directory().is_empty(), "empty cluster flushes the directory");
+        assert!(c.fetch(0, oid(1), 1.0).is_none(), "fetch degrades to a miss");
+        assert!(c.destage(oid(9), 1.0, Some(0)).is_none(), "destage degrades to a no-op");
+        assert!(c.check_invariants().is_empty());
+        // A later join resurrects the cluster.
+        c.join_node(NodeId::from_bytes(b"phoenix"));
+        assert!(c.destage(oid(9), 1.0, Some(0)).is_some());
+        assert!(c.fetch(0, oid(9), 1.0).is_some());
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn departure_hands_objects_off_losslessly() {
+        let mut c = small(8, 16);
+        for i in 0..16u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let before = c.len();
+        let victim = c.root_of(oid(0)).unwrap();
+        c.depart_node(victim).unwrap();
+        assert_eq!(c.len(), before, "graceful departure hands everything off");
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        for i in 0..16u64 {
+            if c.directory_contains(oid(i)) {
+                assert!(c.fetch(1, oid(i), 1.0).is_some(), "object {i} lost in hand-off");
+            }
+        }
+        assert_eq!(c.depart_node(victim), Err(P2pError::UnknownNode(victim)));
+    }
+
+    #[test]
+    fn message_loss_costs_timeouts_not_objects() {
+        let mut c = small(8, 8);
+        c.set_faults(NetFaults::new(0.4, 11));
+        for i in 0..20u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        for i in 0..20u64 {
+            if c.directory_contains(oid(i)) {
+                assert!(c.fetch(1, oid(i), 1.0).is_some(), "loss must not lose objects");
+            }
+        }
+        assert!(c.ledger().timeouts > 0, "40% loss over dozens of hops must retry");
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn slow_holder_stalls_the_request() {
+        let mut c = small(6, 8);
+        c.set_faults(NetFaults::new(0.0, 1));
+        for i in 0..12u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let o = oid(1);
+        let root = c.root_of(o).unwrap();
+        let holder = c.holder_of(root, o).unwrap();
+        c.mark_slow(holder);
+        let t0 = c.ledger().timeouts;
+        assert!(c.fetch(0, o, 1.0).is_some(), "slow is not dead");
+        assert!(c.ledger().timeouts > t0, "a slow holder costs a stall");
+        assert_eq!(c.crashed_len(), 0);
+    }
+
+    #[test]
+    fn churn_events_mirror_fault_counters() {
+        struct VecSink(Vec<P2pEvent>);
+        impl P2pSink for VecSink {
+            fn event(&mut self, e: P2pEvent) {
+                self.0.push(e);
+            }
+        }
+        let mut sink = VecSink(Vec::new());
+        let mut c = small_k(12, 4, 2);
+        c.set_faults(NetFaults::new(0.0, 7));
+        for i in 0..30u64 {
+            c.destage_tap(oid(i), 1.0, Some(i as u32), &mut sink).unwrap();
+        }
+        let victims: Vec<NodeId> = c.node_ids().take(3).collect();
+        for v in &victims {
+            c.crash_node_tap(*v, &mut sink).unwrap();
+        }
+        for i in 0..30u64 {
+            let _ = c.fetch_tap(i as u32, oid(i), 1.0, &mut sink);
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after fetch {i}: {problems:?}");
+        }
+        let l = *c.ledger();
+        let count = |f: &dyn Fn(&P2pEvent) -> bool| sink.0.iter().filter(|e| f(e)).count() as u64;
+        assert_eq!(count(&|e| matches!(e, P2pEvent::NodeCrashed { .. })), 3);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::TimeoutDetected { .. })), l.timeouts);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::StaleDirectoryHit { .. })), l.stale_hits);
+        assert_eq!(count(&|e| matches!(e, P2pEvent::Rereplicated { .. })), l.rereplications);
+        assert_eq!(c.crashed_len(), 0, "every node serves some client, so all crashes surface");
+        assert!(l.timeouts >= 3, "each detection costs a timeout");
+    }
+
+    #[test]
+    fn fault_free_churn_mode_is_bit_identical_to_plain() {
+        // Installing zero-loss fault state must not change a single
+        // counter or byte of cache state versus the plain path.
+        let drive = |faulty: bool| {
+            let mut c = small(8, 2);
+            if faulty {
+                c.set_faults(NetFaults::new(0.0, 99));
+            }
+            for i in 0..60u64 {
+                c.destage(oid(i), 1.0 + (i % 5) as f64, Some(i as u32)).unwrap();
+            }
+            let mut served = 0u32;
+            for i in 0..60u64 {
+                served += u32::from(c.fetch(i as u32, oid(i), 1.0).is_some());
+            }
+            (*c.ledger(), c.len(), served)
+        };
+        let (plain_ledger, plain_len, plain_served) = drive(false);
+        let (churn_ledger, churn_len, churn_served) = drive(true);
+        assert_eq!(plain_len, churn_len);
+        assert_eq!(plain_served, churn_served);
+        // Route memoization only runs on the plain path, but a memo hit
+        // replays identical hops, so the ledgers must agree exactly.
+        assert_eq!(plain_ledger, churn_ledger);
     }
 }

@@ -96,6 +96,16 @@ impl LookupDirectory {
         self.len() == 0
     }
 
+    /// Drops every entry. Used when the whole client cluster has failed:
+    /// pairing removes exactly is impossible once the nodes that held the
+    /// objects are gone, so the directory is flushed wholesale.
+    pub fn clear(&mut self) {
+        match self {
+            LookupDirectory::Exact(s) => s.clear(),
+            LookupDirectory::Bloom(f) => f.clear(),
+        }
+    }
+
     /// Approximate memory footprint in bytes — the quantity the §4.2
     /// trade-off is about.
     pub fn size_bytes(&self) -> usize {

@@ -71,6 +71,40 @@ pub enum P2pEvent {
         /// Objects eagerly migrated to the newcomer (PAST-style).
         objects_migrated: u32,
     },
+    /// A client machine crashed *silently*: no announcement, no repair.
+    /// Every other node (and the proxy's lookup directory) keeps stale
+    /// references until some message walks into the corpse.
+    NodeCrashed {
+        /// Resident objects whose only primary copy sat on the machine
+        /// at crash time (replicas may still rescue them).
+        objects_at_risk: u32,
+    },
+    /// A client machine left gracefully, handing its residents to their
+    /// new roots before disconnecting.
+    NodeDeparted {
+        /// Objects successfully re-homed to other nodes.
+        objects_handed_off: u32,
+    },
+    /// A message timed out — either it was addressed to a dead node
+    /// (detection) or it was lost on the wire and retransmitted.
+    TimeoutDetected {
+        /// True when the timeout exposed a crashed node (lazy failure
+        /// detection); false for message loss or a slow node.
+        dead_node: bool,
+    },
+    /// The proxy's directory approved a lookup whose primary copy died
+    /// with a crashed node (churn staleness, not a Bloom artifact).
+    StaleDirectoryHit {
+        /// A leaf-set replica was promoted and served the request;
+        /// false means the request fell through to the origin server.
+        replica_served: bool,
+    },
+    /// A crashed primary was rebuilt from a leaf-set replica and the
+    /// replication factor restored (re-replication on repair).
+    Rereplicated {
+        /// Fresh replica copies created after promoting the survivor.
+        copies: u32,
+    },
 }
 
 impl P2pEvent {
@@ -84,6 +118,11 @@ impl P2pEvent {
             P2pEvent::Eviction { .. } => "eviction",
             P2pEvent::NodeFailed { .. } => "node_failed",
             P2pEvent::NodeJoined { .. } => "node_joined",
+            P2pEvent::NodeCrashed { .. } => "node_crashed",
+            P2pEvent::NodeDeparted { .. } => "node_departed",
+            P2pEvent::TimeoutDetected { .. } => "timeout_detected",
+            P2pEvent::StaleDirectoryHit { .. } => "stale_directory_hit",
+            P2pEvent::Rereplicated { .. } => "rereplicated",
         }
     }
 }
@@ -139,6 +178,14 @@ mod tests {
         assert_eq!(e.kind_label(), "destage");
         assert_eq!(P2pEvent::DirectoryProbe { hit: true }.kind_label(), "directory_probe");
         assert_eq!(P2pEvent::NodeFailed { objects_lost: 2 }.kind_label(), "node_failed");
+        assert_eq!(P2pEvent::NodeCrashed { objects_at_risk: 1 }.kind_label(), "node_crashed");
+        assert_eq!(P2pEvent::NodeDeparted { objects_handed_off: 1 }.kind_label(), "node_departed");
+        assert_eq!(P2pEvent::TimeoutDetected { dead_node: true }.kind_label(), "timeout_detected");
+        assert_eq!(
+            P2pEvent::StaleDirectoryHit { replica_served: false }.kind_label(),
+            "stale_directory_hit"
+        );
+        assert_eq!(P2pEvent::Rereplicated { copies: 2 }.kind_label(), "rereplicated");
     }
 
     #[test]

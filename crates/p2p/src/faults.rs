@@ -1,0 +1,153 @@
+//! Network-level fault state for churn experiments.
+//!
+//! The paper's simulations assume a lossless, ordered LAN; this module
+//! models the two ways that assumption breaks in practice — messages
+//! lost on the wire and machines that answer slowly — so the churn
+//! harness can measure how the P2P client cache degrades. Crashes
+//! themselves live in the overlay (`Overlay::crash`); [`NetFaults`]
+//! only carries the *message-level* fault state.
+//!
+//! Determinism: loss decisions come from a seeded splitmix64 stream, so
+//! the same seed and the same request sequence reproduce the same run
+//! bit for bit. When `loss == 0.0` the generator is never advanced,
+//! which keeps a loss-free faulty run identical to a fault-free one.
+
+use std::fmt;
+
+use webcache_pastry::NodeId;
+use webcache_primitives::FxHashSet;
+
+/// Typed error for cluster-mutating operations that used to panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum P2pError {
+    /// The node id is not (or no longer) a cluster member.
+    UnknownNode(NodeId),
+    /// The node already crashed and has not been repaired yet.
+    AlreadyCrashed(NodeId),
+}
+
+impl fmt::Display for P2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P2pError::UnknownNode(id) => write!(f, "node {id} is not a cluster member"),
+            P2pError::AlreadyCrashed(id) => write!(f, "node {id} already crashed"),
+        }
+    }
+}
+
+impl std::error::Error for P2pError {}
+
+impl From<webcache_pastry::OverlayError> for P2pError {
+    fn from(e: webcache_pastry::OverlayError) -> Self {
+        match e {
+            webcache_pastry::OverlayError::UnknownNode(id) => P2pError::UnknownNode(id),
+            webcache_pastry::OverlayError::AlreadyCrashed(id) => P2pError::AlreadyCrashed(id),
+        }
+    }
+}
+
+/// Message-loss probability and slow-node set for a churn run.
+#[derive(Clone, Debug)]
+pub struct NetFaults {
+    loss: f64,
+    state: u64,
+    slow: FxHashSet<u128>,
+}
+
+impl NetFaults {
+    /// Builds fault state with the given per-message loss probability
+    /// (clamped to `[0, 1)`) and PRNG seed.
+    pub fn new(loss: f64, seed: u64) -> Self {
+        let loss = if loss.is_finite() { loss.clamp(0.0, 0.999_999) } else { 0.0 };
+        NetFaults { loss, state: seed, slow: FxHashSet::default() }
+    }
+
+    /// The configured per-message loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// splitmix64 — tiny, deterministic, dependency-free.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws one loss decision. Never advances the generator when the
+    /// loss probability is zero.
+    pub fn lose(&mut self) -> bool {
+        if self.loss <= 0.0 {
+            return false;
+        }
+        // 53 uniform bits → [0, 1) with full f64 precision.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.loss
+    }
+
+    /// Marks a node as slow: interactions with it cost one extra
+    /// timeout-equivalent stall.
+    pub fn mark_slow(&mut self, id: NodeId) {
+        self.slow.insert(id.0);
+    }
+
+    /// Clears a slow mark (e.g. the node crashed or departed).
+    pub fn clear_slow(&mut self, id: NodeId) {
+        self.slow.remove(&id.0);
+    }
+
+    /// Whether the node is currently marked slow.
+    pub fn is_slow(&self, id: NodeId) -> bool {
+        self.slow.contains(&id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_never_draws() {
+        let mut f = NetFaults::new(0.0, 42);
+        let before = f.state;
+        for _ in 0..100 {
+            assert!(!f.lose());
+        }
+        assert_eq!(f.state, before, "zero-loss runs must not advance the PRNG");
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored_and_deterministic() {
+        let mut a = NetFaults::new(0.1, 7);
+        let mut b = NetFaults::new(0.1, 7);
+        let (mut losses, n) = (0u32, 10_000);
+        for _ in 0..n {
+            let la = a.lose();
+            assert_eq!(la, b.lose(), "same seed must give the same stream");
+            losses += u32::from(la);
+        }
+        let rate = f64::from(losses) / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn slow_marks_roundtrip() {
+        let mut f = NetFaults::new(0.0, 1);
+        let id = NodeId(99);
+        assert!(!f.is_slow(id));
+        f.mark_slow(id);
+        assert!(f.is_slow(id));
+        f.clear_slow(id);
+        assert!(!f.is_slow(id));
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            P2pError::UnknownNode(NodeId(5)).to_string(),
+            format!("node {} is not a cluster member", NodeId(5))
+        );
+    }
+}

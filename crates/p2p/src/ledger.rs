@@ -33,6 +33,18 @@ pub struct MessageLedger {
     pub stale_lookups: u64,
     /// Push-protocol fetches on behalf of cooperating proxies (§4.5).
     pub pushes: u64,
+    /// Messages that timed out: contacts with dead nodes (lazy failure
+    /// detection), lost-and-retransmitted messages, and slow-node stalls.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Directory-approved lookups whose primary copy died with a crashed
+    /// node (served from a replica or not).
+    #[serde(default)]
+    pub stale_hits: u64,
+    /// Crashed primaries rebuilt from a leaf-set replica (promotion plus
+    /// replication-factor restoration).
+    #[serde(default)]
+    pub rereplications: u64,
 }
 
 impl MessageLedger {
@@ -61,6 +73,9 @@ impl MessageLedger {
         self.lookups += other.lookups;
         self.stale_lookups += other.stale_lookups;
         self.pushes += other.pushes;
+        self.timeouts += other.timeouts;
+        self.stale_hits += other.stale_hits;
+        self.rereplications += other.rereplications;
     }
 }
 

@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod directory;
 pub mod events;
+pub mod faults;
 pub mod ledger;
 
 pub use cache::{
@@ -31,4 +32,5 @@ pub use cache::{
 };
 pub use directory::{DirectoryKind, LookupDirectory};
 pub use events::{NoSink, P2pEvent, P2pSink};
+pub use faults::{NetFaults, P2pError};
 pub use ledger::MessageLedger;

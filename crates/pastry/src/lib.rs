@@ -31,5 +31,5 @@ pub mod overlay;
 pub mod state;
 
 pub use id::NodeId;
-pub use overlay::{Overlay, RouteOutcome};
+pub use overlay::{ChurnRoute, Overlay, OverlayError, RouteOutcome};
 pub use state::{NodeState, PastryConfig};

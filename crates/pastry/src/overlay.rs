@@ -2,7 +2,8 @@
 
 use crate::id::NodeId;
 use crate::state::{NodeState, PastryConfig};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// Result of routing a key from a starting node.
 #[derive(Clone, Debug)]
@@ -20,6 +21,59 @@ impl RouteOutcome {
     }
 }
 
+/// Typed membership error returned by [`Overlay::fail`] and
+/// [`Overlay::crash`] instead of panicking: churn drivers routinely race
+/// a scheduled failure against a node that already left, and the caller
+/// — not the overlay — knows whether that is a bug or an ignorable
+/// duplicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The id is neither live nor crashed — it never joined or was
+    /// already removed.
+    UnknownNode(NodeId),
+    /// The id already crashed silently and has not been reclaimed.
+    AlreadyCrashed(NodeId),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::UnknownNode(id) => write!(f, "node {id} is not a member"),
+            OverlayError::AlreadyCrashed(id) => write!(f, "node {id} already crashed"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// Result of a liveness-aware routing walk ([`Overlay::route_detecting`]).
+///
+/// `hops` counts messages that reached a live node; `timeouts` counts
+/// messages that died (sent to a crashed node, or lost and retransmitted)
+/// — each one costs the sender a full timeout. `detected` lists crashed
+/// nodes this walk discovered and repaired, in discovery order.
+#[derive(Clone, Debug)]
+pub struct ChurnRoute {
+    /// The live node the message was delivered to.
+    pub destination: NodeId,
+    /// Messages that arrived (path transitions plus retransmissions).
+    pub hops: usize,
+    /// Timed-out messages (dead next hop or simulated loss).
+    pub timeouts: usize,
+    /// Crashed nodes detected (and lazily repaired) during the walk.
+    pub detected: Vec<NodeId>,
+}
+
+/// One step of the shared routing decision.
+enum Hop {
+    /// The current node owns the key.
+    Arrived,
+    /// Final leaf-set hop to the numerically closest member.
+    Deliver(NodeId),
+    /// Intermediate prefix/greedy forwarding hop.
+    Forward(NodeId),
+}
+
 /// A deterministic, in-process Pastry overlay.
 ///
 /// The overlay owns every node's [`NodeState`] and simulates the message
@@ -33,6 +87,10 @@ impl RouteOutcome {
 pub struct Overlay {
     cfg: PastryConfig,
     nodes: BTreeMap<u128, NodeState>,
+    /// Nodes that crashed *silently*: other nodes' leaf sets and routing
+    /// tables still reference them until a route times out on them and
+    /// triggers lazy repair ([`route_detecting`](Self::route_detecting)).
+    crashed: BTreeSet<u128>,
 }
 
 impl Overlay {
@@ -44,7 +102,7 @@ impl Overlay {
         if let Err(e) = cfg.validate() {
             panic!("invalid PastryConfig: {e}");
         }
-        Overlay { cfg, nodes: BTreeMap::new() }
+        Overlay { cfg, nodes: BTreeMap::new(), crashed: BTreeSet::new() }
     }
 
     /// Builds an overlay by joining `ids` one at a time.
@@ -74,6 +132,21 @@ impl Overlay {
     /// True if `id` is a live node.
     pub fn contains(&self, id: NodeId) -> bool {
         self.nodes.contains_key(&id.0)
+    }
+
+    /// True if `id` crashed silently and has not yet been detected.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed.contains(&id.0)
+    }
+
+    /// Crashed-but-undetected node ids, in id order.
+    pub fn crashed_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().map(|&k| NodeId(k))
+    }
+
+    /// Number of crashed-but-undetected nodes.
+    pub fn crashed_len(&self) -> usize {
+        self.crashed.len()
     }
 
     /// Iterates over live node ids in id order.
@@ -127,6 +200,7 @@ impl Overlay {
     /// Panics if `new_id` is already a member.
     pub fn join(&mut self, new_id: NodeId) -> usize {
         assert!(!self.contains(new_id), "node {new_id} already joined");
+        assert!(!self.is_crashed(new_id), "node {new_id} crashed and was not reclaimed");
         if self.nodes.is_empty() {
             self.nodes.insert(new_id.0, NodeState::new(new_id, self.cfg));
             return 0;
@@ -143,7 +217,7 @@ impl Overlay {
             let ps = &self.nodes[&p.0];
             let row = new_id.shared_prefix_digits(p, self.cfg.b).min(self.cfg.digits() - 1);
             for entry in ps.table_row(row).iter().flatten() {
-                if *entry != new_id {
+                if *entry != new_id && !self.is_crashed(*entry) {
                     x.consider_for_table(*entry);
                 }
             }
@@ -155,7 +229,7 @@ impl Overlay {
         // join-time state exchange of the protocol) to densify tables.
         let z = route.destination;
         for m in self.nodes[&z.0].leaf_members() {
-            if m != new_id {
+            if m != new_id && !self.is_crashed(m) {
                 x.consider_for_leaf(m);
                 x.consider_for_table(m);
             }
@@ -163,7 +237,7 @@ impl Overlay {
         for m in x.leaf_members() {
             if let Some(ms) = self.nodes.get(&m.0) {
                 for peer in ms.known_nodes() {
-                    if peer != new_id {
+                    if peer != new_id && !self.is_crashed(peer) {
                         x.consider_for_table(peer);
                     }
                 }
@@ -183,19 +257,52 @@ impl Overlay {
         route.hops()
     }
 
-    /// Removes a node as a crash failure and runs the leaf-set repair
-    /// protocol: every node that held the failed node drops it and then
-    /// gossips with its remaining leaf-set members until leaf sets reach a
-    /// fixpoint.
+    /// Removes a node as an *announced* failure and runs the leaf-set
+    /// repair protocol: every node that held the failed node drops it and
+    /// then gossips with its remaining leaf-set members until leaf sets
+    /// reach a fixpoint.
     ///
-    /// # Panics
-    /// Panics if `id` is not a member.
-    pub fn fail(&mut self, id: NodeId) {
-        assert!(self.contains(id), "node {id} is not a member");
-        self.nodes.remove(&id.0);
+    /// Also accepts a crashed-but-undetected id (reclaiming it —
+    /// detection by an oracle). Returns [`OverlayError::UnknownNode`]
+    /// instead of panicking when `id` was never a member or already
+    /// removed, so duplicate failure announcements from a churn driver
+    /// are a typed, ignorable error rather than a crash of the simulator.
+    pub fn fail(&mut self, id: NodeId) -> Result<(), OverlayError> {
+        let was_live = self.nodes.remove(&id.0).is_some();
+        let was_crashed = self.crashed.remove(&id.0);
+        if !was_live && !was_crashed {
+            return Err(OverlayError::UnknownNode(id));
+        }
         for s in self.nodes.values_mut() {
-            s.remove_from_leaf(id);
-            s.remove_from_table(id);
+            s.purge(id);
+        }
+        self.repair_leaf_sets();
+        Ok(())
+    }
+
+    /// Crashes a node *silently*: the node stops answering, but nobody is
+    /// told — every other node's leaf sets and routing tables keep the
+    /// stale reference until a message to the dead node times out
+    /// ([`route_detecting`](Self::route_detecting)), which triggers the
+    /// same lazy repair the real protocol runs on failure detection.
+    pub fn crash(&mut self, id: NodeId) -> Result<(), OverlayError> {
+        if self.nodes.remove(&id.0).is_some() {
+            self.crashed.insert(id.0);
+            Ok(())
+        } else if self.crashed.contains(&id.0) {
+            Err(OverlayError::AlreadyCrashed(id))
+        } else {
+            Err(OverlayError::UnknownNode(id))
+        }
+    }
+
+    /// Detection aftermath for one crashed node: forget it everywhere and
+    /// repair leaf sets, exactly as [`fail`](Self::fail) does for an
+    /// announced failure.
+    fn reclaim(&mut self, id: NodeId) {
+        self.crashed.remove(&id.0);
+        for s in self.nodes.values_mut() {
+            s.purge(id);
         }
         self.repair_leaf_sets();
     }
@@ -293,68 +400,191 @@ impl Overlay {
         // decrease); the budget is a tripwire for protocol bugs.
         let budget = 4 * self.cfg.digits() + self.cfg.leaf_set_size + 4;
         for _ in 0..budget {
-            let s = &self.nodes[&current.0];
-            if current == key {
-                return Some((current, hops));
-            }
-            if s.leaf_covers(key) {
-                // Pastry's delivery rule: when the key falls inside the
-                // leaf-set range, the message is forwarded to the leaf
-                // member numerically closest to the key as its FINAL hop.
-                // Continuing to route from there would mix the prefix and
-                // numeric-distance metrics and can bounce between two
-                // nodes with inconsistent partial views (e.g. mid-join).
-                let closest = s.closest_in_leaf(key);
-                if closest != current {
-                    visit(closest);
+            // Stale references to silently crashed nodes are routed
+            // *around* here (the join protocol and announced-churn paths
+            // must stay correct mid-staleness); only `route_detecting`
+            // deliberately walks into them to model timeout detection.
+            match self.hop_decision(current, key, &mut greedy_mode, true) {
+                Hop::Arrived => return Some((current, hops)),
+                Hop::Deliver(n) => {
+                    debug_assert!(
+                        self.nodes.contains_key(&n.0),
+                        "routing state references dead node {n}"
+                    );
+                    visit(n);
+                    return Some((n, hops + 1));
+                }
+                Hop::Forward(n) => {
+                    debug_assert!(
+                        self.nodes.contains_key(&n.0),
+                        "routing state references dead node {n}"
+                    );
+                    current = n;
+                    visit(current);
                     hops += 1;
                 }
-                return Some((closest, hops));
             }
-            let my_d = current.distance(key);
-            let next = if greedy_mode {
-                None
-            } else {
-                let row = current.shared_prefix_digits(key, self.cfg.b);
-                let col = key.digit(row, self.cfg.b) as usize;
-                s.table_entry(row, col).or_else(|| {
-                    // Pastry's rare case: any known node strictly closer
-                    // to the key sharing at least as long a prefix.
-                    s.known_iter()
-                        .filter(|n| {
-                            n.shared_prefix_digits(key, self.cfg.b) >= row && n.distance(key) < my_d
-                        })
-                        .min_by_key(|n| n.distance(key))
-                })
-            };
-            let next = match next {
-                Some(n) => n,
-                None => {
-                    greedy_mode = true;
-                    let best = s
-                        .known_iter()
-                        .filter(|n| n.distance(key) < my_d)
-                        .min_by_key(|n| n.distance(key));
-                    match best {
-                        Some(n) => n,
-                        // No known node closer than us: with consistent
-                        // leaf sets this means we are the owner.
-                        None => return Some((current, hops)),
-                    }
-                }
-            };
-            debug_assert!(
-                self.nodes.contains_key(&next.0),
-                "routing state references dead node {next}"
-            );
-            current = next;
-            visit(current);
-            hops += 1;
         }
         panic!(
             "routing from {from} to {key} exceeded the hop budget ({budget}); \
              overlay state is inconsistent"
         );
+    }
+
+    /// One routing decision at `current`, shared by the pure walk
+    /// ([`route_steps`](Self::route_steps)) and the liveness-aware walk
+    /// ([`route_detecting`](Self::route_detecting)).
+    ///
+    /// With `avoid_crashed` the decision silently skips
+    /// crashed-but-undetected candidates (free detection avoidance —
+    /// appropriate for protocol-internal routes such as joins); without
+    /// it the decision is oblivious to liveness, so the caller observes
+    /// exactly the stale choice a real node would make.
+    fn hop_decision(
+        &self,
+        current: NodeId,
+        key: NodeId,
+        greedy_mode: &mut bool,
+        avoid_crashed: bool,
+    ) -> Hop {
+        let s = &self.nodes[&current.0];
+        // `avoid` is false on every path until a crash is injected, so
+        // the liveness filters below fold to no-ops in steady state.
+        let avoid = avoid_crashed && !self.crashed.is_empty();
+        if current == key {
+            return Hop::Arrived;
+        }
+        if s.leaf_covers(key) {
+            // Pastry's delivery rule: when the key falls inside the
+            // leaf-set range, the message is forwarded to the leaf
+            // member numerically closest to the key as its FINAL hop.
+            // Continuing to route from there would mix the prefix and
+            // numeric-distance metrics and can bounce between two
+            // nodes with inconsistent partial views (e.g. mid-join).
+            let closest = if avoid {
+                let mut best = current;
+                let mut best_d = current.distance(key);
+                for n in s.leaf_iter().filter(|n| !self.is_crashed(*n)) {
+                    let d = n.distance(key);
+                    if d < best_d || (d == best_d && n.0 < best.0) {
+                        best = n;
+                        best_d = d;
+                    }
+                }
+                best
+            } else {
+                s.closest_in_leaf(key)
+            };
+            return if closest == current { Hop::Arrived } else { Hop::Deliver(closest) };
+        }
+        let my_d = current.distance(key);
+        let next = if *greedy_mode {
+            None
+        } else {
+            let row = current.shared_prefix_digits(key, self.cfg.b);
+            let col = key.digit(row, self.cfg.b) as usize;
+            s.table_entry(row, col).filter(|n| !(avoid && self.is_crashed(*n))).or_else(|| {
+                // Pastry's rare case: any known node strictly closer
+                // to the key sharing at least as long a prefix.
+                s.known_iter()
+                    .filter(|n| !(avoid && self.is_crashed(*n)))
+                    .filter(|n| {
+                        n.shared_prefix_digits(key, self.cfg.b) >= row && n.distance(key) < my_d
+                    })
+                    .min_by_key(|n| n.distance(key))
+            })
+        };
+        match next {
+            Some(n) => Hop::Forward(n),
+            None => {
+                *greedy_mode = true;
+                let best = s
+                    .known_iter()
+                    .filter(|n| !(avoid && self.is_crashed(*n)))
+                    .filter(|n| n.distance(key) < my_d)
+                    .min_by_key(|n| n.distance(key));
+                match best {
+                    Some(n) => Hop::Forward(n),
+                    // No known node closer than us: with consistent
+                    // leaf sets this means we are the owner.
+                    None => Hop::Arrived,
+                }
+            }
+        }
+    }
+
+    /// Routes `key` from `from` the way a real node under churn would:
+    /// oblivious to silent crashes until a message to a dead node times
+    /// out, at which point the crash is *detected*, the dead node is
+    /// reclaimed (stripped from every routing table and leaf set, leaf
+    /// sets gossip-repaired) and the walk resumes from the same node with
+    /// repaired state. Each message additionally passes through `lose`:
+    /// returning `true` simulates message loss, costing one timeout and
+    /// one retransmission.
+    ///
+    /// Returns `None` when `from` is not a live node (callers handle a
+    /// crashed entry node themselves — the entry machine, not a route,
+    /// is what is dead there).
+    pub fn route_detecting(
+        &mut self,
+        from: NodeId,
+        key: NodeId,
+        mut lose: impl FnMut() -> bool,
+    ) -> Option<ChurnRoute> {
+        if !self.contains(from) {
+            return None;
+        }
+        let mut current = from;
+        let mut hops = 0usize;
+        let mut timeouts = 0usize;
+        let mut detected = Vec::new();
+        let mut greedy_mode = false;
+        let budget = 4 * self.cfg.digits() + self.cfg.leaf_set_size + 4;
+        // Each detection restarts the decision from repaired state and
+        // each loss costs one retransmission, so the structural budget is
+        // scaled by the worst-case number of restarts.
+        let mut fuel = budget * (2 + self.crashed.len());
+        loop {
+            assert!(
+                fuel > 0,
+                "detecting route from {from} to {key} exceeded its budget; \
+                 overlay state is inconsistent"
+            );
+            fuel -= 1;
+            match self.hop_decision(current, key, &mut greedy_mode, false) {
+                Hop::Arrived => {
+                    return Some(ChurnRoute { destination: current, hops, timeouts, detected });
+                }
+                Hop::Deliver(n) | Hop::Forward(n) if self.is_crashed(n) => {
+                    // The message to `n` times out; `current` detects the
+                    // crash and the repair protocol runs. Re-decide from
+                    // scratch: the repaired state may now deliver.
+                    timeouts += 1;
+                    detected.push(n);
+                    self.reclaim(n);
+                    greedy_mode = false;
+                }
+                Hop::Deliver(n) => {
+                    if lose() {
+                        // Lost in transit: timeout, then retransmit (the
+                        // wasted message still crossed the wire once).
+                        timeouts += 1;
+                        hops += 1;
+                        continue;
+                    }
+                    return Some(ChurnRoute { destination: n, hops: hops + 1, timeouts, detected });
+                }
+                Hop::Forward(n) => {
+                    if lose() {
+                        timeouts += 1;
+                        hops += 1;
+                        continue;
+                    }
+                    current = n;
+                    hops += 1;
+                }
+            }
+        }
     }
 
     /// Routes from `from` and asserts (in tests) nothing: convenience that
@@ -517,7 +747,7 @@ mod tests {
         let mut o = build(40, 4);
         let victims: Vec<NodeId> = o.node_ids().step_by(5).collect();
         for v in victims {
-            o.fail(v);
+            o.fail(v).unwrap();
         }
         assert_eq!(o.len(), 32);
         let problems = o.check_invariants();
@@ -531,7 +761,7 @@ mod tests {
         // Interleave failures and joins.
         for round in 0..6 {
             let victim = o.node_ids().nth(round * 3 % o.len()).unwrap();
-            o.fail(victim);
+            o.fail(victim).unwrap();
             o.join(NodeId(rng.random()));
         }
         let problems = o.check_invariants();
@@ -549,7 +779,7 @@ mod tests {
         let mut o = build(8, 8);
         let ids: Vec<NodeId> = o.node_ids().collect();
         for &id in &ids[..6] {
-            o.fail(id);
+            o.fail(id).unwrap();
         }
         assert_eq!(o.len(), 2);
         let problems = o.check_invariants();
@@ -570,10 +800,114 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a member")]
-    fn failing_unknown_panics() {
+    fn failing_unknown_is_typed_error() {
         let mut o = Overlay::new(PastryConfig::default());
-        o.fail(NodeId(1));
+        assert_eq!(o.fail(NodeId(1)), Err(OverlayError::UnknownNode(NodeId(1))));
+        // Failing twice is a typed error, not a panic.
+        o.join(NodeId(1));
+        assert_eq!(o.fail(NodeId(1)), Ok(()));
+        assert_eq!(o.fail(NodeId(1)), Err(OverlayError::UnknownNode(NodeId(1))));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn failing_last_node_empties_overlay() {
+        let mut o = Overlay::new(PastryConfig::default());
+        o.join(NodeId(7));
+        assert_eq!(o.fail(NodeId(7)), Ok(()));
+        assert!(o.is_empty());
+        assert!(o.owner_of(NodeId(42)).is_none());
+        assert!(o.route(NodeId(7), NodeId(42)).is_none());
+        assert!(o.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn silent_crash_leaves_stale_state_until_detected() {
+        let mut o = build(32, 21);
+        let victim = o.node_ids().nth(10).unwrap();
+        o.crash(victim).unwrap();
+        assert!(o.is_crashed(victim));
+        assert!(!o.contains(victim));
+        assert_eq!(o.crashed_len(), 1);
+        // Nobody was told: some live node still references the victim.
+        let stale = o.check_invariants();
+        assert!(!stale.is_empty(), "crash must leave stale references");
+        // Double crash and crash-of-unknown are typed errors.
+        assert_eq!(o.crash(victim), Err(OverlayError::AlreadyCrashed(victim)));
+        assert_eq!(o.crash(NodeId(0xBAD)), Err(OverlayError::UnknownNode(NodeId(0xBAD))));
+        // Routing *at* the victim's key space times out, detects, repairs.
+        let from = o.node_ids().next().unwrap();
+        let r = o.route_detecting(from, victim, || false).unwrap();
+        assert!(r.timeouts >= 1, "walking into a dead node must cost a timeout");
+        assert!(r.detected.contains(&victim));
+        assert_ne!(r.destination, victim);
+        assert!(!o.is_crashed(victim));
+        // Post-detection the overlay is fully repaired.
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(o.owner_of(victim), Some(r.destination));
+    }
+
+    #[test]
+    fn detecting_route_matches_plain_route_without_faults() {
+        let mut o = build(24, 33);
+        let nodes: Vec<NodeId> = o.node_ids().collect();
+        for (i, &from) in nodes.iter().enumerate() {
+            let key = NodeId(0x5851_F42Du128.wrapping_mul(i as u128 + 1));
+            let plain = o.route_hops(from, key).unwrap();
+            let det = o.route_detecting(from, key, || false).unwrap();
+            assert_eq!((det.destination, det.hops), plain);
+            assert_eq!(det.timeouts, 0);
+            assert!(det.detected.is_empty());
+        }
+    }
+
+    #[test]
+    fn message_loss_costs_timeouts_but_still_delivers() {
+        let mut o = build(24, 44);
+        let from = o.node_ids().next().unwrap();
+        let key = NodeId(0xFEED_FACE);
+        let clean = o.route_detecting(from, key, || false).unwrap();
+        // Lose every other message.
+        let mut flip = false;
+        let lossy = o
+            .route_detecting(from, key, || {
+                flip = !flip;
+                flip
+            })
+            .unwrap();
+        assert_eq!(lossy.destination, clean.destination);
+        assert!(lossy.timeouts >= 1);
+        assert!(lossy.hops > clean.hops, "retransmissions cost extra messages");
+    }
+
+    #[test]
+    fn announced_fail_reclaims_a_crashed_node() {
+        let mut o = build(16, 55);
+        let victim = o.node_ids().nth(5).unwrap();
+        o.crash(victim).unwrap();
+        // An oracle announcement (e.g. the churn driver) reclaims it.
+        assert_eq!(o.fail(victim), Ok(()));
+        assert_eq!(o.crashed_len(), 0);
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn joins_avoid_crashed_nodes() {
+        let mut o = build(20, 66);
+        let victims: Vec<NodeId> = o.node_ids().step_by(7).collect();
+        for v in &victims {
+            o.crash(*v).unwrap();
+        }
+        // Joining while crashes are undetected must neither panic nor
+        // seed the newcomer's state with dead references.
+        let newcomer = NodeId(0x1234_5678_9ABC_DEF0);
+        o.join(newcomer);
+        let s = o.state(newcomer).unwrap();
+        for n in s.known_nodes() {
+            assert!(!o.is_crashed(n), "newcomer learned crashed node {n}");
+        }
     }
 
     #[test]
@@ -630,7 +964,7 @@ mod tests {
                     o.join(id);
                 } else if o.len() > 2 {
                     let victim = o.node_ids().nth(rng.random_range(0..o.len())).expect("non-empty");
-                    o.fail(victim);
+                    o.fail(victim).unwrap();
                 }
                 let problems = o.check_invariants();
                 proptest::prop_assert!(problems.is_empty(), "{:?}", problems.first());

@@ -158,6 +158,25 @@ impl NodeState {
         cw || ccw
     }
 
+    /// Forgets a failed peer entirely (leaf set and routing table) — the
+    /// per-node half of failure repair. Returns true if any state changed,
+    /// which is what decides whether this node would gossip the repair.
+    pub fn purge(&mut self, dead: NodeId) -> bool {
+        let in_leaf = self.remove_from_leaf(dead);
+        let in_table = if let Some((row, col)) = self.slot_for(dead) {
+            let s = self.slot(row, col);
+            if self.table[s] == Some(dead) {
+                self.table[s] = None;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        in_leaf || in_table
+    }
+
     /// Removes `peer` from the leaf set; returns true if present.
     pub fn remove_from_leaf(&mut self, peer: NodeId) -> bool {
         let a = self.leaf_cw.iter().position(|&n| n == peer).map(|i| self.leaf_cw.remove(i));

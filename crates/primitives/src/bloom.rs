@@ -199,6 +199,13 @@ impl CountingBloomFilter {
     pub fn size_bytes(&self) -> usize {
         self.counters.len()
     }
+
+    /// Resets every counter to zero — used when the structure the filter
+    /// summarizes is itself flushed (e.g. the whole client cluster died).
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.len = 0;
+    }
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ fn main() {
     println!("\n=== failing {} machines (simultaneous crash) ===", n / 10);
     let victims: Vec<NodeId> = overlay.node_ids().step_by(10).collect();
     for v in victims {
-        overlay.fail(v);
+        overlay.fail(v).expect("victim is live");
     }
     let problems = overlay.check_invariants();
     println!(

@@ -1,0 +1,62 @@
+//! Golden-output regression test for the fault-injection subsystem: the
+//! same seed and the same fault plan must produce a bit-identical churn
+//! report, JSON byte for byte.
+//!
+//! The report rounds latencies to integer milli-units and renders floats
+//! with fixed precision specifically so this file can be compared as raw
+//! bytes across platforms and optimization levels.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `UPDATE_GOLDEN=1 cargo test --release --test churn_golden`.
+
+use webcache::sim::{run_churn, ChurnConfig, FaultPlan};
+
+const GOLDEN_PATH: &str = "tests/golden/churn_report.json";
+
+fn drill_config() -> ChurnConfig {
+    let plan: FaultPlan =
+        "crash@900,crash@2100,depart@3300,crash@4500,rejoin@5400,slow@6300,crash@7200,\
+         loss=0.01,seed=53710"
+            .parse()
+            .expect("spec is valid");
+    ChurnConfig {
+        requests: 9_000,
+        distinct_objects: 1_200,
+        trace_clients: 40,
+        clients_per_cluster: 32,
+        trace_seed: 0xBEEF,
+        plan,
+        ..ChurnConfig::default()
+    }
+}
+
+#[test]
+fn churn_report_matches_golden() {
+    let report = run_churn(&drill_config()).expect("drill runs");
+    // Determinism within the process first: a second identical run must
+    // agree before we compare against the committed bytes.
+    let again = run_churn(&drill_config()).expect("drill runs twice");
+    assert_eq!(report, again, "same seed + same plan must reproduce the report");
+    let rendered = report.to_json();
+    assert_eq!(rendered, again.to_json());
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden file rewritten: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test churn_golden",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        for (r, g) in rendered.lines().zip(golden.lines()) {
+            assert_eq!(r, g, "churn report diverged from golden output");
+        }
+        assert_eq!(rendered.len(), golden.len(), "golden output length changed");
+    }
+}

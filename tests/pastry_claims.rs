@@ -45,7 +45,7 @@ fn overlay_survives_heavy_churn_at_scale() {
     let mut rng = SmallRng::seed_from_u64(2);
     // Fail 20% of the nodes, then join replacements.
     for &v in ids.iter().step_by(5) {
-        overlay.fail(v);
+        overlay.fail(v).expect("victim is live");
     }
     for _ in 0..30 {
         overlay.join(NodeId(rng.random()));
