@@ -17,7 +17,11 @@
 //! * `churn` — drive Hier-GD through a deterministic fault plan (silent
 //!   crashes, departures, rejoins, slow nodes, message loss) and report
 //!   detection latency, stale directory hits, re-replications and the
-//!   latency delta vs a fault-free twin run.
+//!   latency delta vs a fault-free twin run;
+//! * `chaos` — generate hundreds of random seeded fault plans (churn plus
+//!   message-level loss/duplication/reordering/corruption), audit each
+//!   end state with invariant oracles, and shrink any failing plan to a
+//!   minimal replayable reproducer spec (exit 2 on violations).
 //!
 //! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
 //! deliberately keeps its dependency set small — see DESIGN.md).
@@ -34,9 +38,9 @@ use std::sync::Arc;
 use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
-    latency_gain_percent, run_churn, run_experiment, run_experiment_recorded, ChurnConfig,
-    EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass, NetworkModel, SchemeKind,
-    SimError, StatsRecorder,
+    latency_gain_percent, run_chaos, run_churn, run_experiment, run_experiment_recorded,
+    ChaosConfig, ChurnConfig, EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass,
+    NetworkModel, SchemeKind, SimError, StatsRecorder,
 };
 use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
 
@@ -73,6 +77,9 @@ pub enum CliError {
     Sim(SimError),
     /// Anything else — bad input files, workload validation (exit 1).
     Other(String),
+    /// Chaos oracles found invariant violations (exit code 2); the
+    /// message carries the failing plans and their shrunk reproducers.
+    Violations(String),
 }
 
 impl CliError {
@@ -83,6 +90,7 @@ impl CliError {
             CliError::Sim(SimError::Io(_)) => 3,
             CliError::Sim(_) => 2,
             CliError::Other(_) => 1,
+            CliError::Violations(_) => 2,
         }
     }
 }
@@ -93,6 +101,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Other(e) => write!(f, "{e}"),
+            CliError::Violations(e) => write!(f, "{e}"),
         }
     }
 }
@@ -191,9 +200,17 @@ USAGE:
                  [--proxy-cap N] [--node-cap N] [--replication K]
                  [--trace-seed N] [--report-out FILE]
                  (fault drill over a synthetic Hier-GD run; SPEC is
-                  crash@N,depart@N,rejoin@N,slow@N,loss=F,seed=N tokens.
+                  crash@N,depart@N,rejoin@N,slow@N,loss=F,mloss=F,dup=F,
+                  reorder=F,corrupt=F,window=N,seed=N tokens.
                   Without --plan, --crashes N spreads N silent crashes
                   evenly through the run)
+  webcache chaos [--plans N] [--seed N] [--requests N] [--objects N]
+                 [--clients N] [--proxy-cap N] [--node-cap N]
+                 [--replication K] [--max-events N] [--sabotage true]
+                 [--report-out FILE] [--repro-out FILE]
+                 (random seeded fault plans + invariant oracles; failing
+                  plans are shrunk to minimal reproducer specs, written
+                  to --repro-out one per line; exits 2 on violations)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).";
 
@@ -226,6 +243,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         "sweep" => cmd_sweep(cmd),
         "throughput" => cmd_throughput(cmd),
         "churn" => cmd_churn(cmd),
+        "chaos" => cmd_chaos(cmd),
         other => {
             Err(CliError::Usage(UsageError(format!("unknown subcommand '{other}'\n\n{USAGE}"))))
         }
@@ -580,6 +598,55 @@ fn cmd_churn(cmd: &Command) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs the seeded chaos explorer (`webcache chaos`): random fault
+/// plans, invariant oracles after each, and automatic shrinking of any
+/// failing plan to a minimal replayable spec. All oracles green exits 0;
+/// violations print the shrunk reproducers and exit 2. `--sabotage true`
+/// plants a known directory violation (self-test of the oracles and the
+/// shrinker).
+fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        plans: cmd.opt("plans", defaults.plans)?,
+        seed: cmd.opt("seed", defaults.seed)?,
+        requests: cmd.opt("requests", defaults.requests)?,
+        distinct_objects: cmd.opt("objects", defaults.distinct_objects)?,
+        clients_per_cluster: cmd.opt("clients", defaults.clients_per_cluster)?,
+        proxy_capacity: cmd.opt("proxy-cap", defaults.proxy_capacity)?,
+        client_cache_capacity: cmd.opt("node-cap", defaults.client_cache_capacity)?,
+        replication: cmd.opt("replication", defaults.replication)?,
+        max_events: cmd.opt("max-events", defaults.max_events)?,
+        net: net_from(cmd)?,
+        sabotage: cmd.opt("sabotage", false)?,
+        ..defaults
+    };
+    let report = run_chaos(&cfg)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos exploration: {} plans, seed {}, {} requests each\n",
+        report.plans, report.seed, cfg.requests
+    );
+    out.push_str(&report.to_table());
+    if let Some(path) = cmd.options.get("report-out") {
+        std::fs::write(path, report.to_json()).map_err(|e| named_io(path, e))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(path) = cmd.options.get("repro-out") {
+        if !report.all_green() {
+            let specs: String =
+                report.failures.iter().map(|f| format!("{}\n", f.shrunk_spec)).collect();
+            std::fs::write(path, specs).map_err(|e| named_io(path, e))?;
+            let _ = writeln!(out, "wrote {path}");
+        }
+    }
+    if report.all_green() {
+        Ok(out)
+    } else {
+        Err(CliError::Violations(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +696,7 @@ mod tests {
         assert_eq!(CliError::Sim(SimError::UnknownScheme("x".into())).exit_code(), 2);
         assert_eq!(CliError::Sim(std::io::Error::other("x").into()).exit_code(), 3);
         assert_eq!(CliError::Other("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Violations("x".into()).exit_code(), 2);
     }
 
     #[test]
@@ -751,6 +819,78 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_smoke_is_all_green_and_writes_report() {
+        let dir = std::env::temp_dir().join("webcache-cli-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("chaos.json");
+        let report_s = report_path.to_str().unwrap().to_string();
+        let cmd = Command::parse(&argv(&[
+            "chaos",
+            "--plans",
+            "8",
+            "--seed",
+            "42",
+            "--requests",
+            "600",
+            "--objects",
+            "120",
+            "--clients",
+            "12",
+            "--report-out",
+            &report_s,
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("passed"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"passed\": 8"), "{json}");
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn chaos_sabotage_exits_with_violations_and_writes_repros() {
+        let dir = std::env::temp_dir().join("webcache-cli-chaos-sabotage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let repro_path = dir.join("repros.txt");
+        let repro_s = repro_path.to_str().unwrap().to_string();
+        let cmd = Command::parse(&argv(&[
+            "chaos",
+            "--plans",
+            "8",
+            "--seed",
+            "42",
+            "--requests",
+            "600",
+            "--objects",
+            "120",
+            "--clients",
+            "12",
+            "--sabotage",
+            "true",
+            "--repro-out",
+            &repro_s,
+        ]))
+        .unwrap();
+        match execute(&cmd) {
+            Err(e @ CliError::Violations(_)) => {
+                assert_eq!(e.exit_code(), 2);
+                assert!(e.to_string().contains("FAILED"), "{e}");
+                assert!(e.to_string().contains("shrunk"), "{e}");
+            }
+            other => panic!("expected Violations, got {other:?}"),
+        }
+        // Every written reproducer is a replayable one-crash plan.
+        let repros = std::fs::read_to_string(&repro_path).unwrap();
+        assert!(!repros.trim().is_empty());
+        for line in repros.lines() {
+            let plan: FaultPlan = line.parse().expect("repro spec parses");
+            assert_eq!(plan.count(FaultAction::Crash), 1, "{line}");
+        }
+        std::fs::remove_file(&repro_path).ok();
     }
 
     #[test]

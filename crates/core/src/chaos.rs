@@ -1,0 +1,650 @@
+//! Seeded chaos explorer: random fault plans, invariant oracles, and a
+//! shrinker that minimizes failing plans to replayable reproducers.
+//!
+//! FoundationDB-style simulation testing for the P2P client cache: the
+//! explorer generates hundreds of random — but fully seeded — fault
+//! plans (crashes, departures, rejoins, slow nodes, plus message-level
+//! loss/duplication/reordering/corruption through the unreliable
+//! transport), drives the Hier-GD engine through each, and audits the
+//! end state with five oracles:
+//!
+//! 1. **Structure** — [`check_invariants`]: the lookup directory, the
+//!    resident stores, diversion pointers and replica tracking must
+//!    reconcile exactly.
+//! 2. **No duplicate entries** — no object is held as a *primary* copy
+//!    by two machines at once (replica copies are tracked separately).
+//! 3. **Replica floor** — with membership-stable plans, every primary
+//!    keeps at least `min(k, live)` copies ([`check_replica_floor`];
+//!    skipped under churn, where lazy repair legitimately lags).
+//! 4. **Counter conservation** — per-class serve counts sum to the
+//!    requests issued, detected + undetected crashes equal the crashes
+//!    injected, stale lookups never exceed lookups, and dead-node
+//!    timeouts never exceed total timeouts.
+//! 5. **Availability** — every issued request was served (the cascade
+//!    degrades to proxy → server; it never refuses).
+//!
+//! When an oracle fires, the explorer **shrinks** the failing plan:
+//! repeatedly try dropping each scheduled event, zeroing then halving
+//! each fault probability, and narrowing the request window to just past
+//! the last event — keeping any candidate that still fails — until a
+//! fixed point or the run budget is reached. The result is a minimal
+//! deterministic reproducer in the [`FaultPlan`] spec grammar, ready for
+//! `webcache churn --plan '<spec>'` or a regression test.
+//!
+//! Everything keys off one master seed: plan `i` draws from
+//! `derive_indexed(seed, "chaos-plan", i)`, so a failing index can be
+//! regenerated without storing the plan.
+//!
+//! [`check_invariants`]: webcache_p2p::P2PClientCache::check_invariants
+//! [`check_replica_floor`]: webcache_p2p::P2PClientCache::check_replica_floor
+
+use crate::error::SimError;
+use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan};
+use crate::net::NetworkModel;
+use std::fmt::Write as _;
+use webcache_primitives::seed::{derive_indexed, splitmix64};
+use webcache_workload::{ProWGen, ProWGenConfig, Trace};
+
+/// Configuration of one chaos exploration.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Random plans to generate and run.
+    pub plans: usize,
+    /// Master seed; plan `i` derives its own stream from it.
+    pub seed: u64,
+    /// Requests per plan (kept small — each plan is a full drive).
+    pub requests: usize,
+    /// Distinct objects in the synthetic workload.
+    pub distinct_objects: usize,
+    /// Clients issuing requests in the trace.
+    pub trace_clients: usize,
+    /// Client cache machines in the cluster (overlay size).
+    pub clients_per_cluster: usize,
+    /// Proxy cache capacity in objects.
+    pub proxy_capacity: usize,
+    /// One client cache's capacity in objects.
+    pub client_cache_capacity: usize,
+    /// Leaf-set replication factor `k`.
+    pub replication: usize,
+    /// Upper bound on scheduled events per generated plan.
+    pub max_events: usize,
+    /// Latency model.
+    pub net: NetworkModel,
+    /// Test-only: plant a ghost directory entry in every plan that
+    /// schedules a crash, so the oracles *must* fire and the shrinker
+    /// *must* reduce the plan — the explorer validating itself.
+    pub sabotage: bool,
+}
+
+impl Default for ChaosConfig {
+    /// Small per-plan drives so hundreds of plans fit in a CI smoke run.
+    fn default() -> Self {
+        ChaosConfig {
+            plans: 200,
+            seed: 42,
+            requests: 2_500,
+            distinct_objects: 400,
+            trace_clients: 16,
+            clients_per_cluster: 16,
+            proxy_capacity: 50,
+            client_cache_capacity: 4,
+            replication: 2,
+            max_events: 6,
+            net: NetworkModel::default(),
+            sabotage: false,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.plans == 0 {
+            return Err(SimError::InvalidConfig("plans must be positive".into()));
+        }
+        if self.requests == 0 {
+            return Err(SimError::InvalidConfig("requests must be positive".into()));
+        }
+        if self.clients_per_cluster == 0 {
+            return Err(SimError::InvalidConfig("clients_per_cluster must be positive".into()));
+        }
+        if self.replication == 0 {
+            return Err(SimError::InvalidConfig("replication factor must be >= 1".into()));
+        }
+        self.net.validate()
+    }
+
+    /// The churn-drill view of this configuration with `plan` installed.
+    fn churn(&self, plan: &FaultPlan) -> ChurnConfig {
+        ChurnConfig {
+            requests: self.requests,
+            distinct_objects: self.distinct_objects,
+            trace_clients: self.trace_clients,
+            clients_per_cluster: self.clients_per_cluster,
+            proxy_capacity: self.proxy_capacity,
+            client_cache_capacity: self.client_cache_capacity,
+            replication: self.replication,
+            trace_seed: derive_indexed(self.seed, "chaos-trace", 0),
+            net: self.net,
+            plan: plan.clone(),
+        }
+    }
+}
+
+/// One failing plan: what fired, and what it shrank to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosFailure {
+    /// Index of the generated plan (regenerable from the master seed).
+    pub plan_index: u64,
+    /// The original failing plan, in spec grammar.
+    pub spec: String,
+    /// Oracle findings on the original plan.
+    pub violations: Vec<String>,
+    /// The minimal reproducer the shrinker reached, in spec grammar.
+    pub shrunk_spec: String,
+    /// Oracle findings on the shrunk plan (still non-empty by
+    /// construction).
+    pub shrunk_violations: Vec<String>,
+    /// Candidate runs the shrinker spent.
+    pub shrink_runs: u64,
+}
+
+/// What a chaos exploration found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosReport {
+    /// Plans generated and run.
+    pub plans: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Plans whose oracles all passed.
+    pub passed: u64,
+    /// Failing plans, each with its shrunk reproducer.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every plan passed every oracle.
+    pub fn all_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the report as a JSON document (hand-rolled: the offline
+    /// build has no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"plans\": {},", self.plans);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"passed\": {},", self.passed);
+        let _ = writeln!(s, "  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"plan_index\": {},", f.plan_index);
+            let _ = writeln!(s, "      \"spec\": \"{}\",", f.spec);
+            let _ = writeln!(s, "      \"shrunk_spec\": \"{}\",", f.shrunk_spec);
+            let _ = writeln!(s, "      \"shrink_runs\": {},", f.shrink_runs);
+            s.push_str("      \"violations\": [");
+            for (j, v) in f.violations.iter().enumerate() {
+                let _ = write!(s, "{}\"{}\"", if j == 0 { "" } else { ", " }, v.replace('"', "'"));
+            }
+            s.push_str("]\n");
+            let _ = writeln!(s, "    }}{}", if i + 1 == self.failures.len() { "" } else { "," });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders an aligned text summary for terminals.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{:<16} {:>8}", "plans", self.plans);
+        let _ = writeln!(s, "{:<16} {:>8}", "passed", self.passed);
+        let _ = writeln!(s, "{:<16} {:>8}", "failures", self.failures.len());
+        for f in &self.failures {
+            let _ = writeln!(s);
+            let _ = writeln!(s, "plan #{} FAILED: {}", f.plan_index, f.spec);
+            for v in &f.violations {
+                let _ = writeln!(s, "  - {v}");
+            }
+            let _ = writeln!(s, "  shrunk ({} runs) to: {}", f.shrink_runs, f.shrunk_spec);
+        }
+        s
+    }
+}
+
+/// Uniform draw in `[0, 1)` from a splitmix64 stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates plan `i` of the exploration — pure function of the master
+/// seed, so any failing index can be regenerated without storage.
+pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
+    let mut state = derive_indexed(cfg.seed, "chaos-plan", index);
+    let mut plan = FaultPlan::none();
+    plan.seed = splitmix64(&mut state);
+
+    let n_events = (splitmix64(&mut state) as usize) % (cfg.max_events + 1);
+    for _ in 0..n_events {
+        let action = match splitmix64(&mut state) % 4 {
+            0 => FaultAction::Crash,
+            1 => FaultAction::Depart,
+            2 => FaultAction::Rejoin,
+            _ => FaultAction::Slow,
+        };
+        let at = splitmix64(&mut state) % cfg.requests.max(1) as u64;
+        plan.push(at, action);
+    }
+    // Each fault dimension switches on independently (~40%), with a
+    // magnitude low enough that most plans finish their drive in normal
+    // operating range and high enough to exercise retry exhaustion.
+    for p in [&mut plan.loss, &mut plan.mloss, &mut plan.dup, &mut plan.reorder, &mut plan.corrupt]
+    {
+        if unit(&mut state) < 0.4 {
+            *p = unit(&mut state) * 0.3;
+        }
+    }
+    plan
+}
+
+/// Runs the five oracles against one driven plan. Returns findings
+/// (empty = all green).
+fn run_oracles(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    trace: &Trace,
+) -> Result<Vec<String>, SimError> {
+    let churn = cfg.churn(plan);
+    let (out, mut engine) = drive(&churn, trace, plan)?;
+    if cfg.sabotage && plan.count(FaultAction::Crash) > 0 {
+        // The planted bug: a directory entry with no backing copy, only
+        // in plans that schedule a crash — so the minimal reproducer is
+        // a single crash event.
+        engine.debug_plant_ghost_entry(0, 0xBAD_C0DE);
+    }
+    let p2p = engine.p2p(0);
+    let mut violations = Vec::new();
+
+    // Oracle 1: structural reconciliation.
+    for v in p2p.check_invariants() {
+        violations.push(format!("structure: {v}"));
+    }
+
+    // Oracle 2: no object held as a primary by two machines at once
+    // (a replica copy is listed as both `store` and `replica` at its
+    // host, so primaries = store − replicas per node block).
+    fn flush<'a>(
+        store: &mut Vec<&'a str>,
+        replicas: &mut std::collections::HashSet<&'a str>,
+        primaries: &mut std::collections::HashMap<&'a str, u32>,
+    ) {
+        for obj in store.drain(..) {
+            if !replicas.contains(obj) {
+                *primaries.entry(obj).or_insert(0) += 1;
+            }
+        }
+        replicas.clear();
+    }
+    let snapshot = p2p.contents_snapshot();
+    let mut primaries: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let mut store: Vec<&str> = Vec::new();
+    let mut replicas: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for line in snapshot.lines() {
+        if let Some(obj) = line.strip_prefix("  store ") {
+            store.push(obj);
+        } else if let Some(obj) = line.strip_prefix("  replica ") {
+            replicas.insert(obj);
+        } else {
+            flush(&mut store, &mut replicas, &mut primaries);
+        }
+    }
+    flush(&mut store, &mut replicas, &mut primaries);
+    for (obj, n) in primaries {
+        if n > 1 {
+            violations.push(format!("duplicate: object {obj} is a primary on {n} machines"));
+        }
+    }
+
+    // Oracle 3: replica floor, only meaningful while membership held
+    // still (lazy repair legitimately lags under churn).
+    let stable = plan.events.iter().all(|e| e.action == FaultAction::Slow);
+    if stable {
+        for v in p2p.check_replica_floor() {
+            violations.push(format!("replica_floor: {v}"));
+        }
+    }
+
+    // Oracle 4: counter conservation.
+    let issued =
+        if plan.window > 0 { plan.window.min(cfg.requests as u64) } else { cfg.requests as u64 };
+    let by_class: u64 = crate::net::HitClass::ALL.iter().map(|c| out.metrics.count(*c)).sum();
+    if by_class != out.metrics.requests {
+        violations.push(format!(
+            "conservation: per-class serves sum to {by_class} but {} requests recorded",
+            out.metrics.requests
+        ));
+    }
+    if out.detections.len() as u64 + out.undetected != out.crashes {
+        violations.push(format!(
+            "conservation: {} detected + {} undetected != {} crashes",
+            out.detections.len(),
+            out.undetected,
+            out.crashes
+        ));
+    }
+    if out.snapshot.stale_lookups > out.snapshot.lookups {
+        violations.push(format!(
+            "conservation: {} stale lookups exceed {} lookups",
+            out.snapshot.stale_lookups, out.snapshot.lookups
+        ));
+    }
+    if out.snapshot.dead_node_timeouts > out.snapshot.timeouts {
+        violations.push(format!(
+            "conservation: {} dead-node timeouts exceed {} timeouts",
+            out.snapshot.dead_node_timeouts, out.snapshot.timeouts
+        ));
+    }
+
+    // Oracle 5: total availability.
+    if out.metrics.requests != issued {
+        violations.push(format!(
+            "availability: served {} of {issued} issued requests",
+            out.metrics.requests
+        ));
+    }
+
+    Ok(violations)
+}
+
+/// Candidate-run budget per shrink (the shrinker stops improving once
+/// spent; each candidate is a full drive).
+const SHRINK_BUDGET: u64 = 128;
+
+/// Minimizes a failing plan: repeatedly drop events, zero-then-halve
+/// probabilities, and narrow the window, keeping any candidate that
+/// still fails, until a fixed point or the budget runs out. Returns the
+/// shrunk plan, its findings, and the runs spent.
+pub fn shrink(
+    cfg: &ChaosConfig,
+    trace: &Trace,
+    failing: &FaultPlan,
+) -> Result<(FaultPlan, Vec<String>, u64), SimError> {
+    let mut best = failing.clone();
+    let mut best_violations = run_oracles(cfg, &best, trace)?;
+    debug_assert!(!best_violations.is_empty(), "shrink() needs a failing plan");
+    let mut runs = 0u64;
+
+    let still_fails =
+        |candidate: &FaultPlan, runs: &mut u64| -> Result<Option<Vec<String>>, SimError> {
+            *runs += 1;
+            let v = run_oracles(cfg, candidate, trace)?;
+            Ok(if v.is_empty() { None } else { Some(v) })
+        };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop each scheduled event in turn.
+        let mut i = 0;
+        while i < best.events.len() && runs < SHRINK_BUDGET {
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: zero, then halve, each fault probability.
+        for field in 0..5 {
+            if runs >= SHRINK_BUDGET {
+                break;
+            }
+            let get = |p: &FaultPlan| match field {
+                0 => p.loss,
+                1 => p.mloss,
+                2 => p.dup,
+                3 => p.reorder,
+                _ => p.corrupt,
+            };
+            let set = |p: &mut FaultPlan, v: f64| match field {
+                0 => p.loss = v,
+                1 => p.mloss = v,
+                2 => p.dup = v,
+                3 => p.reorder = v,
+                _ => p.corrupt = v,
+            };
+            if get(&best) <= 0.0 {
+                continue;
+            }
+            let mut candidate = best.clone();
+            set(&mut candidate, 0.0);
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else if runs < SHRINK_BUDGET {
+                let mut candidate = best.clone();
+                set(&mut candidate, get(&best) / 2.0);
+                if let Some(v) = still_fails(&candidate, &mut runs)? {
+                    best = candidate;
+                    best_violations = v;
+                    improved = true;
+                }
+            }
+        }
+
+        // Pass 3: narrow the request window to just past the last event.
+        if runs < SHRINK_BUDGET {
+            if let Some(last_at) = best.events.iter().map(|e| e.at).max() {
+                let narrowed = last_at + 64;
+                let current = if best.window > 0 { best.window } else { cfg.requests as u64 };
+                if narrowed < current {
+                    let mut candidate = best.clone();
+                    candidate.window = narrowed;
+                    if let Some(v) = still_fails(&candidate, &mut runs)? {
+                        best = candidate;
+                        best_violations = v;
+                        improved = true;
+                    }
+                }
+            }
+        }
+
+        if !improved || runs >= SHRINK_BUDGET {
+            break;
+        }
+    }
+    Ok((best, best_violations, runs))
+}
+
+/// Runs the full exploration: generate `cfg.plans` seeded plans, drive
+/// each, audit with the oracles, and shrink every failure to a minimal
+/// replayable spec.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SimError> {
+    cfg.validate()?;
+    let trace = ProWGen::new(ProWGenConfig {
+        requests: cfg.requests,
+        distinct_objects: cfg.distinct_objects,
+        num_clients: cfg.trace_clients.max(1) as u32,
+        seed: derive_indexed(cfg.seed, "chaos-trace", 0),
+        ..ProWGenConfig::default()
+    })
+    .generate();
+
+    let mut report =
+        ChaosReport { plans: cfg.plans as u64, seed: cfg.seed, passed: 0, failures: Vec::new() };
+    for index in 0..cfg.plans as u64 {
+        let plan = generate_plan(cfg, index);
+        let violations = run_oracles(cfg, &plan, &trace)?;
+        if violations.is_empty() {
+            report.passed += 1;
+            continue;
+        }
+        let (shrunk, shrunk_violations, shrink_runs) = shrink(cfg, &trace, &plan)?;
+        report.failures.push(ChaosFailure {
+            plan_index: index,
+            spec: plan.to_spec(),
+            violations,
+            shrunk_spec: shrunk.to_spec(),
+            shrunk_violations,
+            shrink_runs,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChaosConfig {
+        // Tiny drives: the unit tests exercise the machinery, not scale.
+        ChaosConfig {
+            plans: 12,
+            requests: 600,
+            distinct_objects: 120,
+            clients_per_cluster: 12,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic_and_varied() {
+        let cfg = quick_cfg();
+        let a: Vec<FaultPlan> = (0..8).map(|i| generate_plan(&cfg, i)).collect();
+        let b: Vec<FaultPlan> = (0..8).map(|i| generate_plan(&cfg, i)).collect();
+        assert_eq!(a, b);
+        // Not all plans identical, and events land inside the trace.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        for plan in &a {
+            assert!(plan.events.len() <= cfg.max_events);
+            for e in &plan.events {
+                assert!(e.at < cfg.requests as u64);
+            }
+            for p in [plan.loss, plan.mloss, plan.dup, plan.reorder, plan.corrupt] {
+                assert!((0.0..1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_plans_round_trip_their_spec() {
+        let cfg = quick_cfg();
+        for i in 0..8 {
+            let plan = generate_plan(&cfg, i);
+            let reparsed: FaultPlan = plan.to_spec().parse().expect("generated spec parses");
+            assert_eq!(reparsed.events, plan.events, "plan {i}");
+            assert_eq!(reparsed.seed, plan.seed, "plan {i}");
+        }
+    }
+
+    #[test]
+    fn healthy_exploration_is_all_green() {
+        let report = run_chaos(&quick_cfg()).expect("chaos runs");
+        assert!(report.all_green(), "unexpected failures: {:#?}", report.failures);
+        assert_eq!(report.passed, report.plans);
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_shrinks_to_a_minimal_crash_plan() {
+        let cfg = ChaosConfig { sabotage: true, ..quick_cfg() };
+        let report = run_chaos(&cfg).expect("chaos runs");
+        assert!(!report.all_green(), "sabotage must trip the structure oracle");
+        for f in &report.failures {
+            // The planted ghost entry fires only with a crash scheduled,
+            // so the minimal reproducer is exactly one crash and no
+            // fault probabilities.
+            let shrunk: FaultPlan = f.shrunk_spec.parse().expect("shrunk spec replays");
+            assert_eq!(shrunk.count(FaultAction::Crash), 1, "shrunk: {}", f.shrunk_spec);
+            assert_eq!(shrunk.events.len(), 1, "shrunk: {}", f.shrunk_spec);
+            assert_eq!(shrunk.loss, 0.0);
+            assert_eq!(shrunk.mloss, 0.0);
+            assert!(!f.shrunk_violations.is_empty());
+            assert!(f.shrink_runs > 0 && f.shrink_runs <= SHRINK_BUDGET);
+            assert!(f.violations.iter().any(|v| v.starts_with("structure:")));
+        }
+    }
+
+    #[test]
+    fn shrunk_spec_replays_to_the_same_violation() {
+        let cfg = ChaosConfig { sabotage: true, ..quick_cfg() };
+        let report = run_chaos(&cfg).expect("chaos runs");
+        let failure = report.failures.first().expect("sabotage produced a failure");
+        let trace = ProWGen::new(ProWGenConfig {
+            requests: cfg.requests,
+            distinct_objects: cfg.distinct_objects,
+            num_clients: cfg.trace_clients.max(1) as u32,
+            seed: derive_indexed(cfg.seed, "chaos-trace", 0),
+            ..ProWGenConfig::default()
+        })
+        .generate();
+        let shrunk: FaultPlan = failure.shrunk_spec.parse().expect("spec parses");
+        let replayed = run_oracles(&cfg, &shrunk, &trace).expect("replay runs");
+        assert_eq!(replayed, failure.shrunk_violations, "replay must be deterministic");
+    }
+
+    #[test]
+    fn report_renders_json_and_table() {
+        let cfg = ChaosConfig { sabotage: true, plans: 6, ..quick_cfg() };
+        let report = run_chaos(&cfg).expect("chaos runs");
+        let json = report.to_json();
+        assert!(json.contains("\"plans\": 6"));
+        assert!(json.contains("\"failures\": ["));
+        assert!(json.contains("\"shrunk_spec\""));
+        let table = report.to_table();
+        assert!(table.contains("failures"));
+        assert!(table.contains("shrunk"));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.plans = 0;
+        assert!(run_chaos(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.replication = 0;
+        assert!(run_chaos(&cfg).is_err());
+    }
+}
+
+/// Regression corpus: shrunk specs from real explorer finds, replayed
+/// against the default chaos configuration. Each entry is the minimal
+/// plan the shrinker produced for a bug that has since been fixed —
+/// exactly the workflow the explorer exists for.
+#[cfg(test)]
+mod regressions {
+    use super::*;
+    use std::str::FromStr;
+
+    /// Found by `webcache chaos --plans 200 --seed 42` (plan #126).
+    /// A graceful departure handed its primaries off *before* rewiring
+    /// the objects it had diverted to neighbor hosts; when a hand-off
+    /// insertion evicted one of those diverted objects, the eviction
+    /// bookkeeping could not reach the departed owner, so the late
+    /// rewire resurrected the directory entry and re-tracked a replica
+    /// set for an object no longer resident anywhere. Needs message
+    /// loss to line the stores up — exactly the kind of state only a
+    /// seeded explorer walks into.
+    #[test]
+    fn depart_handoff_eviction_of_diverted_object() {
+        let cfg = ChaosConfig::default();
+        let trace = ProWGen::new(ProWGenConfig {
+            requests: cfg.requests,
+            distinct_objects: cfg.distinct_objects,
+            num_clients: cfg.trace_clients.max(1) as u32,
+            seed: derive_indexed(cfg.seed, "chaos-trace", 0),
+            ..ProWGenConfig::default()
+        })
+        .generate();
+        let plan = FaultPlan::from_str(concat!(
+            "depart@765,rejoin@984,slow@1080,crash@1484,depart@2096,",
+            "mloss=0.28660599939080533,window=2160,seed=6367027891551064294",
+        ))
+        .unwrap();
+        let violations = run_oracles(&cfg, &plan, &trace).unwrap();
+        assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+}

@@ -24,9 +24,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
 use std::sync::Arc;
-use webcache_p2p::NetFaults;
+use webcache_p2p::{NetFaults, TransportFaults};
 use webcache_pastry::NodeId;
-use webcache_primitives::seed::splitmix64;
+use webcache_primitives::seed::{derive, splitmix64};
 use webcache_workload::{ProWGen, ProWGenConfig, Trace};
 
 /// One scheduled fault, applied before the request at its index is served.
@@ -67,7 +67,10 @@ pub struct FaultEvent {
 ///
 /// Parsed from a small spec string — comma- or semicolon-separated
 /// tokens of `crash@N`, `depart@N`, `rejoin@N`, `slow@N`, `loss=F`,
-/// `seed=N`:
+/// `seed=N`, and the message-level transport keys `mloss=F`, `dup=F`,
+/// `reorder=F`, `corrupt=F`, plus `window=N` (serve only the first `N`
+/// requests — how the chaos shrinker narrows a failing plan while
+/// keeping the spec replayable):
 ///
 /// ```
 /// use webcache_sim::fault::FaultPlan;
@@ -78,14 +81,29 @@ pub struct FaultEvent {
 ///
 /// Target nodes are *not* named in the spec: they are drawn from the live
 /// membership by a splitmix64 stream seeded with `seed`, which keeps
-/// plans topology-independent yet fully reproducible.
+/// plans topology-independent yet fully reproducible. Duplicate
+/// `key=value` tokens are rejected (a typo'd spec silently overriding
+/// itself is exactly the kind of bug a reproducer spec cannot afford);
+/// duplicate *event* indices are allowed — two crashes in the same
+/// request gap are a legitimate schedule.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Scheduled faults, sorted by request index (stable for ties).
     pub events: Vec<FaultEvent>,
-    /// Per-message loss probability in `[0, 1)`.
+    /// Per-hop message loss probability in `[0, 1)` (the PR-3 overlay
+    /// fault coin; distinct from the transport-level `mloss`).
     pub loss: f64,
-    /// Seed for target selection and the loss stream.
+    /// Transport-level per-attempt message loss in `[0, 1)`.
+    pub mloss: f64,
+    /// Transport-level delivery duplication probability in `[0, 1)`.
+    pub dup: f64,
+    /// Transport-level delivery reordering probability in `[0, 1)`.
+    pub reorder: f64,
+    /// Transport-level payload corruption probability in `[0, 1)`.
+    pub corrupt: f64,
+    /// Serve only the first `window` requests of the trace (0 = all).
+    pub window: u64,
+    /// Seed for target selection, the loss stream, and the transport.
     pub seed: u64,
 }
 
@@ -99,12 +117,42 @@ impl FaultPlan {
     /// The empty plan: no events, no loss. Running under it is
     /// bit-identical to a fault-free run.
     pub fn none() -> Self {
-        FaultPlan { events: Vec::new(), loss: 0.0, seed: 0 }
+        FaultPlan {
+            events: Vec::new(),
+            loss: 0.0,
+            mloss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            window: 0,
+            seed: 0,
+        }
     }
 
     /// True if this plan injects nothing.
     pub fn is_none(&self) -> bool {
-        self.events.is_empty() && self.loss <= 0.0
+        self.events.is_empty() && self.loss <= 0.0 && !self.has_transport()
+    }
+
+    /// True when any transport-level fault probability is set; only then
+    /// is an [`webcache_p2p::UnreliableTransport`] installed, so plans
+    /// without the new keys stay bit-identical to their pre-transport
+    /// runs.
+    pub fn has_transport(&self) -> bool {
+        self.mloss > 0.0 || self.dup > 0.0 || self.reorder > 0.0 || self.corrupt > 0.0
+    }
+
+    /// The transport fault configuration this plan describes, with the
+    /// transport's seed derived from the plan seed (label-separated from
+    /// the target-selection and per-hop loss streams).
+    pub fn transport_faults(&self) -> TransportFaults {
+        TransportFaults {
+            loss: self.mloss,
+            duplication: self.dup,
+            reorder: self.reorder,
+            corruption: self.corrupt,
+            seed: derive(self.seed, "transport"),
+        }
     }
 
     /// This plan with a different selection/loss seed.
@@ -132,6 +180,21 @@ impl FaultPlan {
         if self.loss > 0.0 {
             parts.push(format!("loss={}", self.loss));
         }
+        if self.mloss > 0.0 {
+            parts.push(format!("mloss={}", self.mloss));
+        }
+        if self.dup > 0.0 {
+            parts.push(format!("dup={}", self.dup));
+        }
+        if self.reorder > 0.0 {
+            parts.push(format!("reorder={}", self.reorder));
+        }
+        if self.corrupt > 0.0 {
+            parts.push(format!("corrupt={}", self.corrupt));
+        }
+        if self.window > 0 {
+            parts.push(format!("window={}", self.window));
+        }
         if self.seed != 0 {
             parts.push(format!("seed={}", self.seed));
         }
@@ -143,24 +206,40 @@ impl FromStr for FaultPlan {
     type Err = SimError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn probability(key: &str, value: &str) -> Result<f64, SimError> {
+            let p: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| SimError::InvalidConfig(format!("bad {key} probability '{value}'")))?;
+            if !(0.0..1.0).contains(&p) {
+                return Err(SimError::InvalidConfig(format!("{key} must be in [0, 1), got {p}")));
+            }
+            Ok(p)
+        }
         let mut plan = FaultPlan::none();
+        let mut seen_keys: Vec<&str> = Vec::new();
         for raw in s.split([',', ';']) {
             let token = raw.trim();
             if token.is_empty() {
                 continue;
             }
             if let Some((key, value)) = token.split_once('=') {
-                match key.trim() {
-                    "loss" => {
-                        let loss: f64 = value.trim().parse().map_err(|_| {
-                            SimError::InvalidConfig(format!("bad loss probability '{value}'"))
+                let key = key.trim();
+                if seen_keys.contains(&key) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "duplicate fault key '{key}' (a spec overriding itself is a typo)"
+                    )));
+                }
+                match key {
+                    "loss" => plan.loss = probability(key, value)?,
+                    "mloss" => plan.mloss = probability(key, value)?,
+                    "dup" => plan.dup = probability(key, value)?,
+                    "reorder" => plan.reorder = probability(key, value)?,
+                    "corrupt" => plan.corrupt = probability(key, value)?,
+                    "window" => {
+                        plan.window = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!("bad window '{value}'"))
                         })?;
-                        if !(0.0..1.0).contains(&loss) {
-                            return Err(SimError::InvalidConfig(format!(
-                                "loss must be in [0, 1), got {loss}"
-                            )));
-                        }
-                        plan.loss = loss;
                     }
                     "seed" => {
                         plan.seed = value
@@ -170,10 +249,12 @@ impl FromStr for FaultPlan {
                     }
                     other => {
                         return Err(SimError::InvalidConfig(format!(
-                            "unknown fault key '{other}' (expected loss or seed)"
+                            "unknown fault key '{other}' (expected loss, mloss, dup, reorder, \
+                             corrupt, window or seed)"
                         )));
                     }
                 }
+                seen_keys.push(key);
                 continue;
             }
             let Some((verb, at)) = token.split_once('@') else {
@@ -260,11 +341,16 @@ impl ChurnConfig {
         if self.replication == 0 {
             return Err(SimError::InvalidConfig("replication factor must be >= 1".into()));
         }
-        if !(0.0..1.0).contains(&self.plan.loss) {
-            return Err(SimError::InvalidConfig(format!(
-                "loss must be in [0, 1), got {}",
-                self.plan.loss
-            )));
+        for (name, p) in [
+            ("loss", self.plan.loss),
+            ("mloss", self.plan.mloss),
+            ("dup", self.plan.dup),
+            ("reorder", self.plan.reorder),
+            ("corrupt", self.plan.corrupt),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(SimError::InvalidConfig(format!("{name} must be in [0, 1), got {p}")));
+            }
         }
         self.net.validate()
     }
@@ -420,17 +506,17 @@ impl ChurnReport {
 }
 
 /// Everything one driven run produced.
-struct DriveOutcome {
-    metrics: RunMetrics,
-    snapshot: StatsSnapshot,
-    crashes: u64,
-    departures: u64,
-    rejoins: u64,
-    slows: u64,
-    skipped: u64,
-    detections: Vec<u64>,
-    undetected: u64,
-    invariant_violations: u64,
+pub(crate) struct DriveOutcome {
+    pub(crate) metrics: RunMetrics,
+    pub(crate) snapshot: StatsSnapshot,
+    pub(crate) crashes: u64,
+    pub(crate) departures: u64,
+    pub(crate) rejoins: u64,
+    pub(crate) slows: u64,
+    pub(crate) skipped: u64,
+    pub(crate) detections: Vec<u64>,
+    pub(crate) undetected: u64,
+    pub(crate) invariant_violations: u64,
 }
 
 /// Runs the full churn drill: the faulty run, then a fault-free twin on
@@ -446,11 +532,18 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
     })
     .generate();
 
-    let faulty = drive(cfg, &trace, &cfg.plan)?;
-    let baseline = drive(cfg, &trace, &FaultPlan::none())?;
+    let (faulty, _) = drive(cfg, &trace, &cfg.plan)?;
+    // The fault-free twin replays the same request window so the latency
+    // delta compares like with like.
+    let twin_plan = FaultPlan { window: cfg.plan.window, ..FaultPlan::none() };
+    let (baseline, _) = drive(cfg, &trace, &twin_plan)?;
 
     let served: u64 = faulty.metrics.requests;
-    let issued = cfg.requests as u64;
+    let issued = if cfg.plan.window > 0 {
+        cfg.plan.window.min(cfg.requests as u64)
+    } else {
+        cfg.requests as u64
+    };
     let avg_milli = (faulty.metrics.avg_latency() * 1000.0).round() as u64;
     let base_milli = (baseline.metrics.avg_latency() * 1000.0).round() as u64;
     let delta =
@@ -498,8 +591,25 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
     })
 }
 
-/// Drives one engine through the trace under `plan`.
-fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutcome, SimError> {
+/// Debug aid for bisecting chaos failures down from an end-state oracle
+/// to the first request (or fault action) that broke the structure: set
+/// `CHAOS_DEBUG_INVARIANTS=1` and the drive panics at the first
+/// violation instead of reporting it at the end. Checked once; the
+/// per-request cost when unset is a single atomic load.
+fn debug_invariants() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CHAOS_DEBUG_INVARIANTS").is_some())
+}
+
+/// Drives one engine through the trace under `plan`, returning both what
+/// it measured and the engine itself — the chaos explorer interrogates
+/// the end state (invariants, replica floor, contents snapshot) after
+/// the drive.
+pub(crate) fn drive(
+    cfg: &ChurnConfig,
+    trace: &Trace,
+    plan: &FaultPlan,
+) -> Result<(DriveOutcome, HierGdEngine<Arc<StatsRecorder>>), SimError> {
     let recorder = Arc::new(StatsRecorder::new());
     let opts = HierGdOptions { replication: cfg.replication, ..HierGdOptions::default() };
     let mut engine = HierGdEngine::with_recorder(
@@ -512,8 +622,11 @@ fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutc
         opts,
         Arc::clone(&recorder),
     );
-    if !plan.is_none() {
+    if plan.loss > 0.0 || !plan.events.is_empty() {
         engine.set_client_faults(0, NetFaults::new(plan.loss, plan.seed));
+    }
+    if plan.has_transport() {
+        engine.set_client_transport(0, plan.transport_faults());
     }
 
     // Target selection stream, decoupled from the loss stream so adding
@@ -534,7 +647,12 @@ fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutc
         invariant_violations: 0,
     };
 
-    for (i, req) in trace.requests.iter().enumerate() {
+    let limit = if plan.window > 0 {
+        (plan.window.min(trace.requests.len() as u64)) as usize
+    } else {
+        trace.requests.len()
+    };
+    for (i, req) in trace.requests.iter().take(limit).enumerate() {
         while next_event < plan.events.len() && plan.events[next_event].at <= i as u64 {
             let action = plan.events[next_event].action;
             next_event += 1;
@@ -546,10 +664,19 @@ fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutc
                 &mut outstanding,
                 &mut out,
             )?;
+            if debug_invariants() {
+                let v = engine.p2p(0).check_invariants();
+                assert!(v.is_empty(), "first violation after {action:?} at request {i}: {v:#?}");
+            }
         }
         let class = engine.serve(0, req);
         let latency = engine.latency_of(&cfg.net, class);
         out.metrics.record(class, latency);
+
+        if debug_invariants() {
+            let v = engine.p2p(0).check_invariants();
+            assert!(v.is_empty(), "first violation at request {i} ({:032x}): {v:#?}", req.object);
+        }
 
         // Lazy detection bookkeeping: a crash leaves `crashed_ids` only
         // when traffic walked into the corpse and repair ran.
@@ -569,7 +696,7 @@ fn drive(cfg: &ChurnConfig, trace: &Trace, plan: &FaultPlan) -> Result<DriveOutc
     out.undetected = outstanding.len() as u64;
     engine.finish(&mut out.metrics);
     out.snapshot = recorder.snapshot();
-    Ok(out)
+    Ok((out, engine))
 }
 
 /// Applies one scheduled action; targets are drawn from live membership.
@@ -653,6 +780,84 @@ mod tests {
                 "'{bad}' should not parse"
             );
         }
+    }
+
+    #[test]
+    fn transport_keys_round_trip() {
+        let plan: FaultPlan =
+            "crash@10, mloss=0.05, dup=0.1, reorder=0.02, corrupt=0.01, window=500, seed=4"
+                .parse()
+                .unwrap();
+        assert!((plan.mloss - 0.05).abs() < 1e-12);
+        assert!((plan.dup - 0.1).abs() < 1e-12);
+        assert!((plan.reorder - 0.02).abs() < 1e-12);
+        assert!((plan.corrupt - 0.01).abs() < 1e-12);
+        assert_eq!(plan.window, 500);
+        assert!(plan.has_transport());
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+        let t = plan.transport_faults();
+        assert!((t.loss - 0.05).abs() < 1e-12);
+        assert_ne!(t.seed, plan.seed, "the transport stream must be label-separated");
+    }
+
+    #[test]
+    fn malformed_transport_specs_are_typed_errors() {
+        for bad in [
+            "mloss=1.0",
+            "mloss=-0.1",
+            "mloss=abc",
+            "dup=2",
+            "dup=oops",
+            "reorder=1.5",
+            "reorder=x",
+            "corrupt=-1",
+            "corrupt=nope",
+            "window=abc",
+            "window=-5",
+            "mloss",
+            "dup@3",
+        ] {
+            assert!(
+                matches!(bad.parse::<FaultPlan>(), Err(SimError::InvalidConfig(_))),
+                "'{bad}' should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_probabilities_name_the_key() {
+        let err = "corrupt=1.0".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        let err = "reorder=-0.5".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("reorder"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        for bad in
+            ["loss=0.1,loss=0.2", "seed=1,seed=2", "mloss=0.1, mloss=0.1", "window=5;window=6"]
+        {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.to_string().contains("duplicate"), "'{bad}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_event_indices_are_allowed() {
+        // Two crashes in the same request gap are a legitimate schedule
+        // (and exactly what a shrunk reproducer often looks like).
+        let plan: FaultPlan = "crash@5,crash@5,depart@5".parse().unwrap();
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.count(FaultAction::Crash), 2);
+    }
+
+    #[test]
+    fn transport_only_plans_are_not_none() {
+        let plan: FaultPlan = "dup=0.05".parse().unwrap();
+        assert!(!plan.is_none());
+        assert!(plan.has_transport());
+        assert!(!"".parse::<FaultPlan>().unwrap().has_transport());
     }
 
     #[test]

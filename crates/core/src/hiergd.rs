@@ -310,6 +310,22 @@ impl<R: Recorder> HierGdEngine<R> {
         self.proxies[proxy].p2p.mark_slow(node);
     }
 
+    /// Routes every protocol message in `proxy`'s cluster through an
+    /// [`UnreliableTransport`](webcache_p2p::UnreliableTransport) with the
+    /// given loss/duplication/reorder/corruption probabilities. Also
+    /// switches the cluster's request path into fault-aware mode.
+    pub fn set_client_transport(&mut self, proxy: usize, faults: webcache_p2p::TransportFaults) {
+        self.proxies[proxy].p2p.set_transport(faults);
+    }
+
+    /// Test-only sabotage hook: plants a directory entry with no backing
+    /// copy in `proxy`'s cluster, a violation the chaos-explorer oracles
+    /// must catch.
+    #[doc(hidden)]
+    pub fn debug_plant_ghost_entry(&mut self, proxy: usize, object: u128) {
+        self.proxies[proxy].p2p.debug_plant_ghost_entry(object);
+    }
+
     /// The recorder observing this engine.
     pub fn recorder(&self) -> &R {
         &self.recorder

@@ -23,6 +23,7 @@
 //! | [`metrics`] | average latency, hit breakdown, latency gain |
 //! | [`config`] | §5.1 sizing rules and the scheme registry |
 //! | [`fault`] | deterministic fault plans + the churn drill harness |
+//! | [`chaos`] | seeded chaos explorer: random plans, oracles, shrinking |
 //! | [`error`] | the [`SimError`] type every fallible API returns |
 //! | [`recorder`] | pluggable observability taps (stats, event log) |
 //! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
@@ -64,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod cost_benefit;
 pub mod engine;
@@ -79,6 +81,7 @@ pub mod squirrel;
 pub mod sweep;
 pub mod throughput;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use config::{
     build_engine, run_experiment, run_experiment_recorded, ExperimentConfig,
     ExperimentConfigBuilder, SchemeKind, Sizing,
@@ -96,3 +99,4 @@ pub use site::{SiteTier, TierTraffic, TwoTierLfuSite};
 pub use squirrel::SquirrelEngine;
 pub use sweep::{gain_curve, sweep, sweep_recorded, SweepResult, PAPER_CACHE_FRACS};
 pub use throughput::{measure_throughput, ThroughputPoint, ThroughputReport};
+pub use webcache_p2p::{MessageClass, SendOutcome, TransportFaults, UnreliableTransport};

@@ -72,6 +72,13 @@ pub struct NetworkModel {
     /// Timeout penalty paid when a message walks into a crashed node, is
     /// lost on the wire, or stalls on a slow machine (churn experiments
     /// only; the fault-free cascade never charges it).
+    ///
+    /// The unreliable transport prices its recovery machinery in the
+    /// same unit: every failed delivery attempt (loss or checksum
+    /// rejection) charges one `t_timeout`, exponential-backoff waits and
+    /// reorder-resequencing stalls charge one per backoff unit. So a
+    /// destage that succeeds on its third attempt costs
+    /// `2·t_timeout + backoff` on top of its normal hop latency.
     pub t_timeout: f64,
 }
 

@@ -163,6 +163,9 @@ pub struct StatsRecorder {
     stale_hits_replica_served: ShardedCounter,
     rereplications: ShardedCounter,
     replica_copies: ShardedCounter,
+    message_retries: ShardedCounter,
+    message_dedups: ShardedCounter,
+    checksum_failures: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -204,6 +207,9 @@ impl StatsRecorder {
             stale_hits_replica_served: self.stale_hits_replica_served.get(),
             rereplications: self.rereplications.get(),
             replica_copies: self.replica_copies.get(),
+            message_retries: self.message_retries.get(),
+            message_dedups: self.message_dedups.get(),
+            checksum_failures: self.checksum_failures.get(),
         }
     }
 }
@@ -286,6 +292,9 @@ impl Recorder for StatsRecorder {
                 self.rereplications.incr();
                 self.replica_copies.add(u64::from(copies));
             }
+            P2pEvent::MessageRetried { .. } => self.message_retries.incr(),
+            P2pEvent::MessageDeduped { .. } => self.message_dedups.incr(),
+            P2pEvent::ChecksumFailed { .. } => self.checksum_failures.incr(),
         }
     }
 }
@@ -356,6 +365,13 @@ pub struct StatsSnapshot {
     pub rereplications: u64,
     /// Fresh replica copies created by re-replications.
     pub replica_copies: u64,
+    /// Protocol messages that needed at least one retransmission through
+    /// the unreliable transport.
+    pub message_retries: u64,
+    /// Duplicate deliveries discarded by a receiver's dedup window.
+    pub message_dedups: u64,
+    /// Delivery attempts rejected by the XXH64 payload checksum.
+    pub checksum_failures: u64,
 }
 
 impl StatsSnapshot {
@@ -494,6 +510,9 @@ impl StatsSnapshot {
             ("stale_hits_replica_served", self.stale_hits_replica_served),
             ("rereplications", self.rereplications),
             ("replica_copies", self.replica_copies),
+            ("message_retries", self.message_retries),
+            ("message_dedups", self.message_dedups),
+            ("checksum_failures", self.checksum_failures),
         ]
     }
 }
@@ -725,6 +744,16 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                 }
                 P2pEvent::Rereplicated { copies } => {
                     flags.push(format!("copies={copies}"));
+                }
+                P2pEvent::MessageRetried { class, attempts } => {
+                    flags.push(format!("class={class}"));
+                    flags.push(format!("attempts={attempts}"));
+                }
+                P2pEvent::MessageDeduped { class } => {
+                    flags.push(format!("class={class}"));
+                }
+                P2pEvent::ChecksumFailed { class } => {
+                    flags.push(format!("class={class}"));
                 }
             }
             (String::new(), String::new(), hops, flags.join("|"))

@@ -20,6 +20,7 @@ use crate::directory::{DirectoryKind, LookupDirectory};
 use crate::events::{NoSink, P2pEvent, P2pSink};
 use crate::faults::{NetFaults, P2pError};
 use crate::ledger::MessageLedger;
+use crate::transport::{MessageClass, TransportFaults, UnreliableTransport};
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
@@ -244,6 +245,10 @@ pub struct P2PClientCache {
     /// promotes a replica (or flushes the entry and falls back to the
     /// server). Empty in fault-free runs.
     limbo: FxHashMap<u128, Vec<NodeId>>,
+    /// Message-level unreliable transport (loss, duplication, reordering,
+    /// corruption with retry/backoff). `None` keeps every path
+    /// bit-identical to the fault-free simulator.
+    transport: Option<UnreliableTransport>,
 }
 
 impl P2PClientCache {
@@ -278,6 +283,7 @@ impl P2PClientCache {
             faults: None,
             fault_penalties: 0,
             limbo: FxHashMap::default(),
+            transport: None,
         }
     }
 
@@ -291,6 +297,21 @@ impl P2PClientCache {
     /// The installed fault state, if any.
     pub fn faults(&self) -> Option<&NetFaults> {
         self.faults.as_ref()
+    }
+
+    /// Installs the unreliable message transport: every protocol message
+    /// class (destage, push, diversion, directory update/invalidate,
+    /// replica re-home) now flows through seeded loss / duplication /
+    /// reordering / corruption injection with at-least-once retries (see
+    /// [`crate::transport`]). Once installed, request paths take the
+    /// liveness-aware slow path even before any crash happens.
+    pub fn set_transport(&mut self, faults: TransportFaults) {
+        self.transport = Some(UnreliableTransport::new(faults));
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<&UnreliableTransport> {
+        self.transport.as_ref()
     }
 
     /// Marks a node slow (requires [`set_faults`](Self::set_faults) first;
@@ -328,7 +349,54 @@ impl P2PClientCache {
     /// Gates the slow liveness-aware request paths so the fault-free
     /// simulator stays bit-identical.
     fn fault_mode(&self) -> bool {
-        self.faults.is_some() || self.overlay.crashed_len() > 0 || !self.limbo.is_empty()
+        self.faults.is_some()
+            || self.transport.is_some()
+            || self.overlay.crashed_len() > 0
+            || !self.limbo.is_empty()
+    }
+
+    /// Pushes one protocol message through the unreliable transport (a
+    /// no-op returning `true` when none is installed). Charges the send's
+    /// cost — one [`note_timeout`](Self::note_timeout) per failed
+    /// attempt, plus backoff waits and the reorder stall as latency
+    /// penalties — and records retries, dedups, and checksum failures in
+    /// the ledger and the event stream. Returns whether the payload was
+    /// delivered; `false` (lost or quarantined) only ever happens for
+    /// droppable payload classes, and the caller degrades safely.
+    fn transport_send<S: P2pSink>(
+        &mut self,
+        class: MessageClass,
+        payload: u128,
+        sink: &mut S,
+    ) -> bool {
+        let Some(t) = self.transport.as_mut() else { return true };
+        let out = t.send(class, payload);
+        for _ in 0..out.timeouts {
+            self.note_timeout(false, sink);
+        }
+        self.fault_penalties += out.backoff_units + u64::from(out.reordered);
+        if out.attempts > 1 {
+            self.ledger.retries += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::MessageRetried {
+                    class: class.label(),
+                    attempts: out.attempts.min(u32::from(u16::MAX)) as u16,
+                });
+            }
+        }
+        if out.deduped {
+            self.ledger.dedups += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::MessageDeduped { class: class.label() });
+            }
+        }
+        if out.checksum_failures > 0 {
+            self.ledger.checksum_failures += u64::from(out.checksum_failures);
+            if S::ENABLED {
+                sink.event(P2pEvent::ChecksumFailed { class: class.label() });
+            }
+        }
+        out.delivered
     }
 
     /// The overlay entry node for `client`, or `None` once the cluster
@@ -711,6 +779,10 @@ impl P2PClientCache {
     /// stale [`P2pEvent::Lookup`].
     fn stale_miss<S: P2pSink>(&mut self, object: u128, hops: usize, sink: &mut S) {
         self.ledger.stale_lookups += 1;
+        // The invalidation is metadata: retries priced, always delivered
+        // (a dropped one would leave the exact directory permanently
+        // oversized).
+        self.transport_send(MessageClass::DirectoryInvalidate, object, sink);
         self.directory.remove(object);
         if S::ENABLED {
             sink.event(P2pEvent::Lookup { hops: hops.min(u16::MAX as usize) as u16, stale: true });
@@ -737,6 +809,13 @@ impl P2PClientCache {
         // The push request enters the overlay at the proxy's designated
         // first client cache.
         let outcome = self.fetch_tap(0, object, hit_cost, sink)?;
+        // The holder's push response carries the object body; when it
+        // never arrives intact, the cooperating proxy falls back to the
+        // server (the holder's greedy-dual touch above stands — it did
+        // serve the request, the transfer died afterwards).
+        if !self.transport_send(MessageClass::Push, object, sink) {
+            return None;
+        }
         self.ledger.pushes += 1;
         self.ledger.new_connections += 1; // holder → proxy push channel
         if S::ENABLED {
@@ -799,6 +878,15 @@ impl P2PClientCache {
         self.remap_clients_away_from(id);
         // Replica copies hosted on the departing node: unlink from roots.
         self.unlink_replicas_hosted_by(&node);
+        // Objects the departing node rooted but had diverted elsewhere:
+        // the primaries survive at their hosts; rewire the pointers. This
+        // must happen *before* the hand-off loop below — a hand-off
+        // insertion can evict one of those diverted objects from its
+        // host, and the eviction bookkeeping needs the pointer to name a
+        // live owner (the departing node is already out of the map, so a
+        // stale pointer would orphan the replica set and resurrect the
+        // directory entry).
+        self.rehome_diverted(&node);
         // Hand every primary to its post-departure root.
         let mut handed = 0u32;
         for obj in node.store.keys() {
@@ -838,9 +926,6 @@ impl P2PClientCache {
                 }
             }
         }
-        // Objects the departing node rooted but had diverted elsewhere:
-        // the primaries survive at their hosts; rewire the pointers.
-        self.rehome_diverted(&node);
         if self.nodes.is_empty() {
             self.directory.clear();
             self.limbo.clear();
@@ -1050,6 +1135,10 @@ impl P2PClientCache {
             }
         }
         let (h, credit) = chosen?;
+        // The promotion re-home is metadata riding the repair protocol:
+        // retries are priced, but it always lands — dropping it would
+        // strand the promoted replica outside the root's bookkeeping.
+        self.transport_send(MessageClass::ReplicaRehome, object, sink);
         let evicted = {
             let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
             hn.store.insert_with_cost(object, credit, 1.0)
@@ -1381,6 +1470,14 @@ impl P2PClientCache {
         sink: &mut S,
     ) -> Option<DestageOutcome> {
         let entry = self.live_entry(via_client.unwrap_or(0), sink)?;
+        // The destage payload crosses the wire first. A copy that never
+        // arrives intact (lost, or quarantined after failing its checksum
+        // every attempt) simply is not cached — lossy but safe: nothing
+        // was mutated, the proxy's eviction stands, and the next request
+        // for the object is an ordinary miss.
+        if !self.transport_send(MessageClass::Destage, object, sink) {
+            return None;
+        }
         match via_client {
             Some(_) => self.ledger.piggybacked_objects += 1,
             None => {
@@ -1426,6 +1523,11 @@ impl P2PClientCache {
             let evicted = rn.store.insert_with_cost(object, cost, 1.0);
             debug_assert!(evicted.is_none());
             self.resident += 1;
+            // The store receipt (directory update) is metadata on the
+            // reliable client↔proxy channel: retries are priced, but it
+            // always lands — a dropped receipt would desynchronize the
+            // directory from residency.
+            self.transport_send(MessageClass::DirectoryUpdate, object, sink);
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
             self.make_replicas(object, root, root, cost);
@@ -1453,6 +1555,12 @@ impl P2PClientCache {
                     self.detect_crash(b, sink);
                     continue;
                 }
+                // The root→neighbor diversion transfer carries the object
+                // body; when it never arrives intact, the root gives up
+                // on diverting and replaces locally (the fallback below).
+                if !self.transport_send(MessageClass::Diversion, object, sink) {
+                    break;
+                }
                 let bn = self.nodes.get_mut(&b.0).expect("leaf member is live");
                 let evicted = bn.store.insert_with_cost(object, cost, 1.0);
                 debug_assert!(evicted.is_none());
@@ -1460,6 +1568,7 @@ impl P2PClientCache {
                 let rn = self.nodes.get_mut(&root.0).expect("root is live");
                 rn.diverted_to.insert(object, b);
                 self.resident += 1;
+                self.transport_send(MessageClass::DirectoryUpdate, object, sink);
                 self.directory.insert(object);
                 self.ledger.diversions += 1;
                 self.ledger.store_receipts += 1;
@@ -1481,6 +1590,7 @@ impl P2PClientCache {
         let evicted = evicted.expect("full store must evict");
         self.on_node_eviction(root, evicted, sink);
         self.resident += 1;
+        self.transport_send(MessageClass::DirectoryUpdate, object, sink);
         self.directory.insert(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
@@ -1594,6 +1704,20 @@ impl P2PClientCache {
     /// one [`P2pEvent::NodeJoined`] carrying the migration count, plus
     /// [`P2pEvent::Eviction`]s for objects displaced by the migration.
     pub fn join_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) {
+        // A rejoining machine can reuse the id of a node that crashed
+        // silently and was never detected (same host, rebooted). The
+        // reboot announcement *is* the detection: reclaim the corpse's
+        // state first so the newcomer starts clean instead of tripping
+        // the membership assert or inheriting stale bookkeeping.
+        if self.overlay.is_crashed(id) {
+            self.detect_crash(id, sink);
+            // The old incarnation's replica copies died with it; scrub it
+            // from any parked replica-host lists so lazy repair does not
+            // chase the fresh, empty cache.
+            for hosts in self.limbo.values_mut() {
+                hosts.retain(|h| *h != id);
+            }
+        }
         assert!(!self.nodes.contains_key(&id.0), "node {id} already joined");
         let msgs = self.overlay.join(id);
         self.ledger.overlay_messages += msgs as u64;
@@ -1744,6 +1868,91 @@ impl P2PClientCache {
         }
         problems
     }
+
+    /// Verifies the replica floor: every resident primary keeps at least
+    /// `min(k, live nodes)` total copies (primary + tracked replicas).
+    /// Returns violations (empty = OK). Only an invariant while cluster
+    /// membership is stable — lazy repair and rejoins legitimately leave
+    /// older objects under-replicated until the next touch — so the chaos
+    /// oracles apply it to membership-stable plans only. Vacuously OK
+    /// when `k == 1`.
+    pub fn check_replica_floor(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.cfg.replication <= 1 {
+            return problems;
+        }
+        let floor = self.cfg.replication.min(self.nodes.len());
+        for node in self.nodes.values() {
+            for obj in node.store.keys() {
+                if node.replicas.contains_key(&obj) {
+                    continue; // replica copy, not a primary
+                }
+                let root = node.hosted_for.get(&obj).copied().unwrap_or(node.id);
+                let copies = 1 + self
+                    .nodes
+                    .get(&root.0)
+                    .and_then(|rn| rn.replicated_to.get(&obj))
+                    .map_or(0, Vec::len);
+                if copies < floor {
+                    problems.push(format!(
+                        "object {obj:032x} has {copies} copies, below the floor of {floor}"
+                    ));
+                }
+            }
+        }
+        problems
+    }
+
+    /// A canonical, deterministic rendering of the cluster's end state:
+    /// every node's resident objects and replica copies, the exact
+    /// directory contents, and the limbo set, all sorted. Two caches with
+    /// byte-identical snapshots hold byte-identical contents — the
+    /// idempotency golden test compares a duplication+reordering run
+    /// against a fault-free one through this, and the chaos oracles diff
+    /// end states with it.
+    pub fn contents_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut ids: Vec<u128> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let node = &self.nodes[&id];
+            let _ = writeln!(out, "node {id:032x}");
+            let mut objs: Vec<u128> = node.store.keys().collect();
+            objs.sort_unstable();
+            for o in objs {
+                let _ = writeln!(out, "  store {o:032x}");
+            }
+            let mut reps: Vec<u128> = node.replicas.keys().copied().collect();
+            reps.sort_unstable();
+            for o in reps {
+                let _ = writeln!(out, "  replica {o:032x}");
+            }
+        }
+        if let LookupDirectory::Exact(set) = &self.directory {
+            let mut dir: Vec<u128> = set.iter().copied().collect();
+            dir.sort_unstable();
+            for o in dir {
+                let _ = writeln!(out, "directory {o:032x}");
+            }
+        }
+        let mut limbo: Vec<u128> = self.limbo.keys().copied().collect();
+        limbo.sort_unstable();
+        for o in limbo {
+            let _ = writeln!(out, "limbo {o:032x}");
+        }
+        out
+    }
+
+    /// Test-only sabotage hook for the chaos explorer: plants a
+    /// directory entry with no backing object, a real
+    /// directory↔residency violation that
+    /// [`check_invariants`](Self::check_invariants) must catch and the
+    /// shrinker must minimize. Never called by production paths.
+    #[doc(hidden)]
+    pub fn debug_plant_ghost_entry(&mut self, object: u128) {
+        self.directory.insert(object);
+    }
 }
 
 /// ObjectIds are routed as overlay keys.
@@ -1759,6 +1968,7 @@ pub fn object_id_for_url(url: &str) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::MAX_ATTEMPTS;
 
     fn small(nodes: usize, cap: usize) -> P2PClientCache {
         P2PClientCache::new(P2PClientCacheConfig {
@@ -2343,5 +2553,155 @@ mod tests {
         // Route memoization only runs on the plain path, but a memo hit
         // replays identical hops, so the ledgers must agree exactly.
         assert_eq!(plain_ledger, churn_ledger);
+    }
+
+    #[test]
+    fn rejoin_of_crashed_undetected_node_reclaims_it() {
+        // Regression: a machine crashes silently, nothing detects it, and
+        // the same machine reboots and rejoins. This used to trip the
+        // membership asserts (the corpse was still in the node map); now
+        // the rejoin counts as the detection and the newcomer starts
+        // clean.
+        let mut c = small_k(10, 4, 2);
+        for i in 0..30u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let victim = c.root_of(oid(0)).unwrap();
+        c.crash_node(victim).unwrap();
+        assert_eq!(c.crashed_len(), 1, "the crash must stay undetected");
+        c.join_node(victim);
+        assert_eq!(c.crashed_len(), 0, "the reboot is the detection");
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        // The rejoined machine serves traffic like any other member.
+        for i in 0..30u64 {
+            let _ = c.fetch(i as u32, oid(i), 1.0);
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after fetch {i}: {problems:?}");
+        }
+        assert!(c.destage(oid(99), 1.0, Some(0)).is_some());
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn zero_transport_is_bit_identical_to_plain() {
+        // Installing an all-zero transport must not change a single
+        // counter or byte of cache state versus the plain path.
+        let drive = |transport: bool| {
+            let mut c = small(8, 2);
+            if transport {
+                c.set_transport(TransportFaults { seed: 77, ..TransportFaults::none() });
+            }
+            for i in 0..60u64 {
+                c.destage(oid(i), 1.0 + (i % 5) as f64, Some(i as u32)).unwrap();
+            }
+            for i in 0..60u64 {
+                let _ = c.fetch(i as u32, oid(i), 1.0);
+            }
+            (*c.ledger(), c.contents_snapshot())
+        };
+        let (plain_ledger, plain_state) = drive(false);
+        let (transport_ledger, transport_state) = drive(true);
+        assert_eq!(plain_ledger, transport_ledger);
+        assert_eq!(plain_state, transport_state);
+    }
+
+    #[test]
+    fn duplication_and_reordering_never_change_end_state() {
+        // The at-least-once discipline's core promise: a duplicated or
+        // reordered delivery costs latency but mutates nothing, so the
+        // end state is byte-identical to a fault-free run.
+        let drive = |faulty: bool| {
+            let mut c = small_k(10, 4, 2);
+            if faulty {
+                c.set_transport(TransportFaults {
+                    duplication: 0.25,
+                    reorder: 0.25,
+                    seed: 31,
+                    ..TransportFaults::none()
+                });
+            }
+            for i in 0..80u64 {
+                c.destage(oid(i), 1.0 + (i % 7) as f64, Some(i as u32)).unwrap();
+            }
+            let mut served = 0u32;
+            for i in 0..80u64 {
+                served += u32::from(c.fetch(i as u32, oid(i), 1.0).is_some());
+            }
+            (c.contents_snapshot(), served, c.ledger().dedups)
+        };
+        let (clean_state, clean_served, clean_dedups) = drive(false);
+        let (faulty_state, faulty_served, faulty_dedups) = drive(true);
+        assert_eq!(clean_dedups, 0);
+        assert!(faulty_dedups > 0, "25% duplication over 160 sends must dedup");
+        assert_eq!(clean_served, faulty_served);
+        assert_eq!(clean_state, faulty_state, "dup/reorder must be state-idempotent");
+    }
+
+    #[test]
+    fn lossy_transport_drops_destages_but_keeps_invariants() {
+        let mut c = small(8, 4);
+        c.set_transport(TransportFaults { loss: 0.6, seed: 5, ..TransportFaults::none() });
+        let mut dropped = 0u32;
+        for i in 0..60u64 {
+            if c.destage(oid(i), 1.0, Some(0)).is_none() {
+                dropped += 1;
+            }
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after destage {i}: {problems:?}");
+        }
+        assert!(dropped > 0, "60% per-attempt loss must exhaust some retry budgets");
+        assert!(c.ledger().retries > 0);
+        assert!(c.ledger().timeouts > 0, "every failed attempt is a timed-out message");
+        assert!(c.take_fault_penalties() > 0, "retries and backoff must cost latency");
+        for i in 0..60u64 {
+            if c.directory_contains(oid(i)) {
+                assert!(c.fetch(1, oid(i), 1.0).is_some(), "a stored object must be servable");
+            }
+        }
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn corrupting_transport_quarantines_instead_of_caching() {
+        let mut c = small(8, 4);
+        c.set_transport(TransportFaults { corruption: 0.999, seed: 9, ..TransportFaults::none() });
+        let mut quarantined = 0u32;
+        for i in 0..10u64 {
+            quarantined += u32::from(c.destage(oid(i), 1.0, Some(0)).is_none());
+        }
+        assert!(
+            quarantined >= 8,
+            "payloads that never verify must be quarantined, not cached ({quarantined}/10)"
+        );
+        assert_eq!(c.len(), 10 - quarantined as usize);
+        assert!(c.ledger().checksum_failures >= u64::from(quarantined * MAX_ATTEMPTS));
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn replica_floor_holds_with_stable_membership() {
+        let mut c = small_k(12, 8, 2);
+        c.set_transport(TransportFaults {
+            duplication: 0.1,
+            reorder: 0.1,
+            seed: 13,
+            ..TransportFaults::none()
+        });
+        for i in 0..40u64 {
+            c.destage(oid(i), 1.0, Some(i as u32)).unwrap();
+        }
+        let problems = c.check_replica_floor();
+        assert!(problems.is_empty(), "{problems:?}");
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn ghost_entry_hook_plants_a_real_violation() {
+        let mut c = small(4, 2);
+        c.destage(oid(1), 1.0, Some(0)).unwrap();
+        assert!(c.check_invariants().is_empty());
+        c.debug_plant_ghost_entry(oid(1000));
+        assert!(!c.check_invariants().is_empty(), "the sabotage hook must trip the oracle");
     }
 }

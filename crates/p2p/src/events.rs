@@ -105,6 +105,26 @@ pub enum P2pEvent {
         /// Fresh replica copies created after promoting the survivor.
         copies: u32,
     },
+    /// A protocol message needed retransmission through the unreliable
+    /// transport (loss or corruption ate earlier attempts).
+    MessageRetried {
+        /// Protocol message class label (`MessageClass::label`).
+        class: &'static str,
+        /// Total attempts made for the logical message.
+        attempts: u16,
+    },
+    /// A duplicated delivery was recognized by the receiver's
+    /// sequence-number window and discarded without touching state.
+    MessageDeduped {
+        /// Protocol message class label (`MessageClass::label`).
+        class: &'static str,
+    },
+    /// A delivery attempt failed its XXH64 payload checksum (in-flight
+    /// corruption caught before the object could be cached).
+    ChecksumFailed {
+        /// Protocol message class label (`MessageClass::label`).
+        class: &'static str,
+    },
 }
 
 impl P2pEvent {
@@ -123,6 +143,9 @@ impl P2pEvent {
             P2pEvent::TimeoutDetected { .. } => "timeout_detected",
             P2pEvent::StaleDirectoryHit { .. } => "stale_directory_hit",
             P2pEvent::Rereplicated { .. } => "rereplicated",
+            P2pEvent::MessageRetried { .. } => "message_retried",
+            P2pEvent::MessageDeduped { .. } => "message_deduped",
+            P2pEvent::ChecksumFailed { .. } => "checksum_failed",
         }
     }
 }
@@ -186,6 +209,12 @@ mod tests {
             "stale_directory_hit"
         );
         assert_eq!(P2pEvent::Rereplicated { copies: 2 }.kind_label(), "rereplicated");
+        assert_eq!(
+            P2pEvent::MessageRetried { class: "destage", attempts: 2 }.kind_label(),
+            "message_retried"
+        );
+        assert_eq!(P2pEvent::MessageDeduped { class: "push" }.kind_label(), "message_deduped");
+        assert_eq!(P2pEvent::ChecksumFailed { class: "destage" }.kind_label(), "checksum_failed");
     }
 
     #[test]

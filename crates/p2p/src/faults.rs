@@ -7,15 +7,16 @@
 //! themselves live in the overlay (`Overlay::crash`); [`NetFaults`]
 //! only carries the *message-level* fault state.
 //!
-//! Determinism: loss decisions come from a seeded splitmix64 stream, so
-//! the same seed and the same request sequence reproduce the same run
-//! bit for bit. When `loss == 0.0` the generator is never advanced,
-//! which keeps a loss-free faulty run identical to a fault-free one.
+//! Determinism: loss decisions come from the shared seeded
+//! [`Bernoulli`] sampler (a splitmix64 stream), so the same seed and the
+//! same request sequence reproduce the same run bit for bit. When
+//! `loss == 0.0` the generator is never advanced, which keeps a
+//! loss-free faulty run identical to a fault-free one.
 
 use std::fmt;
 
 use webcache_pastry::NodeId;
-use webcache_primitives::FxHashSet;
+use webcache_primitives::{Bernoulli, FxHashSet};
 
 /// Typed error for cluster-mutating operations that used to panic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,8 +50,7 @@ impl From<webcache_pastry::OverlayError> for P2pError {
 /// Message-loss probability and slow-node set for a churn run.
 #[derive(Clone, Debug)]
 pub struct NetFaults {
-    loss: f64,
-    state: u64,
+    loss: Bernoulli,
     slow: FxHashSet<u128>,
 }
 
@@ -58,33 +58,18 @@ impl NetFaults {
     /// Builds fault state with the given per-message loss probability
     /// (clamped to `[0, 1)`) and PRNG seed.
     pub fn new(loss: f64, seed: u64) -> Self {
-        let loss = if loss.is_finite() { loss.clamp(0.0, 0.999_999) } else { 0.0 };
-        NetFaults { loss, state: seed, slow: FxHashSet::default() }
+        NetFaults { loss: Bernoulli::new(loss, seed), slow: FxHashSet::default() }
     }
 
     /// The configured per-message loss probability.
     pub fn loss(&self) -> f64 {
-        self.loss
-    }
-
-    /// splitmix64 — tiny, deterministic, dependency-free.
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.loss.p()
     }
 
     /// Draws one loss decision. Never advances the generator when the
-    /// loss probability is zero.
+    /// loss probability is zero ([`Bernoulli`]'s contract).
     pub fn lose(&mut self) -> bool {
-        if self.loss <= 0.0 {
-            return false;
-        }
-        // 53 uniform bits → [0, 1) with full f64 precision.
-        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        u < self.loss
+        self.loss.sample()
     }
 
     /// Marks a node as slow: interactions with it cost one extra
@@ -111,11 +96,11 @@ mod tests {
     #[test]
     fn zero_loss_never_draws() {
         let mut f = NetFaults::new(0.0, 42);
-        let before = f.state;
+        let before = f.loss.state();
         for _ in 0..100 {
             assert!(!f.lose());
         }
-        assert_eq!(f.state, before, "zero-loss runs must not advance the PRNG");
+        assert_eq!(f.loss.state(), before, "zero-loss runs must not advance the PRNG");
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub struct MessageLedger {
     /// replication-factor restoration).
     #[serde(default)]
     pub rereplications: u64,
+    /// Protocol messages that needed at least one retransmission through
+    /// the unreliable transport (loss or corruption).
+    #[serde(default)]
+    pub retries: u64,
+    /// Duplicated deliveries discarded by the receiver's sequence-number
+    /// dedup window.
+    #[serde(default)]
+    pub dedups: u64,
+    /// Delivery attempts that failed their XXH64 payload checksum.
+    #[serde(default)]
+    pub checksum_failures: u64,
 }
 
 impl MessageLedger {
@@ -76,6 +87,9 @@ impl MessageLedger {
         self.timeouts += other.timeouts;
         self.stale_hits += other.stale_hits;
         self.rereplications += other.rereplications;
+        self.retries += other.retries;
+        self.dedups += other.dedups;
+        self.checksum_failures += other.checksum_failures;
     }
 }
 

@@ -25,6 +25,7 @@ pub mod directory;
 pub mod events;
 pub mod faults;
 pub mod ledger;
+pub mod transport;
 
 pub use cache::{
     object_id_for_url, ClientCacheNode, DestageOutcome, FetchOutcome, P2PClientCache,
@@ -34,3 +35,4 @@ pub use directory::{DirectoryKind, LookupDirectory};
 pub use events::{NoSink, P2pEvent, P2pSink};
 pub use faults::{NetFaults, P2pError};
 pub use ledger::MessageLedger;
+pub use transport::{MessageClass, SendOutcome, TransportFaults, UnreliableTransport};

@@ -1,0 +1,395 @@
+//! The unreliable-message transport layer.
+//!
+//! PR 3 modeled *node*-level churn (crashes, departures) with a binary
+//! per-hop loss coin; this module grows the fault model to *message*
+//! granularity. Every protocol message class the paper's machinery sends
+//! — destage passdowns (Fig. 1), push-protocol responses (§4.5),
+//! diversion transfers (§4.3), directory updates/invalidates (§4.2,
+//! Fig. 1 steps 5/10/14), and replica re-homes — flows through one
+//! [`UnreliableTransport`] that injects seeded **loss**, **duplication**,
+//! **reordering**, and **payload corruption**, and models the
+//! at-least-once delivery discipline that survives them:
+//!
+//! * **sequence numbers** — every send is stamped; the receiver keeps a
+//!   bounded dedup window of recently seen numbers, so a
+//!   duplicated delivery is recognized and discarded (idempotency: a
+//!   duplicate causes *no* state change, which the golden idempotency
+//!   test pins end to end);
+//! * **bounded retries with exponential backoff** — a lost or corrupted
+//!   attempt is retransmitted up to [`MAX_ATTEMPTS`] times; attempt `k`
+//!   waits `2^(k-1) - 1` extra timeout units plus 0–1 units of seeded
+//!   jitter, all priced into the simulated request latency by the engine
+//!   (each unit is one `t_timeout` charge);
+//! * **XXH64 payload checksums** — every payload is stamped with a
+//!   digest ([`webcache_primitives::xxh64`]); a corrupted attempt is
+//!   caught at the receiver, counted, and retried. A payload that never
+//!   verifies within the retry budget is **quarantined**: the object is
+//!   dropped rather than cached damaged.
+//!
+//! Delivery semantics differ by [`MessageClass`]: *payload* classes
+//! (destage, push, diversion) may be dropped or quarantined outright —
+//! caching is best-effort, so the caller degrades safely (object not
+//! cached, push miss, store at the root instead of diverting). *Metadata*
+//! classes (directory update/invalidate, replica re-home) ride the
+//! reliable client↔proxy channel: the retry loop prices their latency,
+//! but the final attempt always lands, because dropping them would
+//! desynchronize the directory from residency — exactly the invariant
+//! the chaos oracles audit.
+//!
+//! Determinism: all four fault coins are independent [`Bernoulli`]
+//! streams derived from one seed, so a transport plan replays bit for
+//! bit; a transport with all-zero probabilities never advances any
+//! stream and leaves a run bit-identical to one without the layer.
+
+use webcache_primitives::seed::{derive, splitmix64};
+use webcache_primitives::{xxh64, Bernoulli, FxHashSet};
+
+/// Retry budget per logical message (first try + three retransmissions).
+pub const MAX_ATTEMPTS: u32 = 4;
+
+/// How many recent sequence numbers the receiver-side dedup window
+/// remembers. Duplicates arrive immediately after their original in this
+/// simulator, so the window only needs to outlast reordering depth; 128
+/// is generous.
+pub const DEDUP_WINDOW: usize = 128;
+
+/// The protocol message classes that flow through the transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageClass {
+    /// Proxy → client cluster destage of an evicted object (Fig. 1).
+    Destage,
+    /// Holder → proxy push-protocol response (§4.5).
+    Push,
+    /// Root → leaf-set neighbor diversion transfer (§4.3).
+    Diversion,
+    /// Client → proxy store receipt updating the lookup directory
+    /// (Fig. 1 steps 5/10/14).
+    DirectoryUpdate,
+    /// Proxy-side directory invalidation after a stale lookup.
+    DirectoryInvalidate,
+    /// Replica promotion / re-home after a crash repair.
+    ReplicaRehome,
+}
+
+impl MessageClass {
+    /// Stable label (events, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MessageClass::Destage => "destage",
+            MessageClass::Push => "push",
+            MessageClass::Diversion => "diversion",
+            MessageClass::DirectoryUpdate => "directory_update",
+            MessageClass::DirectoryInvalidate => "directory_invalidate",
+            MessageClass::ReplicaRehome => "replica_rehome",
+        }
+    }
+
+    /// Whether the class carries an object payload and may therefore be
+    /// dropped (loss) or quarantined (corruption) after the retry budget
+    /// — caching is best-effort. Metadata classes are priced but always
+    /// delivered (see the module docs).
+    pub fn droppable(&self) -> bool {
+        matches!(self, MessageClass::Destage | MessageClass::Push | MessageClass::Diversion)
+    }
+}
+
+/// Seeded fault probabilities for the transport, all in `[0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransportFaults {
+    /// Per-attempt probability a message vanishes on the wire.
+    pub loss: f64,
+    /// Probability a delivered message arrives a second time.
+    pub duplication: f64,
+    /// Probability a delivered message arrives out of order (one
+    /// timeout-equivalent stall while the receiver resequences).
+    pub reorder: f64,
+    /// Per-attempt probability one payload bit flips in flight (caught by
+    /// the XXH64 digest).
+    pub corruption: f64,
+    /// Master seed; the four coin streams and the jitter stream are
+    /// derived from it with distinct labels.
+    pub seed: u64,
+}
+
+impl TransportFaults {
+    /// The all-zero configuration: installing it is behaviorally inert.
+    pub fn none() -> Self {
+        TransportFaults { loss: 0.0, duplication: 0.0, reorder: 0.0, corruption: 0.0, seed: 0 }
+    }
+
+    /// True when every fault probability is zero.
+    pub fn is_none(&self) -> bool {
+        self.loss <= 0.0 && self.duplication <= 0.0 && self.reorder <= 0.0 && self.corruption <= 0.0
+    }
+}
+
+/// What one logical send went through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// The payload reached the receiver (always true for metadata
+    /// classes).
+    pub delivered: bool,
+    /// The payload never passed its checksum within the retry budget;
+    /// the object must not be cached.
+    pub quarantined: bool,
+    /// Total attempts made (1 = first try landed).
+    pub attempts: u32,
+    /// Failed attempts; each is one timed-out message (one stall).
+    pub timeouts: u32,
+    /// Extra exponential-backoff waits plus jitter, in timeout units.
+    pub backoff_units: u64,
+    /// A duplicated delivery was discarded by the sequence-number window.
+    pub deduped: bool,
+    /// The delivery was reordered (the caller prices one stall).
+    pub reordered: bool,
+    /// Corrupted attempts caught by the payload digest.
+    pub checksum_failures: u32,
+}
+
+impl SendOutcome {
+    /// Total timeout-equivalent latency units this send costs:
+    /// one per failed attempt, the backoff waits, and the reorder stall.
+    pub fn penalty_units(&self) -> u64 {
+        u64::from(self.timeouts) + self.backoff_units + u64::from(self.reordered)
+    }
+}
+
+/// Receiver-side window of recently seen sequence numbers.
+#[derive(Clone, Debug)]
+struct DedupWindow {
+    ring: Vec<u64>,
+    seen: FxHashSet<u64>,
+    next_slot: usize,
+}
+
+impl DedupWindow {
+    fn new() -> Self {
+        DedupWindow { ring: Vec::new(), seen: FxHashSet::default(), next_slot: 0 }
+    }
+
+    /// Records `seq`; returns false when it was already in the window
+    /// (a duplicate to discard).
+    fn first_delivery(&mut self, seq: u64) -> bool {
+        if !self.seen.insert(seq) {
+            return false;
+        }
+        if self.ring.len() < DEDUP_WINDOW {
+            self.ring.push(seq);
+        } else {
+            let evicted = std::mem::replace(&mut self.ring[self.next_slot], seq);
+            self.seen.remove(&evicted);
+            self.next_slot = (self.next_slot + 1) % DEDUP_WINDOW;
+        }
+        true
+    }
+}
+
+/// The seeded unreliable transport (module docs).
+#[derive(Clone, Debug)]
+pub struct UnreliableTransport {
+    cfg: TransportFaults,
+    loss: Bernoulli,
+    dup: Bernoulli,
+    reorder: Bernoulli,
+    corrupt: Bernoulli,
+    /// Jitter + corrupted-bit selection stream.
+    mix: u64,
+    /// Digest seed, fixed per transport so checksums replay.
+    checksum_seed: u64,
+    next_seq: u64,
+    window: DedupWindow,
+}
+
+impl UnreliableTransport {
+    /// Builds the transport; the four fault coins and the jitter stream
+    /// get independent seeds derived from `cfg.seed`.
+    pub fn new(cfg: TransportFaults) -> Self {
+        UnreliableTransport {
+            cfg,
+            loss: Bernoulli::new(cfg.loss, derive(cfg.seed, "transport-loss")),
+            dup: Bernoulli::new(cfg.duplication, derive(cfg.seed, "transport-dup")),
+            reorder: Bernoulli::new(cfg.reorder, derive(cfg.seed, "transport-reorder")),
+            corrupt: Bernoulli::new(cfg.corruption, derive(cfg.seed, "transport-corrupt")),
+            mix: derive(cfg.seed, "transport-jitter"),
+            checksum_seed: derive(cfg.seed, "transport-checksum"),
+            next_seq: 0,
+            window: DedupWindow::new(),
+        }
+    }
+
+    /// The configured fault probabilities.
+    pub fn faults(&self) -> &TransportFaults {
+        &self.cfg
+    }
+
+    /// Sends one logical message carrying `payload` (the 128-bit
+    /// objectId stands in for the object body). Returns everything the
+    /// caller needs to account for the send: delivery/quarantine fate,
+    /// latency penalties, and the dedup/checksum observations.
+    pub fn send(&mut self, class: MessageClass, payload: u128) -> SendOutcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let body = payload.to_le_bytes();
+        let digest = xxh64(&body, self.checksum_seed);
+        let mut out = SendOutcome::default();
+        for attempt in 1..=MAX_ATTEMPTS {
+            out.attempts = attempt;
+            if self.loss.sample() {
+                out.timeouts += 1;
+                out.backoff_units += Self::backoff(attempt) + self.jitter();
+                continue;
+            }
+            if self.corrupt.sample() {
+                // One bit flips in flight; the receiver's digest check
+                // catches it (the xxhash tests pin that every single-bit
+                // flip moves the digest) and the attempt is discarded.
+                let bit = (splitmix64(&mut self.mix) % 128) as usize;
+                let mut damaged = body;
+                damaged[bit / 8] ^= 1 << (bit % 8);
+                debug_assert_ne!(xxh64(&damaged, self.checksum_seed), digest);
+                out.checksum_failures += 1;
+                out.timeouts += 1;
+                out.backoff_units += Self::backoff(attempt) + self.jitter();
+                continue;
+            }
+            // Delivered and verified. The first delivery always clears
+            // the window (sequence numbers are unique per send).
+            let fresh = self.window.first_delivery(seq);
+            debug_assert!(fresh, "sequence numbers are unique per send");
+            out.delivered = true;
+            if self.dup.sample() {
+                // The network delivers a second copy; the window flags it
+                // and the receiver discards it without touching state.
+                out.deduped = !self.window.first_delivery(seq);
+                debug_assert!(out.deduped);
+            }
+            if self.reorder.sample() {
+                out.reordered = true;
+            }
+            break;
+        }
+        if !out.delivered {
+            if out.checksum_failures > 0 {
+                out.quarantined = true;
+            }
+            if !class.droppable() {
+                // Metadata rides the reliable client↔proxy channel: the
+                // retry budget priced the latency, the payload lands.
+                out.delivered = true;
+                out.quarantined = false;
+            }
+        }
+        out
+    }
+
+    /// Extra wait before retransmission `attempt + 1`, in timeout units:
+    /// 0, 1, 3, … (the failed attempt's own timeout is charged
+    /// separately, so the effective schedule is the classic 1, 2, 4, …).
+    fn backoff(attempt: u32) -> u64 {
+        (1u64 << (attempt - 1)) - 1
+    }
+
+    /// 0–1 units of seeded jitter, decorrelating retry storms.
+    fn jitter(&mut self) -> u64 {
+        splitmix64(&mut self.mix) & 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_transport_delivers_everything_first_try() {
+        let mut t =
+            UnreliableTransport::new(TransportFaults { seed: 9, ..TransportFaults::none() });
+        for i in 0..1000u128 {
+            let out = t.send(MessageClass::Destage, i);
+            assert!(out.delivered && !out.deduped && !out.reordered);
+            assert_eq!(out.attempts, 1);
+            assert_eq!(out.penalty_units(), 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_outcomes() {
+        let cfg = TransportFaults {
+            loss: 0.2,
+            duplication: 0.1,
+            reorder: 0.1,
+            corruption: 0.05,
+            seed: 1234,
+        };
+        let mut a = UnreliableTransport::new(cfg);
+        let mut b = UnreliableTransport::new(cfg);
+        for i in 0..2000u128 {
+            assert_eq!(a.send(MessageClass::Push, i), b.send(MessageClass::Push, i));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_caught_by_the_window() {
+        let cfg = TransportFaults { duplication: 0.999, seed: 7, ..TransportFaults::none() };
+        let mut t = UnreliableTransport::new(cfg);
+        let out = t.send(MessageClass::Destage, 42);
+        assert!(out.delivered);
+        assert!(out.deduped, "a duplicated delivery must be discarded by the seq window");
+    }
+
+    #[test]
+    fn heavy_loss_drops_payload_but_not_metadata() {
+        let cfg = TransportFaults { loss: 0.999, seed: 3, ..TransportFaults::none() };
+        let mut t = UnreliableTransport::new(cfg);
+        let payload = t.send(MessageClass::Destage, 1);
+        assert!(!payload.delivered && !payload.quarantined);
+        assert_eq!(payload.attempts, MAX_ATTEMPTS);
+        assert_eq!(payload.timeouts, MAX_ATTEMPTS);
+        // Backoff 0+1+3+7 plus up to 1 jitter per failed attempt.
+        assert!(payload.backoff_units >= 11, "backoff {}", payload.backoff_units);
+        let meta = t.send(MessageClass::DirectoryUpdate, 2);
+        assert!(meta.delivered, "metadata always lands");
+        assert!(meta.penalty_units() > 0, "but its retries are priced");
+    }
+
+    #[test]
+    fn corruption_quarantines_instead_of_caching() {
+        let cfg = TransportFaults { corruption: 0.999, seed: 5, ..TransportFaults::none() };
+        let mut t = UnreliableTransport::new(cfg);
+        let out = t.send(MessageClass::Destage, 0xDEAD_BEEF);
+        assert!(!out.delivered && out.quarantined);
+        assert_eq!(out.checksum_failures, MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let cfg = TransportFaults { loss: 0.1, seed: 11, ..TransportFaults::none() };
+        let mut t = UnreliableTransport::new(cfg);
+        let (mut retried, n) = (0u32, 10_000u32);
+        for i in 0..n {
+            retried += u32::from(t.send(MessageClass::Destage, u128::from(i)).attempts > 1);
+        }
+        let rate = f64::from(retried) / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.02, "observed first-attempt loss rate {rate}");
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let mut w = DedupWindow::new();
+        for seq in 0..(DEDUP_WINDOW as u64 * 3) {
+            assert!(w.first_delivery(seq));
+            assert!(!w.first_delivery(seq), "immediate duplicate must be flagged");
+        }
+        assert!(w.ring.len() <= DEDUP_WINDOW);
+        assert_eq!(w.seen.len(), w.ring.len());
+    }
+
+    #[test]
+    fn class_labels_and_droppability() {
+        assert_eq!(MessageClass::Destage.label(), "destage");
+        assert_eq!(MessageClass::DirectoryInvalidate.label(), "directory_invalidate");
+        assert!(MessageClass::Push.droppable());
+        assert!(MessageClass::Diversion.droppable());
+        assert!(!MessageClass::DirectoryUpdate.droppable());
+        assert!(!MessageClass::ReplicaRehome.droppable());
+    }
+}

@@ -196,11 +196,19 @@ impl Overlay {
     ///
     /// Returns the join route's hop count (0 for the first node).
     ///
+    /// A join can reuse the id of a node that crashed silently and was
+    /// never detected — the same machine rebooting. The rejoin counts as
+    /// the detection: the stale incarnation is reclaimed (purged from
+    /// every peer's state, leaf sets repaired) before the newcomer joins
+    /// with fresh, empty state.
+    ///
     /// # Panics
-    /// Panics if `new_id` is already a member.
+    /// Panics if `new_id` is already a *live* member.
     pub fn join(&mut self, new_id: NodeId) -> usize {
         assert!(!self.contains(new_id), "node {new_id} already joined");
-        assert!(!self.is_crashed(new_id), "node {new_id} crashed and was not reclaimed");
+        if self.is_crashed(new_id) {
+            self.reclaim(new_id);
+        }
         if self.nodes.is_empty() {
             self.nodes.insert(new_id.0, NodeState::new(new_id, self.cfg));
             return 0;
@@ -920,6 +928,24 @@ mod tests {
             let _ = o.join(id);
         }
         assert_eq!(o.len(), 21);
+    }
+
+    #[test]
+    fn rejoin_of_crashed_id_reclaims_the_corpse() {
+        // A machine crashes silently (undetected) and the same machine
+        // reboots and rejoins: the join must reclaim the stale
+        // incarnation instead of panicking, and the overlay must be
+        // consistent afterwards.
+        let mut o = build(24, 5);
+        let victim = o.node_ids().next().unwrap();
+        o.crash(victim).unwrap();
+        assert!(o.is_crashed(victim));
+        let _ = o.join(victim);
+        assert!(!o.is_crashed(victim), "the rejoin is the detection");
+        assert!(o.contains(victim));
+        assert_eq!(o.crashed_len(), 0);
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //!   Zipf-like distribution with tunable skew `α` (Figure 3 sweeps it).
 //! * [`stats`] — online statistics used by tests and by the benchmark
 //!   harnesses to validate workload shape (Zipf slope, locality, …).
-//! * [`seed`] — deterministic seed derivation so every experiment is
-//!   reproducible bit-for-bit.
+//! * [`seed`] — deterministic seed derivation (and the shared seeded
+//!   [`Bernoulli`] fault coin) so every experiment is reproducible
+//!   bit-for-bit.
 //! * [`fxhash`] — the rustc/Firefox multiply-xor hash; hot simulator maps
 //!   keyed by trusted integer ids use it instead of SipHash.
+//! * [`xxhash`] — XXH64 payload checksums for the unreliable-transport
+//!   layer's corruption detection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,11 +31,14 @@ pub mod fxhash;
 pub mod seed;
 pub mod sha1;
 pub mod stats;
+pub mod xxhash;
 pub mod zipf;
 
 pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use fenwick::Fenwick;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use seed::Bernoulli;
 pub use sha1::Sha1;
 pub use stats::{Histogram, LinearFit, Log2Histogram, Log2Snapshot, OnlineStats, ShardedCounter};
+pub use xxhash::xxh64;
 pub use zipf::{AliasTable, ZipfSampler};

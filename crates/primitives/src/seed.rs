@@ -42,6 +42,55 @@ pub fn derive_indexed(master: u64, label: &str, index: u64) -> u64 {
     splitmix64(&mut state)
 }
 
+/// A seeded Bernoulli sampler over a private SplitMix64 stream — the one
+/// loss-probability coin every fault layer flips (per-hop message loss in
+/// `webcache-p2p`, the unreliable-transport fault draws, chaos plan
+/// generation), so the sampling semantics cannot drift between them.
+///
+/// Two contracts matter for reproducibility:
+///
+/// * the probability is clamped to `[0, 0.999999]` (a certain event would
+///   make retry loops diverge);
+/// * when `p <= 0` the generator is **never advanced**, so a zero-rate
+///   sampler threaded through a run leaves every other stream untouched —
+///   a fault-free faulty run stays bit-identical to a plain one.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p: f64,
+    state: u64,
+}
+
+impl Bernoulli {
+    /// Builds a sampler with success probability `p` (clamped to
+    /// `[0, 1)`; non-finite values clamp to 0) over a stream seeded with
+    /// `seed`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        let p = if p.is_finite() { p.clamp(0.0, 0.999_999) } else { 0.0 };
+        Bernoulli { p, state: seed }
+    }
+
+    /// The clamped success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The current generator state (tests pin the never-advances-at-zero
+    /// contract through this).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Draws one decision. Never advances the generator when `p` is zero.
+    pub fn sample(&mut self) -> bool {
+        if self.p <= 0.0 {
+            return false;
+        }
+        // 53 uniform bits → [0, 1) with full f64 precision.
+        let u = (splitmix64(&mut self.state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.p
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +118,36 @@ mod tests {
         let seeds: Vec<u64> = (0..100).map(|i| derive_indexed(7, "client", i)).collect();
         let unique: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn bernoulli_zero_rate_never_advances() {
+        let mut b = Bernoulli::new(0.0, 42);
+        for _ in 0..100 {
+            assert!(!b.sample());
+        }
+        assert_eq!(b.state(), 42, "zero-rate samplers must not advance the stream");
+    }
+
+    #[test]
+    fn bernoulli_rate_is_roughly_honored_and_deterministic() {
+        let mut a = Bernoulli::new(0.1, 7);
+        let mut b = Bernoulli::new(0.1, 7);
+        let (mut hits, n) = (0u32, 10_000);
+        for _ in 0..n {
+            let ha = a.sample();
+            assert_eq!(ha, b.sample(), "same seed must give the same stream");
+            hits += u32::from(ha);
+        }
+        let rate = f64::from(hits) / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_clamps_degenerate_probabilities() {
+        assert_eq!(Bernoulli::new(f64::NAN, 1).p(), 0.0);
+        assert_eq!(Bernoulli::new(-0.5, 1).p(), 0.0);
+        assert!(Bernoulli::new(1.5, 1).p() < 1.0);
     }
 
     #[test]
