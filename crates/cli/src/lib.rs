@@ -15,13 +15,15 @@
 //! * `throughput` — time the simulator itself (requests/sec per scheme)
 //!   and write `BENCH_throughput.json`, the repo's perf trajectory;
 //! * `churn` — drive Hier-GD through a deterministic fault plan (silent
-//!   crashes, departures, rejoins, slow nodes, message loss) and report
-//!   detection latency, stale directory hits, re-replications and the
+//!   crashes, departures, rejoins, slow nodes, network partitions with
+//!   their heals, message loss) and report detection latency, stale
+//!   directory hits, re-replications, reconciliation counts and the
 //!   latency delta vs a fault-free twin run;
 //! * `chaos` — generate hundreds of random seeded fault plans (churn plus
-//!   message-level loss/duplication/reordering/corruption), audit each
-//!   end state with invariant oracles, and shrink any failing plan to a
-//!   minimal replayable reproducer spec (exit 2 on violations).
+//!   message-level loss/duplication/reordering/corruption and
+//!   partition/heal pairs), audit each end state with invariant oracles,
+//!   and shrink any failing plan to a minimal replayable reproducer spec
+//!   (exit 2 on violations; `--json true` for a machine-readable report).
 //!
 //! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
 //! deliberately keeps its dependency set small — see DESIGN.md).
@@ -200,17 +202,26 @@ USAGE:
                  [--proxy-cap N] [--node-cap N] [--replication K]
                  [--trace-seed N] [--report-out FILE]
                  (fault drill over a synthetic Hier-GD run; SPEC is
-                  crash@N,depart@N,rejoin@N,slow@N,loss=F,mloss=F,dup=F,
-                  reorder=F,corrupt=F,window=N,seed=N tokens.
+                  crash@N,depart@N,rejoin@N,slow@N,partition@N{A|B},
+                  heal@N,loss=F,mloss=F,dup=F,reorder=F,corrupt=F,
+                  window=N,seed=N tokens. partition@N{A|B} cuts the
+                  overlay before request N with A% of the machines on
+                  the proxy side (A+B must be 100); heal@N merges the
+                  islands back with the anti-entropy sweep.
                   Without --plan, --crashes N spreads N silent crashes
                   evenly through the run)
   webcache chaos [--plans N] [--seed N] [--requests N] [--objects N]
                  [--clients N] [--proxy-cap N] [--node-cap N]
                  [--replication K] [--max-events N] [--sabotage true]
+                 [--partition-prob F] [--json true]
                  [--report-out FILE] [--repro-out FILE]
                  (random seeded fault plans + invariant oracles; failing
                   plans are shrunk to minimal reproducer specs, written
-                  to --repro-out one per line; exits 2 on violations)
+                  to --repro-out one per line; exits 2 on violations.
+                  --partition-prob F schedules a partition/heal pair in
+                  that fraction of plans [default 0.5]; --json true
+                  prints the machine-readable report instead of the
+                  table)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).";
 
@@ -616,28 +627,40 @@ fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
         client_cache_capacity: cmd.opt("node-cap", defaults.client_cache_capacity)?,
         replication: cmd.opt("replication", defaults.replication)?,
         max_events: cmd.opt("max-events", defaults.max_events)?,
+        partition_prob: cmd.opt("partition-prob", defaults.partition_prob)?,
         net: net_from(cmd)?,
         sabotage: cmd.opt("sabotage", false)?,
         ..defaults
     };
+    let json = cmd.opt("json", false)?;
     let report = run_chaos(&cfg)?;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "chaos exploration: {} plans, seed {}, {} requests each\n",
-        report.plans, report.seed, cfg.requests
-    );
-    out.push_str(&report.to_table());
+    if json {
+        out.push_str(&report.to_json());
+    } else {
+        let _ = writeln!(
+            out,
+            "chaos exploration: {} plans, seed {}, {} requests each\n",
+            report.plans, report.seed, cfg.requests
+        );
+        out.push_str(&report.to_table());
+    }
     if let Some(path) = cmd.options.get("report-out") {
         std::fs::write(path, report.to_json()).map_err(|e| named_io(path, e))?;
-        let _ = writeln!(out, "wrote {path}");
+        // In --json mode stdout is the report document itself; the
+        // "wrote" breadcrumbs would make it unparseable.
+        if !json {
+            let _ = writeln!(out, "wrote {path}");
+        }
     }
     if let Some(path) = cmd.options.get("repro-out") {
         if !report.all_green() {
             let specs: String =
                 report.failures.iter().map(|f| format!("{}\n", f.shrunk_spec)).collect();
             std::fs::write(path, specs).map_err(|e| named_io(path, e))?;
-            let _ = writeln!(out, "wrote {path}");
+            if !json {
+                let _ = writeln!(out, "wrote {path}");
+            }
         }
     }
     if report.all_green() {
@@ -849,6 +872,64 @@ mod tests {
         let json = std::fs::read_to_string(&report_path).unwrap();
         assert!(json.contains("\"passed\": 8"), "{json}");
         std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn chaos_json_flag_emits_the_machine_readable_report() {
+        let dir = std::env::temp_dir().join("webcache-cli-chaos-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("chaos.json");
+        let cmd = Command::parse(&argv(&[
+            "chaos",
+            "--plans",
+            "4",
+            "--seed",
+            "42",
+            "--requests",
+            "600",
+            "--objects",
+            "120",
+            "--clients",
+            "12",
+            "--partition-prob",
+            "1.0",
+            "--json",
+            "true",
+            "--report-out",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.trim_end().ends_with('}'), "stray text after the document: {out}");
+        assert!(out.contains("\"plans\": 4"), "{out}");
+        assert!(out.contains("\"passed\": 4"), "{out}");
+        assert!(!out.contains("chaos exploration:"), "{out}");
+        assert!(!out.contains("wrote"), "breadcrumbs corrupt --json stdout: {out}");
+        assert_eq!(out, std::fs::read_to_string(&report_path).unwrap());
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn churn_runs_a_partition_plan_and_reports_reconciliation() {
+        let cmd = Command::parse(&argv(&[
+            "churn",
+            "--plan",
+            "partition@800{60|40},heal@2400,seed=11",
+            "--requests",
+            "4000",
+            "--objects",
+            "600",
+            "--clients",
+            "16",
+            "--replication",
+            "2",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("partition@800{60|40}"), "{out}");
+        assert!(out.contains("partitions"), "{out}");
+        assert!(out.contains("100.00%"), "{out}");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //!
 //! FoundationDB-style simulation testing for the P2P client cache: the
 //! explorer generates hundreds of random — but fully seeded — fault
-//! plans (crashes, departures, rejoins, slow nodes, plus message-level
-//! loss/duplication/reordering/corruption through the unreliable
-//! transport), drives the Hier-GD engine through each, and audits the
-//! end state with five oracles:
+//! plans (crashes, departures, rejoins, slow nodes, network partitions
+//! with their heals, plus message-level loss/duplication/reordering/
+//! corruption through the unreliable transport), drives the Hier-GD
+//! engine through each, and audits the end state with six oracles:
 //!
 //! 1. **Structure** — [`check_invariants`]: the lookup directory, the
 //!    resident stores, diversion pointers and replica tracking must
@@ -22,10 +22,15 @@
 //!    timeouts never exceed total timeouts.
 //! 5. **Availability** — every issued request was served (the cascade
 //!    degrades to proxy → server; it never refuses).
+//! 6. **Convergence** — after every cut has healed, the reconciled
+//!    lookup directory must equal a single-authority rebuild from the
+//!    stores ([`directory_divergence`]): no split-brain survivor may
+//!    leak a ghost entry or shadow a resident object.
 //!
 //! When an oracle fires, the explorer **shrinks** the failing plan:
 //! repeatedly try dropping each scheduled event, zeroing then halving
-//! each fault probability, and narrowing the request window to just past
+//! each fault probability, narrowing each partition's span (pulling the
+//! heal toward its cut), and narrowing the request window to just past
 //! the last event — keeping any candidate that still fails — until a
 //! fixed point or the run budget is reached. The result is a minimal
 //! deterministic reproducer in the [`FaultPlan`] spec grammar, ready for
@@ -37,12 +42,13 @@
 //!
 //! [`check_invariants`]: webcache_p2p::P2PClientCache::check_invariants
 //! [`check_replica_floor`]: webcache_p2p::P2PClientCache::check_replica_floor
+//! [`directory_divergence`]: webcache_p2p::P2PClientCache::directory_divergence
 
 use crate::error::SimError;
 use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan};
 use crate::net::NetworkModel;
 use std::fmt::Write as _;
-use webcache_primitives::seed::{derive_indexed, splitmix64};
+use webcache_primitives::seed::{derive_indexed, SeedStream};
 use webcache_workload::{ProWGen, ProWGenConfig, Trace};
 
 /// Configuration of one chaos exploration.
@@ -68,6 +74,9 @@ pub struct ChaosConfig {
     pub replication: usize,
     /// Upper bound on scheduled events per generated plan.
     pub max_events: usize,
+    /// Probability that a plan schedules a partition/heal pair (1.0
+    /// forces one into every plan — the CI partition smoke uses that).
+    pub partition_prob: f64,
     /// Latency model.
     pub net: NetworkModel,
     /// Test-only: plant a ghost directory entry in every plan that
@@ -90,6 +99,7 @@ impl Default for ChaosConfig {
             client_cache_capacity: 4,
             replication: 2,
             max_events: 6,
+            partition_prob: 0.5,
             net: NetworkModel::default(),
             sabotage: false,
         }
@@ -110,6 +120,9 @@ impl ChaosConfig {
         }
         if self.replication == 0 {
             return Err(SimError::InvalidConfig("replication factor must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.partition_prob) {
+            return Err(SimError::InvalidConfig("partition_prob must be in [0, 1]".into()));
         }
         self.net.validate()
     }
@@ -211,27 +224,22 @@ impl ChaosReport {
     }
 }
 
-/// Uniform draw in `[0, 1)` from a splitmix64 stream.
-fn unit(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// Generates plan `i` of the exploration — pure function of the master
 /// seed, so any failing index can be regenerated without storage.
 pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
-    let mut state = derive_indexed(cfg.seed, "chaos-plan", index);
+    let mut draws = SeedStream::new(derive_indexed(cfg.seed, "chaos-plan", index));
     let mut plan = FaultPlan::none();
-    plan.seed = splitmix64(&mut state);
+    plan.seed = draws.next_u64();
 
-    let n_events = (splitmix64(&mut state) as usize) % (cfg.max_events + 1);
+    let n_events = (draws.next_u64() as usize) % (cfg.max_events + 1);
     for _ in 0..n_events {
-        let action = match splitmix64(&mut state) % 4 {
+        let action = match draws.next_u64() % 4 {
             0 => FaultAction::Crash,
             1 => FaultAction::Depart,
             2 => FaultAction::Rejoin,
             _ => FaultAction::Slow,
         };
-        let at = splitmix64(&mut state) % cfg.requests.max(1) as u64;
+        let at = draws.next_u64() % cfg.requests.max(1) as u64;
         plan.push(at, action);
     }
     // Each fault dimension switches on independently (~40%), with a
@@ -239,14 +247,28 @@ pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
     // operating range and high enough to exercise retry exhaustion.
     for p in [&mut plan.loss, &mut plan.mloss, &mut plan.dup, &mut plan.reorder, &mut plan.corrupt]
     {
-        if unit(&mut state) < 0.4 {
-            *p = unit(&mut state) * 0.3;
+        if draws.unit() < 0.4 {
+            *p = draws.unit() * 0.3;
         }
+    }
+    // A partition/heal pair, in `partition_prob` of plans. These draws
+    // come after everything above, so a pre-partition exploration at the
+    // same master seed regenerates its plans bit-identically. The cut
+    // lands in the first half of the trace and the heal a bounded span
+    // later: most plans also exercise post-heal traffic.
+    if draws.unit() < cfg.partition_prob {
+        let half = (cfg.requests as u64 / 2).max(1);
+        let cut_at = draws.next_u64() % half;
+        let span = 1 + draws.next_u64() % half;
+        let pct = 10 + (draws.next_u64() % 81) as u8;
+        let heal_at = (cut_at + span).clamp(cut_at + 1, cfg.requests as u64);
+        plan.push(cut_at, FaultAction::Partition(pct));
+        plan.push(heal_at, FaultAction::Heal);
     }
     plan
 }
 
-/// Runs the five oracles against one driven plan. Returns findings
+/// Runs the six oracles against one driven plan. Returns findings
 /// (empty = all green).
 fn run_oracles(
     cfg: &ChaosConfig,
@@ -305,8 +327,12 @@ fn run_oracles(
     }
 
     // Oracle 3: replica floor, only meaningful while membership held
-    // still (lazy repair legitimately lags under churn).
-    let stable = plan.events.iter().all(|e| e.action == FaultAction::Slow);
+    // still (lazy repair legitimately lags under churn). Partition/heal
+    // pairs count as stable: the heal sweep rebuilds every floor fresh
+    // against the merged ring.
+    let stable = plan.events.iter().all(|e| {
+        matches!(e.action, FaultAction::Slow | FaultAction::Partition(_) | FaultAction::Heal)
+    });
     if stable {
         for v in p2p.check_replica_floor() {
             violations.push(format!("replica_floor: {v}"));
@@ -350,6 +376,13 @@ fn run_oracles(
             "availability: served {} of {issued} issued requests",
             out.metrics.requests
         ));
+    }
+
+    // Oracle 6: post-heal convergence — the drive auto-heals any open
+    // cut, so by now the reconciled directory must equal a single-
+    // authority rebuild from the resident stores.
+    for v in p2p.directory_divergence() {
+        violations.push(format!("convergence: {v}"));
     }
 
     Ok(violations)
@@ -436,7 +469,35 @@ pub fn shrink(
             }
         }
 
-        // Pass 3: narrow the request window to just past the last event.
+        // Pass 3: narrow each partition's span — pull the heal halfway
+        // toward its cut. A shorter split that still fails is a strictly
+        // simpler reproducer (less divergence to wade through).
+        let mut pi = 0;
+        while pi < best.events.len() && runs < SHRINK_BUDGET {
+            if !matches!(best.events[pi].action, FaultAction::Partition(_)) {
+                pi += 1;
+                continue;
+            }
+            let cut_at = best.events[pi].at;
+            let heal =
+                best.events.iter().position(|e| e.action == FaultAction::Heal && e.at > cut_at + 1);
+            let Some(hi) = heal else {
+                pi += 1;
+                continue;
+            };
+            let mut candidate = best.clone();
+            candidate.events[hi].at = cut_at + (best.events[hi].at - cut_at) / 2;
+            candidate.events.sort_by_key(|e| e.at);
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else {
+                pi += 1;
+            }
+        }
+
+        // Pass 4: narrow the request window to just past the last event.
         if runs < SHRINK_BUDGET {
             if let Some(last_at) = best.events.iter().map(|e| e.at).max() {
                 let narrowed = last_at + 64;
@@ -549,6 +610,36 @@ mod tests {
     }
 
     #[test]
+    fn forced_partitions_pair_every_plan_and_stay_green() {
+        let cfg = ChaosConfig { partition_prob: 1.0, ..quick_cfg() };
+        for i in 0..cfg.plans as u64 {
+            let plan = generate_plan(&cfg, i);
+            assert!(plan.has_partition(), "plan {i} must schedule a cut");
+            let cut_at = plan
+                .events
+                .iter()
+                .find(|e| matches!(e.action, FaultAction::Partition(_)))
+                .map(|e| e.at)
+                .unwrap();
+            assert!(
+                plan.events.iter().any(|e| e.action == FaultAction::Heal && e.at > cut_at),
+                "plan {i} must schedule a heal after its cut: {}",
+                plan.to_spec()
+            );
+        }
+        let report = run_chaos(&cfg).expect("chaos runs");
+        assert!(report.all_green(), "unexpected failures: {:#?}", report.failures);
+    }
+
+    #[test]
+    fn zero_partition_prob_generates_no_cuts() {
+        let cfg = ChaosConfig { partition_prob: 0.0, ..quick_cfg() };
+        for i in 0..32 {
+            assert!(!generate_plan(&cfg, i).has_partition());
+        }
+    }
+
+    #[test]
     fn sabotage_is_caught_and_shrinks_to_a_minimal_crash_plan() {
         let cfg = ChaosConfig { sabotage: true, ..quick_cfg() };
         let report = run_chaos(&cfg).expect("chaos runs");
@@ -606,6 +697,9 @@ mod tests {
         assert!(run_chaos(&cfg).is_err());
         let mut cfg = quick_cfg();
         cfg.replication = 0;
+        assert!(run_chaos(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.partition_prob = 1.5;
         assert!(run_chaos(&cfg).is_err());
     }
 }

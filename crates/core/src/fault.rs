@@ -26,7 +26,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 use webcache_p2p::{NetFaults, TransportFaults};
 use webcache_pastry::NodeId;
-use webcache_primitives::seed::{derive, splitmix64};
+use webcache_primitives::seed::{derive, SeedStream};
 use webcache_workload::{ProWGen, ProWGenConfig, Trace};
 
 /// One scheduled fault, applied before the request at its index is served.
@@ -40,6 +40,13 @@ pub enum FaultAction {
     Rejoin,
     /// Mark a machine slow: requests it serves stall one timeout.
     Slow,
+    /// Cut the overlay into two islands. The payload is the percentage of
+    /// live machines on the **A** side — the side the proxy stays
+    /// connected to; the rest form island B, unreachable until `heal`.
+    Partition(u8),
+    /// Merge the islands back and run the anti-entropy reconciliation
+    /// sweep (no-op if the overlay is whole).
+    Heal,
 }
 
 impl FaultAction {
@@ -50,6 +57,8 @@ impl FaultAction {
             FaultAction::Depart => "depart",
             FaultAction::Rejoin => "rejoin",
             FaultAction::Slow => "slow",
+            FaultAction::Partition(_) => "partition",
+            FaultAction::Heal => "heal",
         }
     }
 }
@@ -66,11 +75,14 @@ pub struct FaultEvent {
 /// A deterministic fault schedule for one churn run.
 ///
 /// Parsed from a small spec string — comma- or semicolon-separated
-/// tokens of `crash@N`, `depart@N`, `rejoin@N`, `slow@N`, `loss=F`,
-/// `seed=N`, and the message-level transport keys `mloss=F`, `dup=F`,
-/// `reorder=F`, `corrupt=F`, plus `window=N` (serve only the first `N`
-/// requests — how the chaos shrinker narrows a failing plan while
-/// keeping the spec replayable):
+/// tokens of `crash@N`, `depart@N`, `rejoin@N`, `slow@N`,
+/// `partition@N{A|B}` (cut the overlay before request `N`, with `A`% of
+/// the live machines staying on the proxy's side and `B`% islanded;
+/// `A + B` must be 100), `heal@N`, `loss=F`, `seed=N`, and the
+/// message-level transport keys `mloss=F`, `dup=F`, `reorder=F`,
+/// `corrupt=F`, plus `window=N` (serve only the first `N` requests —
+/// how the chaos shrinker narrows a failing plan while keeping the spec
+/// replayable):
 ///
 /// ```
 /// use webcache_sim::fault::FaultPlan;
@@ -172,11 +184,24 @@ impl FaultPlan {
         self.events.iter().filter(|e| e.action == action).count()
     }
 
+    /// True when the schedule cuts the overlay at least once.
+    pub fn has_partition(&self) -> bool {
+        self.events.iter().any(|e| matches!(e.action, FaultAction::Partition(_)))
+    }
+
     /// Renders the plan back into its spec grammar (round-trips through
     /// [`FromStr`] up to token order and float formatting).
     pub fn to_spec(&self) -> String {
-        let mut parts: Vec<String> =
-            self.events.iter().map(|e| format!("{}@{}", e.action.keyword(), e.at)).collect();
+        let mut parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| match e.action {
+                FaultAction::Partition(pct) => {
+                    format!("partition@{}{{{}|{}}}", e.at, pct, 100 - pct)
+                }
+                action => format!("{}@{}", action.keyword(), e.at),
+            })
+            .collect();
         if self.loss > 0.0 {
             parts.push(format!("loss={}", self.loss));
         }
@@ -218,8 +243,15 @@ impl FromStr for FaultPlan {
         }
         let mut plan = FaultPlan::none();
         let mut seen_keys: Vec<&str> = Vec::new();
+        // Byte offset of the current piece within `s`, so every error can
+        // point at the offending token (a shrunk reproducer spec is often
+        // machine-assembled and hand-edited — "unknown key" without a
+        // position is not actionable in a 20-token spec).
+        let mut offset = 0usize;
         for raw in s.split([',', ';']) {
             let token = raw.trim();
+            let token_at = offset + (raw.len() - raw.trim_start().len());
+            offset += raw.len() + 1;
             if token.is_empty() {
                 continue;
             }
@@ -227,7 +259,8 @@ impl FromStr for FaultPlan {
                 let key = key.trim();
                 if seen_keys.contains(&key) {
                     return Err(SimError::InvalidConfig(format!(
-                        "duplicate fault key '{key}' (a spec overriding itself is a typo)"
+                        "duplicate fault key '{key}' at byte {token_at} (a spec overriding \
+                         itself is a typo)"
                     )));
                 }
                 match key {
@@ -249,34 +282,80 @@ impl FromStr for FaultPlan {
                     }
                     other => {
                         return Err(SimError::InvalidConfig(format!(
-                            "unknown fault key '{other}' (expected loss, mloss, dup, reorder, \
-                             corrupt, window or seed)"
+                            "unknown fault key '{other}' in '{token}' at byte {token_at} \
+                             (expected loss, mloss, dup, reorder, corrupt, window or seed)"
                         )));
                     }
                 }
                 seen_keys.push(key);
                 continue;
             }
-            let Some((verb, at)) = token.split_once('@') else {
+            let Some((verb, rest)) = token.split_once('@') else {
                 return Err(SimError::InvalidConfig(format!(
-                    "bad fault token '{token}' (expected verb@index, loss=p or seed=n)"
+                    "bad fault token '{token}' at byte {token_at} (expected verb@index, \
+                     loss=p or seed=n)"
                 )));
             };
-            let action = match verb.trim() {
-                "crash" => FaultAction::Crash,
-                "depart" => FaultAction::Depart,
-                "rejoin" => FaultAction::Rejoin,
-                "slow" => FaultAction::Slow,
+            let (at_str, action) = match verb.trim() {
+                "crash" => (rest, FaultAction::Crash),
+                "depart" => (rest, FaultAction::Depart),
+                "rejoin" => (rest, FaultAction::Rejoin),
+                "slow" => (rest, FaultAction::Slow),
+                "heal" => (rest, FaultAction::Heal),
+                "partition" => {
+                    let Some((at, cut)) = rest.split_once('{') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "partition token '{token}' at byte {token_at} is missing its \
+                             island split (expected partition@N{{A|B}}, e.g. partition@100{{60|40}})"
+                        )));
+                    };
+                    let Some(body) = cut.trim().strip_suffix('}') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "partition token '{token}' at byte {token_at} has an unterminated \
+                             '{{' (expected partition@N{{A|B}})"
+                        )));
+                    };
+                    let Some((a, b)) = body.split_once('|') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "partition token '{token}' at byte {token_at} needs two island \
+                             percentages separated by '|' (expected partition@N{{A|B}})"
+                        )));
+                    };
+                    let parse_pct = |side: &str| -> Result<u8, SimError> {
+                        side.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!(
+                                "bad island percentage '{}' in '{token}' at byte {token_at}",
+                                side.trim()
+                            ))
+                        })
+                    };
+                    let (pa, pb) = (parse_pct(a)?, parse_pct(b)?);
+                    if u32::from(pa) + u32::from(pb) != 100 {
+                        return Err(SimError::InvalidConfig(format!(
+                            "island percentages in '{token}' at byte {token_at} must sum to \
+                             100, got {pa} + {pb}"
+                        )));
+                    }
+                    if !(1..=99).contains(&pa) {
+                        return Err(SimError::InvalidConfig(format!(
+                            "each island in '{token}' at byte {token_at} needs between 1% and \
+                             99% of the machines"
+                        )));
+                    }
+                    (at, FaultAction::Partition(pa))
+                }
                 other => {
                     return Err(SimError::InvalidConfig(format!(
-                        "unknown fault verb '{other}' (expected crash, depart, rejoin or slow)"
+                        "unknown fault verb '{other}' in '{token}' at byte {token_at} \
+                         (expected crash, depart, rejoin, slow, partition or heal)"
                     )));
                 }
             };
-            let at: u64 = at
-                .trim()
-                .parse()
-                .map_err(|_| SimError::InvalidConfig(format!("bad request index in '{token}'")))?;
+            let at: u64 = at_str.trim().parse().map_err(|_| {
+                SimError::InvalidConfig(format!(
+                    "bad request index in '{token}' at byte {token_at}"
+                ))
+            })?;
             plan.events.push(FaultEvent { at, action });
         }
         plan.events.sort_by_key(|e| e.at);
@@ -375,7 +454,18 @@ pub struct ChurnReport {
     pub rejoins: u64,
     /// Slow-node marks injected.
     pub slows: u64,
-    /// Scheduled actions skipped because no live node was left to target.
+    /// Network partitions injected (overlay cut into two islands).
+    pub partitions: u64,
+    /// Heal sweeps run. Every cut is healed — at its scheduled `heal@`
+    /// event, or implicitly at end of run — so this always equals
+    /// `partitions`.
+    pub heals: u64,
+    /// Directory entries merged by anti-entropy reconciliation on heal.
+    pub entries_reconciled: u64,
+    /// Split-brain primaries demoted (or garbage-collected) on heal.
+    pub primaries_demoted: u64,
+    /// Scheduled actions skipped because no live node was left to target
+    /// (or a cut/heal found the overlay already in that state).
     pub skipped_actions: u64,
     /// Crashes detected by traffic before the trace ended.
     pub detected_crashes: u64,
@@ -441,6 +531,10 @@ impl ChurnReport {
             ("departures", self.departures),
             ("rejoins", self.rejoins),
             ("slows", self.slows),
+            ("partitions", self.partitions),
+            ("heals", self.heals),
+            ("entries_reconciled", self.entries_reconciled),
+            ("primaries_demoted", self.primaries_demoted),
             ("skipped_actions", self.skipped_actions),
             ("detected_crashes", self.detected_crashes),
             ("undetected_crashes", self.undetected_crashes),
@@ -479,6 +573,10 @@ impl ChurnReport {
             ("departures", self.departures),
             ("rejoins", self.rejoins),
             ("slows", self.slows),
+            ("partitions", self.partitions),
+            ("heal sweeps", self.heals),
+            ("entries reconciled", self.entries_reconciled),
+            ("primaries demoted", self.primaries_demoted),
             ("detected crashes", self.detected_crashes),
             ("undetected crashes", self.undetected_crashes),
             ("detection latency max", self.detection_latency_max),
@@ -513,6 +611,8 @@ pub(crate) struct DriveOutcome {
     pub(crate) departures: u64,
     pub(crate) rejoins: u64,
     pub(crate) slows: u64,
+    pub(crate) partitions: u64,
+    pub(crate) heals: u64,
     pub(crate) skipped: u64,
     pub(crate) detections: Vec<u64>,
     pub(crate) undetected: u64,
@@ -571,6 +671,10 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
         departures: faulty.departures,
         rejoins: faulty.rejoins,
         slows: faulty.slows,
+        partitions: faulty.partitions,
+        heals: faulty.heals,
+        entries_reconciled: faulty.snapshot.entries_reconciled,
+        primaries_demoted: faulty.snapshot.primaries_demoted,
         skipped_actions: faulty.skipped,
         detected_crashes: detected,
         undetected_crashes: faulty.undetected,
@@ -631,7 +735,7 @@ pub(crate) fn drive(
 
     // Target selection stream, decoupled from the loss stream so adding
     // loss never reshuffles which machines crash.
-    let mut pick_state = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut picks = SeedStream::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut next_event = 0usize;
     let mut outstanding: BTreeMap<u128, u64> = BTreeMap::new();
     let mut out = DriveOutcome {
@@ -641,6 +745,8 @@ pub(crate) fn drive(
         departures: 0,
         rejoins: 0,
         slows: 0,
+        partitions: 0,
+        heals: 0,
         skipped: 0,
         detections: Vec::new(),
         undetected: 0,
@@ -656,14 +762,7 @@ pub(crate) fn drive(
         while next_event < plan.events.len() && plan.events[next_event].at <= i as u64 {
             let action = plan.events[next_event].action;
             next_event += 1;
-            apply_action(
-                &mut engine,
-                action,
-                &mut pick_state,
-                i as u64,
-                &mut outstanding,
-                &mut out,
-            )?;
+            apply_action(&mut engine, action, &mut picks, i as u64, &mut outstanding, &mut out)?;
             if debug_invariants() {
                 let v = engine.p2p(0).check_invariants();
                 assert!(v.is_empty(), "first violation after {action:?} at request {i}: {v:#?}");
@@ -693,6 +792,14 @@ pub(crate) fn drive(
             }
         }
     }
+    // A plan may leave the cut open past its last request. Heal before
+    // the final accounting so the end state is always a single authority
+    // — the convergence oracle interrogates the post-heal quiescent
+    // state, and "the network never came back" is not a state this
+    // simulation distinguishes from "about to come back".
+    if engine.p2p(0).is_partitioned() && engine.heal_clients(0) {
+        out.heals += 1;
+    }
     out.undetected = outstanding.len() as u64;
     engine.finish(&mut out.metrics);
     out.snapshot = recorder.snapshot();
@@ -700,26 +807,62 @@ pub(crate) fn drive(
 }
 
 /// Applies one scheduled action; targets are drawn from live membership.
+/// While a partition is active, targets come from island A only — the
+/// proxy cannot reach island B, so it has nobody to crash, depart or
+/// slow over there (B-side state is frozen until the heal).
 fn apply_action<R: crate::recorder::Recorder>(
     engine: &mut HierGdEngine<R>,
     action: FaultAction,
-    pick_state: &mut u64,
+    picks: &mut SeedStream,
     at: u64,
     outstanding: &mut BTreeMap<u128, u64>,
     out: &mut DriveOutcome,
 ) -> Result<(), SimError> {
-    if action == FaultAction::Rejoin {
-        let id = fresh_node_id(engine, pick_state);
-        engine.join_client(0, id);
-        out.rejoins += 1;
-        return Ok(());
+    match action {
+        FaultAction::Rejoin => {
+            let id = fresh_node_id(engine, picks);
+            engine.join_client(0, id);
+            out.rejoins += 1;
+            return Ok(());
+        }
+        FaultAction::Partition(pct) => {
+            // Cut and heal consume no target draw, so adding a partition
+            // pair to a plan never reshuffles which machines its other
+            // events hit.
+            if engine.partition_clients(0, pct) {
+                out.partitions += 1;
+            } else {
+                out.skipped += 1;
+            }
+            return Ok(());
+        }
+        FaultAction::Heal => {
+            if engine.heal_clients(0) {
+                out.heals += 1;
+            } else {
+                out.skipped += 1;
+            }
+            return Ok(());
+        }
+        _ => {}
     }
-    let live: Vec<NodeId> = engine.p2p(0).node_ids().collect();
+    let live: Vec<NodeId> =
+        engine.p2p(0).node_ids().filter(|&n| engine.p2p(0).in_island_a(n)).collect();
     if live.is_empty() {
         out.skipped += 1;
         return Ok(());
     }
-    let target = live[(splitmix64(pick_state) % live.len() as u64) as usize];
+    // Never remove island A's last machine while the cut is up: the
+    // proxy's clients are anchored on the A side, and losing it would
+    // silently re-home them across a cut no message may legally cross.
+    if engine.p2p(0).is_partitioned()
+        && live.len() <= 1
+        && matches!(action, FaultAction::Crash | FaultAction::Depart)
+    {
+        out.skipped += 1;
+        return Ok(());
+    }
+    let target = live[picks.pick(live.len())];
     match action {
         FaultAction::Crash => {
             engine.crash_client(0, target)?;
@@ -734,7 +877,9 @@ fn apply_action<R: crate::recorder::Recorder>(
             engine.mark_client_slow(0, target);
             out.slows += 1;
         }
-        FaultAction::Rejoin => unreachable!("handled above"),
+        FaultAction::Rejoin | FaultAction::Partition(_) | FaultAction::Heal => {
+            unreachable!("handled above")
+        }
     }
     Ok(())
 }
@@ -742,11 +887,11 @@ fn apply_action<R: crate::recorder::Recorder>(
 /// A node id not currently in the cluster (live or crashed-undetected).
 fn fresh_node_id<R: crate::recorder::Recorder>(
     engine: &HierGdEngine<R>,
-    pick_state: &mut u64,
+    picks: &mut SeedStream,
 ) -> NodeId {
     loop {
-        let hi = splitmix64(pick_state) as u128;
-        let lo = splitmix64(pick_state) as u128;
+        let hi = picks.next_u64() as u128;
+        let lo = picks.next_u64() as u128;
         let id = NodeId((hi << 64) | lo);
         let taken = engine.p2p(0).node_ids().any(|n| n == id)
             || engine.p2p(0).crashed_ids().any(|n| n == id);
@@ -780,6 +925,54 @@ mod tests {
                 "'{bad}' should not parse"
             );
         }
+    }
+
+    #[test]
+    fn partition_grammar_round_trips() {
+        let plan: FaultPlan = "partition@100{60|40}, heal@900, crash@50, seed=6".parse().unwrap();
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.events[1], FaultEvent { at: 100, action: FaultAction::Partition(60) });
+        assert_eq!(plan.events[2], FaultEvent { at: 900, action: FaultAction::Heal });
+        assert!(plan.has_partition());
+        assert_eq!(plan.count(FaultAction::Heal), 1);
+        assert_eq!(plan.to_spec(), "crash@50,partition@100{60|40},heal@900,seed=6");
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+        assert!(!"crash@5".parse::<FaultPlan>().unwrap().has_partition());
+    }
+
+    #[test]
+    fn malformed_partition_specs_are_typed_errors() {
+        for (bad, needle) in [
+            ("partition@5", "missing its island split"),
+            ("partition@5{60|40", "unterminated '{'"),
+            ("partition@5{6040}", "separated by '|'"),
+            ("partition@5{banana|40}", "bad island percentage 'banana'"),
+            ("partition@5{70|40}", "must sum to 100, got 70 + 40"),
+            ("partition@5{100|0}", "between 1% and 99%"),
+            ("partition@x{60|40}", "bad request index"),
+            ("heal@x", "bad request index"),
+            ("heal@1{60|40}", "bad request index"),
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.to_string().contains(needle), "'{bad}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_the_offending_token_and_byte_offset() {
+        // The unknown key sits after "crash@5, " — nine bytes in.
+        let err = "crash@5, pigs=fly".parse::<FaultPlan>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'pigs'") && msg.contains("'pigs=fly'"), "{msg}");
+        assert!(msg.contains("at byte 9"), "{msg}");
+        // Same for unknown verbs and malformed partition tokens.
+        let err = "heal@2; explode@5".parse::<FaultPlan>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'explode'") && msg.contains("at byte 8"), "{msg}");
+        let err = "crash@1,partition@9{3|4}".parse::<FaultPlan>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'partition@9{3|4}'") && msg.contains("at byte 8"), "{msg}");
     }
 
     #[test]

@@ -318,6 +318,26 @@ impl<R: Recorder> HierGdEngine<R> {
         self.proxies[proxy].p2p.set_transport(faults);
     }
 
+    /// Splits `proxy`'s client cluster into two overlay islands, keeping
+    /// `percent_a` percent of the live machines on the proxy's side.
+    /// Each island runs its own membership view and repair until
+    /// [`heal_clients`](Self::heal_clients) merges them back — the
+    /// split-brain fault the reconciliation sweep exists for. Returns
+    /// whether a cut was actually started (`false`: one is already up or
+    /// too few machines remain).
+    pub fn partition_clients(&mut self, proxy: usize, percent_a: u8) -> bool {
+        self.proxies[proxy]
+            .p2p
+            .partition_nodes(percent_a, &mut Tap { recorder: &self.recorder, proxy })
+    }
+
+    /// Heals `proxy`'s cluster partition and runs the anti-entropy
+    /// reconciliation sweep (higher epoch wins, losers demoted, floors
+    /// re-established). Returns whether a cut was actually healed.
+    pub fn heal_clients(&mut self, proxy: usize) -> bool {
+        self.proxies[proxy].p2p.heal_nodes(&mut Tap { recorder: &self.recorder, proxy })
+    }
+
     /// Test-only sabotage hook: plants a directory entry with no backing
     /// copy in `proxy`'s cluster, a violation the chaos-explorer oracles
     /// must catch.

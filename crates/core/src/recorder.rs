@@ -166,6 +166,10 @@ pub struct StatsRecorder {
     message_retries: ShardedCounter,
     message_dedups: ShardedCounter,
     checksum_failures: ShardedCounter,
+    partitions_started: ShardedCounter,
+    partitions_healed: ShardedCounter,
+    entries_reconciled: ShardedCounter,
+    primaries_demoted: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -210,6 +214,10 @@ impl StatsRecorder {
             message_retries: self.message_retries.get(),
             message_dedups: self.message_dedups.get(),
             checksum_failures: self.checksum_failures.get(),
+            partitions_started: self.partitions_started.get(),
+            partitions_healed: self.partitions_healed.get(),
+            entries_reconciled: self.entries_reconciled.get(),
+            primaries_demoted: self.primaries_demoted.get(),
         }
     }
 }
@@ -295,6 +303,13 @@ impl Recorder for StatsRecorder {
             P2pEvent::MessageRetried { .. } => self.message_retries.incr(),
             P2pEvent::MessageDeduped { .. } => self.message_dedups.incr(),
             P2pEvent::ChecksumFailed { .. } => self.checksum_failures.incr(),
+            P2pEvent::PartitionStarted { .. } => self.partitions_started.incr(),
+            // `PartitionHealed` carries sweep totals, but each merged entry
+            // and demoted primary also arrives as its own event — count
+            // those individually to avoid double-counting.
+            P2pEvent::PartitionHealed { .. } => self.partitions_healed.incr(),
+            P2pEvent::EntryReconciled { .. } => self.entries_reconciled.incr(),
+            P2pEvent::PrimaryDemoted { .. } => self.primaries_demoted.incr(),
         }
     }
 }
@@ -372,6 +387,14 @@ pub struct StatsSnapshot {
     pub message_dedups: u64,
     /// Delivery attempts rejected by the XXH64 payload checksum.
     pub checksum_failures: u64,
+    /// Network partitions that split the overlay into islands.
+    pub partitions_started: u64,
+    /// Partitions healed by the anti-entropy reconciliation sweep.
+    pub partitions_healed: u64,
+    /// Directory entries merged during reconciliation (epoch winners).
+    pub entries_reconciled: u64,
+    /// Split-brain primaries demoted to replicas or collected on heal.
+    pub primaries_demoted: u64,
 }
 
 impl StatsSnapshot {
@@ -513,6 +536,10 @@ impl StatsSnapshot {
             ("message_retries", self.message_retries),
             ("message_dedups", self.message_dedups),
             ("checksum_failures", self.checksum_failures),
+            ("partitions_started", self.partitions_started),
+            ("partitions_healed", self.partitions_healed),
+            ("entries_reconciled", self.entries_reconciled),
+            ("primaries_demoted", self.primaries_demoted),
         ]
     }
 }
@@ -755,6 +782,23 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                 P2pEvent::ChecksumFailed { class } => {
                     flags.push(format!("class={class}"));
                 }
+                P2pEvent::PartitionStarted { island_a, island_b } => {
+                    flags.push(format!("island_a={island_a}"));
+                    flags.push(format!("island_b={island_b}"));
+                }
+                P2pEvent::PartitionHealed { reconciled, demoted } => {
+                    flags.push(format!("reconciled={reconciled}"));
+                    flags.push(format!("demoted={demoted}"));
+                }
+                P2pEvent::EntryReconciled { epoch } => {
+                    flags.push(format!("epoch={epoch}"));
+                }
+                P2pEvent::PrimaryDemoted { garbage_collected } => {
+                    flags.push(
+                        if garbage_collected { "garbage_collected" } else { "kept_as_replica" }
+                            .into(),
+                    );
+                }
             }
             (String::new(), String::new(), hops, flags.join("|"))
         }
@@ -837,6 +881,11 @@ mod tests {
         r.p2p_event(0, P2pEvent::StaleDirectoryHit { replica_served: true });
         r.p2p_event(0, P2pEvent::StaleDirectoryHit { replica_served: false });
         r.p2p_event(0, P2pEvent::Rereplicated { copies: 2 });
+        r.p2p_event(0, P2pEvent::PartitionStarted { island_a: 5, island_b: 3 });
+        r.p2p_event(0, P2pEvent::EntryReconciled { epoch: 2 });
+        r.p2p_event(0, P2pEvent::EntryReconciled { epoch: 3 });
+        r.p2p_event(0, P2pEvent::PrimaryDemoted { garbage_collected: false });
+        r.p2p_event(0, P2pEvent::PartitionHealed { reconciled: 2, demoted: 1 });
         let s = r.snapshot();
         assert_eq!(s.destages, 2);
         assert_eq!(s.piggybacked_destages, 1);
@@ -865,6 +914,10 @@ mod tests {
         assert_eq!(s.stale_hits_replica_served, 1);
         assert_eq!(s.rereplications, 1);
         assert_eq!(s.replica_copies, 2);
+        assert_eq!(s.partitions_started, 1);
+        assert_eq!(s.partitions_healed, 1);
+        assert_eq!(s.entries_reconciled, 2);
+        assert_eq!(s.primaries_demoted, 1);
         assert_eq!(s.lookup_hops.count, 2);
         assert_eq!(s.lookup_hops.max, 4);
         assert_eq!(s.destage_hops.count, 2);

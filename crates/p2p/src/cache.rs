@@ -22,6 +22,7 @@ use crate::faults::{NetFaults, P2pError};
 use crate::ledger::MessageLedger;
 use crate::transport::{MessageClass, TransportFaults, UnreliableTransport};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::hash::Hasher;
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
 use webcache_policy::{BoundedCache, GreedyDualCache};
@@ -219,6 +220,30 @@ impl RouteMemo {
     }
 }
 
+/// Cluster-side bookkeeping for an active network partition.
+///
+/// The overlay tracks the membership cut ([`Overlay::start_partition`]);
+/// this records what the *islanded* side did with its copies. The proxy
+/// sits on island A, so the lookup directory keeps describing island A
+/// only; island B runs its own independent "directory" here — the
+/// split-brain state the heal-time reconciliation sweep must merge.
+#[derive(Clone, Debug, Default)]
+struct SplitState {
+    /// Island B's view of its primaries: object → the B node holding it.
+    /// Populated at cut time (B keeps every primary it held and promotes
+    /// replicas of primaries stranded on island A) and by nothing else —
+    /// no request traffic reaches island B while the cut is up.
+    b_index: FxHashMap<u128, NodeId>,
+    /// Island B's entry epochs, mirroring the directory's: bumped when
+    /// B's "repair" moved an object's authority. Compared against the
+    /// A-side epoch at heal time; higher epoch wins.
+    b_epochs: FxHashMap<u128, u64>,
+    /// Metadata messages island B addressed to the proxy while the cut
+    /// was up (store receipts for its promotions). Queued at the cut and
+    /// drained through the transport's retry/dedup machinery on heal.
+    pending_cut: Vec<(MessageClass, u128)>,
+}
+
 /// The federated client cache for one client cluster.
 #[derive(Clone, Debug)]
 pub struct P2PClientCache {
@@ -249,6 +274,10 @@ pub struct P2PClientCache {
     /// corruption with retry/backoff). `None` keeps every path
     /// bit-identical to the fault-free simulator.
     transport: Option<UnreliableTransport>,
+    /// Active network-partition bookkeeping ([`partition_nodes`]
+    /// (Self::partition_nodes)). `None` keeps every path bit-identical
+    /// to the partition-free simulator.
+    split: Option<SplitState>,
 }
 
 impl P2PClientCache {
@@ -284,6 +313,7 @@ impl P2PClientCache {
             fault_penalties: 0,
             limbo: FxHashMap::default(),
             transport: None,
+            split: None,
         }
     }
 
@@ -353,6 +383,19 @@ impl P2PClientCache {
             || self.transport.is_some()
             || self.overlay.crashed_len() > 0
             || !self.limbo.is_empty()
+            || self.split.is_some()
+    }
+
+    /// True while a network partition is up
+    /// ([`partition_nodes`](Self::partition_nodes)).
+    pub fn is_partitioned(&self) -> bool {
+        self.split.is_some()
+    }
+
+    /// True when `id` is on the proxy's side of the cut (island A).
+    /// Always true while no partition is active.
+    pub fn in_island_a(&self, id: NodeId) -> bool {
+        self.overlay.in_island_a(id)
     }
 
     /// Pushes one protocol message through the unreliable transport (a
@@ -722,7 +765,13 @@ impl P2PClientCache {
     /// so tests and diagnostics can group objects by root without cloning
     /// the whole cache and probing it with [`destage`](Self::destage).
     pub fn root_of(&self, object: u128) -> Option<NodeId> {
-        self.overlay.owner_of(object_key(object))
+        if self.overlay.is_partitioned() {
+            // The proxy and its request traffic sit on island A: while
+            // the cut is up, "the" root is the island-A owner.
+            self.overlay.owner_in_island(object_key(object), true)
+        } else {
+            self.overlay.owner_of(object_key(object))
+        }
     }
 
     /// Fetches `object` for local client `client`: the proxy redirected
@@ -1159,6 +1208,8 @@ impl P2PClientCache {
         if !self.directory.contains(object) {
             self.directory.insert(object);
         }
+        // The promotion moved the object's authority: stamp the entry.
+        self.directory.bump_epoch(object);
         let copies = self.make_replicas(object, new_root, h, credit);
         self.ledger.rereplications += 1;
         if S::ENABLED {
@@ -1449,6 +1500,8 @@ impl P2PClientCache {
             if !self.directory.contains(object) {
                 self.directory.insert(object);
             }
+            // The orphan promotion moved the object's authority.
+            self.directory.bump_epoch(object);
             self.ledger.overlay_messages += 1;
             self.ledger.rereplications += 1;
             if S::ENABLED {
@@ -1731,8 +1784,12 @@ impl P2PClientCache {
         let mut moves: Vec<(NodeId, u128, f64)> = Vec::new();
         for node in self.nodes.values() {
             // Crashed-but-undetected nodes cannot take part in migration:
-            // their contents surface (or die) at detection time.
-            if node.id == id || self.overlay.is_crashed(node.id) {
+            // their contents surface (or die) at detection time. Nodes
+            // across an active partition cut are unreachable outright.
+            if node.id == id
+                || self.overlay.is_crashed(node.id)
+                || !self.overlay.same_island(node.id, id)
+            {
                 continue;
             }
             for obj in node.store.keys() {
@@ -1782,6 +1839,433 @@ impl P2PClientCache {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Network partitions: split-brain overlay islands, epoch-stamped
+    // authority, and the heal-time anti-entropy reconciliation sweep.
+    // ------------------------------------------------------------------
+
+    /// Every primary copy in the cluster, in object order: object →
+    /// (holder, the root it is linked under, greedy-dual credit). Only
+    /// meaningful while each object has a single primary (pre-split).
+    fn primary_placements(&self) -> BTreeMap<u128, (NodeId, NodeId, f64)> {
+        let mut out = BTreeMap::new();
+        for node in self.nodes.values() {
+            for obj in node.store.keys() {
+                let root = node.hosted_for.get(&obj).copied().unwrap_or(node.id);
+                let credit = node.store.h_value(obj).expect("key is resident");
+                out.insert(obj, (node.id, root, credit));
+            }
+        }
+        out
+    }
+
+    /// Drops the replica copies of `obj` held at `hosts` (tracking is
+    /// the caller's problem — it has usually been taken already).
+    fn consume_replicas(&mut self, hosts: &[NodeId], obj: u128) {
+        for h in hosts {
+            if let Some(hn) = self.nodes.get_mut(&h.0) {
+                hn.replicas.remove(&obj);
+            }
+        }
+    }
+
+    /// Island A's eager repair of a primary stranded across the cut:
+    /// consume every island-A replica copy and promote the first live
+    /// one with free space, linking it under island A's owner. Returns
+    /// the promoted holder and its credit, or `None` when no copy could
+    /// be promoted (the caller then flushes the directory entry).
+    fn promote_on_island_a<S: P2pSink>(
+        &mut self,
+        obj: u128,
+        hosts: &[NodeId],
+        sink: &mut S,
+    ) -> Option<(NodeId, f64)> {
+        let mut chosen: Option<(NodeId, f64)> = None;
+        for &h in hosts {
+            let crashed = self.overlay.is_crashed(h);
+            let Some(hn) = self.nodes.get_mut(&h.0) else { continue };
+            let Some((credit, _root)) = hn.replicas.remove(&obj) else { continue };
+            if !crashed && chosen.is_none() && hn.store.has_free_space() {
+                chosen = Some((h, credit));
+            }
+        }
+        let (h, credit) = chosen?;
+        // The promotion re-home is metadata on island A's side of the
+        // cut: retries are priced, but it always lands.
+        self.transport_send(MessageClass::ReplicaRehome, obj, sink);
+        let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
+        let evicted = hn.store.insert_with_cost(obj, credit, 1.0);
+        debug_assert!(evicted.is_none(), "free space was checked");
+        self.resident += 1;
+        self.ledger.overlay_messages += 1; // promotion transfer
+        let root = self.root_of(obj).expect("island A is non-empty");
+        if root != h {
+            self.nodes.get_mut(&root.0).expect("root is live").diverted_to.insert(obj, h);
+            self.nodes.get_mut(&h.0).expect("live").hosted_for.insert(obj, root);
+            self.ledger.overlay_messages += 1; // pointer update
+        }
+        Some((h, credit))
+    }
+
+    /// Island B's independent repair of a primary stranded across the
+    /// cut: consume every island-B replica copy and promote the first
+    /// live one with free space to a split-brain primary of B's own,
+    /// one epoch ahead of the entry it diverged from. B's payload
+    /// announcement to the proxy is eaten by the cut (B pays the
+    /// timeout); the metadata receipt queues for the heal-time drain.
+    fn island_b_promotes<S: P2pSink>(
+        &mut self,
+        obj: u128,
+        hosts: &[NodeId],
+        e0: u64,
+        split: &mut SplitState,
+        sink: &mut S,
+    ) {
+        let mut chosen: Option<(NodeId, f64)> = None;
+        for &h in hosts {
+            let crashed = self.overlay.is_crashed(h);
+            let Some(hn) = self.nodes.get_mut(&h.0) else { continue };
+            let Some((credit, _root)) = hn.replicas.remove(&obj) else { continue };
+            if !crashed && chosen.is_none() && hn.store.has_free_space() {
+                chosen = Some((h, credit));
+            }
+        }
+        let Some((h, credit)) = chosen else { return };
+        let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
+        let evicted = hn.store.insert_with_cost(obj, credit, 1.0);
+        debug_assert!(evicted.is_none(), "free space was checked");
+        self.resident += 1;
+        split.b_index.insert(obj, h);
+        split.b_epochs.insert(obj, e0 + 1);
+        self.ledger.cut_drops += 1;
+        self.note_timeout(false, sink);
+        split.pending_cut.push((MessageClass::DirectoryUpdate, obj));
+    }
+
+    /// Splits the cluster into two overlay islands, keeping `percent_a`
+    /// percent of the live nodes (lowest cacheIds) on the proxy's side
+    /// (island A). Each island immediately runs its own repair, exactly
+    /// as it would after detecting the other side's "failure": island A
+    /// re-homes or replica-promotes primaries stranded on B (bumping
+    /// their epochs) or flushes their directory entries; island B keeps
+    /// its primaries and promotes its replicas of A-stranded primaries —
+    /// deliberately producing split-brain duplicate primaries with
+    /// diverging epochs that only the heal-time sweep resolves. Returns
+    /// `false` (and changes nothing) when a cut is already up or fewer
+    /// than two live nodes remain.
+    pub fn partition_nodes<S: P2pSink>(&mut self, percent_a: u8, sink: &mut S) -> bool {
+        if self.split.is_some() {
+            return false;
+        }
+        let mut live: Vec<u128> = self.overlay.node_ids().map(|n| n.0).collect();
+        live.sort_unstable();
+        let n = live.len();
+        if n < 2 {
+            return false;
+        }
+        let pct = usize::from(percent_a.clamp(1, 99));
+        let cut = (n * pct / 100).clamp(1, n - 1);
+        if !self.overlay.start_partition(live[..cut].iter().map(|&k| NodeId(k))) {
+            return false;
+        }
+        self.route_memo.clear();
+        // Clients reach the cluster through the proxy, which sits on
+        // island A: remap every entry point stranded across the cut.
+        let anchor = NodeId(live[0]);
+        for slot in &mut self.node_of_client {
+            if !self.overlay.in_island_a(*slot) {
+                *slot = anchor;
+            }
+        }
+
+        let mut split = SplitState::default();
+        // Classify every primary once, in object order, then repair both
+        // islands' views deterministically.
+        for (obj, (holder, root, credit)) in self.primary_placements() {
+            let e0 = self.directory.epoch_of(obj);
+            let holder_a = self.overlay.in_island_a(holder);
+            let root_a = self.overlay.in_island_a(root);
+            // Take the replica tracking once; each island rebuilds its
+            // own below.
+            let hosts = self
+                .nodes
+                .get_mut(&root.0)
+                .and_then(|rn| rn.replicated_to.remove(&obj))
+                .unwrap_or_default();
+            let (a_hosts, b_hosts): (Vec<NodeId>, Vec<NodeId>) =
+                hosts.into_iter().partition(|h| self.overlay.in_island_a(*h));
+            match (holder_a, root_a) {
+                (true, true) => {
+                    if b_hosts.is_empty() {
+                        // Untouched by the cut: put the tracking back.
+                        if !a_hosts.is_empty() {
+                            self.nodes
+                                .get_mut(&root.0)
+                                .expect("root is live")
+                                .replicated_to
+                                .insert(obj, a_hosts);
+                        }
+                        continue;
+                    }
+                    // Cross-cut replica copies are unreachable: island B
+                    // promotes one, island A restores its floor.
+                    self.consume_replicas(&a_hosts, obj);
+                    self.island_b_promotes(obj, &b_hosts, e0, &mut split, sink);
+                    let made = self.make_replicas(obj, root, holder, credit);
+                    self.directory.bump_epoch(obj);
+                    self.ledger.rereplications += 1;
+                    if S::ENABLED {
+                        sink.event(P2pEvent::Rereplicated { copies: made });
+                    }
+                }
+                (true, false) => {
+                    // Primary on A, rooted across the cut: island A
+                    // re-homes it under its own owner (an authority
+                    // move); island B promotes a replica if it has one.
+                    self.nodes.get_mut(&holder.0).expect("holder is live").hosted_for.remove(&obj);
+                    if let Some(rn) = self.nodes.get_mut(&root.0) {
+                        rn.diverted_to.remove(&obj);
+                    }
+                    let new_root = self.root_of(obj).expect("island A is non-empty");
+                    if new_root != holder {
+                        self.nodes
+                            .get_mut(&new_root.0)
+                            .expect("root is live")
+                            .diverted_to
+                            .insert(obj, holder);
+                        self.nodes
+                            .get_mut(&holder.0)
+                            .expect("holder is live")
+                            .hosted_for
+                            .insert(obj, new_root);
+                        self.ledger.overlay_messages += 1; // pointer repair
+                    }
+                    self.consume_replicas(&a_hosts, obj);
+                    self.island_b_promotes(obj, &b_hosts, e0, &mut split, sink);
+                    let made = self.make_replicas(obj, new_root, holder, credit);
+                    self.directory.bump_epoch(obj);
+                    self.ledger.rereplications += 1;
+                    if S::ENABLED {
+                        sink.event(P2pEvent::Rereplicated { copies: made });
+                    }
+                }
+                (false, _) => {
+                    // Primary stranded on island B. B keeps serving it
+                    // under its own authority; A promotes a surviving
+                    // replica or flushes the directory entry.
+                    self.nodes.get_mut(&holder.0).expect("holder is live").hosted_for.remove(&obj);
+                    if let Some(rn) = self.nodes.get_mut(&root.0) {
+                        rn.diverted_to.remove(&obj);
+                    }
+                    split.b_index.insert(obj, holder);
+                    if e0 > 0 {
+                        split.b_epochs.insert(obj, e0);
+                    }
+                    self.consume_replicas(&b_hosts, obj);
+                    if let Some((pa, credit)) = self.promote_on_island_a(obj, &a_hosts, sink) {
+                        let new_root = self.root_of(obj).expect("island A is non-empty");
+                        let made = self.make_replicas(obj, new_root, pa, credit);
+                        self.directory.bump_epoch(obj);
+                        self.ledger.rereplications += 1;
+                        if S::ENABLED {
+                            sink.event(P2pEvent::Rereplicated { copies: made });
+                        }
+                    } else {
+                        // Island A lost every copy; its repair flushed
+                        // the entry (the proxy's view stays exact).
+                        self.directory.remove(obj);
+                    }
+                }
+            }
+        }
+
+        // Crash casualties parked in limbo: island B promotes any
+        // replica copies it holds (more split-brain); the island-A
+        // hosts stay parked for lazy repair.
+        let mut limbo_objs: Vec<u128> = self.limbo.keys().copied().collect();
+        limbo_objs.sort_unstable();
+        for obj in limbo_objs {
+            let hosts = self.limbo.remove(&obj).expect("key was just listed");
+            let (a_hosts, b_hosts): (Vec<NodeId>, Vec<NodeId>) =
+                hosts.into_iter().partition(|h| self.overlay.in_island_a(*h));
+            let e0 = self.directory.epoch_of(obj);
+            self.island_b_promotes(obj, &b_hosts, e0, &mut split, sink);
+            self.limbo.insert(obj, a_hosts);
+        }
+
+        if S::ENABLED {
+            let island_a = self.overlay.island_a_ids().len().min(u32::MAX as usize) as u32;
+            let island_b = self.overlay.island_b_ids().len().min(u32::MAX as usize) as u32;
+            sink.event(P2pEvent::PartitionStarted { island_a, island_b });
+        }
+        self.split = Some(split);
+        true
+    }
+
+    /// Heals an active partition and runs the anti-entropy
+    /// reconciliation sweep: per contested object the copy with the
+    /// higher epoch wins authority (ties go to island A, whose proxy
+    /// served requests throughout), losing split-brain primaries are
+    /// demoted to replicas or garbage-collected, island-B-only
+    /// survivors re-enter the proxy's directory, every replica floor is
+    /// re-established against the merged ring, and the metadata island
+    /// B queued at the cut drains through the transport's retry/dedup
+    /// machinery. Returns `false` when no partition is active.
+    pub fn heal_nodes<S: P2pSink>(&mut self, sink: &mut S) -> bool {
+        let Some(split) = self.split.take() else { return false };
+        let SplitState { b_index: _, b_epochs, pending_cut } = split;
+        // Snapshot both islands' placements before the views merge.
+        let mut a_place: BTreeMap<u128, (NodeId, f64)> = BTreeMap::new();
+        let mut b_place: BTreeMap<u128, (NodeId, f64)> = BTreeMap::new();
+        for node in self.nodes.values() {
+            if self.overlay.is_crashed(node.id) {
+                continue;
+            }
+            let side = if self.overlay.in_island_a(node.id) { &mut a_place } else { &mut b_place };
+            for obj in node.store.keys() {
+                let credit = node.store.h_value(obj).expect("key is resident");
+                side.insert(obj, (node.id, credit));
+            }
+        }
+        self.overlay.heal_partition();
+        self.route_memo.clear();
+
+        // The merged ring invalidates every replica set: scrub them
+        // wholesale (crash casualties in limbo keep theirs — lazy
+        // repair still owns those) and rebuild each floor below.
+        let limbo = &self.limbo;
+        for node in self.nodes.values_mut() {
+            node.replicas.retain(|obj, _| limbo.contains_key(obj));
+            node.replicated_to.clear();
+        }
+
+        let mut reconciled = 0u32;
+        let mut demoted = 0u32;
+        let mut node_ids: Vec<u128> = self.nodes.keys().copied().collect();
+        node_ids.sort_unstable();
+        let objects: std::collections::BTreeSet<u128> =
+            a_place.keys().chain(b_place.keys()).copied().collect();
+        for &obj in &objects {
+            let a = a_place.get(&obj).copied();
+            let b = b_place.get(&obj).copied();
+            let a_e = self.directory.epoch_of(obj);
+            let b_e = b_epochs.get(&obj).copied().unwrap_or(0);
+            let (winner, credit, loser) = match (a, b) {
+                (Some((wa, ca)), Some((wb, cb))) => {
+                    if b_e > a_e {
+                        (wb, cb, Some(wa))
+                    } else {
+                        (wa, ca, Some(wb))
+                    }
+                }
+                (Some((wa, ca)), None) => (wa, ca, None),
+                (None, Some((wb, cb))) => (wb, cb, None),
+                (None, None) => unreachable!("object came from a placement map"),
+            };
+            // Scrub every stale pointer for the object on both islands;
+            // the winner is re-linked below.
+            for id in &node_ids {
+                if let Some(n) = self.nodes.get_mut(id) {
+                    n.diverted_to.remove(&obj);
+                    n.hosted_for.remove(&obj);
+                }
+            }
+            // The losing split-brain copy gives up its store slot.
+            if let Some(l) = loser {
+                let ln = self.nodes.get_mut(&l.0).expect("loser held a copy");
+                let removed = ln.store.remove(obj);
+                debug_assert!(removed, "loser placement was resident");
+                self.resident -= 1;
+            }
+            // Re-link the winner under the merged ring's owner and
+            // restore its replica floor.
+            self.ledger.overlay_messages += 1; // reconciliation probe
+            let root = self.root_of(obj).expect("cluster is non-empty");
+            if root != winner {
+                self.nodes.get_mut(&root.0).expect("root is live").diverted_to.insert(obj, winner);
+                self.nodes.get_mut(&winner.0).expect("winner is live").hosted_for.insert(obj, root);
+                self.ledger.overlay_messages += 1; // pointer repair
+            }
+            self.make_replicas(obj, root, winner, credit);
+            if let Some(l) = loser {
+                // Demoted to a replica when the floor rebuild picked the
+                // loser as a host; garbage-collected outright otherwise.
+                let kept = self.nodes.get(&l.0).is_some_and(|ln| ln.replicas.contains_key(&obj));
+                demoted += 1;
+                self.ledger.primaries_demoted += 1;
+                if S::ENABLED {
+                    sink.event(P2pEvent::PrimaryDemoted { garbage_collected: !kept });
+                }
+            }
+            if a.is_some() && b.is_some() {
+                let e = a_e.max(b_e) + 1;
+                self.directory.set_epoch(obj, e);
+                reconciled += 1;
+                self.ledger.entries_reconciled += 1;
+                if S::ENABLED {
+                    sink.event(P2pEvent::EntryReconciled { epoch: e });
+                }
+            } else if b.is_some() {
+                // An island-B-only survivor: the proxy learns of it now.
+                self.forget_limbo(obj);
+                if !self.directory.contains(obj) {
+                    self.directory.insert(obj);
+                }
+                self.directory.set_epoch(obj, b_e);
+                reconciled += 1;
+                self.ledger.entries_reconciled += 1;
+                if S::ENABLED {
+                    sink.event(P2pEvent::EntryReconciled { epoch: b_e });
+                }
+            }
+        }
+
+        // Drain the receipts island B queued at the cut through the
+        // transport: retries priced, duplicates absorbed by the dedup
+        // windows. Their semantic effect was applied by the sweep above.
+        for (class, payload) in pending_cut {
+            self.transport_send(class, payload, sink);
+            self.ledger.cut_drained += 1;
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::PartitionHealed { reconciled, demoted });
+        }
+        true
+    }
+
+    /// The convergence oracle's divergence check: once no partition is
+    /// active, an exact directory must equal the single-authority
+    /// rebuild from ground truth — the set of resident objects plus the
+    /// crash casualties still awaiting lazy repair. Returns violations
+    /// (empty = converged). Bloom directories cannot be enumerated and
+    /// report nothing.
+    pub fn directory_divergence(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.is_partitioned() {
+            problems.push("partition still active: islands have not merged".to_string());
+            return problems;
+        }
+        let Some(set) = self.directory.exact_entries() else { return problems };
+        let mut truth: std::collections::BTreeSet<u128> = self.limbo.keys().copied().collect();
+        for node in self.nodes.values() {
+            for obj in node.store.keys() {
+                truth.insert(obj);
+            }
+        }
+        for obj in &truth {
+            if !set.contains(obj) {
+                problems
+                    .push(format!("object {obj:032x} resident but absent from the directory view"));
+            }
+        }
+        let mut extras: Vec<u128> = set.iter().filter(|o| !truth.contains(o)).copied().collect();
+        extras.sort_unstable();
+        for obj in extras {
+            problems.push(format!("directory entry {obj:032x} has no backing object after heal"));
+        }
+        problems
+    }
+
     /// Verifies internal consistency; returns violations (empty = OK).
     ///
     /// With an exact directory, directory contents must equal the set of
@@ -1791,8 +2275,18 @@ impl P2PClientCache {
         let mut problems = Vec::new();
         let mut count = 0usize;
         for node in self.nodes.values() {
+            let islanded = !self.overlay.in_island_a(node.id);
             for obj in node.store.keys() {
                 count += 1;
+                if islanded {
+                    // Island B runs its own authority while the cut is
+                    // up; the proxy's directory describes island A only.
+                    if !self.split.as_ref().is_some_and(|s| s.b_index.contains_key(&obj)) {
+                        problems
+                            .push(format!("islanded object {obj:032x} missing from the B index"));
+                    }
+                    continue;
+                }
                 if !self.directory.contains(obj) {
                     problems.push(format!("object {obj:032x} resident but not in directory"));
                 }
@@ -1857,10 +2351,25 @@ impl P2PClientCache {
                 problems.push(format!("limbo object {obj:032x} is also resident"));
             }
         }
-        if let LookupDirectory::Exact(set) = &self.directory {
-            if set.len() != count + self.limbo.len() {
+        if let Some(s) = &self.split {
+            // The B index must describe exactly the islanded copies.
+            for (obj, host) in &s.b_index {
+                match self.nodes.get(&host.0) {
+                    Some(hn) if hn.store.contains(*obj) => {}
+                    _ => problems.push(format!(
+                        "islanded object {obj:032x} not resident at its island-B host"
+                    )),
+                }
+            }
+        }
+        if let Some(set) = self.directory.exact_entries() {
+            // During a split the proxy's directory covers island A only;
+            // island B's copies are carried by the B index instead.
+            let islanded = self.split.as_ref().map_or(0, |s| s.b_index.len());
+            if set.len() + islanded != count + self.limbo.len() {
                 problems.push(format!(
-                    "exact directory has {} entries but {count} objects resident and {} in limbo",
+                    "exact directory has {} entries ({islanded} islanded) but {count} objects \
+                     resident and {} in limbo",
                     set.len(),
                     self.limbo.len()
                 ));
@@ -1929,7 +2438,7 @@ impl P2PClientCache {
                 let _ = writeln!(out, "  replica {o:032x}");
             }
         }
-        if let LookupDirectory::Exact(set) = &self.directory {
+        if let Some(set) = self.directory.exact_entries() {
             let mut dir: Vec<u128> = set.iter().copied().collect();
             dir.sort_unstable();
             for o in dir {
@@ -2703,5 +3212,122 @@ mod tests {
         assert!(c.check_invariants().is_empty());
         c.debug_plant_ghost_entry(oid(1000));
         assert!(!c.check_invariants().is_empty(), "the sabotage hook must trip the oracle");
+    }
+
+    #[test]
+    fn degenerate_partitions_are_noops() {
+        let mut c = small(1, 4);
+        assert!(!c.partition_nodes(50, &mut NoSink), "one node cannot split");
+        assert!(!c.heal_nodes(&mut NoSink), "no cut to heal");
+        let mut c = small(8, 4);
+        assert!(c.partition_nodes(50, &mut NoSink));
+        assert!(c.is_partitioned());
+        assert!(!c.partition_nodes(50, &mut NoSink), "a second cut must be rejected");
+        assert!(c.heal_nodes(&mut NoSink));
+        assert!(!c.is_partitioned());
+        assert!(!c.heal_nodes(&mut NoSink), "healing twice is a no-op");
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn partition_and_heal_preserve_invariants_and_converge() {
+        let mut c = small_k(16, 8, 2);
+        for i in 0..60u64 {
+            c.destage(oid(i), 1.0, Some(i as u32)).unwrap();
+        }
+        let before_len = c.len();
+        assert!(c.partition_nodes(50, &mut NoSink));
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "mid-split: {problems:?}");
+        // Requests keep flowing on the proxy's island while the cut is
+        // up; every entry point must sit on island A.
+        for i in 0..60u64 {
+            if c.directory_contains(oid(i)) {
+                let f = c.fetch(i as u32, oid(i), 1.0).expect("directory-approved fetch");
+                assert!(c.in_island_a(f.holder), "island B must be unreachable");
+            }
+        }
+        assert!(c.check_invariants().is_empty());
+        assert!(c.heal_nodes(&mut NoSink));
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "post-heal: {problems:?}");
+        let diverged = c.directory_divergence();
+        assert!(diverged.is_empty(), "post-heal divergence: {diverged:?}");
+        assert!(c.len() <= before_len, "the sweep collects duplicates, never invents copies");
+        // Post-heal the cluster is a single authority again: replica
+        // floors are re-established against the merged ring.
+        let floor = c.check_replica_floor();
+        assert!(floor.is_empty(), "{floor:?}");
+    }
+
+    #[test]
+    fn split_brain_duplicates_are_reconciled_by_epoch() {
+        // k = 2 guarantees cross-cut replicas, so both islands promote
+        // and at least one object ends up with duplicate primaries.
+        let mut c = small_k(12, 16, 2);
+        for i in 0..48u64 {
+            c.destage(oid(i), 1.0, Some(i as u32)).unwrap();
+        }
+        assert!(c.partition_nodes(50, &mut NoSink));
+        let islanded = c.split.as_ref().map_or(0, |s| s.b_index.len());
+        assert!(islanded > 0, "island B must keep primaries of its own");
+        assert!(c.ledger().cut_drops > 0, "B's announcements die at the cut");
+        assert!(c.heal_nodes(&mut NoSink));
+        assert!(c.ledger().entries_reconciled > 0, "the sweep must merge entries");
+        assert!(c.ledger().cut_drained > 0, "queued receipts drain at the heal");
+        let diverged = c.directory_divergence();
+        assert!(diverged.is_empty(), "{diverged:?}");
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn partition_events_mirror_ledger_counters() {
+        struct VecSink(Vec<P2pEvent>);
+        impl P2pSink for VecSink {
+            fn event(&mut self, e: P2pEvent) {
+                self.0.push(e);
+            }
+        }
+        let mut sink = VecSink(Vec::new());
+        let mut c = small_k(10, 16, 2);
+        for i in 0..30u64 {
+            c.destage(oid(i), 1.0, Some(i as u32)).unwrap();
+        }
+        assert!(c.partition_nodes(40, &mut sink));
+        assert!(c.heal_nodes(&mut sink));
+        let count = |label: &str| sink.0.iter().filter(|e| e.kind_label() == label).count() as u64;
+        assert_eq!(count("partition_started"), 1);
+        assert_eq!(count("partition_healed"), 1);
+        assert_eq!(count("entry_reconciled"), c.ledger().entries_reconciled);
+        assert_eq!(count("primary_demoted"), c.ledger().primaries_demoted);
+        let started = sink.0.iter().find_map(|e| match e {
+            P2pEvent::PartitionStarted { island_a, island_b } => Some((*island_a, *island_b)),
+            _ => None,
+        });
+        assert_eq!(started, Some((4, 6)), "40% of ten nodes stay proxy-side");
+    }
+
+    #[test]
+    fn fetch_during_split_survives_and_islands_merge_cleanly() {
+        let mut c = small_k(12, 8, 2);
+        c.set_transport(TransportFaults { loss: 0.05, seed: 99, ..TransportFaults::none() });
+        for i in 0..40u64 {
+            c.destage(oid(i), 1.0, Some(i as u32)).unwrap();
+        }
+        assert!(c.partition_nodes(60, &mut NoSink));
+        // Mid-split churn on the proxy's island only.
+        for i in 0..40u64 {
+            let _ = c.fetch(i as u32, oid(i), 1.0);
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after fetch {i}: {problems:?}");
+        }
+        for i in 100..110u64 {
+            c.destage(oid(i), 1.0, Some(i as u32));
+        }
+        assert!(c.check_invariants().is_empty());
+        assert!(c.heal_nodes(&mut NoSink));
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "post-heal: {problems:?}");
+        assert!(c.directory_divergence().is_empty());
     }
 }

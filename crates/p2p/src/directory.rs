@@ -13,9 +13,18 @@
 //!   caches report evictions back to the proxy (Fig. 1 step 14), the
 //!   filter must support deletion, so the Bloom variant is a *counting*
 //!   Bloom filter.
+//!
+//! On top of either representation the directory stamps entries with a
+//! monotonically increasing **epoch**: 0 at first insertion, bumped every
+//! time the entry's authority moves (a re-home after a crash, a
+//! re-replication, a split-brain promotion). Epochs are what make healing
+//! a network partition well-defined — when two islands each re-homed the
+//! same object, the reconciliation sweep keeps the copy with the higher
+//! epoch instead of guessing. Entries that never move carry epoch 0 and
+//! occupy no epoch storage, so fault-free runs pay nothing.
 
 use serde::{Deserialize, Serialize};
-use webcache_primitives::{CountingBloomFilter, FxHashSet};
+use webcache_primitives::{CountingBloomFilter, FxHashMap, FxHashSet};
 
 /// Which directory representation the proxy uses.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -33,61 +42,110 @@ pub enum DirectoryKind {
     },
 }
 
-/// A proxy-side lookup directory.
+/// The membership representation behind a [`LookupDirectory`].
 #[derive(Clone, Debug)]
-pub enum LookupDirectory {
+enum DirectoryRepr {
     /// Exact hashtable.
     Exact(FxHashSet<u128>),
     /// Counting Bloom filter.
     Bloom(CountingBloomFilter),
 }
 
+/// A proxy-side lookup directory: a membership structure (exact or
+/// counting-Bloom) plus per-entry epochs for partition reconciliation.
+#[derive(Clone, Debug)]
+pub struct LookupDirectory {
+    repr: DirectoryRepr,
+    /// Epochs of entries whose authority has moved at least once.
+    /// Absent means epoch 0 — the common case; the map only grows under
+    /// faults and is pruned on remove, so it stays empty in fault-free
+    /// runs and bounded by the resident set otherwise.
+    epochs: FxHashMap<u128, u64>,
+}
+
 impl LookupDirectory {
     /// Builds the directory described by `kind`.
     pub fn new(kind: DirectoryKind) -> Self {
-        match kind {
-            DirectoryKind::Exact => LookupDirectory::Exact(FxHashSet::default()),
-            DirectoryKind::Bloom { counters_per_key, expected_entries } => LookupDirectory::Bloom(
+        let repr = match kind {
+            DirectoryKind::Exact => DirectoryRepr::Exact(FxHashSet::default()),
+            DirectoryKind::Bloom { counters_per_key, expected_entries } => DirectoryRepr::Bloom(
                 CountingBloomFilter::with_capacity(expected_entries, counters_per_key),
             ),
-        }
+        };
+        LookupDirectory { repr, epochs: FxHashMap::default() }
     }
 
     /// Records that `object` is now stored in the P2P client cache.
     pub fn insert(&mut self, object: u128) {
-        match self {
-            LookupDirectory::Exact(s) => {
+        match &mut self.repr {
+            DirectoryRepr::Exact(s) => {
                 s.insert(object);
             }
-            LookupDirectory::Bloom(f) => f.insert(object),
+            DirectoryRepr::Bloom(f) => f.insert(object),
         }
     }
 
-    /// Records that `object` left the P2P client cache.
+    /// Records that `object` left the P2P client cache. The entry's epoch
+    /// dies with it: a later re-insertion is a fresh entry at epoch 0.
     pub fn remove(&mut self, object: u128) {
-        match self {
-            LookupDirectory::Exact(s) => {
+        match &mut self.repr {
+            DirectoryRepr::Exact(s) => {
                 s.remove(&object);
             }
-            LookupDirectory::Bloom(f) => f.remove(object),
+            DirectoryRepr::Bloom(f) => f.remove(object),
         }
+        self.epochs.remove(&object);
     }
 
     /// Membership test ("might be stored in its P2P client cache").
     /// Exact directories never err; Bloom directories may return false
     /// positives, never false negatives.
     pub fn contains(&self, object: u128) -> bool {
-        match self {
-            LookupDirectory::Exact(s) => s.contains(&object),
-            LookupDirectory::Bloom(f) => f.contains(object),
+        match &self.repr {
+            DirectoryRepr::Exact(s) => s.contains(&object),
+            DirectoryRepr::Bloom(f) => f.contains(object),
+        }
+    }
+
+    /// The entry's epoch (0 unless its authority has moved).
+    pub fn epoch_of(&self, object: u128) -> u64 {
+        self.epochs.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Bumps the entry's epoch by one and returns the new value. Called
+    /// on every authority move: re-home, re-replication, promotion.
+    pub fn bump_epoch(&mut self, object: u128) -> u64 {
+        let e = self.epochs.entry(object).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Pins the entry's epoch to an externally decided value (the
+    /// reconciliation sweep merging a losing island's higher epoch).
+    /// Epoch 0 is the implicit default and stores nothing.
+    pub fn set_epoch(&mut self, object: u128, epoch: u64) {
+        if epoch == 0 {
+            self.epochs.remove(&object);
+        } else {
+            self.epochs.insert(object, epoch);
+        }
+    }
+
+    /// The exact entry set, when this directory is exact. Oracles and
+    /// invariant checks use this to diff the directory against ground
+    /// truth; Bloom directories cannot be enumerated, so they get `None`.
+    pub fn exact_entries(&self) -> Option<&FxHashSet<u128>> {
+        match &self.repr {
+            DirectoryRepr::Exact(s) => Some(s),
+            DirectoryRepr::Bloom(_) => None,
         }
     }
 
     /// Entries currently recorded (net inserts minus removes).
     pub fn len(&self) -> usize {
-        match self {
-            LookupDirectory::Exact(s) => s.len(),
-            LookupDirectory::Bloom(f) => f.len() as usize,
+        match &self.repr {
+            DirectoryRepr::Exact(s) => s.len(),
+            DirectoryRepr::Bloom(f) => f.len() as usize,
         }
     }
 
@@ -100,21 +158,24 @@ impl LookupDirectory {
     /// pairing removes exactly is impossible once the nodes that held the
     /// objects are gone, so the directory is flushed wholesale.
     pub fn clear(&mut self) {
-        match self {
-            LookupDirectory::Exact(s) => s.clear(),
-            LookupDirectory::Bloom(f) => f.clear(),
+        match &mut self.repr {
+            DirectoryRepr::Exact(s) => s.clear(),
+            DirectoryRepr::Bloom(f) => f.clear(),
         }
+        self.epochs.clear();
     }
 
     /// Approximate memory footprint in bytes — the quantity the §4.2
-    /// trade-off is about.
+    /// trade-off is about. Epochs add 24 bytes per *moved* entry; a
+    /// fault-free directory carries none.
     pub fn size_bytes(&self) -> usize {
-        match self {
+        let repr = match &self.repr {
             // 16 bytes of objectId per entry; hash-set overhead (control
             // bytes + load factor) folded into a conservative 1.2 factor.
-            LookupDirectory::Exact(s) => (s.len() * 16 * 6 / 5).max(16),
-            LookupDirectory::Bloom(f) => f.size_bytes(),
-        }
+            DirectoryRepr::Exact(s) => (s.len() * 16 * 6 / 5).max(16),
+            DirectoryRepr::Bloom(f) => f.size_bytes(),
+        };
+        repr + self.epochs.len() * 24
     }
 }
 
@@ -146,6 +207,37 @@ mod tests {
     }
 
     #[test]
+    fn epochs_default_to_zero_and_die_with_their_entry() {
+        let mut d = LookupDirectory::new(DirectoryKind::Exact);
+        d.insert(7);
+        assert_eq!(d.epoch_of(7), 0, "a fresh entry carries epoch 0");
+        assert_eq!(d.bump_epoch(7), 1);
+        assert_eq!(d.bump_epoch(7), 2);
+        assert_eq!(d.epoch_of(7), 2);
+        d.remove(7);
+        d.insert(7);
+        assert_eq!(d.epoch_of(7), 0, "re-insertion starts a fresh entry");
+        d.set_epoch(7, 5);
+        assert_eq!(d.epoch_of(7), 5);
+        d.set_epoch(7, 0);
+        assert_eq!(d.epoch_of(7), 0);
+        d.bump_epoch(7);
+        d.clear();
+        assert_eq!(d.epoch_of(7), 0, "clear flushes epochs too");
+    }
+
+    #[test]
+    fn fault_free_directories_store_no_epochs() {
+        let mut d = LookupDirectory::new(DirectoryKind::Exact);
+        for &k in &ids(50, 0) {
+            d.insert(k);
+        }
+        let plain = d.size_bytes();
+        d.bump_epoch(ids(50, 0)[0]);
+        assert_eq!(d.size_bytes(), plain + 24, "only moved entries pay for an epoch");
+    }
+
+    #[test]
     fn bloom_no_false_negatives_and_deletes() {
         let kind = DirectoryKind::Bloom { counters_per_key: 12.0, expected_entries: 500 };
         let mut d = LookupDirectory::new(kind);
@@ -163,6 +255,7 @@ mod tests {
             assert!(d.contains(k), "remaining keys must survive unrelated removes");
         }
         assert_eq!(d.len(), 250);
+        assert!(d.exact_entries().is_none(), "bloom directories cannot be enumerated");
     }
 
     #[test]

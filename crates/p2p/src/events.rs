@@ -125,6 +125,35 @@ pub enum P2pEvent {
         /// Protocol message class label (`MessageClass::label`).
         class: &'static str,
     },
+    /// The network split: the overlay fractured into two islands, each
+    /// running an independent membership view until the heal.
+    PartitionStarted {
+        /// Live machines on the proxy's side of the cut.
+        island_a: u32,
+        /// Live machines islanded away from the proxy.
+        island_b: u32,
+    },
+    /// The cut healed and the anti-entropy reconciliation sweep merged
+    /// the two islands' divergent state back into one authority.
+    PartitionHealed {
+        /// Directory entries merged by the sweep (B-side survivors and
+        /// contested duplicates).
+        reconciled: u32,
+        /// Split-brain primaries demoted to replicas or collected.
+        demoted: u32,
+    },
+    /// One directory entry was merged during reconciliation: the copy
+    /// with the higher epoch won authority.
+    EntryReconciled {
+        /// The entry's epoch after the merge.
+        epoch: u64,
+    },
+    /// A losing split-brain primary was stripped of its authority.
+    PrimaryDemoted {
+        /// True when the copy was dropped outright (replica floor was
+        /// already met); false when it was demoted to a replica.
+        garbage_collected: bool,
+    },
 }
 
 impl P2pEvent {
@@ -146,6 +175,10 @@ impl P2pEvent {
             P2pEvent::MessageRetried { .. } => "message_retried",
             P2pEvent::MessageDeduped { .. } => "message_deduped",
             P2pEvent::ChecksumFailed { .. } => "checksum_failed",
+            P2pEvent::PartitionStarted { .. } => "partition_started",
+            P2pEvent::PartitionHealed { .. } => "partition_healed",
+            P2pEvent::EntryReconciled { .. } => "entry_reconciled",
+            P2pEvent::PrimaryDemoted { .. } => "primary_demoted",
         }
     }
 }
@@ -215,6 +248,19 @@ mod tests {
         );
         assert_eq!(P2pEvent::MessageDeduped { class: "push" }.kind_label(), "message_deduped");
         assert_eq!(P2pEvent::ChecksumFailed { class: "destage" }.kind_label(), "checksum_failed");
+        assert_eq!(
+            P2pEvent::PartitionStarted { island_a: 5, island_b: 3 }.kind_label(),
+            "partition_started"
+        );
+        assert_eq!(
+            P2pEvent::PartitionHealed { reconciled: 2, demoted: 1 }.kind_label(),
+            "partition_healed"
+        );
+        assert_eq!(P2pEvent::EntryReconciled { epoch: 3 }.kind_label(), "entry_reconciled");
+        assert_eq!(
+            P2pEvent::PrimaryDemoted { garbage_collected: true }.kind_label(),
+            "primary_demoted"
+        );
     }
 
     #[test]

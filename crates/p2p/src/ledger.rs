@@ -56,6 +56,20 @@ pub struct MessageLedger {
     /// Delivery attempts that failed their XXH64 payload checksum.
     #[serde(default)]
     pub checksum_failures: u64,
+    /// Payload messages dropped because they crossed an active partition
+    /// cut (the network ate them; the sender paid a timeout).
+    #[serde(default)]
+    pub cut_drops: u64,
+    /// Metadata messages queued at the cut and drained through the
+    /// transport's retry/dedup machinery when the partition healed.
+    #[serde(default)]
+    pub cut_drained: u64,
+    /// Directory entries merged by anti-entropy reconciliation on heal.
+    #[serde(default)]
+    pub entries_reconciled: u64,
+    /// Split-brain primaries demoted (or collected) on heal.
+    #[serde(default)]
+    pub primaries_demoted: u64,
 }
 
 impl MessageLedger {
@@ -90,6 +104,10 @@ impl MessageLedger {
         self.retries += other.retries;
         self.dedups += other.dedups;
         self.checksum_failures += other.checksum_failures;
+        self.cut_drops += other.cut_drops;
+        self.cut_drained += other.cut_drained;
+        self.entries_reconciled += other.entries_reconciled;
+        self.primaries_demoted += other.primaries_demoted;
     }
 }
 

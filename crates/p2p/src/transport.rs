@@ -41,7 +41,7 @@
 //! bit; a transport with all-zero probabilities never advances any
 //! stream and leaves a run bit-identical to one without the layer.
 
-use webcache_primitives::seed::{derive, splitmix64};
+use webcache_primitives::seed::{derive, SeedStream};
 use webcache_primitives::{xxh64, Bernoulli, FxHashSet};
 
 /// Retry budget per logical message (first try + three retransmissions).
@@ -193,7 +193,7 @@ pub struct UnreliableTransport {
     reorder: Bernoulli,
     corrupt: Bernoulli,
     /// Jitter + corrupted-bit selection stream.
-    mix: u64,
+    mix: SeedStream,
     /// Digest seed, fixed per transport so checksums replay.
     checksum_seed: u64,
     next_seq: u64,
@@ -210,7 +210,7 @@ impl UnreliableTransport {
             dup: Bernoulli::new(cfg.duplication, derive(cfg.seed, "transport-dup")),
             reorder: Bernoulli::new(cfg.reorder, derive(cfg.seed, "transport-reorder")),
             corrupt: Bernoulli::new(cfg.corruption, derive(cfg.seed, "transport-corrupt")),
-            mix: derive(cfg.seed, "transport-jitter"),
+            mix: SeedStream::new(derive(cfg.seed, "transport-jitter")),
             checksum_seed: derive(cfg.seed, "transport-checksum"),
             next_seq: 0,
             window: DedupWindow::new(),
@@ -243,7 +243,7 @@ impl UnreliableTransport {
                 // One bit flips in flight; the receiver's digest check
                 // catches it (the xxhash tests pin that every single-bit
                 // flip moves the digest) and the attempt is discarded.
-                let bit = (splitmix64(&mut self.mix) % 128) as usize;
+                let bit = self.mix.pick(128);
                 let mut damaged = body;
                 damaged[bit / 8] ^= 1 << (bit % 8);
                 debug_assert_ne!(xxh64(&damaged, self.checksum_seed), digest);
@@ -291,7 +291,7 @@ impl UnreliableTransport {
 
     /// 0–1 units of seeded jitter, decorrelating retry storms.
     fn jitter(&mut self) -> u64 {
-        splitmix64(&mut self.mix) & 1
+        self.mix.coin()
     }
 }
 

@@ -91,6 +91,14 @@ pub struct Overlay {
     /// tables still reference them until a route times out on them and
     /// triggers lazy repair ([`route_detecting`](Self::route_detecting)).
     crashed: BTreeSet<u128>,
+    /// Active network partition: the ids on the **A** side of the cut
+    /// (the side the proxy stays connected to). `None` means the overlay
+    /// is whole. While a partition is active each island runs an
+    /// independent membership view — every cross-cut reference was purged
+    /// by [`start_partition`](Self::start_partition), and joins, repairs,
+    /// and routes stay island-local until
+    /// [`heal_partition`](Self::heal_partition) merges the views again.
+    partition: Option<BTreeSet<u128>>,
 }
 
 impl Overlay {
@@ -102,7 +110,7 @@ impl Overlay {
         if let Err(e) = cfg.validate() {
             panic!("invalid PastryConfig: {e}");
         }
-        Overlay { cfg, nodes: BTreeMap::new(), crashed: BTreeSet::new() }
+        Overlay { cfg, nodes: BTreeMap::new(), crashed: BTreeSet::new(), partition: None }
     }
 
     /// Builds an overlay by joining `ids` one at a time.
@@ -189,6 +197,156 @@ impl Overlay {
         best.map(|(_, id)| id)
     }
 
+    // ------------------------------------------------------------------
+    // Network partitions: split-brain islands and healing.
+    // ------------------------------------------------------------------
+
+    /// True while a partition is active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// True if `id` sits on the A side of the active cut (the side the
+    /// proxy stays connected to). Without a partition every node counts
+    /// as A-side.
+    pub fn in_island_a(&self, id: NodeId) -> bool {
+        self.partition.as_ref().is_none_or(|p| p.contains(&id.0))
+    }
+
+    /// True when `a` and `b` can exchange messages: no active cut, or
+    /// both on the same side of it.
+    pub fn same_island(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(p) => p.contains(&a.0) == p.contains(&b.0),
+        }
+    }
+
+    /// Live ids on the A side of the cut, in id order (every live id
+    /// when no partition is active).
+    pub fn island_a_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .keys()
+            .filter(|k| self.partition.as_ref().is_none_or(|p| p.contains(k)))
+            .map(|&k| NodeId(k))
+            .collect()
+    }
+
+    /// Live ids on the B side of the cut, in id order (empty when no
+    /// partition is active).
+    pub fn island_b_ids(&self) -> Vec<NodeId> {
+        match &self.partition {
+            None => Vec::new(),
+            Some(p) => self.nodes.keys().filter(|k| !p.contains(k)).map(|&k| NodeId(k)).collect(),
+        }
+    }
+
+    /// Ground truth restricted to one side of the cut: the live island
+    /// member numerically closest to `key` (ties to the smaller id).
+    /// `None` when that island has no live members. A linear scan — this
+    /// only runs on partition fault paths, never in steady state.
+    pub fn owner_in_island(&self, key: NodeId, island_a: bool) -> Option<NodeId> {
+        let mut best: Option<(u128, NodeId)> = None;
+        for &k in self.nodes.keys() {
+            let in_a = self.partition.as_ref().is_none_or(|p| p.contains(&k));
+            if in_a != island_a {
+                continue;
+            }
+            let cand = NodeId(k);
+            let d = cand.distance(key);
+            let better = match best {
+                None => true,
+                Some((bd, bid)) => d < bd || (d == bd && cand.0 < bid.0),
+            };
+            if better {
+                best = Some((d, cand));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Cuts the overlay into two islands: `island_a` (intersected with
+    /// the live set) on one side, everything else on the other. Every
+    /// node drops every reference crossing the cut — the same sweep each
+    /// side's failure detectors would converge to once every cross-cut
+    /// message times out — and then each island independently repairs to
+    /// its own ground truth, producing two self-consistent membership
+    /// views that know nothing of each other.
+    ///
+    /// Returns false (a no-op) when a partition is already active or the
+    /// cut would leave either side without live members.
+    pub fn start_partition(&mut self, island_a: impl IntoIterator<Item = NodeId>) -> bool {
+        if self.partition.is_some() {
+            return false;
+        }
+        let a: BTreeSet<u128> =
+            island_a.into_iter().map(|n| n.0).filter(|k| self.nodes.contains_key(k)).collect();
+        if a.is_empty() || a.len() == self.nodes.len() {
+            return false;
+        }
+        for s in self.nodes.values_mut() {
+            let me_in_a = a.contains(&s.id().0);
+            s.purge_where(|peer| a.contains(&peer.0) != me_in_a);
+        }
+        self.partition = Some(a);
+        self.rebuild_views();
+        true
+    }
+
+    /// Heals the active cut: the partition is cleared and the island
+    /// views merge — every node considers every live node again, which
+    /// is the fixpoint the gossip repair converges to once cross-cut
+    /// traffic flows. Returns false when no partition was active.
+    pub fn heal_partition(&mut self) -> bool {
+        if self.partition.take().is_none() {
+            return false;
+        }
+        self.rebuild_views();
+        true
+    }
+
+    /// Re-derives every live node's view as the repair-protocol fixpoint
+    /// over the peers it can currently reach: each node considers every
+    /// same-island live peer for its leaf set and routing table. Runs
+    /// after a cut (per island) and after a heal (whole overlay).
+    fn rebuild_views(&mut self) {
+        let ids: Vec<u128> = self.nodes.keys().copied().collect();
+        for &y in &ids {
+            let me = NodeId(y);
+            let mut st = self.nodes.remove(&y).expect("live node");
+            for &k in &ids {
+                if k != y && self.same_island(me, NodeId(k)) {
+                    st.consider_for_leaf(NodeId(k));
+                    st.consider_for_table(NodeId(k));
+                }
+            }
+            self.nodes.insert(y, st);
+        }
+    }
+
+    /// The transitive closure of `from`'s membership view over live
+    /// nodes: everything a message starting at `from` could ever reach
+    /// by following leaf-set and routing-table references. Two nodes
+    /// with equal reachable sets agree on the membership; after a heal
+    /// every live node's set must equal the full live set — the
+    /// convergence property the partition proptest pins.
+    pub fn reachable_set(&self, from: NodeId) -> BTreeSet<u128> {
+        let mut seen = BTreeSet::new();
+        if !self.contains(from) {
+            return seen;
+        }
+        seen.insert(from.0);
+        let mut stack = vec![from.0];
+        while let Some(k) = stack.pop() {
+            for peer in self.nodes[&k].known_nodes() {
+                if self.nodes.contains_key(&peer.0) && seen.insert(peer.0) {
+                    stack.push(peer.0);
+                }
+            }
+        }
+        seen
+    }
+
     /// Joins a new node, building its state through the join protocol:
     /// route a join message from a seed to `new_id`, copy the routing-table
     /// rows of the nodes along the path and the leaf set of the closest
@@ -209,13 +367,22 @@ impl Overlay {
         if self.is_crashed(new_id) {
             self.reclaim(new_id);
         }
-        if self.nodes.is_empty() {
+        // Seed: the real protocol uses any nearby live node; we pick the
+        // deterministic first node in id order. A mid-partition join
+        // lands on the A side (the proxy's side of the cut): the
+        // newcomer can only reach island-A members, so its seed, its
+        // copied state, and its announcements all stay island-local.
+        let seed = match &self.partition {
+            Some(p) => p.iter().next().map(|&k| NodeId(k)),
+            None => self.nodes.keys().next().map(|&k| NodeId(k)),
+        };
+        if let Some(p) = &mut self.partition {
+            p.insert(new_id.0);
+        }
+        let Some(seed) = seed else {
             self.nodes.insert(new_id.0, NodeState::new(new_id, self.cfg));
             return 0;
-        }
-        // Seed: the real protocol uses any nearby live node; we pick the
-        // deterministic first node in id order.
-        let seed = NodeId(*self.nodes.keys().next().expect("non-empty"));
+        };
         let route = self.route(seed, new_id).expect("routing in a live overlay");
         let mut x = NodeState::new(new_id, self.cfg);
         // Copy state from the path: node i contributes the row matching
@@ -281,6 +448,9 @@ impl Overlay {
         if !was_live && !was_crashed {
             return Err(OverlayError::UnknownNode(id));
         }
+        if let Some(p) = &mut self.partition {
+            p.remove(&id.0);
+        }
         for s in self.nodes.values_mut() {
             s.purge(id);
         }
@@ -295,6 +465,9 @@ impl Overlay {
     /// same lazy repair the real protocol runs on failure detection.
     pub fn crash(&mut self, id: NodeId) -> Result<(), OverlayError> {
         if self.nodes.remove(&id.0).is_some() {
+            if let Some(p) = &mut self.partition {
+                p.remove(&id.0);
+            }
             self.crashed.insert(id.0);
             Ok(())
         } else if self.crashed.contains(&id.0) {
@@ -309,6 +482,9 @@ impl Overlay {
     /// announced failure.
     fn reclaim(&mut self, id: NodeId) {
         self.crashed.remove(&id.0);
+        if let Some(p) = &mut self.partition {
+            p.remove(&id.0);
+        }
         for s in self.nodes.values_mut() {
             s.purge(id);
         }
@@ -605,42 +781,61 @@ impl Overlay {
     /// of violations (empty = consistent). Used by tests and after churn.
     pub fn check_invariants(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        let ids: Vec<u128> = self.nodes.keys().copied().collect();
-        let n = ids.len();
+        // During a partition each island is its own ring: ground truth
+        // (expected neighbors, legal table entries) is island-local.
+        let all: Vec<u128> = self.nodes.keys().copied().collect();
+        let islands: Vec<Vec<u128>> = match &self.partition {
+            None => vec![all],
+            Some(p) => {
+                let (a, b): (Vec<u128>, Vec<u128>) = all.into_iter().partition(|k| p.contains(k));
+                vec![a, b]
+            }
+        };
         let half = self.cfg.leaf_set_size / 2;
-        for (i, &id) in ids.iter().enumerate() {
-            let s = &self.nodes[&id];
-            // Expected ring neighbors from ground truth.
-            let expect_cw: Vec<NodeId> =
-                (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + k) % n])).collect();
-            let expect_ccw: Vec<NodeId> =
-                (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + n - k) % n])).collect();
-            if s.leaf_cw() != expect_cw.as_slice() {
-                problems.push(format!(
-                    "node {id:032x}: cw leaf set {:?} != expected {:?}",
-                    s.leaf_cw(),
-                    expect_cw
-                ));
+        for ids in &islands {
+            let n = ids.len();
+            if n == 0 {
+                continue;
             }
-            if s.leaf_ccw() != expect_ccw.as_slice() {
-                problems.push(format!(
-                    "node {id:032x}: ccw leaf set {:?} != expected {:?}",
-                    s.leaf_ccw(),
-                    expect_ccw
-                ));
-            }
-            // Routing-table entries must be live and in the right slot.
-            for row in 0..self.cfg.digits() {
-                for (col, e) in s.table_row(row).iter().enumerate() {
-                    if let Some(peer) = e {
-                        if !self.contains(*peer) {
-                            problems.push(format!(
-                                "node {id:032x}: table[{row}][{col}] references dead {peer}"
-                            ));
-                        } else if s.slot_for(*peer) != Some((row, col)) {
-                            problems.push(format!(
-                                "node {id:032x}: table[{row}][{col}] holds misplaced {peer}"
-                            ));
+            for (i, &id) in ids.iter().enumerate() {
+                let s = &self.nodes[&id];
+                // Expected ring neighbors from ground truth.
+                let expect_cw: Vec<NodeId> =
+                    (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + k) % n])).collect();
+                let expect_ccw: Vec<NodeId> =
+                    (1..=half.min(n - 1)).map(|k| NodeId(ids[(i + n - k) % n])).collect();
+                if s.leaf_cw() != expect_cw.as_slice() {
+                    problems.push(format!(
+                        "node {id:032x}: cw leaf set {:?} != expected {:?}",
+                        s.leaf_cw(),
+                        expect_cw
+                    ));
+                }
+                if s.leaf_ccw() != expect_ccw.as_slice() {
+                    problems.push(format!(
+                        "node {id:032x}: ccw leaf set {:?} != expected {:?}",
+                        s.leaf_ccw(),
+                        expect_ccw
+                    ));
+                }
+                // Routing-table entries must be live, on this side of any
+                // cut, and in the right slot.
+                for row in 0..self.cfg.digits() {
+                    for (col, e) in s.table_row(row).iter().enumerate() {
+                        if let Some(peer) = e {
+                            if !self.contains(*peer) {
+                                problems.push(format!(
+                                    "node {id:032x}: table[{row}][{col}] references dead {peer}"
+                                ));
+                            } else if !self.same_island(NodeId(id), *peer) {
+                                problems.push(format!(
+                                    "node {id:032x}: table[{row}][{col}] crosses the cut to {peer}"
+                                ));
+                            } else if s.slot_for(*peer) != Some((row, col)) {
+                                problems.push(format!(
+                                    "node {id:032x}: table[{row}][{col}] holds misplaced {peer}"
+                                ));
+                            }
                         }
                     }
                 }
@@ -971,6 +1166,80 @@ mod tests {
         assert!(o.route(NodeId(0xDEAD), NodeId(1)).is_none() || o.contains(NodeId(0xDEAD)));
     }
 
+    #[test]
+    fn partition_splits_views_and_heal_merges_them() {
+        let mut o = build(40, 9);
+        let all: Vec<NodeId> = o.node_ids().collect();
+        let island_a: Vec<NodeId> = all[..24].to_vec();
+        assert!(o.start_partition(island_a.iter().copied()));
+        assert!(o.is_partitioned());
+        assert_eq!(o.island_a_ids(), island_a);
+        assert_eq!(o.island_b_ids(), all[24..].to_vec());
+        // Each island is a self-consistent ring of its own.
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        // Views are island-closed: reachability stops at the cut.
+        let a_set: BTreeSet<u128> = island_a.iter().map(|n| n.0).collect();
+        let b_set: BTreeSet<u128> = all[24..].iter().map(|n| n.0).collect();
+        assert_eq!(o.reachable_set(island_a[0]), a_set);
+        assert_eq!(o.reachable_set(all[30]), b_set);
+        // Routing from an island delivers to that island's owner.
+        let key = NodeId(0xFEED_F00D);
+        let a_owner = o.owner_in_island(key, true).unwrap();
+        let b_owner = o.owner_in_island(key, false).unwrap();
+        assert!(a_set.contains(&a_owner.0) && b_set.contains(&b_owner.0));
+        assert_eq!(o.lookup(island_a[0], key), Some(a_owner));
+        assert_eq!(o.lookup(all[30], key), Some(b_owner));
+        // Heal: one view again, fully converged.
+        assert!(o.heal_partition());
+        assert!(!o.is_partitioned());
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        let live: BTreeSet<u128> = all.iter().map(|n| n.0).collect();
+        for from in o.node_ids() {
+            assert_eq!(o.reachable_set(from), live);
+        }
+        assert_eq!(o.owner_of(key), o.owner_in_island(key, true));
+    }
+
+    #[test]
+    fn degenerate_cuts_are_rejected() {
+        let mut o = build(8, 13);
+        let all: Vec<NodeId> = o.node_ids().collect();
+        assert!(!o.start_partition(Vec::new()), "empty A side is not a cut");
+        assert!(!o.start_partition(all.clone()), "everything on one side is not a cut");
+        assert!(!o.heal_partition(), "nothing to heal");
+        assert!(o.start_partition(all[..4].iter().copied()));
+        assert!(!o.start_partition(all[..2].iter().copied()), "one cut at a time");
+        assert!(o.heal_partition());
+        assert!(o.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn mid_partition_churn_stays_island_local() {
+        let mut o = build(20, 17);
+        let all: Vec<NodeId> = o.node_ids().collect();
+        assert!(o.start_partition(all[..12].iter().copied()));
+        // A newcomer lands on the A side and learns only A members.
+        let newcomer = NodeId(0x0123_4567_89AB_CDEF);
+        o.join(newcomer);
+        assert!(o.in_island_a(newcomer));
+        for known in o.state(newcomer).unwrap().known_nodes() {
+            assert!(o.in_island_a(known), "newcomer learned B-side node {known}");
+        }
+        // An announced failure repairs within its island only.
+        let victim = all[2];
+        o.fail(victim).unwrap();
+        let problems = o.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        // A silent crash leaves the island's partition bookkeeping sound.
+        o.crash(all[3]).unwrap();
+        assert!(!o.in_island_a(all[3]), "a crashed node is no longer island bookkeeping");
+        let _ = o.join(NodeId(0xFEDC_BA98_7654_3210));
+        assert!(o.heal_partition());
+        assert_eq!(o.crashed_len(), 1, "the silent crash stays undetected through the heal");
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
         #[test]
@@ -998,6 +1267,61 @@ mod tests {
                 let key = NodeId(rng.random());
                 let from = o.node_ids().next().expect("non-empty");
                 proptest::prop_assert_eq!(o.lookup(from, key), o.owner_of(key));
+            }
+        }
+
+        #[test]
+        fn membership_views_reconverge_after_partition_churn(
+            seed in 0u64..500,
+            // Each step: 0 = join, 1 = fail, 2 = depart (announced removal),
+            // 3 = start a partition, 4 = heal.
+            schedule in proptest::collection::vec(0u8..5, 4..20),
+        ) {
+            let mut o = build(16, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37);
+            for step in schedule {
+                match step {
+                    0 => {
+                        let mut id = NodeId(rng.random());
+                        while o.contains(id) {
+                            id = NodeId(rng.random());
+                        }
+                        o.join(id);
+                    }
+                    1 | 2 => {
+                        if o.len() > 3 {
+                            let victim =
+                                o.node_ids().nth(rng.random_range(0..o.len())).expect("non-empty");
+                            o.fail(victim).unwrap();
+                        }
+                    }
+                    3 => {
+                        if o.len() >= 4 && !o.is_partitioned() {
+                            let cut = rng.random_range(1..o.len());
+                            let a: Vec<NodeId> = o.node_ids().take(cut).collect();
+                            o.start_partition(a);
+                        }
+                    }
+                    _ => {
+                        o.heal_partition();
+                    }
+                }
+                let problems = o.check_invariants();
+                proptest::prop_assert!(problems.is_empty(), "{:?}", problems.first());
+                // While cut, views stay island-closed; reachability never
+                // crosses the partition.
+                if o.is_partitioned() {
+                    let a: BTreeSet<u128> = o.island_a_ids().iter().map(|n| n.0).collect();
+                    if let Some(&first) = a.iter().next() {
+                        proptest::prop_assert_eq!(o.reachable_set(NodeId(first)), a);
+                    }
+                }
+            }
+            // After the final heal every node sees the same, complete view.
+            o.heal_partition();
+            let live: BTreeSet<u128> = o.node_ids().map(|n| n.0).collect();
+            for from in o.node_ids() {
+                proptest::prop_assert_eq!(o.reachable_set(from), live.clone());
             }
         }
 

@@ -177,6 +177,27 @@ impl NodeState {
         in_leaf || in_table
     }
 
+    /// Forgets every peer matching `pred` (leaf set and routing table) —
+    /// the per-node half of an island cut: when a partition splits the
+    /// ring, each node drops every reference that crosses the cut in one
+    /// sweep, exactly as if it had timed out on each of them. Returns
+    /// true if any state changed.
+    pub fn purge_where(&mut self, mut pred: impl FnMut(NodeId) -> bool) -> bool {
+        let before = self.leaf_cw.len() + self.leaf_ccw.len();
+        self.leaf_cw.retain(|&n| !pred(n));
+        self.leaf_ccw.retain(|&n| !pred(n));
+        let mut changed = before != self.leaf_cw.len() + self.leaf_ccw.len();
+        for e in self.table.iter_mut() {
+            if let Some(peer) = *e {
+                if pred(peer) {
+                    *e = None;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
     /// Removes `peer` from the leaf set; returns true if present.
     pub fn remove_from_leaf(&mut self, peer: NodeId) -> bool {
         let a = self.leaf_cw.iter().position(|&n| n == peer).map(|i| self.leaf_cw.remove(i));
@@ -406,6 +427,23 @@ mod tests {
         assert!(s.remove_from_leaf(id(1010)));
         assert!(!s.leaf_contains(id(1010)));
         assert!(!s.remove_from_leaf(id(1010)));
+    }
+
+    #[test]
+    fn purge_where_sweeps_leaf_and_table() {
+        let me = id(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let mut s = NodeState::new(me, cfg());
+        let far = id(0xAC00_0000_0000_0000_0000_0000_0000_0000);
+        let near = id(me.0 + 10);
+        let keep = id(me.0 + 20);
+        s.consider_for_table(far);
+        s.consider_for_leaf(near);
+        s.consider_for_leaf(keep);
+        assert!(s.purge_where(|n| n == far || n == near));
+        assert!(!s.leaf_contains(near));
+        assert!(s.leaf_contains(keep));
+        assert_eq!(s.table_population(), 0);
+        assert!(!s.purge_where(|n| n == far), "second sweep finds nothing");
     }
 
     #[test]
