@@ -47,7 +47,7 @@ fn main() {
         let lru = hit_ratio(LruCache::new(cap), &trace);
         let lfu = hit_ratio(LfuCache::new(cap), &trace);
         let perfect = hit_ratio(PerfectLfuCache::new(cap), &trace);
-        let gd = hit_ratio(GreedyDualCache::new(cap), &trace);
+        let gd = hit_ratio(GreedyDualCache::<u32>::new(cap), &trace);
         println!("{:>10.0}{lru:>12.3}{lfu:>14.3}{perfect:>14.3}{gd:>12.3}", frac * 100.0);
         writeln!(csv, "{:.0},{lru:.4},{lfu:.4},{perfect:.4},{gd:.4}", frac * 100.0).expect("csv");
     }

@@ -39,7 +39,7 @@ fn bench_policies(c: &mut Criterion) {
     });
     group.bench_function("greedy_dual", |b| {
         b.iter(|| {
-            let mut cache = GreedyDualCache::new(512);
+            let mut cache: GreedyDualCache = GreedyDualCache::new(512);
             for &k in &stream {
                 if !cache.touch_with_cost(k, 20.0, 1.0) {
                     cache.insert_with_cost(k, 20.0, 1.0);

@@ -97,20 +97,26 @@ pub fn figures_dir() -> PathBuf {
     dir
 }
 
-/// Writes sweep results as CSV (`scheme,cache_pct,gain_pct,avg_latency,hit_ratio`).
+/// Writes sweep results as CSV
+/// (`scheme,cache_pct,gain_pct,avg_latency,hit_ratio,wall_secs`).
+///
+/// The trailing wall-clock column is diagnostic (how long each grid
+/// point's simulation took on this machine/thread count) — plot scripts
+/// should ignore it when comparing figures across runs.
 pub fn write_csv(name: &str, results: &[SweepResult]) -> PathBuf {
     let path = figures_dir().join(format!("{name}.csv"));
     let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "scheme,cache_pct,gain_pct,avg_latency,hit_ratio").expect("write csv");
+    writeln!(f, "scheme,cache_pct,gain_pct,avg_latency,hit_ratio,wall_secs").expect("write csv");
     for r in results {
         writeln!(
             f,
-            "{},{:.0},{:.3},{:.4},{:.4}",
+            "{},{:.0},{:.3},{:.4},{:.4},{:.4}",
             r.scheme.label(),
             r.cache_frac * 100.0,
             r.gain_percent,
             r.metrics.avg_latency(),
             r.metrics.hit_ratio(),
+            r.wall_secs,
         )
         .expect("write csv");
     }

@@ -195,8 +195,10 @@ USAGE:
   webcache sweep [--schemes a,b,c] [--fracs f1,f2,...] FILE...
   webcache throughput [--schemes a,b,c] [--cache-frac F] [--requests N]
                  [--objects N] [--clients N] [--proxies N] [--repeats N]
-                 [--out FILE] [FILE...]
-                 (no FILEs: times the default figure-2 synthetic workload)
+                 [--threads N] [--out FILE] [FILE...]
+                 (no FILEs: times the default figure-2 synthetic workload;
+                  --threads N sizes the work-stealing pool — repeats run
+                  in parallel and the report adds req/s-per-core)
   webcache churn [--plan SPEC] [--crashes N] [--loss F] [--seed N]
                  [--requests N] [--objects N] [--clients N]
                  [--proxy-cap N] [--node-cap N] [--replication K]
@@ -520,6 +522,13 @@ fn cmd_throughput(cmd: &Command) -> Result<String, CliError> {
     let repeats = cmd.opt("repeats", 3usize)?;
     let out_path = cmd.opt("out", "BENCH_throughput.json".to_string())?;
     let clients = cmd.opt("clients", 100usize)?;
+    if let Some(t) = cmd.options.get("threads") {
+        let n: usize =
+            t.parse().ok().filter(|&n| n >= 1).ok_or(format!("bad --threads '{t}' (want >= 1)"))?;
+        // The pool reads this once at first use; `throughput` is the first
+        // rayon touch on this path, so the override always lands.
+        std::env::set_var("WEBCACHE_THREADS", n.to_string());
+    }
 
     let traces = if cmd.positional.is_empty() {
         let num_proxies = cmd.opt("proxies", 2usize)?;

@@ -24,6 +24,14 @@ pub trait SchemeEngine {
         net.latency(class)
     }
 
+    /// Batched lookup hook: called before a wave of requests is served to
+    /// `proxy`'s cluster, letting the engine pre-resolve the DHT state the
+    /// wave will probe (grouped by responsible node) instead of paying one
+    /// lookup round-trip at a time. Must be a pure warm-up: serving the
+    /// wave afterwards has to produce byte-identical metrics and message
+    /// charges whether or not this was called. Default: no-op.
+    fn prepare_wave(&mut self, _proxy: usize, _wave: &[Request]) {}
+
     /// Called once after the trace is exhausted, e.g. to merge message
     /// ledgers into the metrics.
     fn finish(&mut self, _metrics: &mut RunMetrics) {}
@@ -31,6 +39,12 @@ pub trait SchemeEngine {
     /// Scheme label for reports.
     fn name(&self) -> &'static str;
 }
+
+/// Requests per [`SchemeEngine::prepare_wave`] batch. The wave models the
+/// lookahead a proxy gets from its accept queue: big enough to amortize
+/// per-node batching, small enough that the warmed state is still current
+/// when the wave is served.
+const WAVE: usize = 1024;
 
 /// Runs `engine` over one trace per proxy, interleaved round-robin.
 ///
@@ -67,6 +81,11 @@ pub fn run_engine_recorded<E: SchemeEngine + ?Sized, R: Recorder>(
         live = 0;
         for (p, trace) in traces.iter().enumerate() {
             if let Some(req) = trace.requests.get(cursors[p]) {
+                if cursors[p].is_multiple_of(WAVE) {
+                    let wave =
+                        &trace.requests[cursors[p]..trace.requests.len().min(cursors[p] + WAVE)];
+                    engine.prepare_wave(p, wave);
+                }
                 cursors[p] += 1;
                 if cursors[p] < trace.requests.len() {
                     live += 1;

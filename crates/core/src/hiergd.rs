@@ -38,7 +38,7 @@ use webcache_p2p::{
     DirectoryKind, NetFaults, P2PClientCache, P2PClientCacheConfig, P2pEvent, P2pSink,
 };
 use webcache_pastry::PastryConfig;
-use webcache_policy::{BoundedCache, GreedyDualCache};
+use webcache_policy::{BoundedCache, DenseIndex, GreedyDualCache};
 use webcache_workload::{ObjectId, Request, Trace};
 
 /// Tunable design choices of Hier-GD (§4), exposed for ablation benches.
@@ -75,7 +75,9 @@ impl Default for HierGdOptions {
 }
 
 struct GdProxy {
-    cache: GreedyDualCache<ObjectId>,
+    /// ObjectIds are dense trace indices, so the GD heap's position
+    /// index is a flat table instead of a hash map.
+    cache: GreedyDualCache<ObjectId, DenseIndex>,
     p2p: P2PClientCache,
 }
 
@@ -116,6 +118,9 @@ pub struct HierGdEngine<R: Recorder = NoopRecorder> {
     /// Always zero in fault-free runs, so the plain latency model is
     /// untouched. `Cell` because `latency_of` takes `&self`.
     pending_timeouts: Cell<u64>,
+    /// True once any fault/membership hook has run; gates the per-request
+    /// fault-penalty drain, which can only ever see zeros before then.
+    faults_touched: bool,
 }
 
 impl HierGdEngine {
@@ -167,9 +172,9 @@ impl<R: Recorder> HierGdEngine<R> {
         recorder: R,
     ) -> Self {
         assert!(num_proxies > 0, "need at least one proxy");
-        let object_ids =
+        let object_ids: Vec<u128> =
             (0..num_objects).map(|o| webcache_p2p::object_id_for_url(&Trace::url_of(o))).collect();
-        let proxies = (0..num_proxies)
+        let mut proxies: Vec<GdProxy> = (0..num_proxies)
             .map(|p| GdProxy {
                 cache: GreedyDualCache::new(proxy_capacity.max(1)),
                 p2p: P2PClientCache::new(P2PClientCacheConfig {
@@ -183,7 +188,21 @@ impl<R: Recorder> HierGdEngine<R> {
                 }),
             })
             .collect();
-        HierGdEngine { proxies, object_ids, net, opts, recorder, pending_timeouts: Cell::new(0) }
+        for proxy in &mut proxies {
+            // ObjectIds are already the dense universe 0..num_objects, so
+            // exact directories can answer the cascade's membership
+            // probes from a bitset.
+            proxy.p2p.enable_dense_directory(&object_ids);
+        }
+        HierGdEngine {
+            proxies,
+            object_ids,
+            net,
+            opts,
+            recorder,
+            pending_timeouts: Cell::new(0),
+            faults_touched: false,
+        }
     }
 
     fn oid(&self, object: ObjectId) -> u128 {
@@ -194,7 +213,8 @@ impl<R: Recorder> HierGdEngine<R> {
     /// greedy-dual cost (§3 via [10]): cheapest available source wins.
     fn refetch_cost(&self, p: usize, object: ObjectId) -> f64 {
         let oid = self.oid(object);
-        if self.proxies[p].p2p.directory_contains(oid) {
+        let idx = object as usize;
+        if self.proxies[p].p2p.directory_contains_dense(idx, oid) {
             return self.net.fetch_cost(HitClass::OwnP2p);
         }
         for (q, proxy) in self.proxies.iter().enumerate() {
@@ -203,7 +223,7 @@ impl<R: Recorder> HierGdEngine<R> {
             }
         }
         for (q, proxy) in self.proxies.iter().enumerate() {
-            if q != p && proxy.p2p.directory_contains(oid) {
+            if q != p && proxy.p2p.directory_contains_dense(idx, oid) {
                 return self.net.fetch_cost(HitClass::CoopP2p);
             }
         }
@@ -239,7 +259,7 @@ impl<R: Recorder> HierGdEngine<R> {
     }
 
     /// Immutable view of a proxy's greedy-dual cache (tests).
-    pub fn proxy_cache(&self, proxy: usize) -> &GreedyDualCache<ObjectId> {
+    pub fn proxy_cache(&self, proxy: usize) -> &GreedyDualCache<ObjectId, DenseIndex> {
         &self.proxies[proxy].cache
     }
 
@@ -255,6 +275,7 @@ impl<R: Recorder> HierGdEngine<R> {
         proxy: usize,
         node: webcache_pastry::NodeId,
     ) -> Result<(), SimError> {
+        self.faults_touched = true;
         self.proxies[proxy]
             .p2p
             .fail_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
@@ -270,6 +291,7 @@ impl<R: Recorder> HierGdEngine<R> {
         proxy: usize,
         node: webcache_pastry::NodeId,
     ) -> Result<(), SimError> {
+        self.faults_touched = true;
         self.proxies[proxy]
             .p2p
             .crash_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
@@ -284,6 +306,7 @@ impl<R: Recorder> HierGdEngine<R> {
         proxy: usize,
         node: webcache_pastry::NodeId,
     ) -> Result<(), SimError> {
+        self.faults_touched = true;
         self.proxies[proxy]
             .p2p
             .depart_node_tap(node, &mut Tap { recorder: &self.recorder, proxy })?;
@@ -293,6 +316,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// Joins a fresh client machine into `proxy`'s cluster mid-run
     /// (rejoin after churn); keys it now roots migrate to it.
     pub fn join_client(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
+        self.faults_touched = true;
         self.proxies[proxy].p2p.join_node_tap(node, &mut Tap { recorder: &self.recorder, proxy });
     }
 
@@ -300,6 +324,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// on `proxy`'s cluster. Also switches the cluster's request path
     /// into fault-aware mode.
     pub fn set_client_faults(&mut self, proxy: usize, faults: NetFaults) {
+        self.faults_touched = true;
         self.proxies[proxy].p2p.set_faults(faults);
     }
 
@@ -307,6 +332,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// timeout). No-op unless [`set_client_faults`](Self::set_client_faults)
     /// ran first.
     pub fn mark_client_slow(&mut self, proxy: usize, node: webcache_pastry::NodeId) {
+        self.faults_touched = true;
         self.proxies[proxy].p2p.mark_slow(node);
     }
 
@@ -315,6 +341,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// given loss/duplication/reorder/corruption probabilities. Also
     /// switches the cluster's request path into fault-aware mode.
     pub fn set_client_transport(&mut self, proxy: usize, faults: webcache_p2p::TransportFaults) {
+        self.faults_touched = true;
         self.proxies[proxy].p2p.set_transport(faults);
     }
 
@@ -326,6 +353,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// whether a cut was actually started (`false`: one is already up or
     /// too few machines remain).
     pub fn partition_clients(&mut self, proxy: usize, percent_a: u8) -> bool {
+        self.faults_touched = true;
         self.proxies[proxy]
             .p2p
             .partition_nodes(percent_a, &mut Tap { recorder: &self.recorder, proxy })
@@ -335,6 +363,7 @@ impl<R: Recorder> HierGdEngine<R> {
     /// reconciliation sweep (higher epoch wins, losers demoted, floors
     /// re-established). Returns whether a cut was actually healed.
     pub fn heal_clients(&mut self, proxy: usize) -> bool {
+        self.faults_touched = true;
         self.proxies[proxy].p2p.heal_nodes(&mut Tap { recorder: &self.recorder, proxy })
     }
 
@@ -367,7 +396,7 @@ impl<R: Recorder> HierGdEngine<R> {
         // Only this serve-path gate is reported as a directory probe;
         // `refetch_cost`'s internal directory reads are pricing queries,
         // not protocol messages.
-        let in_directory = self.proxies[p].p2p.directory_contains(oid);
+        let in_directory = self.proxies[p].p2p.directory_contains_dense(object as usize, oid);
         if R::ENABLED {
             self.recorder.p2p_event(p, P2pEvent::DirectoryProbe { hit: in_directory });
         }
@@ -407,7 +436,7 @@ impl<R: Recorder> HierGdEngine<R> {
         // 4. Cooperating proxies' P2P client caches via push (§4.5).
         let coop_p2p = (0..self.proxies.len())
             .filter(|&q| q != p)
-            .find(|&q| self.proxies[q].p2p.directory_contains(oid));
+            .find(|&q| self.proxies[q].p2p.directory_contains_dense(object as usize, oid));
         if let Some(q) = coop_p2p {
             let cost = self.net.fetch_cost(HitClass::CoopProxy);
             let pushed = self.proxies[q]
@@ -428,16 +457,42 @@ impl<R: Recorder> HierGdEngine<R> {
 }
 
 impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
+    fn prepare_wave(&mut self, p: usize, wave: &[Request]) {
+        // Batched DHT lookups (§4.2 lookup traffic): resolve the wave's
+        // fetch routes grouped by entry node in one pass. Only requests
+        // that look like directory-gated P2P lookups *right now* are
+        // warmed — a request the proxy cache will absorb never routes.
+        // The filter is a heuristic (the wave itself mutates cache
+        // state), which is fine: warming is pure, and the cascade replays
+        // each route with the identical root and identical hop charge,
+        // so metrics and ledgers are byte-identical to the unbatched
+        // path.
+        let proxy = &self.proxies[p];
+        let pairs: Vec<(u32, u128)> = wave
+            .iter()
+            .filter(|r| !proxy.cache.contains(r.object))
+            .filter(|r| {
+                let oid = self.object_ids[r.object as usize];
+                proxy.p2p.directory_contains_dense(r.object as usize, oid)
+            })
+            .map(|r| (r.client, self.object_ids[r.object as usize]))
+            .collect();
+        self.proxies[p].p2p.warm_routes(pairs);
+    }
+
     fn serve(&mut self, p: usize, request: &Request) -> HitClass {
         let class = self.serve_cascade(p, request);
         // Timeout stalls accrued anywhere the cascade went (own cluster,
-        // cooperating clusters via push). Zero on fault-free runs.
-        let mut stalls = 0u64;
-        for proxy in &mut self.proxies {
-            stalls += proxy.p2p.take_fault_penalties();
-        }
-        if stalls != 0 {
-            self.pending_timeouts.set(self.pending_timeouts.get() + stalls);
+        // cooperating clusters via push). Zero on fault-free runs, and
+        // the drain is skipped entirely until a fault hook has run.
+        if self.faults_touched {
+            let mut stalls = 0u64;
+            for proxy in &mut self.proxies {
+                stalls += proxy.p2p.take_fault_penalties();
+            }
+            if stalls != 0 {
+                self.pending_timeouts.set(self.pending_timeouts.get() + stalls);
+            }
         }
         class
     }

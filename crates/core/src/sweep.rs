@@ -28,6 +28,10 @@ pub struct SweepResult {
     pub metrics: RunMetrics,
     /// Latency gain vs the NC baseline at the same size, percent.
     pub gain_percent: f64,
+    /// Wall-clock seconds this point's simulation took (NC points report
+    /// their shared baseline run's time). Diagnostic only — noisy across
+    /// machines and thread counts, never part of golden comparisons.
+    pub wall_secs: f64,
 }
 
 /// Runs `schemes` at every size in `fracs` over `traces`, computing gains
@@ -72,11 +76,13 @@ pub fn sweep_recorded<R: Recorder + Clone + Send + 'static>(
     }
 
     // NC baselines, one per size (shared by every scheme at that size).
-    let baselines: Vec<RunMetrics> = fracs
+    let baselines: Vec<(RunMetrics, f64)> = fracs
         .par_iter()
         .map(|&f| {
-            run_experiment_recorded(&base.at(SchemeKind::Nc, f), traces, recorder.clone())
-                .expect("validated above")
+            let start = std::time::Instant::now();
+            let m = run_experiment_recorded(&base.at(SchemeKind::Nc, f), traces, recorder.clone())
+                .expect("validated above");
+            (m, start.elapsed().as_secs_f64())
         })
         .collect();
 
@@ -87,14 +93,17 @@ pub fn sweep_recorded<R: Recorder + Clone + Send + 'static>(
         .into_par_iter()
         .map(|(scheme, i)| {
             let cache_frac = fracs[i];
-            let metrics = if scheme == SchemeKind::Nc {
+            let (metrics, wall_secs) = if scheme == SchemeKind::Nc {
                 baselines[i].clone()
             } else {
-                run_experiment_recorded(&base.at(scheme, cache_frac), traces, recorder.clone())
-                    .expect("validated above")
+                let start = std::time::Instant::now();
+                let m =
+                    run_experiment_recorded(&base.at(scheme, cache_frac), traces, recorder.clone())
+                        .expect("validated above");
+                (m, start.elapsed().as_secs_f64())
             };
-            let gain_percent = latency_gain_percent(&baselines[i], &metrics);
-            SweepResult { scheme, cache_frac, metrics, gain_percent }
+            let gain_percent = latency_gain_percent(&baselines[i].0, &metrics);
+            SweepResult { scheme, cache_frac, metrics, gain_percent, wall_secs }
         })
         .collect())
 }

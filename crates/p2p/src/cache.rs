@@ -23,10 +23,9 @@ use crate::ledger::MessageLedger;
 use crate::transport::{MessageClass, TransportFaults, UnreliableTransport};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::hash::Hasher;
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
-use webcache_policy::{BoundedCache, GreedyDualCache};
-use webcache_primitives::{FxHashMap, FxHasher};
+use webcache_policy::{BoundedCache, GreedyDualCache, ShaIndex};
+use webcache_primitives::{FxHashMap, ShaIdMap};
 
 /// Configuration for a [`P2PClientCache`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -75,11 +74,13 @@ pub struct ClientCacheNode {
     /// Local greedy-dual store over objectIds. Holds both objects this
     /// node is the DHT root for and objects it hosts for leaf-set
     /// neighbors that diverted them here.
-    store: GreedyDualCache<u128>,
+    /// Keys are SHA-derived objectIds, so the GD heap's position index
+    /// skips rehashing them.
+    store: GreedyDualCache<u128, ShaIndex>,
     /// Objects this node is the root for but which live at a neighbor:
     /// the diversion table of §4.3 ("enters an entry for d1 in its table
     /// with a pointer to B").
-    diverted_to: FxHashMap<u128, NodeId>,
+    diverted_to: ShaIdMap<u128, NodeId>,
     /// Reverse index for objects hosted here on behalf of another root,
     /// so evicting one can invalidate the root's pointer.
     hosted_for: FxHashMap<u128, NodeId>,
@@ -98,7 +99,7 @@ impl ClientCacheNode {
         ClientCacheNode {
             id,
             store: GreedyDualCache::new(capacity),
-            diverted_to: FxHashMap::default(),
+            diverted_to: ShaIdMap::default(),
             hosted_for: FxHashMap::default(),
             replicas: FxHashMap::default(),
             replicated_to: FxHashMap::default(),
@@ -169,7 +170,7 @@ pub struct DestageOutcome {
 }
 
 /// Slots in the direct-mapped route memo (power of two).
-const ROUTE_MEMO_SLOTS: usize = 1 << 12;
+const ROUTE_MEMO_SLOTS: usize = 1 << 14;
 
 /// Fixed-size direct-mapped memo of overlay routes: (entry node, object)
 /// → (DHT root, hop count).
@@ -197,11 +198,13 @@ impl RouteMemo {
         RouteMemo { slots: vec![None; ROUTE_MEMO_SLOTS] }
     }
 
+    /// Both key halves are SHA-derived and uniformly distributed, so an
+    /// XOR fold indexes as well as a real hash at a fraction of the cost.
+    /// (Slot choice affects speed only, never results: a memo hit replays
+    /// the identical root and hop charge the full walk would produce.)
     fn slot(entry: u128, object: u128) -> usize {
-        let mut h = FxHasher::default();
-        h.write_u128(entry);
-        h.write_u128(object);
-        h.finish() as usize & (ROUTE_MEMO_SLOTS - 1)
+        let x = entry ^ object.rotate_left(64);
+        (x as u64 ^ (x >> 64) as u64) as usize & (ROUTE_MEMO_SLOTS - 1)
     }
 
     fn get(&self, entry: NodeId, object: u128) -> Option<(NodeId, u32)> {
@@ -249,7 +252,7 @@ struct SplitState {
 pub struct P2PClientCache {
     cfg: P2PClientCacheConfig,
     overlay: Overlay,
-    nodes: FxHashMap<u128, ClientCacheNode>,
+    nodes: ShaIdMap<u128, ClientCacheNode>,
     /// Client index (0-based) → overlay node, for piggyback entry points.
     node_of_client: Vec<NodeId>,
     directory: LookupDirectory,
@@ -278,6 +281,14 @@ pub struct P2PClientCache {
     /// (Self::partition_nodes)). `None` keeps every path bit-identical
     /// to the partition-free simulator.
     split: Option<SplitState>,
+    /// Cached count of nodes with free store space, or `None` when it
+    /// must be recounted. In steady state stores only fill up, so once
+    /// this reaches zero the destage path skips the root free-space check
+    /// and the whole leaf-set diversion scan — the scan can only fail.
+    /// Every membership/fault entry point invalidates the hint (those
+    /// paths move objects and nodes arbitrarily); [`destage_inner`]
+    /// (Self::destage_inner) keeps it exact across its own inserts.
+    space_hint: Option<usize>,
 }
 
 impl P2PClientCache {
@@ -290,7 +301,7 @@ impl P2PClientCache {
         assert!(cfg.node_capacity > 0, "client caches need capacity");
         assert!(cfg.replication >= 1, "replication factor counts the primary, so k >= 1");
         let mut overlay = Overlay::new(cfg.pastry);
-        let mut nodes = FxHashMap::with_capacity_and_hasher(cfg.num_nodes, Default::default());
+        let mut nodes = ShaIdMap::with_capacity_and_hasher(cfg.num_nodes, Default::default());
         let mut node_of_client = Vec::with_capacity(cfg.num_nodes);
         for i in 0..cfg.num_nodes {
             // cacheId assignment per §4.1: hash the client's identity.
@@ -314,7 +325,15 @@ impl P2PClientCache {
             limbo: FxHashMap::default(),
             transport: None,
             split: None,
+            space_hint: None,
         }
+    }
+
+    /// Recounts the free-space hint from the node stores.
+    fn recount_space(&mut self) -> usize {
+        let n = self.nodes.values().filter(|n| n.has_free_space()).count();
+        self.space_hint = Some(n);
+        n
     }
 
     /// Installs message-level fault state (loss probability, slow nodes).
@@ -505,6 +524,56 @@ impl P2PClientCache {
         self.directory.contains(object)
     }
 
+    /// Registers the engine's dense object universe with the directory so
+    /// hot membership reads can use a bitset mirror (exact directories
+    /// only; see [`LookupDirectory::enable_dense_mirror`]).
+    pub fn enable_dense_directory(&mut self, universe: &[u128]) {
+        self.directory.enable_dense_mirror(universe);
+    }
+
+    /// [`directory_contains`](Self::directory_contains) for callers that
+    /// also know the object's dense universe index: answered from the
+    /// mirror bitset when available, identical fallback otherwise.
+    #[inline]
+    pub fn directory_contains_dense(&self, idx: usize, object: u128) -> bool {
+        self.directory.contains_dense(idx).unwrap_or_else(|| self.directory.contains(object))
+    }
+
+    /// Batch-resolves the overlay routes a request wave's lookups will
+    /// need, grouped by entry node, warming the route memo off the ledger
+    /// so the serve path replays them as memo hits with the identical
+    /// root and identical hop charge. This is the batched form of the
+    /// §4.2 directory lookup: instead of one independent DHT walk per
+    /// request, the wave's probes for each responsible node resolve in
+    /// one pass. Pure warming — no ledger charges, no store or directory
+    /// mutations — and a no-op under faults (membership changes would
+    /// invalidate the warm immediately).
+    pub fn warm_routes(&mut self, wave: impl IntoIterator<Item = (u32, u128)>) {
+        if self.fault_mode() {
+            return;
+        }
+        // Group by entry node so each node's routes resolve back-to-back
+        // (one batch of probes per responsible node, and warm locality in
+        // its routing state). Pairs already memoized are skipped.
+        let mut by_entry: Vec<(u128, u128)> = Vec::new();
+        for (client, object) in wave {
+            let Some(entry) = self.entry_for_client(client) else {
+                return;
+            };
+            if self.route_memo.get(entry, object).is_none() {
+                by_entry.push((entry.0, object));
+            }
+        }
+        by_entry.sort_unstable();
+        by_entry.dedup();
+        for (entry, object) in by_entry {
+            let entry = NodeId(entry);
+            let (root, hops) =
+                self.overlay.route_hops(entry, object_key(object)).expect("entry node is live");
+            self.route_memo.put(entry, object, root, hops as u32);
+        }
+    }
+
     /// Immutable access to the lookup directory (for memory accounting).
     pub fn directory(&self) -> &LookupDirectory {
         &self.directory
@@ -556,6 +625,7 @@ impl P2PClientCache {
         sink: &mut S,
     ) -> Option<DestageOutcome> {
         let out = if self.fault_mode() {
+            self.space_hint = None;
             self.destage_churn(object, cost, via_client, sink)?
         } else {
             self.destage_inner(object, cost, via_client, sink)?
@@ -591,10 +661,27 @@ impl P2PClientCache {
             }
         }
         let (root, hops) = self.route_to_root(entry, object, false);
+        let free_nodes = match self.space_hint {
+            Some(n) => n,
+            None => self.recount_space(),
+        };
 
         // Already present at the root (or via its diversion pointer)?
         // Refresh the greedy-dual credit instead of storing a duplicate.
-        if let Some(holder) = self.holder_of(root, object) {
+        // One borrow of the root serves the holder check, the free-space
+        // check, and the free-space insert.
+        let rn = self.nodes.get_mut(&root.0).expect("root is live");
+        if rn.store.contains(object) {
+            rn.store.touch_with_cost(object, cost, 1.0);
+            return Some(DestageOutcome {
+                root,
+                stored_at: root,
+                evicted: None,
+                hops,
+                refreshed: true,
+            });
+        }
+        if let Some(&holder) = rn.diverted_to.get(&object) {
             let node = self.nodes.get_mut(&holder.0).expect("holder is live");
             node.store.touch_with_cost(object, cost, 1.0);
             return Some(DestageOutcome {
@@ -607,10 +694,12 @@ impl P2PClientCache {
         }
 
         // Fig. 1 step 3: root has free space.
-        if self.nodes[&root.0].has_free_space() {
-            let node = self.nodes.get_mut(&root.0).expect("root is live");
-            let evicted = node.store.insert_with_cost(object, cost, 1.0);
+        if free_nodes > 0 && rn.has_free_space() {
+            let evicted = rn.store.insert_with_cost(object, cost, 1.0);
             debug_assert!(evicted.is_none());
+            if !rn.has_free_space() {
+                self.space_hint = Some(free_nodes - 1);
+            }
             self.resident += 1;
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
@@ -625,7 +714,9 @@ impl P2PClientCache {
         }
 
         // Fig. 1 step 7: divert to a leaf-set neighbor with free space.
-        if self.cfg.diversion {
+        // Skipped outright once no store in the cluster has space left —
+        // the scan could only come up empty.
+        if self.cfg.diversion && free_nodes > 0 {
             let diversion_target = self
                 .overlay
                 .state(root)
@@ -637,6 +728,9 @@ impl P2PClientCache {
                 let evicted = bn.store.insert_with_cost(object, cost, 1.0);
                 debug_assert!(evicted.is_none());
                 bn.hosted_for.insert(object, root);
+                if !bn.has_free_space() {
+                    self.space_hint = Some(free_nodes - 1);
+                }
                 let rn = self.nodes.get_mut(&root.0).expect("root is live");
                 rn.diverted_to.insert(object, b);
                 self.resident += 1;
@@ -701,6 +795,11 @@ impl P2PClientCache {
     /// Removes every replica copy of `object`, whose replica set is
     /// tracked at `root`. No-op when none exist.
     fn drop_replicas(&mut self, root: NodeId, object: u128) {
+        if self.cfg.replication <= 1 {
+            // Replica sets only ever come out of `make_replicas`, which is
+            // a no-op at k = 1 — skip the two map probes per eviction.
+            return;
+        }
         let hosts = self.nodes.get_mut(&root.0).and_then(|rn| rn.replicated_to.remove(&object));
         if let Some(hosts) = hosts {
             for h in hosts {
@@ -796,6 +895,7 @@ impl P2PClientCache {
     ) -> Option<FetchOutcome> {
         self.ledger.lookups += 1;
         if self.fault_mode() {
+            self.space_hint = None;
             return self.fetch_churn(client, object, hit_cost, sink);
         }
         let from = self.entry_for_client(client)?;
@@ -889,6 +989,7 @@ impl P2PClientCache {
     /// [`crash_node`](Self::crash_node) with an observability sink: emits
     /// one [`P2pEvent::NodeCrashed`].
     pub fn crash_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) -> Result<(), P2pError> {
+        self.space_hint = None;
         self.overlay.crash(id)?;
         if S::ENABLED {
             let at_risk =
@@ -913,6 +1014,7 @@ impl P2PClientCache {
         id: NodeId,
         sink: &mut S,
     ) -> Result<(), P2pError> {
+        self.space_hint = None;
         if self.overlay.is_crashed(id) {
             return Err(P2pError::AlreadyCrashed(id));
         }
@@ -1670,6 +1772,7 @@ impl P2PClientCache {
     /// [`fail_node`](Self::fail_node) with an observability sink: emits
     /// one [`P2pEvent::NodeFailed`] carrying the number of objects lost.
     pub fn fail_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) -> Result<(), P2pError> {
+        self.space_hint = None;
         let Some(node) = self.nodes.remove(&id.0) else {
             return Err(P2pError::UnknownNode(id));
         };
@@ -1757,6 +1860,7 @@ impl P2PClientCache {
     /// one [`P2pEvent::NodeJoined`] carrying the migration count, plus
     /// [`P2pEvent::Eviction`]s for objects displaced by the migration.
     pub fn join_node_tap<S: P2pSink>(&mut self, id: NodeId, sink: &mut S) {
+        self.space_hint = None;
         // A rejoining machine can reuse the id of a node that crashed
         // silently and was never detected (same host, rebooted). The
         // reboot announcement *is* the detection: reclaim the corpse's
@@ -1954,6 +2058,7 @@ impl P2PClientCache {
     /// `false` (and changes nothing) when a cut is already up or fewer
     /// than two live nodes remain.
     pub fn partition_nodes<S: P2pSink>(&mut self, percent_a: u8, sink: &mut S) -> bool {
+        self.space_hint = None;
         if self.split.is_some() {
             return false;
         }
@@ -2112,6 +2217,7 @@ impl P2PClientCache {
     /// B queued at the cut drains through the transport's retry/dedup
     /// machinery. Returns `false` when no partition is active.
     pub fn heal_nodes<S: P2pSink>(&mut self, sink: &mut S) -> bool {
+        self.space_hint = None;
         let Some(split) = self.split.take() else { return false };
         let SplitState { b_index: _, b_epochs, pending_cut } = split;
         // Snapshot both islands' placements before the views merge.
@@ -2460,6 +2566,7 @@ impl P2PClientCache {
     /// shrinker must minimize. Never called by production paths.
     #[doc(hidden)]
     pub fn debug_plant_ghost_entry(&mut self, object: u128) {
+        self.space_hint = None;
         self.directory.insert(object);
     }
 }

@@ -24,7 +24,7 @@
 //! occupy no epoch storage, so fault-free runs pay nothing.
 
 use serde::{Deserialize, Serialize};
-use webcache_primitives::{CountingBloomFilter, FxHashMap, FxHashSet};
+use webcache_primitives::{CountingBloomFilter, FxHashMap, ShaIdMap, ShaIdSet};
 
 /// Which directory representation the proxy uses.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -46,9 +46,22 @@ pub enum DirectoryKind {
 #[derive(Clone, Debug)]
 enum DirectoryRepr {
     /// Exact hashtable.
-    Exact(FxHashSet<u128>),
+    Exact(ShaIdSet<u128>),
     /// Counting Bloom filter.
     Bloom(CountingBloomFilter),
+}
+
+/// Simulator-only acceleration for exact directories: a bitset over a
+/// dense object universe the driving engine already numbers 0..n. Hot
+/// membership reads become one L1 bit test instead of a hash-set probe.
+/// This is *not* part of the modeled deployment (a real proxy doesn't
+/// know the object universe), so it is excluded from `size_bytes`.
+#[derive(Clone, Debug)]
+struct DenseMirror {
+    /// object id -> dense index in `bits`.
+    index: ShaIdMap<u128, u32>,
+    /// One bit per universe object; always equal to exact-set membership.
+    bits: Vec<u64>,
 }
 
 /// A proxy-side lookup directory: a membership structure (exact or
@@ -61,18 +74,74 @@ pub struct LookupDirectory {
     /// faults and is pruned on remove, so it stays empty in fault-free
     /// runs and bounded by the resident set otherwise.
     epochs: FxHashMap<u128, u64>,
+    /// Dense read accelerator; `Some` only for exact directories whose
+    /// driving engine registered its object universe, and dropped on the
+    /// first mutation involving an id outside that universe.
+    mirror: Option<DenseMirror>,
 }
 
 impl LookupDirectory {
     /// Builds the directory described by `kind`.
     pub fn new(kind: DirectoryKind) -> Self {
         let repr = match kind {
-            DirectoryKind::Exact => DirectoryRepr::Exact(FxHashSet::default()),
+            DirectoryKind::Exact => DirectoryRepr::Exact(ShaIdSet::default()),
             DirectoryKind::Bloom { counters_per_key, expected_entries } => DirectoryRepr::Bloom(
                 CountingBloomFilter::with_capacity(expected_entries, counters_per_key),
             ),
         };
-        LookupDirectory { repr, epochs: FxHashMap::default() }
+        LookupDirectory { repr, epochs: FxHashMap::default(), mirror: None }
+    }
+
+    /// Registers the engine's dense object universe, turning exact
+    /// membership reads into bitset tests (see `DenseMirror`). No-op
+    /// for Bloom directories — their probabilistic `contains` must keep
+    /// answering, false positives included.
+    pub fn enable_dense_mirror(&mut self, universe: &[u128]) {
+        let DirectoryRepr::Exact(set) = &self.repr else {
+            return;
+        };
+        let mut index = ShaIdMap::default();
+        for (i, &oid) in universe.iter().enumerate() {
+            index.insert(oid, i as u32);
+        }
+        let mut bits = vec![0u64; universe.len().div_ceil(64)];
+        for &oid in set.iter() {
+            let Some(&i) = index.get(&oid) else {
+                // Resident id outside the declared universe: the mirror
+                // can't represent it, so don't build one.
+                return;
+            };
+            bits[i as usize / 64] |= 1 << (i % 64);
+        }
+        self.mirror = Some(DenseMirror { index, bits });
+    }
+
+    /// Mirror-accelerated membership: `Some(resident)` when the dense
+    /// mirror can answer for universe index `idx`, `None` when the
+    /// caller must fall back to [`contains`](Self::contains).
+    #[inline]
+    pub fn contains_dense(&self, idx: usize) -> Option<bool> {
+        let m = self.mirror.as_ref()?;
+        Some(m.bits[idx / 64] & (1 << (idx % 64)) != 0)
+    }
+
+    /// Updates the mirror for a mutation of `object`; ids outside the
+    /// registered universe drop the mirror entirely (permanent fallback
+    /// beats a silently wrong bit).
+    fn mirror_set(&mut self, object: u128, resident: bool) {
+        if let Some(m) = &mut self.mirror {
+            match m.index.get(&object) {
+                Some(&i) => {
+                    let (w, b) = (i as usize / 64, 1u64 << (i % 64));
+                    if resident {
+                        m.bits[w] |= b;
+                    } else {
+                        m.bits[w] &= !b;
+                    }
+                }
+                None => self.mirror = None,
+            }
+        }
     }
 
     /// Records that `object` is now stored in the P2P client cache.
@@ -81,8 +150,12 @@ impl LookupDirectory {
             DirectoryRepr::Exact(s) => {
                 s.insert(object);
             }
-            DirectoryRepr::Bloom(f) => f.insert(object),
+            DirectoryRepr::Bloom(f) => {
+                f.insert(object);
+                return;
+            }
         }
+        self.mirror_set(object, true);
     }
 
     /// Records that `object` left the P2P client cache. The entry's epoch
@@ -92,8 +165,13 @@ impl LookupDirectory {
             DirectoryRepr::Exact(s) => {
                 s.remove(&object);
             }
-            DirectoryRepr::Bloom(f) => f.remove(object),
+            DirectoryRepr::Bloom(f) => {
+                f.remove(object);
+                self.epochs.remove(&object);
+                return;
+            }
         }
+        self.mirror_set(object, false);
         self.epochs.remove(&object);
     }
 
@@ -134,7 +212,7 @@ impl LookupDirectory {
     /// The exact entry set, when this directory is exact. Oracles and
     /// invariant checks use this to diff the directory against ground
     /// truth; Bloom directories cannot be enumerated, so they get `None`.
-    pub fn exact_entries(&self) -> Option<&FxHashSet<u128>> {
+    pub fn exact_entries(&self) -> Option<&ShaIdSet<u128>> {
         match &self.repr {
             DirectoryRepr::Exact(s) => Some(s),
             DirectoryRepr::Bloom(_) => None,
@@ -161,6 +239,9 @@ impl LookupDirectory {
         match &mut self.repr {
             DirectoryRepr::Exact(s) => s.clear(),
             DirectoryRepr::Bloom(f) => f.clear(),
+        }
+        if let Some(m) = &mut self.mirror {
+            m.bits.fill(0);
         }
         self.epochs.clear();
     }

@@ -2,8 +2,9 @@
 
 use crate::id::NodeId;
 use crate::state::{NodeState, PastryConfig};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
+use webcache_primitives::ShaIdMap;
 
 /// Result of routing a key from a starting node.
 #[derive(Clone, Debug)]
@@ -86,7 +87,12 @@ enum Hop {
 #[derive(Clone, Debug)]
 pub struct Overlay {
     cfg: PastryConfig,
-    nodes: BTreeMap<u128, NodeState>,
+    nodes: ShaIdMap<u128, NodeState>,
+    /// Live node ids in ascending order — the hash map's sorted mirror.
+    /// Routing does one state lookup per hop, which a hash map serves in
+    /// O(1); everything that needs id order or a range scan (ownership,
+    /// join seeds, deterministic repair sweeps) reads the ring.
+    ring: Vec<u128>,
     /// Nodes that crashed *silently*: other nodes' leaf sets and routing
     /// tables still reference them until a route times out on them and
     /// triggers lazy repair ([`route_detecting`](Self::route_detecting)).
@@ -110,7 +116,13 @@ impl Overlay {
         if let Err(e) = cfg.validate() {
             panic!("invalid PastryConfig: {e}");
         }
-        Overlay { cfg, nodes: BTreeMap::new(), crashed: BTreeSet::new(), partition: None }
+        Overlay {
+            cfg,
+            nodes: ShaIdMap::default(),
+            ring: Vec::new(),
+            crashed: BTreeSet::new(),
+            partition: None,
+        }
     }
 
     /// Builds an overlay by joining `ids` one at a time.
@@ -159,7 +171,21 @@ impl Overlay {
 
     /// Iterates over live node ids in id order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().map(|&k| NodeId(k))
+        self.ring.iter().map(|&k| NodeId(k))
+    }
+
+    /// Inserts `k` into the sorted ring mirror (no-op if present).
+    fn ring_insert(&mut self, k: u128) {
+        if let Err(i) = self.ring.binary_search(&k) {
+            self.ring.insert(i, k);
+        }
+    }
+
+    /// Removes `k` from the sorted ring mirror (no-op if absent).
+    fn ring_remove(&mut self, k: u128) {
+        if let Ok(i) = self.ring.binary_search(&k) {
+            self.ring.remove(i);
+        }
     }
 
     /// Borrows a node's state.
@@ -170,20 +196,19 @@ impl Overlay {
     /// Ground truth: the live node numerically closest to `key` (ties to
     /// the smaller id). This is where the DHT *should* place `key`.
     pub fn owner_of(&self, key: NodeId) -> Option<NodeId> {
+        if self.ring.is_empty() {
+            return None;
+        }
         let mut best: Option<(u128, NodeId)> = None;
         // Only the nearest id below and above (with wraparound) can win.
-        let above = self
-            .nodes
-            .range(key.0..)
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(&k, _)| NodeId(k));
-        let below = self
-            .nodes
-            .range(..=key.0)
-            .next_back()
-            .or_else(|| self.nodes.iter().next_back())
-            .map(|(&k, _)| NodeId(k));
+        let i = self.ring.partition_point(|&k| k < key.0);
+        let above = Some(NodeId(if i == self.ring.len() { self.ring[0] } else { self.ring[i] }));
+        let j = self.ring.partition_point(|&k| k <= key.0);
+        let below = Some(NodeId(if j == 0 {
+            *self.ring.last().expect("non-empty")
+        } else {
+            self.ring[j - 1]
+        }));
         for cand in [above, below].into_iter().flatten() {
             let d = cand.distance(key);
             let better = match best {
@@ -225,8 +250,8 @@ impl Overlay {
     /// Live ids on the A side of the cut, in id order (every live id
     /// when no partition is active).
     pub fn island_a_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .keys()
+        self.ring
+            .iter()
             .filter(|k| self.partition.as_ref().is_none_or(|p| p.contains(k)))
             .map(|&k| NodeId(k))
             .collect()
@@ -237,7 +262,7 @@ impl Overlay {
     pub fn island_b_ids(&self) -> Vec<NodeId> {
         match &self.partition {
             None => Vec::new(),
-            Some(p) => self.nodes.keys().filter(|k| !p.contains(k)).map(|&k| NodeId(k)).collect(),
+            Some(p) => self.ring.iter().filter(|k| !p.contains(k)).map(|&k| NodeId(k)).collect(),
         }
     }
 
@@ -247,7 +272,7 @@ impl Overlay {
     /// only runs on partition fault paths, never in steady state.
     pub fn owner_in_island(&self, key: NodeId, island_a: bool) -> Option<NodeId> {
         let mut best: Option<(u128, NodeId)> = None;
-        for &k in self.nodes.keys() {
+        for &k in self.ring.iter() {
             let in_a = self.partition.as_ref().is_none_or(|p| p.contains(&k));
             if in_a != island_a {
                 continue;
@@ -310,7 +335,7 @@ impl Overlay {
     /// same-island live peer for its leaf set and routing table. Runs
     /// after a cut (per island) and after a heal (whole overlay).
     fn rebuild_views(&mut self) {
-        let ids: Vec<u128> = self.nodes.keys().copied().collect();
+        let ids: Vec<u128> = self.ring.clone();
         for &y in &ids {
             let me = NodeId(y);
             let mut st = self.nodes.remove(&y).expect("live node");
@@ -374,13 +399,14 @@ impl Overlay {
         // copied state, and its announcements all stay island-local.
         let seed = match &self.partition {
             Some(p) => p.iter().next().map(|&k| NodeId(k)),
-            None => self.nodes.keys().next().map(|&k| NodeId(k)),
+            None => self.ring.first().map(|&k| NodeId(k)),
         };
         if let Some(p) = &mut self.partition {
             p.insert(new_id.0);
         }
         let Some(seed) = seed else {
             self.nodes.insert(new_id.0, NodeState::new(new_id, self.cfg));
+            self.ring_insert(new_id.0);
             return 0;
         };
         let route = self.route(seed, new_id).expect("routing in a live overlay");
@@ -423,6 +449,7 @@ impl Overlay {
         // neighbors, because they are all in Z's leaf set).
         let known = x.known_nodes();
         self.nodes.insert(new_id.0, x);
+        self.ring_insert(new_id.0);
         for k in known {
             if let Some(ks) = self.nodes.get_mut(&k.0) {
                 ks.consider_for_leaf(new_id);
@@ -444,6 +471,9 @@ impl Overlay {
     /// are a typed, ignorable error rather than a crash of the simulator.
     pub fn fail(&mut self, id: NodeId) -> Result<(), OverlayError> {
         let was_live = self.nodes.remove(&id.0).is_some();
+        if was_live {
+            self.ring_remove(id.0);
+        }
         let was_crashed = self.crashed.remove(&id.0);
         if !was_live && !was_crashed {
             return Err(OverlayError::UnknownNode(id));
@@ -465,6 +495,7 @@ impl Overlay {
     /// same lazy repair the real protocol runs on failure detection.
     pub fn crash(&mut self, id: NodeId) -> Result<(), OverlayError> {
         if self.nodes.remove(&id.0).is_some() {
+            self.ring_remove(id.0);
             if let Some(p) = &mut self.partition {
                 p.remove(&id.0);
             }
@@ -497,7 +528,7 @@ impl Overlay {
     fn repair_leaf_sets(&mut self) {
         loop {
             let mut changed = false;
-            let ids: Vec<u128> = self.nodes.keys().copied().collect();
+            let ids: Vec<u128> = self.ring.clone();
             for &y in &ids {
                 // Collect the candidates first (a gossip "pull" from the
                 // node's current leaf members), then apply.
@@ -638,14 +669,14 @@ impl Overlay {
         if current == key {
             return Hop::Arrived;
         }
-        if s.leaf_covers(key) {
-            // Pastry's delivery rule: when the key falls inside the
-            // leaf-set range, the message is forwarded to the leaf
-            // member numerically closest to the key as its FINAL hop.
-            // Continuing to route from there would mix the prefix and
-            // numeric-distance metrics and can bounce between two
-            // nodes with inconsistent partial views (e.g. mid-join).
-            let closest = if avoid {
+        // Pastry's delivery rule: when the key falls inside the
+        // leaf-set range, the message is forwarded to the leaf
+        // member numerically closest to the key as its FINAL hop.
+        // Continuing to route from there would mix the prefix and
+        // numeric-distance metrics and can bounce between two
+        // nodes with inconsistent partial views (e.g. mid-join).
+        if avoid {
+            if s.leaf_covers(key) {
                 let mut best = current;
                 let mut best_d = current.distance(key);
                 for n in s.leaf_iter().filter(|n| !self.is_crashed(*n)) {
@@ -655,45 +686,65 @@ impl Overlay {
                         best_d = d;
                     }
                 }
-                best
-            } else {
-                s.closest_in_leaf(key)
-            };
+                return if best == current { Hop::Arrived } else { Hop::Deliver(best) };
+            }
+        } else if let Some(closest) = s.leaf_route(key) {
             return if closest == current { Hop::Arrived } else { Hop::Deliver(closest) };
         }
         let my_d = current.distance(key);
-        let next = if *greedy_mode {
-            None
-        } else {
+        if !*greedy_mode {
             let row = current.shared_prefix_digits(key, self.cfg.b);
             let col = key.digit(row, self.cfg.b) as usize;
-            s.table_entry(row, col).filter(|n| !(avoid && self.is_crashed(*n))).or_else(|| {
-                // Pastry's rare case: any known node strictly closer
-                // to the key sharing at least as long a prefix.
-                s.known_iter()
-                    .filter(|n| !(avoid && self.is_crashed(*n)))
-                    .filter(|n| {
-                        n.shared_prefix_digits(key, self.cfg.b) >= row && n.distance(key) < my_d
-                    })
-                    .min_by_key(|n| n.distance(key))
-            })
-        };
-        match next {
-            Some(n) => Hop::Forward(n),
-            None => {
-                *greedy_mode = true;
-                let best = s
-                    .known_iter()
-                    .filter(|n| !(avoid && self.is_crashed(*n)))
-                    .filter(|n| n.distance(key) < my_d)
-                    .min_by_key(|n| n.distance(key));
-                match best {
-                    Some(n) => Hop::Forward(n),
-                    // No known node closer than us: with consistent
-                    // leaf sets this means we are the owner.
-                    None => Hop::Arrived,
+            if let Some(n) = s.table_entry(row, col).filter(|n| !(avoid && self.is_crashed(*n))) {
+                return Hop::Forward(n);
+            }
+            // Pastry's rare case: any known node strictly closer to the
+            // key sharing at least as long a prefix. The greedy fallback
+            // needs the same walk minus the prefix filter, so one fused
+            // pass tracks both minima (last-wins on distance ties, the
+            // same element `min_by_key` over `known_iter` would return).
+            let mut rare: Option<(u128, NodeId)> = None;
+            let mut any: Option<(u128, NodeId)> = None;
+            for n in s.known_iter() {
+                if avoid && self.is_crashed(n) {
+                    continue;
+                }
+                let d = n.distance(key);
+                if d < my_d {
+                    if n.shared_prefix_digits(key, self.cfg.b) >= row
+                        && rare.is_none_or(|(bd, _)| d <= bd)
+                    {
+                        rare = Some((d, n));
+                    }
+                    if any.is_none_or(|(bd, _)| d <= bd) {
+                        any = Some((d, n));
+                    }
                 }
             }
+            if let Some((_, n)) = rare {
+                return Hop::Forward(n);
+            }
+            *greedy_mode = true;
+            return match any {
+                Some((_, n)) => Hop::Forward(n),
+                // No known node closer than us: with consistent
+                // leaf sets this means we are the owner.
+                None => Hop::Arrived,
+            };
+        }
+        let mut best: Option<(u128, NodeId)> = None;
+        for n in s.known_iter() {
+            if avoid && self.is_crashed(n) {
+                continue;
+            }
+            let d = n.distance(key);
+            if d < my_d && best.is_none_or(|(bd, _)| d <= bd) {
+                best = Some((d, n));
+            }
+        }
+        match best {
+            Some((_, n)) => Hop::Forward(n),
+            None => Hop::Arrived,
         }
     }
 
@@ -783,7 +834,7 @@ impl Overlay {
         let mut problems = Vec::new();
         // During a partition each island is its own ring: ground truth
         // (expected neighbors, legal table entries) is island-local.
-        let all: Vec<u128> = self.nodes.keys().copied().collect();
+        let all: Vec<u128> = self.ring.clone();
         let islands: Vec<Vec<u128>> = match &self.partition {
             None => vec![all],
             Some(p) => {

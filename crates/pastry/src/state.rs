@@ -58,6 +58,24 @@ pub struct NodeState {
     /// `digits() × cols()` table; `table[r][c]` holds a node sharing `r`
     /// digits of prefix with `id` whose digit `r` is `c`.
     table: Vec<Option<NodeId>>,
+    /// The distinct leaf-set members plus self, sorted by clockwise
+    /// position from `id` — rebuilt eagerly on every leaf mutation
+    /// (join/churn time) so the per-hop [`closest_in_leaf`] probe is a
+    /// pure binary search over a contiguous slice.
+    ///
+    /// [`closest_in_leaf`]: Self::closest_in_leaf
+    arc: Vec<(u128, NodeId)>,
+    /// Precomputed [`leaf_covers`](Self::leaf_covers) operands, refreshed
+    /// with `arc`: `covers_all` (undersized leaf set ⇒ whole ring),
+    /// `cover_add` (clockwise span from the farthest ccw member to self)
+    /// and `cover_rhs` (span from the farthest ccw to the farthest cw
+    /// member). `key` is covered iff
+    /// `(key − self) + cover_add ≤ cover_rhs` in wrapping arithmetic —
+    /// the same test `in_arc` performs, with the key-independent halves
+    /// hoisted out of the per-hop path.
+    covers_all: bool,
+    cover_add: u128,
+    cover_rhs: u128,
     cfg: PastryConfig,
 }
 
@@ -69,6 +87,10 @@ impl NodeState {
             leaf_cw: Vec::with_capacity(cfg.leaf_set_size / 2),
             leaf_ccw: Vec::with_capacity(cfg.leaf_set_size / 2),
             table: vec![None; cfg.digits() * cfg.cols()],
+            arc: vec![(0, id)],
+            covers_all: true,
+            cover_add: 0,
+            cover_rhs: 0,
             cfg,
         }
     }
@@ -155,7 +177,34 @@ impl NodeState {
         // and a near predecessor).
         let cw = insert(&mut self.leaf_cw, &|n| me.clockwise_distance(n));
         let ccw = insert(&mut self.leaf_ccw, &|n| n.clockwise_distance(me));
+        if cw || ccw {
+            self.rebuild_arc();
+        }
         cw || ccw
+    }
+
+    /// Re-derives the sorted position arc from the leaf sides; a node
+    /// appearing on both sides (sparse ring) collapses to one entry.
+    fn rebuild_arc(&mut self) {
+        self.arc.clear();
+        self.arc.push((0, self.id));
+        for &n in self.leaf_cw.iter().chain(&self.leaf_ccw) {
+            let p = self.id.clockwise_distance(n);
+            if let Err(i) = self.arc.binary_search_by_key(&p, |e| e.0) {
+                self.arc.insert(i, (p, n));
+            }
+        }
+        let half = self.cfg.leaf_set_size / 2;
+        self.covers_all = self.leaf_cw.len() < half || self.leaf_ccw.len() < half;
+        if self.covers_all {
+            self.cover_add = 0;
+            self.cover_rhs = 0;
+        } else {
+            let from = *self.leaf_ccw.last().expect("non-empty side");
+            let to = *self.leaf_cw.last().expect("non-empty side");
+            self.cover_add = from.clockwise_distance(self.id);
+            self.cover_rhs = from.clockwise_distance(to);
+        }
     }
 
     /// Forgets a failed peer entirely (leaf set and routing table) — the
@@ -186,7 +235,11 @@ impl NodeState {
         let before = self.leaf_cw.len() + self.leaf_ccw.len();
         self.leaf_cw.retain(|&n| !pred(n));
         self.leaf_ccw.retain(|&n| !pred(n));
-        let mut changed = before != self.leaf_cw.len() + self.leaf_ccw.len();
+        let leaf_changed = before != self.leaf_cw.len() + self.leaf_ccw.len();
+        if leaf_changed {
+            self.rebuild_arc();
+        }
+        let mut changed = leaf_changed;
         for e in self.table.iter_mut() {
             if let Some(peer) = *e {
                 if pred(peer) {
@@ -202,7 +255,11 @@ impl NodeState {
     pub fn remove_from_leaf(&mut self, peer: NodeId) -> bool {
         let a = self.leaf_cw.iter().position(|&n| n == peer).map(|i| self.leaf_cw.remove(i));
         let b = self.leaf_ccw.iter().position(|&n| n == peer).map(|i| self.leaf_ccw.remove(i));
-        a.is_some() || b.is_some()
+        if a.is_some() || b.is_some() {
+            self.rebuild_arc();
+            return true;
+        }
+        false
     }
 
     /// True if the leaf set (either side) contains `peer`.
@@ -242,11 +299,71 @@ impl NodeState {
     /// members, inclusive). With an undersized leaf set (fewer members
     /// than `l/2` on a side — only possible in tiny overlays) the whole
     /// ring is covered.
+    #[inline]
     pub fn leaf_covers(&self, key: NodeId) -> bool {
+        self.covers_all
+            || self.id.clockwise_distance(key).wrapping_add(self.cover_add) <= self.cover_rhs
+    }
+
+    /// Coverage test and delivery target fused into one probe: returns
+    /// the closest leaf member (or self) if the leaf set covers `key`,
+    /// `None` otherwise. Equivalent to
+    /// `leaf_covers(key).then(|| closest_in_leaf(key))`, but computes the
+    /// key's clockwise position once for both questions — this is the
+    /// first thing every routing hop asks.
+    #[inline]
+    pub fn leaf_route(&self, key: NodeId) -> Option<NodeId> {
+        let kp = self.id.clockwise_distance(key);
+        if !self.covers_all && kp.wrapping_add(self.cover_add) > self.cover_rhs {
+            return None;
+        }
+        Some(self.closest_at(kp, key))
+    }
+
+    /// The leaf-set member (or self) numerically closest to `key`;
+    /// ties break toward the smaller id, matching
+    /// `Overlay::owner_of`.
+    ///
+    /// The cached [`arc`](#structfield.arc) holds self plus every member
+    /// in clockwise-position order around the full ring, so this is a
+    /// binary search for `key`'s position followed by an exact check of
+    /// only the circular neighbors — the numerically closest member must
+    /// be `key`'s predecessor or successor in ring order. This is the
+    /// hottest call in routing: every delivery hop lands here.
+    pub fn closest_in_leaf(&self, key: NodeId) -> NodeId {
+        self.closest_at(self.id.clockwise_distance(key), key)
+    }
+
+    /// [`closest_in_leaf`](Self::closest_in_leaf) with the key's
+    /// clockwise position `kp` already in hand.
+    #[inline]
+    fn closest_at(&self, kp: u128, key: NodeId) -> NodeId {
+        let arc = &self.arc;
+        let len = arc.len();
+        let i = arc.partition_point(|e| e.0 < kp);
+        // Circular predecessor and successor of `key`, plus the ends
+        // (wraparound candidates); duplicates are harmless.
+        let mut best = arc[0].1;
+        let mut best_d = best.distance(key);
+        for j in [if i > 0 { i - 1 } else { len - 1 }, if i < len { i } else { 0 }, len - 1] {
+            let n = arc[j].1;
+            let d = n.distance(key);
+            if d < best_d || (d == best_d && n.0 < best.0) {
+                best = n;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// Reference implementation of [`leaf_covers`](Self::leaf_covers):
+    /// recomputes the arc ends from the leaf sides on every call, the way
+    /// the method originally did. Property-test oracle for the
+    /// precomputed `cover_*` fields.
+    #[cfg(test)]
+    fn leaf_covers_scan(&self, key: NodeId) -> bool {
         let half = self.cfg.leaf_set_size / 2;
         if self.leaf_cw.len() < half || self.leaf_ccw.len() < half {
-            // Fewer nodes than the leaf set wants to hold: the leaf set is
-            // the whole overlay.
             return true;
         }
         let from = *self.leaf_ccw.last().expect("non-empty side");
@@ -254,10 +371,11 @@ impl NodeState {
         key.in_arc(from, to)
     }
 
-    /// The leaf-set member (or self) numerically closest to `key`;
-    /// ties break toward the smaller id, matching
-    /// `Overlay::owner_of`.
-    pub fn closest_in_leaf(&self, key: NodeId) -> NodeId {
+    /// Reference implementation of [`closest_in_leaf`](Self::closest_in_leaf):
+    /// the exhaustive scan the binary search must agree with, kept as the
+    /// property-test oracle.
+    #[cfg(test)]
+    fn closest_in_leaf_scan(&self, key: NodeId) -> NodeId {
         let mut best = self.id;
         let mut best_d = self.id.distance(key);
         for &n in self.leaf_cw.iter().chain(&self.leaf_ccw) {
@@ -444,6 +562,38 @@ mod tests {
         assert!(s.leaf_contains(keep));
         assert_eq!(s.table_population(), 0);
         assert!(!s.purge_where(|n| n == far), "second sweep finds nothing");
+    }
+
+    proptest::proptest! {
+        /// The binary-search `closest_in_leaf` agrees with the exhaustive
+        /// scan for every leaf-set shape, including overlapping sides on
+        /// sparse rings and keys outside the covered arc.
+        #[test]
+        fn closest_in_leaf_matches_scan(
+            peers in proptest::collection::vec(proptest::prelude::any::<u128>(), 0..24),
+            removals in proptest::collection::vec(proptest::prelude::any::<usize>(), 0..6),
+            me in proptest::prelude::any::<u128>(),
+            keys in proptest::collection::vec(proptest::prelude::any::<u128>(), 1..16),
+        ) {
+            let mut s = NodeState::new(id(me), cfg());
+            for &p in &peers {
+                s.consider_for_leaf(id(p));
+            }
+            for &r in &removals {
+                if !peers.is_empty() {
+                    s.remove_from_leaf(id(peers[r % peers.len()]));
+                }
+            }
+            for &k in &keys {
+                proptest::prop_assert_eq!(s.closest_in_leaf(id(k)), s.closest_in_leaf_scan(id(k)));
+                // The fused probe agrees with the two-call composition,
+                // and the precomputed cover spans agree with recomputing
+                // the arc ends from the leaf sides directly.
+                proptest::prop_assert_eq!(s.leaf_covers(id(k)), s.leaf_covers_scan(id(k)));
+                let expect = if s.leaf_covers(id(k)) { Some(s.closest_in_leaf(id(k))) } else { None };
+                proptest::prop_assert_eq!(s.leaf_route(id(k)), expect);
+            }
+        }
     }
 
     #[test]

@@ -24,40 +24,30 @@
 //! this against a retained reference copy) — without the B-tree's
 //! per-operation node allocation.
 
-use crate::heap::IndexedMinHeap;
+use crate::heap::{HashIndex, IndexedMinHeap, PositionIndex};
 use crate::BoundedCache;
-use std::hash::Hash;
-
-/// Total-ordered f64 wrapper (no NaNs are ever produced by the policy).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct H(f64);
-
-impl Eq for H {}
-
-impl PartialOrd for H {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for H {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Bounded greedy-dual cache.
+///
+/// `X` selects the heap's key → slot index: the default hash index for
+/// arbitrary keys, or [`DenseIndex`](crate::DenseIndex) when keys are
+/// dense small integers (the Hier-GD proxy caches use the latter).
 #[derive(Clone, Debug)]
-pub struct GreedyDualCache<K: Copy + Eq + Hash = u64> {
+pub struct GreedyDualCache<K: Copy + Eq = u64, X: PositionIndex<K> = HashIndex<K>> {
     capacity: usize,
-    /// key -> (H, stamp); min (H, stamp) is the eviction victim. Stamps
-    /// are unique, so the order is total without comparing keys.
-    heap: IndexedMinHeap<(H, u64), K>,
+    /// key -> (H bits, stamp); min is the eviction victim. Stamps are
+    /// unique, so the order is total without comparing keys. `H` is
+    /// stored as its raw IEEE-754 bits: every credit is non-negative and
+    /// finite (costs are, and `L` only advances to evicted credits), and
+    /// for such values `f64::total_cmp` order equals unsigned bit order —
+    /// so the heap compares plain integers instead of running the
+    /// total_cmp bit-twiddle a dozen times per sift.
+    heap: IndexedMinHeap<(u64, u64), K, X>,
     inflation: f64,
     clock: u64,
 }
 
-impl<K: Copy + Eq + Hash> GreedyDualCache<K> {
+impl<K: Copy + Eq, X: PositionIndex<K>> GreedyDualCache<K, X> {
     /// Creates a cache holding at most `capacity` unit-size objects.
     ///
     /// # Panics
@@ -79,24 +69,29 @@ impl<K: Copy + Eq + Hash> GreedyDualCache<K> {
 
     /// Resident credit of `key` (the raw `H`, including inflation).
     pub fn h_value(&self, key: K) -> Option<f64> {
-        self.heap.priority(key).map(|(H(h), _)| h)
+        self.heap.priority(key).map(|(bits, _)| f64::from_bits(bits))
     }
 
-    fn set_h(&mut self, key: K, h: f64) {
-        debug_assert!(h.is_finite());
+    /// Inserts `key` (known absent) at credit `h` with a fresh stamp.
+    fn set_h_new(&mut self, key: K, h: f64) {
+        debug_assert!(h.is_finite() && h >= 0.0 && h.is_sign_positive());
         self.clock += 1;
-        self.heap.push(key, (H(h), self.clock));
+        self.heap.insert_new(key, (h.to_bits(), self.clock));
     }
 
     /// Records a hit: `H = L + cost/size`.
     /// Returns false if `key` is not resident.
     pub fn touch_with_cost(&mut self, key: K, cost: f64, size: f64) -> bool {
-        if !self.heap.contains(key) {
-            return false;
-        }
         let h = self.inflation + cost / size;
-        self.set_h(key, h);
-        true
+        debug_assert!(h.is_finite() && h >= 0.0 && h.is_sign_positive());
+        // Single position probe: `update` both tests residency and
+        // re-stamps on the same lookup.
+        if self.heap.update(key, (h.to_bits(), self.clock + 1)) {
+            self.clock += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Inserts a fetched object with the given fetch `cost` and `size`,
@@ -110,13 +105,14 @@ impl<K: Copy + Eq + Hash> GreedyDualCache<K> {
         }
         let evicted = if self.heap.len() >= self.capacity { self.evict() } else { None };
         let h = self.inflation + cost / size;
-        self.set_h(key, h);
+        self.set_h_new(key, h);
         evicted
     }
 
     /// Evicts the minimum-credit object, advancing `L` to its credit.
     pub fn evict(&mut self) -> Option<K> {
-        let ((H(h), _), key) = self.heap.pop_min()?;
+        let ((bits, _), key) = self.heap.pop_min()?;
+        let h = f64::from_bits(bits);
         // Inflation is monotone: every resident H >= L by construction.
         debug_assert!(h >= self.inflation);
         self.inflation = h;
@@ -147,7 +143,9 @@ impl<K: Copy + Eq + Hash> GreedyDualCache<K> {
     }
 }
 
-impl<K: Copy + Eq + Hash> BoundedCache<K> for GreedyDualCache<K> {
+impl<K: Copy + Eq + std::hash::Hash, X: PositionIndex<K>> BoundedCache<K>
+    for GreedyDualCache<K, X>
+{
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -179,7 +177,7 @@ mod tests {
 
     #[test]
     fn cheap_objects_evicted_before_expensive() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, 1.0, 1.0); // cheap (nearby copy)
         c.insert_with_cost(2, 10.0, 1.0); // expensive (origin server)
         assert_eq!(c.insert_with_cost(3, 5.0, 1.0), Some(1));
@@ -188,7 +186,7 @@ mod tests {
 
     #[test]
     fn inflation_advances_on_eviction() {
-        let mut c = GreedyDualCache::new(1);
+        let mut c: GreedyDualCache = GreedyDualCache::new(1);
         c.insert_with_cost(1u64, 4.0, 1.0);
         assert_eq!(c.inflation(), 0.0);
         c.insert_with_cost(2, 4.0, 1.0); // evicts 1 at H=4
@@ -200,7 +198,7 @@ mod tests {
     fn inflation_gives_recency_effect() {
         // An old expensive object eventually loses to repeatedly-missed
         // cheap objects — greedy-dual's aging at work.
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(100u64, 5.0, 1.0); // H = 5
         c.insert_with_cost(0, 1.0, 1.0); // H = 1
                                          // Each round evicts the cheap slot at rising H; once L exceeds 4,
@@ -217,7 +215,7 @@ mod tests {
 
     #[test]
     fn hit_refreshes_credit() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, 2.0, 1.0);
         c.insert_with_cost(2, 2.0, 1.0);
         assert!(c.touch_with_cost(1, 2.0, 1.0));
@@ -227,7 +225,7 @@ mod tests {
 
     #[test]
     fn size_divides_credit() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, 10.0, 10.0); // credit 1
         c.insert_with_cost(2, 10.0, 2.0); // credit 5
         assert_eq!(c.insert_with_cost(3, 10.0, 5.0), Some(1));
@@ -235,7 +233,7 @@ mod tests {
 
     #[test]
     fn uniform_costs_behave_fifo_without_hits() {
-        let mut c = GreedyDualCache::new(3);
+        let mut c: GreedyDualCache = GreedyDualCache::new(3);
         for k in 0u64..3 {
             c.insert(k);
         }
@@ -246,7 +244,7 @@ mod tests {
 
     #[test]
     fn resident_reinsert_is_hit() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, 1.0, 1.0);
         assert_eq!(c.insert_with_cost(1, 9.0, 1.0), None);
         assert_eq!(c.h_value(1), Some(9.0));
@@ -255,7 +253,7 @@ mod tests {
 
     #[test]
     fn remove_clears_order() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, 1.0, 1.0);
         assert!(c.remove(1));
         assert_eq!(c.peek_victim(), None);
@@ -265,7 +263,7 @@ mod tests {
 
     #[test]
     fn credits_monotone_with_inflation() {
-        let mut c = GreedyDualCache::new(4);
+        let mut c: GreedyDualCache = GreedyDualCache::new(4);
         for k in 0u64..100 {
             c.insert_with_cost(k, ((k % 7) + 1) as f64, 1.0);
             // Every resident credit must be >= L.
@@ -278,7 +276,7 @@ mod tests {
 
     #[test]
     fn keys_by_credit_ascending() {
-        let mut c = GreedyDualCache::new(4);
+        let mut c: GreedyDualCache = GreedyDualCache::new(4);
         c.insert_with_cost(1u64, 3.0, 1.0);
         c.insert_with_cost(2, 1.0, 1.0);
         c.insert_with_cost(3, 2.0, 1.0);
@@ -293,7 +291,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cost must be finite")]
     fn rejects_negative_cost() {
-        let mut c = GreedyDualCache::new(2);
+        let mut c: GreedyDualCache = GreedyDualCache::new(2);
         c.insert_with_cost(1u64, -1.0, 1.0);
     }
 
@@ -302,7 +300,7 @@ mod tests {
         fn never_exceeds_capacity_and_victim_is_min(
             ops in proptest::collection::vec((0u64..30, 1u32..20), 1..300)
         ) {
-            let mut c = GreedyDualCache::new(6);
+            let mut c: GreedyDualCache = GreedyDualCache::new(6);
             for (key, cost) in ops {
                 let victim_pred = if c.len() == 6 && !c.contains(key) { c.peek_victim() } else { None };
                 let evicted = c.insert_with_cost(key, cost as f64, 1.0);
@@ -450,7 +448,7 @@ mod tests {
                 (0u8..4, 0u64..25, 1u32..16, 1u32..4), 1..400
             )
         ) {
-            let mut heap_gd = GreedyDualCache::new(5);
+            let mut heap_gd: GreedyDualCache = GreedyDualCache::new(5);
             let mut ref_gd = reference::BTreeGreedyDualCache::new(5);
             for (op, key, cost, size) in ops {
                 let (cost, size) = (cost as f64, size as f64);

@@ -24,31 +24,216 @@ use webcache_primitives::FxHashMap;
 /// Heap arity; 4 keeps siblings within a cache line for small priorities.
 const ARITY: usize = 4;
 
+/// Pluggable key → handle index for [`IndexedMinHeap`].
+///
+/// The heap consults this exactly once per operation; everything else is
+/// flat `Vec` traffic. The default [`HashIndex`] works for any hashable
+/// key; [`DenseIndex`] replaces the hash probe with a direct array load
+/// when keys are small dense integers (the simulator's `ObjectId`s are
+/// `0..num_objects`, so the proxy caches — the hottest structures in the
+/// whole simulator, probed on every request — qualify).
+pub trait PositionIndex<K>: Clone + Default {
+    /// An index with room for `n` keys before growing.
+    fn with_capacity(n: usize) -> Self;
+    /// The handle of `key`, if present.
+    fn get(&self, key: &K) -> Option<u32>;
+    /// Maps `key` to `handle` (the key must be absent).
+    fn insert(&mut self, key: K, handle: u32);
+    /// Unmaps `key` (the key must be present).
+    fn remove(&mut self, key: &K);
+    /// Unmaps everything.
+    fn clear(&mut self);
+    /// Number of mapped keys.
+    fn len(&self) -> usize;
+    /// True when no keys are present.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The default [`PositionIndex`]: an `FxHashMap` from key to handle.
+#[derive(Clone, Debug)]
+pub struct HashIndex<K>(FxHashMap<K, u32>);
+
+impl<K> Default for HashIndex<K> {
+    fn default() -> Self {
+        HashIndex(FxHashMap::default())
+    }
+}
+
+impl<K: Copy + Eq + Hash> PositionIndex<K> for HashIndex<K> {
+    fn with_capacity(n: usize) -> Self {
+        HashIndex(FxHashMap::with_capacity_and_hasher(n, Default::default()))
+    }
+
+    #[inline]
+    fn get(&self, key: &K) -> Option<u32> {
+        self.0.get(key).copied()
+    }
+
+    #[inline]
+    fn insert(&mut self, key: K, handle: u32) {
+        let prev = self.0.insert(key, handle);
+        debug_assert!(prev.is_none(), "insert of a mapped key");
+    }
+
+    #[inline]
+    fn remove(&mut self, key: &K) {
+        let prev = self.0.remove(key);
+        debug_assert!(prev.is_some(), "remove of an unmapped key");
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// A [`PositionIndex`] for dense `u32` keys: `table[key]` holds the
+/// handle (`u32::MAX` = absent). One predictable load per probe, no
+/// hashing — but memory is proportional to the largest key ever seen, so
+/// only use it where keys are known to be dense (e.g. trace object ids).
+#[derive(Clone, Debug, Default)]
+pub struct DenseIndex {
+    table: Vec<u32>,
+    len: usize,
+}
+
+/// Sentinel for "key absent" in [`DenseIndex`] (handles are table slots,
+/// far below u32::MAX).
+const ABSENT: u32 = u32::MAX;
+
+impl PositionIndex<u32> for DenseIndex {
+    fn with_capacity(n: usize) -> Self {
+        DenseIndex { table: vec![ABSENT; n], len: 0 }
+    }
+
+    #[inline]
+    fn get(&self, key: &u32) -> Option<u32> {
+        match self.table.get(*key as usize) {
+            Some(&h) if h != ABSENT => Some(h),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u32, handle: u32) {
+        let i = key as usize;
+        if i >= self.table.len() {
+            self.table.resize(i + 1, ABSENT);
+        }
+        debug_assert_eq!(self.table[i], ABSENT, "insert of a mapped key");
+        self.table[i] = handle;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, key: &u32) {
+        debug_assert_ne!(self.table[*key as usize], ABSENT, "remove of an unmapped key");
+        self.table[*key as usize] = ABSENT;
+        self.len -= 1;
+    }
+
+    fn clear(&mut self) {
+        self.table.fill(ABSENT);
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A [`PositionIndex`] for 128-bit SHA-derived keys: a hash map with the
+/// identity hasher from `webcache_primitives` (the keys are already
+/// uniformly distributed digests, so hashing them again is pure waste).
+#[derive(Clone, Debug, Default)]
+pub struct ShaIndex(webcache_primitives::ShaIdMap<u128, u32>);
+
+impl PositionIndex<u128> for ShaIndex {
+    fn with_capacity(n: usize) -> Self {
+        ShaIndex(webcache_primitives::ShaIdMap::with_capacity_and_hasher(n, Default::default()))
+    }
+
+    #[inline]
+    fn get(&self, key: &u128) -> Option<u32> {
+        self.0.get(key).copied()
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u128, handle: u32) {
+        let prev = self.0.insert(key, handle);
+        debug_assert!(prev.is_none(), "insert of a mapped key");
+    }
+
+    #[inline]
+    fn remove(&mut self, key: &u128) {
+        let prev = self.0.remove(key);
+        debug_assert!(prev.is_some(), "remove of an unmapped key");
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
 /// A min-heap over `(priority, key)` pairs with an index from key to slot,
 /// supporting O(log n) update-by-key and remove-by-key.
 ///
 /// `P` must be a total order (`Ord`); callers that prioritize by `f64`
 /// wrap it in a `total_cmp` newtype. Duplicate keys are not stored: a
 /// second [`push`](Self::push) of the same key replaces its priority.
+///
+/// Keys are interned behind small integer *handles* so that sifting never
+/// touches the hash map: heap entries carry `(priority, handle)`, and a
+/// flat `slot[handle]` table tracks where each handle currently lives.
+/// Restoring the heap property after an update is then pure `Vec` traffic
+/// — the profile showed the earlier design spending more time re-inserting
+/// positions into the hash map (one insert per sift level) than comparing
+/// priorities. The map is consulted exactly once per operation, to resolve
+/// the key to its handle.
 #[derive(Clone, Debug, Default)]
-pub struct IndexedMinHeap<P, K> {
+pub struct IndexedMinHeap<P, K, X = HashIndex<K>> {
     /// Implicit d-ary tree: children of slot `i` are `ARITY*i + 1 ..= ARITY*i + ARITY`.
-    heap: Vec<(P, K)>,
-    /// key -> current slot in `heap`.
-    pos: FxHashMap<K, usize>,
+    /// Entries are `(priority, handle)`.
+    heap: Vec<(P, u32)>,
+    /// handle -> key (interning table; slots are recycled via `free`).
+    keys: Vec<K>,
+    /// handle -> current index in `heap`.
+    slot: Vec<u32>,
+    /// Recycled handles of removed keys.
+    free: Vec<u32>,
+    /// key -> handle.
+    pos: X,
 }
 
-impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
+impl<P: Ord + Copy, K: Copy + Eq, X: PositionIndex<K>> IndexedMinHeap<P, K, X> {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        IndexedMinHeap { heap: Vec::new(), pos: FxHashMap::default() }
+        IndexedMinHeap {
+            heap: Vec::new(),
+            keys: Vec::new(),
+            slot: Vec::new(),
+            free: Vec::new(),
+            pos: X::default(),
+        }
     }
 
     /// Creates an empty heap with room for `n` entries before reallocating.
     pub fn with_capacity(n: usize) -> Self {
         IndexedMinHeap {
             heap: Vec::with_capacity(n),
-            pos: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            keys: Vec::with_capacity(n),
+            slot: Vec::with_capacity(n),
+            free: Vec::new(),
+            pos: X::with_capacity(n),
         }
     }
 
@@ -64,35 +249,66 @@ impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
 
     /// True if `key` is present.
     pub fn contains(&self, key: K) -> bool {
-        self.pos.contains_key(&key)
+        self.pos.get(&key).is_some()
     }
 
     /// Current priority of `key`.
     pub fn priority(&self, key: K) -> Option<P> {
-        self.pos.get(&key).map(|&i| self.heap[i].0)
+        self.pos.get(&key).map(|h| self.heap[self.slot[h as usize] as usize].0)
+    }
+
+    /// Updates `key`'s priority if present, returning whether it was.
+    /// One position probe — the hit path's alternative to
+    /// [`push`](Self::push), which would probe again on insert.
+    pub fn update(&mut self, key: K, priority: P) -> bool {
+        let Some(h) = self.pos.get(&key) else {
+            return false;
+        };
+        let i = self.slot[h as usize] as usize;
+        let old = self.heap[i].0;
+        self.heap[i].0 = priority;
+        if priority < old {
+            self.sift_up(i);
+        } else if old < priority {
+            self.sift_down(i);
+        }
+        true
     }
 
     /// Inserts `key` at `priority`, or updates its priority if present.
     pub fn push(&mut self, key: K, priority: P) {
-        if let Some(&i) = self.pos.get(&key) {
-            let old = self.heap[i].0;
-            self.heap[i].0 = priority;
-            if priority < old {
-                self.sift_up(i);
-            } else if old < priority {
-                self.sift_down(i);
-            }
-        } else {
-            let i = self.heap.len();
-            self.heap.push((priority, key));
-            self.pos.insert(key, i);
-            self.sift_up(i);
+        if !self.update(key, priority) {
+            self.insert_new(key, priority);
         }
+    }
+
+    /// Inserts `key`, which the caller guarantees is absent. Skips the
+    /// presence probe that [`push`](Self::push) pays; the `pos.insert`
+    /// below would catch (and debug-assert against) a duplicate.
+    pub(crate) fn insert_new(&mut self, key: K, priority: P) {
+        debug_assert!(self.pos.get(&key).is_none());
+        let h = match self.free.pop() {
+            Some(h) => {
+                self.keys[h as usize] = key;
+                h
+            }
+            None => {
+                let h = self.keys.len() as u32;
+                self.keys.push(key);
+                self.slot.push(0);
+                h
+            }
+        };
+        let i = self.heap.len();
+        self.heap.push((priority, h));
+        self.slot[h as usize] = i as u32;
+        self.pos.insert(key, h);
+        self.sift_up(i);
     }
 
     /// The minimum entry without removing it.
     pub fn peek_min(&self) -> Option<(P, K)> {
-        self.heap.first().copied()
+        self.heap.first().map(|&(p, h)| (p, self.keys[h as usize]))
     }
 
     /// Removes and returns the minimum entry.
@@ -105,13 +321,13 @@ impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
 
     /// Removes `key`, returning its priority if it was present.
     pub fn remove(&mut self, key: K) -> Option<P> {
-        let i = *self.pos.get(&key)?;
-        Some(self.remove_slot(i).0)
+        let h = self.pos.get(&key)?;
+        Some(self.remove_slot(self.slot[h as usize] as usize).0)
     }
 
     /// Iterates entries in arbitrary (heap) order, without allocating.
     pub fn iter(&self) -> impl Iterator<Item = (P, K)> + '_ {
-        self.heap.iter().copied()
+        self.heap.iter().map(|&(p, h)| (p, self.keys[h as usize]))
     }
 
     /// Keys in ascending priority order, as a fresh sorted snapshot.
@@ -120,7 +336,7 @@ impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
     /// paths should use [`iter`](Self::iter) or drain via
     /// [`pop_min`](Self::pop_min).
     pub fn sorted_snapshot(&self) -> Vec<(P, K)> {
-        let mut v = self.heap.clone();
+        let mut v: Vec<(P, K)> = self.iter().collect();
         v.sort_unstable_by_key(|a| a.0);
         v
     }
@@ -128,6 +344,9 @@ impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
     /// Removes every entry.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.keys.clear();
+        self.slot.clear();
+        self.free.clear();
         self.pos.clear();
     }
 
@@ -135,62 +354,80 @@ impl<P: Ord + Copy, K: Copy + Eq + Hash> IndexedMinHeap<P, K> {
     fn remove_slot(&mut self, i: usize) -> (P, K) {
         let last = self.heap.len() - 1;
         self.heap.swap(i, last);
-        let removed = self.heap.pop().expect("slot exists");
-        self.pos.remove(&removed.1);
-        if i <= last && i < self.heap.len() {
-            self.pos.insert(self.heap[i].1, i);
+        let (p, h) = self.heap.pop().expect("slot exists");
+        let key = self.keys[h as usize];
+        self.pos.remove(&key);
+        self.free.push(h);
+        if i < self.heap.len() {
+            self.slot[self.heap[i].1 as usize] = i as u32;
             // The element moved into `i` came from the bottom; it may need
             // to travel either direction relative to `i`'s neighborhood.
             self.sift_up(i);
             self.sift_down(i);
         }
-        removed
+        (p, key)
     }
 
+    // Both sifts move a *hole* instead of swapping: the displaced entry is
+    // held in a register and written exactly once at its final slot, so each
+    // level costs one entry move + one slot fix rather than a three-write
+    // swap. Same comparisons, same final layout.
+
     fn sift_up(&mut self, mut i: usize) {
+        let e = self.heap[i];
         while i > 0 {
             let parent = (i - 1) / ARITY;
-            if self.heap[i].0 < self.heap[parent].0 {
-                self.heap.swap(i, parent);
-                self.pos.insert(self.heap[i].1, i);
+            if e.0 < self.heap[parent].0 {
+                self.heap[i] = self.heap[parent];
+                self.slot[self.heap[i].1 as usize] = i as u32;
                 i = parent;
             } else {
                 break;
             }
         }
-        self.pos.insert(self.heap[i].1, i);
+        self.heap[i] = e;
+        self.slot[e.1 as usize] = i as u32;
     }
 
     fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let e = self.heap[i];
         loop {
             let first_child = ARITY * i + 1;
-            if first_child >= self.heap.len() {
+            if first_child >= len {
                 break;
             }
-            let end = (first_child + ARITY).min(self.heap.len());
+            let end = (first_child + ARITY).min(len);
             let mut min_child = first_child;
+            let mut min_p = self.heap[first_child].0;
             for c in (first_child + 1)..end {
-                if self.heap[c].0 < self.heap[min_child].0 {
+                let p = self.heap[c].0;
+                if p < min_p {
                     min_child = c;
+                    min_p = p;
                 }
             }
-            if self.heap[min_child].0 < self.heap[i].0 {
-                self.heap.swap(i, min_child);
-                self.pos.insert(self.heap[i].1, i);
+            if min_p < e.0 {
+                self.heap[i] = self.heap[min_child];
+                self.slot[self.heap[i].1 as usize] = i as u32;
                 i = min_child;
             } else {
                 break;
             }
         }
-        self.pos.insert(self.heap[i].1, i);
+        self.heap[i] = e;
+        self.slot[e.1 as usize] = i as u32;
     }
 
-    /// Debug check: heap property and position-map consistency.
+    /// Debug check: heap property and handle-table consistency.
     #[cfg(test)]
     fn check_invariants(&self) {
         assert_eq!(self.heap.len(), self.pos.len());
-        for (i, &(p, k)) in self.heap.iter().enumerate() {
-            assert_eq!(self.pos[&k], i, "pos map out of sync");
+        // (`PositionIndex::len` tracks insert/remove pairing.)
+        for (i, &(p, h)) in self.heap.iter().enumerate() {
+            let key = self.keys[h as usize];
+            assert_eq!(self.pos.get(&key), Some(h), "pos map out of sync");
+            assert_eq!(self.slot[h as usize] as usize, i, "slot table out of sync");
             if i > 0 {
                 let parent = (i - 1) / ARITY;
                 assert!(self.heap[parent].0 <= p, "heap property violated at {i}");
@@ -205,7 +442,7 @@ mod tests {
 
     #[test]
     fn pop_order_is_sorted() {
-        let mut h = IndexedMinHeap::new();
+        let mut h: IndexedMinHeap<u64, u64> = IndexedMinHeap::new();
         for (i, p) in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0].into_iter().enumerate() {
             h.push(i as u64, p);
             h.check_invariants();
@@ -220,7 +457,7 @@ mod tests {
 
     #[test]
     fn push_updates_priority_both_directions() {
-        let mut h = IndexedMinHeap::new();
+        let mut h: IndexedMinHeap<u64, u64> = IndexedMinHeap::new();
         h.push(1u64, 10u64);
         h.push(2, 20);
         h.push(3, 30);
@@ -235,7 +472,7 @@ mod tests {
 
     #[test]
     fn remove_arbitrary_keys() {
-        let mut h = IndexedMinHeap::new();
+        let mut h: IndexedMinHeap<u64, u64> = IndexedMinHeap::new();
         for k in 0u64..50 {
             h.push(k, (k * 37) % 50);
         }
@@ -254,7 +491,7 @@ mod tests {
 
     #[test]
     fn sorted_snapshot_matches_pop_order() {
-        let mut h = IndexedMinHeap::new();
+        let mut h: IndexedMinHeap<(u64, u64), u64> = IndexedMinHeap::new();
         for k in 0u64..30 {
             h.push(k, ((k * 13) % 30, k)); // unique composite priorities
         }

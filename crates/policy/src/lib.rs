@@ -34,7 +34,7 @@ pub mod value;
 
 pub use bytes::{ByteLruCache, GreedyDualSizeCache};
 pub use gd::GreedyDualCache;
-pub use heap::IndexedMinHeap;
+pub use heap::{DenseIndex, HashIndex, IndexedMinHeap, PositionIndex, ShaIndex};
 pub use lfu::{LfuCache, PerfectLfuCache};
 pub use lru::LruCache;
 pub use value::{NotBeneficial, ValueCache};
@@ -96,7 +96,7 @@ mod conformance {
         check_bounded(LruCache::new(8));
         check_bounded(LfuCache::new(8));
         check_bounded(PerfectLfuCache::new(8));
-        check_bounded(GreedyDualCache::new(8));
+        check_bounded(GreedyDualCache::<u64>::new(8));
         check_bounded(ValueCache::new(8));
     }
 

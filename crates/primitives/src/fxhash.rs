@@ -92,6 +92,52 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// An identity "hasher" for keys that are *already* uniformly random —
+/// SHA-1-derived object and node ids. For such keys mixing adds nothing:
+/// every bit of the input is independently uniform, so folding the halves
+/// with xor preserves full entropy in both the bucket-index (low) and
+/// control-byte (high) bits hashbrown consumes. Saves the two multiply
+/// rounds FxHash spends per `u128` probe on paths that do several directory
+/// and overlay lookups per simulated request.
+///
+/// Only sound for uniformly distributed keys; sequential or small-integer
+/// keys must keep [`FxHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShaIdHasher {
+    hash: u64,
+}
+
+impl Hasher for ShaIdHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unimplemented!("ShaIdHasher is for u64/u128 id keys only");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = i;
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.hash = (i as u64) ^ ((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`ShaIdHasher`].
+pub type ShaIdBuildHasher = BuildHasherDefault<ShaIdHasher>;
+
+/// A `HashMap` keyed by uniformly random (SHA-1-derived) ids.
+pub type ShaIdMap<K, V> = HashMap<K, V, ShaIdBuildHasher>;
+
+/// A `HashSet` of uniformly random (SHA-1-derived) ids.
+pub type ShaIdSet<T> = HashSet<T, ShaIdBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,7 +36,9 @@ pub mod zipf;
 
 pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use fenwick::Fenwick;
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fxhash::{
+    FxBuildHasher, FxHashMap, FxHashSet, FxHasher, ShaIdBuildHasher, ShaIdMap, ShaIdSet,
+};
 pub use seed::Bernoulli;
 pub use sha1::Sha1;
 pub use stats::{Histogram, LinearFit, Log2Histogram, Log2Snapshot, OnlineStats, ShardedCounter};

@@ -1,19 +1,270 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real
+//! work-stealing thread pool.
 //!
-//! Provides `par_iter()` / `into_par_iter()` with `map` + `collect`,
-//! executed on `std::thread::scope` with one worker per available core.
+//! Provides `par_iter()` / `into_par_iter()` with `map` + `collect` on a
+//! lazily-started global pool of persistent workers. Each batch is split
+//! into one contiguous index range per worker; owners pop from the front
+//! of their range and idle workers steal the back half of the richest
+//! victim, so uneven point costs (a Hier-GD sweep point costs ~10× an NC
+//! point) no longer serialize on the slowest pre-assigned chunk.
 //! Collected results keep the input order, matching real rayon's indexed
-//! parallel iterators. See `vendor/README.md`.
+//! parallel iterators, so parallel output is byte-identical to serial.
+//! See `vendor/README.md`.
+//!
+//! Pool size is `WEBCACHE_THREADS` (if set to a positive integer) or the
+//! number of available cores, read once when the pool first starts. With
+//! one thread — or for nested / concurrent submissions, which fall back
+//! to the submitting thread — execution is plain serial iteration.
+//!
+//! `unsafe` is confined to the batch plumbing: erasing the submitting
+//! stack frame's lifetime from the job pointer handed to the persistent
+//! workers (sound because the submitter blocks until every worker has
+//! quiesced), and writing each index's item/result slot without a lock
+//! (sound because deque ranges partition the indices: each index is
+//! claimed exactly once).
 
-#![forbid(unsafe_code)]
-
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
 
 /// The rayon-style glob import: `use rayon::prelude::*;`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
+
+/// Number of threads the global pool runs with (starting it if needed).
+///
+/// `1` means every `collect` runs serially on the calling thread.
+pub fn current_num_threads() -> usize {
+    global().num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased batch job: "execute item `idx`".
+type Job = &'static (dyn Fn(usize) + Sync);
+
+/// One worker's slice of the current batch: a `[lo, hi)` index range.
+///
+/// The owner pops from the front; a thief splits off the back half. A
+/// `Mutex` per deque (not a lock-free Chase-Lev deque) is plenty here:
+/// batch items are whole cache simulations, so deque traffic is a few
+/// dozen lock acquisitions per sweep, not millions.
+struct Deque {
+    range: Mutex<(usize, usize)>,
+}
+
+struct State {
+    /// Bumped once per batch; workers run each generation exactly once.
+    generation: u64,
+    /// The current batch's job, while one is in flight.
+    job: Option<Job>,
+    /// Spawned workers still running the current batch (quiescence latch).
+    active: usize,
+    /// Set when any task panicked during the current batch.
+    panicked: bool,
+}
+
+struct Shared {
+    /// One deque per participant; slot 0 belongs to the submitter.
+    deques: Vec<Deque>,
+    state: Mutex<State>,
+    /// Workers park here between batches.
+    work: Condvar,
+    /// The submitter parks here until `active` drains to zero.
+    done: Condvar,
+}
+
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Held for the duration of a batch; `try_lock` failure means a batch
+    /// is already in flight (concurrent or nested submit) → run serially.
+    submit: Mutex<()>,
+}
+
+thread_local! {
+    /// True on pool worker threads: a `collect` inside a task must not
+    /// submit to the pool it is running on (the workers are busy), so it
+    /// falls back to serial execution.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn global() -> &'static Pool {
+    POOL.get_or_init(Pool::start)
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("WEBCACHE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+impl Pool {
+    /// Starts the pool: `n - 1` parked worker threads plus the submitter.
+    fn start() -> Pool {
+        let n = configured_threads();
+        let shared = Arc::new(Shared {
+            deques: (0..n).map(|_| Deque { range: Mutex::new((0, 0)) }).collect(),
+            state: Mutex::new(State { generation: 0, job: None, active: 0, panicked: false }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        for me in 1..n {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("webcache-worker-{me}"))
+                .spawn(move || worker_loop(&shared, me))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, submit: Mutex::new(()) }
+    }
+
+    fn num_threads(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Runs `job(idx)` for every `idx in 0..n` across the pool, returning
+    /// only once all indices have executed. Returns `false` without doing
+    /// anything if the pool cannot take the batch (single-threaded pool,
+    /// nested/concurrent submission) — the caller then runs serially.
+    fn run_batch(&self, n: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
+        if self.num_threads() <= 1 || n <= 1 || IN_POOL.with(Cell::get) {
+            return false;
+        }
+        let _guard = match self.submit.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return false,
+            Err(TryLockError::Poisoned(_)) => unreachable!("submit guard never panics"),
+        };
+
+        let nw = self.num_threads();
+        for (w, deque) in self.shared.deques.iter().enumerate() {
+            *deque.range.lock().expect("deque poisoned") = (n * w / nw, n * (w + 1) / nw);
+        }
+        // SAFETY: the job outlives the batch because this function does
+        // not return until every worker has decremented `active` for this
+        // generation, and workers touch the job only between claiming the
+        // generation and decrementing.
+        let erased: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        {
+            let mut st = self.shared.state.lock().expect("state poisoned");
+            st.job = Some(erased);
+            st.generation += 1;
+            st.active = nw - 1;
+            st.panicked = false;
+        }
+        self.shared.work.notify_all();
+
+        // The submitter is worker 0.
+        let caught = catch_unwind(AssertUnwindSafe(|| run_worker(&self.shared, 0, job)));
+
+        let mut st = self.shared.state.lock().expect("state poisoned");
+        while st.active > 0 {
+            st = self.shared.done.wait(st).expect("state poisoned");
+        }
+        st.job = None;
+        let panicked = st.panicked || caught.is_err();
+        drop(st);
+        if let Err(payload) = caught {
+            std::panic::resume_unwind(payload);
+        }
+        if panicked {
+            panic!("a parallel task panicked");
+        }
+        true
+    }
+}
+
+/// A persistent worker: waits for a new generation, helps drain it,
+/// signals quiescence, repeats forever (workers live for the process).
+fn worker_loop(shared: &Shared, me: usize) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("state poisoned");
+            loop {
+                if st.generation != seen {
+                    if let Some(job) = st.job {
+                        seen = st.generation;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).expect("state poisoned");
+            }
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| run_worker(shared, me, job)));
+        let mut st = shared.state.lock().expect("state poisoned");
+        if caught.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Drains the batch from `me`'s point of view: pop the front of the own
+/// deque; when empty, steal the back half of the first non-empty victim;
+/// when every deque reads empty, return. (A range a thief is currently
+/// re-homing is invisible to this scan, so a worker can retire while
+/// items remain — harmless: the thief holding them executes them before
+/// it decrements the quiescence latch.)
+fn run_worker(shared: &Shared, me: usize, job: &(dyn Fn(usize) + Sync)) {
+    loop {
+        let idx = {
+            let mut r = shared.deques[me].range.lock().expect("deque poisoned");
+            if r.0 < r.1 {
+                let i = r.0;
+                r.0 += 1;
+                Some(i)
+            } else {
+                None
+            }
+        };
+        if let Some(i) = idx {
+            job(i);
+            continue;
+        }
+        let mut stolen = None;
+        for (v, victim) in shared.deques.iter().enumerate() {
+            if v == me {
+                continue;
+            }
+            let mut r = victim.range.lock().expect("deque poisoned");
+            let len = r.1 - r.0;
+            if len == 0 {
+                continue;
+            }
+            let take = len.div_ceil(2);
+            r.1 -= take;
+            stolen = Some((r.1, r.1 + take));
+            break;
+        }
+        match stolen {
+            Some(range) => {
+                *shared.deques[me].range.lock().expect("deque poisoned") = range;
+            }
+            None => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterator facade
+// ---------------------------------------------------------------------------
 
 /// A to-be-mapped batch of items (the stand-in's "parallel iterator").
 pub struct ParIter<T> {
@@ -37,9 +288,32 @@ impl<T: Send> ParIter<T> {
     }
 }
 
+/// Per-index in/out slots shared across workers without a lock.
+///
+/// SAFETY (of the `Sync` impl): every index is claimed by exactly one
+/// worker — deque ranges partition `0..n` and steals move whole
+/// sub-ranges — so no slot is ever touched from two threads.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T: Send> Slots<T> {
+    /// Moves slot `idx`'s value out. SAFETY: callers claim each index at
+    /// most once (closures must capture the whole `Slots`, not its field,
+    /// so the `Sync` bound above is what crosses threads).
+    fn take(&self, idx: usize) -> T {
+        unsafe { (*self.0[idx].get()).take() }.expect("index claimed once")
+    }
+
+    /// Fills slot `idx`. SAFETY: same single-claimant contract as `take`.
+    fn put(&self, idx: usize, value: T) {
+        unsafe { *self.0[idx].get() = Some(value) };
+    }
+}
+
 impl<T: Send, F> ParMap<T, F> {
-    /// Evaluates the map across all available cores and collects the
-    /// results in input order.
+    /// Evaluates the map across the pool and collects the results in
+    /// input order (byte-identical to a serial run at any thread count).
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
@@ -47,35 +321,16 @@ impl<T: Send, F> ParMap<T, F> {
         C: FromIterator<R>,
     {
         let n = self.items.len();
-        let workers =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
-        if workers <= 1 {
-            let f = self.f;
-            return self.items.into_iter().map(f).collect();
-        }
-
-        let queue: Mutex<VecDeque<(usize, T)>> =
-            Mutex::new(self.items.into_iter().enumerate().collect());
-        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         let f = &self.f;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let job = queue.lock().expect("queue poisoned").pop_front();
-                    match job {
-                        Some((idx, item)) => {
-                            let out = f(item);
-                            results.lock().expect("results poisoned").push((idx, out));
-                        }
-                        None => break,
-                    }
-                });
+        let input = Slots(self.items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect());
+        let output: Slots<R> = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+        let task = |idx: usize| output.put(idx, f(input.take(idx)));
+        if !global().run_batch(n, &task) {
+            for idx in 0..n {
+                task(idx);
             }
-        });
-
-        let mut results = results.into_inner().expect("results poisoned");
-        results.sort_by_key(|&(idx, _)| idx);
-        results.into_iter().map(|(_, r)| r).collect()
+        }
+        output.0.into_iter().map(|c| c.into_inner().expect("all indices executed")).collect()
     }
 }
 
@@ -141,5 +396,53 @@ mod tests {
         let xs: Vec<u8> = Vec::new();
         let ys: Vec<u8> = xs.into_par_iter().map(|x| x).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let before = crate::current_num_threads();
+        for _ in 0..10 {
+            let xs: Vec<u32> = (0..257).collect();
+            let ys: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(ys[256], 257);
+        }
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_collect_falls_back_to_serial() {
+        let outer: Vec<u32> = (0..8).collect();
+        let sums: Vec<u32> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<u32> = (0..100).collect();
+                let mapped: Vec<u32> = inner.into_par_iter().map(|i| i + o).collect();
+                mapped.iter().sum()
+            })
+            .collect();
+        for (o, &s) in sums.iter().enumerate() {
+            assert_eq!(s, (0..100u32).sum::<u32>() + 100 * o as u32);
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_still_order_correctly() {
+        // Front-loaded costs force steals when more than one worker runs.
+        let xs: Vec<u64> = (0..64).collect();
+        let ys: Vec<u64> = xs
+            .into_par_iter()
+            .map(|x| {
+                let spins = if x < 8 { 200_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                // Keep the spin's result live without affecting the
+                // order-sensitive return value.
+                std::hint::black_box(acc);
+                x * 3
+            })
+            .collect();
+        assert!(ys.iter().enumerate().all(|(i, &y)| y == 3 * i as u64));
     }
 }
