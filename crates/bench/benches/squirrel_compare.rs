@@ -9,11 +9,17 @@
 
 use std::io::Write as _;
 use webcache_bench::{figures_dir, synthetic_traces, Scale};
-use webcache_sim::engine::run_engine;
 use webcache_sim::hiergd::{HierGdEngine, HierGdOptions};
 use webcache_sim::squirrel::SquirrelEngine;
-use webcache_sim::{ExperimentConfig, HitClass, SchemeKind, Sizing};
+use webcache_sim::{
+    Engine, ExperimentConfig, HitClass, NetworkModel, NoopRecorder, RunMetrics, SchemeEngine,
+    SchemeKind, SimClock, Sizing,
+};
 use webcache_workload::Trace;
+
+fn run_engine<E: SchemeEngine>(e: &mut E, ts: &[Trace], net: &NetworkModel) -> RunMetrics {
+    Engine::new(e, ts, net).run(&mut SimClock::compat(), &NoopRecorder)
+}
 
 fn main() {
     let mut scale = Scale::from_env();

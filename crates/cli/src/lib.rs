@@ -41,8 +41,8 @@ use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
     latency_gain_percent, run_chaos, run_churn, run_experiment, run_experiment_recorded,
-    ChaosConfig, ChurnConfig, EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass,
-    NetworkModel, SchemeKind, SimError, StatsRecorder,
+    ChaosConfig, ChurnConfig, ClockMode, EventLogRecorder, ExperimentConfig, FaultAction,
+    FaultPlan, HitClass, NetworkModel, SchemeKind, SimError, StatsRecorder,
 };
 use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
 
@@ -186,23 +186,26 @@ USAGE:
   webcache stats FILE...
   webcache run   --scheme nc|nc-ec|sc|sc-ec|fc|fc-ec|hier-gd
                  [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
+                 [--clock compat|event]
                  [--stats-out FILE]  (write the stats snapshot as JSON)
                  FILE...            (one trace file per proxy)
   webcache explain [--scheme S] [--cache-frac F] [--clients N]
+                 [--clock compat|event]
                  [--stats-out FILE] [--events-out FILE] [--events N]
                  FILE...            (per-tier breakdown + P2P counters;
                                      scheme defaults to hier-gd)
   webcache sweep [--schemes a,b,c] [--fracs f1,f2,...] FILE...
   webcache throughput [--schemes a,b,c] [--cache-frac F] [--requests N]
                  [--objects N] [--clients N] [--proxies N] [--repeats N]
-                 [--threads N] [--out FILE] [FILE...]
+                 [--threads N] [--clock compat|event] [--out FILE] [FILE...]
                  (no FILEs: times the default figure-2 synthetic workload;
                   --threads N sizes the work-stealing pool — repeats run
                   in parallel and the report adds req/s-per-core)
   webcache churn [--plan SPEC] [--crashes N] [--loss F] [--seed N]
                  [--requests N] [--objects N] [--clients N]
                  [--proxy-cap N] [--node-cap N] [--replication K]
-                 [--trace-seed N] [--report-out FILE]
+                 [--trace-seed N] [--clock compat|event]
+                 [--report-out FILE]
                  (fault drill over a synthetic Hier-GD run; SPEC is
                   crash@N,depart@N,rejoin@N,slow@N,partition@N{A|B},
                   heal@N,loss=F,mloss=F,dup=F,reorder=F,corrupt=F,
@@ -215,7 +218,7 @@ USAGE:
   webcache chaos [--plans N] [--seed N] [--requests N] [--objects N]
                  [--clients N] [--proxy-cap N] [--node-cap N]
                  [--replication K] [--max-events N] [--sabotage true]
-                 [--partition-prob F] [--json true]
+                 [--partition-prob F] [--clock compat|event] [--json true]
                  [--report-out FILE] [--repro-out FILE]
                  (random seeded fault plans + invariant oracles; failing
                   plans are shrunk to minimal reproducer specs, written
@@ -225,7 +228,11 @@ USAGE:
                   prints the machine-readable report instead of the
                   table)
 
-Traces are the binary format written by `webcache gen` (WCTRACE1).";
+Traces are the binary format written by `webcache gen` (WCTRACE1).
+--clock compat (default) prices latencies analytically at arrival and
+keeps every golden output byte-identical; --clock event runs the
+discrete-event scheduler, so busy proxies and slow nodes show up as
+queuing delay.";
 
 fn load_traces(paths: &[String]) -> Result<Vec<Trace>, CliError> {
     if paths.is_empty() {
@@ -330,6 +337,17 @@ fn cmd_stats(cmd: &Command) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the shared `--clock compat|event` flag (default `compat`).
+/// Every simulating subcommand (`run`, `explain`, `churn`, `chaos`,
+/// `throughput`) accepts it through this one helper so the grammar and
+/// the error message never drift apart.
+fn clock_from(cmd: &Command) -> Result<ClockMode, CliError> {
+    match cmd.options.get("clock") {
+        None => Ok(ClockMode::default()),
+        Some(v) => v.parse().map_err(|e| CliError::Usage(UsageError(format!("--clock: {e}")))),
+    }
+}
+
 fn net_from(cmd: &Command) -> Result<NetworkModel, CliError> {
     let ts_tc = cmd.opt("ts-tc", 10.0)?;
     let ts_tl = cmd.opt("ts-tl", 20.0)?;
@@ -350,6 +368,7 @@ fn config_from(
     cfg.num_proxies = traces.len();
     cfg.clients_per_cluster = cmd.opt("clients", 100)?;
     cfg.net = net_from(cmd)?;
+    cfg.clock = clock_from(cmd)?;
     cfg.validate()?;
     Ok(cfg)
 }
@@ -556,6 +575,7 @@ fn cmd_throughput(cmd: &Command) -> Result<String, CliError> {
     base.num_proxies = traces.len();
     base.clients_per_cluster = clients;
     base.net = net_from(cmd)?;
+    base.clock = clock_from(cmd)?;
     base.validate()?;
 
     let report = measure_throughput(&schemes, &base, &traces, repeats)?;
@@ -582,6 +602,7 @@ fn cmd_churn(cmd: &Command) -> Result<String, CliError> {
         replication: cmd.opt("replication", defaults.replication)?,
         trace_seed: cmd.opt("trace-seed", defaults.trace_seed)?,
         net: net_from(cmd)?,
+        clock: clock_from(cmd)?,
         ..defaults
     };
     cfg.plan = match cmd.options.get("plan") {
@@ -638,6 +659,7 @@ fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
         max_events: cmd.opt("max-events", defaults.max_events)?,
         partition_prob: cmd.opt("partition-prob", defaults.partition_prob)?,
         net: net_from(cmd)?,
+        clock: clock_from(cmd)?,
         sabotage: cmd.opt("sabotage", false)?,
         ..defaults
     };
@@ -719,6 +741,42 @@ mod tests {
         assert_eq!("FC-EC".parse::<SchemeKind>().unwrap(), SchemeKind::FcEc);
         assert_eq!("nc".parse::<SchemeKind>().unwrap(), SchemeKind::Nc);
         assert!("lru".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn clock_flag_parses_and_rejects() {
+        let c = Command::parse(&argv(&["run", "--clock", "event"])).unwrap();
+        assert_eq!(clock_from(&c).unwrap(), ClockMode::Event);
+        let c = Command::parse(&argv(&["run", "--clock", "compat"])).unwrap();
+        assert_eq!(clock_from(&c).unwrap(), ClockMode::Compat);
+        let c = Command::parse(&argv(&["run"])).unwrap();
+        assert_eq!(clock_from(&c).unwrap(), ClockMode::Compat);
+        let c = Command::parse(&argv(&["run", "--clock", "warp"])).unwrap();
+        let err = clock_from(&c).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unknown clock mode 'warp'"), "{err}");
+    }
+
+    #[test]
+    fn churn_accepts_clock_flag_in_both_modes() {
+        for mode in ["compat", "event"] {
+            let cmd = Command::parse(&argv(&[
+                "churn",
+                "--requests",
+                "800",
+                "--objects",
+                "120",
+                "--clients",
+                "12",
+                "--crashes",
+                "2",
+                "--clock",
+                mode,
+            ]))
+            .unwrap();
+            let out = execute(&cmd).unwrap();
+            assert!(out.contains("churn drill: 800 requests"), "--clock {mode}: {out}");
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! [`check_replica_floor`]: webcache_p2p::P2PClientCache::check_replica_floor
 //! [`directory_divergence`]: webcache_p2p::P2PClientCache::directory_divergence
 
+use crate::clock::ClockMode;
 use crate::error::SimError;
 use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan};
 use crate::net::NetworkModel;
@@ -79,6 +80,8 @@ pub struct ChaosConfig {
     pub partition_prob: f64,
     /// Latency model.
     pub net: NetworkModel,
+    /// Clock mode every plan's drive runs under.
+    pub clock: ClockMode,
     /// Test-only: plant a ghost directory entry in every plan that
     /// schedules a crash, so the oracles *must* fire and the shrinker
     /// *must* reduce the plan — the explorer validating itself.
@@ -101,6 +104,7 @@ impl Default for ChaosConfig {
             max_events: 6,
             partition_prob: 0.5,
             net: NetworkModel::default(),
+            clock: ClockMode::default(),
             sabotage: false,
         }
     }
@@ -140,6 +144,7 @@ impl ChaosConfig {
             trace_seed: derive_indexed(self.seed, "chaos-trace", 0),
             net: self.net,
             plan: plan.clone(),
+            clock: self.clock,
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Experiment configuration: the paper's sizing rules and scheme registry.
 
+use crate::clock::{ClockMode, SimClock};
 use crate::cost_benefit::CostBenefitEngine;
-use crate::engine::{run_engine_recorded, SchemeEngine};
+use crate::engine::{Engine, SchemeEngine};
 use crate::error::SimError;
 use crate::hiergd::{HierGdEngine, HierGdOptions};
 use crate::lfu_schemes::LfuFamilyEngine;
@@ -112,6 +113,10 @@ pub struct ExperimentConfig {
     pub net: NetworkModel,
     /// Hier-GD design knobs (ignored by other schemes).
     pub hiergd: HierGdOptions,
+    /// Clock mode: [`ClockMode::Compat`] (default) reproduces the
+    /// analytic inline pricing byte-for-byte; [`ClockMode::Event`] runs
+    /// the full discrete-event schedule with proxy occupancy.
+    pub clock: ClockMode,
 }
 
 impl ExperimentConfig {
@@ -125,6 +130,7 @@ impl ExperimentConfig {
             per_client_frac: 0.001,
             net: NetworkModel::default(),
             hiergd: HierGdOptions::default(),
+            clock: ClockMode::default(),
         }
     }
 
@@ -211,6 +217,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the clock mode (default [`ClockMode::Compat`]).
+    pub fn clock(mut self, mode: ClockMode) -> Self {
+        self.cfg.clock = mode;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<ExperimentConfig, SimError> {
         self.cfg.validate()?;
@@ -259,7 +271,7 @@ pub fn build_engine(
 /// [`build_engine`] with a [`Recorder`] wired into the engine. Only
 /// Hier-GD has P2P-layer events to report; the recorder is still
 /// accepted for every scheme so harness code is uniform (per-request
-/// events come from [`run_engine_recorded`]).
+/// events come from the [`Engine`] run loop).
 pub fn build_engine_recorded<R: Recorder + 'static>(
     cfg: &ExperimentConfig,
     traces: &[Trace],
@@ -317,7 +329,8 @@ pub fn run_experiment_recorded<R: Recorder + Clone + 'static>(
         });
     }
     let mut engine = build_engine_recorded(cfg, traces, recorder.clone())?;
-    Ok(run_engine_recorded(engine.as_mut(), traces, &cfg.net, &recorder))
+    let mut clock = SimClock::new(cfg.clock);
+    Ok(Engine::new(engine.as_mut(), traces, &cfg.net).run(&mut clock, &recorder))
 }
 
 #[cfg(test)]

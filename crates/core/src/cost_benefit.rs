@@ -263,10 +263,16 @@ impl SchemeEngine for CostBenefitEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_engine;
+    use crate::clock::SimClock;
+    use crate::engine::Engine;
     use crate::lfu_schemes::LfuFamilyEngine;
-    use crate::metrics::latency_gain_percent;
+    use crate::metrics::{latency_gain_percent, RunMetrics};
+    use crate::recorder::NoopRecorder;
     use webcache_workload::{ProWGen, ProWGenConfig};
+
+    fn run<E: SchemeEngine + ?Sized>(e: &mut E, ts: &[Trace], net: &NetworkModel) -> RunMetrics {
+        Engine::new(e, ts, net).run(&mut SimClock::compat(), &NoopRecorder)
+    }
 
     fn traces(n: usize, requests: usize) -> Vec<Trace> {
         (0..n)
@@ -289,10 +295,10 @@ mod tests {
         // edge it out — see EXPERIMENTS.md).
         let ts = traces(2, 30_000);
         let net = NetworkModel::default();
-        let nc = run_engine(&mut LfuFamilyEngine::new(2, 120, 0, false), &ts, &net);
-        let sc = run_engine(&mut LfuFamilyEngine::new(2, 120, 0, true), &ts, &net);
+        let nc = run(&mut LfuFamilyEngine::new(2, 120, 0, false), &ts, &net);
+        let sc = run(&mut LfuFamilyEngine::new(2, 120, 0, true), &ts, &net);
         let mut fce = CostBenefitEngine::new(2, 120, 0, &net, &ts);
-        let fc = run_engine(&mut fce, &ts, &net);
+        let fc = run(&mut fce, &ts, &net);
         let sc_gain = latency_gain_percent(&nc, &sc);
         let fc_gain = latency_gain_percent(&nc, &fc);
         assert!(fc_gain > 0.0, "FC gain {fc_gain}");
@@ -303,8 +309,8 @@ mod tests {
     fn fc_ec_beats_fc() {
         let ts = traces(2, 30_000);
         let net = NetworkModel::default();
-        let fc = run_engine(&mut CostBenefitEngine::new(2, 30, 0, &net, &ts), &ts, &net);
-        let fc_ec = run_engine(&mut CostBenefitEngine::new(2, 30, 100, &net, &ts), &ts, &net);
+        let fc = run(&mut CostBenefitEngine::new(2, 30, 0, &net, &ts), &ts, &net);
+        let fc_ec = run(&mut CostBenefitEngine::new(2, 30, 100, &net, &ts), &ts, &net);
         assert!(
             fc_ec.avg_latency() < fc.avg_latency(),
             "FC-EC {} vs FC {}",
@@ -322,7 +328,7 @@ mod tests {
         let ts = traces(2, 20_000);
         let net = NetworkModel::default();
         let mut fce = CostBenefitEngine::new(2, 25, 0, &net, &ts);
-        let _ = run_engine(&mut fce, &ts, &net);
+        let _ = run(&mut fce, &ts, &net);
         let dup: usize = fce.holders.values().filter(|h| h.len() > 1).count();
         let total: usize = fce.holders.len();
         assert!(total > 0);
@@ -355,8 +361,8 @@ mod tests {
         // frequent objects, an upper bound on in-cache LFU.
         let ts = traces(1, 20_000);
         let net = NetworkModel::default();
-        let nc = run_engine(&mut LfuFamilyEngine::nc(1, 150), &ts, &net);
-        let fc = run_engine(&mut CostBenefitEngine::new(1, 150, 0, &net, &ts), &ts, &net);
+        let nc = run(&mut LfuFamilyEngine::nc(1, 150), &ts, &net);
+        let fc = run(&mut CostBenefitEngine::new(1, 150, 0, &net, &ts), &ts, &net);
         assert!(
             fc.avg_latency() <= nc.avg_latency() * 1.02,
             "FC {} should not lose to in-cache LFU {}",
@@ -370,7 +376,7 @@ mod tests {
         let ts = traces(3, 10_000);
         let net = NetworkModel::default();
         let mut e = CostBenefitEngine::new(3, 20, 10, &net, &ts);
-        let _ = run_engine(&mut e, &ts, &net);
+        let _ = run(&mut e, &ts, &net);
         assert!(e.resident_copies() <= 3 * 30);
         // holders bookkeeping matches the sites.
         let tracked: usize = e.holders.values().map(Vec::len).sum();

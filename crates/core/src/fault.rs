@@ -13,9 +13,19 @@
 //!
 //! Everything is seeded: the same plan, trace seed and topology reproduce
 //! the same report bit for bit (the golden churn test pins this).
+//!
+//! The drill runs through the discrete-event clock in **both** modes:
+//! faults are genuine scheduled events on the time wheel, arrivals
+//! self-schedule one round apart. [`ClockMode::Compat`] prices requests
+//! analytically at arrival (byte-identical to the pre-clock harness);
+//! [`ClockMode::Event`] serializes requests through the proxy's busy
+//! period, so a slow node becomes queuing delay instead of an additive
+//! penalty.
 
+use crate::clock::{ticks_of, ClockMode, SimClock, TICKS_PER_ROUND, TICKS_PER_UNIT};
 use crate::engine::SchemeEngine;
 use crate::error::SimError;
+use crate::event::Event;
 use crate::hiergd::{HierGdEngine, HierGdOptions};
 use crate::metrics::RunMetrics;
 use crate::net::{HitClass, NetworkModel};
@@ -386,6 +396,8 @@ pub struct ChurnConfig {
     pub net: NetworkModel,
     /// The fault schedule.
     pub plan: FaultPlan,
+    /// Clock mode driving the drill (see the module docs).
+    pub clock: ClockMode,
 }
 
 impl Default for ChurnConfig {
@@ -404,6 +416,7 @@ impl Default for ChurnConfig {
             trace_seed: 0xC0FFEE,
             net: NetworkModel::default(),
             plan: FaultPlan::none(),
+            clock: ClockMode::default(),
         }
     }
 }
@@ -736,7 +749,6 @@ pub(crate) fn drive(
     // Target selection stream, decoupled from the loss stream so adding
     // loss never reshuffles which machines crash.
     let mut picks = SeedStream::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
-    let mut next_event = 0usize;
     let mut outstanding: BTreeMap<u128, u64> = BTreeMap::new();
     let mut out = DriveOutcome {
         metrics: RunMetrics::default(),
@@ -758,38 +770,100 @@ pub(crate) fn drive(
     } else {
         trace.requests.len()
     };
-    for (i, req) in trace.requests.iter().take(limit).enumerate() {
-        while next_event < plan.events.len() && plan.events[next_event].at <= i as u64 {
-            let action = plan.events[next_event].action;
-            next_event += 1;
-            apply_action(&mut engine, action, &mut picks, i as u64, &mut outstanding, &mut out)?;
-            if debug_invariants() {
-                let v = engine.p2p(0).check_invariants();
-                assert!(v.is_empty(), "first violation after {action:?} at request {i}: {v:#?}");
-            }
-        }
-        let class = engine.serve(0, req);
-        let latency = engine.latency_of(&cfg.net, class);
-        out.metrics.record(class, latency);
 
-        if debug_invariants() {
-            let v = engine.p2p(0).check_invariants();
-            assert!(v.is_empty(), "first violation at request {i} ({:032x}): {v:#?}", req.object);
+    // Faults go on the time wheel up front: a fault at index `n` lands on
+    // the same tick as arrival `n` but with a lower FIFO rank (it was
+    // scheduled first), so it still fires *before* the request it gates —
+    // exactly the pre-clock "apply before serving request `at`" order.
+    let mut clock = SimClock::new(cfg.clock);
+    for (n, ev) in plan.events.iter().enumerate() {
+        if ev.at < limit as u64 {
+            clock.schedule_at(ev.at * TICKS_PER_ROUND, Event::Fault { index: n });
         }
+    }
+    if limit > 0 {
+        clock.schedule_at(0, Event::Arrival { proxy: 0, index: 0 });
+    }
+    // Event mode only: the proxy is busy until this tick.
+    let mut next_free = 0u64;
 
-        // Lazy detection bookkeeping: a crash leaves `crashed_ids` only
-        // when traffic walked into the corpse and repair ran.
-        if !outstanding.is_empty() {
-            let still: Vec<u128> = engine.p2p(0).crashed_ids().map(|n| n.0).collect();
-            let detected_now: Vec<u128> =
-                outstanding.keys().filter(|k| !still.contains(k)).copied().collect();
-            for key in detected_now {
-                let crashed_at = outstanding.remove(&key).expect("key came from outstanding");
-                out.detections.push(i as u64 - crashed_at);
-                // Acceptance criterion: the structure must be clean at
-                // every detection point.
-                out.invariant_violations += engine.p2p(0).check_invariants().len() as u64;
+    while let Some(event) = clock.pop() {
+        match event {
+            Event::Fault { index } => {
+                let action = plan.events[index].action;
+                let at = plan.events[index].at;
+                apply_action(&mut engine, action, &mut picks, at, &mut outstanding, &mut out)?;
+                if debug_invariants() {
+                    let v = engine.p2p(0).check_invariants();
+                    assert!(
+                        v.is_empty(),
+                        "first violation after {action:?} at request {at}: {v:#?}"
+                    );
+                }
             }
+            Event::Arrival { proxy: _, index: i } => {
+                if i + 1 < limit {
+                    clock.schedule_in(TICKS_PER_ROUND, Event::Arrival { proxy: 0, index: i + 1 });
+                }
+                let req = &trace.requests[i];
+                let admission = engine.admit(0, req);
+                let latency = engine.price(&cfg.net, &admission);
+                match clock.mode() {
+                    ClockMode::Compat => out.metrics.record(admission.class, latency),
+                    ClockMode::Event => {
+                        let now = clock.now();
+                        let start = now.max(next_free);
+                        let done = start + ticks_of(latency).max(1);
+                        next_free = done;
+                        if admission.stalls > 0 {
+                            let stall =
+                                ticks_of(admission.stalls as f64 * cfg.net.t_timeout).max(1);
+                            clock.schedule_at(
+                                start + stall,
+                                Event::Timeout { proxy: 0, units: admission.stalls },
+                            );
+                        }
+                        let measured = (done - now) as f64 / TICKS_PER_UNIT as f64;
+                        clock.schedule_at(
+                            done,
+                            Event::Completion {
+                                proxy: 0,
+                                class: admission.class,
+                                latency: measured,
+                            },
+                        );
+                    }
+                }
+
+                if debug_invariants() {
+                    let v = engine.p2p(0).check_invariants();
+                    assert!(
+                        v.is_empty(),
+                        "first violation at request {i} ({:032x}): {v:#?}",
+                        req.object
+                    );
+                }
+
+                // Lazy detection bookkeeping: a crash leaves `crashed_ids`
+                // only when traffic walked into the corpse and repair ran.
+                // Detection latency stays in request-index units in both
+                // modes (cache dynamics are identical at admission time).
+                if !outstanding.is_empty() {
+                    let still: Vec<u128> = engine.p2p(0).crashed_ids().map(|n| n.0).collect();
+                    let detected_now: Vec<u128> =
+                        outstanding.keys().filter(|k| !still.contains(k)).copied().collect();
+                    for key in detected_now {
+                        let crashed_at =
+                            outstanding.remove(&key).expect("key came from outstanding");
+                        out.detections.push(i as u64 - crashed_at);
+                        // Acceptance criterion: the structure must be clean
+                        // at every detection point.
+                        out.invariant_violations += engine.p2p(0).check_invariants().len() as u64;
+                    }
+                }
+            }
+            Event::Completion { class, latency, .. } => out.metrics.record(class, latency),
+            Event::Timeout { .. } => {}
         }
     }
     // A plan may leave the cut open past its last request. Heal before

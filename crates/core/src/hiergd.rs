@@ -27,10 +27,10 @@
 //! otherwise), which is precisely the cost structure that gives greedy-dual
 //! its implicit inter-cache coordination (Korupolu & Dahlin \[10\]).
 
-use crate::engine::SchemeEngine;
+use crate::engine::{Admission, SchemeEngine};
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
-use crate::net::{HitClass, NetworkModel};
+use crate::net::{HitClass, LatencyModel, NetworkModel};
 use crate::recorder::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -497,13 +497,24 @@ impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
         class
     }
 
-    fn latency_of(&self, net: &NetworkModel, class: HitClass) -> f64 {
-        let base = net.latency(class);
+    /// Admission continuation split: the cascade runs (banking transport
+    /// stalls into the pending cell), then the stalls are drained into
+    /// the [`Admission`] so the event loop can schedule them as timeout
+    /// events. The default `price` then charges exactly what the old
+    /// inline `latency_of` drain charged — `latency_of` below sees an
+    /// empty cell and adds nothing.
+    fn admit(&mut self, p: usize, request: &Request) -> Admission {
+        let class = self.serve(p, request);
+        Admission { class, stalls: self.pending_timeouts.replace(0) }
+    }
+
+    fn latency_of(&self, model: &dyn LatencyModel, class: HitClass) -> f64 {
+        let base = model.latency(class);
         let stalls = self.pending_timeouts.replace(0);
         if stalls == 0 {
             base
         } else {
-            base + stalls as f64 * net.t_timeout
+            base + stalls as f64 * model.t_timeout()
         }
     }
 
@@ -521,10 +532,15 @@ impl<R: Recorder> SchemeEngine for HierGdEngine<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_engine;
+    use crate::clock::SimClock;
+    use crate::engine::Engine;
     use crate::lfu_schemes::LfuFamilyEngine;
     use crate::metrics::latency_gain_percent;
     use webcache_workload::{ProWGen, ProWGenConfig};
+
+    fn run<E: SchemeEngine + ?Sized>(e: &mut E, ts: &[Trace], net: &NetworkModel) -> RunMetrics {
+        Engine::new(e, ts, net).run(&mut SimClock::compat(), &NoopRecorder)
+    }
 
     fn traces(n: usize, requests: usize, objects: usize) -> Vec<Trace> {
         (0..n)
@@ -563,7 +579,7 @@ mod tests {
     fn serves_from_every_level() {
         let ts = traces(2, 20_000, 500);
         let mut e = engine(2, 25, 20, 3, 500);
-        let m = run_engine(&mut e, &ts, &NetworkModel::default());
+        let m = run(&mut e, &ts, &NetworkModel::default());
         assert!(m.count(HitClass::LocalProxy) > 0, "proxy hits");
         assert!(m.count(HitClass::OwnP2p) > 0, "own P2P hits");
         assert!(m.count(HitClass::CoopProxy) > 0, "coop proxy hits");
@@ -577,11 +593,11 @@ mod tests {
         let net = NetworkModel::default();
         // ~5% of the infinite cache size.
         let cap = 25;
-        let nc = run_engine(&mut LfuFamilyEngine::nc(2, cap), &ts, &net);
-        let sc = run_engine(&mut LfuFamilyEngine::new(2, cap, 0, true), &ts, &net);
+        let nc = run(&mut LfuFamilyEngine::nc(2, cap), &ts, &net);
+        let sc = run(&mut LfuFamilyEngine::new(2, cap, 0, true), &ts, &net);
         // P2P cache = 10% of U (100 clients x 0.1%).
         let mut hg = engine(2, cap, 20, 3, 1_000);
-        let h = run_engine(&mut hg, &ts, &net);
+        let h = run(&mut hg, &ts, &net);
         let h_gain = latency_gain_percent(&nc, &h);
         let sc_gain = latency_gain_percent(&nc, &sc);
         assert!(h_gain > 0.0, "Hier-GD gain {h_gain}");
@@ -592,7 +608,7 @@ mod tests {
     fn destage_populates_client_caches() {
         let ts = traces(1, 10_000, 500);
         let mut e = engine(1, 10, 10, 4, 500);
-        let _ = run_engine(&mut e, &ts, &NetworkModel::default());
+        let _ = run(&mut e, &ts, &NetworkModel::default());
         assert!(!e.p2p(0).is_empty(), "evictions must land in the P2P cache");
         assert!(e.p2p(0).ledger().piggybacked_objects > 0);
         assert_eq!(e.p2p(0).ledger().direct_destages, 0, "piggyback is on by default");
@@ -605,7 +621,7 @@ mod tests {
         let ts = traces(1, 5_000, 500);
         let opts = HierGdOptions { piggyback: false, ..HierGdOptions::default() };
         let mut e = HierGdEngine::new(1, 10, 10, 4, 500, NetworkModel::default(), opts);
-        let _ = run_engine(&mut e, &ts, &NetworkModel::default());
+        let _ = run(&mut e, &ts, &NetworkModel::default());
         let ledger = e.p2p(0).ledger();
         assert!(ledger.direct_destages > 0);
         assert_eq!(ledger.piggybacked_objects, 0);
@@ -616,7 +632,7 @@ mod tests {
     fn exact_directory_has_no_stale_lookups() {
         let ts = traces(2, 15_000, 500);
         let mut e = engine(2, 20, 10, 4, 500);
-        let m = run_engine(&mut e, &ts, &NetworkModel::default());
+        let m = run(&mut e, &ts, &NetworkModel::default());
         assert_eq!(m.messages.stale_lookups, 0, "exact directory must be exact");
     }
 
@@ -629,7 +645,7 @@ mod tests {
             ..HierGdOptions::default()
         };
         let mut e = HierGdEngine::new(1, 20, 10, 4, 500, NetworkModel::default(), opts);
-        let m = run_engine(&mut e, &ts, &NetworkModel::default());
+        let m = run(&mut e, &ts, &NetworkModel::default());
         assert_eq!(m.requests, 15_000, "false positives must not lose requests");
         assert!(m.messages.stale_lookups > 0, "tiny bloom should false-positive");
     }
@@ -640,8 +656,8 @@ mod tests {
         let net = NetworkModel::default();
         let mut small = engine(2, 30, 10, 3, 1_000);
         let mut large = engine(2, 30, 60, 3, 1_000);
-        let ms = run_engine(&mut small, &ts, &net);
-        let ml = run_engine(&mut large, &ts, &net);
+        let ms = run(&mut small, &ts, &net);
+        let ml = run(&mut large, &ts, &net);
         assert!(
             ml.avg_latency() < ms.avg_latency(),
             "60 clients {} vs 10 clients {}",
@@ -655,7 +671,7 @@ mod tests {
         let ts = traces(1, 10_000, 500);
         let opts = HierGdOptions { promote_on_p2p_hit: true, ..HierGdOptions::default() };
         let mut e = HierGdEngine::new(1, 15, 10, 4, 500, NetworkModel::default(), opts);
-        let m = run_engine(&mut e, &ts, &NetworkModel::default());
+        let m = run(&mut e, &ts, &NetworkModel::default());
         assert_eq!(m.requests, 10_000);
         assert!(m.count(HitClass::OwnP2p) > 0);
     }

@@ -107,9 +107,11 @@ impl SchemeEngine for LfuFamilyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_engine;
+    use crate::clock::SimClock;
+    use crate::engine::Engine;
     use crate::metrics::latency_gain_percent;
     use crate::net::NetworkModel;
+    use crate::recorder::NoopRecorder;
     use webcache_workload::{ProWGen, ProWGenConfig, Trace};
 
     fn traces(n: usize, requests: usize) -> Vec<Trace> {
@@ -127,7 +129,8 @@ mod tests {
     }
 
     fn run(engine: &mut LfuFamilyEngine, traces: &[Trace]) -> crate::metrics::RunMetrics {
-        run_engine(engine, traces, &NetworkModel::default())
+        Engine::new(engine, traces, &NetworkModel::default())
+            .run(&mut SimClock::compat(), &NoopRecorder)
     }
 
     #[test]

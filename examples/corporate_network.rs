@@ -9,9 +9,10 @@
 //! cargo run --release --example corporate_network
 //! ```
 
-use webcache::sim::engine::run_engine;
 use webcache::sim::hiergd::HierGdEngine;
-use webcache::sim::{run_experiment, ExperimentConfig, HitClass, SchemeKind, Sizing};
+use webcache::sim::{
+    run_experiment, Engine, ExperimentConfig, HitClass, NoopRecorder, SchemeKind, SimClock, Sizing,
+};
 use webcache::workload::{ProWGen, ProWGenConfig};
 
 fn main() {
@@ -48,7 +49,8 @@ fn main() {
         cfg.net,
         cfg.hiergd,
     );
-    let metrics = run_engine(&mut engine, &traces, &cfg.net);
+    let metrics =
+        Engine::new(&mut engine, &traces, &cfg.net).run(&mut SimClock::compat(), &NoopRecorder);
 
     println!("--- request breakdown ({} requests) ---", metrics.requests);
     for class in HitClass::ALL {

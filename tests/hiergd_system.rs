@@ -2,12 +2,16 @@
 //! real workload, with structural invariants checked afterwards.
 
 use webcache::p2p::DirectoryKind;
-use webcache::sim::engine::run_engine;
 use webcache::sim::hiergd::{HierGdEngine, HierGdOptions};
 use webcache::sim::{
-    latency_gain_percent, run_experiment, ExperimentConfig, NetworkModel, SchemeKind,
+    latency_gain_percent, run_experiment, Engine, ExperimentConfig, NetworkModel, NoopRecorder,
+    RunMetrics, SchemeKind, SimClock,
 };
 use webcache::workload::{ProWGen, ProWGenConfig, Trace};
+
+fn run_engine(e: &mut HierGdEngine, ts: &[Trace], net: &NetworkModel) -> RunMetrics {
+    Engine::new(e, ts, net).run(&mut SimClock::compat(), &NoopRecorder)
+}
 
 fn traces(n: usize) -> Vec<Trace> {
     (0..n)
