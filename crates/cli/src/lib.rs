@@ -23,7 +23,12 @@
 //!   message-level loss/duplication/reordering/corruption and
 //!   partition/heal pairs), audit each end state with invariant oracles,
 //!   and shrink any failing plan to a minimal replayable reproducer spec
-//!   (exit 2 on violations; `--json true` for a machine-readable report).
+//!   (exit 2 on violations; `--json true` for a machine-readable report);
+//! * `adversary` — sweep attacker fraction × audit rate: receipt forgers
+//!   poison the store-receipt directory while the proxy spot-checks
+//!   receipt senders with possession challenges, and the report compares
+//!   hit-ratio/latency/diversion degradation undefended vs defended
+//!   (JSON report + CSV figure).
 //!
 //! Flags are `--key value` pairs; parsing is hand-rolled (the workspace
 //! deliberately keeps its dependency set small — see DESIGN.md).
@@ -40,11 +45,14 @@ use std::sync::Arc;
 use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
-    latency_gain_percent, run_chaos, run_churn, run_experiment, run_experiment_recorded,
-    ChaosConfig, ChurnConfig, ClockMode, EventLogRecorder, ExperimentConfig, FaultAction,
-    FaultPlan, HitClass, NetworkModel, SchemeKind, SimError, StatsRecorder,
+    latency_gain_percent, run_adversary, run_chaos, run_churn, run_experiment,
+    run_experiment_recorded, AdversaryConfig, ChaosConfig, ChurnConfig, ClockMode,
+    EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass, NetworkModel, SchemeKind,
+    SimError, StatsRecorder,
 };
-use webcache_workload::{ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig};
+use webcache_workload::{
+    FlashCrowd, ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig,
+};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -183,6 +191,10 @@ USAGE:
   webcache gen   --out FILE [--model prowgen|ucb] [--requests N]
                  [--objects N] [--alpha F] [--one-timers F] [--stack F]
                  [--clients N] [--seed N]
+                 [--flash-at N --flash-span N [--flash-intensity F]]
+                 (the flash flags layer a flash-crowd burst over a
+                  prowgen trace: one cold object spikes to the head of
+                  the popularity ranking for the window [at, at+span))
   webcache stats FILE...
   webcache run   --scheme nc|nc-ec|sc|sc-ec|fc|fc-ec|hier-gd
                  [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
@@ -205,28 +217,48 @@ USAGE:
                  [--requests N] [--objects N] [--clients N]
                  [--proxy-cap N] [--node-cap N] [--replication K]
                  [--trace-seed N] [--clock compat|event]
-                 [--report-out FILE]
+                 [--audit-rate F] [--strikes K] [--report-out FILE]
                  (fault drill over a synthetic Hier-GD run; SPEC is
                   crash@N,depart@N,rejoin@N,slow@N,partition@N{A|B},
-                  heal@N,loss=F,mloss=F,dup=F,reorder=F,corrupt=F,
+                  heal@N,freeride@N,forge@N:RATE,garble@N:RATE,
+                  loss=F,mloss=F,dup=F,reorder=F,corrupt=F,
                   window=N,seed=N tokens. partition@N{A|B} cuts the
                   overlay before request N with A% of the machines on
                   the proxy side (A+B must be 100); heal@N merges the
-                  islands back with the anti-entropy sweep.
+                  islands back with the anti-entropy sweep. freeride/
+                  forge/garble turn one honest machine hostile before
+                  request N — forge fakes store receipts at RATE per
+                  opportunity, garble serves corrupted payloads; arm
+                  the audit defense with --audit-rate F [--strikes K].
                   Without --plan, --crashes N spreads N silent crashes
                   evenly through the run)
   webcache chaos [--plans N] [--seed N] [--requests N] [--objects N]
                  [--clients N] [--proxy-cap N] [--node-cap N]
                  [--replication K] [--max-events N] [--sabotage true]
-                 [--partition-prob F] [--clock compat|event] [--json true]
+                 [--partition-prob F] [--adversary-prob F] [--audit-rate F]
+                 [--clock compat|event] [--json true]
                  [--report-out FILE] [--repro-out FILE]
                  (random seeded fault plans + invariant oracles; failing
                   plans are shrunk to minimal reproducer specs, written
                   to --repro-out one per line; exits 2 on violations.
                   --partition-prob F schedules a partition/heal pair in
-                  that fraction of plans [default 0.5]; --json true
-                  prints the machine-readable report instead of the
-                  table)
+                  that fraction of plans [default 0.5]; --adversary-prob F
+                  turns machines hostile (free-riders, receipt forgers,
+                  payload garblers) in that fraction of plans [default
+                  0.25], audited at --audit-rate F [default 0.3];
+                  --json true prints the machine-readable report instead
+                  of the table)
+  webcache adversary [--fracs f1,f2,...] [--audit-rates r1,r2,...]
+                 [--forge-rate F] [--strikes K] [--seed N] [--requests N]
+                 [--objects N] [--clients N] [--proxy-cap N] [--node-cap N]
+                 [--replication K] [--trace-seed N] [--clock compat|event]
+                 [--json true] [--report-out FILE] [--csv-out FILE]
+                 (attacker fraction x audit rate sweep: receipt forgers
+                  poison the store-receipt directory, the spot-check
+                  defense challenges receipt senders and quarantines
+                  repeat offenders; every cell replays the same trace
+                  and attack schedule, so undefended and defended rows
+                  differ only in the defense)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).
 --clock compat (default) prices latencies analytically at arrival and
@@ -264,6 +296,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         "throughput" => cmd_throughput(cmd),
         "churn" => cmd_churn(cmd),
         "chaos" => cmd_chaos(cmd),
+        "adversary" => cmd_adversary(cmd),
         other => {
             Err(CliError::Usage(UsageError(format!("unknown subcommand '{other}'\n\n{USAGE}"))))
         }
@@ -275,6 +308,14 @@ fn cmd_gen(cmd: &Command) -> Result<String, CliError> {
     let model = cmd.opt("model", "prowgen".to_string())?;
     let trace = match model.as_str() {
         "prowgen" => {
+            let flash_crowd = match (cmd.options.get("flash-at"), cmd.options.get("flash-span")) {
+                (None, None) => None,
+                _ => Some(FlashCrowd {
+                    at: cmd.opt("flash-at", 0usize)?,
+                    span: cmd.opt("flash-span", 0usize)?,
+                    intensity: cmd.opt("flash-intensity", 0.8f64)?,
+                }),
+            };
             let cfg = ProWGenConfig {
                 requests: cmd.opt("requests", 250_000)?,
                 distinct_objects: cmd.opt("objects", 10_000)?,
@@ -283,6 +324,7 @@ fn cmd_gen(cmd: &Command) -> Result<String, CliError> {
                 stack_fraction: cmd.opt("stack", 0.2)?,
                 num_clients: cmd.opt("clients", 100)?,
                 seed: cmd.opt("seed", 0x5EED_2003)?,
+                flash_crowd,
                 ..ProWGenConfig::default()
             };
             cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
@@ -603,6 +645,8 @@ fn cmd_churn(cmd: &Command) -> Result<String, CliError> {
         trace_seed: cmd.opt("trace-seed", defaults.trace_seed)?,
         net: net_from(cmd)?,
         clock: clock_from(cmd)?,
+        audit_rate: cmd.opt("audit-rate", defaults.audit_rate)?,
+        audit_strikes: cmd.opt("strikes", defaults.audit_strikes)?,
         ..defaults
     };
     cfg.plan = match cmd.options.get("plan") {
@@ -658,6 +702,8 @@ fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
         replication: cmd.opt("replication", defaults.replication)?,
         max_events: cmd.opt("max-events", defaults.max_events)?,
         partition_prob: cmd.opt("partition-prob", defaults.partition_prob)?,
+        adversary_prob: cmd.opt("adversary-prob", defaults.adversary_prob)?,
+        audit_rate: cmd.opt("audit-rate", defaults.audit_rate)?,
         net: net_from(cmd)?,
         clock: clock_from(cmd)?,
         sabotage: cmd.opt("sabotage", false)?,
@@ -699,6 +745,70 @@ fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
     } else {
         Err(CliError::Violations(out))
     }
+}
+
+/// Runs the adversary sweep (`webcache adversary`): a grid of attacker
+/// fraction × audit rate over the same trace and attack schedule, so the
+/// report isolates what the spot-check receipt-audit defense buys. The
+/// JSON report feeds `FIGURE_adversary.json`; the CSV is the figure data.
+fn cmd_adversary(cmd: &Command) -> Result<String, CliError> {
+    let defaults = AdversaryConfig::default();
+    let fracs: Vec<f64> = cmd
+        .opt("fracs", "0.05,0.1,0.2".to_string())?
+        .split(',')
+        .map(|f| f.trim().parse::<f64>().map_err(|_| format!("bad fraction '{f}'")))
+        .collect::<Result<_, String>>()?;
+    let rates: Vec<f64> = cmd
+        .opt("audit-rates", "0,0.25".to_string())?
+        .split(',')
+        .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad audit rate '{r}'")))
+        .collect::<Result<_, String>>()?;
+    let base = defaults.base;
+    let cfg = AdversaryConfig {
+        base: ChurnConfig {
+            requests: cmd.opt("requests", base.requests)?,
+            distinct_objects: cmd.opt("objects", base.distinct_objects)?,
+            clients_per_cluster: cmd.opt("clients", base.clients_per_cluster)?,
+            proxy_capacity: cmd.opt("proxy-cap", base.proxy_capacity)?,
+            client_cache_capacity: cmd.opt("node-cap", base.client_cache_capacity)?,
+            replication: cmd.opt("replication", base.replication)?,
+            trace_seed: cmd.opt("trace-seed", base.trace_seed)?,
+            net: net_from(cmd)?,
+            clock: clock_from(cmd)?,
+            ..base
+        },
+        attacker_fracs: fracs,
+        audit_rates: rates,
+        forge_rate: cmd.opt("forge-rate", defaults.forge_rate)?,
+        strikes: cmd.opt("strikes", defaults.strikes)?,
+        seed: cmd.opt("seed", defaults.seed)?,
+    };
+    let json = cmd.opt("json", false)?;
+    let report = run_adversary(&cfg)?;
+    let mut out = String::new();
+    if json {
+        out.push_str(&report.to_json());
+    } else {
+        let _ = writeln!(
+            out,
+            "adversary sweep: {} requests, {} client machines, forge rate {}, {} strikes\n",
+            report.requests, report.cluster, report.forge_rate, report.strikes
+        );
+        out.push_str(&report.to_table());
+    }
+    if let Some(path) = cmd.options.get("report-out") {
+        std::fs::write(path, report.to_json()).map_err(|e| named_io(path, e))?;
+        if !json {
+            let _ = writeln!(out, "wrote {path}");
+        }
+    }
+    if let Some(path) = cmd.options.get("csv-out") {
+        std::fs::write(path, report.to_csv()).map_err(|e| named_io(path, e))?;
+        if !json {
+            let _ = writeln!(out, "wrote {path}");
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1039,6 +1149,56 @@ mod tests {
             assert_eq!(plan.count(FaultAction::Crash), 1, "{line}");
         }
         std::fs::remove_file(&repro_path).ok();
+    }
+
+    #[test]
+    fn adversary_sweep_reports_defense_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("webcache-cli-adversary-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("adversary.json");
+        let csv_path = dir.join("adversary.csv");
+        let cmd = Command::parse(&argv(&[
+            "adversary",
+            "--requests",
+            "6000",
+            "--objects",
+            "400",
+            "--clients",
+            "20",
+            "--node-cap",
+            "2",
+            "--fracs",
+            "0.2",
+            "--audit-rates",
+            "0,1.0",
+            "--forge-rate",
+            "1.0",
+            "--strikes",
+            "2",
+            "--report-out",
+            report_path.to_str().unwrap(),
+            "--csv-out",
+            csv_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("adversary sweep:"), "{out}");
+        assert!(out.contains("defense at 20% forgers"), "{out}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"defense\": ["), "{json}");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("attacker_frac,audit_rate,"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + two cells: {csv}");
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn adversary_rejects_bad_grids() {
+        let bad = Command::parse(&argv(&["adversary", "--fracs", "nope"])).unwrap();
+        assert_eq!(execute(&bad).unwrap_err().exit_code(), 1);
+        let bad = Command::parse(&argv(&["adversary", "--fracs", "1.0"])).unwrap();
+        assert_eq!(execute(&bad).unwrap_err().exit_code(), 2);
     }
 
     #[test]

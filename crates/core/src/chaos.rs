@@ -6,7 +6,7 @@
 //! plans (crashes, departures, rejoins, slow nodes, network partitions
 //! with their heals, plus message-level loss/duplication/reordering/
 //! corruption through the unreliable transport), drives the Hier-GD
-//! engine through each, and audits the end state with six oracles:
+//! engine through each, and audits the end state with seven oracles:
 //!
 //! 1. **Structure** — [`check_invariants`]: the lookup directory, the
 //!    resident stores, diversion pointers and replica tracking must
@@ -26,6 +26,11 @@
 //!    lookup directory must equal a single-authority rebuild from the
 //!    stores ([`directory_divergence`]): no split-brain survivor may
 //!    leak a ghost entry or shadow a resident object.
+//! 7. **Quarantine soundness** — the spot-check audit defense may only
+//!    expel machines that actually misbehaved (free-riders, receipt
+//!    forgers, garbage responders scheduled by the plan's adversary
+//!    verbs), every expelled machine must be fully out of the overlay,
+//!    and without adversaries no audit traffic may exist at all.
 //!
 //! When an oracle fires, the explorer **shrinks** the failing plan:
 //! repeatedly try dropping each scheduled event, zeroing then halving
@@ -78,6 +83,13 @@ pub struct ChaosConfig {
     /// Probability that a plan schedules a partition/heal pair (1.0
     /// forces one into every plan — the CI partition smoke uses that).
     pub partition_prob: f64,
+    /// Probability that a plan turns machines hostile (free-riders,
+    /// receipt forgers, garbage responders; 1.0 forces adversaries into
+    /// every plan — the CI adversary smoke uses that).
+    pub adversary_prob: f64,
+    /// Store-receipt audit probability for adversarial plans (the
+    /// spot-check defense the quarantine oracle audits).
+    pub audit_rate: f64,
     /// Latency model.
     pub net: NetworkModel,
     /// Clock mode every plan's drive runs under.
@@ -103,6 +115,8 @@ impl Default for ChaosConfig {
             replication: 2,
             max_events: 6,
             partition_prob: 0.5,
+            adversary_prob: 0.25,
+            audit_rate: 0.3,
             net: NetworkModel::default(),
             clock: ClockMode::default(),
             sabotage: false,
@@ -128,6 +142,12 @@ impl ChaosConfig {
         if !(0.0..=1.0).contains(&self.partition_prob) {
             return Err(SimError::InvalidConfig("partition_prob must be in [0, 1]".into()));
         }
+        if !(0.0..=1.0).contains(&self.adversary_prob) {
+            return Err(SimError::InvalidConfig("adversary_prob must be in [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.audit_rate) {
+            return Err(SimError::InvalidConfig("audit_rate must be in [0, 1]".into()));
+        }
         self.net.validate()
     }
 
@@ -145,6 +165,8 @@ impl ChaosConfig {
             net: self.net,
             plan: plan.clone(),
             clock: self.clock,
+            audit_rate: self.audit_rate,
+            audit_strikes: 3,
         }
     }
 }
@@ -270,10 +292,29 @@ pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
         plan.push(cut_at, FaultAction::Partition(pct));
         plan.push(heal_at, FaultAction::Heal);
     }
+    // Adversaries, in `adversary_prob` of plans. These draws come after
+    // everything above (the partition pair included), so pre-adversary
+    // explorations at the same master seed regenerate their plans
+    // bit-identically. Up to three machines turn hostile, each early
+    // enough in the trace to see real traffic afterwards.
+    if draws.unit() < cfg.adversary_prob {
+        let n = 1 + (draws.next_u64() as usize) % 3;
+        let half = (cfg.requests as u64 / 2).max(1);
+        for _ in 0..n {
+            let kind = draws.next_u64() % 3;
+            let at = draws.next_u64() % half;
+            let action = match kind {
+                0 => FaultAction::FreeRide,
+                1 => FaultAction::Forge(1 + (draws.next_u64() % 1000) as u16),
+                _ => FaultAction::Garble(1 + (draws.next_u64() % 1000) as u16),
+            };
+            plan.push(at, action);
+        }
+    }
     plan
 }
 
-/// Runs the six oracles against one driven plan. Returns findings
+/// Runs the seven oracles against one driven plan. Returns findings
 /// (empty = all green).
 fn run_oracles(
     cfg: &ChaosConfig,
@@ -335,6 +376,8 @@ fn run_oracles(
     // still (lazy repair legitimately lags under churn). Partition/heal
     // pairs count as stable: the heal sweep rebuilds every floor fresh
     // against the merged ring.
+    // Adversary plans are non-stable too: a quarantine expels the node
+    // mid-run, and lazy repair legitimately lags behind the expulsion.
     let stable = plan.events.iter().all(|e| {
         matches!(e.action, FaultAction::Slow | FaultAction::Partition(_) | FaultAction::Heal)
     });
@@ -388,6 +431,32 @@ fn run_oracles(
     // authority rebuild from the resident stores.
     for v in p2p.directory_divergence() {
         violations.push(format!("convergence: {v}"));
+    }
+
+    // Oracle 7: quarantine soundness. The audit defense may only expel
+    // machines that actually misbehaved, and an expelled machine must
+    // be fully out of the overlay (its directory poison purged — the
+    // structure and convergence oracles cover the entries themselves).
+    // Without adversaries there must be no audit traffic at all.
+    if plan.has_adversary() {
+        for q in p2p.quarantined_ids() {
+            if !p2p.behavior_of(q).is_misbehaving() {
+                violations.push(format!("quarantine: honest node {q} was quarantined"));
+            }
+            if p2p.node_ids().any(|n| n == q) {
+                violations.push(format!("quarantine: expelled node {q} is still a member"));
+            }
+        }
+        if out.snapshot.quarantines == 0 && !p2p.quarantined_ids().is_empty() {
+            violations.push(
+                "quarantine: nodes are quarantined but no quarantine event was recorded".into(),
+            );
+        }
+    } else if out.snapshot.audits_challenged != 0 || out.snapshot.quarantines != 0 {
+        violations.push(format!(
+            "quarantine: adversary-free plan produced {} audits and {} quarantines",
+            out.snapshot.audits_challenged, out.snapshot.quarantines
+        ));
     }
 
     Ok(violations)
@@ -502,7 +571,32 @@ pub fn shrink(
             }
         }
 
-        // Pass 4: narrow the request window to just past the last event.
+        // Pass 4: halve adversary rates — a weaker forger or garbler
+        // that still trips the oracles is a strictly simpler reproducer
+        // (fewer hostile acts to wade through in the event log).
+        let mut ai = 0;
+        while ai < best.events.len() && runs < SHRINK_BUDGET {
+            let halved = match best.events[ai].action {
+                FaultAction::Forge(pm) if pm > 1 => Some(FaultAction::Forge(pm / 2)),
+                FaultAction::Garble(pm) if pm > 1 => Some(FaultAction::Garble(pm / 2)),
+                _ => None,
+            };
+            let Some(action) = halved else {
+                ai += 1;
+                continue;
+            };
+            let mut candidate = best.clone();
+            candidate.events[ai].action = action;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else {
+                ai += 1;
+            }
+        }
+
+        // Pass 5: narrow the request window to just past the last event.
         if runs < SHRINK_BUDGET {
             if let Some(last_at) = best.events.iter().map(|e| e.at).max() {
                 let narrowed = last_at + 64;
@@ -586,7 +680,9 @@ mod tests {
         // Not all plans identical, and events land inside the trace.
         assert!(a.windows(2).any(|w| w[0] != w[1]));
         for plan in &a {
-            assert!(plan.events.len() <= cfg.max_events);
+            // A partition pair (+2) and an adversary batch (+3) ride on
+            // top of the base event budget.
+            assert!(plan.events.len() <= cfg.max_events + 5);
             for e in &plan.events {
                 assert!(e.at < cfg.requests as u64);
             }
@@ -641,6 +737,28 @@ mod tests {
         let cfg = ChaosConfig { partition_prob: 0.0, ..quick_cfg() };
         for i in 0..32 {
             assert!(!generate_plan(&cfg, i).has_partition());
+        }
+    }
+
+    #[test]
+    fn forced_adversaries_infest_every_plan_and_stay_green() {
+        let cfg = ChaosConfig { adversary_prob: 1.0, ..quick_cfg() };
+        for i in 0..cfg.plans as u64 {
+            let plan = generate_plan(&cfg, i);
+            assert!(plan.has_adversary(), "plan {i} must schedule an adversary");
+            // Forge/garble rates must survive the spec round trip.
+            let reparsed: FaultPlan = plan.to_spec().parse().expect("adversary spec parses");
+            assert_eq!(reparsed.events, plan.events, "plan {i}: {}", plan.to_spec());
+        }
+        let report = run_chaos(&cfg).expect("chaos runs");
+        assert!(report.all_green(), "unexpected failures: {:#?}", report.failures);
+    }
+
+    #[test]
+    fn zero_adversary_prob_generates_no_adversaries() {
+        let cfg = ChaosConfig { adversary_prob: 0.0, ..quick_cfg() };
+        for i in 0..32 {
+            assert!(!generate_plan(&cfg, i).has_adversary());
         }
     }
 
@@ -742,6 +860,38 @@ mod regressions {
             "depart@765,rejoin@984,slow@1080,crash@1484,depart@2096,",
             "mloss=0.28660599939080533,window=2160,seed=6367027891551064294",
         ))
+        .unwrap();
+        let violations = run_oracles(&cfg, &plan, &trace).unwrap();
+        assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    /// Found by the forced-adversary explorer test (adversary_prob 1.0,
+    /// quick config). A garbler on the two-machine A side of a cut
+    /// collected its third audit strike mid-partition; the quarantine
+    /// expelled island A's last machine, so the next proxy destage
+    /// routed across the cut and landed an object on an island-B store
+    /// the B index had never seen. Quarantine now defers while the
+    /// expulsion would empty island A, mirroring the crash/depart rule.
+    #[test]
+    fn quarantine_never_empties_island_a() {
+        let cfg = ChaosConfig {
+            plans: 1,
+            requests: 600,
+            distinct_objects: 120,
+            clients_per_cluster: 12,
+            ..ChaosConfig::default()
+        };
+        let trace = ProWGen::new(ProWGenConfig {
+            requests: cfg.requests,
+            distinct_objects: cfg.distinct_objects,
+            num_clients: cfg.trace_clients.max(1) as u32,
+            seed: derive_indexed(cfg.seed, "chaos-trace", 0),
+            ..ProWGenConfig::default()
+        })
+        .generate();
+        let plan = FaultPlan::from_str(
+            "garble@48:0.988,crash@85,partition@274{17|83},window=338,seed=8897274319915659806",
+        )
         .unwrap();
         let violations = run_oracles(&cfg, &plan, &trace).unwrap();
         assert!(violations.is_empty(), "violations: {violations:#?}");

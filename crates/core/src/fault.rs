@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
 use std::sync::Arc;
-use webcache_p2p::{NetFaults, TransportFaults};
+use webcache_p2p::{Behavior, NetFaults, TransportFaults};
 use webcache_pastry::NodeId;
 use webcache_primitives::seed::{derive, SeedStream};
 use webcache_workload::{ProWGen, ProWGenConfig, Trace};
@@ -57,6 +57,18 @@ pub enum FaultAction {
     /// Merge the islands back and run the anti-entropy reconciliation
     /// sweep (no-op if the overlay is whole).
     Heal,
+    /// Turn a machine into a free-rider: it accepts destages and sends
+    /// store receipts, then silently discards the objects, and refuses
+    /// to host diversions for neighbors.
+    FreeRide,
+    /// Turn a machine into a receipt forger: whenever a directory entry
+    /// is dropped by replacement, it re-claims the object it never held
+    /// with probability `rate` (stored in per-mille).
+    Forge(u16),
+    /// Turn a machine into a garbage responder: it acks fetches then
+    /// serves a corrupted payload with probability `rate` (per-mille),
+    /// caught by the xxhash checksum.
+    Garble(u16),
 }
 
 impl FaultAction {
@@ -69,6 +81,9 @@ impl FaultAction {
             FaultAction::Slow => "slow",
             FaultAction::Partition(_) => "partition",
             FaultAction::Heal => "heal",
+            FaultAction::FreeRide => "freeride",
+            FaultAction::Forge(_) => "forge",
+            FaultAction::Garble(_) => "garble",
         }
     }
 }
@@ -92,7 +107,11 @@ pub struct FaultEvent {
 /// message-level transport keys `mloss=F`, `dup=F`, `reorder=F`,
 /// `corrupt=F`, plus `window=N` (serve only the first `N` requests —
 /// how the chaos shrinker narrows a failing plan while keeping the spec
-/// replayable):
+/// replayable). Three adversary verbs turn machines hostile:
+/// `freeride@N` (accept destages, send receipts, silently discard),
+/// `forge@N:R` (re-claim dropped directory entries with probability `R`
+/// in `(0, 1]`), and `garble@N:R` (serve corrupted payloads with
+/// probability `R`):
 ///
 /// ```
 /// use webcache_sim::fault::FaultPlan;
@@ -199,6 +218,19 @@ impl FaultPlan {
         self.events.iter().any(|e| matches!(e.action, FaultAction::Partition(_)))
     }
 
+    /// True when the schedule turns at least one machine hostile. Only
+    /// then is the misbehavior subsystem (and the audit defense) armed,
+    /// so plans without the adversary keys stay bit-identical to their
+    /// pre-adversary runs.
+    pub fn has_adversary(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.action,
+                FaultAction::FreeRide | FaultAction::Forge(_) | FaultAction::Garble(_)
+            )
+        })
+    }
+
     /// Renders the plan back into its spec grammar (round-trips through
     /// [`FromStr`] up to token order and float formatting).
     pub fn to_spec(&self) -> String {
@@ -208,6 +240,9 @@ impl FaultPlan {
             .map(|e| match e.action {
                 FaultAction::Partition(pct) => {
                     format!("partition@{}{{{}|{}}}", e.at, pct, 100 - pct)
+                }
+                FaultAction::Forge(pm) | FaultAction::Garble(pm) => {
+                    format!("{}@{}:{}", e.action.keyword(), e.at, f64::from(pm) / 1000.0)
                 }
                 action => format!("{}@{}", action.keyword(), e.at),
             })
@@ -312,6 +347,38 @@ impl FromStr for FaultPlan {
                 "rejoin" => (rest, FaultAction::Rejoin),
                 "slow" => (rest, FaultAction::Slow),
                 "heal" => (rest, FaultAction::Heal),
+                "freeride" => (rest, FaultAction::FreeRide),
+                verb @ ("forge" | "garble") => {
+                    let Some((at, rate_str)) = rest.split_once(':') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "{verb} token '{token}' at byte {token_at} is missing its rate \
+                             (expected {verb}@N:R with R in (0, 1], e.g. {verb}@100:0.25)"
+                        )));
+                    };
+                    let rate: f64 = rate_str.trim().parse().map_err(|_| {
+                        SimError::InvalidConfig(format!(
+                            "bad {verb} rate '{}' in '{token}' at byte {token_at}",
+                            rate_str.trim()
+                        ))
+                    })?;
+                    if !(rate > 0.0 && rate <= 1.0) {
+                        return Err(SimError::InvalidConfig(format!(
+                            "{verb} rate in '{token}' at byte {token_at} must be in (0, 1], \
+                             got {rate}"
+                        )));
+                    }
+                    // Per-mille keeps the action Copy + Eq; a positive
+                    // rate never rounds down to "never fires".
+                    let pm = ((rate * 1000.0).round() as u16).max(1);
+                    (
+                        at,
+                        if verb == "forge" {
+                            FaultAction::Forge(pm)
+                        } else {
+                            FaultAction::Garble(pm)
+                        },
+                    )
+                }
                 "partition" => {
                     let Some((at, cut)) = rest.split_once('{') else {
                         return Err(SimError::InvalidConfig(format!(
@@ -357,7 +424,8 @@ impl FromStr for FaultPlan {
                 other => {
                     return Err(SimError::InvalidConfig(format!(
                         "unknown fault verb '{other}' in '{token}' at byte {token_at} \
-                         (expected crash, depart, rejoin, slow, partition or heal)"
+                         (expected crash, depart, rejoin, slow, partition, heal, freeride, \
+                         forge or garble)"
                     )));
                 }
             };
@@ -398,6 +466,12 @@ pub struct ChurnConfig {
     pub plan: FaultPlan,
     /// Clock mode driving the drill (see the module docs).
     pub clock: ClockMode,
+    /// Probability that the proxy audits a store receipt with a
+    /// possession challenge (the spot-check defense; 0 = undefended).
+    /// Only takes effect when the plan schedules at least one adversary.
+    pub audit_rate: f64,
+    /// Failed audits before a node is quarantined (min 1).
+    pub audit_strikes: u32,
 }
 
 impl Default for ChurnConfig {
@@ -417,6 +491,8 @@ impl Default for ChurnConfig {
             net: NetworkModel::default(),
             plan: FaultPlan::none(),
             clock: ClockMode::default(),
+            audit_rate: 0.0,
+            audit_strikes: 3,
         }
     }
 }
@@ -443,6 +519,15 @@ impl ChurnConfig {
             if !(0.0..1.0).contains(&p) {
                 return Err(SimError::InvalidConfig(format!("{name} must be in [0, 1), got {p}")));
             }
+        }
+        if !(0.0..=1.0).contains(&self.audit_rate) {
+            return Err(SimError::InvalidConfig(format!(
+                "audit_rate must be in [0, 1], got {}",
+                self.audit_rate
+            )));
+        }
+        if self.audit_strikes == 0 {
+            return Err(SimError::InvalidConfig("audit_strikes must be >= 1".into()));
         }
         self.net.validate()
     }
@@ -480,6 +565,27 @@ pub struct ChurnReport {
     /// Scheduled actions skipped because no live node was left to target
     /// (or a cut/heal found the overlay already in that state).
     pub skipped_actions: u64,
+    /// Machines turned into free-riders.
+    pub freerides: u64,
+    /// Machines turned into receipt forgers.
+    pub forges: u64,
+    /// Machines turned into garbage responders.
+    pub garbles: u64,
+    /// Possession challenges the proxy issued (audit defense traffic).
+    pub audits_challenged: u64,
+    /// Possession challenges the audited node could not answer.
+    pub audits_failed: u64,
+    /// Store receipts exposed as forged by a failed audit.
+    pub forged_receipts: u64,
+    /// Nodes quarantined after exhausting their audit strikes.
+    pub quarantines: u64,
+    /// Fresh machines joined to replace quarantined ones (the expelled
+    /// machine is reimaged; the overlay back-fills its capacity).
+    pub quarantine_replacements: u64,
+    /// True when the plan scheduled at least one adversary (gates the
+    /// adversary block of the JSON rendering, keeping pre-adversary
+    /// goldens byte-identical).
+    pub adversarial: bool,
     /// Crashes detected by traffic before the trace ended.
     pub detected_crashes: u64,
     /// Crashes still undetected at end of run (no message walked in).
@@ -554,6 +660,22 @@ impl ChurnReport {
         ] {
             let _ = writeln!(s, "  \"{name}\": {v},");
         }
+        if self.adversarial {
+            // Adversary counters appear only for adversarial plans, so
+            // every pre-adversary golden stays byte-identical.
+            for (name, v) in [
+                ("freerides", self.freerides),
+                ("forges", self.forges),
+                ("garbles", self.garbles),
+                ("audits_challenged", self.audits_challenged),
+                ("audits_failed", self.audits_failed),
+                ("forged_receipts", self.forged_receipts),
+                ("quarantines", self.quarantines),
+                ("quarantine_replacements", self.quarantine_replacements),
+            ] {
+                let _ = writeln!(s, "  \"{name}\": {v},");
+            }
+        }
         let _ = writeln!(s, "  \"detection_latency_avg\": {:.4},", self.detection_latency_avg);
         for (name, v) in [
             ("detection_latency_max", self.detection_latency_max),
@@ -590,6 +712,14 @@ impl ChurnReport {
             ("heal sweeps", self.heals),
             ("entries reconciled", self.entries_reconciled),
             ("primaries demoted", self.primaries_demoted),
+            ("free-riders", self.freerides),
+            ("receipt forgers", self.forges),
+            ("garbage responders", self.garbles),
+            ("audits challenged", self.audits_challenged),
+            ("audits failed", self.audits_failed),
+            ("forged receipts caught", self.forged_receipts),
+            ("nodes quarantined", self.quarantines),
+            ("quarantine replacements", self.quarantine_replacements),
             ("detected crashes", self.detected_crashes),
             ("undetected crashes", self.undetected_crashes),
             ("detection latency max", self.detection_latency_max),
@@ -626,6 +756,10 @@ pub(crate) struct DriveOutcome {
     pub(crate) slows: u64,
     pub(crate) partitions: u64,
     pub(crate) heals: u64,
+    pub(crate) freerides: u64,
+    pub(crate) forges: u64,
+    pub(crate) garbles: u64,
+    pub(crate) quarantine_replacements: u64,
     pub(crate) skipped: u64,
     pub(crate) detections: Vec<u64>,
     pub(crate) undetected: u64,
@@ -689,6 +823,15 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
         entries_reconciled: faulty.snapshot.entries_reconciled,
         primaries_demoted: faulty.snapshot.primaries_demoted,
         skipped_actions: faulty.skipped,
+        freerides: faulty.freerides,
+        forges: faulty.forges,
+        garbles: faulty.garbles,
+        audits_challenged: faulty.snapshot.audits_challenged,
+        audits_failed: faulty.snapshot.audits_failed,
+        forged_receipts: faulty.snapshot.forged_receipts,
+        quarantines: faulty.snapshot.quarantines,
+        quarantine_replacements: faulty.quarantine_replacements,
+        adversarial: cfg.plan.has_adversary(),
         detected_crashes: detected,
         undetected_crashes: faulty.undetected,
         detection_latency_avg,
@@ -745,6 +888,17 @@ pub(crate) fn drive(
     if plan.has_transport() {
         engine.set_client_transport(0, plan.transport_faults());
     }
+    if plan.has_adversary() {
+        // The adversary stream is label-separated from target selection,
+        // per-hop loss and the transport, so arming the defense never
+        // reshuffles which machines the other faults hit.
+        engine.enable_client_adversary(
+            0,
+            derive(plan.seed, "adversary"),
+            cfg.audit_rate,
+            cfg.audit_strikes,
+        );
+    }
 
     // Target selection stream, decoupled from the loss stream so adding
     // loss never reshuffles which machines crash.
@@ -759,6 +913,10 @@ pub(crate) fn drive(
         slows: 0,
         partitions: 0,
         heals: 0,
+        freerides: 0,
+        forges: 0,
+        garbles: 0,
+        quarantine_replacements: 0,
         skipped: 0,
         detections: Vec::new(),
         undetected: 0,
@@ -861,6 +1019,22 @@ pub(crate) fn drive(
                         out.invariant_violations += engine.p2p(0).check_invariants().len() as u64;
                     }
                 }
+
+                // Quarantine replacement: an expelled machine gets
+                // reimaged by the organization and a clean cache daemon
+                // joins in its place on the next request, so the defense
+                // costs a transient, not a permanent capacity hole. The
+                // fresh ids come from the same picks stream as scheduled
+                // rejoins; adversary-free plans never quarantine, so
+                // their draw sequences are untouched.
+                if plan.has_adversary() {
+                    let q = engine.p2p(0).quarantined_ids().len() as u64;
+                    while out.quarantine_replacements < q {
+                        let id = fresh_node_id(&engine, &mut picks);
+                        engine.join_client(0, id);
+                        out.quarantine_replacements += 1;
+                    }
+                }
             }
             Event::Completion { class, latency, .. } => out.metrics.record(class, latency),
             Event::Timeout { .. } => {}
@@ -920,8 +1094,16 @@ fn apply_action<R: crate::recorder::Recorder>(
         }
         _ => {}
     }
-    let live: Vec<NodeId> =
-        engine.p2p(0).node_ids().filter(|&n| engine.p2p(0).in_island_a(n)).collect();
+    let adversarial =
+        matches!(action, FaultAction::FreeRide | FaultAction::Forge(_) | FaultAction::Garble(_));
+    let live: Vec<NodeId> = engine
+        .p2p(0)
+        .node_ids()
+        .filter(|&n| engine.p2p(0).in_island_a(n))
+        // Adversary actions corrupt a currently honest machine; flipping
+        // an already-hostile one would silently drop the injection.
+        .filter(|&n| !adversarial || engine.p2p(0).behavior_of(n) == Behavior::Honest)
+        .collect();
     if live.is_empty() {
         out.skipped += 1;
         return Ok(());
@@ -950,6 +1132,18 @@ fn apply_action<R: crate::recorder::Recorder>(
         FaultAction::Slow => {
             engine.mark_client_slow(0, target);
             out.slows += 1;
+        }
+        FaultAction::FreeRide => {
+            engine.set_client_behavior(0, target, Behavior::FreeRider);
+            out.freerides += 1;
+        }
+        FaultAction::Forge(pm) => {
+            engine.set_client_behavior(0, target, Behavior::Forger { rate_pm: pm });
+            out.forges += 1;
+        }
+        FaultAction::Garble(pm) => {
+            engine.set_client_behavior(0, target, Behavior::Garbler { rate_pm: pm });
+            out.garbles += 1;
         }
         FaultAction::Rejoin | FaultAction::Partition(_) | FaultAction::Heal => {
             unreachable!("handled above")
@@ -1135,6 +1329,46 @@ mod tests {
         assert!(!"loss=0.5".parse::<FaultPlan>().unwrap().is_none());
     }
 
+    #[test]
+    fn adversary_grammar_round_trips() {
+        let plan: FaultPlan =
+            "freeride@10, forge@20:0.25, garble@30:0.5, crash@40, seed=8".parse().unwrap();
+        assert_eq!(plan.events.len(), 4);
+        assert_eq!(plan.events[0], FaultEvent { at: 10, action: FaultAction::FreeRide });
+        assert_eq!(plan.events[1], FaultEvent { at: 20, action: FaultAction::Forge(250) });
+        assert_eq!(plan.events[2], FaultEvent { at: 30, action: FaultAction::Garble(500) });
+        assert!(plan.has_adversary());
+        assert_eq!(plan.to_spec(), "freeride@10,forge@20:0.25,garble@30:0.5,crash@40,seed=8");
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+        // A full-rate forger round-trips through the "1" rendering.
+        let full: FaultPlan = "forge@5:1".parse().unwrap();
+        assert_eq!(full.events[0].action, FaultAction::Forge(1000));
+        assert_eq!(full.to_spec().parse::<FaultPlan>().unwrap(), full);
+        // A tiny positive rate never rounds down to "never fires".
+        let tiny: FaultPlan = "garble@5:0.0001".parse().unwrap();
+        assert_eq!(tiny.events[0].action, FaultAction::Garble(1));
+        assert!(!"crash@5,loss=0.1".parse::<FaultPlan>().unwrap().has_adversary());
+    }
+
+    #[test]
+    fn malformed_adversary_specs_are_typed_errors() {
+        for (bad, needle) in [
+            ("forge@5", "missing its rate"),
+            ("garble@5", "missing its rate"),
+            ("forge@5:banana", "bad forge rate 'banana'"),
+            ("garble@5:", "bad garble rate ''"),
+            ("forge@5:0", "must be in (0, 1], got 0"),
+            ("garble@5:1.5", "must be in (0, 1], got 1.5"),
+            ("forge@5:-0.1", "must be in (0, 1]"),
+            ("freeride@x", "bad request index"),
+            ("forge@x:0.5", "bad request index"),
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.to_string().contains(needle), "'{bad}' -> {err}");
+        }
+    }
+
     fn small_cfg(plan: FaultPlan) -> ChurnConfig {
         ChurnConfig {
             requests: 4_000,
@@ -1167,6 +1401,40 @@ mod tests {
         assert_eq!(report.invariant_violations, 0);
         assert!(report.timeouts >= report.dead_node_timeouts);
         assert!(report.stale_hits >= report.stale_hits_replica_served);
+    }
+
+    #[test]
+    fn adversarial_churn_defended_run_quarantines_and_stays_available() {
+        let plan: FaultPlan =
+            "freeride@200, forge@400:0.5, garble@600:0.5, seed=17".parse().unwrap();
+        let defended = ChurnConfig { audit_rate: 0.4, audit_strikes: 2, ..small_cfg(plan.clone()) };
+        let report = run_churn(&defended).unwrap();
+        assert!(report.fully_available(), "availability {}", report.availability_percent);
+        assert_eq!(report.freerides, 1);
+        assert_eq!(report.forges, 1);
+        assert_eq!(report.garbles, 1);
+        assert!(report.audits_challenged > 0, "the defense must issue challenges");
+        assert!(report.audits_failed > 0, "persistent cheats must fail audits");
+        assert!(report.quarantines >= 1, "the forger or free-rider must be quarantined");
+        assert_eq!(report.invariant_violations, 0);
+        assert!(report.adversarial);
+        let json = report.to_json();
+        assert!(json.contains("\"quarantines\""), "{json}");
+
+        // The undefended twin never audits and never quarantines.
+        let undefended = ChurnConfig { audit_rate: 0.0, ..defended };
+        let report = run_churn(&undefended).unwrap();
+        assert_eq!(report.audits_challenged, 0);
+        assert_eq!(report.quarantines, 0);
+        assert_eq!(report.invariant_violations, 0);
+    }
+
+    #[test]
+    fn adversary_free_reports_hide_the_adversary_block() {
+        let plan: FaultPlan = "crash@500, seed=2".parse().unwrap();
+        let report = run_churn(&small_cfg(plan)).unwrap();
+        assert!(!report.adversarial);
+        assert!(!report.to_json().contains("audits_challenged"));
     }
 
     #[test]

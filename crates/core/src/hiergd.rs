@@ -336,6 +336,38 @@ impl<R: Recorder> HierGdEngine<R> {
         self.proxies[proxy].p2p.mark_slow(node);
     }
 
+    /// Arms the misbehavior subsystem on `proxy`'s cluster: installs the
+    /// adversary draw stream and the spot-check audit defense (audit
+    /// every store receipt with probability `audit_rate`; quarantine a
+    /// node after `strike_limit` failed possession challenges). Also
+    /// switches the cluster's request path into fault-aware mode. Nodes
+    /// stay honest until [`set_client_behavior`](Self::set_client_behavior)
+    /// flips them.
+    pub fn enable_client_adversary(
+        &mut self,
+        proxy: usize,
+        seed: u64,
+        audit_rate: f64,
+        strike_limit: u32,
+    ) {
+        self.faults_touched = true;
+        self.proxies[proxy].p2p.enable_adversary(seed, audit_rate, strike_limit);
+    }
+
+    /// Flips one client machine's behavior (free-rider, receipt forger,
+    /// garbage responder, or back to honest). No-op unless
+    /// [`enable_client_adversary`](Self::enable_client_adversary) ran
+    /// first.
+    pub fn set_client_behavior(
+        &mut self,
+        proxy: usize,
+        node: webcache_pastry::NodeId,
+        behavior: webcache_p2p::Behavior,
+    ) {
+        self.faults_touched = true;
+        self.proxies[proxy].p2p.set_behavior(node, behavior);
+    }
+
     /// Routes every protocol message in `proxy`'s cluster through an
     /// [`UnreliableTransport`](webcache_p2p::UnreliableTransport) with the
     /// given loss/duplication/reorder/corruption probabilities. Also

@@ -26,6 +26,7 @@
 //! | [`config`] | §5.1 sizing rules and the scheme registry |
 //! | [`fault`] | deterministic fault plans + the churn drill harness |
 //! | [`chaos`] | seeded chaos explorer: random plans, oracles, shrinking |
+//! | [`adversary`] | attacker-fraction × audit-rate sweep of the receipt defense |
 //! | [`error`] | the [`SimError`] type every fallible API returns |
 //! | [`recorder`] | pluggable observability taps (stats, event log) |
 //! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
@@ -67,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod chaos;
 pub mod clock;
 pub mod config;
@@ -85,6 +87,7 @@ pub mod squirrel;
 pub mod sweep;
 pub mod throughput;
 
+pub use adversary::{run_adversary, AdversaryCell, AdversaryConfig, AdversaryReport, DefenseRow};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use clock::{ClockMode, SimClock, TICKS_PER_ROUND, TICKS_PER_UNIT};
 pub use config::{

@@ -170,6 +170,10 @@ pub struct StatsRecorder {
     partitions_healed: ShardedCounter,
     entries_reconciled: ShardedCounter,
     primaries_demoted: ShardedCounter,
+    audits_challenged: ShardedCounter,
+    audits_failed: ShardedCounter,
+    forged_receipts: ShardedCounter,
+    quarantines: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -218,6 +222,10 @@ impl StatsRecorder {
             partitions_healed: self.partitions_healed.get(),
             entries_reconciled: self.entries_reconciled.get(),
             primaries_demoted: self.primaries_demoted.get(),
+            audits_challenged: self.audits_challenged.get(),
+            audits_failed: self.audits_failed.get(),
+            forged_receipts: self.forged_receipts.get(),
+            quarantines: self.quarantines.get(),
         }
     }
 }
@@ -310,6 +318,10 @@ impl Recorder for StatsRecorder {
             P2pEvent::PartitionHealed { .. } => self.partitions_healed.incr(),
             P2pEvent::EntryReconciled { .. } => self.entries_reconciled.incr(),
             P2pEvent::PrimaryDemoted { .. } => self.primaries_demoted.incr(),
+            P2pEvent::AuditChallenged { .. } => self.audits_challenged.incr(),
+            P2pEvent::AuditFailed { .. } => self.audits_failed.incr(),
+            P2pEvent::ForgedReceiptDetected { .. } => self.forged_receipts.incr(),
+            P2pEvent::NodeQuarantined { .. } => self.quarantines.incr(),
         }
     }
 }
@@ -395,6 +407,16 @@ pub struct StatsSnapshot {
     pub entries_reconciled: u64,
     /// Split-brain primaries demoted to replicas or collected on heal.
     pub primaries_demoted: u64,
+    /// Possession challenges issued against store-receipt senders.
+    pub audits_challenged: u64,
+    /// Audit strikes recorded: possession challenges the audited node
+    /// could not answer, plus garbled fetch payloads caught by checksum
+    /// while the defense is armed.
+    pub audits_failed: u64,
+    /// Store receipts exposed as forged by a failed audit.
+    pub forged_receipts: u64,
+    /// Nodes quarantined after exhausting their audit strikes.
+    pub quarantines: u64,
 }
 
 impl StatsSnapshot {
@@ -540,6 +562,10 @@ impl StatsSnapshot {
             ("partitions_healed", self.partitions_healed),
             ("entries_reconciled", self.entries_reconciled),
             ("primaries_demoted", self.primaries_demoted),
+            ("audits_challenged", self.audits_challenged),
+            ("audits_failed", self.audits_failed),
+            ("forged_receipts", self.forged_receipts),
+            ("quarantines", self.quarantines),
         ]
     }
 }
@@ -798,6 +824,21 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                         if garbage_collected { "garbage_collected" } else { "kept_as_replica" }
                             .into(),
                     );
+                }
+                P2pEvent::AuditChallenged { passed } => {
+                    flags.push(if passed { "passed" } else { "failed" }.into());
+                }
+                P2pEvent::AuditFailed { strikes } => {
+                    flags.push(format!("strikes={strikes}"));
+                }
+                P2pEvent::ForgedReceiptDetected { entry_purged } => {
+                    flags.push(
+                        if entry_purged { "entry_purged" } else { "entry_already_gone" }.into(),
+                    );
+                }
+                P2pEvent::NodeQuarantined { entries_purged, residents_parked } => {
+                    flags.push(format!("entries_purged={entries_purged}"));
+                    flags.push(format!("residents_parked={residents_parked}"));
                 }
             }
             (String::new(), String::new(), hops, flags.join("|"))

@@ -22,9 +22,10 @@ use crate::faults::{NetFaults, P2pError};
 use crate::ledger::MessageLedger;
 use crate::transport::{MessageClass, TransportFaults, UnreliableTransport};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
 use webcache_policy::{BoundedCache, GreedyDualCache, ShaIndex};
+use webcache_primitives::seed::SeedStream;
 use webcache_primitives::{FxHashMap, ShaIdMap};
 
 /// Configuration for a [`P2PClientCache`].
@@ -247,6 +248,99 @@ struct SplitState {
     pending_cut: Vec<(MessageClass, u128)>,
 }
 
+/// How one client machine behaves toward the cooperative cache. The
+/// proxy does not control client machines (§2: "the clients ... are not
+/// under the proxy's administrative control"), so a participant can lie;
+/// the chaos/churn fault plans drive these through the `freeride@i`,
+/// `forge@i:rate`, and `garble@i:rate` grammar keys.
+///
+/// Misbehavior rates are stored per-mille (`u16` in `0..=1000`) so the
+/// variant stays `Copy + Eq` and round-trips through the plan grammar
+/// exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Behavior {
+    /// Plays by the protocol (the default for every node).
+    Honest,
+    /// Accepts destages and sends the store receipt, then silently
+    /// discards the object — and refuses to host diversions for
+    /// neighbors. It consumes the cluster's service while contributing
+    /// no storage, poisoning the directory with entries it never backs.
+    FreeRider,
+    /// Sends store receipts for objects it never held: whenever a
+    /// directory entry is dropped in its sight, it re-claims the object
+    /// with probability `rate_pm`/1000, poisoning the lookup directory.
+    Forger {
+        /// Per-opportunity forge probability, in per-mille.
+        rate_pm: u16,
+    },
+    /// Acks fetches normally but serves garbage with probability
+    /// `rate_pm`/1000 — caught by the existing xxhash payload checksums,
+    /// costing the requester a timeout and a server fallback.
+    Garbler {
+        /// Per-fetch garble probability, in per-mille.
+        rate_pm: u16,
+    },
+}
+
+impl Behavior {
+    /// True for anything other than [`Behavior::Honest`].
+    pub fn is_misbehaving(&self) -> bool {
+        !matches!(self, Behavior::Honest)
+    }
+}
+
+/// The misbehavior subsystem: per-node behaviors, the seeded draw stream
+/// for every misbehavior/audit coin, the spot-check audit defense's
+/// strike ledger, and the phantom-entry attribution that makes poisoned
+/// directory entries auditable. `None` on the cache keeps every path
+/// bit-identical to the adversary-free simulator.
+#[derive(Clone, Debug)]
+struct AdversaryState {
+    /// Per-node behavior overrides, keyed by cacheId. A `BTreeMap` so
+    /// forger iteration (who gets to re-claim a dropped entry first) is
+    /// deterministic.
+    behaviors: BTreeMap<u128, Behavior>,
+    /// One shared stream for every misbehavior and audit draw — forge
+    /// coins, garble coins, audit sampling — so a plan replays bit for
+    /// bit from its seed.
+    draws: SeedStream,
+    /// Probability the proxy audits a store receipt with a possession
+    /// challenge. Zero disables the defense: receipts are taken on
+    /// faith and no strikes ever accrue.
+    audit_rate: f64,
+    /// Failed audits before a node is quarantined.
+    strike_limit: u32,
+    /// Failed-audit strikes per node.
+    strikes: FxHashMap<u128, u32>,
+    /// Nodes quarantined after exhausting their strikes.
+    quarantined: BTreeSet<u128>,
+    /// Directory entries with no backing copy, attributed to the node
+    /// whose forged receipt created them: object → misbehaving node.
+    /// Purged on stale fetches (existing negative feedback), failed
+    /// audits, quarantine, or a genuine copy superseding the lie.
+    phantoms: FxHashMap<u128, NodeId>,
+}
+
+impl AdversaryState {
+    fn new(seed: u64, audit_rate: f64, strike_limit: u32) -> Self {
+        AdversaryState {
+            behaviors: BTreeMap::new(),
+            draws: SeedStream::new(seed),
+            audit_rate: audit_rate.clamp(0.0, 1.0),
+            strike_limit: strike_limit.max(1),
+            strikes: FxHashMap::default(),
+            quarantined: BTreeSet::new(),
+            phantoms: FxHashMap::default(),
+        }
+    }
+
+    /// The effective behavior of `id`: quarantined nodes are out of the
+    /// overlay entirely, so only live overrides matter.
+    fn behavior_of(&self, id: NodeId) -> Behavior {
+        self.behaviors.get(&id.0).copied().unwrap_or(Behavior::Honest)
+    }
+}
+
 /// The federated client cache for one client cluster.
 #[derive(Clone, Debug)]
 pub struct P2PClientCache {
@@ -281,6 +375,10 @@ pub struct P2PClientCache {
     /// (Self::partition_nodes)). `None` keeps every path bit-identical
     /// to the partition-free simulator.
     split: Option<SplitState>,
+    /// Misbehavior subsystem (free-riders, receipt forgers, garblers)
+    /// and the spot-check audit defense. `None` keeps every path
+    /// bit-identical to the adversary-free simulator.
+    adversary: Option<AdversaryState>,
     /// Cached count of nodes with free store space, or `None` when it
     /// must be recounted. In steady state stores only fill up, so once
     /// this reaches zero the destage path skips the root free-space check
@@ -325,6 +423,7 @@ impl P2PClientCache {
             limbo: FxHashMap::default(),
             transport: None,
             split: None,
+            adversary: None,
             space_hint: None,
         }
     }
@@ -361,6 +460,185 @@ impl P2PClientCache {
     /// The installed transport, if any.
     pub fn transport(&self) -> Option<&UnreliableTransport> {
         self.transport.as_ref()
+    }
+
+    /// Installs the misbehavior subsystem: per-node [`Behavior`]
+    /// overrides (set with [`set_behavior`](Self::set_behavior)) plus
+    /// the spot-check audit defense. Every misbehavior and audit coin
+    /// comes from one [`SeedStream`] derived from `seed`, so a plan
+    /// replays bit for bit. `audit_rate` is the per-receipt probability
+    /// of a possession challenge (zero disables the defense entirely —
+    /// no draws, no strikes); `strike_limit` is the failed audits before
+    /// quarantine. Once installed, request paths take the
+    /// liveness-aware slow path even before any node misbehaves.
+    pub fn enable_adversary(&mut self, seed: u64, audit_rate: f64, strike_limit: u32) {
+        self.adversary = Some(AdversaryState::new(seed, audit_rate, strike_limit));
+    }
+
+    /// Overrides the behavior of one node (requires
+    /// [`enable_adversary`](Self::enable_adversary) first; a no-op
+    /// otherwise, mirroring [`mark_slow`](Self::mark_slow)).
+    pub fn set_behavior(&mut self, id: NodeId, behavior: Behavior) {
+        if let Some(adv) = self.adversary.as_mut() {
+            if behavior == Behavior::Honest {
+                adv.behaviors.remove(&id.0);
+            } else {
+                adv.behaviors.insert(id.0, behavior);
+            }
+        }
+    }
+
+    /// The effective behavior of `id` ([`Behavior::Honest`] when the
+    /// subsystem is off or no override is set).
+    pub fn behavior_of(&self, id: NodeId) -> Behavior {
+        self.adversary.as_ref().map_or(Behavior::Honest, |adv| adv.behavior_of(id))
+    }
+
+    /// True when the misbehavior subsystem is installed.
+    pub fn adversary_enabled(&self) -> bool {
+        self.adversary.is_some()
+    }
+
+    /// Nodes quarantined by the audit defense, in cacheId order.
+    pub fn quarantined_ids(&self) -> Vec<NodeId> {
+        self.adversary
+            .as_ref()
+            .map_or_else(Vec::new, |adv| adv.quarantined.iter().map(|&k| NodeId(k)).collect())
+    }
+
+    /// True when `id` has been quarantined by the audit defense.
+    pub fn is_quarantined(&self, id: NodeId) -> bool {
+        self.adversary.as_ref().is_some_and(|adv| adv.quarantined.contains(&id.0))
+    }
+
+    /// Failed-audit strikes currently held against `id`.
+    pub fn strikes_of(&self, id: NodeId) -> u32 {
+        self.adversary.as_ref().and_then(|adv| adv.strikes.get(&id.0).copied()).unwrap_or(0)
+    }
+
+    /// Directory entries currently known to be phantom (forged receipts
+    /// whose lie has not yet been purged).
+    pub fn phantom_entries(&self) -> usize {
+        self.adversary.as_ref().map_or(0, |adv| adv.phantoms.len())
+    }
+
+    /// True when `id` is a live (non-quarantined) node with the given
+    /// misbehavior class still active.
+    fn is_freerider(&self, id: NodeId) -> bool {
+        self.adversary.as_ref().is_some_and(|adv| adv.behavior_of(id) == Behavior::FreeRider)
+    }
+
+    /// A genuine copy of `object` is now backing its directory entry:
+    /// any phantom attribution is superseded.
+    fn note_genuine_copy(&mut self, object: u128) {
+        if let Some(adv) = self.adversary.as_mut() {
+            adv.phantoms.remove(&object);
+        }
+    }
+
+    /// Records a store receipt from `from` for `object` and runs the
+    /// spot-check audit defense over it. `genuine` says whether the
+    /// sender really holds the object (phantom receipts from free-riders
+    /// and forgers pass `false`). With the defense on (`audit_rate > 0`)
+    /// the proxy challenges the sender with probability `audit_rate`: a
+    /// possession challenge (object checksum echo) priced as real
+    /// traffic — two overlay messages plus the metadata send through the
+    /// transport. A failed challenge purges the poisoned entry, strikes
+    /// the sender, and quarantines it at the strike limit.
+    fn audit_receipt<S: P2pSink>(
+        &mut self,
+        object: u128,
+        from: NodeId,
+        genuine: bool,
+        sink: &mut S,
+    ) {
+        let Some(adv) = self.adversary.as_mut() else { return };
+        if adv.audit_rate <= 0.0 {
+            return;
+        }
+        if adv.draws.unit() >= adv.audit_rate {
+            return;
+        }
+        self.ledger.audits_challenged += 1;
+        self.ledger.overlay_messages += 2; // challenge + echo round trip
+        self.transport_send(MessageClass::AuditChallenge, object, sink);
+        if S::ENABLED {
+            sink.event(P2pEvent::AuditChallenged { passed: genuine });
+        }
+        if genuine {
+            return;
+        }
+        // The sender cannot echo the checksum of an object it never
+        // held: the challenge times out, the lie is exposed, and the
+        // poisoned entry is purged on the spot.
+        self.ledger.audits_failed += 1;
+        self.ledger.forged_receipts += 1;
+        self.note_timeout(false, sink);
+        let adv = self.adversary.as_mut().expect("checked above");
+        let entry_purged = adv.phantoms.remove(&object).is_some();
+        if entry_purged {
+            self.directory.remove(object);
+        }
+        if S::ENABLED {
+            sink.event(P2pEvent::ForgedReceiptDetected { entry_purged });
+        }
+        let adv = self.adversary.as_mut().expect("checked above");
+        let strikes = adv.strikes.entry(from.0).or_insert(0);
+        *strikes += 1;
+        let strikes = *strikes;
+        let limit = adv.strike_limit;
+        if S::ENABLED {
+            sink.event(P2pEvent::AuditFailed { strikes });
+        }
+        if strikes >= limit {
+            self.quarantine_node(from, sink);
+        }
+    }
+
+    /// Quarantines `from`: the node is expelled from the overlay like a
+    /// detected crash — its poisoned directory entries are purged, its
+    /// genuine residents park in limbo and re-home through the existing
+    /// stale-directory repair path, and it never participates again.
+    fn quarantine_node<S: P2pSink>(&mut self, from: NodeId, sink: &mut S) {
+        // Never expel island A's last machine while the cut is up — the
+        // proxy's clients are anchored on the A side, the same rule the
+        // churn driver applies to scheduled crashes and departures. The
+        // strike ledger keeps growing, so the next failed audit after
+        // the heal (or after a fresh join) completes the expulsion.
+        if self.overlay.is_partitioned()
+            && self.overlay.in_island_a(from)
+            && self.overlay.island_a_ids().len() <= 1
+        {
+            return;
+        }
+        let adv = self.adversary.as_mut().expect("quarantine implies adversary mode");
+        if !adv.quarantined.insert(from.0) {
+            return;
+        }
+        // Purge every phantom entry attributed to the node, in object
+        // order for determinism.
+        let mut poisoned: Vec<u128> =
+            adv.phantoms.iter().filter(|(_, n)| **n == from).map(|(o, _)| *o).collect();
+        poisoned.sort_unstable();
+        let entries_purged = poisoned.len().min(u32::MAX as usize) as u32;
+        for obj in poisoned {
+            adv.phantoms.remove(&obj);
+            self.directory.remove(obj);
+        }
+        self.ledger.quarantines += 1;
+        let residents_parked =
+            self.nodes.get(&from.0).map_or(0, |n| n.store.len().min(u32::MAX as usize) as u32);
+        // Expel through the crash machinery: residents park in limbo
+        // with their replica sets and repair lazily, exactly like a
+        // detected crash.
+        self.space_hint = None;
+        if !self.overlay.is_crashed(from) {
+            let _ = self.overlay.fail(from);
+        }
+        self.detect_crash(from, sink);
+        if S::ENABLED {
+            sink.event(P2pEvent::NodeQuarantined { entries_purged, residents_parked });
+        }
     }
 
     /// Marks a node slow (requires [`set_faults`](Self::set_faults) first;
@@ -403,6 +681,7 @@ impl P2PClientCache {
             || self.overlay.crashed_len() > 0
             || !self.limbo.is_empty()
             || self.split.is_some()
+            || self.adversary.is_some()
     }
 
     /// True while a network partition is up
@@ -933,6 +1212,12 @@ impl P2PClientCache {
         // oversized).
         self.transport_send(MessageClass::DirectoryInvalidate, object, sink);
         self.directory.remove(object);
+        // A phantom entry dies with the stale fetch that exposed it —
+        // the existing negative feedback is the undefended cluster's
+        // only (reactive, after-the-damage) cleanup of forged receipts.
+        if let Some(adv) = self.adversary.as_mut() {
+            adv.phantoms.remove(&object);
+        }
         if S::ENABLED {
             sink.event(P2pEvent::Lookup { hops: hops.min(u16::MAX as usize) as u16, stale: true });
         }
@@ -1080,6 +1365,9 @@ impl P2PClientCache {
         if self.nodes.is_empty() {
             self.directory.clear();
             self.limbo.clear();
+            if let Some(adv) = self.adversary.as_mut() {
+                adv.phantoms.clear();
+            }
         }
         if S::ENABLED {
             sink.event(P2pEvent::NodeDeparted { objects_handed_off: handed });
@@ -1151,6 +1439,9 @@ impl P2PClientCache {
         if self.nodes.is_empty() {
             self.directory.clear();
             self.limbo.clear();
+            if let Some(adv) = self.adversary.as_mut() {
+                adv.phantoms.clear();
+            }
             debug_assert_eq!(self.resident, 0);
         }
         if S::ENABLED {
@@ -1216,6 +1507,7 @@ impl P2PClientCache {
                 if !self.directory.contains(*obj) {
                     self.directory.insert(*obj);
                 }
+                self.note_genuine_copy(*obj);
                 if !hosts.is_empty() {
                     // Move the replica tracking to the new root and retag
                     // each copy.
@@ -1310,6 +1602,7 @@ impl P2PClientCache {
         if !self.directory.contains(object) {
             self.directory.insert(object);
         }
+        self.note_genuine_copy(object);
         // The promotion moved the object's authority: stamp the entry.
         self.directory.bump_epoch(object);
         let copies = self.make_replicas(object, new_root, h, credit);
@@ -1412,7 +1705,7 @@ impl P2PClientCache {
         let (root, hops) = self.route_churn(entry, object, sink);
         match self.holder_of(root, object) {
             Some(holder) if !self.overlay.is_crashed(holder) => {
-                Some(self.serve_from(holder, root, hops, object, hit_cost, sink))
+                self.serve_from(holder, root, hops, object, hit_cost, sink)
             }
             Some(holder) => {
                 // The root's diversion pointer targets a silently dead
@@ -1441,7 +1734,7 @@ impl P2PClientCache {
                         if S::ENABLED {
                             sink.event(P2pEvent::StaleDirectoryHit { replica_served: true });
                         }
-                        Some(self.serve_from(rescued, root, hops, object, hit_cost, sink))
+                        self.serve_from(rescued, root, hops, object, hit_cost, sink)
                     } else {
                         self.stale_miss(object, hops, sink);
                         None
@@ -1476,7 +1769,7 @@ impl P2PClientCache {
                 if S::ENABLED {
                     sink.event(P2pEvent::StaleDirectoryHit { replica_served: true });
                 }
-                Some(Some(self.serve_from(holder, root, hops, object, hit_cost, sink)))
+                Some(self.serve_from(holder, root, hops, object, hit_cost, sink))
             }
             None => {
                 if S::ENABLED {
@@ -1502,7 +1795,11 @@ impl P2PClientCache {
     }
 
     /// Serves `object` from `holder`, charging the diversion-pointer hop
-    /// and a slow-node stall when applicable.
+    /// and a slow-node stall when applicable. Returns `None` when the
+    /// holder refuses the fetch (free-rider / forger) or is a garbler
+    /// whose response failed its payload checksum — the requester pays a
+    /// timeout and degrades to the server, but the directory entry
+    /// stands (the object really is resident there).
     fn serve_from<S: P2pSink>(
         &mut self,
         holder: NodeId,
@@ -1511,9 +1808,72 @@ impl P2PClientCache {
         object: u128,
         hit_cost: f64,
         sink: &mut S,
-    ) -> FetchOutcome {
+    ) -> Option<FetchOutcome> {
         let extra = usize::from(holder != root);
         self.ledger.overlay_messages += extra as u64;
+        // A free-rider or forger ignores the fetch outright: it spends
+        // no upstream bandwidth serving neighbors (and a forger may not
+        // even hold what its receipts claim). The requester times out
+        // and degrades to the server; the copy stays resident and the
+        // directory entry stands, so every future fetch pays again —
+        // unless the armed defense treats the refusal as a failed
+        // possession challenge and strikes the node toward quarantine.
+        let refused = self.adversary.as_ref().is_some_and(|adv| {
+            matches!(adv.behavior_of(holder), Behavior::FreeRider | Behavior::Forger { .. })
+        });
+        if refused {
+            self.note_timeout(false, sink);
+            if self.adversary.as_ref().is_some_and(|adv| adv.audit_rate > 0.0) {
+                self.ledger.audits_failed += 1;
+                let adv = self.adversary.as_mut().expect("refusal implies adversary mode");
+                let strikes = adv.strikes.entry(holder.0).or_insert(0);
+                *strikes += 1;
+                let strikes = *strikes;
+                let limit = adv.strike_limit;
+                if S::ENABLED {
+                    sink.event(P2pEvent::AuditFailed { strikes });
+                }
+                if strikes >= limit {
+                    self.quarantine_node(holder, sink);
+                }
+            }
+            return None;
+        }
+        // A garbler acks the fetch, then sends garbage: the XXH64
+        // payload checksum catches it, the requester times out waiting
+        // for a clean copy that never comes, and — with the defense on —
+        // the caught lie is a strike, same ledger as a failed audit.
+        let garbled = match self.adversary.as_mut() {
+            Some(adv) => match adv.behavior_of(holder) {
+                Behavior::Garbler { rate_pm } => adv.draws.unit() < f64::from(rate_pm) / 1000.0,
+                _ => false,
+            },
+            None => false,
+        };
+        if garbled {
+            self.ledger.checksum_failures += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::ChecksumFailed { class: "fetch_response" });
+            }
+            self.note_timeout(false, sink);
+            if self.adversary.as_ref().is_some_and(|adv| adv.audit_rate > 0.0) {
+                self.ledger.audits_failed += 1;
+            }
+            let adv = self.adversary.as_mut().expect("garbled implies adversary mode");
+            if adv.audit_rate > 0.0 {
+                let strikes = adv.strikes.entry(holder.0).or_insert(0);
+                *strikes += 1;
+                let strikes = *strikes;
+                let limit = adv.strike_limit;
+                if S::ENABLED {
+                    sink.event(P2pEvent::AuditFailed { strikes });
+                }
+                if strikes >= limit {
+                    self.quarantine_node(holder, sink);
+                }
+            }
+            return None;
+        }
         let hn = self.nodes.get_mut(&holder.0).expect("holder is live");
         hn.store.touch_with_cost(object, hit_cost, 1.0);
         if self.faults.as_ref().is_some_and(|f| f.is_slow(holder)) {
@@ -1523,7 +1883,7 @@ impl P2PClientCache {
         if S::ENABLED {
             sink.event(P2pEvent::Lookup { hops: hops.min(u16::MAX as usize) as u16, stale: false });
         }
-        FetchOutcome { holder, hops }
+        Some(FetchOutcome { holder, hops })
     }
 
     /// Last-resort probe of the root's leaf set for a surviving replica
@@ -1565,6 +1925,7 @@ impl P2PClientCache {
                 if !self.directory.contains(object) {
                     self.directory.insert(object);
                 }
+                self.note_genuine_copy(object);
                 self.ledger.overlay_messages += 1;
                 return Some(m);
             }
@@ -1602,6 +1963,7 @@ impl P2PClientCache {
             if !self.directory.contains(object) {
                 self.directory.insert(object);
             }
+            self.note_genuine_copy(object);
             // The orphan promotion moved the object's authority.
             self.directory.bump_epoch(object);
             self.ledger.overlay_messages += 1;
@@ -1672,6 +2034,35 @@ impl P2PClientCache {
         // (either pre-existing or created by the detection just above).
         self.forget_limbo(object);
 
+        // A free-riding or forging root accepts the destage and sends
+        // the store receipt like everyone else — then silently discards
+        // the object (a forger never holds what it claims; a free-rider
+        // keeps its space for itself). The proxy's directory gains a
+        // phantom entry the node will never back; only a stale fetch
+        // (negative feedback), a failed possession audit, or quarantine
+        // ever cleans it up.
+        let fakes_receipt = self.adversary.as_ref().is_some_and(|adv| {
+            matches!(adv.behavior_of(root), Behavior::FreeRider | Behavior::Forger { .. })
+        });
+        if fakes_receipt {
+            self.transport_send(MessageClass::DirectoryUpdate, object, sink);
+            self.directory.insert(object);
+            self.ledger.store_receipts += 1;
+            self.adversary
+                .as_mut()
+                .expect("faked receipt implies adversary mode")
+                .phantoms
+                .insert(object, root);
+            self.audit_receipt(object, root, false, sink);
+            return Some(DestageOutcome {
+                root,
+                stored_at: root,
+                evicted: None,
+                hops,
+                refreshed: false,
+            });
+        }
+
         // Fresh store at the root.
         if self.nodes.get(&root.0).expect("root is live").has_free_space() {
             let rn = self.nodes.get_mut(&root.0).expect("root is live");
@@ -1685,6 +2076,8 @@ impl P2PClientCache {
             self.transport_send(MessageClass::DirectoryUpdate, object, sink);
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
+            self.note_genuine_copy(object);
+            self.audit_receipt(object, root, true, sink);
             self.make_replicas(object, root, root, cost);
             return Some(DestageOutcome {
                 root,
@@ -1700,10 +2093,13 @@ impl P2PClientCache {
         // repairs, and the root retries with fresher knowledge.
         if self.cfg.diversion {
             loop {
-                let cand =
-                    self.overlay.state(root).expect("root is live").leaf_iter().find(|n| {
-                        self.nodes.get(&n.0).is_some_and(ClientCacheNode::has_free_space)
-                    });
+                // Free-riders refuse to host diversions for neighbors;
+                // the scan skips them outright (asking would just get a
+                // "no space" lie back).
+                let cand = self.overlay.state(root).expect("root is live").leaf_iter().find(|n| {
+                    self.nodes.get(&n.0).is_some_and(ClientCacheNode::has_free_space)
+                        && !self.is_freerider(*n)
+                });
                 let Some(b) = cand else { break };
                 if self.overlay.is_crashed(b) {
                     self.note_timeout(true, sink);
@@ -1728,6 +2124,8 @@ impl P2PClientCache {
                 self.ledger.diversions += 1;
                 self.ledger.store_receipts += 1;
                 self.ledger.overlay_messages += 2; // A→B transfer + ack
+                self.note_genuine_copy(object);
+                self.audit_receipt(object, b, true, sink);
                 self.make_replicas(object, root, b, cost);
                 return Some(DestageOutcome {
                     root,
@@ -1749,6 +2147,11 @@ impl P2PClientCache {
         self.directory.insert(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
+        self.note_genuine_copy(object);
+        self.audit_receipt(object, root, true, sink);
+        // A receipt forger watching the replacement traffic can re-claim
+        // the dropped entry with a forged receipt of its own.
+        self.maybe_forge_reclaim(evicted, sink);
         self.make_replicas(object, root, root, cost);
         Some(DestageOutcome {
             root,
@@ -1757,6 +2160,50 @@ impl P2PClientCache {
             hops,
             refreshed: false,
         })
+    }
+
+    /// A directory entry for `evicted` was just dropped (Fig. 1 step
+    /// 14). Each live receipt forger, in cacheId order, flips its forge
+    /// coin; the first success sends a store receipt for the object it
+    /// never held, re-poisoning the lookup directory with a phantom
+    /// entry attributed to the forger — and runs straight into the audit
+    /// defense when it is on.
+    fn maybe_forge_reclaim<S: P2pSink>(&mut self, evicted: u128, sink: &mut S) {
+        let forgers: Vec<(u128, u16)> = match self.adversary.as_ref() {
+            Some(adv) => adv
+                .behaviors
+                .iter()
+                .filter_map(|(id, b)| match b {
+                    Behavior::Forger { rate_pm } => Some((*id, *rate_pm)),
+                    _ => None,
+                })
+                .collect(),
+            None => return,
+        };
+        let mut claimant: Option<NodeId> = None;
+        for (id, rate_pm) in forgers {
+            let n = NodeId(id);
+            if !self.nodes.contains_key(&id) || self.overlay.is_crashed(n) {
+                continue;
+            }
+            let adv = self.adversary.as_mut().expect("forgers imply adversary mode");
+            if adv.draws.unit() < f64::from(rate_pm) / 1000.0 {
+                claimant = Some(n);
+                break;
+            }
+        }
+        let Some(forger) = claimant else { return };
+        // The forged receipt is indistinguishable from a real one: it
+        // rides the same metadata channel and lands in the directory.
+        self.transport_send(MessageClass::DirectoryUpdate, evicted, sink);
+        self.directory.insert(evicted);
+        self.ledger.store_receipts += 1;
+        self.adversary
+            .as_mut()
+            .expect("forger implies adversary mode")
+            .phantoms
+            .insert(evicted, forger);
+        self.audit_receipt(evicted, forger, false, sink);
     }
 
     /// Simulates a client machine failing with an *announced* failure:
@@ -1837,6 +2284,9 @@ impl P2PClientCache {
             self.node_of_client.clear();
             self.directory.clear();
             self.limbo.clear();
+            if let Some(adv) = self.adversary.as_mut() {
+                adv.phantoms.clear();
+            }
             debug_assert_eq!(self.resident, 0);
         } else {
             self.remap_clients_away_from(id);
@@ -1876,6 +2326,15 @@ impl P2PClientCache {
             }
         }
         assert!(!self.nodes.contains_key(&id.0), "node {id} already joined");
+        // A rejoining machine is a fresh incarnation: whatever the old
+        // one did — strikes, quarantine, a misbehavior assignment — died
+        // with it. (Phantom entries it forged keep their attribution
+        // until the usual cleanup paths flush them.)
+        if let Some(adv) = self.adversary.as_mut() {
+            adv.behaviors.remove(&id.0);
+            adv.strikes.remove(&id.0);
+            adv.quarantined.remove(&id.0);
+        }
         let msgs = self.overlay.join(id);
         self.ledger.overlay_messages += msgs as u64;
         self.nodes.insert(id.0, ClientCacheNode::new(id, self.cfg.node_capacity));
@@ -2284,7 +2743,9 @@ impl P2PClientCache {
                 self.resident -= 1;
             }
             // Re-link the winner under the merged ring's owner and
-            // restore its replica floor.
+            // restore its replica floor. A genuine winner supersedes any
+            // phantom attribution a forged receipt left on the entry.
+            self.note_genuine_copy(obj);
             self.ledger.overlay_messages += 1; // reconciliation probe
             let root = self.root_of(obj).expect("cluster is non-empty");
             if root != winner {
@@ -2357,6 +2818,14 @@ impl P2PClientCache {
             for obj in node.store.keys() {
                 truth.insert(obj);
             }
+        }
+        // Phantom entries are *known* poison: forged receipts the proxy
+        // has attributed but not yet purged. They are part of the truth
+        // rebuild — a quarantine sweep must have purged its target's
+        // phantoms (the quarantine oracle checks that side), and the
+        // remaining lies are exactly what the directory still carries.
+        if let Some(adv) = self.adversary.as_ref() {
+            truth.extend(adv.phantoms.keys().copied());
         }
         for obj in &truth {
             if !set.contains(obj) {
@@ -2468,14 +2937,44 @@ impl P2PClientCache {
                 }
             }
         }
+        if let Some(adv) = &self.adversary {
+            // Phantom bookkeeping: every attributed phantom must still
+            // be a directory entry, must have no backing copy anywhere,
+            // and must not double-book with limbo; and a quarantined
+            // node must hold no live state and no surviving phantoms.
+            for (obj, node) in &adv.phantoms {
+                if !self.directory.contains(*obj) {
+                    problems.push(format!("phantom {obj:032x} lost its directory entry"));
+                }
+                if self.root_of(*obj).and_then(|r| self.holder_of(r, *obj)).is_some() {
+                    problems.push(format!("phantom {obj:032x} is also genuinely resident"));
+                }
+                if self.limbo.contains_key(obj) {
+                    problems.push(format!("phantom {obj:032x} is also parked in limbo"));
+                }
+                if adv.quarantined.contains(&node.0) {
+                    problems.push(format!(
+                        "phantom {obj:032x} survived the quarantine of its forger {node}"
+                    ));
+                }
+            }
+            for id in &adv.quarantined {
+                if self.nodes.contains_key(id) {
+                    problems.push(format!("quarantined node {:032x} still holds state", id));
+                }
+            }
+        }
         if let Some(set) = self.directory.exact_entries() {
             // During a split the proxy's directory covers island A only;
             // island B's copies are carried by the B index instead.
+            // Phantom entries (forged receipts not yet purged) are
+            // directory entries with deliberately no backing copy.
             let islanded = self.split.as_ref().map_or(0, |s| s.b_index.len());
-            if set.len() + islanded != count + self.limbo.len() {
+            let phantoms = self.adversary.as_ref().map_or(0, |adv| adv.phantoms.len());
+            if set.len() + islanded != count + self.limbo.len() + phantoms {
                 problems.push(format!(
                     "exact directory has {} entries ({islanded} islanded) but {count} objects \
-                     resident and {} in limbo",
+                     resident, {} in limbo, and {phantoms} phantom",
                     set.len(),
                     self.limbo.len()
                 ));
@@ -2555,6 +3054,16 @@ impl P2PClientCache {
         limbo.sort_unstable();
         for o in limbo {
             let _ = writeln!(out, "limbo {o:032x}");
+        }
+        // Phantom lines appear only when the misbehavior subsystem is
+        // installed, so every committed adversary-free golden keeps its
+        // exact bytes.
+        if let Some(adv) = &self.adversary {
+            let mut ph: Vec<(u128, u128)> = adv.phantoms.iter().map(|(o, n)| (*o, n.0)).collect();
+            ph.sort_unstable();
+            for (o, n) in ph {
+                let _ = writeln!(out, "phantom {o:032x} via {n:032x}");
+            }
         }
         out
     }
@@ -3436,5 +3945,232 @@ mod tests {
         let problems = c.check_invariants();
         assert!(problems.is_empty(), "post-heal: {problems:?}");
         assert!(c.directory_divergence().is_empty());
+    }
+
+    #[test]
+    fn zero_adversary_is_bit_identical_to_plain() {
+        // Installing the adversary machinery with every node honest and
+        // audits off must not change a single counter or byte of cache
+        // state versus the plain path (and consumes zero draws from the
+        // adversary stream, so later fault injection stays aligned).
+        let drive = |adversarial: bool| {
+            let mut c = small(8, 2);
+            if adversarial {
+                c.enable_adversary(0xDEAD_BEEF, 0.0, 3);
+            }
+            for i in 0..60u64 {
+                c.destage(oid(i), 1.0 + (i % 5) as f64, Some(i as u32)).unwrap();
+            }
+            for i in 0..60u64 {
+                let _ = c.fetch(i as u32, oid(i), 1.0);
+            }
+            (*c.ledger(), c.contents_snapshot())
+        };
+        let (plain_ledger, plain_state) = drive(false);
+        let (adv_ledger, adv_state) = drive(true);
+        assert_eq!(plain_ledger, adv_ledger);
+        assert_eq!(plain_state, adv_state);
+    }
+
+    #[test]
+    fn freerider_poisons_directory_and_stale_fetch_repairs_it() {
+        let mut c = small(6, 2);
+        c.enable_adversary(7, 0.0, 3);
+        let cheat = c.root_of(oid(0)).unwrap();
+        c.set_behavior(cheat, Behavior::FreeRider);
+        assert_eq!(c.behavior_of(cheat), Behavior::FreeRider);
+        let out = c.destage(oid(0), 1.0, Some(0)).unwrap();
+        assert_eq!(out.stored_at, cheat, "the receipt claims the free-rider stored it");
+        assert_eq!(c.phantom_entries(), 1);
+        assert!(c.directory_contains(oid(0)), "the forged receipt poisoned the directory");
+        assert!(c.check_invariants().is_empty());
+        // The free-rider silently discarded the object, so the entry is
+        // a lie: the fetch goes stale and scrubs it (negative feedback).
+        assert!(c.fetch(1, oid(0), 1.0).is_none());
+        assert_eq!(c.phantom_entries(), 0);
+        assert!(!c.directory_contains(oid(0)));
+        assert!(c.ledger().stale_lookups >= 1);
+        assert!(c.check_invariants().is_empty());
+        // Free-riders also refuse diversions, so after heavy traffic the
+        // cheat still holds nothing (k = 1: no replicas land there).
+        for i in 1..60u64 {
+            c.destage(oid(i), 1.0 + i as f64, Some(0)).unwrap();
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after destage {i}: {problems:?}");
+        }
+        assert_eq!(c.node(cheat).unwrap().objects().count(), 0, "free-riders keep nothing");
+    }
+
+    #[test]
+    fn audits_of_honest_receipts_always_pass() {
+        let mut c = small(6, 2);
+        c.enable_adversary(31, 1.0, 1);
+        for i in 0..30u64 {
+            c.destage(oid(i), 1.0 + (i % 3) as f64, Some(0)).unwrap();
+        }
+        let l = *c.ledger();
+        assert!(l.store_receipts > 0);
+        assert_eq!(l.audits_challenged, l.store_receipts, "rate 1.0 audits every receipt");
+        assert_eq!(l.audits_failed, 0);
+        assert_eq!(l.forged_receipts, 0);
+        assert_eq!(l.quarantines, 0);
+        assert!(c.quarantined_ids().is_empty());
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn persistent_forger_is_audited_and_quarantined() {
+        struct VecSink(Vec<P2pEvent>);
+        impl P2pSink for VecSink {
+            fn event(&mut self, e: P2pEvent) {
+                self.0.push(e);
+            }
+        }
+        let mut sink = VecSink(Vec::new());
+        let mut c = small(4, 1);
+        c.enable_adversary(11, 1.0, 3);
+        let forger = c.node_ids().next().unwrap();
+        c.set_behavior(forger, Behavior::Forger { rate_pm: 1000 });
+        // Saturate the cluster, then keep destaging hotter objects so
+        // every replacement drops a directory entry the forger
+        // re-claims — and every forged receipt is audited at rate 1.0.
+        for i in 0..40u64 {
+            let _ = c.destage_tap(oid(i), 1.0 + i as f64, Some(0), &mut sink);
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after destage {i}: {problems:?}");
+            if c.is_quarantined(forger) {
+                break;
+            }
+        }
+        assert!(c.is_quarantined(forger), "a persistent forger must run out of strikes");
+        assert_eq!(c.quarantined_ids(), vec![forger]);
+        assert_eq!(c.strikes_of(forger), 3, "quarantine lands exactly at the strike limit");
+        assert_eq!(c.phantom_entries(), 0, "quarantine purges the forger's phantoms");
+        assert!(!c.node_ids().any(|n| n == forger), "quarantine expels the node");
+        let l = *c.ledger();
+        assert_eq!(l.quarantines, 1);
+        assert_eq!(l.audits_failed, 3);
+        assert!(l.forged_receipts >= 3);
+        assert!(l.audits_challenged > l.audits_failed, "honest receipts were audited too");
+        let count = |label: &str| sink.0.iter().filter(|e| e.kind_label() == label).count() as u64;
+        assert_eq!(count("node_quarantined"), l.quarantines);
+        assert_eq!(count("audit_failed"), l.audits_failed);
+        assert_eq!(count("forged_receipt_detected"), l.forged_receipts);
+        assert_eq!(count("audit_challenged"), l.audits_challenged);
+        // The cluster keeps serving after the expulsion.
+        for i in 100..110u64 {
+            let _ = c.destage(oid(i), 1.0, Some(0));
+        }
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn garbler_fails_checksums_and_quarantine_frees_its_objects() {
+        let mut c = small_k(8, 4, 2);
+        c.enable_adversary(23, 1.0, 2);
+        for i in 0..20u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let o = oid(5);
+        let root = c.root_of(o).unwrap();
+        let holder = c.holder_of(root, o).unwrap();
+        c.set_behavior(holder, Behavior::Garbler { rate_pm: 1000 });
+        // Every response from the garbler fails its xxhash check; with
+        // audits on, two bad payloads exhaust its strikes.
+        assert!(c.fetch(1, o, 1.0).is_none(), "garbage is caught, not served");
+        assert!(!c.is_quarantined(holder));
+        assert!(c.fetch(1, o, 1.0).is_none());
+        assert!(c.is_quarantined(holder), "second bad payload hits the strike limit");
+        assert_eq!(c.ledger().checksum_failures, 2);
+        assert_eq!(c.ledger().quarantines, 1);
+        let problems = c.check_invariants();
+        assert!(problems.is_empty(), "{problems:?}");
+        // The expelled garbler's residents park in limbo; the k = 2
+        // replica keeps the object reachable through lazy repair.
+        let f = c.fetch(2, o, 1.0).expect("replica must rescue the object");
+        assert_ne!(f.holder, holder, "the quarantined node cannot serve");
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn undefended_garbler_degrades_but_is_never_quarantined() {
+        let mut c = small(6, 2);
+        c.enable_adversary(29, 0.0, 1);
+        for i in 0..12u64 {
+            c.destage(oid(i), 1.0, Some(0)).unwrap();
+        }
+        let o = oid(3);
+        let root = c.root_of(o).unwrap();
+        let holder = c.holder_of(root, o).unwrap();
+        c.set_behavior(holder, Behavior::Garbler { rate_pm: 1000 });
+        for _ in 0..10 {
+            assert!(c.fetch(1, o, 1.0).is_none(), "every response is garbage");
+        }
+        assert_eq!(c.ledger().checksum_failures, 10);
+        assert!(!c.is_quarantined(holder), "audits off means no strikes accrue");
+        assert_eq!(c.ledger().quarantines, 0);
+        assert_eq!(c.ledger().audits_challenged, 0);
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn quarantined_node_rejoins_with_a_clean_slate() {
+        let mut c = small(4, 1);
+        c.enable_adversary(13, 1.0, 2);
+        let forger = c.node_ids().next().unwrap();
+        c.set_behavior(forger, Behavior::Forger { rate_pm: 1000 });
+        for i in 0..30u64 {
+            let _ = c.destage(oid(i), 1.0 + i as f64, Some(0));
+            if c.is_quarantined(forger) {
+                break;
+            }
+        }
+        assert!(c.is_quarantined(forger));
+        // The machine is reimaged and rejoins: new incarnation, honest
+        // until proven otherwise, strikes wiped.
+        c.join_node(forger);
+        assert!(!c.is_quarantined(forger));
+        assert_eq!(c.strikes_of(forger), 0);
+        assert_eq!(c.behavior_of(forger), Behavior::Honest);
+        assert!(c.node_ids().any(|n| n == forger));
+        for i in 30..50u64 {
+            let _ = c.destage(oid(i), 1.0 + i as f64, Some(0));
+            let problems = c.check_invariants();
+            assert!(problems.is_empty(), "after destage {i}: {problems:?}");
+        }
+        assert!(!c.is_quarantined(forger), "an honest incarnation never re-quarantines");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn persistent_forger_always_quarantined_within_bound(
+            nodes in 3usize..9,
+            strikes in 1u32..4,
+            seed in 0u64..1_000,
+        ) {
+            let mut c = small(nodes, 1);
+            c.enable_adversary(seed, 1.0, strikes);
+            let forger = c.node_ids().next().unwrap();
+            c.set_behavior(forger, Behavior::Forger { rate_pm: 1000 });
+            // Saturate, then every hotter destage evicts an entry the
+            // forger re-claims; each claim is audited (rate 1.0) and
+            // strikes, so quarantine must land within `strikes` replaces
+            // past saturation. Budget is deliberately loose.
+            let budget = (nodes as u64 + u64::from(strikes) + 4) * 2;
+            for i in 0..budget {
+                let _ = c.destage(oid(i), 1.0 + i as f64, Some(0));
+                let problems = c.check_invariants();
+                proptest::prop_assert!(problems.is_empty(), "{:?}", problems);
+                if c.is_quarantined(forger) {
+                    break;
+                }
+            }
+            proptest::prop_assert!(
+                c.is_quarantined(forger),
+                "forger survived {} audited destages", budget
+            );
+            proptest::prop_assert_eq!(c.phantom_entries(), 0);
+        }
     }
 }

@@ -154,6 +154,37 @@ pub enum P2pEvent {
         /// already met); false when it was demoted to a replica.
         garbage_collected: bool,
     },
+    /// The proxy spot-checked a store receipt with a possession challenge
+    /// (object checksum echo) against the node that sent it.
+    AuditChallenged {
+        /// The node echoed the correct checksum — it really holds the
+        /// object it claimed to store.
+        passed: bool,
+    },
+    /// A possession challenge went unanswered (or answered wrong): the
+    /// audited node could not prove it holds the object its receipt
+    /// claimed. One strike on the per-node ledger.
+    AuditFailed {
+        /// The node's strike count after this failure.
+        strikes: u32,
+    },
+    /// A failed audit exposed a store receipt for an object the sender
+    /// never held — a poisoned lookup-directory entry, now purged.
+    ForgedReceiptDetected {
+        /// The poisoned directory entry was still present and was
+        /// removed; false means a stale fetch had already flushed it.
+        entry_purged: bool,
+    },
+    /// A node crossed the strike threshold and was quarantined: its
+    /// poisoned directory entries are purged and its genuine residents
+    /// re-home through the stale-directory repair path.
+    NodeQuarantined {
+        /// Poisoned (phantom) directory entries purged with the node.
+        entries_purged: u32,
+        /// Genuine residents parked for lazy repair (stale-directory
+        /// path promotes replicas or falls back to the server).
+        residents_parked: u32,
+    },
 }
 
 impl P2pEvent {
@@ -179,6 +210,10 @@ impl P2pEvent {
             P2pEvent::PartitionHealed { .. } => "partition_healed",
             P2pEvent::EntryReconciled { .. } => "entry_reconciled",
             P2pEvent::PrimaryDemoted { .. } => "primary_demoted",
+            P2pEvent::AuditChallenged { .. } => "audit_challenged",
+            P2pEvent::AuditFailed { .. } => "audit_failed",
+            P2pEvent::ForgedReceiptDetected { .. } => "forged_receipt_detected",
+            P2pEvent::NodeQuarantined { .. } => "node_quarantined",
         }
     }
 }
@@ -260,6 +295,16 @@ mod tests {
         assert_eq!(
             P2pEvent::PrimaryDemoted { garbage_collected: true }.kind_label(),
             "primary_demoted"
+        );
+        assert_eq!(P2pEvent::AuditChallenged { passed: true }.kind_label(), "audit_challenged");
+        assert_eq!(P2pEvent::AuditFailed { strikes: 2 }.kind_label(), "audit_failed");
+        assert_eq!(
+            P2pEvent::ForgedReceiptDetected { entry_purged: true }.kind_label(),
+            "forged_receipt_detected"
+        );
+        assert_eq!(
+            P2pEvent::NodeQuarantined { entries_purged: 3, residents_parked: 1 }.kind_label(),
+            "node_quarantined"
         );
     }
 

@@ -70,6 +70,21 @@ pub struct MessageLedger {
     /// Split-brain primaries demoted (or collected) on heal.
     #[serde(default)]
     pub primaries_demoted: u64,
+    /// Possession challenges issued against store-receipt senders (the
+    /// spot-check audit defense; each costs a round trip).
+    #[serde(default)]
+    pub audits_challenged: u64,
+    /// Audit strikes recorded: possession challenges the audited node
+    /// could not answer, plus garbled fetch payloads caught by checksum
+    /// while the defense is armed.
+    #[serde(default)]
+    pub audits_failed: u64,
+    /// Store receipts exposed as forged (object never held by sender).
+    #[serde(default)]
+    pub forged_receipts: u64,
+    /// Nodes quarantined after exhausting their audit strikes.
+    #[serde(default)]
+    pub quarantines: u64,
 }
 
 impl MessageLedger {
@@ -108,6 +123,10 @@ impl MessageLedger {
         self.cut_drained += other.cut_drained;
         self.entries_reconciled += other.entries_reconciled;
         self.primaries_demoted += other.primaries_demoted;
+        self.audits_challenged += other.audits_challenged;
+        self.audits_failed += other.audits_failed;
+        self.forged_receipts += other.forged_receipts;
+        self.quarantines += other.quarantines;
     }
 }
 

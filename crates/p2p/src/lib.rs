@@ -28,7 +28,7 @@ pub mod ledger;
 pub mod transport;
 
 pub use cache::{
-    object_id_for_url, ClientCacheNode, DestageOutcome, FetchOutcome, P2PClientCache,
+    object_id_for_url, Behavior, ClientCacheNode, DestageOutcome, FetchOutcome, P2PClientCache,
     P2PClientCacheConfig,
 };
 pub use directory::{DirectoryKind, LookupDirectory};

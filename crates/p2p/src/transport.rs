@@ -69,6 +69,9 @@ pub enum MessageClass {
     DirectoryInvalidate,
     /// Replica promotion / re-home after a crash repair.
     ReplicaRehome,
+    /// Proxy → receipt-holder possession challenge (checksum echo) from
+    /// the spot-check audit defense.
+    AuditChallenge,
 }
 
 impl MessageClass {
@@ -81,6 +84,7 @@ impl MessageClass {
             MessageClass::DirectoryUpdate => "directory_update",
             MessageClass::DirectoryInvalidate => "directory_invalidate",
             MessageClass::ReplicaRehome => "replica_rehome",
+            MessageClass::AuditChallenge => "audit_challenge",
         }
     }
 
@@ -391,5 +395,7 @@ mod tests {
         assert!(MessageClass::Diversion.droppable());
         assert!(!MessageClass::DirectoryUpdate.droppable());
         assert!(!MessageClass::ReplicaRehome.droppable());
+        assert_eq!(MessageClass::AuditChallenge.label(), "audit_challenge");
+        assert!(!MessageClass::AuditChallenge.droppable(), "audits must always resolve");
     }
 }

@@ -15,6 +15,12 @@
 //!   percentage of the number of multi-reference objects (Figure 4 sweeps
 //!   {5%, 20%, 60%}).
 //!
+//! An optional [`FlashCrowd`] knob layers a breaking-news burst on top:
+//! inside a seeded window one previously cold object spikes to the head
+//! of the popularity ranking. It runs as a post-pass with its own derived
+//! RNG stream, so traces without the knob are byte-identical to pre-knob
+//! generations.
+//!
 //! # Generation model (ProWGen's "dynamic" stack variant)
 //!
 //! 1. Objects are split into one-timers and multi-reference objects;
@@ -49,7 +55,25 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use webcache_primitives::seed::derive;
 use webcache_primitives::Fenwick;
+
+/// A flash-crowd burst: one cold object abruptly spikes to the head of
+/// the popularity ranking for a window of the trace — the breaking-news
+/// pattern proxy workload studies single out because it inverts every
+/// frequency-based assumption a cache has learned. Applied as a post-pass
+/// over the generated stream with its own derived RNG stream, so the
+/// base trace stays bit-identical whether or not the knob is on.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// First request index of the burst window.
+    pub at: usize,
+    /// Window length in requests (the window must lie inside the trace).
+    pub span: usize,
+    /// Probability that a window request is redirected to the flash
+    /// object, in (0, 1].
+    pub intensity: f64,
+}
 
 /// Configuration for [`ProWGen`]. Defaults are the paper's (§5.1).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -83,6 +107,11 @@ pub struct ProWGenConfig {
     /// Size–popularity rank correlation in [-1, 1]; ProWGen found real
     /// traces close to 0, slightly negative (popular objects smaller).
     pub size_pop_correlation: f64,
+    /// Optional flash-crowd burst. `None` (the default) performs no
+    /// extra draws, so traces without the knob stay byte-identical to
+    /// pre-knob generations of the same seed.
+    #[serde(default)]
+    pub flash_crowd: Option<FlashCrowd>,
     /// RNG seed; every derived stream is deterministic in this.
     pub seed: u64,
 }
@@ -99,6 +128,7 @@ impl Default for ProWGenConfig {
             num_clients: 100,
             size_model: SizeModel::Unit,
             size_pop_correlation: 0.0,
+            flash_crowd: None,
             seed: 0x5EED_2003,
         }
     }
@@ -130,6 +160,17 @@ impl ProWGenConfig {
         }
         if !(-1.0..=1.0).contains(&self.size_pop_correlation) {
             return Err("size_pop_correlation must be in [-1,1]".into());
+        }
+        if let Some(fc) = &self.flash_crowd {
+            if fc.span == 0 {
+                return Err("flash_crowd span must be positive".into());
+            }
+            if fc.at >= self.requests || fc.span > self.requests - fc.at {
+                return Err("flash_crowd window must lie inside the trace".into());
+            }
+            if !(fc.intensity > 0.0 && fc.intensity <= 1.0) {
+                return Err("flash_crowd intensity must be in (0, 1]".into());
+            }
         }
         let n = self.distinct_objects;
         let n_one = (n as f64 * self.one_time_fraction).round() as usize;
@@ -163,6 +204,12 @@ pub struct GenReport {
     pub pool_picks: u64,
     /// Times a stack-bottom entry was displaced back into the pool.
     pub displacements: u64,
+    /// Requests redirected to the flash-crowd object (0 without the knob).
+    #[serde(default)]
+    pub flash_requests: u64,
+    /// The flash-crowd object, when the knob was on.
+    #[serde(default)]
+    pub flash_object: Option<u32>,
 }
 
 /// The generator. Create with [`ProWGen::new`], call [`ProWGen::generate`].
@@ -317,6 +364,29 @@ impl ProWGen {
             });
         }
         debug_assert_eq!(total_remaining, 0);
+
+        if let Some(fc) = cfg.flash_crowd {
+            // Post-pass on its own derived stream: the base generation
+            // above consumed exactly the draws it always has, so a trace
+            // without the knob is byte-identical to pre-knob output.
+            let mut frng = ChaCha8Rng::seed_from_u64(derive(cfg.seed, "flash-crowd"));
+            // The flash object is a cold one — a one-timer when any
+            // exist, otherwise from the cold half of the ranking — so
+            // the burst genuinely inverts the learned popularity order.
+            let flash = if n_one > 0 {
+                n_multi + frng.random_range(0..n_one)
+            } else {
+                n_multi / 2 + frng.random_range(0..n_multi - n_multi / 2)
+            } as u32;
+            for req in &mut requests[fc.at..fc.at + fc.span] {
+                if frng.random::<f64>() < fc.intensity {
+                    req.object = flash;
+                    req.size = sizes[flash as usize];
+                    report.flash_requests += 1;
+                }
+            }
+            report.flash_object = Some(flash);
+        }
 
         let trace = Trace { requests, num_objects: n as u32, num_clients: cfg.num_clients };
         (trace, report)
@@ -547,6 +617,41 @@ mod tests {
         assert!(bad(&|c| c.num_clients = 0));
         assert!(bad(&|c| c.requests = 10)); // fewer than objects
         assert!(ProWGenConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn flash_crowd_spikes_a_cold_object_and_only_inside_its_window() {
+        let base = ProWGen::new(small_cfg()).generate();
+        let cfg = ProWGenConfig {
+            flash_crowd: Some(FlashCrowd { at: 10_000, span: 4_000, intensity: 0.9 }),
+            ..small_cfg()
+        };
+        let (t, rep) = ProWGen::new(cfg).generate_with_report();
+        // The burst is a pure overlay: everything outside the window is
+        // byte-identical to the knob-free stream.
+        assert_eq!(t.requests[..10_000], base.requests[..10_000]);
+        assert_eq!(t.requests[14_000..], base.requests[14_000..]);
+        let flash = rep.flash_object.expect("knob was on");
+        let in_window =
+            t.requests[10_000..14_000].iter().filter(|r| r.object == flash).count() as u64;
+        assert_eq!(in_window, rep.flash_requests);
+        assert!(in_window > 4_000 * 8 / 10, "the burst must dominate its window: {in_window}");
+        // The flash object was cold before the burst: a one-timer.
+        let base_count = base.requests.iter().filter(|r| r.object == flash).count();
+        assert_eq!(base_count, 1, "object {flash} was not cold");
+    }
+
+    #[test]
+    fn flash_crowd_validation() {
+        let with = |fc: FlashCrowd| {
+            ProWGenConfig { flash_crowd: Some(fc), ..small_cfg() }.validate().is_err()
+        };
+        assert!(with(FlashCrowd { at: 0, span: 0, intensity: 0.5 }));
+        assert!(with(FlashCrowd { at: 60_000, span: 1, intensity: 0.5 }));
+        assert!(with(FlashCrowd { at: 59_000, span: 2_000, intensity: 0.5 }));
+        assert!(with(FlashCrowd { at: 0, span: 100, intensity: 0.0 }));
+        assert!(with(FlashCrowd { at: 0, span: 100, intensity: 1.5 }));
+        assert!(!with(FlashCrowd { at: 0, span: 60_000, intensity: 1.0 }));
     }
 
     #[test]

@@ -30,6 +30,21 @@ fn drill_config() -> ChurnConfig {
     }
 }
 
+/// The audit defense must be free when no adversary is present: arming
+/// the knobs (audit on every receipt, a single strike) on an
+/// adversary-free plan may not consume a single extra seed draw, so the
+/// report stays byte-identical to the committed golden.
+#[test]
+fn audit_knobs_consume_no_draws_without_an_adversary() {
+    let mut cfg = drill_config();
+    cfg.audit_rate = 1.0;
+    cfg.audit_strikes = 1;
+    let rendered = run_churn(&cfg).expect("armed drill runs").to_json();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let golden = std::fs::read_to_string(&path).expect("golden file present");
+    assert_eq!(rendered, golden, "armed-but-unused audit defense perturbed a fault-free run");
+}
+
 #[test]
 fn churn_report_matches_golden() {
     let report = run_churn(&drill_config()).expect("drill runs");
