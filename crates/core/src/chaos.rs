@@ -6,7 +6,7 @@
 //! plans (crashes, departures, rejoins, slow nodes, network partitions
 //! with their heals, plus message-level loss/duplication/reordering/
 //! corruption through the unreliable transport), drives the Hier-GD
-//! engine through each, and audits the end state with seven oracles:
+//! engine through each, and audits the end state with eight oracles:
 //!
 //! 1. **Structure** — [`check_invariants`]: the lookup directory, the
 //!    resident stores, diversion pointers and replica tracking must
@@ -31,11 +31,20 @@
 //!    forgers, garbage responders scheduled by the plan's adversary
 //!    verbs), every expelled machine must be fully out of the overlay,
 //!    and without adversaries no audit traffic may exist at all.
+//! 8. **Overload stability** — after a flash crowd ends, the system
+//!    must return to its pre-spike operating point: watermark shedding
+//!    may not still be engaged at the end of the run, and for defended
+//!    plans with enough post-spike trace left, the tail window's mean
+//!    latency must sit back at the pre-spike baseline. A run that stays
+//!    degraded long after the load is gone is metastable — the classic
+//!    overload failure mode the defenses exist to rule out.
 //!
 //! When an oracle fires, the explorer **shrinks** the failing plan:
 //! repeatedly try dropping each scheduled event, zeroing then halving
 //! each fault probability, narrowing each partition's span (pulling the
-//! heal toward its cut), and narrowing the request window to just past
+//! heal toward its cut), halving adversary rates, narrowing each flash
+//! crowd (halving its span, then its intensity), disarming each
+//! overload-defense knob, and narrowing the request window to just past
 //! the last event — keeping any candidate that still fails — until a
 //! fixed point or the run budget is reached. The result is a minimal
 //! deterministic reproducer in the [`FaultPlan`] spec grammar, ready for
@@ -51,7 +60,7 @@
 
 use crate::clock::ClockMode;
 use crate::error::SimError;
-use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan};
+use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan, OVERLOAD_WINDOW};
 use crate::net::NetworkModel;
 use std::fmt::Write as _;
 use webcache_primitives::seed::{derive_indexed, SeedStream};
@@ -90,6 +99,11 @@ pub struct ChaosConfig {
     /// Store-receipt audit probability for adversarial plans (the
     /// spot-check defense the quarantine oracle audits).
     pub audit_rate: f64,
+    /// Probability that a plan schedules a flash-crowd spike (1.0 forces
+    /// one into every plan — the CI overload smoke uses that). About
+    /// half of flash plans also arm the overload defenses, so the
+    /// stability oracle walks both sides of the metastability boundary.
+    pub flash_prob: f64,
     /// Latency model.
     pub net: NetworkModel,
     /// Clock mode every plan's drive runs under.
@@ -117,6 +131,7 @@ impl Default for ChaosConfig {
             partition_prob: 0.5,
             adversary_prob: 0.25,
             audit_rate: 0.3,
+            flash_prob: 0.25,
             net: NetworkModel::default(),
             clock: ClockMode::default(),
             sabotage: false,
@@ -147,6 +162,9 @@ impl ChaosConfig {
         }
         if !(0.0..=1.0).contains(&self.audit_rate) {
             return Err(SimError::InvalidConfig("audit_rate must be in [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.flash_prob) {
+            return Err(SimError::InvalidConfig("flash_prob must be in [0, 1]".into()));
         }
         self.net.validate()
     }
@@ -311,10 +329,30 @@ pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
             plan.push(at, action);
         }
     }
+    // Flash crowds, in `flash_prob` of plans. These draws come strictly
+    // after everything above (the adversary batch included), so
+    // pre-overload explorations at the same master seed regenerate their
+    // plans bit-identically. The spike lands in the first half so most
+    // plans also exercise post-spike recovery; about half of flash plans
+    // arm the overload defenses, walking both sides of the metastability
+    // boundary.
+    if draws.unit() < cfg.flash_prob {
+        let half = (cfg.requests as u64 / 2).max(1);
+        let at = draws.next_u64() % half;
+        let span = (1 + draws.next_u64() % half) as u32;
+        let times = 2 + (draws.next_u64() % 15) as u16;
+        plan.push(at, FaultAction::Spike { span, times });
+        if draws.coin() == 1 {
+            plan.shed_high = 8 + draws.next_u64() % 57;
+            plan.shed_low = plan.shed_high / 4;
+            plan.breaker = 2 + (draws.next_u64() % 6) as u32;
+            plan.budget = 0.05 + draws.unit() * 0.45;
+        }
+    }
     plan
 }
 
-/// Runs the seven oracles against one driven plan. Returns findings
+/// Runs the eight oracles against one driven plan. Returns findings
 /// (empty = all green).
 fn run_oracles(
     cfg: &ChaosConfig,
@@ -459,6 +497,85 @@ fn run_oracles(
         ));
     }
 
+    // Oracle 8: overload stability. After a flash crowd ends the system
+    // must return to its pre-spike operating point — a run that stays
+    // degraded once the load is gone is metastable, the classic
+    // overload failure mode the defenses exist to rule out.
+    if plan.has_spike() {
+        // Both checks apply only when bounded recovery is actually the
+        // contract: the plan's scheduled events are spikes alone (a
+        // crash, slow mark or adversary legitimately elevates the tail
+        // or keeps the system saturated forever) and a shed defense is
+        // armed (an undefended plan has no bounded-recovery contract —
+        // that gap is exactly what `webcache overload` measures).
+        let only_spikes = plan.events.iter().all(|e| matches!(e.action, FaultAction::Spike { .. }));
+        let first_at = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Spike { .. }))
+            .map(|e| e.at)
+            .min()
+            .unwrap_or(0);
+        let spike_end = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Spike { span, .. } => Some(e.at + u64::from(span)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let win = OVERLOAD_WINDOW as u64;
+        // (a) On a transport-fault-free plan the post-spike offered
+        //     load is structurally serviceable: with arrivals back to
+        //     one per round and no retry stalls, the backlog drains,
+        //     so shed hysteresis still engaged at the end of the run
+        //     means the defense itself got stuck in the degraded
+        //     regime. Transport faults exempt the check — sustained
+        //     retry stalls can legitimately hold service time above
+        //     the arrival gap with no spike at all.
+        if plan.shed_high > 0
+            && only_spikes
+            && !plan.has_transport()
+            && plan.loss <= 0.0
+            && spike_end + win / 2 <= issued
+            && out.end_shedding
+        {
+            violations.push(
+                "stability: load shedding still engaged at end of run (post-spike \
+                 operation never returned to baseline)"
+                    .into(),
+            );
+        }
+        // (b) Windowed recovery, where the trace leaves room to judge
+        //     it: a shed defense bounds the backlog, so once the spike
+        //     is well past, the tail window's mean latency must sit
+        //     back at the pre-spike baseline. Stationary transport
+        //     faults are fine here — they elevate baseline and tail
+        //     alike.
+        let baseline_windows = ((first_at / win) as usize).min(out.windows.len());
+        let full = (issued / win) as usize;
+        if plan.shed_high > 0 && only_spikes && baseline_windows >= 1 && full >= 1 {
+            let tail_start = (full as u64 - 1) * win;
+            if tail_start >= spike_end + win / 2 && full <= out.windows.len() {
+                let base = &out.windows[..baseline_windows];
+                let base_reqs: u64 = base.iter().map(|w| w.requests).sum();
+                let base_lat: u64 = base.iter().map(|w| w.latency_milli_sum).sum();
+                let baseline = base_lat.checked_div(base_reqs).unwrap_or(0);
+                let tail = &out.windows[full - 1];
+                let tail_mean = tail.latency_milli_sum.checked_div(tail.requests).unwrap_or(0);
+                let bound = baseline + baseline / 4 + 250;
+                if baseline > 0 && tail_mean > bound {
+                    violations.push(format!(
+                        "stability: tail window mean latency {tail_mean} milli never \
+                         recovered to the pre-spike baseline {baseline} milli (bound \
+                         {bound}) after the flash crowd ended at request {spike_end}"
+                    ));
+                }
+            }
+        }
+    }
+
     Ok(violations)
 }
 
@@ -596,7 +713,67 @@ pub fn shrink(
             }
         }
 
-        // Pass 5: narrow the request window to just past the last event.
+        // Pass 5: narrow flash crowds — halve each spike's span, then
+        // its intensity (floored at the grammar's 2× minimum). A
+        // shorter or gentler crowd that still trips the oracles is a
+        // strictly simpler metastability reproducer.
+        let mut si = 0;
+        while si < best.events.len() && runs < SHRINK_BUDGET {
+            let narrowed = match best.events[si].action {
+                FaultAction::Spike { span, times } if span > 1 => {
+                    Some(FaultAction::Spike { span: span / 2, times })
+                }
+                FaultAction::Spike { span, times } if times > 2 => {
+                    Some(FaultAction::Spike { span, times: (times / 2).max(2) })
+                }
+                _ => None,
+            };
+            let Some(action) = narrowed else {
+                si += 1;
+                continue;
+            };
+            let mut candidate = best.clone();
+            candidate.events[si].action = action;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else {
+                si += 1;
+            }
+        }
+
+        // Pass 6: disarm each overload-defense knob in turn — a failure
+        // that survives without the defense was never about the defense.
+        for knob in 0..3 {
+            if runs >= SHRINK_BUDGET {
+                break;
+            }
+            let armed = match knob {
+                0 => best.breaker > 0,
+                1 => best.budget > 0.0,
+                _ => best.shed_high > 0,
+            };
+            if !armed {
+                continue;
+            }
+            let mut candidate = best.clone();
+            match knob {
+                0 => candidate.breaker = 0,
+                1 => candidate.budget = 0.0,
+                _ => {
+                    candidate.shed_high = 0;
+                    candidate.shed_low = 0;
+                }
+            }
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            }
+        }
+
+        // Pass 7: narrow the request window to just past the last event.
         if runs < SHRINK_BUDGET {
             if let Some(last_at) = best.events.iter().map(|e| e.at).max() {
                 let narrowed = last_at + 64;
@@ -680,9 +857,9 @@ mod tests {
         // Not all plans identical, and events land inside the trace.
         assert!(a.windows(2).any(|w| w[0] != w[1]));
         for plan in &a {
-            // A partition pair (+2) and an adversary batch (+3) ride on
-            // top of the base event budget.
-            assert!(plan.events.len() <= cfg.max_events + 5);
+            // A partition pair (+2), an adversary batch (+3) and a
+            // flash crowd (+1) ride on top of the base event budget.
+            assert!(plan.events.len() <= cfg.max_events + 6);
             for e in &plan.events {
                 assert!(e.at < cfg.requests as u64);
             }
@@ -759,6 +936,32 @@ mod tests {
         let cfg = ChaosConfig { adversary_prob: 0.0, ..quick_cfg() };
         for i in 0..32 {
             assert!(!generate_plan(&cfg, i).has_adversary());
+        }
+    }
+
+    #[test]
+    fn forced_flash_crowds_spike_every_plan_and_stay_green() {
+        for clock in [ClockMode::Compat, ClockMode::Event] {
+            let cfg = ChaosConfig { flash_prob: 1.0, clock, ..quick_cfg() };
+            for i in 0..cfg.plans as u64 {
+                let plan = generate_plan(&cfg, i);
+                assert!(plan.has_spike(), "plan {i} must schedule a spike");
+                // Spike spans and defense keys must survive the round trip.
+                let reparsed: FaultPlan = plan.to_spec().parse().expect("flash spec parses");
+                assert_eq!(reparsed, plan, "plan {i}: {}", plan.to_spec());
+            }
+            let report = run_chaos(&cfg).expect("chaos runs");
+            assert!(report.all_green(), "unexpected {clock:?} failures: {:#?}", report.failures);
+        }
+    }
+
+    #[test]
+    fn zero_flash_prob_generates_no_spikes_or_defenses() {
+        let cfg = ChaosConfig { flash_prob: 0.0, ..quick_cfg() };
+        for i in 0..32 {
+            let plan = generate_plan(&cfg, i);
+            assert!(!plan.has_spike());
+            assert!(!plan.has_overload_defense());
         }
     }
 

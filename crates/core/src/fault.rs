@@ -21,9 +21,24 @@
 //! [`ClockMode::Event`] serializes requests through the proxy's busy
 //! period, so a slow node becomes queuing delay instead of an additive
 //! penalty.
+//!
+//! Every detection in this module — dead-node probes, slow-node stalls,
+//! breaker trips — is priced in units of the single timeout constant:
+//! `t_timeout = TIMEOUT_RTT_MULTIPLE · Tp2p` (see
+//! [`webcache_primitives::TIMEOUT_RTT_MULTIPLE`], the one source of
+//! truth the transport and the network model both derive from).
+//!
+//! **Overload.** `spike@N:SPAN:X` compresses the arrival schedule into a
+//! flash crowd; under the event clock the backlog can then outlive the
+//! spike — the metastable failure mode. The defense keys (`breaker=K`,
+//! `budget=F`, `shed=HI:LO`) arm per-destination circuit breakers and
+//! retry budgets on the transport and watermark load shedding in the
+//! drive loop. All defense randomness draws from `derive(seed,
+//! "overload")`: with the defenses disarmed that stream is never
+//! touched, so every pre-overload golden stays byte-identical.
 
 use crate::clock::{ticks_of, ClockMode, SimClock, TICKS_PER_ROUND, TICKS_PER_UNIT};
-use crate::engine::SchemeEngine;
+use crate::engine::{Admission, SchemeEngine};
 use crate::error::SimError;
 use crate::event::Event;
 use crate::hiergd::{HierGdEngine, HierGdOptions};
@@ -34,10 +49,23 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
 use std::sync::Arc;
-use webcache_p2p::{Behavior, NetFaults, TransportFaults};
+use webcache_p2p::{Behavior, NetFaults, OverloadDefense, TransportFaults};
 use webcache_pastry::NodeId;
 use webcache_primitives::seed::{derive, SeedStream};
+use webcache_primitives::Log2Histogram;
 use webcache_workload::{ProWGen, ProWGenConfig, Trace};
+
+/// Quiet interval a tripped circuit breaker stays open before its
+/// half-open probe, in sends toward the tripped destination (the
+/// breaker also adds a small seeded jitter so a fleet of breakers never
+/// probes in lockstep). The `breaker=K` plan key arms breakers with
+/// this interval.
+pub const DEFAULT_BREAKER_QUIET: u64 = 64;
+
+/// Retry-budget token cap armed by the `budget=F` plan key: a node can
+/// bank at most this many retransmissions' worth of budget, however
+/// long its clean streak.
+pub const DEFAULT_RETRY_BUDGET_CAP: u64 = 32;
 
 /// One scheduled fault, applied before the request at its index is served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +97,16 @@ pub enum FaultAction {
     /// serves a corrupted payload with probability `rate` (per-mille),
     /// caught by the xxhash checksum.
     Garble(u16),
+    /// A flash crowd: for the next `span` requests, arrivals self-schedule
+    /// `times`× closer together than the nominal one-round gap. Pure
+    /// arrival-schedule state — no engine mutation, no target draw — so
+    /// adding a spike to a plan never reshuffles what its other events hit.
+    Spike {
+        /// How many requests the compressed arrival window covers.
+        span: u32,
+        /// Arrival-rate multiplier (integer ×, at least 2).
+        times: u16,
+    },
 }
 
 impl FaultAction {
@@ -84,6 +122,7 @@ impl FaultAction {
             FaultAction::FreeRide => "freeride",
             FaultAction::Forge(_) => "forge",
             FaultAction::Garble(_) => "garble",
+            FaultAction::Spike { .. } => "spike",
         }
     }
 }
@@ -111,7 +150,14 @@ pub struct FaultEvent {
 /// `freeride@N` (accept destages, send receipts, silently discard),
 /// `forge@N:R` (re-claim dropped directory entries with probability `R`
 /// in `(0, 1]`), and `garble@N:R` (serve corrupted payloads with
-/// probability `R`):
+/// probability `R`). `spike@N:SPAN:X` schedules a flash crowd: the
+/// `SPAN` requests after `N` arrive `X`× closer together (X ≥ 2). Three
+/// defense keys arm the overload-resilience layer — `breaker=K`
+/// (per-destination circuit breakers trip after `K` consecutive
+/// timeout-priced failures), `budget=F` (per-node retry budgets refilled
+/// by fraction `F` of clean successes), and `shed=H:L` (watermark load
+/// shedding: above a backlog of `H` rounds the proxy degrades arrivals
+/// straight to the origin, until the backlog drains below `L` rounds):
 ///
 /// ```
 /// use webcache_sim::fault::FaultPlan;
@@ -142,6 +188,21 @@ pub struct FaultPlan {
     pub reorder: f64,
     /// Transport-level payload corruption probability in `[0, 1)`.
     pub corrupt: f64,
+    /// Circuit-breaker trip threshold: consecutive timeout-priced
+    /// failures to one destination before sends to it fail fast
+    /// (0 = breakers off).
+    pub breaker: u32,
+    /// Retry-budget refill ratio: tokens earned per clean first-attempt
+    /// success, as a fraction in `(0, 1]` (0 = budgets off; ladders
+    /// retry freely).
+    pub budget: f64,
+    /// Load-shed high watermark in rounds of proxy backlog
+    /// (0 = shedding off). Event-clock mode only: compat mode has no
+    /// queue to measure.
+    pub shed_high: u64,
+    /// Load-shed low watermark in rounds: shedding stops once the
+    /// backlog drains below this. Must sit below `shed_high`.
+    pub shed_low: u64,
     /// Serve only the first `window` requests of the trace (0 = all).
     pub window: u64,
     /// Seed for target selection, the loss stream, and the transport.
@@ -165,6 +226,10 @@ impl FaultPlan {
             dup: 0.0,
             reorder: 0.0,
             corrupt: 0.0,
+            breaker: 0,
+            budget: 0.0,
+            shed_high: 0,
+            shed_low: 0,
             window: 0,
             seed: 0,
         }
@@ -172,7 +237,10 @@ impl FaultPlan {
 
     /// True if this plan injects nothing.
     pub fn is_none(&self) -> bool {
-        self.events.is_empty() && self.loss <= 0.0 && !self.has_transport()
+        self.events.is_empty()
+            && self.loss <= 0.0
+            && !self.has_transport()
+            && !self.has_overload_defense()
     }
 
     /// True when any transport-level fault probability is set; only then
@@ -218,6 +286,35 @@ impl FaultPlan {
         self.events.iter().any(|e| matches!(e.action, FaultAction::Partition(_)))
     }
 
+    /// True when the schedule compresses the arrival rate at least once.
+    pub fn has_spike(&self) -> bool {
+        self.events.iter().any(|e| matches!(e.action, FaultAction::Spike { .. }))
+    }
+
+    /// True when any overload defense is configured — breakers, retry
+    /// budgets, or watermark shedding. Only then is the defense layer
+    /// armed (and the overload block of the report rendered), so plans
+    /// without the defense keys stay bit-identical to their pre-overload
+    /// runs.
+    pub fn has_overload_defense(&self) -> bool {
+        self.breaker > 0 || self.budget > 0.0 || self.shed_high > 0
+    }
+
+    /// The transport-level overload defense this plan describes
+    /// (breakers + retry budgets; shedding lives in the drive loop).
+    /// The defense's jitter seed is derived with its own label, so
+    /// arming it never reshuffles target selection, per-hop loss or the
+    /// transport streams — and a disarmed defense draws nothing at all.
+    pub fn overload_defense(&self) -> OverloadDefense {
+        OverloadDefense {
+            breaker_threshold: self.breaker,
+            breaker_quiet: if self.breaker > 0 { DEFAULT_BREAKER_QUIET } else { 0 },
+            retry_budget_ratio: self.budget,
+            retry_budget_cap: if self.budget > 0.0 { DEFAULT_RETRY_BUDGET_CAP } else { 0 },
+            seed: derive(self.seed, "overload"),
+        }
+    }
+
     /// True when the schedule turns at least one machine hostile. Only
     /// then is the misbehavior subsystem (and the audit defense) armed,
     /// so plans without the adversary keys stay bit-identical to their
@@ -244,6 +341,9 @@ impl FaultPlan {
                 FaultAction::Forge(pm) | FaultAction::Garble(pm) => {
                     format!("{}@{}:{}", e.action.keyword(), e.at, f64::from(pm) / 1000.0)
                 }
+                FaultAction::Spike { span, times } => {
+                    format!("spike@{}:{}:{}", e.at, span, times)
+                }
                 action => format!("{}@{}", action.keyword(), e.at),
             })
             .collect();
@@ -261,6 +361,15 @@ impl FaultPlan {
         }
         if self.corrupt > 0.0 {
             parts.push(format!("corrupt={}", self.corrupt));
+        }
+        if self.breaker > 0 {
+            parts.push(format!("breaker={}", self.breaker));
+        }
+        if self.budget > 0.0 {
+            parts.push(format!("budget={}", self.budget));
+        }
+        if self.shed_high > 0 {
+            parts.push(format!("shed={}:{}", self.shed_high, self.shed_low));
         }
         if self.window > 0 {
             parts.push(format!("window={}", self.window));
@@ -325,10 +434,57 @@ impl FromStr for FaultPlan {
                             .parse()
                             .map_err(|_| SimError::InvalidConfig(format!("bad seed '{value}'")))?;
                     }
+                    "breaker" => {
+                        plan.breaker = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!(
+                                "bad breaker threshold '{value}' in '{token}' at byte {token_at}"
+                            ))
+                        })?;
+                    }
+                    "budget" => {
+                        let f: f64 = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!(
+                                "bad budget ratio '{value}' in '{token}' at byte {token_at}"
+                            ))
+                        })?;
+                        if !(f > 0.0 && f <= 1.0) {
+                            return Err(SimError::InvalidConfig(format!(
+                                "budget ratio in '{token}' at byte {token_at} must be in \
+                                 (0, 1], got {f}"
+                            )));
+                        }
+                        plan.budget = f;
+                    }
+                    "shed" => {
+                        let Some((hi, lo)) = value.split_once(':') else {
+                            return Err(SimError::InvalidConfig(format!(
+                                "shed key '{token}' at byte {token_at} needs both watermarks \
+                                 (expected shed=H:L in rounds of backlog, e.g. shed=48:12)"
+                            )));
+                        };
+                        let parse_mark = |side: &str| -> Result<u64, SimError> {
+                            side.trim().parse().map_err(|_| {
+                                SimError::InvalidConfig(format!(
+                                    "bad shed watermark '{}' in '{token}' at byte {token_at}",
+                                    side.trim()
+                                ))
+                            })
+                        };
+                        let (high, low) = (parse_mark(hi)?, parse_mark(lo)?);
+                        if high == 0 || low >= high {
+                            return Err(SimError::InvalidConfig(format!(
+                                "shed watermarks in '{token}' at byte {token_at} must satisfy \
+                                 H > L >= 0, got {high}:{low}"
+                            )));
+                        }
+                        plan.shed_high = high;
+                        plan.shed_low = low;
+                    }
                     other => {
                         return Err(SimError::InvalidConfig(format!(
                             "unknown fault key '{other}' in '{token}' at byte {token_at} \
-                             (expected loss, mloss, dup, reorder, corrupt, window or seed)"
+                             (expected loss, mloss, dup, reorder, corrupt, breaker, budget, \
+                             shed, window or seed)"
                         )));
                     }
                 }
@@ -379,6 +535,45 @@ impl FromStr for FaultPlan {
                         },
                     )
                 }
+                "spike" => {
+                    let Some((at, tail)) = rest.split_once(':') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "spike token '{token}' at byte {token_at} is missing its span and \
+                             intensity (expected spike@N:SPAN:X, e.g. spike@2000:1024:8)"
+                        )));
+                    };
+                    let Some((span_str, times_str)) = tail.split_once(':') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "spike token '{token}' at byte {token_at} is missing its intensity \
+                             (expected spike@N:SPAN:X, e.g. spike@2000:1024:8)"
+                        )));
+                    };
+                    let span: u32 = span_str.trim().parse().map_err(|_| {
+                        SimError::InvalidConfig(format!(
+                            "bad spike span '{}' in '{token}' at byte {token_at}",
+                            span_str.trim()
+                        ))
+                    })?;
+                    let times: u16 = times_str.trim().parse().map_err(|_| {
+                        SimError::InvalidConfig(format!(
+                            "bad spike intensity '{}' in '{token}' at byte {token_at}",
+                            times_str.trim()
+                        ))
+                    })?;
+                    if span == 0 {
+                        return Err(SimError::InvalidConfig(format!(
+                            "spike span in '{token}' at byte {token_at} must cover at least \
+                             one request"
+                        )));
+                    }
+                    if times < 2 {
+                        return Err(SimError::InvalidConfig(format!(
+                            "spike intensity in '{token}' at byte {token_at} must be at \
+                             least 2x, got {times}"
+                        )));
+                    }
+                    (at, FaultAction::Spike { span, times })
+                }
                 "partition" => {
                     let Some((at, cut)) = rest.split_once('{') else {
                         return Err(SimError::InvalidConfig(format!(
@@ -425,7 +620,7 @@ impl FromStr for FaultPlan {
                     return Err(SimError::InvalidConfig(format!(
                         "unknown fault verb '{other}' in '{token}' at byte {token_at} \
                          (expected crash, depart, rejoin, slow, partition, heal, freeride, \
-                         forge or garble)"
+                         forge, garble or spike)"
                     )));
                 }
             };
@@ -520,6 +715,18 @@ impl ChurnConfig {
                 return Err(SimError::InvalidConfig(format!("{name} must be in [0, 1), got {p}")));
             }
         }
+        if !(0.0..=1.0).contains(&self.plan.budget) {
+            return Err(SimError::InvalidConfig(format!(
+                "budget ratio must be in [0, 1], got {}",
+                self.plan.budget
+            )));
+        }
+        if self.plan.shed_high > 0 && self.plan.shed_low >= self.plan.shed_high {
+            return Err(SimError::InvalidConfig(format!(
+                "shed low watermark must sit below the high watermark, got {}:{}",
+                self.plan.shed_high, self.plan.shed_low
+            )));
+        }
         if !(0.0..=1.0).contains(&self.audit_rate) {
             return Err(SimError::InvalidConfig(format!(
                 "audit_rate must be in [0, 1], got {}",
@@ -586,6 +793,24 @@ pub struct ChurnReport {
     /// adversary block of the JSON rendering, keeping pre-adversary
     /// goldens byte-identical).
     pub adversarial: bool,
+    /// Flash-crowd windows fired.
+    pub spikes: u64,
+    /// Cache-fabric admissions skipped by watermark shedding: while the
+    /// proxy is above its high watermark the request generates no
+    /// destage/diversion background work at all.
+    pub shed_background: u64,
+    /// Client fetches degraded straight to the origin server by
+    /// watermark shedding (same requests as `shed_background`: a shed
+    /// request both skips its background work and goes to origin).
+    pub degraded_to_origin: u64,
+    /// Sends that fail-fasted on an open circuit breaker.
+    pub breaker_fast_fails: u64,
+    /// Retry ladders abandoned by an exhausted retry budget.
+    pub retry_budget_denials: u64,
+    /// True when the plan scheduled a spike or configured a defense
+    /// (gates the overload block of the JSON rendering, keeping
+    /// pre-overload goldens byte-identical).
+    pub overloaded: bool,
     /// Crashes detected by traffic before the trace ended.
     pub detected_crashes: u64,
     /// Crashes still undetected at end of run (no message walked in).
@@ -676,6 +901,19 @@ impl ChurnReport {
                 let _ = writeln!(s, "  \"{name}\": {v},");
             }
         }
+        if self.overloaded {
+            // Overload counters appear only for spiked/defended plans,
+            // so every pre-overload golden stays byte-identical.
+            for (name, v) in [
+                ("spikes", self.spikes),
+                ("shed_background", self.shed_background),
+                ("degraded_to_origin", self.degraded_to_origin),
+                ("breaker_fast_fails", self.breaker_fast_fails),
+                ("retry_budget_denials", self.retry_budget_denials),
+            ] {
+                let _ = writeln!(s, "  \"{name}\": {v},");
+            }
+        }
         let _ = writeln!(s, "  \"detection_latency_avg\": {:.4},", self.detection_latency_avg);
         for (name, v) in [
             ("detection_latency_max", self.detection_latency_max),
@@ -733,6 +971,17 @@ impl ChurnReport {
         ] {
             let _ = writeln!(s, "{name:<28} {v:>12}");
         }
+        if self.overloaded {
+            for (name, v) in [
+                ("flash-crowd spikes", self.spikes),
+                ("background shed", self.shed_background),
+                ("degraded to origin", self.degraded_to_origin),
+                ("breaker fast-fails", self.breaker_fast_fails),
+                ("retry-budget denials", self.retry_budget_denials),
+            ] {
+                let _ = writeln!(s, "{name:<28} {v:>12}");
+            }
+        }
         let _ = writeln!(s, "{:<28} {:>12.4}", "detection latency avg", self.detection_latency_avg);
         let _ = writeln!(
             s,
@@ -744,6 +993,22 @@ impl ChurnReport {
         );
         s
     }
+}
+
+/// Requests per latency window in [`DriveOutcome::windows`]. Windows
+/// bucket the trace by request index, so the overload harness can turn
+/// one drive into a goodput/recovery curve without re-running it.
+pub(crate) const OVERLOAD_WINDOW: usize = 512;
+
+/// Per-window latency aggregates over the request-index axis.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WindowStat {
+    /// Requests recorded into this window.
+    pub(crate) requests: u64,
+    /// Sum of end-to-end latencies in integer milli-units.
+    pub(crate) latency_milli_sum: u64,
+    /// Requests this window degraded straight to origin by shedding.
+    pub(crate) degraded: u64,
 }
 
 /// Everything one driven run produced.
@@ -764,6 +1029,19 @@ pub(crate) struct DriveOutcome {
     pub(crate) detections: Vec<u64>,
     pub(crate) undetected: u64,
     pub(crate) invariant_violations: u64,
+    pub(crate) spikes: u64,
+    pub(crate) shed_background: u64,
+    pub(crate) degraded: u64,
+    /// True when the watermark hysteresis was still engaged at the end
+    /// of the run — the stability oracle's stuck-degraded signal.
+    pub(crate) end_shedding: bool,
+    pub(crate) windows: Vec<WindowStat>,
+    /// Per-request end-to-end latency in integer milli-units, as each
+    /// request experienced it: the analytic price under the compat
+    /// clock, wait + service under the event clock. The overload sweep
+    /// reads its p99 — the recorder's own latency histogram prices at
+    /// admission time and never sees queueing delay.
+    pub(crate) measured_milli: Log2Histogram,
 }
 
 /// Runs the full churn drill: the faulty run, then a fault-free twin on
@@ -832,6 +1110,12 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
         quarantines: faulty.snapshot.quarantines,
         quarantine_replacements: faulty.quarantine_replacements,
         adversarial: cfg.plan.has_adversary(),
+        spikes: faulty.spikes,
+        shed_background: faulty.shed_background,
+        degraded_to_origin: faulty.degraded,
+        breaker_fast_fails: faulty.snapshot.breaker_fast_fails,
+        retry_budget_denials: faulty.snapshot.retry_budget_denials,
+        overloaded: cfg.plan.has_spike() || cfg.plan.has_overload_defense(),
         detected_crashes: detected,
         undetected_crashes: faulty.undetected,
         detection_latency_avg,
@@ -899,6 +1183,12 @@ pub(crate) fn drive(
             cfg.audit_strikes,
         );
     }
+    if plan.breaker > 0 || plan.budget > 0.0 {
+        // Breakers and budgets live in the transport; shedding is pure
+        // drive-loop state. The defense stream is label-separated, so a
+        // defended plan hits the same machines as its undefended twin.
+        engine.arm_client_overload_defense(0, plan.overload_defense());
+    }
 
     // Target selection stream, decoupled from the loss stream so adding
     // loss never reshuffles which machines crash.
@@ -921,6 +1211,12 @@ pub(crate) fn drive(
         detections: Vec::new(),
         undetected: 0,
         invariant_violations: 0,
+        spikes: 0,
+        shed_background: 0,
+        degraded: 0,
+        end_shedding: false,
+        windows: Vec::new(),
+        measured_milli: Log2Histogram::new(),
     };
 
     let limit = if plan.window > 0 {
@@ -944,30 +1240,110 @@ pub(crate) fn drive(
     }
     // Event mode only: the proxy is busy until this tick.
     let mut next_free = 0u64;
+    // Flash-crowd state: while the arrival index sits below `spike_until`
+    // the next arrival self-schedules `spike_times`× closer than the
+    // nominal one-round gap. Fault events keep their uncompressed tick
+    // mapping (`at * TICKS_PER_ROUND`), so a second event scheduled
+    // inside a compressed region fires at a later request index than its
+    // nominal `at` — deterministic, and exactly what a flash crowd does
+    // to a wall-clock schedule.
+    let mut spike_until = 0u64;
+    let mut spike_times = 1u64;
+    // Watermark hysteresis: set above the high watermark, cleared below
+    // the low one.
+    let mut shedding = false;
 
     while let Some(event) = clock.pop() {
         match event {
             Event::Fault { index } => {
                 let action = plan.events[index].action;
                 let at = plan.events[index].at;
-                apply_action(&mut engine, action, &mut picks, at, &mut outstanding, &mut out)?;
-                if debug_invariants() {
-                    let v = engine.p2p(0).check_invariants();
-                    assert!(
-                        v.is_empty(),
-                        "first violation after {action:?} at request {at}: {v:#?}"
-                    );
+                if let FaultAction::Spike { span, times } = action {
+                    // Pure arrival-schedule state — overlapping spikes
+                    // extend the window and the newest intensity wins.
+                    spike_until = spike_until.max(at + u64::from(span));
+                    spike_times = u64::from(times);
+                    out.spikes += 1;
+                } else {
+                    apply_action(&mut engine, action, &mut picks, at, &mut outstanding, &mut out)?;
+                    if debug_invariants() {
+                        let v = engine.p2p(0).check_invariants();
+                        assert!(
+                            v.is_empty(),
+                            "first violation after {action:?} at request {at}: {v:#?}"
+                        );
+                    }
                 }
             }
             Event::Arrival { proxy: _, index: i } => {
                 if i + 1 < limit {
-                    clock.schedule_in(TICKS_PER_ROUND, Event::Arrival { proxy: 0, index: i + 1 });
+                    let gap = if (i as u64) < spike_until {
+                        (TICKS_PER_ROUND / spike_times).max(1)
+                    } else {
+                        TICKS_PER_ROUND
+                    };
+                    clock.schedule_in(gap, Event::Arrival { proxy: 0, index: i + 1 });
                 }
                 let req = &trace.requests[i];
+                // Watermark load shedding: above `shed_high` rounds of
+                // backlog the proxy stops admitting into the cache
+                // fabric — the request generates no background work and
+                // degrades straight to the origin server, without
+                // occupying the proxy — until the backlog drains below
+                // `shed_low`. Backlog only exists in event mode, so the
+                // check is a no-op under the analytic clock.
+                if plan.shed_high > 0 {
+                    let backlog = next_free.saturating_sub(clock.now());
+                    if backlog >= plan.shed_high * TICKS_PER_ROUND {
+                        shedding = true;
+                    } else if backlog <= plan.shed_low * TICKS_PER_ROUND {
+                        shedding = false;
+                    }
+                }
+                let wi = i / OVERLOAD_WINDOW;
+                if out.windows.len() <= wi {
+                    out.windows.resize(wi + 1, WindowStat::default());
+                }
+                if shedding {
+                    out.shed_background += 1;
+                    out.degraded += 1;
+                    let admission = Admission { class: HitClass::Server, stalls: 0 };
+                    let latency = engine.price(&cfg.net, &admission);
+                    let recorded = match clock.mode() {
+                        ClockMode::Compat => {
+                            out.metrics.record(admission.class, latency);
+                            latency
+                        }
+                        ClockMode::Event => {
+                            let now = clock.now();
+                            let done = now + ticks_of(latency).max(1);
+                            let measured = (done - now) as f64 / TICKS_PER_UNIT as f64;
+                            clock.schedule_at(
+                                done,
+                                Event::Completion {
+                                    proxy: 0,
+                                    class: admission.class,
+                                    latency: measured,
+                                },
+                            );
+                            measured
+                        }
+                    };
+                    let milli = (recorded * 1000.0).round() as u64;
+                    out.measured_milli.record(milli);
+                    let w = &mut out.windows[wi];
+                    w.requests += 1;
+                    w.latency_milli_sum += milli;
+                    w.degraded += 1;
+                    continue;
+                }
                 let admission = engine.admit(0, req);
                 let latency = engine.price(&cfg.net, &admission);
-                match clock.mode() {
-                    ClockMode::Compat => out.metrics.record(admission.class, latency),
+                let recorded = match clock.mode() {
+                    ClockMode::Compat => {
+                        out.metrics.record(admission.class, latency);
+                        latency
+                    }
                     ClockMode::Event => {
                         let now = clock.now();
                         let start = now.max(next_free);
@@ -990,7 +1366,15 @@ pub(crate) fn drive(
                                 latency: measured,
                             },
                         );
+                        measured
                     }
+                };
+                {
+                    let milli = (recorded * 1000.0).round() as u64;
+                    out.measured_milli.record(milli);
+                    let w = &mut out.windows[wi];
+                    w.requests += 1;
+                    w.latency_milli_sum += milli;
                 }
 
                 if debug_invariants() {
@@ -1049,6 +1433,7 @@ pub(crate) fn drive(
         out.heals += 1;
     }
     out.undetected = outstanding.len() as u64;
+    out.end_shedding = shedding;
     engine.finish(&mut out.metrics);
     out.snapshot = recorder.snapshot();
     Ok((out, engine))
@@ -1091,6 +1476,9 @@ fn apply_action<R: crate::recorder::Recorder>(
                 out.skipped += 1;
             }
             return Ok(());
+        }
+        FaultAction::Spike { .. } => {
+            unreachable!("spike events are intercepted by the drive loop")
         }
         _ => {}
     }
@@ -1145,7 +1533,10 @@ fn apply_action<R: crate::recorder::Recorder>(
             engine.set_client_behavior(0, target, Behavior::Garbler { rate_pm: pm });
             out.garbles += 1;
         }
-        FaultAction::Rejoin | FaultAction::Partition(_) | FaultAction::Heal => {
+        FaultAction::Rejoin
+        | FaultAction::Partition(_)
+        | FaultAction::Heal
+        | FaultAction::Spike { .. } => {
             unreachable!("handled above")
         }
     }
@@ -1366,6 +1757,107 @@ mod tests {
         ] {
             let err = bad.parse::<FaultPlan>().unwrap_err();
             assert!(err.to_string().contains(needle), "'{bad}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn spike_and_defense_grammar_round_trips() {
+        let plan: FaultPlan =
+            "spike@100:400:8, crash@50, breaker=3, budget=0.1, shed=48:12, seed=11"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            plan.events[1],
+            FaultEvent { at: 100, action: FaultAction::Spike { span: 400, times: 8 } }
+        );
+        assert!(plan.has_spike());
+        assert!(plan.has_overload_defense());
+        assert_eq!(plan.breaker, 3);
+        assert!((plan.budget - 0.1).abs() < 1e-12);
+        assert_eq!((plan.shed_high, plan.shed_low), (48, 12));
+        assert_eq!(
+            plan.to_spec(),
+            "crash@50,spike@100:400:8,breaker=3,budget=0.1,shed=48:12,seed=11"
+        );
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+        // The defense stream is label-separated from everything else,
+        // and the default quiet/cap knobs ride along with the key.
+        let d = plan.overload_defense();
+        assert_ne!(d.seed, plan.seed);
+        assert_eq!(d.breaker_threshold, 3);
+        assert_eq!(d.breaker_quiet, DEFAULT_BREAKER_QUIET);
+        assert_eq!(d.retry_budget_cap, DEFAULT_RETRY_BUDGET_CAP);
+        // Defense-only plans are not none (they shed under load).
+        assert!(!"breaker=2".parse::<FaultPlan>().unwrap().is_none());
+        assert!(!"shed=16:4".parse::<FaultPlan>().unwrap().is_none());
+        assert!(!"crash@5".parse::<FaultPlan>().unwrap().has_overload_defense());
+    }
+
+    #[test]
+    fn malformed_spike_and_defense_specs_are_typed_errors() {
+        for (bad, needle) in [
+            ("spike@5", "missing its span and intensity"),
+            ("spike@5:100", "missing its intensity"),
+            ("spike@5:banana:4", "bad spike span 'banana'"),
+            ("spike@5:100:x", "bad spike intensity 'x'"),
+            ("spike@5:0:4", "must cover at least one request"),
+            ("spike@5:100:1", "must be at least 2x"),
+            ("spike@x:100:4", "bad request index"),
+            ("breaker=abc", "bad breaker threshold 'abc'"),
+            ("budget=0", "must be in (0, 1], got 0"),
+            ("budget=1.5", "must be in (0, 1]"),
+            ("budget=nope", "bad budget ratio 'nope'"),
+            ("shed=48", "needs both watermarks"),
+            ("shed=x:2", "bad shed watermark 'x'"),
+            ("shed=2:48", "must satisfy H > L"),
+            ("shed=0:0", "must satisfy H > L"),
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.to_string().contains(needle), "'{bad}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_backs_up_the_event_clock_and_shedding_relieves_it() {
+        let spike = "spike@1000:2000:16, seed=5";
+        let mut naive_cfg = small_cfg(spike.parse().unwrap());
+        naive_cfg.clock = ClockMode::Event;
+        let naive = run_churn(&naive_cfg).unwrap();
+        assert_eq!(naive.spikes, 1);
+        assert_eq!(naive.degraded_to_origin, 0);
+        assert!(naive.overloaded);
+
+        let mut defended_cfg = small_cfg(format!("{spike}, shed=16:4").parse().unwrap());
+        defended_cfg.clock = ClockMode::Event;
+        let defended = run_churn(&defended_cfg).unwrap();
+        assert!(defended.degraded_to_origin > 0, "shedding never engaged");
+        assert_eq!(defended.shed_background, defended.degraded_to_origin);
+        assert!(
+            defended.avg_latency_milli < naive.avg_latency_milli,
+            "shedding must relieve the flash crowd: defended {} vs naive {}",
+            defended.avg_latency_milli,
+            naive.avg_latency_milli
+        );
+    }
+
+    #[test]
+    fn defense_keys_without_faults_change_nothing() {
+        // Breakers and budgets only matter when the transport actually
+        // fails; on a fault-free run the armed defense must not shift a
+        // single counter (it draws nothing until a breaker trips).
+        for clock in [ClockMode::Compat, ClockMode::Event] {
+            let mut plain_cfg = small_cfg(FaultPlan::none());
+            plain_cfg.clock = clock;
+            let plain = run_churn(&plain_cfg).unwrap();
+            let mut armed_cfg = small_cfg("breaker=3, budget=0.1".parse().unwrap());
+            armed_cfg.clock = clock;
+            let armed = run_churn(&armed_cfg).unwrap();
+            assert_eq!(armed.avg_latency_milli, plain.avg_latency_milli, "{clock:?}");
+            assert_eq!(armed.served_by_class, plain.served_by_class, "{clock:?}");
+            assert_eq!(armed.breaker_fast_fails, 0, "{clock:?}");
+            assert_eq!(armed.retry_budget_denials, 0, "{clock:?}");
+            assert!(armed.overloaded && !plain.overloaded, "{clock:?}");
         }
     }
 

@@ -377,6 +377,23 @@ impl<R: Recorder> HierGdEngine<R> {
         self.proxies[proxy].p2p.set_transport(faults);
     }
 
+    /// Arms the overload defenses (per-destination circuit breakers and
+    /// the per-node retry budget) on `proxy`'s cluster transport,
+    /// installing a fault-free transport first when none is present. Also
+    /// switches the cluster's request path into fault-aware mode. An
+    /// all-off defense is a no-op.
+    pub fn arm_client_overload_defense(
+        &mut self,
+        proxy: usize,
+        defense: webcache_p2p::OverloadDefense,
+    ) {
+        if defense.is_none() {
+            return;
+        }
+        self.faults_touched = true;
+        self.proxies[proxy].p2p.arm_overload_defense(defense);
+    }
+
     /// Splits `proxy`'s client cluster into two overlay islands, keeping
     /// `percent_a` percent of the live machines on the proxy's side.
     /// Each island runs its own membership view and repair until

@@ -27,6 +27,7 @@
 //! | [`fault`] | deterministic fault plans + the churn drill harness |
 //! | [`chaos`] | seeded chaos explorer: random plans, oracles, shrinking |
 //! | [`adversary`] | attacker-fraction × audit-rate sweep of the receipt defense |
+//! | [`overload`] | flash-crowd intensity × defense sweep of the overload stack |
 //! | [`error`] | the [`SimError`] type every fallible API returns |
 //! | [`recorder`] | pluggable observability taps (stats, event log) |
 //! | [`sweep`](crate::sweep()) | Rayon-parallel (scheme × size) grids for the figures |
@@ -81,6 +82,7 @@ pub mod hiergd;
 pub mod lfu_schemes;
 pub mod metrics;
 pub mod net;
+pub mod overload;
 pub mod recorder;
 pub mod site;
 pub mod squirrel;
@@ -94,13 +96,14 @@ pub use config::{
     build_engine, run_experiment, run_experiment_recorded, ExperimentConfig,
     ExperimentConfigBuilder, SchemeKind, Sizing,
 };
-pub use engine::{Admission, Engine, NoCacheEngine, SchemeEngine};
+pub use engine::{Admission, Engine, NoCacheEngine, SchemeEngine, ShedPolicy};
 pub use error::SimError;
 pub use event::Event;
 pub use fault::{run_churn, ChurnConfig, ChurnReport, FaultAction, FaultEvent, FaultPlan};
 pub use hiergd::{HierGdEngine, HierGdOptions};
 pub use metrics::{latency_gain_percent, ClassCounts, RunMetrics};
 pub use net::{ExplicitLatency, HitClass, LatencyModel, NetworkModel};
+pub use overload::{run_overload, OverloadCell, OverloadConfig, OverloadReport, ResilienceRow};
 pub use recorder::{
     EventLogRecorder, NoopRecorder, Recorder, SimEvent, SimEventKind, StatsRecorder, StatsSnapshot,
 };
@@ -108,4 +111,6 @@ pub use site::{SiteTier, TierTraffic, TwoTierLfuSite};
 pub use squirrel::SquirrelEngine;
 pub use sweep::{gain_curve, sweep, sweep_recorded, SweepResult, PAPER_CACHE_FRACS};
 pub use throughput::{measure_throughput, ThroughputPoint, ThroughputReport};
-pub use webcache_p2p::{MessageClass, SendOutcome, TransportFaults, UnreliableTransport};
+pub use webcache_p2p::{
+    MessageClass, OverloadDefense, SendOutcome, TransportFaults, UnreliableTransport,
+};

@@ -186,10 +186,37 @@ impl NetworkModel {
         let ts = ts_over_tl * tl;
         let tc = ts / ts_over_tc;
         let tp2p = tp2p_over_tl * tl;
-        // A timeout must dwarf a normal P2P round trip (otherwise lazy
-        // detection would be free) while staying comparable to a server
-        // fetch; 4 × Tp2p = 5.6 Tl sits between Tc and Ts at the defaults.
-        NetworkModel { ts, tc, tl, tp2p, t_timeout: 4.0 * tp2p }
+        // The 4× rule and its rationale live on
+        // `webcache_primitives::TIMEOUT_RTT_MULTIPLE` — the single source
+        // of truth shared with the transport and churn layers.
+        NetworkModel {
+            ts,
+            tc,
+            tl,
+            tp2p,
+            t_timeout: webcache_primitives::TIMEOUT_RTT_MULTIPLE * tp2p,
+        }
+    }
+
+    /// This model with every latency (including the timeout penalty)
+    /// scaled by `factor`. Ratios — the paper's parameterization — are
+    /// unchanged. The overload sweep runs on a scaled-down model: under
+    /// the event clock a request occupies the proxy for its full priced
+    /// latency, so the nominal one-request-per-round arrival rate only
+    /// has service headroom (a stable baseline queue for a flash crowd
+    /// to overload) when latencies sit well below one round.
+    ///
+    /// # Panics
+    /// Panics on a non-positive factor.
+    pub fn scaled(&self, factor: f64) -> NetworkModel {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        NetworkModel {
+            ts: self.ts * factor,
+            tc: self.tc * factor,
+            tl: self.tl * factor,
+            tp2p: self.tp2p * factor,
+            t_timeout: self.t_timeout * factor,
+        }
     }
 
     /// End-to-end client latency for a request served from `class`.

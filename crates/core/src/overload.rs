@@ -1,0 +1,649 @@
+//! Overload sweep harness: flash-crowd intensity × defense config.
+//!
+//! A flash crowd compresses the arrival schedule (see
+//! [`FaultAction::Spike`]); under the event clock the proxy's backlog
+//! then grows faster than it drains, latency climbs without bound, and
+//! — the metastable failure mode — the backlog can outlive the spike
+//! itself. The overload defenses bound that regime: per-destination
+//! circuit breakers and retry budgets stop timeout-priced retry storms
+//! at the transport, and watermark load shedding degrades background
+//! work to the origin until the backlog drains (see
+//! [`FaultPlan::overload_defense`] and [`crate::engine::ShedPolicy`]).
+//!
+//! [`run_overload`] drives one fault-free baseline plus two runs per
+//! swept intensity — defenses off ("naive") and defenses on — over the
+//! same trace and the same spike, so each pair differs **only** in the
+//! defense. The [`OverloadReport`] carries goodput, mean and p99
+//! latency, shed/degrade fractions and the recovery time back to 95% of
+//! baseline goodput after the spike ends, plus a per-intensity
+//! [`ResilienceRow`] comparing the naive and defended runs (the
+//! committed-figure gate wants the defended run to recover and the
+//! naive run to be ≥ 2× worse on recovery time or goodput). Everything
+//! is seeded and renders to bit-stable JSON/CSV (the overload golden
+//! test pins both clock modes).
+//!
+//! **Goodput** here is latency-discounted useful service: a window of
+//! `OVERLOAD_WINDOW` (512) requests contributes its non-degraded requests
+//! scaled by `min(1, baseline_mean / window_mean)` — service at
+//! baseline speed counts in full, service at 4× baseline latency counts
+//! a quarter. Degraded-to-origin requests never count: they were shed.
+
+use crate::clock::ClockMode;
+use crate::error::SimError;
+use crate::fault::{drive, ChurnConfig, DriveOutcome, FaultAction, FaultPlan, OVERLOAD_WINDOW};
+use crate::net::NetworkModel;
+use std::fmt::Write as _;
+use webcache_primitives::seed::derive;
+use webcache_workload::{ProWGen, ProWGenConfig};
+
+/// Configuration of one overload sweep.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Topology, workload, latency model and clock mode for every cell.
+    /// The `plan` field is overwritten per cell and may be left at its
+    /// default.
+    pub base: ChurnConfig,
+    /// Flash-crowd intensities to sweep (arrival-rate multipliers, each
+    /// ≥ 2).
+    pub intensities: Vec<u16>,
+    /// Request index where every cell's spike starts.
+    pub spike_at: u64,
+    /// Spike length in requests.
+    pub spike_span: u32,
+    /// Defended cells: breaker trip threshold (consecutive
+    /// timeout-priced failures).
+    pub breaker: u32,
+    /// Defended cells: retry budget as a fraction of successful traffic,
+    /// in (0, 1].
+    pub budget: f64,
+    /// Defended cells: shedding engages at this backlog (rounds).
+    pub shed_high: u64,
+    /// Defended cells: shedding disengages at this backlog (rounds).
+    pub shed_low: u64,
+    /// Master seed for the sweep's fault plans (label-separated from the
+    /// trace seed and every other stream).
+    pub seed: u64,
+}
+
+impl Default for OverloadConfig {
+    /// The committed-figure sweep: 4×/8×/16× flash crowds over a
+    /// quarter of the trace, naive vs the full defense stack, under the
+    /// event clock (the analytic clock has no queue to overload — the
+    /// golden test still pins its bytes). The latency model is the
+    /// paper's scaled down 16× (see [`NetworkModel::scaled`]): ratios
+    /// are preserved, but the proxy gains the service headroom that
+    /// makes "overload" a spike-induced state rather than the baseline.
+    fn default() -> Self {
+        OverloadConfig {
+            base: ChurnConfig {
+                clock: ClockMode::Event,
+                net: NetworkModel::default().scaled(1.0 / 16.0),
+                ..ChurnConfig::default()
+            },
+            intensities: vec![4, 8, 16],
+            spike_at: 10_000,
+            spike_span: 8_000,
+            breaker: 3,
+            budget: 0.1,
+            shed_high: 32,
+            shed_low: 8,
+            seed: 0x0F1A_5A11,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.base.validate()?;
+        if self.intensities.is_empty() {
+            return Err(SimError::InvalidConfig("intensities must be non-empty".into()));
+        }
+        for t in &self.intensities {
+            if *t < 2 {
+                return Err(SimError::InvalidConfig(format!(
+                    "spike intensity must be at least 2x, got {t}"
+                )));
+            }
+        }
+        if self.spike_span == 0 {
+            return Err(SimError::InvalidConfig("spike_span must be positive".into()));
+        }
+        let spike_end = self.spike_at + u64::from(self.spike_span);
+        if spike_end >= self.base.requests as u64 {
+            return Err(SimError::InvalidConfig(format!(
+                "the spike must end before the trace does (spike ends at {spike_end}, \
+                 trace has {} requests) — recovery needs a post-spike tail",
+                self.base.requests
+            )));
+        }
+        if self.breaker == 0 && self.budget <= 0.0 && self.shed_high == 0 {
+            return Err(SimError::InvalidConfig(
+                "defended cells need at least one defense knob (breaker, budget or shed)".into(),
+            ));
+        }
+        if self.budget < 0.0 || self.budget > 1.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "budget ratio must be in [0, 1], got {}",
+                self.budget
+            )));
+        }
+        if self.shed_high > 0 && self.shed_low >= self.shed_high {
+            return Err(SimError::InvalidConfig(
+                "shed low watermark must sit below the high watermark".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The fault plan for one cell. Naive and defended plans share the
+    /// identical spike; only the defense knobs differ.
+    fn plan_for(&self, times: u16, defended: bool) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = derive(self.seed, "overload-sweep");
+        plan.push(self.spike_at, FaultAction::Spike { span: self.spike_span, times });
+        if defended {
+            plan.breaker = self.breaker;
+            plan.budget = self.budget;
+            plan.shed_high = self.shed_high;
+            plan.shed_low = self.shed_low;
+        }
+        plan
+    }
+}
+
+/// What one (intensity, defense) cell measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadCell {
+    /// Arrival-rate multiplier of the spike.
+    pub intensity: u16,
+    /// Whether the defense stack was armed.
+    pub defended: bool,
+    /// Latency-discounted useful service, in percent of all requests
+    /// (see the module docs).
+    pub goodput_percent: f64,
+    /// Mean end-to-end latency in milli-units (queueing included under
+    /// the event clock).
+    pub avg_latency_milli: u64,
+    /// 99th-percentile end-to-end latency in milli-units.
+    pub p99_latency_milli: u64,
+    /// Requests shed (background work skipped), in percent.
+    pub shed_percent: f64,
+    /// Requests degraded straight to the origin server, in percent.
+    pub degraded_percent: f64,
+    /// Sends the tripped circuit breakers failed fast.
+    pub breaker_fast_fails: u64,
+    /// Retry ladders cut short by an exhausted retry budget.
+    pub retry_budget_denials: u64,
+    /// Whether shedding was still engaged at the end of the run.
+    pub end_shedding: bool,
+    /// Whether any post-spike window got back to ≥ 95% of baseline
+    /// goodput.
+    pub recovered: bool,
+    /// Requests from spike end until the first recovered window closed
+    /// (censored at the end of the trace when `recovered` is false).
+    pub recovery_requests: u64,
+}
+
+/// Per-intensity resilience summary: naive vs defended run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceRow {
+    /// The spike intensity both cells ran.
+    pub intensity: u16,
+    /// Naive goodput, in percent.
+    pub naive_goodput_percent: f64,
+    /// Defended goodput, in percent.
+    pub defended_goodput_percent: f64,
+    /// Naive recovery time in requests (censored at the trace end).
+    pub naive_recovery_requests: u64,
+    /// Defended recovery time in requests.
+    pub defended_recovery_requests: u64,
+    /// Whether the defended run recovered at all.
+    pub defended_recovered: bool,
+    /// How much worse the naive run is: the larger of the recovery-time
+    /// ratio and the goodput-deficit ratio (both naive ÷ defended,
+    /// denominators clamped so the ratio stays finite). The figure gate
+    /// wants ≥ 2.
+    pub factor: f64,
+}
+
+/// Everything an overload sweep measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadReport {
+    /// Requests per run.
+    pub requests: u64,
+    /// Overlay size.
+    pub cluster: u64,
+    /// Clock mode every run used.
+    pub clock: ClockMode,
+    /// Master seed of the sweep's fault plans.
+    pub seed: u64,
+    /// Request index where the spike starts.
+    pub spike_at: u64,
+    /// Spike length in requests.
+    pub spike_span: u32,
+    /// Defense knobs of the defended cells.
+    pub breaker: u32,
+    /// Retry-budget ratio of the defended cells.
+    pub budget: f64,
+    /// Shed high watermark (rounds) of the defended cells.
+    pub shed_high: u64,
+    /// Shed low watermark (rounds) of the defended cells.
+    pub shed_low: u64,
+    /// Fault-free baseline goodput, in percent.
+    pub baseline_goodput_percent: f64,
+    /// Baseline mean latency in milli-units.
+    pub baseline_avg_latency_milli: u64,
+    /// Baseline p99 latency in milli-units.
+    pub baseline_p99_latency_milli: u64,
+    /// Two rows per swept intensity: naive first, then defended.
+    pub cells: Vec<OverloadCell>,
+    /// One row per swept intensity.
+    pub resilience: Vec<ResilienceRow>,
+}
+
+/// Pooled mean window latency in milli-units (0 when empty).
+fn pooled_mean_milli(out: &DriveOutcome) -> f64 {
+    let reqs: u64 = out.windows.iter().map(|w| w.requests).sum();
+    if reqs == 0 {
+        return 0.0;
+    }
+    let lat: u64 = out.windows.iter().map(|w| w.latency_milli_sum).sum();
+    lat as f64 / reqs as f64
+}
+
+/// Latency-discounted goodput in percent of `issued` (module docs).
+fn goodput_percent(out: &DriveOutcome, issued: u64, base_mean: f64) -> f64 {
+    if issued == 0 {
+        return 0.0;
+    }
+    let mut good = 0.0f64;
+    for w in &out.windows {
+        if w.requests == 0 {
+            continue;
+        }
+        let mean = w.latency_milli_sum as f64 / w.requests as f64;
+        let speed = if mean <= base_mean || mean <= 0.0 { 1.0 } else { base_mean / mean };
+        good += (w.requests - w.degraded) as f64 * speed;
+    }
+    good / issued as f64 * 100.0
+}
+
+/// First post-spike window back at ≥ 95% of baseline goodput: returns
+/// `(recovered, requests from spike end to that window's close)`,
+/// censored at the trace end when no window qualifies.
+fn recovery(
+    out: &DriveOutcome,
+    spike_end: u64,
+    issued: u64,
+    base_mean: f64,
+    base_good_frac: f64,
+) -> (bool, u64) {
+    let win = OVERLOAD_WINDOW as u64;
+    let target = 0.95 * base_good_frac;
+    for (k, w) in out.windows.iter().enumerate() {
+        let start = k as u64 * win;
+        if start < spike_end || w.requests == 0 {
+            continue;
+        }
+        let mean = w.latency_milli_sum as f64 / w.requests as f64;
+        let speed = if mean <= base_mean || mean <= 0.0 { 1.0 } else { base_mean / mean };
+        let good = (w.requests - w.degraded) as f64 * speed / w.requests as f64;
+        if good >= target {
+            return (true, (start + w.requests).saturating_sub(spike_end));
+        }
+    }
+    (false, issued.saturating_sub(spike_end))
+}
+
+/// Runs the sweep: one fault-free baseline, then a naive and a defended
+/// drive per intensity, all over the same trace.
+pub fn run_overload(cfg: &OverloadConfig) -> Result<OverloadReport, SimError> {
+    cfg.validate()?;
+    let trace = ProWGen::new(ProWGenConfig {
+        requests: cfg.base.requests,
+        distinct_objects: cfg.base.distinct_objects,
+        num_clients: cfg.base.trace_clients.max(1) as u32,
+        seed: cfg.base.trace_seed,
+        ..ProWGenConfig::default()
+    })
+    .generate();
+
+    let issued = cfg.base.requests as u64;
+    let spike_end = cfg.spike_at + u64::from(cfg.spike_span);
+
+    let (baseline, _) = drive(
+        &ChurnConfig { plan: FaultPlan::none(), ..cfg.base.clone() },
+        &trace,
+        &FaultPlan::none(),
+    )?;
+    let base_mean = pooled_mean_milli(&baseline);
+    let base_good = goodput_percent(&baseline, issued, base_mean);
+    let base_latency = (baseline.metrics.avg_latency() * 1000.0).round() as u64;
+    let base_p99 = baseline.measured_milli.snapshot().quantile(0.99);
+
+    let mut intensities = cfg.intensities.clone();
+    intensities.sort_unstable();
+    intensities.dedup();
+
+    let mut cells = Vec::new();
+    let mut resilience = Vec::new();
+    for times in &intensities {
+        let mut measured: Vec<OverloadCell> = Vec::with_capacity(2);
+        for defended in [false, true] {
+            let plan = cfg.plan_for(*times, defended);
+            let churn = ChurnConfig { plan: plan.clone(), ..cfg.base.clone() };
+            let (out, _) = drive(&churn, &trace, &plan)?;
+            let (recovered, recovery_requests) =
+                recovery(&out, spike_end, issued, base_mean, base_good / 100.0);
+            measured.push(OverloadCell {
+                intensity: *times,
+                defended,
+                goodput_percent: goodput_percent(&out, issued, base_mean),
+                avg_latency_milli: (out.metrics.avg_latency() * 1000.0).round() as u64,
+                p99_latency_milli: out.measured_milli.snapshot().quantile(0.99),
+                shed_percent: out.shed_background as f64 / issued as f64 * 100.0,
+                degraded_percent: out.degraded as f64 / issued as f64 * 100.0,
+                breaker_fast_fails: out.snapshot.breaker_fast_fails,
+                retry_budget_denials: out.snapshot.retry_budget_denials,
+                end_shedding: out.end_shedding,
+                recovered,
+                recovery_requests,
+            });
+        }
+        let (naive, defended) = (&measured[0], &measured[1]);
+        let recovery_ratio =
+            naive.recovery_requests as f64 / (defended.recovery_requests.max(1)) as f64;
+        let deficit_ratio = (base_good - naive.goodput_percent).max(0.0)
+            / (base_good - defended.goodput_percent).max(0.01);
+        resilience.push(ResilienceRow {
+            intensity: *times,
+            naive_goodput_percent: naive.goodput_percent,
+            defended_goodput_percent: defended.goodput_percent,
+            naive_recovery_requests: naive.recovery_requests,
+            defended_recovery_requests: defended.recovery_requests,
+            defended_recovered: defended.recovered,
+            factor: recovery_ratio.max(deficit_ratio),
+        });
+        cells.extend(measured);
+    }
+
+    Ok(OverloadReport {
+        requests: issued,
+        cluster: cfg.base.clients_per_cluster as u64,
+        clock: cfg.base.clock,
+        seed: cfg.seed,
+        spike_at: cfg.spike_at,
+        spike_span: cfg.spike_span,
+        breaker: cfg.breaker,
+        budget: cfg.budget,
+        shed_high: cfg.shed_high,
+        shed_low: cfg.shed_low,
+        baseline_goodput_percent: base_good,
+        baseline_avg_latency_milli: base_latency,
+        baseline_p99_latency_milli: base_p99,
+        cells,
+        resilience,
+    })
+}
+
+impl OverloadReport {
+    /// Renders the report as a JSON document with a fixed field order
+    /// (hand-rolled: the offline build has no serde_json). Bit-stable
+    /// for a fixed config — the overload golden test diffs it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "  \"cluster\": {},", self.cluster);
+        let _ = writeln!(s, "  \"clock\": \"{}\",", self.clock.label());
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"spike_at\": {},", self.spike_at);
+        let _ = writeln!(s, "  \"spike_span\": {},", self.spike_span);
+        let _ = writeln!(s, "  \"breaker\": {},", self.breaker);
+        let _ = writeln!(s, "  \"budget\": {:.4},", self.budget);
+        let _ = writeln!(s, "  \"shed_high\": {},", self.shed_high);
+        let _ = writeln!(s, "  \"shed_low\": {},", self.shed_low);
+        let _ =
+            writeln!(s, "  \"baseline_goodput_percent\": {:.4},", self.baseline_goodput_percent);
+        let _ =
+            writeln!(s, "  \"baseline_avg_latency_milli\": {},", self.baseline_avg_latency_milli);
+        let _ =
+            writeln!(s, "  \"baseline_p99_latency_milli\": {},", self.baseline_p99_latency_milli);
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"intensity\": {}, \"defended\": {}, \"goodput_percent\": {:.4}, \
+                 \"avg_latency_milli\": {}, \"p99_latency_milli\": {}, \"shed_percent\": {:.4}, \
+                 \"degraded_percent\": {:.4}, \"breaker_fast_fails\": {}, \
+                 \"retry_budget_denials\": {}, \"end_shedding\": {}, \"recovered\": {}, \
+                 \"recovery_requests\": {}}}",
+                c.intensity,
+                c.defended,
+                c.goodput_percent,
+                c.avg_latency_milli,
+                c.p99_latency_milli,
+                c.shed_percent,
+                c.degraded_percent,
+                c.breaker_fast_fails,
+                c.retry_budget_denials,
+                c.end_shedding,
+                c.recovered,
+                c.recovery_requests,
+            );
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"resilience\": [\n");
+        for (i, r) in self.resilience.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"intensity\": {}, \"naive_goodput_percent\": {:.4}, \
+                 \"defended_goodput_percent\": {:.4}, \"naive_recovery_requests\": {}, \
+                 \"defended_recovery_requests\": {}, \"defended_recovered\": {}, \
+                 \"factor\": {:.4}}}",
+                r.intensity,
+                r.naive_goodput_percent,
+                r.defended_goodput_percent,
+                r.naive_recovery_requests,
+                r.defended_recovery_requests,
+                r.defended_recovered,
+                r.factor,
+            );
+            s.push_str(if i + 1 < self.resilience.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the per-cell rows as CSV (the committed figure format).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "intensity,defended,goodput_percent,avg_latency_milli,p99_latency_milli,\
+             shed_percent,degraded_percent,breaker_fast_fails,retry_budget_denials,\
+             recovered,recovery_requests\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{},{},{:.4},{},{},{:.4},{:.4},{},{},{},{}",
+                c.intensity,
+                c.defended,
+                c.goodput_percent,
+                c.avg_latency_milli,
+                c.p99_latency_milli,
+                c.shed_percent,
+                c.degraded_percent,
+                c.breaker_fast_fails,
+                c.retry_budget_denials,
+                c.recovered,
+                c.recovery_requests,
+            );
+        }
+        s
+    }
+
+    /// Renders an aligned text summary for terminals.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "baseline: goodput {:.2}%, avg latency {:.3}, p99 {:.3}",
+            self.baseline_goodput_percent,
+            self.baseline_avg_latency_milli as f64 / 1000.0,
+            self.baseline_p99_latency_milli as f64 / 1000.0
+        );
+        let _ = writeln!(
+            s,
+            "{:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9}",
+            "spike", "defense", "goodput%", "latency", "p99", "shed%", "orig%", "recovery"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{:>8}x {:>9} {:>9.2} {:>9.3} {:>9.3} {:>7.2} {:>7.2} {:>9}",
+                c.intensity,
+                if c.defended { "on" } else { "off" },
+                c.goodput_percent,
+                c.avg_latency_milli as f64 / 1000.0,
+                c.p99_latency_milli as f64 / 1000.0,
+                c.shed_percent,
+                c.degraded_percent,
+                if c.recovered {
+                    format!("{}", c.recovery_requests)
+                } else {
+                    format!(">{}", c.recovery_requests)
+                },
+            );
+        }
+        for r in &self.resilience {
+            let _ = writeln!(
+                s,
+                "resilience at {:>2}x: naive {:.2}% vs defended {:.2}% goodput, \
+                 recovery {} vs {} requests ({:.1}x)",
+                r.intensity,
+                r.naive_goodput_percent,
+                r.defended_goodput_percent,
+                r.naive_recovery_requests,
+                r.defended_recovery_requests,
+                r.factor,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> OverloadConfig {
+        OverloadConfig {
+            base: ChurnConfig {
+                requests: 8_000,
+                distinct_objects: 400,
+                trace_clients: 20,
+                clients_per_cluster: 20,
+                client_cache_capacity: 2,
+                clock: ClockMode::Event,
+                net: NetworkModel::default().scaled(1.0 / 16.0),
+                ..ChurnConfig::default()
+            },
+            intensities: vec![8],
+            spike_at: 1_000,
+            spike_span: 3_000,
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_shaped() {
+        let cfg = quick_cfg();
+        let a = run_overload(&cfg).expect("sweep runs");
+        let b = run_overload(&cfg).expect("sweep runs");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.cells.len(), 2, "one intensity, naive + defended");
+        assert_eq!(a.resilience.len(), 1);
+        assert!(!a.cells[0].defended && a.cells[1].defended, "naive row first");
+    }
+
+    #[test]
+    fn defense_bounds_the_flash_crowd() {
+        let report = run_overload(&quick_cfg()).expect("sweep runs");
+        let naive = &report.cells[0];
+        let defended = &report.cells[1];
+        // Nothing sheds or degrades with the defenses off.
+        assert_eq!(naive.shed_percent, 0.0);
+        assert_eq!(naive.degraded_percent, 0.0);
+        assert_eq!(naive.breaker_fast_fails + naive.retry_budget_denials, 0);
+        // The armed defense sheds under the spike and buys back goodput
+        // and tail latency.
+        assert!(defended.shed_percent > 0.0, "the spike must engage shedding");
+        assert!(
+            defended.goodput_percent > naive.goodput_percent,
+            "defended goodput {:.2}% must beat naive {:.2}%",
+            defended.goodput_percent,
+            naive.goodput_percent
+        );
+        assert!(
+            defended.avg_latency_milli < naive.avg_latency_milli,
+            "defended latency {} must undercut naive {}",
+            defended.avg_latency_milli,
+            naive.avg_latency_milli
+        );
+        assert!(defended.recovered, "the defended run must return to baseline goodput");
+        assert!(
+            report.resilience[0].factor >= 2.0,
+            "naive must be >= 2x worse, got {:.2}",
+            report.resilience[0].factor
+        );
+    }
+
+    #[test]
+    fn compat_clock_has_no_queue_to_overload() {
+        let mut cfg = quick_cfg();
+        cfg.base.clock = ClockMode::Compat;
+        let report = run_overload(&cfg).expect("sweep runs");
+        for c in &report.cells {
+            assert_eq!(c.shed_percent, 0.0, "no backlog, no shedding");
+            assert!(c.recovered, "analytic latencies never leave baseline");
+        }
+    }
+
+    #[test]
+    fn renders_json_csv_and_table() {
+        let report = run_overload(&quick_cfg()).expect("sweep runs");
+        let json = report.to_json();
+        assert!(json.contains("\"cells\": ["));
+        assert!(json.contains("\"resilience\": ["));
+        assert!(json.contains("\"baseline_goodput_percent\""));
+        let csv = report.to_csv();
+        assert!(csv.starts_with("intensity,defended,"));
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        assert!(report.to_table().contains("resilience at"));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.intensities = vec![];
+        assert!(run_overload(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.intensities = vec![1];
+        assert!(run_overload(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.spike_span = 0;
+        assert!(run_overload(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.spike_at = 7_999;
+        assert!(run_overload(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.breaker = 0;
+        cfg.budget = 0.0;
+        cfg.shed_high = 0;
+        assert!(run_overload(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.shed_low = cfg.shed_high;
+        assert!(run_overload(&cfg).is_err());
+    }
+}

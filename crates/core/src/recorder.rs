@@ -174,6 +174,8 @@ pub struct StatsRecorder {
     audits_failed: ShardedCounter,
     forged_receipts: ShardedCounter,
     quarantines: ShardedCounter,
+    breaker_fast_fails: ShardedCounter,
+    retry_budget_denials: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -226,6 +228,8 @@ impl StatsRecorder {
             audits_failed: self.audits_failed.get(),
             forged_receipts: self.forged_receipts.get(),
             quarantines: self.quarantines.get(),
+            breaker_fast_fails: self.breaker_fast_fails.get(),
+            retry_budget_denials: self.retry_budget_denials.get(),
         }
     }
 }
@@ -322,6 +326,8 @@ impl Recorder for StatsRecorder {
             P2pEvent::AuditFailed { .. } => self.audits_failed.incr(),
             P2pEvent::ForgedReceiptDetected { .. } => self.forged_receipts.incr(),
             P2pEvent::NodeQuarantined { .. } => self.quarantines.incr(),
+            P2pEvent::BreakerFastFailed { .. } => self.breaker_fast_fails.incr(),
+            P2pEvent::RetryBudgetExhausted { .. } => self.retry_budget_denials.incr(),
         }
     }
 }
@@ -417,6 +423,12 @@ pub struct StatsSnapshot {
     pub forged_receipts: u64,
     /// Nodes quarantined after exhausting their audit strikes.
     pub quarantines: u64,
+    /// Sends that fail-fasted on an open circuit breaker (overload
+    /// defense): one detection timeout instead of a full backoff ladder.
+    pub breaker_fast_fails: u64,
+    /// Retry ladders abandoned because the per-node retry budget ran dry
+    /// (overload defense): the work degraded to the origin server.
+    pub retry_budget_denials: u64,
 }
 
 impl StatsSnapshot {
@@ -566,6 +578,8 @@ impl StatsSnapshot {
             ("audits_failed", self.audits_failed),
             ("forged_receipts", self.forged_receipts),
             ("quarantines", self.quarantines),
+            ("breaker_fast_fails", self.breaker_fast_fails),
+            ("retry_budget_denials", self.retry_budget_denials),
         ]
     }
 }
@@ -839,6 +853,12 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                 P2pEvent::NodeQuarantined { entries_purged, residents_parked } => {
                     flags.push(format!("entries_purged={entries_purged}"));
                     flags.push(format!("residents_parked={residents_parked}"));
+                }
+                P2pEvent::BreakerFastFailed { class } => {
+                    flags.push(format!("class={class}"));
+                }
+                P2pEvent::RetryBudgetExhausted { class } => {
+                    flags.push(format!("class={class}"));
                 }
             }
             (String::new(), String::new(), hops, flags.join("|"))

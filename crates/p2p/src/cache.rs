@@ -20,7 +20,7 @@ use crate::directory::{DirectoryKind, LookupDirectory};
 use crate::events::{NoSink, P2pEvent, P2pSink};
 use crate::faults::{NetFaults, P2pError};
 use crate::ledger::MessageLedger;
-use crate::transport::{MessageClass, TransportFaults, UnreliableTransport};
+use crate::transport::{MessageClass, OverloadDefense, TransportFaults, UnreliableTransport};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use webcache_pastry::{NodeId, Overlay, PastryConfig};
@@ -341,6 +341,16 @@ impl AdversaryState {
     }
 }
 
+/// The destination id the cache's internal transport path uses for
+/// messages addressed to the proxy end of the client↔proxy
+/// channel (directory updates/invalidates, push responses). Node-bound
+/// messages use the node's overlay id, so with the overload defenses
+/// armed each client machine — and the proxy — gets its own circuit
+/// breaker. No cacheId can collide with it: SHA-1-derived ids are
+/// astronomically unlikely to be all-ones, and the constant is only a
+/// breaker-map key.
+pub const PROXY_DEST: u128 = u128::MAX;
+
 /// The federated client cache for one client cluster.
 #[derive(Clone, Debug)]
 pub struct P2PClientCache {
@@ -462,6 +472,21 @@ impl P2PClientCache {
         self.transport.as_ref()
     }
 
+    /// Arms the transport's overload defenses (per-destination circuit
+    /// breakers and the per-node retry budget; see
+    /// [`crate::transport`]'s module docs). Installs a fault-free
+    /// transport first when none is present — a zero-fault transport is
+    /// behaviorally inert, so arming defenses on a clean network changes
+    /// nothing until faults appear. An all-off `defense` is a no-op.
+    pub fn arm_overload_defense(&mut self, defense: OverloadDefense) {
+        if defense.is_none() {
+            return;
+        }
+        let t =
+            self.transport.get_or_insert_with(|| UnreliableTransport::new(TransportFaults::none()));
+        t.arm_overload(defense);
+    }
+
     /// Installs the misbehavior subsystem: per-node [`Behavior`]
     /// overrides (set with [`set_behavior`](Self::set_behavior)) plus
     /// the spot-check audit defense. Every misbehavior and audit coin
@@ -561,7 +586,7 @@ impl P2PClientCache {
         }
         self.ledger.audits_challenged += 1;
         self.ledger.overlay_messages += 2; // challenge + echo round trip
-        self.transport_send(MessageClass::AuditChallenge, object, sink);
+        self.transport_send(MessageClass::AuditChallenge, from.0, object, sink);
         if S::ENABLED {
             sink.event(P2pEvent::AuditChallenged { passed: genuine });
         }
@@ -701,17 +726,23 @@ impl P2PClientCache {
     /// cost — one [`note_timeout`](Self::note_timeout) per failed
     /// attempt, plus backoff waits and the reorder stall as latency
     /// penalties — and records retries, dedups, and checksum failures in
-    /// the ledger and the event stream. Returns whether the payload was
-    /// delivered; `false` (lost or quarantined) only ever happens for
-    /// droppable payload classes, and the caller degrades safely.
+    /// the ledger and the event stream. `dest` is the receiver the
+    /// message is addressed to (a node's overlay id, or [`PROXY_DEST`]
+    /// for the proxy end of the client↔proxy channel); with the overload
+    /// defenses armed it selects the per-destination circuit breaker.
+    /// Returns whether the payload was delivered; `false` (lost,
+    /// quarantined, fast-failed by an open breaker, or abandoned by an
+    /// exhausted retry budget) only ever happens for droppable payload
+    /// classes, and the caller degrades safely.
     fn transport_send<S: P2pSink>(
         &mut self,
         class: MessageClass,
+        dest: u128,
         payload: u128,
         sink: &mut S,
     ) -> bool {
         let Some(t) = self.transport.as_mut() else { return true };
-        let out = t.send(class, payload);
+        let out = t.send_to(class, dest, payload);
         for _ in 0..out.timeouts {
             self.note_timeout(false, sink);
         }
@@ -735,6 +766,18 @@ impl P2PClientCache {
             self.ledger.checksum_failures += u64::from(out.checksum_failures);
             if S::ENABLED {
                 sink.event(P2pEvent::ChecksumFailed { class: class.label() });
+            }
+        }
+        if out.breaker_fast_fail {
+            self.ledger.breaker_fast_fails += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::BreakerFastFailed { class: class.label() });
+            }
+        }
+        if out.budget_denied {
+            self.ledger.retry_budget_denials += 1;
+            if S::ENABLED {
+                sink.event(P2pEvent::RetryBudgetExhausted { class: class.label() });
             }
         }
         out.delivered
@@ -1210,7 +1253,7 @@ impl P2PClientCache {
         // The invalidation is metadata: retries priced, always delivered
         // (a dropped one would leave the exact directory permanently
         // oversized).
-        self.transport_send(MessageClass::DirectoryInvalidate, object, sink);
+        self.transport_send(MessageClass::DirectoryInvalidate, PROXY_DEST, object, sink);
         self.directory.remove(object);
         // A phantom entry dies with the stale fetch that exposed it —
         // the existing negative feedback is the undefended cluster's
@@ -1247,7 +1290,7 @@ impl P2PClientCache {
         // never arrives intact, the cooperating proxy falls back to the
         // server (the holder's greedy-dual touch above stands — it did
         // serve the request, the transfer died afterwards).
-        if !self.transport_send(MessageClass::Push, object, sink) {
+        if !self.transport_send(MessageClass::Push, PROXY_DEST, object, sink) {
             return None;
         }
         self.ledger.pushes += 1;
@@ -1581,7 +1624,7 @@ impl P2PClientCache {
         // The promotion re-home is metadata riding the repair protocol:
         // retries are priced, but it always lands — dropping it would
         // strand the promoted replica outside the root's bookkeeping.
-        self.transport_send(MessageClass::ReplicaRehome, object, sink);
+        self.transport_send(MessageClass::ReplicaRehome, h.0, object, sink);
         let evicted = {
             let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
             hn.store.insert_with_cost(object, credit, 1.0)
@@ -1992,7 +2035,7 @@ impl P2PClientCache {
         // every attempt) simply is not cached — lossy but safe: nothing
         // was mutated, the proxy's eviction stands, and the next request
         // for the object is an ordinary miss.
-        if !self.transport_send(MessageClass::Destage, object, sink) {
+        if !self.transport_send(MessageClass::Destage, entry.0, object, sink) {
             return None;
         }
         match via_client {
@@ -2045,7 +2088,7 @@ impl P2PClientCache {
             matches!(adv.behavior_of(root), Behavior::FreeRider | Behavior::Forger { .. })
         });
         if fakes_receipt {
-            self.transport_send(MessageClass::DirectoryUpdate, object, sink);
+            self.transport_send(MessageClass::DirectoryUpdate, PROXY_DEST, object, sink);
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
             self.adversary
@@ -2073,7 +2116,7 @@ impl P2PClientCache {
             // reliable client↔proxy channel: retries are priced, but it
             // always lands — a dropped receipt would desynchronize the
             // directory from residency.
-            self.transport_send(MessageClass::DirectoryUpdate, object, sink);
+            self.transport_send(MessageClass::DirectoryUpdate, PROXY_DEST, object, sink);
             self.directory.insert(object);
             self.ledger.store_receipts += 1;
             self.note_genuine_copy(object);
@@ -2109,7 +2152,7 @@ impl P2PClientCache {
                 // The root→neighbor diversion transfer carries the object
                 // body; when it never arrives intact, the root gives up
                 // on diverting and replaces locally (the fallback below).
-                if !self.transport_send(MessageClass::Diversion, object, sink) {
+                if !self.transport_send(MessageClass::Diversion, b.0, object, sink) {
                     break;
                 }
                 let bn = self.nodes.get_mut(&b.0).expect("leaf member is live");
@@ -2119,7 +2162,7 @@ impl P2PClientCache {
                 let rn = self.nodes.get_mut(&root.0).expect("root is live");
                 rn.diverted_to.insert(object, b);
                 self.resident += 1;
-                self.transport_send(MessageClass::DirectoryUpdate, object, sink);
+                self.transport_send(MessageClass::DirectoryUpdate, PROXY_DEST, object, sink);
                 self.directory.insert(object);
                 self.ledger.diversions += 1;
                 self.ledger.store_receipts += 1;
@@ -2143,7 +2186,7 @@ impl P2PClientCache {
         let evicted = evicted.expect("full store must evict");
         self.on_node_eviction(root, evicted, sink);
         self.resident += 1;
-        self.transport_send(MessageClass::DirectoryUpdate, object, sink);
+        self.transport_send(MessageClass::DirectoryUpdate, PROXY_DEST, object, sink);
         self.directory.insert(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
@@ -2195,7 +2238,7 @@ impl P2PClientCache {
         let Some(forger) = claimant else { return };
         // The forged receipt is indistinguishable from a real one: it
         // rides the same metadata channel and lands in the directory.
-        self.transport_send(MessageClass::DirectoryUpdate, evicted, sink);
+        self.transport_send(MessageClass::DirectoryUpdate, PROXY_DEST, evicted, sink);
         self.directory.insert(evicted);
         self.ledger.store_receipts += 1;
         self.adversary
@@ -2455,7 +2498,7 @@ impl P2PClientCache {
         let (h, credit) = chosen?;
         // The promotion re-home is metadata on island A's side of the
         // cut: retries are priced, but it always lands.
-        self.transport_send(MessageClass::ReplicaRehome, obj, sink);
+        self.transport_send(MessageClass::ReplicaRehome, h.0, obj, sink);
         let hn = self.nodes.get_mut(&h.0).expect("chosen host is live");
         let evicted = hn.store.insert_with_cost(obj, credit, 1.0);
         debug_assert!(evicted.is_none(), "free space was checked");
@@ -2791,7 +2834,7 @@ impl P2PClientCache {
         // transport: retries priced, duplicates absorbed by the dedup
         // windows. Their semantic effect was applied by the sweep above.
         for (class, payload) in pending_cut {
-            self.transport_send(class, payload, sink);
+            self.transport_send(class, PROXY_DEST, payload, sink);
             self.ledger.cut_drained += 1;
         }
         if S::ENABLED {

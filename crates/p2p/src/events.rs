@@ -185,6 +185,20 @@ pub enum P2pEvent {
         /// path promotes replicas or falls back to the server).
         residents_parked: u32,
     },
+    /// A send fail-fasted on an open circuit breaker: the destination
+    /// has been failing consistently, so the message was not attempted
+    /// and the whole send cost one detection timeout.
+    BreakerFastFailed {
+        /// Protocol message class label (`MessageClass::label`).
+        class: &'static str,
+    },
+    /// The per-node retry budget ran dry mid-ladder: retransmission was
+    /// abandoned and the caller degraded the work (origin fetch, object
+    /// not cached) instead of feeding a retry storm.
+    RetryBudgetExhausted {
+        /// Protocol message class label (`MessageClass::label`).
+        class: &'static str,
+    },
 }
 
 impl P2pEvent {
@@ -214,6 +228,8 @@ impl P2pEvent {
             P2pEvent::AuditFailed { .. } => "audit_failed",
             P2pEvent::ForgedReceiptDetected { .. } => "forged_receipt_detected",
             P2pEvent::NodeQuarantined { .. } => "node_quarantined",
+            P2pEvent::BreakerFastFailed { .. } => "breaker_fast_failed",
+            P2pEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
         }
     }
 }
@@ -305,6 +321,14 @@ mod tests {
         assert_eq!(
             P2pEvent::NodeQuarantined { entries_purged: 3, residents_parked: 1 }.kind_label(),
             "node_quarantined"
+        );
+        assert_eq!(
+            P2pEvent::BreakerFastFailed { class: "destage" }.kind_label(),
+            "breaker_fast_failed"
+        );
+        assert_eq!(
+            P2pEvent::RetryBudgetExhausted { class: "push" }.kind_label(),
+            "retry_budget_exhausted"
         );
     }
 

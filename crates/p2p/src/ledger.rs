@@ -85,6 +85,14 @@ pub struct MessageLedger {
     /// Nodes quarantined after exhausting their audit strikes.
     #[serde(default)]
     pub quarantines: u64,
+    /// Sends that fail-fasted on an open circuit breaker (overload
+    /// defense): one detection timeout instead of a full backoff ladder.
+    #[serde(default)]
+    pub breaker_fast_fails: u64,
+    /// Ladders abandoned because the per-node retry budget ran dry
+    /// (overload defense): the caller degraded to the origin server.
+    #[serde(default)]
+    pub retry_budget_denials: u64,
 }
 
 impl MessageLedger {
@@ -127,6 +135,8 @@ impl MessageLedger {
         self.audits_failed += other.audits_failed;
         self.forged_receipts += other.forged_receipts;
         self.quarantines += other.quarantines;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.retry_budget_denials += other.retry_budget_denials;
     }
 }
 

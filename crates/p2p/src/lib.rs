@@ -35,4 +35,6 @@ pub use directory::{DirectoryKind, LookupDirectory};
 pub use events::{NoSink, P2pEvent, P2pSink};
 pub use faults::{NetFaults, P2pError};
 pub use ledger::MessageLedger;
-pub use transport::{MessageClass, SendOutcome, TransportFaults, UnreliableTransport};
+pub use transport::{
+    MessageClass, OverloadDefense, SendOutcome, TransportFaults, UnreliableTransport,
+};

@@ -25,6 +25,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// How many P2P round trips a lazy timeout detection is priced at.
+///
+/// This is the single source of truth for the `t_timeout = 4 · Tp2p` rule
+/// used everywhere a lost or unanswered P2P message is charged: the network
+/// model's `t_timeout` term, the unreliable transport's retransmission
+/// ladder, and the churn drill's stall accounting all derive from this
+/// constant. The rationale: a timeout must dwarf a normal P2P round trip
+/// (otherwise lazy detection would be free) while staying comparable to a
+/// server fetch; 4 × Tp2p = 5.6 Tl sits between Tc and Ts at the paper's
+/// default latency ratios.
+pub const TIMEOUT_RTT_MULTIPLE: f64 = 4.0;
+
 pub mod bloom;
 pub mod fenwick;
 pub mod fxhash;

@@ -17,9 +17,11 @@
 //!
 //! An optional [`FlashCrowd`] knob layers a breaking-news burst on top:
 //! inside a seeded window one previously cold object spikes to the head
-//! of the popularity ranking. It runs as a post-pass with its own derived
-//! RNG stream, so traces without the knob are byte-identical to pre-knob
-//! generations.
+//! of the popularity ranking. An optional [`Diurnal`] knob modulates the
+//! request rate sinusoidally (busy hours vs. off-hours) via a monotone
+//! time-warp resampling. Both run as post-passes with their own derived
+//! RNG streams, so traces without the knobs are byte-identical to
+//! pre-knob generations.
 //!
 //! # Generation model (ProWGen's "dynamic" stack variant)
 //!
@@ -75,6 +77,26 @@ pub struct FlashCrowd {
     pub intensity: f64,
 }
 
+/// A diurnal load swing: sinusoidal request-rate modulation with the
+/// given period and amplitude, realized as a monotone time-warp
+/// resampling of the generated stream. The engine consumes one request
+/// per round, so "rate" lives in how fast the output walks through the
+/// underlying content process: at the peak of the swing many consecutive
+/// requests sample a narrow neighborhood of the base stream (dense,
+/// high-locality busy hours); in the trough the output skips across it
+/// (sparse off-hours). The request count is preserved exactly, the
+/// phase comes from a derived RNG stream, and the pass runs only when
+/// the knob is set — traces without it are byte-identical to pre-knob
+/// generations.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Swing period in requests (one simulated "day").
+    pub period: usize,
+    /// Peak-to-mean rate swing in (0, 1): instantaneous rate is
+    /// `1 + amplitude·sin(2πk/period + φ)`.
+    pub amplitude: f64,
+}
+
 /// Configuration for [`ProWGen`]. Defaults are the paper's (§5.1).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ProWGenConfig {
@@ -112,6 +134,11 @@ pub struct ProWGenConfig {
     /// pre-knob generations of the same seed.
     #[serde(default)]
     pub flash_crowd: Option<FlashCrowd>,
+    /// Optional diurnal load swing. `None` (the default) performs no
+    /// extra draws, so traces without the knob stay byte-identical to
+    /// pre-knob generations of the same seed.
+    #[serde(default)]
+    pub diurnal: Option<Diurnal>,
     /// RNG seed; every derived stream is deterministic in this.
     pub seed: u64,
 }
@@ -129,6 +156,7 @@ impl Default for ProWGenConfig {
             size_model: SizeModel::Unit,
             size_pop_correlation: 0.0,
             flash_crowd: None,
+            diurnal: None,
             seed: 0x5EED_2003,
         }
     }
@@ -172,6 +200,14 @@ impl ProWGenConfig {
                 return Err("flash_crowd intensity must be in (0, 1]".into());
             }
         }
+        if let Some(d) = &self.diurnal {
+            if d.period < 2 || d.period > self.requests {
+                return Err("diurnal period must be in [2, requests]".into());
+            }
+            if !(d.amplitude > 0.0 && d.amplitude < 1.0) {
+                return Err("diurnal amplitude must be in (0, 1)".into());
+            }
+        }
         let n = self.distinct_objects;
         let n_one = (n as f64 * self.one_time_fraction).round() as usize;
         let n_multi = n - n_one;
@@ -210,6 +246,10 @@ pub struct GenReport {
     /// The flash-crowd object, when the knob was on.
     #[serde(default)]
     pub flash_object: Option<u32>,
+    /// The seeded phase (radians) of the diurnal swing, when the knob
+    /// was on.
+    #[serde(default)]
+    pub diurnal_phase: Option<f64>,
 }
 
 /// The generator. Create with [`ProWGen::new`], call [`ProWGen::generate`].
@@ -364,6 +404,36 @@ impl ProWGen {
             });
         }
         debug_assert_eq!(total_remaining, 0);
+
+        if let Some(d) = cfg.diurnal {
+            // Monotone time-warp resampling on its own derived stream
+            // (see [`Diurnal`]). Each output slot advances "content
+            // time" by 1/rate, normalized so the warp spans the base
+            // stream exactly: peak-rate slots revisit a narrow base
+            // neighborhood, trough slots skip across it. Runs before
+            // the flash-crowd overlay so the burst window stays in
+            // output coordinates.
+            let mut drng = ChaCha8Rng::seed_from_u64(derive(cfg.seed, "diurnal"));
+            let phase = drng.random::<f64>() * std::f64::consts::TAU;
+            let incs: Vec<f64> = (0..r)
+                .map(|k| {
+                    let angle = std::f64::consts::TAU * k as f64 / d.period as f64 + phase;
+                    1.0 / (1.0 + d.amplitude * angle.sin())
+                })
+                .collect();
+            let total: f64 = incs.iter().sum();
+            let scale = r as f64 / total;
+            let mut pos = 0.0f64;
+            requests = incs
+                .iter()
+                .map(|inc| {
+                    let idx = (pos as usize).min(r - 1);
+                    pos += inc * scale;
+                    requests[idx]
+                })
+                .collect();
+            report.diurnal_phase = Some(phase);
+        }
 
         if let Some(fc) = cfg.flash_crowd {
             // Post-pass on its own derived stream: the base generation
@@ -652,6 +722,66 @@ mod tests {
         assert!(with(FlashCrowd { at: 0, span: 100, intensity: 0.0 }));
         assert!(with(FlashCrowd { at: 0, span: 100, intensity: 1.5 }));
         assert!(!with(FlashCrowd { at: 0, span: 60_000, intensity: 1.0 }));
+    }
+
+    #[test]
+    fn diurnal_swing_is_seeded_and_modulates_locality() {
+        let base = ProWGen::new(small_cfg()).generate();
+        let cfg = ProWGenConfig {
+            diurnal: Some(Diurnal { period: 10_000, amplitude: 0.9 }),
+            ..small_cfg()
+        };
+        let (t, rep) = ProWGen::new(cfg.clone()).generate_with_report();
+        let phase = rep.diurnal_phase.expect("knob was on");
+
+        // Exact request count, same universe bound, deterministic.
+        assert_eq!(t.len(), base.len());
+        assert!(t.requests.iter().all(|r| r.object < t.num_objects));
+        let (t2, rep2) = ProWGen::new(cfg.clone()).generate_with_report();
+        assert_eq!(t.requests, t2.requests);
+        assert_eq!(rep2.diurnal_phase, Some(phase));
+        assert_ne!(t.requests, base.requests, "a 0.9 swing must reshape the stream");
+
+        // The phase is its own derived stream: a different master seed
+        // moves it.
+        let other = ProWGenConfig { seed: cfg.seed ^ 1, ..cfg.clone() };
+        let (_, rep3) = ProWGen::new(other).generate_with_report();
+        assert_ne!(rep3.diurnal_phase, Some(phase));
+
+        // Peak-rate slots sample a narrow base neighborhood (dense
+        // re-references), trough slots skip across it: distinct objects
+        // per request must be visibly lower at the peak.
+        let tau = std::f64::consts::TAU;
+        let mut peak = std::collections::HashSet::new();
+        let mut trough = std::collections::HashSet::new();
+        let (mut n_peak, mut n_trough) = (0u64, 0u64);
+        for (k, r) in t.requests.iter().enumerate() {
+            let s = (tau * k as f64 / 10_000.0 + phase).sin();
+            if s > 0.5 {
+                peak.insert(r.object);
+                n_peak += 1;
+            } else if s < -0.5 {
+                trough.insert(r.object);
+                n_trough += 1;
+            }
+        }
+        let peak_ratio = peak.len() as f64 / n_peak as f64;
+        let trough_ratio = trough.len() as f64 / n_trough as f64;
+        assert!(
+            peak_ratio < trough_ratio * 0.8,
+            "peak distinct/request {peak_ratio:.3} should sit well below trough {trough_ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn diurnal_validation() {
+        let with =
+            |d: Diurnal| ProWGenConfig { diurnal: Some(d), ..small_cfg() }.validate().is_err();
+        assert!(with(Diurnal { period: 1, amplitude: 0.5 }));
+        assert!(with(Diurnal { period: 100_000, amplitude: 0.5 }));
+        assert!(with(Diurnal { period: 5_000, amplitude: 0.0 }));
+        assert!(with(Diurnal { period: 5_000, amplitude: 1.0 }));
+        assert!(!with(Diurnal { period: 5_000, amplitude: 0.99 }));
     }
 
     #[test]
