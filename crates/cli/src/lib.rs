@@ -50,10 +50,10 @@ use std::sync::Arc;
 use webcache_sim::sweep::{gain_curve, sweep};
 use webcache_sim::throughput::measure_throughput;
 use webcache_sim::{
-    latency_gain_percent, run_adversary, run_chaos, run_churn, run_experiment,
+    latency_gain_percent, run_adversary, run_chaos, run_churn, run_durability, run_experiment,
     run_experiment_recorded, run_overload, AdversaryConfig, ChaosConfig, ChurnConfig, ClockMode,
-    EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass, NetworkModel,
-    OverloadConfig, SchemeKind, SimError, StatsRecorder,
+    DurabilityConfig, EventLogRecorder, ExperimentConfig, FaultAction, FaultPlan, HitClass,
+    NetworkModel, OverloadConfig, SchemeKind, SimError, StatsRecorder,
 };
 use webcache_workload::{
     Diurnal, FlashCrowd, ProWGen, ProWGenConfig, Trace, TraceStats, UcbLike, UcbLikeConfig,
@@ -198,13 +198,17 @@ USAGE:
                  [--clients N] [--seed N]
                  [--flash-at N --flash-span N [--flash-intensity F]]
                  [--diurnal-period N [--diurnal-amplitude F]]
+                 [--scan-fraction F]
                  (the flash flags layer a flash-crowd burst over a
                   prowgen trace: one cold object spikes to the head of
                   the popularity ranking for the window [at, at+span);
                   the diurnal flags modulate the request rate
                   sinusoidally with that period and amplitude in (0,1),
                   default 0.5 — busy hours revisit a dense neighborhood
-                  of the stream, off-hours skip across it)
+                  of the stream, off-hours skip across it;
+                  --scan-fraction F redirects that fraction of requests
+                  to a one-touch sequential scan of the object space —
+                  crawler traffic with zero temporal locality)
   webcache stats FILE...
   webcache run   --scheme nc|nc-ec|sc|sc-ec|fc|fc-ec|hier-gd
                  [--cache-frac F] [--clients N] [--ts-tc F] [--ts-tl F]
@@ -231,8 +235,9 @@ USAGE:
                  (fault drill over a synthetic Hier-GD run; SPEC is
                   crash@N,depart@N,rejoin@N,slow@N,partition@N{A|B},
                   heal@N,freeride@N,forge@N:RATE,garble@N:RATE,
-                  loss=F,mloss=F,dup=F,reorder=F,corrupt=F,
-                  window=N,seed=N tokens. partition@N{A|B} cuts the
+                  domainfail@N:D,burst@N:K,loss=F,mloss=F,dup=F,
+                  reorder=F,corrupt=F,window=N,seed=N,domains=D,
+                  repair=N tokens. partition@N{A|B} cuts the
                   overlay before request N with A% of the machines on
                   the proxy side (A+B must be 100); heal@N merges the
                   islands back with the anti-entropy sweep. freeride/
@@ -240,13 +245,21 @@ USAGE:
                   request N — forge fakes store receipts at RATE per
                   opportunity, garble serves corrupted payloads; arm
                   the audit defense with --audit-rate F [--strikes K].
+                  domains=D carves each cluster into D correlated
+                  failure domains (racks/switches); domainfail@N:D then
+                  crashes every machine in domain D before request N,
+                  and burst@N:K crashes K seeded machines at once.
+                  repair=N arms the proactive repair scheduler: each
+                  round the proxy scans up to N directory entries and
+                  re-replicates any under the replication floor.
                   Without --plan, --crashes N spreads N silent crashes
                   evenly through the run)
   webcache chaos [--plans N] [--seed N] [--requests N] [--objects N]
                  [--clients N] [--proxy-cap N] [--node-cap N]
                  [--replication K] [--max-events N] [--sabotage true]
                  [--partition-prob F] [--adversary-prob F] [--audit-rate F]
-                 [--flash-prob F] [--clock compat|event] [--json true]
+                 [--flash-prob F] [--burst-prob F]
+                 [--clock compat|event] [--json true]
                  [--report-out FILE] [--repro-out FILE]
                  (random seeded fault plans + invariant oracles; failing
                   plans are shrunk to minimal reproducer specs, written
@@ -258,8 +271,13 @@ USAGE:
                   0.25], audited at --audit-rate F [default 0.3];
                   --flash-prob F injects a flash-crowd spike (and, half
                   the time, the overload defenses) in that fraction of
-                  plans [default 0.25]; --json true prints the
-                  machine-readable report instead of the table)
+                  plans [default 0.25]; --burst-prob F injects a
+                  correlated failure — a domain kill or simultaneous
+                  burst, half the time with proactive repair armed — in
+                  that fraction of plans [default 0.25], audited by the
+                  ninth (no-silent-loss ledger) oracle; --json true
+                  prints the machine-readable report instead of the
+                  table)
   webcache adversary [--fracs f1,f2,...] [--audit-rates r1,r2,...]
                  [--forge-rate F] [--strikes K] [--seed N] [--requests N]
                  [--objects N] [--clients N] [--proxy-cap N] [--node-cap N]
@@ -287,6 +305,21 @@ USAGE:
                   spike ends. Defaults to --clock event with the latency
                   model scaled down 16x — the analytic clock has no queue
                   to overload)
+  webcache durability [--bursts b1,b2,...] [--ks k1,k2,...]
+                 [--burst-at N] [--repair N] [--seed N] [--requests N]
+                 [--objects N] [--clients N] [--proxy-cap N] [--node-cap N]
+                 [--trace-seed N] [--clock compat|event] [--json true]
+                 [--report-out FILE] [--csv-out FILE]
+                 (correlated burst size x replica k x placement x repair
+                  sweep: the cluster is carved into clients/burst failure
+                  domains and one whole domain crashes at --burst-at.
+                  Each (burst, k) point runs blind/spread replica
+                  placement crossed with reactive/proactive repair over
+                  the same trace and failure schedule; the report carries
+                  objects lost, the at-risk window area, the mean time to
+                  repair, and the naive-vs-defended loss factor. Defaults
+                  to --clock event so the --repair scan budget is priced
+                  as real proxy work)
 
 Traces are the binary format written by `webcache gen` (WCTRACE1).
 --clock compat (default) prices latencies analytically at arrival and
@@ -326,6 +359,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         "chaos" => cmd_chaos(cmd),
         "adversary" => cmd_adversary(cmd),
         "overload" => cmd_overload(cmd),
+        "durability" => cmd_durability(cmd),
         other => {
             Err(CliError::Usage(UsageError(format!("unknown subcommand '{other}'\n\n{USAGE}"))))
         }
@@ -362,6 +396,7 @@ fn cmd_gen(cmd: &Command) -> Result<String, CliError> {
                 seed: cmd.opt("seed", 0x5EED_2003)?,
                 flash_crowd,
                 diurnal,
+                scan_fraction: cmd.opt("scan-fraction", 0.0)?,
                 ..ProWGenConfig::default()
             };
             cfg.validate().map_err(|e| format!("invalid workload: {e}"))?;
@@ -542,6 +577,12 @@ fn cmd_explain(cmd: &Command) -> Result<String, CliError> {
         snap.stale_lookups,
         snap.lookups,
         snap.stale_lookup_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "durability: {} objects permanently lost (every loss ledgered), \
+         {} proactive repairs restored {} copies",
+        snap.objects_lost_permanent, snap.proactive_repairs, snap.proactive_repair_copies
     );
     let _ = writeln!(
         out,
@@ -742,6 +783,7 @@ fn cmd_chaos(cmd: &Command) -> Result<String, CliError> {
         adversary_prob: cmd.opt("adversary-prob", defaults.adversary_prob)?,
         audit_rate: cmd.opt("audit-rate", defaults.audit_rate)?,
         flash_prob: cmd.opt("flash-prob", defaults.flash_prob)?,
+        burst_prob: cmd.opt("burst-prob", defaults.burst_prob)?,
         net: net_from(cmd)?,
         clock: clock_from(cmd)?,
         sabotage: cmd.opt("sabotage", false)?,
@@ -899,6 +941,75 @@ fn cmd_overload(cmd: &Command) -> Result<String, CliError> {
             out,
             "overload sweep: {} requests, {} client machines, spike at {} for {} requests\n",
             report.requests, report.cluster, report.spike_at, report.spike_span
+        );
+        out.push_str(&report.to_table());
+    }
+    if let Some(path) = cmd.options.get("report-out") {
+        std::fs::write(path, report.to_json()).map_err(|e| named_io(path, e))?;
+        if !json {
+            let _ = writeln!(out, "wrote {path}");
+        }
+    }
+    if let Some(path) = cmd.options.get("csv-out") {
+        std::fs::write(path, report.to_csv()).map_err(|e| named_io(path, e))?;
+        if !json {
+            let _ = writeln!(out, "wrote {path}");
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the durability sweep (`webcache durability`): correlated burst
+/// size × replica k × placement × repair pace over the same trace and
+/// failure schedule, so each naive/defended pair differs only in the
+/// defenses. The JSON report feeds `FIGURE_durability.json`; the CSV is
+/// the figure data. Like `overload`, the default clock is `event` so
+/// the repair scan budget is priced as real proxy work; `--clock
+/// compat` still works and stays bit-stable.
+fn cmd_durability(cmd: &Command) -> Result<String, CliError> {
+    let defaults = DurabilityConfig::default();
+    let bursts: Vec<u32> = cmd
+        .opt("bursts", "4,8,16".to_string())?
+        .split(',')
+        .map(|t| t.trim().parse::<u32>().map_err(|_| format!("bad burst '{t}'")))
+        .collect::<Result<_, String>>()?;
+    let ks: Vec<usize> = cmd
+        .opt("ks", "2,3".to_string())?
+        .split(',')
+        .map(|t| t.trim().parse::<usize>().map_err(|_| format!("bad replication '{t}'")))
+        .collect::<Result<_, String>>()?;
+    let base = defaults.base;
+    let clock = match cmd.options.get("clock") {
+        None => base.clock,
+        Some(v) => v.parse().map_err(|e| CliError::Usage(UsageError(format!("--clock: {e}"))))?,
+    };
+    let cfg = DurabilityConfig {
+        base: ChurnConfig {
+            requests: cmd.opt("requests", base.requests)?,
+            distinct_objects: cmd.opt("objects", base.distinct_objects)?,
+            clients_per_cluster: cmd.opt("clients", base.clients_per_cluster)?,
+            proxy_capacity: cmd.opt("proxy-cap", base.proxy_capacity)?,
+            client_cache_capacity: cmd.opt("node-cap", base.client_cache_capacity)?,
+            trace_seed: cmd.opt("trace-seed", base.trace_seed)?,
+            clock,
+            ..base
+        },
+        bursts,
+        ks,
+        burst_at: cmd.opt("burst-at", defaults.burst_at)?,
+        repair: cmd.opt("repair", defaults.repair)?,
+        seed: cmd.opt("seed", defaults.seed)?,
+    };
+    let json = cmd.opt("json", false)?;
+    let report = run_durability(&cfg)?;
+    let mut out = String::new();
+    if json {
+        out.push_str(&report.to_json());
+    } else {
+        let _ = writeln!(
+            out,
+            "durability sweep: {} requests, {} client machines, domain failure at {}\n",
+            report.requests, report.cluster, report.burst_at
         );
         out.push_str(&report.to_table());
     }
@@ -1224,6 +1335,34 @@ mod tests {
     }
 
     #[test]
+    fn chaos_burst_prob_forces_correlated_failures_and_stays_green() {
+        let cmd = Command::parse(&argv(&[
+            "chaos",
+            "--plans",
+            "3",
+            "--seed",
+            "9",
+            "--requests",
+            "600",
+            "--objects",
+            "120",
+            "--clients",
+            "12",
+            "--burst-prob",
+            "1.0",
+            "--json",
+            "true",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("\"passed\": 3"), "{out}");
+
+        let bad = Command::parse(&argv(&["chaos", "--plans", "1", "--burst-prob", "2.0"])).unwrap();
+        let err = execute(&bad).unwrap_err();
+        assert!(format!("{err}").contains("burst_prob"), "{err}");
+    }
+
+    #[test]
     fn churn_runs_a_partition_plan_and_reports_reconciliation() {
         let cmd = Command::parse(&argv(&[
             "churn",
@@ -1370,6 +1509,54 @@ mod tests {
     }
 
     #[test]
+    fn durability_sweep_reports_losses_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("webcache-cli-durability-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("durability.json");
+        let csv_path = dir.join("durability.csv");
+        let cmd = Command::parse(&argv(&[
+            "durability",
+            "--requests",
+            "8000",
+            "--objects",
+            "400",
+            "--clients",
+            "32",
+            "--bursts",
+            "8",
+            "--ks",
+            "2",
+            "--burst-at",
+            "2000",
+            "--report-out",
+            report_path.to_str().unwrap(),
+            "--csv-out",
+            csv_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("durability sweep:"), "{out}");
+        assert!(out.contains("durability at burst"), "{out}");
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"rows\": ["), "{json}");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("burst,replication,"), "{csv}");
+        assert_eq!(csv.lines().count(), 5, "header + four placement/repair cells: {csv}");
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn durability_rejects_bad_grids() {
+        let bad = Command::parse(&argv(&["durability", "--bursts", "nope"])).unwrap();
+        assert_eq!(execute(&bad).unwrap_err().exit_code(), 1);
+        let bad = Command::parse(&argv(&["durability", "--bursts", "1"])).unwrap();
+        assert_eq!(execute(&bad).unwrap_err().exit_code(), 2);
+        let bad = Command::parse(&argv(&["durability", "--ks", "1"])).unwrap();
+        assert_eq!(execute(&bad).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
     fn overload_rejects_bad_grids() {
         let bad = Command::parse(&argv(&["overload", "--intensities", "nope"])).unwrap();
         assert_eq!(execute(&bad).unwrap_err().exit_code(), 1);
@@ -1477,5 +1664,36 @@ mod tests {
         ]))
         .unwrap();
         assert!(execute(&gen).unwrap_err().to_string().contains("invalid workload"));
+    }
+
+    #[test]
+    fn gen_scan_fraction_flag_reaches_the_generator() {
+        let dir = std::env::temp_dir().join("webcache-cli-scan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.bin");
+        let scanned = dir.join("scanned.bin");
+        for (path, extra) in
+            [(&plain, vec![]), (&scanned, vec!["--scan-fraction".to_string(), "0.2".to_string()])]
+        {
+            let mut args = vec![
+                "gen".to_string(),
+                "--out".to_string(),
+                path.to_string_lossy().into_owned(),
+                "--requests".to_string(),
+                "20000".to_string(),
+                "--objects".to_string(),
+                "1000".to_string(),
+            ];
+            args.extend(extra);
+            execute(&Command::parse(&args).unwrap()).unwrap();
+        }
+        let a = std::fs::read(&plain).unwrap();
+        let b = std::fs::read(&scanned).unwrap();
+        assert_ne!(a, b, "a 20% scan must reshape the trace");
+        // Out-of-range fraction is a usage error, not a panic.
+        let bad = Command::parse(&argv(&["gen", "--out", "/tmp/x.bin", "--scan-fraction", "1.0"]))
+            .unwrap();
+        assert!(execute(&bad).unwrap_err().to_string().contains("scan_fraction"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -6,7 +6,7 @@
 //! plans (crashes, departures, rejoins, slow nodes, network partitions
 //! with their heals, plus message-level loss/duplication/reordering/
 //! corruption through the unreliable transport), drives the Hier-GD
-//! engine through each, and audits the end state with eight oracles:
+//! engine through each, and audits the end state with nine oracles:
 //!
 //! 1. **Structure** — [`check_invariants`]: the lookup directory, the
 //!    resident stores, diversion pointers and replica tracking must
@@ -38,14 +38,24 @@
 //!    latency must sit back at the pre-spike baseline. A run that stays
 //!    degraded long after the load is gone is metastable — the classic
 //!    overload failure mode the defenses exist to rule out.
+//! 9. **No silent loss** — every object the cluster can no longer
+//!    recover must be ledgered exactly once (`objects_lost` plus an
+//!    `ObjectLost` event): an unrecoverable limbo entry that was never
+//!    ledgered is a silent loss, and the event stream must agree with
+//!    the ledger ([`silent_loss_audit`]). Correlated `domainfail@N:D`
+//!    failures and `burst@N:K` simultaneous crashes exist precisely to
+//!    pressure this guarantee.
 //!
 //! When an oracle fires, the explorer **shrinks** the failing plan:
 //! repeatedly try dropping each scheduled event, zeroing then halving
 //! each fault probability, narrowing each partition's span (pulling the
 //! heal toward its cut), halving adversary rates, narrowing each flash
 //! crowd (halving its span, then its intensity), disarming each
-//! overload-defense knob, and narrowing the request window to just past
-//! the last event — keeping any candidate that still fails — until a
+//! overload-defense knob, softening correlated failures (halving burst
+//! sizes, doubling the domain count to shrink the doomed domain's blast
+//! radius, disarming the repair pacer), and narrowing the request window
+//! to just past the last event — keeping any candidate that still fails
+//! — until a
 //! fixed point or the run budget is reached. The result is a minimal
 //! deterministic reproducer in the [`FaultPlan`] spec grammar, ready for
 //! `webcache churn --plan '<spec>'` or a regression test.
@@ -57,6 +67,7 @@
 //! [`check_invariants`]: webcache_p2p::P2PClientCache::check_invariants
 //! [`check_replica_floor`]: webcache_p2p::P2PClientCache::check_replica_floor
 //! [`directory_divergence`]: webcache_p2p::P2PClientCache::directory_divergence
+//! [`silent_loss_audit`]: webcache_p2p::P2PClientCache::silent_loss_audit
 
 use crate::clock::ClockMode;
 use crate::error::SimError;
@@ -104,6 +115,13 @@ pub struct ChaosConfig {
     /// half of flash plans also arm the overload defenses, so the
     /// stability oracle walks both sides of the metastability boundary.
     pub flash_prob: f64,
+    /// Probability that a plan schedules a correlated failure — a
+    /// `domainfail@N:D` over freshly carved failure domains, or a
+    /// `burst@N:K` of simultaneous crashes (1.0 forces one into every
+    /// plan — the CI durability smoke uses that). About half of burst
+    /// plans also arm the proactive repair pacer, so the no-silent-loss
+    /// oracle walks both reactive and proactive recovery.
+    pub burst_prob: f64,
     /// Latency model.
     pub net: NetworkModel,
     /// Clock mode every plan's drive runs under.
@@ -132,6 +150,7 @@ impl Default for ChaosConfig {
             adversary_prob: 0.25,
             audit_rate: 0.3,
             flash_prob: 0.25,
+            burst_prob: 0.25,
             net: NetworkModel::default(),
             clock: ClockMode::default(),
             sabotage: false,
@@ -166,6 +185,9 @@ impl ChaosConfig {
         if !(0.0..=1.0).contains(&self.flash_prob) {
             return Err(SimError::InvalidConfig("flash_prob must be in [0, 1]".into()));
         }
+        if !(0.0..=1.0).contains(&self.burst_prob) {
+            return Err(SimError::InvalidConfig("burst_prob must be in [0, 1]".into()));
+        }
         self.net.validate()
     }
 
@@ -185,6 +207,7 @@ impl ChaosConfig {
             clock: self.clock,
             audit_rate: self.audit_rate,
             audit_strikes: 3,
+            blind_placement: false,
         }
     }
 }
@@ -349,10 +372,32 @@ pub fn generate_plan(cfg: &ChaosConfig, index: u64) -> FaultPlan {
             plan.budget = 0.05 + draws.unit() * 0.45;
         }
     }
+    // Correlated failures, in `burst_prob` of plans. These draws come
+    // strictly after everything above (the flash block included), so
+    // pre-durability explorations at the same master seed regenerate
+    // their plans bit-identically. The failure lands in the first half
+    // so most plans also exercise post-loss recovery; about half of
+    // burst plans arm the proactive repair pacer, walking both reactive
+    // and proactive recovery past the no-silent-loss oracle.
+    if draws.unit() < cfg.burst_prob {
+        let half = (cfg.requests as u64 / 2).max(1);
+        let at = draws.next_u64() % half;
+        if draws.coin() == 1 {
+            plan.domains = 2 + (draws.next_u64() % 7) as u32;
+            let doomed = (draws.next_u64() % u64::from(plan.domains)) as u32;
+            plan.push(at, FaultAction::DomainFail(doomed));
+        } else {
+            let k = 2 + (draws.next_u64() % 4) as u32;
+            plan.push(at, FaultAction::Burst(k));
+        }
+        if draws.coin() == 1 {
+            plan.repair = 2 + (draws.next_u64() % 15) as u32;
+        }
+    }
     plan
 }
 
-/// Runs the eight oracles against one driven plan. Returns findings
+/// Runs the nine oracles against one driven plan. Returns findings
 /// (empty = all green).
 fn run_oracles(
     cfg: &ChaosConfig,
@@ -576,6 +621,23 @@ fn run_oracles(
         }
     }
 
+    // Oracle 9: no silent loss. Runs unconditionally — the guarantee is
+    // not gated on the durability knobs. Every object the cluster can no
+    // longer recover must have been ledgered (`objects_lost` plus an
+    // `ObjectLost` event) exactly once, and the event stream the
+    // recorder saw must agree with the cache's own ledger. End-state
+    // conservation in one line: nothing vanishes off the books.
+    for v in p2p.silent_loss_audit() {
+        violations.push(format!("silent_loss: {v}"));
+    }
+    let ledger_lost = p2p.ledger().objects_lost;
+    if out.snapshot.objects_lost_permanent != ledger_lost {
+        violations.push(format!(
+            "silent_loss: recorder saw {} ObjectLost events but the ledger counts {}",
+            out.snapshot.objects_lost_permanent, ledger_lost
+        ));
+    }
+
     Ok(violations)
 }
 
@@ -773,7 +835,63 @@ pub fn shrink(
             }
         }
 
-        // Pass 7: narrow the request window to just past the last event.
+        // Pass 7: soften correlated failures — halve each burst's size
+        // (floored at the grammar's 2 minimum), double the domain count
+        // (shrinking the doomed domain's share of the cluster), disarm
+        // the repair pacer, and drop a dangling domains= key once no
+        // domainfail remains. A smaller blast radius that still trips
+        // the oracles is a strictly simpler reproducer.
+        let mut bi = 0;
+        while bi < best.events.len() && runs < SHRINK_BUDGET {
+            let softened = match best.events[bi].action {
+                FaultAction::Burst(k) if k > 2 => Some(FaultAction::Burst((k / 2).max(2))),
+                _ => None,
+            };
+            let Some(action) = softened else {
+                bi += 1;
+                continue;
+            };
+            let mut candidate = best.clone();
+            candidate.events[bi].action = action;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            } else {
+                bi += 1;
+            }
+        }
+        let has_domainfail =
+            best.events.iter().any(|e| matches!(e.action, FaultAction::DomainFail(_)));
+        if runs < SHRINK_BUDGET && has_domainfail && best.domains > 0 && best.domains <= 32 {
+            let mut candidate = best.clone();
+            candidate.domains = best.domains * 2;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            }
+        }
+        if runs < SHRINK_BUDGET && best.repair > 0 {
+            let mut candidate = best.clone();
+            candidate.repair = 0;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            }
+        }
+        if runs < SHRINK_BUDGET && !has_domainfail && best.domains > 0 {
+            let mut candidate = best.clone();
+            candidate.domains = 0;
+            if let Some(v) = still_fails(&candidate, &mut runs)? {
+                best = candidate;
+                best_violations = v;
+                improved = true;
+            }
+        }
+
+        // Pass 8: narrow the request window to just past the last event.
         if runs < SHRINK_BUDGET {
             if let Some(last_at) = best.events.iter().map(|e| e.at).max() {
                 let narrowed = last_at + 64;
@@ -857,9 +975,10 @@ mod tests {
         // Not all plans identical, and events land inside the trace.
         assert!(a.windows(2).any(|w| w[0] != w[1]));
         for plan in &a {
-            // A partition pair (+2), an adversary batch (+3) and a
-            // flash crowd (+1) ride on top of the base event budget.
-            assert!(plan.events.len() <= cfg.max_events + 6);
+            // A partition pair (+2), an adversary batch (+3), a flash
+            // crowd (+1) and a correlated failure (+1) ride on top of
+            // the base event budget.
+            assert!(plan.events.len() <= cfg.max_events + 7);
             for e in &plan.events {
                 assert!(e.at < cfg.requests as u64);
             }
@@ -962,6 +1081,45 @@ mod tests {
             let plan = generate_plan(&cfg, i);
             assert!(!plan.has_spike());
             assert!(!plan.has_overload_defense());
+        }
+    }
+
+    #[test]
+    fn forced_bursts_hit_every_plan_and_stay_green() {
+        for clock in [ClockMode::Compat, ClockMode::Event] {
+            let cfg = ChaosConfig { burst_prob: 1.0, clock, ..quick_cfg() };
+            for i in 0..cfg.plans as u64 {
+                let plan = generate_plan(&cfg, i);
+                assert!(plan.has_durability(), "plan {i} must schedule a correlated failure");
+                assert!(
+                    plan.events.iter().any(|e| matches!(
+                        e.action,
+                        FaultAction::DomainFail(_) | FaultAction::Burst(_)
+                    )),
+                    "plan {i}: {}",
+                    plan.to_spec()
+                );
+                // Domain counts, burst sizes and the repair knob must
+                // survive the spec round trip.
+                let reparsed: FaultPlan = plan.to_spec().parse().expect("burst spec parses");
+                assert_eq!(reparsed, plan, "plan {i}: {}", plan.to_spec());
+            }
+            let report = run_chaos(&cfg).expect("chaos runs");
+            assert!(report.all_green(), "unexpected {clock:?} failures: {:#?}", report.failures);
+        }
+    }
+
+    #[test]
+    fn zero_burst_prob_generates_no_correlated_failures() {
+        let cfg = ChaosConfig { burst_prob: 0.0, ..quick_cfg() };
+        for i in 0..32 {
+            let plan = generate_plan(&cfg, i);
+            assert_eq!(plan.domains, 0);
+            assert_eq!(plan.repair, 0);
+            assert!(!plan
+                .events
+                .iter()
+                .any(|e| matches!(e.action, FaultAction::DomainFail(_) | FaultAction::Burst(_))));
         }
     }
 

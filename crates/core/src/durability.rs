@@ -1,0 +1,602 @@
+//! Durability sweep harness: correlated burst size × replica `k` ×
+//! placement × repair pace.
+//!
+//! A cluster of client caches does not fail one machine at a time: a
+//! switch dies, a rack loses power, a building's uplink drops — and
+//! every machine behind it goes down together. [`run_durability`]
+//! models that with failure domains (see [`FaultPlan`]'s `domains=` key
+//! and the `domainfail@N:D` verb): the cluster is carved into
+//! `cluster / burst` seeded domains and one whole domain crashes at
+//! `burst_at`, taking an expected `burst` machines at once.
+//!
+//! Per (burst, k) the sweep drives four cells over the **same trace and
+//! the same failure schedule**, differing only in the defenses:
+//!
+//! * **blind + reactive** — replicas placed with no regard for domains,
+//!   repair only on demand (the naive cell);
+//! * **blind + proactive** — the paced background repair scheduler is
+//!   armed, placement still blind;
+//! * **spread + reactive** — replicas spread across distinct failure
+//!   domains, repair on demand;
+//! * **spread + proactive** — both defenses (the defended cell).
+//!
+//! Spread placement bounds the *blast radius*: a whole-domain failure
+//! takes at most one copy of any object, so `k ≥ 2` survives it.
+//! Proactive repair bounds the *vulnerability window*: the at-risk
+//! gauge (objects below their replication floor) is driven back to
+//! zero by the paced scanner instead of waiting for a fetch to trip
+//! over each stale entry. The [`DurabilityReport`] carries objects
+//! lost, the at-risk window area (gauge summed over rounds), the mean
+//! time-to-repair, and a per-(burst, k) [`DurabilityRow`] comparing
+//! the naive and defended cells — the committed-figure gate wants the
+//! naive cell to lose ≥ 10× more objects. A fault-free baseline run
+//! anchors the latency reference and demonstrates conservation
+//! (nothing is ever lost without a fault). Everything is seeded and
+//! renders to bit-stable JSON/CSV (the durability golden test pins
+//! both clock modes).
+
+use crate::clock::ClockMode;
+use crate::error::SimError;
+use crate::fault::{drive, ChurnConfig, FaultAction, FaultPlan};
+use crate::net::NetworkModel;
+use std::fmt::Write as _;
+use webcache_primitives::seed::derive;
+use webcache_workload::{ProWGen, ProWGenConfig};
+
+/// Configuration of one durability sweep.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Topology, workload, latency model and clock mode for every cell.
+    /// The `plan`, `replication` and `blind_placement` fields are
+    /// overwritten per cell and may be left at their defaults.
+    pub base: ChurnConfig,
+    /// Correlated burst sizes to sweep: each is the expected number of
+    /// machines that die together (the cluster is carved into
+    /// `cluster / burst` failure domains and one whole domain fails).
+    pub bursts: Vec<u32>,
+    /// Replication factors `k` to sweep (each ≥ 2 — with a single copy
+    /// there is nothing for placement or repair to defend).
+    pub ks: Vec<usize>,
+    /// Request index where the domain fails in every cell.
+    pub burst_at: u64,
+    /// Proactive cells: directory entries the background repair
+    /// scheduler may scan per round (priced as real work under the
+    /// event clock).
+    pub repair: u32,
+    /// Master seed for the sweep's fault plans (label-separated from
+    /// the trace seed and every other stream).
+    pub seed: u64,
+}
+
+impl Default for DurabilityConfig {
+    /// The committed-figure sweep: bursts of 4, 8 and 16 machines out
+    /// of a 64-machine cluster at `k = 2` and `k = 3`, under the event
+    /// clock with the latency model scaled down 16× (see
+    /// [`NetworkModel::scaled`]) so repair pacing is priced against a
+    /// proxy with service headroom.
+    fn default() -> Self {
+        DurabilityConfig {
+            base: ChurnConfig {
+                clock: ClockMode::Event,
+                net: NetworkModel::default().scaled(1.0 / 16.0),
+                ..ChurnConfig::default()
+            },
+            bursts: vec![4, 8, 16],
+            ks: vec![2, 3],
+            burst_at: 10_000,
+            repair: 8,
+            seed: 0xD07A_B111,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.base.validate()?;
+        if self.bursts.is_empty() {
+            return Err(SimError::InvalidConfig("bursts must be non-empty".into()));
+        }
+        let cluster = self.base.clients_per_cluster as u32;
+        for b in &self.bursts {
+            if *b < 2 {
+                return Err(SimError::InvalidConfig(format!(
+                    "a correlated burst must take at least 2 machines, got {b}"
+                )));
+            }
+            if *b > cluster / 2 {
+                return Err(SimError::InvalidConfig(format!(
+                    "burst {b} needs at least two failure domains in a \
+                     {cluster}-machine cluster (max {})",
+                    cluster / 2
+                )));
+            }
+        }
+        if self.ks.is_empty() {
+            return Err(SimError::InvalidConfig("ks must be non-empty".into()));
+        }
+        for k in &self.ks {
+            if *k < 2 {
+                return Err(SimError::InvalidConfig(format!(
+                    "replication k must be at least 2 for durability to measure, got {k}"
+                )));
+            }
+            if *k >= self.base.clients_per_cluster {
+                return Err(SimError::InvalidConfig(format!(
+                    "replication k = {k} cannot exceed the cluster size {}",
+                    self.base.clients_per_cluster
+                )));
+            }
+        }
+        if self.repair == 0 {
+            return Err(SimError::InvalidConfig(
+                "repair pace must be at least 1 scan per round".into(),
+            ));
+        }
+        if self.burst_at >= self.base.requests as u64 {
+            return Err(SimError::InvalidConfig(format!(
+                "the burst must land inside the trace (burst at {}, {} requests)",
+                self.burst_at, self.base.requests
+            )));
+        }
+        Ok(())
+    }
+
+    /// Failure domains for one burst size: enough that one domain holds
+    /// an expected `burst` machines.
+    fn domains_for(&self, burst: u32) -> u32 {
+        (self.base.clients_per_cluster as u32 / burst).max(2)
+    }
+
+    /// The fault plan for one cell. All four cells of a (burst, k) grid
+    /// point share the identical failure schedule; only the repair key
+    /// differs (placement is a config flag, not a plan key).
+    fn plan_for(&self, burst: u32, proactive: bool) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = derive(self.seed, "durability-sweep");
+        plan.domains = self.domains_for(burst);
+        plan.push(self.burst_at, FaultAction::DomainFail(0));
+        if proactive {
+            plan.repair = self.repair;
+        }
+        plan
+    }
+}
+
+/// What one (burst, k, placement, repair) cell measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityCell {
+    /// Expected machines taken by the correlated failure.
+    pub burst: u32,
+    /// Replication factor the cell ran.
+    pub replication: usize,
+    /// Whether replicas were spread across distinct failure domains.
+    pub spread: bool,
+    /// Whether the paced background repair scheduler was armed.
+    pub proactive: bool,
+    /// Machines the domain failure actually crashed.
+    pub machines_lost: u64,
+    /// Objects permanently lost (every one ledgered — the no-silent-loss
+    /// guarantee).
+    pub objects_lost: u64,
+    /// Worst single-round at-risk gauge (objects below their
+    /// replication floor).
+    pub at_risk_peak: u64,
+    /// At-risk gauge summed over all rounds: the vulnerability window
+    /// area a second failure could exploit.
+    pub at_risk_area: u64,
+    /// Mean rounds from the failure to the at-risk gauge draining to
+    /// zero (0 when it never drained — see `repair_completed`).
+    pub mean_time_to_repair: f64,
+    /// Whether the at-risk gauge returned to zero before the trace ran
+    /// out.
+    pub repair_completed: bool,
+    /// Entries the repair scheduler restored ahead of demand.
+    pub proactive_repairs: u64,
+    /// Directory entries the repair scheduler scanned.
+    pub repair_scans: u64,
+    /// Mean end-to-end latency in milli-units (repair work is priced
+    /// into the queue under the event clock).
+    pub avg_latency_milli: u64,
+}
+
+/// Per-(burst, k) durability summary: naive vs defended cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityRow {
+    /// Expected machines taken by the correlated failure.
+    pub burst: u32,
+    /// Replication factor both cells ran.
+    pub replication: usize,
+    /// Objects the blind + reactive cell lost.
+    pub naive_objects_lost: u64,
+    /// Objects the spread + proactive cell lost.
+    pub defended_objects_lost: u64,
+    /// Naive vulnerability window area.
+    pub naive_at_risk_area: u64,
+    /// Defended vulnerability window area.
+    pub defended_at_risk_area: u64,
+    /// How many times more objects the naive cell lost (denominator
+    /// clamped to 1 so a flawless defended cell stays finite). The
+    /// committed-figure gate wants ≥ 10.
+    pub factor: f64,
+}
+
+/// Everything a durability sweep measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityReport {
+    /// Requests per run.
+    pub requests: u64,
+    /// Overlay size.
+    pub cluster: u64,
+    /// Clock mode every run used.
+    pub clock: ClockMode,
+    /// Master seed of the sweep's fault plans.
+    pub seed: u64,
+    /// Request index where every cell's domain fails.
+    pub burst_at: u64,
+    /// Scan budget per round of the proactive cells.
+    pub repair: u32,
+    /// Fault-free baseline mean latency in milli-units.
+    pub baseline_avg_latency_milli: u64,
+    /// Objects the fault-free baseline lost — conservation demands 0.
+    pub baseline_objects_lost: u64,
+    /// Four rows per (burst, k) grid point: blind+reactive,
+    /// blind+proactive, spread+reactive, spread+proactive.
+    pub cells: Vec<DurabilityCell>,
+    /// One row per (burst, k) grid point.
+    pub rows: Vec<DurabilityRow>,
+}
+
+/// Runs the sweep: one fault-free baseline, then four placement/repair
+/// cells per (burst, k) grid point, all over the same trace.
+pub fn run_durability(cfg: &DurabilityConfig) -> Result<DurabilityReport, SimError> {
+    cfg.validate()?;
+    let trace = ProWGen::new(ProWGenConfig {
+        requests: cfg.base.requests,
+        distinct_objects: cfg.base.distinct_objects,
+        num_clients: cfg.base.trace_clients.max(1) as u32,
+        seed: cfg.base.trace_seed,
+        ..ProWGenConfig::default()
+    })
+    .generate();
+
+    let (baseline, base_engine) = drive(
+        &ChurnConfig { plan: FaultPlan::none(), ..cfg.base.clone() },
+        &trace,
+        &FaultPlan::none(),
+    )?;
+    let baseline_avg_latency_milli = (baseline.metrics.avg_latency() * 1000.0).round() as u64;
+    let baseline_objects_lost = base_engine.p2p(0).ledger().objects_lost;
+
+    let mut bursts = cfg.bursts.clone();
+    bursts.sort_unstable();
+    bursts.dedup();
+    let mut ks = cfg.ks.clone();
+    ks.sort_unstable();
+    ks.dedup();
+
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for &k in &ks {
+        for &burst in &bursts {
+            let mut measured: Vec<DurabilityCell> = Vec::with_capacity(4);
+            for (spread, proactive) in [(false, false), (false, true), (true, false), (true, true)]
+            {
+                let plan = cfg.plan_for(burst, proactive);
+                let churn = ChurnConfig {
+                    replication: k,
+                    plan: plan.clone(),
+                    blind_placement: !spread,
+                    ..cfg.base.clone()
+                };
+                let (out, engine) = drive(&churn, &trace, &plan)?;
+                let mean_time_to_repair = if out.repair_rounds.is_empty() {
+                    0.0
+                } else {
+                    out.repair_rounds.iter().sum::<u64>() as f64 / out.repair_rounds.len() as f64
+                };
+                measured.push(DurabilityCell {
+                    burst,
+                    replication: k,
+                    spread,
+                    proactive,
+                    machines_lost: out.crashes,
+                    objects_lost: out.snapshot.objects_lost_permanent,
+                    at_risk_peak: out.at_risk_peak,
+                    at_risk_area: out.risk_area,
+                    mean_time_to_repair,
+                    repair_completed: !out.repair_rounds.is_empty(),
+                    proactive_repairs: out.snapshot.proactive_repairs,
+                    repair_scans: engine.p2p(0).ledger().repair_scans,
+                    avg_latency_milli: (out.metrics.avg_latency() * 1000.0).round() as u64,
+                });
+            }
+            let (naive, defended) = (&measured[0], &measured[3]);
+            rows.push(DurabilityRow {
+                burst,
+                replication: k,
+                naive_objects_lost: naive.objects_lost,
+                defended_objects_lost: defended.objects_lost,
+                naive_at_risk_area: naive.at_risk_area,
+                defended_at_risk_area: defended.at_risk_area,
+                factor: naive.objects_lost as f64 / defended.objects_lost.max(1) as f64,
+            });
+            cells.extend(measured);
+        }
+    }
+
+    Ok(DurabilityReport {
+        requests: cfg.base.requests as u64,
+        cluster: cfg.base.clients_per_cluster as u64,
+        clock: cfg.base.clock,
+        seed: cfg.seed,
+        burst_at: cfg.burst_at,
+        repair: cfg.repair,
+        baseline_avg_latency_milli,
+        baseline_objects_lost,
+        cells,
+        rows,
+    })
+}
+
+impl DurabilityReport {
+    /// Renders the report as a JSON document with a fixed field order
+    /// (hand-rolled: the offline build has no serde_json). Bit-stable
+    /// for a fixed config — the durability golden test diffs it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "  \"cluster\": {},", self.cluster);
+        let _ = writeln!(s, "  \"clock\": \"{}\",", self.clock.label());
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"burst_at\": {},", self.burst_at);
+        let _ = writeln!(s, "  \"repair\": {},", self.repair);
+        let _ =
+            writeln!(s, "  \"baseline_avg_latency_milli\": {},", self.baseline_avg_latency_milli);
+        let _ = writeln!(s, "  \"baseline_objects_lost\": {},", self.baseline_objects_lost);
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"burst\": {}, \"replication\": {}, \"spread\": {}, \"proactive\": {}, \
+                 \"machines_lost\": {}, \"objects_lost\": {}, \"at_risk_peak\": {}, \
+                 \"at_risk_area\": {}, \"mean_time_to_repair\": {:.4}, \
+                 \"repair_completed\": {}, \"proactive_repairs\": {}, \"repair_scans\": {}, \
+                 \"avg_latency_milli\": {}}}",
+                c.burst,
+                c.replication,
+                c.spread,
+                c.proactive,
+                c.machines_lost,
+                c.objects_lost,
+                c.at_risk_peak,
+                c.at_risk_area,
+                c.mean_time_to_repair,
+                c.repair_completed,
+                c.proactive_repairs,
+                c.repair_scans,
+                c.avg_latency_milli,
+            );
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"burst\": {}, \"replication\": {}, \"naive_objects_lost\": {}, \
+                 \"defended_objects_lost\": {}, \"naive_at_risk_area\": {}, \
+                 \"defended_at_risk_area\": {}, \"factor\": {:.4}}}",
+                r.burst,
+                r.replication,
+                r.naive_objects_lost,
+                r.defended_objects_lost,
+                r.naive_at_risk_area,
+                r.defended_at_risk_area,
+                r.factor,
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the per-cell rows as CSV (the committed figure format).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "burst,replication,spread,proactive,machines_lost,objects_lost,at_risk_peak,\
+             at_risk_area,mean_time_to_repair,repair_completed,proactive_repairs,repair_scans,\
+             avg_latency_milli\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{},{},{:.4},{},{},{},{}",
+                c.burst,
+                c.replication,
+                c.spread,
+                c.proactive,
+                c.machines_lost,
+                c.objects_lost,
+                c.at_risk_peak,
+                c.at_risk_area,
+                c.mean_time_to_repair,
+                c.repair_completed,
+                c.proactive_repairs,
+                c.repair_scans,
+                c.avg_latency_milli,
+            );
+        }
+        s
+    }
+
+    /// Renders an aligned text summary for terminals.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "baseline: avg latency {:.3}, objects lost {}",
+            self.baseline_avg_latency_milli as f64 / 1000.0,
+            self.baseline_objects_lost
+        );
+        let _ = writeln!(
+            s,
+            "{:>6} {:>3} {:>7} {:>9} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8}",
+            "burst",
+            "k",
+            "spread",
+            "proactive",
+            "crashed",
+            "lost",
+            "risk-peak",
+            "risk-area",
+            "mttr",
+            "latency"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{:>6} {:>3} {:>7} {:>9} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8.3}",
+                c.burst,
+                c.replication,
+                if c.spread { "on" } else { "off" },
+                if c.proactive { "on" } else { "off" },
+                c.machines_lost,
+                c.objects_lost,
+                c.at_risk_peak,
+                c.at_risk_area,
+                if c.repair_completed {
+                    format!("{:.1}", c.mean_time_to_repair)
+                } else {
+                    "never".to_string()
+                },
+                c.avg_latency_milli as f64 / 1000.0,
+            );
+        }
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "durability at burst {:>2}, k={}: blind+reactive lost {} vs spread+proactive \
+                 lost {} ({:.1}x), at-risk area {} vs {}",
+                r.burst,
+                r.replication,
+                r.naive_objects_lost,
+                r.defended_objects_lost,
+                r.factor,
+                r.naive_at_risk_area,
+                r.defended_at_risk_area,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            base: ChurnConfig {
+                requests: 8_000,
+                distinct_objects: 400,
+                trace_clients: 20,
+                clients_per_cluster: 32,
+                client_cache_capacity: 4,
+                clock: ClockMode::Event,
+                net: NetworkModel::default().scaled(1.0 / 16.0),
+                ..ChurnConfig::default()
+            },
+            bursts: vec![8],
+            ks: vec![2],
+            burst_at: 2_000,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_shaped() {
+        let cfg = quick_cfg();
+        let a = run_durability(&cfg).expect("sweep runs");
+        let b = run_durability(&cfg).expect("sweep runs");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.cells.len(), 4, "one grid point, four placement/repair cells");
+        assert_eq!(a.rows.len(), 1);
+        let naive = &a.cells[0];
+        let defended = &a.cells[3];
+        assert!(!naive.spread && !naive.proactive, "naive row first");
+        assert!(defended.spread && defended.proactive, "defended row last");
+    }
+
+    #[test]
+    fn baseline_conserves_every_object() {
+        let report = run_durability(&quick_cfg()).expect("sweep runs");
+        assert_eq!(report.baseline_objects_lost, 0, "no fault, no loss");
+    }
+
+    #[test]
+    fn defenses_cut_losses_and_close_the_risk_window() {
+        let report = run_durability(&quick_cfg()).expect("sweep runs");
+        let naive = &report.cells[0];
+        let defended = &report.cells[3];
+        // Every cell saw the same correlated failure.
+        assert!(naive.machines_lost >= 2, "the domain failure must take machines");
+        assert_eq!(naive.machines_lost, defended.machines_lost, "same failure schedule");
+        // Reactive cells never touch the repair scheduler.
+        assert_eq!(naive.repair_scans, 0);
+        assert_eq!(naive.proactive_repairs, 0);
+        // Spread placement survives the whole-domain failure outright.
+        assert_eq!(defended.objects_lost, 0, "k copies in k domains survive one domainfail");
+        assert!(
+            defended.objects_lost <= naive.objects_lost,
+            "defended {} must not exceed naive {}",
+            defended.objects_lost,
+            naive.objects_lost
+        );
+        // The paced scheduler did real work and closed the window.
+        assert!(defended.repair_scans > 0, "the proactive cell must scan");
+        assert!(defended.repair_completed, "the at-risk gauge must drain to zero");
+        assert!(
+            defended.at_risk_area <= naive.at_risk_area,
+            "proactive repair must not widen the vulnerability window \
+             (defended {} vs naive {})",
+            defended.at_risk_area,
+            naive.at_risk_area
+        );
+    }
+
+    #[test]
+    fn renders_json_csv_and_table() {
+        let report = run_durability(&quick_cfg()).expect("sweep runs");
+        let json = report.to_json();
+        assert!(json.contains("\"cells\": ["));
+        assert!(json.contains("\"rows\": ["));
+        assert!(json.contains("\"baseline_objects_lost\""));
+        let csv = report.to_csv();
+        assert!(csv.starts_with("burst,replication,"));
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        assert!(report.to_table().contains("durability at burst"));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.bursts = vec![];
+        assert!(run_durability(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.bursts = vec![1];
+        assert!(run_durability(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.bursts = vec![17]; // > cluster / 2
+        assert!(run_durability(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.ks = vec![1];
+        assert!(run_durability(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.repair = 0;
+        assert!(run_durability(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.burst_at = 8_000;
+        assert!(run_durability(&cfg).is_err());
+    }
+}

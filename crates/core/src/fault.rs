@@ -107,6 +107,17 @@ pub enum FaultAction {
         /// Arrival-rate multiplier (integer ×, at least 2).
         times: u16,
     },
+    /// Correlated failure: crash **every** live machine in failure domain
+    /// `D` at once (rack power, a bad kernel push). Targets are fully
+    /// determined by the domain assignment — the action consumes no
+    /// target-selection draws, so adding it to a plan never reshuffles
+    /// what the other events hit. Requires the `domains=D` key.
+    DomainFail(u32),
+    /// A burst: `K` simultaneous seeded crashes (uncorrelated machines
+    /// dying in the same instant). Each target comes from the same picks
+    /// stream as a scheduled `crash@`, so `burst@N:3` hits exactly the
+    /// machines three consecutive `crash@N` tokens would.
+    Burst(u32),
 }
 
 impl FaultAction {
@@ -123,6 +134,8 @@ impl FaultAction {
             FaultAction::Forge(_) => "forge",
             FaultAction::Garble(_) => "garble",
             FaultAction::Spike { .. } => "spike",
+            FaultAction::DomainFail(_) => "domainfail",
+            FaultAction::Burst(_) => "burst",
         }
     }
 }
@@ -203,6 +216,20 @@ pub struct FaultPlan {
     /// Load-shed low watermark in rounds: shedding stops once the
     /// backlog drains below this. Must sit below `shed_high`.
     pub shed_low: u64,
+    /// Correlated failure domains the cluster is carved into
+    /// (0 = domains off). Every machine is assigned a domain from the
+    /// `derive(seed, "domains")` stream; `domainfail@N:D` then crashes
+    /// all of domain `D` at once, and replica placement spreads copies
+    /// across distinct domains (unless the drill runs blind).
+    pub domains: u32,
+    /// Proactive-repair scan budget per round (0 = reactive only). Each
+    /// round the background repair scheduler probes one suspect corpse,
+    /// drains limbo, and walks up to this many directory entries looking
+    /// for below-floor replica sets. Scanning reads the proxy's own
+    /// directory and is free; under the event clock every entry a step
+    /// actually restores is priced as real proxy work (the copy moved
+    /// over the LAN).
+    pub repair: u32,
     /// Serve only the first `window` requests of the trace (0 = all).
     pub window: u64,
     /// Seed for target selection, the loss stream, and the transport.
@@ -230,6 +257,8 @@ impl FaultPlan {
             budget: 0.0,
             shed_high: 0,
             shed_low: 0,
+            domains: 0,
+            repair: 0,
             window: 0,
             seed: 0,
         }
@@ -241,6 +270,7 @@ impl FaultPlan {
             && self.loss <= 0.0
             && !self.has_transport()
             && !self.has_overload_defense()
+            && !self.has_durability()
     }
 
     /// True when any transport-level fault probability is set; only then
@@ -315,6 +345,21 @@ impl FaultPlan {
         }
     }
 
+    /// True when the plan exercises the durability subsystem — failure
+    /// domains, the proactive repair scheduler, or a correlated/burst
+    /// failure event. Only then are domains assigned, the repair pacer
+    /// armed, and the durability block of the report rendered, so plans
+    /// without the new knobs stay bit-identical to their pre-durability
+    /// runs.
+    pub fn has_durability(&self) -> bool {
+        self.domains > 0
+            || self.repair > 0
+            || self
+                .events
+                .iter()
+                .any(|e| matches!(e.action, FaultAction::DomainFail(_) | FaultAction::Burst(_)))
+    }
+
     /// True when the schedule turns at least one machine hostile. Only
     /// then is the misbehavior subsystem (and the audit defense) armed,
     /// so plans without the adversary keys stay bit-identical to their
@@ -344,6 +389,8 @@ impl FaultPlan {
                 FaultAction::Spike { span, times } => {
                     format!("spike@{}:{}:{}", e.at, span, times)
                 }
+                FaultAction::DomainFail(d) => format!("domainfail@{}:{}", e.at, d),
+                FaultAction::Burst(k) => format!("burst@{}:{}", e.at, k),
                 action => format!("{}@{}", action.keyword(), e.at),
             })
             .collect();
@@ -370,6 +417,12 @@ impl FaultPlan {
         }
         if self.shed_high > 0 {
             parts.push(format!("shed={}:{}", self.shed_high, self.shed_low));
+        }
+        if self.domains > 0 {
+            parts.push(format!("domains={}", self.domains));
+        }
+        if self.repair > 0 {
+            parts.push(format!("repair={}", self.repair));
         }
         if self.window > 0 {
             parts.push(format!("window={}", self.window));
@@ -480,11 +533,39 @@ impl FromStr for FaultPlan {
                         plan.shed_high = high;
                         plan.shed_low = low;
                     }
+                    "domains" => {
+                        let d: u32 = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!(
+                                "bad domain count '{value}' in '{token}' at byte {token_at}"
+                            ))
+                        })?;
+                        if d == 0 {
+                            return Err(SimError::InvalidConfig(format!(
+                                "domain count in '{token}' at byte {token_at} must be at \
+                                 least 1 (omit the key to leave domains off)"
+                            )));
+                        }
+                        plan.domains = d;
+                    }
+                    "repair" => {
+                        let n: u32 = value.trim().parse().map_err(|_| {
+                            SimError::InvalidConfig(format!(
+                                "bad repair budget '{value}' in '{token}' at byte {token_at}"
+                            ))
+                        })?;
+                        if n == 0 {
+                            return Err(SimError::InvalidConfig(format!(
+                                "repair budget in '{token}' at byte {token_at} must be at \
+                                 least 1 scan per round (omit the key for reactive-only)"
+                            )));
+                        }
+                        plan.repair = n;
+                    }
                     other => {
                         return Err(SimError::InvalidConfig(format!(
                             "unknown fault key '{other}' in '{token}' at byte {token_at} \
                              (expected loss, mloss, dup, reorder, corrupt, breaker, budget, \
-                             shed, window or seed)"
+                             shed, domains, repair, window or seed)"
                         )));
                     }
                 }
@@ -616,11 +697,40 @@ impl FromStr for FaultPlan {
                     }
                     (at, FaultAction::Partition(pa))
                 }
+                verb @ ("domainfail" | "burst") => {
+                    let Some((at, payload_str)) = rest.split_once(':') else {
+                        return Err(SimError::InvalidConfig(format!(
+                            "{verb} token '{token}' at byte {token_at} is missing its {} \
+                             (expected {verb}@N:{}, e.g. {verb}@100:{})",
+                            if verb == "domainfail" { "domain" } else { "size" },
+                            if verb == "domainfail" { "D" } else { "K" },
+                            if verb == "domainfail" { "2" } else { "3" },
+                        )));
+                    };
+                    let payload: u32 = payload_str.trim().parse().map_err(|_| {
+                        SimError::InvalidConfig(format!(
+                            "bad {verb} {} '{}' in '{token}' at byte {token_at}",
+                            if verb == "domainfail" { "domain" } else { "size" },
+                            payload_str.trim()
+                        ))
+                    })?;
+                    if verb == "burst" {
+                        if payload < 2 {
+                            return Err(SimError::InvalidConfig(format!(
+                                "burst size in '{token}' at byte {token_at} must be at \
+                                 least 2 simultaneous crashes (use crash@N for one)"
+                            )));
+                        }
+                        (at, FaultAction::Burst(payload))
+                    } else {
+                        (at, FaultAction::DomainFail(payload))
+                    }
+                }
                 other => {
                     return Err(SimError::InvalidConfig(format!(
                         "unknown fault verb '{other}' in '{token}' at byte {token_at} \
                          (expected crash, depart, rejoin, slow, partition, heal, freeride, \
-                         forge, garble or spike)"
+                         forge, garble, spike, domainfail or burst)"
                     )));
                 }
             };
@@ -630,6 +740,25 @@ impl FromStr for FaultPlan {
                 ))
             })?;
             plan.events.push(FaultEvent { at, action });
+        }
+        // Cross-token validation: a domainfail names a domain that must
+        // exist, and the domains= key may sit anywhere in the spec.
+        for e in &plan.events {
+            if let FaultAction::DomainFail(d) = e.action {
+                if plan.domains == 0 {
+                    return Err(SimError::InvalidConfig(format!(
+                        "domainfail@{}:{d} needs the domains=D key (the cluster is not \
+                         carved into failure domains)",
+                        e.at
+                    )));
+                }
+                if d >= plan.domains {
+                    return Err(SimError::InvalidConfig(format!(
+                        "domainfail@{}:{d} names a domain outside 0..{} (domains={})",
+                        e.at, plan.domains, plan.domains
+                    )));
+                }
+            }
         }
         plan.events.sort_by_key(|e| e.at);
         Ok(plan)
@@ -667,6 +796,12 @@ pub struct ChurnConfig {
     pub audit_rate: f64,
     /// Failed audits before a node is quarantined (min 1).
     pub audit_strikes: u32,
+    /// Ignore failure domains when placing replicas (the undefended
+    /// placement cell of the durability sweep). A config-level flag
+    /// rather than a plan key so a defended/naive pair can share one
+    /// plan spec — identical failure injection, different placement.
+    /// No effect unless the plan sets `domains=`.
+    pub blind_placement: bool,
 }
 
 impl Default for ChurnConfig {
@@ -688,6 +823,7 @@ impl Default for ChurnConfig {
             clock: ClockMode::default(),
             audit_rate: 0.0,
             audit_strikes: 3,
+            blind_placement: false,
         }
     }
 }
@@ -735,6 +871,18 @@ impl ChurnConfig {
         }
         if self.audit_strikes == 0 {
             return Err(SimError::InvalidConfig("audit_strikes must be >= 1".into()));
+        }
+        // Programmatically-built plans (the chaos explorer uses `push`)
+        // bypass the parser's cross-token check, so re-validate here.
+        for e in &self.plan.events {
+            if let FaultAction::DomainFail(d) = e.action {
+                if self.plan.domains == 0 || d >= self.plan.domains {
+                    return Err(SimError::InvalidConfig(format!(
+                        "domainfail@{}:{d} names a domain outside 0..{} (set domains=D)",
+                        e.at, self.plan.domains
+                    )));
+                }
+            }
         }
         self.net.validate()
     }
@@ -811,6 +959,34 @@ pub struct ChurnReport {
     /// (gates the overload block of the JSON rendering, keeping
     /// pre-overload goldens byte-identical).
     pub overloaded: bool,
+    /// Correlated domain failures injected.
+    pub domainfails: u64,
+    /// Simultaneous-crash bursts injected.
+    pub bursts: u64,
+    /// Objects permanently lost with the no-silent-loss ledger armed:
+    /// every loss path increments this exactly once per object (distinct
+    /// from the legacy `objects_lost`, which counts crash-reclaim drops
+    /// at node granularity).
+    pub objects_lost_permanent: u64,
+    /// Entries restored to the replica floor by the background repair
+    /// scheduler before any request tripped over them.
+    pub proactive_repairs: u64,
+    /// Directory entries examined by the paced repair scan.
+    pub repair_scans: u64,
+    /// Worst single-round at-risk gauge (limbo objects plus below-floor
+    /// entries seen by the last completed scan cycle).
+    pub at_risk_peak: u64,
+    /// Sum of the at-risk gauge over all rounds — the area under the
+    /// vulnerability curve (gauge × rounds). Smaller is safer.
+    pub at_risk_area: u64,
+    /// Mean rounds from a loss-capable fault to the at-risk gauge
+    /// returning to zero (0 when nothing was ever at risk or the run
+    /// ended still exposed).
+    pub mean_time_to_repair: f64,
+    /// True when the plan exercises durability (gates the durability
+    /// block of the JSON rendering, keeping pre-durability goldens
+    /// byte-identical).
+    pub durability: bool,
     /// Crashes detected by traffic before the trace ended.
     pub detected_crashes: u64,
     /// Crashes still undetected at end of run (no message walked in).
@@ -914,6 +1090,22 @@ impl ChurnReport {
                 let _ = writeln!(s, "  \"{name}\": {v},");
             }
         }
+        if self.durability {
+            // Durability counters appear only for domain/repair plans,
+            // so every pre-durability golden stays byte-identical.
+            for (name, v) in [
+                ("domainfails", self.domainfails),
+                ("bursts", self.bursts),
+                ("objects_lost_permanent", self.objects_lost_permanent),
+                ("proactive_repairs", self.proactive_repairs),
+                ("repair_scans", self.repair_scans),
+                ("at_risk_peak", self.at_risk_peak),
+                ("at_risk_area", self.at_risk_area),
+            ] {
+                let _ = writeln!(s, "  \"{name}\": {v},");
+            }
+            let _ = writeln!(s, "  \"mean_time_to_repair\": {:.4},", self.mean_time_to_repair);
+        }
         let _ = writeln!(s, "  \"detection_latency_avg\": {:.4},", self.detection_latency_avg);
         for (name, v) in [
             ("detection_latency_max", self.detection_latency_max),
@@ -982,6 +1174,20 @@ impl ChurnReport {
                 let _ = writeln!(s, "{name:<28} {v:>12}");
             }
         }
+        if self.durability {
+            for (name, v) in [
+                ("domain failures", self.domainfails),
+                ("crash bursts", self.bursts),
+                ("objects lost (ledgered)", self.objects_lost_permanent),
+                ("proactive repairs", self.proactive_repairs),
+                ("repair scans", self.repair_scans),
+                ("at-risk peak", self.at_risk_peak),
+                ("at-risk area", self.at_risk_area),
+            ] {
+                let _ = writeln!(s, "{name:<28} {v:>12}");
+            }
+            let _ = writeln!(s, "{:<28} {:>12.4}", "mean time to repair", self.mean_time_to_repair);
+        }
         let _ = writeln!(s, "{:<28} {:>12.4}", "detection latency avg", self.detection_latency_avg);
         let _ = writeln!(
             s,
@@ -1032,6 +1238,14 @@ pub(crate) struct DriveOutcome {
     pub(crate) spikes: u64,
     pub(crate) shed_background: u64,
     pub(crate) degraded: u64,
+    pub(crate) domainfails: u64,
+    pub(crate) bursts: u64,
+    /// Worst single-round at-risk gauge over the run.
+    pub(crate) at_risk_peak: u64,
+    /// Sum of the at-risk gauge over all rounds (vulnerability area).
+    pub(crate) risk_area: u64,
+    /// Rounds from each loss-capable fault to the gauge draining to 0.
+    pub(crate) repair_rounds: Vec<u64>,
     /// True when the watermark hysteresis was still engaged at the end
     /// of the run — the stability oracle's stuck-degraded signal.
     pub(crate) end_shedding: bool,
@@ -1057,7 +1271,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
     })
     .generate();
 
-    let (faulty, _) = drive(cfg, &trace, &cfg.plan)?;
+    let (faulty, engine) = drive(cfg, &trace, &cfg.plan)?;
     // The fault-free twin replays the same request window so the latency
     // delta compares like with like.
     let twin_plan = FaultPlan { window: cfg.plan.window, ..FaultPlan::none() };
@@ -1116,6 +1330,19 @@ pub fn run_churn(cfg: &ChurnConfig) -> Result<ChurnReport, SimError> {
         breaker_fast_fails: faulty.snapshot.breaker_fast_fails,
         retry_budget_denials: faulty.snapshot.retry_budget_denials,
         overloaded: cfg.plan.has_spike() || cfg.plan.has_overload_defense(),
+        domainfails: faulty.domainfails,
+        bursts: faulty.bursts,
+        objects_lost_permanent: faulty.snapshot.objects_lost_permanent,
+        proactive_repairs: faulty.snapshot.proactive_repairs,
+        repair_scans: engine.p2p(0).ledger().repair_scans,
+        at_risk_peak: faulty.at_risk_peak,
+        at_risk_area: faulty.risk_area,
+        mean_time_to_repair: if faulty.repair_rounds.is_empty() {
+            0.0
+        } else {
+            faulty.repair_rounds.iter().sum::<u64>() as f64 / faulty.repair_rounds.len() as f64
+        },
+        durability: cfg.plan.has_durability(),
         detected_crashes: detected,
         undetected_crashes: faulty.undetected,
         detection_latency_avg,
@@ -1189,6 +1416,19 @@ pub(crate) fn drive(
         // defended plan hits the same machines as its undefended twin.
         engine.arm_client_overload_defense(0, plan.overload_defense());
     }
+    if plan.domains > 0 {
+        // The domain stream is label-separated from everything else, so
+        // carving the cluster into domains never reshuffles which
+        // machines the other faults hit — and the defended/naive pair of
+        // a sweep differs only in the spread flag, not the assignment.
+        engine.assign_client_domains(
+            0,
+            plan.domains,
+            derive(plan.seed, "domains"),
+            !cfg.blind_placement,
+        );
+    }
+    let durability = plan.has_durability();
 
     // Target selection stream, decoupled from the loss stream so adding
     // loss never reshuffles which machines crash.
@@ -1214,6 +1454,11 @@ pub(crate) fn drive(
         spikes: 0,
         shed_background: 0,
         degraded: 0,
+        domainfails: 0,
+        bursts: 0,
+        at_risk_peak: 0,
+        risk_area: 0,
+        repair_rounds: Vec::new(),
         end_shedding: false,
         windows: Vec::new(),
         measured_milli: Log2Histogram::new(),
@@ -1252,6 +1497,9 @@ pub(crate) fn drive(
     // Watermark hysteresis: set above the high watermark, cleared below
     // the low one.
     let mut shedding = false;
+    // Durability bookkeeping: the round of the last loss-capable fault
+    // still awaiting the at-risk gauge draining to zero (MTTR sampling).
+    let mut pending_repair_from: Option<u64> = None;
 
     while let Some(event) = clock.pop() {
         match event {
@@ -1266,6 +1514,20 @@ pub(crate) fn drive(
                     out.spikes += 1;
                 } else {
                     apply_action(&mut engine, action, &mut picks, at, &mut outstanding, &mut out)?;
+                    if durability
+                        && matches!(
+                            action,
+                            FaultAction::Crash
+                                | FaultAction::Depart
+                                | FaultAction::DomainFail(_)
+                                | FaultAction::Burst(_)
+                        )
+                    {
+                        // MTTR measures from the *last* loss-capable
+                        // fault: a fresh failure mid-repair restarts the
+                        // exposure window.
+                        pending_repair_from = Some(at);
+                    }
                     if debug_invariants() {
                         let v = engine.p2p(0).check_invariants();
                         assert!(
@@ -1386,6 +1648,34 @@ pub(crate) fn drive(
                     );
                 }
 
+                // Proactive repair: one paced scheduler step per round.
+                // Scanning is a local read of the proxy's own directory
+                // and costs nothing, but each entry the step actually
+                // *restored* moved an object copy over the LAN — under
+                // the event clock that is real proxy work, one LAN round
+                // trip of busy time per restored entry, so a repair storm
+                // after a big burst buys safety with latency, exactly the
+                // trade the durability sweep measures. Under the compat
+                // clock the step is a fixed quota (analytic pricing has
+                // no backlog to extend).
+                if plan.repair > 0 {
+                    let o = engine.repair_client_step(0, plan.repair);
+                    if clock.mode() == ClockMode::Event && o.repaired > 0 {
+                        let busy = ticks_of(f64::from(o.repaired) * cfg.net.tp2p).max(1);
+                        next_free = next_free.max(clock.now()) + busy;
+                    }
+                }
+                if durability {
+                    let gauge = engine.client_at_risk(0);
+                    out.risk_area += gauge;
+                    out.at_risk_peak = out.at_risk_peak.max(gauge);
+                    if gauge == 0 {
+                        if let Some(from) = pending_repair_from.take() {
+                            out.repair_rounds.push((i as u64).saturating_sub(from));
+                        }
+                    }
+                }
+
                 // Lazy detection bookkeeping: a crash leaves `crashed_ids`
                 // only when traffic walked into the corpse and repair ran.
                 // Detection latency stays in request-index units in both
@@ -1480,6 +1770,63 @@ fn apply_action<R: crate::recorder::Recorder>(
         FaultAction::Spike { .. } => {
             unreachable!("spike events are intercepted by the drive loop")
         }
+        FaultAction::DomainFail(d) => {
+            // Targets are fully determined by the domain assignment —
+            // the action consumes no picks draws, so adding a domainfail
+            // to a plan never reshuffles what its other events hit.
+            let targets: Vec<NodeId> = engine
+                .live_clients_in_domain(0, d)
+                .into_iter()
+                .filter(|&n| engine.p2p(0).in_island_a(n))
+                .collect();
+            let mut crashed = 0u64;
+            for target in targets {
+                // Same guard as a scheduled crash, re-checked per kill:
+                // the doomed domain may be all that's left of island A.
+                if engine.p2p(0).is_partitioned()
+                    && engine.p2p(0).node_ids().filter(|&n| engine.p2p(0).in_island_a(n)).count()
+                        <= 1
+                {
+                    out.skipped += 1;
+                    continue;
+                }
+                engine.crash_client(0, target)?;
+                outstanding.insert(target.0, at);
+                out.crashes += 1;
+                crashed += 1;
+            }
+            if crashed > 0 {
+                out.domainfails += 1;
+            } else {
+                out.skipped += 1;
+            }
+            return Ok(());
+        }
+        FaultAction::Burst(k) => {
+            // K simultaneous seeded crashes: each target comes from the
+            // same picks stream as a scheduled crash, re-collecting the
+            // live membership between draws.
+            let mut crashed = 0u64;
+            for _ in 0..k {
+                let live: Vec<NodeId> =
+                    engine.p2p(0).node_ids().filter(|&n| engine.p2p(0).in_island_a(n)).collect();
+                if live.is_empty() || (engine.p2p(0).is_partitioned() && live.len() <= 1) {
+                    out.skipped += 1;
+                    break;
+                }
+                let target = live[picks.pick(live.len())];
+                engine.crash_client(0, target)?;
+                outstanding.insert(target.0, at);
+                out.crashes += 1;
+                crashed += 1;
+            }
+            if crashed > 0 {
+                out.bursts += 1;
+            } else {
+                out.skipped += 1;
+            }
+            return Ok(());
+        }
         _ => {}
     }
     let adversarial =
@@ -1536,7 +1883,9 @@ fn apply_action<R: crate::recorder::Recorder>(
         FaultAction::Rejoin
         | FaultAction::Partition(_)
         | FaultAction::Heal
-        | FaultAction::Spike { .. } => {
+        | FaultAction::Spike { .. }
+        | FaultAction::DomainFail(_)
+        | FaultAction::Burst(_) => {
             unreachable!("handled above")
         }
     }
@@ -1859,6 +2208,107 @@ mod tests {
             assert_eq!(armed.retry_budget_denials, 0, "{clock:?}");
             assert!(armed.overloaded && !plain.overloaded, "{clock:?}");
         }
+    }
+
+    #[test]
+    fn durability_grammar_round_trips() {
+        let plan: FaultPlan =
+            "domainfail@100:2, burst@200:3, crash@50, domains=4, repair=8, seed=13"
+                .parse()
+                .unwrap();
+        assert_eq!(plan.events[1], FaultEvent { at: 100, action: FaultAction::DomainFail(2) });
+        assert_eq!(plan.events[2], FaultEvent { at: 200, action: FaultAction::Burst(3) });
+        assert_eq!(plan.domains, 4);
+        assert_eq!(plan.repair, 8);
+        assert!(plan.has_durability());
+        assert_eq!(
+            plan.to_spec(),
+            "crash@50,domainfail@100:2,burst@200:3,domains=4,repair=8,seed=13"
+        );
+        let respelled: FaultPlan = plan.to_spec().parse().unwrap();
+        assert_eq!(respelled, plan);
+        // The durability knobs arm the subsystem on their own.
+        assert!("domains=2".parse::<FaultPlan>().unwrap().has_durability());
+        assert!("repair=4".parse::<FaultPlan>().unwrap().has_durability());
+        assert!("burst@5:2".parse::<FaultPlan>().unwrap().has_durability());
+        assert!(!"domains=2".parse::<FaultPlan>().unwrap().is_none());
+        assert!(!"crash@5,loss=0.1".parse::<FaultPlan>().unwrap().has_durability());
+    }
+
+    #[test]
+    fn malformed_durability_specs_are_typed_errors() {
+        for (bad, needle) in [
+            ("domainfail@5", "missing its domain"),
+            ("domainfail@5:x, domains=4", "bad domainfail domain 'x'"),
+            ("burst@5", "missing its size"),
+            ("burst@5:x", "bad burst size 'x'"),
+            ("burst@5:1", "at least 2 simultaneous crashes"),
+            ("burst@x:3", "bad request index"),
+            ("domainfail@x:1, domains=4", "bad request index"),
+            ("domains=0", "at least 1"),
+            ("domains=abc", "bad domain count 'abc'"),
+            ("repair=0", "at least 1 scan"),
+            ("repair=x", "bad repair budget 'x'"),
+            ("domainfail@5:2", "needs the domains=D key"),
+            ("domainfail@5:4, domains=4", "outside 0..4"),
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.to_string().contains(needle), "'{bad}' -> {err}");
+        }
+        // Programmatic plans hit the same check through validate().
+        let mut plan = FaultPlan::none();
+        plan.push(5, FaultAction::DomainFail(0));
+        let cfg = ChurnConfig { plan, ..ChurnConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn domainfail_crashes_the_domain_and_repair_restores_the_floor() {
+        for clock in [ClockMode::Compat, ClockMode::Event] {
+            let plan: FaultPlan = "domainfail@500:1, domains=4, repair=8, seed=19".parse().unwrap();
+            let mut cfg = small_cfg(plan);
+            cfg.clock = clock;
+            let report = run_churn(&cfg).unwrap();
+            assert!(report.fully_available(), "{clock:?}");
+            assert_eq!(report.domainfails, 1, "{clock:?}");
+            assert!(report.crashes >= 1, "{clock:?}");
+            assert!(report.durability, "{clock:?}");
+            assert!(report.repair_scans > 0, "{clock:?}");
+            assert!(report.at_risk_peak > 0, "the crash must register as risk, {clock:?}");
+            assert!(report.proactive_repairs > 0, "{clock:?}");
+            assert_eq!(report.invariant_violations, 0, "{clock:?}");
+            let json = report.to_json();
+            assert!(json.contains("\"at_risk_area\""), "{json}");
+            assert!(report.to_table().contains("mean time to repair"));
+        }
+    }
+
+    #[test]
+    fn burst_crashes_k_machines_at_once() {
+        let plan: FaultPlan = "burst@500:3, repair=8, seed=23".parse().unwrap();
+        let report = run_churn(&small_cfg(plan)).unwrap();
+        assert_eq!(report.bursts, 1);
+        assert_eq!(report.crashes, 3);
+        assert!(report.fully_available());
+        assert_eq!(report.invariant_violations, 0);
+    }
+
+    #[test]
+    fn repair_key_without_faults_changes_nothing() {
+        // A healthy cluster gives the repair scheduler nothing to do:
+        // the scan runs (and is counted) but repairs nothing, loses
+        // nothing, and — under the compat clock, where background work
+        // is not priced — shifts no latency.
+        let plain = run_churn(&small_cfg(FaultPlan::none())).unwrap();
+        let armed = run_churn(&small_cfg("repair=6".parse().unwrap())).unwrap();
+        assert_eq!(armed.avg_latency_milli, plain.avg_latency_milli);
+        assert_eq!(armed.served_by_class, plain.served_by_class);
+        assert_eq!(armed.objects_lost_permanent, 0);
+        assert_eq!(armed.proactive_repairs, 0);
+        assert!(armed.repair_scans > 0);
+        assert_eq!(armed.at_risk_peak, 0);
+        assert!(armed.durability && !plain.durability);
+        assert!(!plain.to_json().contains("objects_lost_permanent"));
     }
 
     fn small_cfg(plan: FaultPlan) -> ChurnConfig {

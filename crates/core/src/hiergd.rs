@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use webcache_p2p::{
     DirectoryKind, NetFaults, P2PClientCache, P2PClientCacheConfig, P2pEvent, P2pSink,
+    RepairOutcome,
 };
 use webcache_pastry::PastryConfig;
 use webcache_policy::{BoundedCache, DenseIndex, GreedyDualCache};
@@ -414,6 +415,55 @@ impl<R: Recorder> HierGdEngine<R> {
     pub fn heal_clients(&mut self, proxy: usize) -> bool {
         self.faults_touched = true;
         self.proxies[proxy].p2p.heal_nodes(&mut Tap { recorder: &self.recorder, proxy })
+    }
+
+    /// Installs correlated failure domains on `proxy`'s cluster: every
+    /// machine draws a domain id in `0..count` from a
+    /// [`SeedStream`](webcache_primitives::seed::SeedStream)
+    /// derived from `seed` (late joiners draw from the same stream).
+    /// With `spread` on, replica placement spans distinct domains
+    /// whenever the cluster offers enough of them; with it off, domains
+    /// drive fault injection only (blind placement). Does *not* switch
+    /// the request path into fault-aware mode — placement works in the
+    /// fast path.
+    pub fn assign_client_domains(&mut self, proxy: usize, count: u32, seed: u64, spread: bool) {
+        self.proxies[proxy].p2p.assign_domains(count, seed, spread);
+    }
+
+    /// Live client machines of `proxy`'s cluster in failure domain
+    /// `domain`, in cacheId order — the `domainfail@N:D` victim list.
+    pub fn live_clients_in_domain(
+        &self,
+        proxy: usize,
+        domain: u32,
+    ) -> Vec<webcache_pastry::NodeId> {
+        self.proxies[proxy].p2p.live_ids_in_domain(domain)
+    }
+
+    /// One paced round of the background repair scheduler on `proxy`'s
+    /// cluster: up to `budget` scan units spent detecting silent
+    /// corpses, draining limbo, and topping under-floor entries back up
+    /// — see [`P2PClientCache::repair_step_tap`]. The returned
+    /// [`RepairOutcome`] carries the units actually spent (`scanned`),
+    /// which event-clock drivers price as busy time.
+    pub fn repair_client_step(&mut self, proxy: usize, budget: u32) -> RepairOutcome {
+        self.faults_touched = true;
+        self.proxies[proxy]
+            .p2p
+            .repair_step_tap(budget, &mut Tap { recorder: &self.recorder, proxy })
+    }
+
+    /// Entries currently below the replica floor in `proxy`'s cluster
+    /// (limbo casualties + the repair sweep's under-floor gauge).
+    pub fn client_at_risk(&self, proxy: usize) -> u64 {
+        self.proxies[proxy].p2p.at_risk_gauge()
+    }
+
+    /// The no-silent-loss audit over `proxy`'s cluster (chaos oracle 9):
+    /// violations for every unrecoverable object that was never ledgered
+    /// lost. Empty = conserved.
+    pub fn client_silent_loss_audit(&self, proxy: usize) -> Vec<String> {
+        self.proxies[proxy].p2p.silent_loss_audit()
     }
 
     /// Test-only sabotage hook: plants a directory entry with no backing

@@ -74,6 +74,7 @@ pub mod chaos;
 pub mod clock;
 pub mod config;
 pub mod cost_benefit;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -95,6 +96,9 @@ pub use clock::{ClockMode, SimClock, TICKS_PER_ROUND, TICKS_PER_UNIT};
 pub use config::{
     build_engine, run_experiment, run_experiment_recorded, ExperimentConfig,
     ExperimentConfigBuilder, SchemeKind, Sizing,
+};
+pub use durability::{
+    run_durability, DurabilityCell, DurabilityConfig, DurabilityReport, DurabilityRow,
 };
 pub use engine::{Admission, Engine, NoCacheEngine, SchemeEngine, ShedPolicy};
 pub use error::SimError;

@@ -176,6 +176,9 @@ pub struct StatsRecorder {
     quarantines: ShardedCounter,
     breaker_fast_fails: ShardedCounter,
     retry_budget_denials: ShardedCounter,
+    objects_lost_permanent: ShardedCounter,
+    proactive_repairs: ShardedCounter,
+    proactive_repair_copies: ShardedCounter,
 }
 
 impl StatsRecorder {
@@ -230,6 +233,9 @@ impl StatsRecorder {
             quarantines: self.quarantines.get(),
             breaker_fast_fails: self.breaker_fast_fails.get(),
             retry_budget_denials: self.retry_budget_denials.get(),
+            objects_lost_permanent: self.objects_lost_permanent.get(),
+            proactive_repairs: self.proactive_repairs.get(),
+            proactive_repair_copies: self.proactive_repair_copies.get(),
         }
     }
 }
@@ -328,6 +334,11 @@ impl Recorder for StatsRecorder {
             P2pEvent::NodeQuarantined { .. } => self.quarantines.incr(),
             P2pEvent::BreakerFastFailed { .. } => self.breaker_fast_fails.incr(),
             P2pEvent::RetryBudgetExhausted { .. } => self.retry_budget_denials.incr(),
+            P2pEvent::ObjectLost { .. } => self.objects_lost_permanent.incr(),
+            P2pEvent::ProactiveRepair { copies } => {
+                self.proactive_repairs.incr();
+                self.proactive_repair_copies.add(u64::from(copies));
+            }
         }
     }
 }
@@ -429,6 +440,16 @@ pub struct StatsSnapshot {
     /// Retry ladders abandoned because the per-node retry budget ran dry
     /// (overload defense): the work degraded to the origin server.
     pub retry_budget_denials: u64,
+    /// Objects permanently lost with no surviving copy — the
+    /// no-silent-loss guarantee ledgers each exactly once
+    /// ([`P2pEvent::ObjectLost`]). Distinct from `objects_lost`, which
+    /// aggregates the per-failure loss counts announced at crash time.
+    pub objects_lost_permanent: u64,
+    /// Entries the background repair scheduler restored to the replica
+    /// floor before a request tripped over them.
+    pub proactive_repairs: u64,
+    /// Fresh replica copies created by proactive repairs.
+    pub proactive_repair_copies: u64,
 }
 
 impl StatsSnapshot {
@@ -580,6 +601,9 @@ impl StatsSnapshot {
             ("quarantines", self.quarantines),
             ("breaker_fast_fails", self.breaker_fast_fails),
             ("retry_budget_denials", self.retry_budget_denials),
+            ("objects_lost_permanent", self.objects_lost_permanent),
+            ("proactive_repairs", self.proactive_repairs),
+            ("proactive_repair_copies", self.proactive_repair_copies),
         ]
     }
 }
@@ -859,6 +883,14 @@ fn describe(kind: &SimEventKind) -> (String, String, String, String) {
                 }
                 P2pEvent::RetryBudgetExhausted { class } => {
                     flags.push(format!("class={class}"));
+                }
+                P2pEvent::ObjectLost { had_replicas } => {
+                    flags.push(
+                        if had_replicas { "replicas_died_too" } else { "never_replicated" }.into(),
+                    );
+                }
+                P2pEvent::ProactiveRepair { copies } => {
+                    flags.push(format!("copies={copies}"));
                 }
             }
             (String::new(), String::new(), hops, flags.join("|"))

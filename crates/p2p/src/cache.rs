@@ -341,6 +341,58 @@ impl AdversaryState {
     }
 }
 
+/// Correlated-failure domain assignment: every node belongs to one
+/// failure domain (a campus subnet, a rack, an ISP segment) and whole
+/// domains can fail together (`domainfail@N:D` in the fault grammar).
+/// `None` on the cache keeps every path bit-identical to the
+/// domain-free simulator.
+#[derive(Clone, Debug)]
+struct DomainState {
+    /// cacheId → domain id in `0..count`.
+    of: FxHashMap<u128, u32>,
+    /// Number of failure domains.
+    count: u32,
+    /// Domain-aware replica spread on: replica targets prefer domains
+    /// not already covered by the primary or earlier copies. `false`
+    /// models blind placement — domains exist for fault injection but
+    /// placement ignores them (the durability harness's baseline).
+    spread: bool,
+    /// Seeded stream for domain draws; late joiners draw from it too, so
+    /// a plan replays bit for bit.
+    draws: SeedStream,
+}
+
+/// Incremental state of the paced background repair scheduler
+/// ([`P2PClientCache::repair_step`]): the scan revolution's remaining
+/// queue and the at-risk gauge it maintains.
+#[derive(Clone, Debug, Default)]
+struct RepairState {
+    /// Primaries still to examine this revolution, reverse-sorted so
+    /// popping from the end ascends the object space deterministically.
+    queue: Vec<u128>,
+    /// Primaries found below the replica floor (and not immediately
+    /// repairable) so far this revolution.
+    seen_under_floor: u64,
+    /// Published gauge: under-floor primaries counted by the last
+    /// completed revolution. Lags by at most one revolution.
+    under_floor: u64,
+}
+
+/// What one paced step of the background repair scheduler accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Entries examined this step (bounded by the scan budget) — each is
+    /// real work the event clock prices.
+    pub scanned: u32,
+    /// Entries restored toward the replica floor (limbo promotions plus
+    /// replica top-ups).
+    pub repaired: u32,
+    /// Losses discovered and ledgered (limbo entries with no survivor).
+    pub lost: u32,
+    /// The at-risk gauge after this step ([`P2PClientCache::at_risk_gauge`]).
+    pub at_risk: u64,
+}
+
 /// The destination id the cache's internal transport path uses for
 /// messages addressed to the proxy end of the client↔proxy
 /// channel (directory updates/invalidates, push responses). Node-bound
@@ -389,6 +441,17 @@ pub struct P2PClientCache {
     /// and the spot-check audit defense. `None` keeps every path
     /// bit-identical to the adversary-free simulator.
     adversary: Option<AdversaryState>,
+    /// Correlated-failure domain assignment and domain-aware placement.
+    /// `None` keeps every path bit-identical to the domain-free
+    /// simulator.
+    domains: Option<DomainState>,
+    /// Paced background repair scheduler state. `None` until the first
+    /// [`repair_step`](Self::repair_step) call.
+    repair: Option<RepairState>,
+    /// Objects ledgered as permanently lost, for exactly-once loss
+    /// accounting: [`note_lost`](Self::note_lost) dedupes through this
+    /// set and a fresh genuine copy re-arms it. Empty in fault-free runs.
+    lost: BTreeSet<u128>,
     /// Cached count of nodes with free store space, or `None` when it
     /// must be recounted. In steady state stores only fill up, so once
     /// this reaches zero the destage path skips the root free-space check
@@ -434,6 +497,9 @@ impl P2PClientCache {
             transport: None,
             split: None,
             adversary: None,
+            domains: None,
+            repair: None,
+            lost: BTreeSet::new(),
             space_hint: None,
         }
     }
@@ -500,6 +566,254 @@ impl P2PClientCache {
         self.adversary = Some(AdversaryState::new(seed, audit_rate, strike_limit));
     }
 
+    /// Installs the correlated-failure domain subsystem: every current
+    /// node draws a domain id in `0..count` from one [`SeedStream`]
+    /// derived from `seed` (late joiners draw from the same stream), so
+    /// an assignment replays bit for bit. With `spread` on, replica
+    /// placement prefers leaf-set members whose domains are not already
+    /// covered by the primary or earlier copies — whole-domain failures
+    /// then take at most one copy of any object. `spread == false`
+    /// models blind placement (domains drive fault injection only).
+    ///
+    /// # Panics
+    /// Panics on a zero domain count.
+    pub fn assign_domains(&mut self, count: u32, seed: u64, spread: bool) {
+        assert!(count >= 1, "need at least one failure domain");
+        let mut draws = SeedStream::new(seed);
+        let mut ids: Vec<u128> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        let mut of = FxHashMap::default();
+        for id in ids {
+            of.insert(id, draws.pick(count as usize) as u32);
+        }
+        self.domains = Some(DomainState { of, count, spread, draws });
+    }
+
+    /// The failure domain of `id`, when the subsystem is installed and
+    /// the node has an assignment.
+    pub fn domain_of(&self, id: NodeId) -> Option<u32> {
+        self.domains.as_ref().and_then(|d| d.of.get(&id.0).copied())
+    }
+
+    /// Number of failure domains (0 when the subsystem is off).
+    pub fn domain_count(&self) -> u32 {
+        self.domains.as_ref().map_or(0, |d| d.count)
+    }
+
+    /// Live (non-crashed) members of failure domain `domain`, in cacheId
+    /// order — the `domainfail@N:D` verb's victim list.
+    pub fn live_ids_in_domain(&self, domain: u32) -> Vec<NodeId> {
+        let Some(d) = self.domains.as_ref() else { return Vec::new() };
+        let mut out: Vec<NodeId> =
+            self.overlay.node_ids().filter(|n| d.of.get(&n.0) == Some(&domain)).collect();
+        out.sort_unstable_by_key(|n| n.0);
+        out
+    }
+
+    /// Entries currently known to be below the replica floor: crash
+    /// casualties parked in limbo plus the under-floor primaries counted
+    /// by the repair scheduler's last completed scan revolution (the
+    /// second term lags by at most one revolution, and is zero until a
+    /// revolution completes or when repair never runs).
+    pub fn at_risk_gauge(&self) -> u64 {
+        self.limbo.len() as u64 + self.repair.as_ref().map_or(0, |r| r.under_floor)
+    }
+
+    /// [`repair_step_tap`](Self::repair_step_tap) without observability.
+    pub fn repair_step(&mut self, budget: u32) -> RepairOutcome {
+        self.repair_step_tap(budget, &mut NoSink)
+    }
+
+    /// One round of the paced background repair scheduler: spends up to
+    /// `budget` scan units restoring entries to the replica floor
+    /// *before* the next failure (or the next request) trips over them.
+    /// Each unit is real work — the caller prices the round's `scanned`
+    /// count as busy time in event-clock mode.
+    ///
+    /// Priority order per round:
+    /// 1. one unit probing the first (by cacheId) crashed-but-undetected
+    ///    node — the sweep finds corpses before requests do, paying the
+    ///    same detection timeout a request would;
+    /// 2. drain limbo (crash casualties with parked replica sets),
+    ///    smallest objectId first: promote a surviving replica back to
+    ///    primary, or — when none survives — ledger the loss and flush
+    ///    the stale directory entry instead of leaving it to ambush a
+    ///    request;
+    /// 3. a budget-paced revolution over all live primaries (k > 1
+    ///    only), topping under-floor entries back up. The `under_floor`
+    ///    gauge term publishes at each completed revolution.
+    ///
+    /// Restored entries count as `proactive_repairs` in the ledger and
+    /// emit [`P2pEvent::ProactiveRepair`]; every scanned unit counts as
+    /// `repair_scans`. Returns the round's outcome plus the at-risk
+    /// gauge after it.
+    pub fn repair_step_tap<S: P2pSink>(&mut self, budget: u32, sink: &mut S) -> RepairOutcome {
+        let mut out = RepairOutcome::default();
+        if self.repair.is_none() {
+            self.repair = Some(RepairState::default());
+        }
+        let mut budget = budget;
+        if budget == 0 || self.nodes.is_empty() {
+            out.at_risk = self.at_risk_gauge();
+            return out;
+        }
+        // Phase 1: detect one silent corpse per round (cheapest-first
+        // deterministic order), parking its objects in limbo for phase 2.
+        let corpse = {
+            let mut crashed: Vec<NodeId> =
+                self.overlay.crashed_ids().filter(|n| self.nodes.contains_key(&n.0)).collect();
+            crashed.sort_unstable_by_key(|n| n.0);
+            crashed.first().copied()
+        };
+        if let Some(c) = corpse {
+            budget -= 1;
+            out.scanned += 1;
+            self.ledger.repair_scans += 1;
+            self.note_timeout(true, sink);
+            self.detect_crash(c, sink);
+            self.space_hint = None;
+        }
+        // Phase 2: drain limbo, smallest objectId first.
+        while budget > 0 {
+            let Some(obj) = self.limbo.keys().min().copied() else { break };
+            budget -= 1;
+            out.scanned += 1;
+            self.ledger.repair_scans += 1;
+            let hosts = self.limbo.remove(&obj).expect("key just observed");
+            let had_replicas = !hosts.is_empty();
+            match self.promote_or_lose(obj, hosts, sink) {
+                Some((_holder, copies)) => {
+                    self.resident += 1;
+                    out.repaired += 1;
+                    self.ledger.proactive_repairs += 1;
+                    self.space_hint = None;
+                    if S::ENABLED {
+                        sink.event(P2pEvent::ProactiveRepair { copies });
+                    }
+                }
+                None => {
+                    // No survivor: ledger the loss and flush the stale
+                    // directory entry now, sparing a request the ambush.
+                    out.lost += 1;
+                    self.note_lost(obj, had_replicas, sink);
+                    if self.directory.contains(obj) {
+                        self.transport_send(
+                            MessageClass::DirectoryInvalidate,
+                            PROXY_DEST,
+                            obj,
+                            sink,
+                        );
+                        self.directory.remove(obj);
+                    }
+                    if let Some(adv) = self.adversary.as_mut() {
+                        adv.phantoms.remove(&obj);
+                    }
+                }
+            }
+        }
+        // Phase 3: revolve over live primaries topping up to the floor.
+        if self.cfg.replication > 1 {
+            while budget > 0 {
+                if self.repair.as_ref().expect("installed above").queue.is_empty() {
+                    // Revolution complete: publish the gauge term and
+                    // rebuild the queue (descending, so pop() walks the
+                    // id space ascending).
+                    let mut q: Vec<u128> = Vec::new();
+                    for n in self.nodes.values() {
+                        if self.overlay.is_crashed(n.id) {
+                            continue;
+                        }
+                        for obj in n.store.keys() {
+                            q.push(obj);
+                        }
+                    }
+                    q.sort_unstable_by(|a, b| b.cmp(a));
+                    let r = self.repair.as_mut().expect("installed above");
+                    r.under_floor = r.seen_under_floor;
+                    r.seen_under_floor = 0;
+                    if q.is_empty() {
+                        break;
+                    }
+                    r.queue = q;
+                }
+                let obj =
+                    self.repair.as_mut().expect("installed above").queue.pop().expect("nonempty");
+                budget -= 1;
+                out.scanned += 1;
+                self.ledger.repair_scans += 1;
+                // Re-validate: the entry may have moved or died since the
+                // queue was built.
+                let Some(root) = self.root_of(obj) else { continue };
+                let Some(holder) = self.holder_of(root, obj) else { continue };
+                if self.overlay.is_crashed(holder) {
+                    continue;
+                }
+                let floor = self.cfg.replication.min(self.nodes.len());
+                let live_copies = 1 + self
+                    .nodes
+                    .get(&root.0)
+                    .and_then(|rn| rn.replicated_to.get(&obj))
+                    .map_or(0, |hs| {
+                        hs.iter()
+                            .filter(|h| {
+                                !self.overlay.is_crashed(**h) && self.nodes.contains_key(&h.0)
+                            })
+                            .count()
+                    });
+                if live_copies >= floor {
+                    continue;
+                }
+                let credit =
+                    self.nodes.get(&holder.0).and_then(|hn| hn.store.h_value(obj)).unwrap_or(1.0);
+                let made = self.top_up_replicas(obj, root, holder, credit);
+                if made > 0 {
+                    out.repaired += 1;
+                    self.ledger.proactive_repairs += 1;
+                    self.space_hint = None;
+                    if S::ENABLED {
+                        sink.event(P2pEvent::ProactiveRepair { copies: made });
+                    }
+                }
+                if live_copies + (made as usize) < floor {
+                    // Still short after the top-up (not enough distinct
+                    // live targets): this entry stays at risk until the
+                    // next revolution publishes the gauge.
+                    self.repair.as_mut().expect("installed above").seen_under_floor += 1;
+                }
+            }
+        }
+        out.at_risk = self.at_risk_gauge();
+        out
+    }
+
+    /// The no-silent-loss audit (chaos oracle 9): every object that is
+    /// unrecoverable *right now* — parked in limbo with no surviving
+    /// live replica copy — must already be ledgered in the lost set.
+    /// Returns human-readable violations (empty = conserved).
+    pub fn silent_loss_audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (obj, hosts) in &self.limbo {
+            let survivor = hosts.iter().any(|h| {
+                !self.overlay.is_crashed(*h)
+                    && self.nodes.get(&h.0).is_some_and(|hn| hn.replicas.contains_key(obj))
+            });
+            if !survivor && !self.lost.contains(obj) {
+                problems.push(format!(
+                    "object {obj:#x}: unrecoverable (limbo, no live replica) but never ledgered lost"
+                ));
+            }
+        }
+        if (self.lost.len() as u64) > self.ledger.objects_lost {
+            problems.push(format!(
+                "lost-set size {} exceeds ledgered objects_lost {}",
+                self.lost.len(),
+                self.ledger.objects_lost
+            ));
+        }
+        problems.sort();
+        problems
+    }
+
     /// Overrides the behavior of one node (requires
     /// [`enable_adversary`](Self::enable_adversary) first; a no-op
     /// otherwise, mirroring [`mark_slow`](Self::mark_slow)).
@@ -554,10 +868,82 @@ impl P2PClientCache {
     }
 
     /// A genuine copy of `object` is now backing its directory entry:
-    /// any phantom attribution is superseded.
+    /// any phantom attribution is superseded, and a historical loss
+    /// ledgering is re-armed (an object lost, refetched from the origin,
+    /// and lost again counts twice).
     fn note_genuine_copy(&mut self, object: u128) {
         if let Some(adv) = self.adversary.as_mut() {
             adv.phantoms.remove(&object);
+        }
+        if !self.lost.is_empty() {
+            self.lost.remove(&object);
+        }
+    }
+
+    /// Ledgers a permanent loss exactly once per object — the
+    /// no-silent-loss guarantee: every path that makes an object
+    /// unrecoverable funnels through here, incrementing
+    /// `ledger.objects_lost` and emitting [`P2pEvent::ObjectLost`].
+    /// Double-ledgering (an empty-handed crash reclaim followed by the
+    /// limbo entry resolving empty) is deduped through the `lost` set.
+    fn note_lost<S: P2pSink>(&mut self, object: u128, had_replicas: bool, sink: &mut S) {
+        if !self.lost.insert(object) {
+            return;
+        }
+        self.ledger.objects_lost += 1;
+        if S::ENABLED {
+            sink.event(P2pEvent::ObjectLost { had_replicas });
+        }
+    }
+
+    /// The last machine is leaving: every crash casualty still parked in
+    /// limbo dies with the cluster. Ledger each (in object order) before
+    /// the caller clears the map wholesale — a wipe must not be a silent
+    /// loss.
+    fn ledger_cluster_wipe<S: P2pSink>(&mut self, sink: &mut S) {
+        if self.limbo.is_empty() {
+            return;
+        }
+        let mut parked: Vec<(u128, bool)> =
+            self.limbo.iter().map(|(o, h)| (*o, !h.is_empty())).collect();
+        parked.sort_unstable_by_key(|e| e.0);
+        for (obj, had) in parked {
+            self.note_lost(obj, had, sink);
+        }
+    }
+
+    /// True when a live primary copy of `obj` is still reachable through
+    /// the proxy's side of the ring: the route lands on a root whose
+    /// holder (itself or a diversion target) is live and actually stores
+    /// the object.
+    fn has_live_primary(&self, obj: u128) -> bool {
+        self.root_of(obj)
+            .and_then(|r| self.holder_of(r, obj))
+            .filter(|h| !self.overlay.is_crashed(*h))
+            .and_then(|h| self.nodes.get(&h.0))
+            .is_some_and(|hn| hn.store.contains(obj))
+    }
+
+    /// Sweeps limbo after a membership change: any parked entry whose
+    /// last live replica copy just vanished is ledgered lost *now*
+    /// (exactly once, through the `lost` set) — a casualty of a second
+    /// crash or departure must not wait for a fetch or a repair scan to
+    /// be counted.
+    fn ledger_newly_unrecoverable<S: P2pSink>(&mut self, sink: &mut S) {
+        let doomed: Vec<(u128, bool)> = self
+            .limbo
+            .iter()
+            .filter(|(obj, hosts)| {
+                !self.lost.contains(obj)
+                    && !hosts.iter().any(|h| {
+                        !self.overlay.is_crashed(*h)
+                            && self.nodes.get(&h.0).is_some_and(|hn| hn.replicas.contains_key(obj))
+                    })
+            })
+            .map(|(obj, hosts)| (*obj, !hosts.is_empty()))
+            .collect();
+        for (obj, had) in doomed {
+            self.note_lost(obj, had, sink);
         }
     }
 
@@ -1024,6 +1410,7 @@ impl P2PClientCache {
             }
             self.resident += 1;
             self.directory.insert(object);
+            self.note_genuine_copy(object);
             self.ledger.store_receipts += 1;
             self.make_replicas(object, root, root, cost);
             return Some(DestageOutcome {
@@ -1057,6 +1444,7 @@ impl P2PClientCache {
                 rn.diverted_to.insert(object, b);
                 self.resident += 1;
                 self.directory.insert(object);
+                self.note_genuine_copy(object);
                 self.ledger.diversions += 1;
                 self.ledger.store_receipts += 1;
                 self.ledger.overlay_messages += 2; // A→B transfer + ack
@@ -1078,6 +1466,7 @@ impl P2PClientCache {
         self.on_node_eviction(root, evicted, sink);
         self.resident += 1;
         self.directory.insert(object);
+        self.note_genuine_copy(object);
         self.directory.remove(evicted);
         self.ledger.store_receipts += 1;
         self.make_replicas(object, root, root, cost);
@@ -1132,6 +1521,72 @@ impl P2PClientCache {
         }
     }
 
+    /// Picks up to `want` live leaf-set members of `root` (excluding the
+    /// `primary` holder and anything in `exclude`) to host replica
+    /// copies. Without domain-spread placement this is exactly the
+    /// leaf-set-order walk the cache has always done; with it, nodes
+    /// whose failure domain is already covered (by the primary, by
+    /// `exclude`, or by an earlier pick) are deferred and only used to
+    /// fill leftover slots — so whenever the leaf set offers ≥ k
+    /// distinct domains the k copies land in k distinct domains, and
+    /// placement degrades gracefully to the plain walk otherwise.
+    fn replica_targets(
+        &self,
+        root: NodeId,
+        primary: NodeId,
+        want: usize,
+        exclude: &[NodeId],
+    ) -> Vec<NodeId> {
+        let Some(rs) = self.overlay.state(root) else {
+            return Vec::new();
+        };
+        let live = |n: &NodeId| {
+            *n != primary
+                && !self.overlay.is_crashed(*n)
+                && self.nodes.contains_key(&n.0)
+                && !exclude.contains(n)
+        };
+        let spread = self.domains.as_ref().filter(|d| d.spread);
+        let Some(dom) = spread else {
+            return rs.leaf_iter().filter(live).take(want).collect();
+        };
+        let mut used: Vec<u32> = Vec::new();
+        let note = |d: Option<u32>, used: &mut Vec<u32>| {
+            if let Some(d) = d {
+                if !used.contains(&d) {
+                    used.push(d);
+                }
+            }
+        };
+        note(dom.of.get(&primary.0).copied(), &mut used);
+        for e in exclude {
+            note(dom.of.get(&e.0).copied(), &mut used);
+        }
+        let mut targets: Vec<NodeId> = Vec::with_capacity(want);
+        let mut deferred: Vec<NodeId> = Vec::new();
+        for n in rs.leaf_iter().filter(live) {
+            if targets.len() >= want {
+                break;
+            }
+            match dom.of.get(&n.0).copied() {
+                Some(d) if !used.contains(&d) => {
+                    used.push(d);
+                    targets.push(n);
+                }
+                _ => deferred.push(n),
+            }
+        }
+        // Fewer distinct domains than slots: fill from the deferred
+        // leaf-set walk in its original order.
+        for n in deferred {
+            if targets.len() >= want {
+                break;
+            }
+            targets.push(n);
+        }
+        targets
+    }
+
     /// Stores up to `k - 1` replica copies of `object` at live leaf-set
     /// members of `root` (excluding the `primary` holder), recording the
     /// replica set at `root`. Returns the number of copies made. A strict
@@ -1141,16 +1596,7 @@ impl P2PClientCache {
             return 0;
         }
         let want = self.cfg.replication - 1;
-        let targets: Vec<NodeId> = match self.overlay.state(root) {
-            Some(rs) => rs
-                .leaf_iter()
-                .filter(|n| {
-                    *n != primary && !self.overlay.is_crashed(*n) && self.nodes.contains_key(&n.0)
-                })
-                .take(want)
-                .collect(),
-            None => Vec::new(),
-        };
+        let targets = self.replica_targets(root, primary, want, &[]);
         if targets.is_empty() {
             return 0;
         }
@@ -1167,6 +1613,60 @@ impl P2PClientCache {
             .replicated_to
             .insert(object, targets);
         debug_assert!(prev.is_none(), "replica set created twice for the same object");
+        made
+    }
+
+    /// Tops an under-replicated entry back up to the replica floor:
+    /// makes fresh copies on live leaf-set members not already holding
+    /// one, extending the tracked replica set at `root`. Returns the
+    /// number of copies made (0 when already at floor or no targets).
+    fn top_up_replicas(&mut self, object: u128, root: NodeId, primary: NodeId, credit: f64) -> u32 {
+        if self.cfg.replication <= 1 {
+            return 0;
+        }
+        let existing: Vec<NodeId> = self
+            .nodes
+            .get(&root.0)
+            .and_then(|rn| rn.replicated_to.get(&object))
+            .cloned()
+            .unwrap_or_default();
+        let have = existing.iter().filter(|h| !self.overlay.is_crashed(**h)).count();
+        let want = (self.cfg.replication - 1).saturating_sub(have);
+        if want == 0 {
+            return 0;
+        }
+        let mut targets = self.replica_targets(root, primary, want, &existing);
+        if targets.len() < want
+            && root != primary
+            && !self.overlay.is_crashed(root)
+            && !existing.contains(&root)
+            && !targets.contains(&root)
+            && self
+                .nodes
+                .get(&root.0)
+                .is_some_and(|rn| !rn.store.contains(object) && !rn.replicas.contains_key(&object))
+        {
+            // Tiny-cluster last resort: an object diverted away from its
+            // root can only reach the floor if the tracking root itself
+            // hosts a copy (the root is never in its own leaf set).
+            targets.push(root);
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+        for t in &targets {
+            let tn = self.nodes.get_mut(&t.0).expect("target checked live");
+            tn.replicas.insert(object, (credit, root));
+            self.ledger.overlay_messages += 1; // replica transfer
+        }
+        let made = targets.len().min(u32::MAX as usize) as u32;
+        self.nodes
+            .get_mut(&root.0)
+            .expect("root is live")
+            .replicated_to
+            .entry(object)
+            .or_default()
+            .extend(targets);
         made
     }
 
@@ -1324,6 +1824,12 @@ impl P2PClientCache {
                 self.nodes.get(&id.0).map_or(0, |n| n.store.len().min(u32::MAX as usize) as u32);
             sink.event(P2pEvent::NodeCrashed { objects_at_risk: at_risk });
         }
+        // The machine may have hosted the last live replica copy backing
+        // a parked limbo entry. Detection of *this* crash is still lazy,
+        // but the ledger is the simulator's ground truth: count the loss
+        // at the moment it becomes unrecoverable, not when (or whether)
+        // traffic later stumbles into the corpse.
+        self.ledger_newly_unrecoverable(sink);
         Ok(())
     }
 
@@ -1365,7 +1871,7 @@ impl P2PClientCache {
         // live owner (the departing node is already out of the map, so a
         // stale pointer would orphan the replica set and resurrect the
         // directory entry).
-        self.rehome_diverted(&node);
+        self.rehome_diverted(&node, sink);
         // Hand every primary to its post-departure root.
         let mut handed = 0u32;
         for obj in node.store.keys() {
@@ -1379,6 +1885,7 @@ impl P2PClientCache {
             // Hand-off re-replicates fresh at the new root, so consume the
             // old copies.
             let hosts = self.take_replica_set(&node, owner, obj);
+            let had_replicas = !hosts.is_empty();
             for h in hosts {
                 if let Some(hn) = self.nodes.get_mut(&h.0) {
                     hn.replicas.remove(&obj);
@@ -1389,6 +1896,7 @@ impl P2PClientCache {
                     // Every remaining node is crashed or gone.
                     self.resident -= 1;
                     self.directory.remove(obj);
+                    self.note_lost(obj, had_replicas, sink);
                 }
                 Some(nr) => {
                     self.ledger.overlay_messages += 1; // hand-off transfer
@@ -1405,7 +1913,11 @@ impl P2PClientCache {
                 }
             }
         }
+        // The departure may have taken the last replica copy of a crash
+        // casualty with it: ledger those second-order losses now.
+        self.ledger_newly_unrecoverable(sink);
         if self.nodes.is_empty() {
+            self.ledger_cluster_wipe(sink);
             self.directory.clear();
             self.limbo.clear();
             if let Some(adv) = self.adversary.as_mut() {
@@ -1468,18 +1980,32 @@ impl P2PClientCache {
                 }
             }
             let hosts = self.take_replica_set(&node, owner, obj);
+            self.resident -= 1;
+            // Split-brain duplicate: the proxy's side of the ring still
+            // reaches a live primary (the corpse held the other island's
+            // copy). Nothing is at risk — consume the dead copy's replica
+            // bookkeeping instead of parking a limbo entry no heal-time
+            // branch would ever clear.
+            if self.has_live_primary(obj) {
+                self.consume_replicas(&hosts, obj);
+                continue;
+            }
             if hosts.is_empty() {
                 objects_lost += 1;
+                self.note_lost(obj, false, sink);
             }
-            self.resident -= 1;
             self.limbo.insert(obj, hosts);
         }
         // Replica copies the corpse hosted: unlink from their roots.
         self.unlink_replicas_hosted_by(&node);
         // Objects the corpse rooted but had diverted to other hosts.
-        objects_lost += self.rehome_diverted(&node);
+        objects_lost += self.rehome_diverted(&node, sink);
         self.remap_clients_away_from(dead);
+        // The corpse may have hosted the last replica copy of an older
+        // crash casualty: ledger those second-order losses now.
+        self.ledger_newly_unrecoverable(sink);
         if self.nodes.is_empty() {
+            self.ledger_cluster_wipe(sink);
             self.directory.clear();
             self.limbo.clear();
             if let Some(adv) = self.adversary.as_mut() {
@@ -1531,7 +2057,7 @@ impl P2PClientCache {
     /// pointer to the object's new root and keep the replica tracking; if
     /// the host is gone too, promote a replica or lose the object.
     /// Returns the number of objects lost.
-    fn rehome_diverted(&mut self, node: &ClientCacheNode) -> u32 {
+    fn rehome_diverted<S: P2pSink>(&mut self, node: &ClientCacheNode, sink: &mut S) -> u32 {
         let mut objects_lost = 0u32;
         for (obj, host) in &node.diverted_to {
             let hosts = node.replicated_to.get(obj).cloned().unwrap_or_default();
@@ -1580,8 +2106,15 @@ impl P2PClientCache {
                     // in limbo like any other crash casualty — the stale
                     // directory entry waits for the next fetch.
                     self.resident -= 1;
+                    if self.has_live_primary(*obj) {
+                        // Split-brain duplicate (see reclaim_node_state):
+                        // a live primary still serves the entry.
+                        self.consume_replicas(&hosts, *obj);
+                        continue;
+                    }
                     if hosts.is_empty() {
                         objects_lost += 1;
+                        self.note_lost(*obj, false, sink);
                     }
                     self.limbo.insert(*obj, hosts);
                 } else {
@@ -1602,15 +2135,15 @@ impl P2PClientCache {
     /// Promotes the first live replica of `object` to a primary, rewires
     /// the diversion pointer from its new root, and restores the
     /// replication factor ([`P2pEvent::Rereplicated`]). All old replica
-    /// entries are consumed. Returns the promoted holder, or `None` when
-    /// no live replica exists — the caller then accounts the object as
-    /// lost.
+    /// entries are consumed. Returns the promoted holder and the number
+    /// of fresh replica copies made, or `None` when no live replica
+    /// exists — the caller then accounts the object as lost.
     fn promote_or_lose<S: P2pSink>(
         &mut self,
         object: u128,
         hosts: Vec<NodeId>,
         sink: &mut S,
-    ) -> Option<NodeId> {
+    ) -> Option<(NodeId, u32)> {
         let mut chosen: Option<(NodeId, f64)> = None;
         for h in hosts {
             let crashed = self.overlay.is_crashed(h);
@@ -1653,7 +2186,7 @@ impl P2PClientCache {
         if S::ENABLED {
             sink.event(P2pEvent::Rereplicated { copies });
         }
-        Some(h)
+        Some((h, copies))
     }
 
     /// Remaps clients whose entry node is `dead` to some surviving node
@@ -1804,10 +2337,11 @@ impl P2PClientCache {
         sink: &mut S,
     ) -> Option<Option<FetchOutcome>> {
         let hosts = self.limbo.remove(&object)?;
+        let had_replicas = !hosts.is_empty();
         self.note_timeout(true, sink);
         self.ledger.stale_hits += 1;
         match self.promote_or_lose(object, hosts, sink) {
-            Some(holder) => {
+            Some((holder, _copies)) => {
                 self.resident += 1; // the object is reachable again
                 if S::ENABLED {
                     sink.event(P2pEvent::StaleDirectoryHit { replica_served: true });
@@ -1815,6 +2349,7 @@ impl P2PClientCache {
                 Some(self.serve_from(holder, root, hops, object, hit_cost, sink))
             }
             None => {
+                self.note_lost(object, had_replicas, sink);
                 if S::ENABLED {
                     sink.event(P2pEvent::StaleDirectoryHit { replica_served: false });
                 }
@@ -2283,11 +2818,13 @@ impl P2PClientCache {
             }
             // The primary is lost, so its replica copies are dead weight.
             let hosts = self.take_replica_set(&node, owner, obj);
+            let had_replicas = !hosts.is_empty();
             for h in hosts {
                 if let Some(hn) = self.nodes.get_mut(&h.0) {
                     hn.replicas.remove(&obj);
                 }
             }
+            self.note_lost(obj, had_replicas, sink);
         }
         // Replica copies this node hosted: unlink from their roots.
         self.unlink_replicas_hosted_by(&node);
@@ -2296,17 +2833,24 @@ impl P2PClientCache {
         // hosts and the directory.
         for (obj, host) in &node.diverted_to {
             self.directory.remove(*obj);
+            let mut dropped = false;
             if let Some(hn) = self.nodes.get_mut(&host.0) {
                 if hn.store.remove(*obj) {
                     self.resident -= 1;
                     objects_lost += 1;
+                    dropped = true;
                 }
                 hn.hosted_for.remove(obj);
             }
-            for h in node.replicated_to.get(obj).cloned().unwrap_or_default() {
+            let replica_hosts = node.replicated_to.get(obj).cloned().unwrap_or_default();
+            let had_replicas = !replica_hosts.is_empty();
+            for h in replica_hosts {
                 if let Some(hn) = self.nodes.get_mut(&h.0) {
                     hn.replicas.remove(obj);
                 }
+            }
+            if dropped {
+                self.note_lost(*obj, had_replicas, sink);
             }
         }
         if S::ENABLED {
@@ -2324,6 +2868,7 @@ impl P2PClientCache {
         if self.nodes.is_empty() {
             // Last node gone: no entry points remain and exact remove
             // pairing is impossible, so flush wholesale.
+            self.ledger_cluster_wipe(sink);
             self.node_of_client.clear();
             self.directory.clear();
             self.limbo.clear();
@@ -2381,6 +2926,15 @@ impl P2PClientCache {
         let msgs = self.overlay.join(id);
         self.ledger.overlay_messages += msgs as u64;
         self.nodes.insert(id.0, ClientCacheNode::new(id, self.cfg.node_capacity));
+        // Newcomers draw a failure domain from the dedicated stream (a
+        // rejoining machine keeps whatever domain its id already has —
+        // same rack, same subnet).
+        if let Some(dom) = self.domains.as_mut() {
+            if !dom.of.contains_key(&id.0) {
+                let d = dom.draws.pick(dom.count as usize) as u32;
+                dom.of.insert(id.0, d);
+            }
+        }
         self.node_of_client.push(id);
         // Membership changed: every memoized route may now be wrong.
         self.route_memo.clear();
@@ -2564,6 +3118,17 @@ impl P2PClientCache {
         if self.split.is_some() {
             return false;
         }
+        // A partition is a membership event: carving the islands walks
+        // every member, so corpses nothing has stumbled into yet are
+        // detected now. A crashed machine belongs to neither island —
+        // classifying its primaries as "stranded on island B" below
+        // would hand authority to a machine that no longer exists.
+        let mut corpses: Vec<u128> =
+            self.nodes.keys().copied().filter(|&k| self.overlay.is_crashed(NodeId(k))).collect();
+        corpses.sort_unstable();
+        for dead in corpses {
+            self.detect_crash(NodeId(dead), sink);
+        }
         let mut live: Vec<u128> = self.overlay.node_ids().map(|n| n.0).collect();
         live.sort_unstable();
         let n = live.len();
@@ -2699,6 +3264,11 @@ impl P2PClientCache {
             self.island_b_promotes(obj, &b_hosts, e0, &mut split, sink);
             self.limbo.insert(obj, a_hosts);
         }
+        // The cut (and island B's replica consumption above) may have
+        // left a parked entry with no live replica on the proxy's side:
+        // ledger it now. A heal-time island-B survivor re-arms the entry
+        // through note_genuine_copy.
+        self.ledger_newly_unrecoverable(sink);
 
         if S::ENABLED {
             let island_a = self.overlay.island_a_ids().len().min(u32::MAX as usize) as u32;
@@ -2837,6 +3407,9 @@ impl P2PClientCache {
             self.transport_send(class, PROXY_DEST, payload, sink);
             self.ledger.cut_drained += 1;
         }
+        // The merge-time replica scrub and demotions may have removed
+        // the last live copy backing a parked entry: ledger it now.
+        self.ledger_newly_unrecoverable(sink);
         if S::ENABLED {
             sink.event(P2pEvent::PartitionHealed { reconciled, demoted });
         }
@@ -4214,6 +4787,200 @@ mod tests {
                 "forger survived {} audited destages", budget
             );
             proptest::prop_assert_eq!(c.phantom_entries(), 0);
+        }
+    }
+
+    /// Distinct failure domains among the live cluster members.
+    fn cluster_domains(c: &P2PClientCache) -> usize {
+        let mut seen: Vec<u32> = Vec::new();
+        for n in c.node_ids() {
+            if let Some(d) = c.domain_of(n) {
+                if !seen.contains(&d) {
+                    seen.push(d);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn blind_or_single_domain_assignment_changes_nothing() {
+        let drive = |dom: Option<(u32, bool)>| {
+            let mut c = small_k(10, 4, 2);
+            if let Some((count, spread)) = dom {
+                c.assign_domains(count, 42, spread);
+            }
+            for i in 0..40u64 {
+                let _ = c.destage(oid(i), 1.0 + (i % 5) as f64, Some(i as u32));
+            }
+            for i in 0..40u64 {
+                let _ = c.fetch(i as u32, oid(i), 2.0);
+            }
+            (format!("{:?}", c.ledger()), c.contents_snapshot())
+        };
+        let bare = drive(None);
+        // Blind placement: domains drive fault injection only.
+        assert_eq!(bare, drive(Some((8, false))));
+        // Spread with one domain: nothing to spread across.
+        assert_eq!(bare, drive(Some((1, true))));
+    }
+
+    #[test]
+    fn loss_is_ledgered_exactly_once_and_rearmed_by_refetch() {
+        let mut c = small(6, 4); // k = 1: no replicas, every crash loses
+        let o = oid(7);
+        c.destage(o, 2.0, Some(0)).unwrap();
+        c.crash_node(c.root_of(o).unwrap()).unwrap();
+        assert!(c.fetch(0, o, 1.0).is_none());
+        assert_eq!(c.ledger().objects_lost, 1);
+        assert!(c.silent_loss_audit().is_empty());
+        // A second miss must not double-ledger the same loss.
+        assert!(c.fetch(0, o, 1.0).is_none());
+        assert_eq!(c.ledger().objects_lost, 1);
+        // Origin refetch re-enters the cluster: the loss accounting is
+        // re-armed, and losing the object again counts again.
+        c.destage(o, 2.0, Some(0)).unwrap();
+        c.crash_node(c.root_of(o).unwrap()).unwrap();
+        assert!(c.fetch(0, o, 1.0).is_none());
+        assert_eq!(c.ledger().objects_lost, 2);
+        assert!(c.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn repair_sweep_heals_before_any_request() {
+        let mut c = small_k(10, 16, 2);
+        for i in 0..16u64 {
+            c.destage(oid(i), 1.0 + i as f64, Some(i as u32)).unwrap();
+        }
+        let victim = c.root_of(oid(0)).unwrap();
+        c.crash_node(victim).unwrap();
+        assert_eq!(c.crashed_len(), 1, "a silent crash announces nothing");
+        // The first scan unit is the corpse probe: the sweep detects the
+        // crash before any request walks into it.
+        let first = c.repair_step(1);
+        assert_eq!(first.scanned, 1);
+        assert_eq!(c.crashed_len(), 0);
+        for _ in 0..30 {
+            let out = c.repair_step(8);
+            if out.at_risk == 0 && c.check_replica_floor().is_empty() {
+                break;
+            }
+        }
+        assert!(c.limbo.is_empty(), "repair must drain limbo");
+        assert_eq!(c.at_risk_gauge(), 0);
+        assert!(c.check_replica_floor().is_empty(), "{:?}", c.check_replica_floor());
+        assert!(c.check_invariants().is_empty(), "{:?}", c.check_invariants());
+        assert!(c.silent_loss_audit().is_empty());
+        assert!(c.ledger().proactive_repairs > 0, "the sweep did the repairs");
+        assert_eq!(c.ledger().stale_hits, 0, "no request ever tripped a stale entry");
+        assert!(c.ledger().repair_scans >= u64::from(first.scanned));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn spread_placement_spans_distinct_domains(
+            nodes in 4usize..12,
+            k in 2usize..4,
+            dcount in 1u32..8,
+            seed in 0u64..1_000,
+            objects in proptest::collection::vec(0u64..100, 10..40),
+        ) {
+            let mut c = small_k(nodes, objects.len().max(4), k.min(nodes));
+            c.assign_domains(dcount, seed, true);
+            for (i, o) in objects.iter().enumerate() {
+                let _ = c.destage(oid(*o), 1.0 + (i % 7) as f64, Some(i as u32));
+            }
+            let cd = cluster_domains(&c);
+            // Every copy set must span min(copies, cluster domains)
+            // distinct domains — k distinct whenever the cluster offers
+            // ≥ k, graceful degradation otherwise.
+            for node in c.nodes.values() {
+                for obj in node.store.keys() {
+                    if node.replicas.contains_key(&obj) {
+                        continue; // replica copy, not a primary
+                    }
+                    let root = node.hosted_for.get(&obj).copied().unwrap_or(node.id);
+                    let hosts = c
+                        .nodes
+                        .get(&root.0)
+                        .and_then(|rn| rn.replicated_to.get(&obj))
+                        .cloned()
+                        .unwrap_or_default();
+                    let mut doms: Vec<u32> = Vec::new();
+                    for id in std::iter::once(node.id).chain(hosts.iter().copied()) {
+                        if let Some(d) = c.domain_of(id) {
+                            if !doms.contains(&d) {
+                                doms.push(d);
+                            }
+                        }
+                    }
+                    let copies = 1 + hosts.len();
+                    proptest::prop_assert_eq!(
+                        doms.len(),
+                        copies.min(cd),
+                        "object {:032x}: {} copies span {} of {} cluster domains",
+                        obj, copies, doms.len(), cd
+                    );
+                }
+            }
+            let problems = c.check_invariants();
+            proptest::prop_assert!(problems.is_empty(), "{:?}", problems);
+        }
+
+        #[test]
+        fn repair_restores_floor_after_domainfail(
+            nodes in 6usize..12,
+            dcount in 2u32..5,
+            seed in 0u64..1_000,
+            domain in 0u32..5,
+        ) {
+            let total = 20u64;
+            let mut c = small_k(nodes, total as usize, 2);
+            c.assign_domains(dcount, seed, true);
+            for i in 0..total {
+                c.destage(oid(i), 1.0 + (i % 7) as f64, Some(i as u32)).unwrap();
+            }
+            // Correlated burst: every live machine in one domain dies in
+            // the same instant, silently.
+            let victims = c.live_ids_in_domain(domain % dcount);
+            if victims.len() == nodes {
+                return Ok(()); // whole-cluster wipe: nothing to repair
+            }
+            for v in &victims {
+                c.crash_node(*v).unwrap();
+            }
+            // The paced sweep alone (no request traffic) must detect
+            // every corpse, drain limbo, and restore the floor within a
+            // bounded number of rounds.
+            let mut healed = false;
+            for _ in 0..60 {
+                let out = c.repair_step(8);
+                if c.crashed_len() == 0
+                    && c.limbo.is_empty()
+                    && out.at_risk == 0
+                    && c.check_replica_floor().is_empty()
+                {
+                    healed = true;
+                    break;
+                }
+            }
+            proptest::prop_assert!(
+                healed,
+                "floor not restored after 60 rounds: {} crashed, {} limbo, floor {:?}",
+                c.crashed_len(), c.limbo.len(), c.check_replica_floor()
+            );
+            let problems = c.check_invariants();
+            proptest::prop_assert!(problems.is_empty(), "{:?}", problems);
+            proptest::prop_assert!(c.silent_loss_audit().is_empty());
+            // Conservation: every seeded object is either resident again
+            // or explicitly ledgered lost — never silently gone.
+            proptest::prop_assert_eq!(
+                c.len() as u64 + c.ledger().objects_lost,
+                total,
+                "resident {} + lost {} != seeded {}",
+                c.len(), c.ledger().objects_lost, total
+            );
         }
     }
 }

@@ -199,6 +199,23 @@ pub enum P2pEvent {
         /// Protocol message class label (`MessageClass::label`).
         class: &'static str,
     },
+    /// An object is permanently gone — no live copy survives anywhere in
+    /// the cluster. Emitted exactly once per loss (the no-silent-loss
+    /// guarantee: every disappearance is ledgered and announced).
+    ObjectLost {
+        /// The object once had replica copies, all of which died before
+        /// repair could promote one; false means it was never replicated
+        /// (or its whole replica set died with the same failure).
+        had_replicas: bool,
+    },
+    /// The background repair scheduler restored an entry to the replica
+    /// floor before any request tripped over it (proactive repair, as
+    /// opposed to the lazy stale-hit path).
+    ProactiveRepair {
+        /// Fresh copies created (promotion re-replication or floor
+        /// top-up).
+        copies: u32,
+    },
 }
 
 impl P2pEvent {
@@ -230,6 +247,8 @@ impl P2pEvent {
             P2pEvent::NodeQuarantined { .. } => "node_quarantined",
             P2pEvent::BreakerFastFailed { .. } => "breaker_fast_failed",
             P2pEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
+            P2pEvent::ObjectLost { .. } => "object_lost",
+            P2pEvent::ProactiveRepair { .. } => "proactive_repair",
         }
     }
 }
@@ -330,6 +349,8 @@ mod tests {
             P2pEvent::RetryBudgetExhausted { class: "push" }.kind_label(),
             "retry_budget_exhausted"
         );
+        assert_eq!(P2pEvent::ObjectLost { had_replicas: true }.kind_label(), "object_lost");
+        assert_eq!(P2pEvent::ProactiveRepair { copies: 2 }.kind_label(), "proactive_repair");
     }
 
     #[test]

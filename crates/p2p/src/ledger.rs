@@ -93,6 +93,19 @@ pub struct MessageLedger {
     /// (overload defense): the caller degraded to the origin server.
     #[serde(default)]
     pub retry_budget_denials: u64,
+    /// Objects permanently lost — no live copy survives anywhere. The
+    /// no-silent-loss guarantee: every loss path increments this exactly
+    /// once per object (and emits `P2pEvent::ObjectLost`).
+    #[serde(default)]
+    pub objects_lost: u64,
+    /// Directory entries examined by the background repair scheduler's
+    /// paced scan (each is real work, priced by the event clock).
+    #[serde(default)]
+    pub repair_scans: u64,
+    /// Entries the repair scheduler restored to the replica floor before
+    /// a request tripped over them (limbo promotions plus floor top-ups).
+    #[serde(default)]
+    pub proactive_repairs: u64,
 }
 
 impl MessageLedger {
@@ -137,6 +150,9 @@ impl MessageLedger {
         self.quarantines += other.quarantines;
         self.breaker_fast_fails += other.breaker_fast_fails;
         self.retry_budget_denials += other.retry_budget_denials;
+        self.objects_lost += other.objects_lost;
+        self.repair_scans += other.repair_scans;
+        self.proactive_repairs += other.proactive_repairs;
     }
 }
 

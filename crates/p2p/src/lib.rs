@@ -29,7 +29,7 @@ pub mod transport;
 
 pub use cache::{
     object_id_for_url, Behavior, ClientCacheNode, DestageOutcome, FetchOutcome, P2PClientCache,
-    P2PClientCacheConfig,
+    P2PClientCacheConfig, RepairOutcome,
 };
 pub use directory::{DirectoryKind, LookupDirectory};
 pub use events::{NoSink, P2pEvent, P2pSink};

@@ -19,9 +19,10 @@
 //! inside a seeded window one previously cold object spikes to the head
 //! of the popularity ranking. An optional [`Diurnal`] knob modulates the
 //! request rate sinusoidally (busy hours vs. off-hours) via a monotone
-//! time-warp resampling. Both run as post-passes with their own derived
-//! RNG streams, so traces without the knobs are byte-identical to
-//! pre-knob generations.
+//! time-warp resampling. An optional `scan_fraction` knob interleaves a
+//! one-touch sequential scan (the crawler pattern). All three run as
+//! post-passes with their own derived RNG streams, so traces without
+//! the knobs are byte-identical to pre-knob generations.
 //!
 //! # Generation model (ProWGen's "dynamic" stack variant)
 //!
@@ -139,6 +140,16 @@ pub struct ProWGenConfig {
     /// pre-knob generations of the same seed.
     #[serde(default)]
     pub diurnal: Option<Diurnal>,
+    /// Fraction of requests redirected to a one-touch sequential scan —
+    /// the crawler/virus-scanner pattern that walks the object space in
+    /// id order, touching each object once and never again. Scans carry
+    /// zero temporal locality, so they pollute LRU-style stacks without
+    /// contributing re-reference hits. Applied as a post-pass on its own
+    /// derived stream (`derive(seed, "scans")`); at the default 0.0 the
+    /// pass performs no draws and the trace is byte-identical to
+    /// pre-knob generations of the same seed.
+    #[serde(default)]
+    pub scan_fraction: f64,
     /// RNG seed; every derived stream is deterministic in this.
     pub seed: u64,
 }
@@ -157,6 +168,7 @@ impl Default for ProWGenConfig {
             size_pop_correlation: 0.0,
             flash_crowd: None,
             diurnal: None,
+            scan_fraction: 0.0,
             seed: 0x5EED_2003,
         }
     }
@@ -208,6 +220,9 @@ impl ProWGenConfig {
                 return Err("diurnal amplitude must be in (0, 1)".into());
             }
         }
+        if !(0.0..1.0).contains(&self.scan_fraction) {
+            return Err("scan_fraction must be in [0, 1)".into());
+        }
         let n = self.distinct_objects;
         let n_one = (n as f64 * self.one_time_fraction).round() as usize;
         let n_multi = n - n_one;
@@ -250,6 +265,13 @@ pub struct GenReport {
     /// was on.
     #[serde(default)]
     pub diurnal_phase: Option<f64>,
+    /// Requests redirected to the sequential scan (0 without the knob).
+    #[serde(default)]
+    pub scan_requests: u64,
+    /// The seeded object id the scan walk started from, when the knob
+    /// was on.
+    #[serde(default)]
+    pub scan_start: Option<u32>,
 }
 
 /// The generator. Create with [`ProWGen::new`], call [`ProWGen::generate`].
@@ -456,6 +478,28 @@ impl ProWGen {
                 }
             }
             report.flash_object = Some(flash);
+        }
+
+        if cfg.scan_fraction > 0.0 {
+            // One-touch sequential scan on its own derived stream: a
+            // cursor walks the object space in id order from a seeded
+            // start, and each redirected slot references the next id —
+            // each scanned object is touched exactly once per lap, with
+            // no re-reference for a stack to exploit. Runs last so the
+            // scan also perforates any flash-crowd window, as a crawler
+            // would.
+            let mut srng = ChaCha8Rng::seed_from_u64(derive(cfg.seed, "scans"));
+            let start = srng.random_range(0..n as u32);
+            let mut cursor = start;
+            for req in &mut requests {
+                if srng.random::<f64>() < cfg.scan_fraction {
+                    req.object = cursor;
+                    req.size = sizes[cursor as usize];
+                    report.scan_requests += 1;
+                    cursor = if cursor + 1 == n as u32 { 0 } else { cursor + 1 };
+                }
+            }
+            report.scan_start = Some(start);
         }
 
         let trace = Trace { requests, num_objects: n as u32, num_clients: cfg.num_clients };
@@ -782,6 +826,65 @@ mod tests {
         assert!(with(Diurnal { period: 5_000, amplitude: 0.0 }));
         assert!(with(Diurnal { period: 5_000, amplitude: 1.0 }));
         assert!(!with(Diurnal { period: 5_000, amplitude: 0.99 }));
+    }
+
+    #[test]
+    fn scans_are_sequential_one_touch_and_seeded() {
+        let base = ProWGen::new(small_cfg()).generate();
+        let cfg = ProWGenConfig { scan_fraction: 0.1, ..small_cfg() };
+        let (t, rep) = ProWGen::new(cfg.clone()).generate_with_report();
+        let start = rep.scan_start.expect("knob was on");
+
+        // Roughly a tenth of the stream is scan traffic.
+        assert!(rep.scan_requests > 4_000 && rep.scan_requests < 8_000, "{}", rep.scan_requests);
+
+        // Replaying the derived stream pins the pass exactly: redirected
+        // slots walk the id space sequentially from the seeded start, and
+        // every slot the scan skipped is byte-identical to the knob-free
+        // stream.
+        use webcache_primitives::seed::derive;
+        let mut srng = ChaCha8Rng::seed_from_u64(derive(cfg.seed, "scans"));
+        assert_eq!(srng.random_range(0..t.num_objects), start);
+        let mut cursor = start;
+        let mut scanned = 0u64;
+        for (ours, theirs) in t.requests.iter().zip(&base.requests) {
+            if srng.random::<f64>() < 0.1 {
+                assert_eq!(ours.object, cursor, "scan slot must follow the cursor walk");
+                cursor = (cursor + 1) % t.num_objects;
+                scanned += 1;
+            } else {
+                assert_eq!(ours, theirs, "non-scan slot must match the base stream");
+            }
+        }
+        assert_eq!(scanned, rep.scan_requests);
+
+        // Deterministic in the seed, and a different seed moves the walk.
+        let (t2, rep2) = ProWGen::new(cfg.clone()).generate_with_report();
+        assert_eq!(t.requests, t2.requests);
+        assert_eq!(rep2.scan_start, Some(start));
+        let other = ProWGenConfig { seed: cfg.seed ^ 1, ..cfg };
+        let (_, rep3) = ProWGen::new(other).generate_with_report();
+        assert_ne!(rep3.scan_start, Some(start));
+    }
+
+    #[test]
+    fn unset_scan_fraction_is_byte_identical() {
+        let base = ProWGen::new(small_cfg()).generate();
+        let cfg = ProWGenConfig { scan_fraction: 0.0, ..small_cfg() };
+        let (t, rep) = ProWGen::new(cfg).generate_with_report();
+        assert_eq!(t.requests, base.requests);
+        assert_eq!(rep.scan_requests, 0);
+        assert_eq!(rep.scan_start, None);
+    }
+
+    #[test]
+    fn scan_fraction_validation() {
+        let with = |f: f64| ProWGenConfig { scan_fraction: f, ..small_cfg() }.validate().is_err();
+        assert!(with(-0.1));
+        assert!(with(1.0));
+        assert!(with(1.5));
+        assert!(!with(0.0));
+        assert!(!with(0.99));
     }
 
     #[test]
